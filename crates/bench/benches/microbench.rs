@@ -1,0 +1,206 @@
+//! Criterion microbenchmarks for the hot paths CloudViews adds to the
+//! compiler: signature computation, plan normalization, view matching
+//! (the paper's claim: "lightweight hash equality checks" instead of
+//! containment, §2.4), view selection, executor kernels, Bloom filters.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cv_common::ids::{JobId, VcId};
+use cv_common::{Sig128, SimTime};
+use cv_core::selection::{LabelPropagationSelector, SelectionConstraints, ViewSelector};
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_engine::engine::QueryEngine;
+use cv_engine::expr::{col, lit};
+use cv_engine::normalize::normalize;
+use cv_engine::optimizer::{AlwaysGrant, ReuseContext, ViewMeta};
+use cv_engine::plan::{JoinKind, LogicalPlan, PlanBuilder};
+use cv_engine::signature::{enumerate_subexpressions, plan_signature, SigMode, SignatureConfig};
+use cv_engine::sql::{compile_sql, Params};
+use cv_extensions::bitvector::BloomFilter;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_engine() -> QueryEngine {
+    let mut e = QueryEngine::new();
+    let sales = Schema::new(vec![
+        Field::new("s_cust", DataType::Int),
+        Field::new("price", DataType::Float),
+        Field::new("qty", DataType::Int),
+    ])
+    .unwrap()
+    .into_ref();
+    let rows: Vec<Vec<Value>> = (0..10_000)
+        .map(|i| {
+            vec![Value::Int(i % 500), Value::Float((i % 97) as f64), Value::Int(i % 7)]
+        })
+        .collect();
+    e.catalog
+        .register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH)
+        .unwrap();
+    let cust = Schema::new(vec![
+        Field::new("c_id", DataType::Int),
+        Field::new("seg", DataType::Str),
+    ])
+    .unwrap()
+    .into_ref();
+    let crows: Vec<Vec<Value>> = (0..500)
+        .map(|i| {
+            vec![Value::Int(i), Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into())]
+        })
+        .collect();
+    e.catalog
+        .register("customer", Table::from_rows(cust, &crows).unwrap(), SimTime::EPOCH)
+        .unwrap();
+    e
+}
+
+const QUERY: &str = "SELECT seg, AVG(price * qty) AS rev, COUNT(*) AS n \
+    FROM sales JOIN customer ON s_cust = c_id \
+    WHERE qty > 2 AND seg = 'asia' GROUP BY seg";
+
+fn deep_plan(e: &QueryEngine) -> Arc<LogicalPlan> {
+    // A plan several joins deep for signature/normalization stress.
+    let mut b = PlanBuilder::scan(&e.catalog, "sales").unwrap();
+    b = b
+        .join(
+            PlanBuilder::scan(&e.catalog, "customer").unwrap(),
+            &[("s_cust", "c_id")],
+            JoinKind::Inner,
+        )
+        .unwrap()
+        .filter(col("seg").eq(lit("asia")).and(col("qty").gt(lit(1))))
+        .unwrap();
+    b.build()
+}
+
+fn signatures(c: &mut Criterion) {
+    let e = bench_engine();
+    let plan = deep_plan(&e);
+    let cfg = SignatureConfig::default();
+    c.bench_function("signature/plan_signature", |b| {
+        b.iter(|| plan_signature(black_box(&plan), &cfg, SigMode::Strict))
+    });
+    c.bench_function("signature/enumerate_subexpressions", |b| {
+        b.iter(|| enumerate_subexpressions(black_box(&plan), &cfg))
+    });
+}
+
+fn normalization(c: &mut Criterion) {
+    let e = bench_engine();
+    let plan = deep_plan(&e);
+    let cfg = SignatureConfig::default();
+    c.bench_function("normalize/plan", |b| {
+        b.iter(|| normalize(black_box(&plan), &cfg).unwrap())
+    });
+}
+
+fn sql_frontend(c: &mut Criterion) {
+    let e = bench_engine();
+    c.bench_function("sql/parse_and_bind", |b| {
+        b.iter(|| compile_sql(black_box(QUERY), &e.catalog, &Params::none()).unwrap())
+    });
+}
+
+fn view_matching(c: &mut Criterion) {
+    let e = bench_engine();
+    let plan = e.compile_sql(QUERY, &Params::none()).unwrap();
+    // 256 irrelevant annotations + one real: matching stays a hash probe.
+    let mut reuse = ReuseContext::empty();
+    for i in 0..256u64 {
+        reuse.available.insert(Sig128(i as u128), ViewMeta { rows: 1, bytes: 1 });
+    }
+    let subs = e.subexpressions(&plan).unwrap();
+    let target = subs.iter().max_by_key(|s| s.node_count).unwrap();
+    reuse.available.insert(target.strict, ViewMeta { rows: 100, bytes: 4_000 });
+    c.bench_function("optimizer/view_match_256_annotations", |b| {
+        b.iter(|| e.optimize(black_box(&plan), &reuse, &mut AlwaysGrant).unwrap())
+    });
+    let empty = ReuseContext::empty();
+    c.bench_function("optimizer/no_annotations", |b| {
+        b.iter(|| e.optimize(black_box(&plan), &empty, &mut AlwaysGrant).unwrap())
+    });
+}
+
+fn executor(c: &mut Criterion) {
+    let e = bench_engine();
+    let plan = e.compile_sql(QUERY, &Params::none()).unwrap();
+    let compiled = e.optimize(&plan, &ReuseContext::empty(), &mut AlwaysGrant).unwrap();
+    c.bench_function("exec/join_agg_10k_rows", |b| {
+        b.iter(|| e.execute(black_box(&compiled.outcome.physical), SimTime::EPOCH).unwrap())
+    });
+}
+
+fn selection(c: &mut Criterion) {
+    // Selection over a problem harvested from a tiny driver run.
+    let workload = cv_workload::generate_workload(cv_workload::WorkloadConfig {
+        scale: 0.05,
+        n_analytics: 16,
+        ..Default::default()
+    });
+    let cfg = cv_workload::DriverConfig::baseline(3);
+    let out = cv_workload::run_workload(&workload, &cfg).unwrap();
+    let problem = cv_core::build_problem(&out.repo, 2);
+    let constraints = SelectionConstraints::default();
+    c.bench_function("selection/label_propagation", |b| {
+        b.iter(|| {
+            LabelPropagationSelector::default().select(black_box(&problem), &constraints)
+        })
+    });
+}
+
+fn bloom(c: &mut Criterion) {
+    let keys: Vec<Value> = (0..10_000).map(Value::Int).collect();
+    c.bench_function("bloom/build_10k", |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |keys| {
+                let mut bf = BloomFilter::new(keys.len(), 0.01);
+                for k in &keys {
+                    bf.insert(k);
+                }
+                bf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut bf = BloomFilter::new(10_000, 0.01);
+    for k in &keys {
+        bf.insert(k);
+    }
+    c.bench_function("bloom/probe", |b| {
+        b.iter(|| bf.contains(black_box(&Value::Int(5_000))))
+    });
+}
+
+fn end_to_end(c: &mut Criterion) {
+    // Full compile→optimize→execute→seal cycle, as the driver runs it.
+    c.bench_function("engine/run_sql_end_to_end", |b| {
+        b.iter_batched(
+            bench_engine,
+            |mut e| {
+                e.run_sql(
+                    QUERY,
+                    &Params::none(),
+                    &ReuseContext::empty(),
+                    JobId(1),
+                    VcId(0),
+                    SimTime::EPOCH,
+                )
+                .unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = signatures, normalization, sql_frontend, view_matching, executor, selection, bloom, end_to_end
+}
+criterion_main!(benches);

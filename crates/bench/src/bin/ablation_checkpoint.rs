@@ -1,0 +1,102 @@
+//! Ablation — CloudViews-style checkpointing (paper §5.6 "Checkpointing").
+//!
+//! Injects one failure per job at its final stage (the worst case the paper
+//! highlights: "long running jobs that run for hours and fail towards the
+//! end") and compares re-run work and latency with and without
+//! checkpoint selection.
+
+use cv_bench::scenario;
+use cv_cluster::sim::{ClusterConfig, ClusterSim, JobSpec};
+use cv_extensions::checkpoint::{apply_checkpoints, CheckpointPolicy};
+use cv_workload::run_workload;
+
+fn main() {
+    // Harvest realistic stage graphs from a short baseline run.
+    let (workload, baseline, _) = scenario(2);
+    let out = run_workload(&workload, &baseline).expect("baseline");
+    // Rebuild each job's stage graph from the recorded results is not
+    // needed — we re-derive representative graphs by re-running one day and
+    // capturing them directly from the driver-produced ledger statistics.
+    // For the ablation we use synthetic-but-shaped graphs: chain depth and
+    // work from the observed jobs.
+    let jobs: Vec<(u64, f64, u64)> = out
+        .ledger
+        .records()
+        .iter()
+        .map(|r| (r.result.job.raw(), r.result.total_work, r.result.containers))
+        .collect();
+
+    let run = |checkpointed: bool| -> (f64, f64) {
+        let mut sim = ClusterSim::new(ClusterConfig::default());
+        for &(job, work, containers) in &jobs {
+            // A 4-stage chain splitting the job's observed work 50/30/15/5,
+            // partitions spread evenly.
+            let parts = ((containers / 4).max(1)) as usize;
+            let works = [work * 0.5, work * 0.3, work * 0.15, work * 0.05];
+            let mut graph = cv_cluster::stage::StageGraph::default();
+            for (i, w) in works.iter().enumerate() {
+                graph.stages.push(cv_cluster::stage::Stage {
+                    id: i,
+                    kind: format!("op{i}"),
+                    work: *w,
+                    partitions: parts,
+                    deps: if i == 0 { vec![] } else { vec![i - 1] },
+                    seals_view: None,
+                    checkpointed: false,
+                });
+            }
+            let graph = if checkpointed {
+                apply_checkpoints(&graph, &CheckpointPolicy::default()).0
+            } else {
+                graph
+            };
+            let id = cv_common::ids::JobId(job);
+            sim.inject_failure(id, 3); // fail at the last stage
+            sim.submit(JobSpec {
+                job: id,
+                vc: cv_common::ids::VcId(job % 4),
+                template: cv_common::ids::TemplateId(job),
+                submit: cv_common::SimTime(job as f64),
+                stages: graph,
+            });
+        }
+        sim.run_to_completion();
+        let work: f64 = sim
+            .results()
+            .iter()
+            .map(|r| r.processing_seconds + r.bonus_seconds)
+            .sum();
+        let latency: f64 =
+            sim.results().iter().map(|r| (r.finish - r.submit).seconds()).sum();
+        (work, latency)
+    };
+
+    let (work_plain, lat_plain) = run(false);
+    let (work_ckpt, lat_ckpt) = run(true);
+
+    println!("\n=== Ablation: checkpoint/restart under tail failures ===");
+    println!("  jobs simulated:             {}", jobs.len());
+    println!(
+        "  total work   — no ckpt: {work_plain:.0}   with ckpt: {work_ckpt:.0}   saved: {:.1}%",
+        100.0 * (work_plain - work_ckpt) / work_plain
+    );
+    println!(
+        "  total latency — no ckpt: {lat_plain:.0}s  with ckpt: {lat_ckpt:.0}s  saved: {:.1}%",
+        100.0 * (lat_plain - lat_ckpt) / lat_plain
+    );
+    println!("\nExpected shape: checkpoints recover most of the failed work");
+    println!("(the re-run only repeats the un-checkpointed tail, §5.6).");
+
+    assert!(work_ckpt < work_plain, "checkpointing must reduce re-run work");
+
+    cv_bench::write_json(
+        "ablation_checkpoint",
+        &serde_json::json!({
+            "jobs": jobs.len(),
+            "work_without_checkpoints": work_plain,
+            "work_with_checkpoints": work_ckpt,
+            "latency_without_checkpoints": lat_plain,
+            "latency_with_checkpoints": lat_ckpt,
+        }),
+    );
+}

@@ -1,0 +1,101 @@
+//! Ablation — view-selection algorithms (DESIGN.md call-out: "scalable view
+//! selection", paper §2.4 / BigSubs [24]).
+//!
+//! Compares label propagation (the production algorithm), the greedy
+//! knapsack baseline, and the exact branch-and-bound oracle on the same
+//! analysis window: estimated savings, storage, selection wall time — plus
+//! how each selection performs when actually deployed in the driver loop.
+
+use cv_bench::scenario;
+use cv_core::selection::{
+    ExactSelector, GreedySelector, LabelPropagationSelector, SelectionConstraints, ViewSelector,
+};
+use cv_workload::{run_workload, SelectionKnobs, SelectorKind};
+use std::time::Instant;
+
+fn main() {
+    // Build an analysis window from a baseline run.
+    let (workload, baseline, _) = scenario(10);
+    let base = run_workload(&workload, &baseline).expect("baseline");
+    let problem = cv_core::build_problem(&base.repo, 2);
+    println!(
+        "\nselection problem: {} candidates over {} queries",
+        problem.candidates.len(),
+        problem.queries.len()
+    );
+    let constraints = SelectionConstraints::default();
+
+    println!("\n=== Ablation: selection algorithm quality (offline) ===");
+    println!(
+        "  {:<20} {:>12} {:>14} {:>8} {:>12}",
+        "algorithm", "est savings", "storage (B)", "#views", "time (ms)"
+    );
+    let selectors: Vec<Box<dyn ViewSelector>> = vec![
+        Box::new(LabelPropagationSelector::default()),
+        Box::new(GreedySelector),
+        Box::new(ExactSelector { max_candidates: 26 }),
+    ];
+    let mut offline = Vec::new();
+    for s in &selectors {
+        if s.name() == "exact" && problem.candidates.len() > 26 {
+            println!("  {:<20} (skipped: instance too large)", s.name());
+            continue;
+        }
+        let t0 = Instant::now();
+        let sel = s.select(&problem, &constraints);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "  {:<20} {:>12.1} {:>14} {:>8} {:>12.2}",
+            s.name(),
+            sel.est_savings,
+            sel.est_storage,
+            sel.len(),
+            ms
+        );
+        offline.push(serde_json::json!({
+            "algorithm": s.name(),
+            "est_savings": sel.est_savings,
+            "storage": sel.est_storage,
+            "views": sel.len(),
+            "ms": ms,
+        }));
+    }
+
+    // Deployed comparison: run the feedback loop with each selector.
+    println!("\n=== Ablation: selection algorithm impact (deployed, 14 days) ===");
+    println!(
+        "  {:<20} {:>14} {:>12} {:>12}",
+        "algorithm", "processing (s)", "built", "reused"
+    );
+    let (workload, baseline, enabled_proto) = scenario(14);
+    let base = run_workload(&workload, &baseline).expect("baseline");
+    let base_proc = base.ledger.totals().processing_seconds;
+    println!("  {:<20} {:>14.1} {:>12} {:>12}", "(baseline)", base_proc, "-", "-");
+    let mut deployed = Vec::new();
+    for kind in [SelectorKind::LabelPropagation, SelectorKind::Greedy] {
+        let mut cfg = enabled_proto.clone();
+        cfg.cloudviews = Some(SelectionKnobs { selector: kind, ..SelectionKnobs::default() });
+        let out = run_workload(&workload, &cfg).expect("enabled");
+        let totals = out.ledger.totals();
+        let reused: usize = out.ledger.records().iter().map(|r| r.data.views_matched).sum();
+        println!(
+            "  {:<20} {:>14.1} {:>12} {:>12}",
+            format!("{kind:?}"),
+            totals.processing_seconds,
+            out.view_store_stats.views_created,
+            reused
+        );
+        deployed.push(serde_json::json!({
+            "algorithm": format!("{kind:?}"),
+            "processing_seconds": totals.processing_seconds,
+            "baseline_processing_seconds": base_proc,
+            "views_built": out.view_store_stats.views_created,
+            "views_reused": reused,
+        }));
+    }
+
+    cv_bench::write_json(
+        "ablation_selection",
+        &serde_json::json!({ "offline": offline, "deployed": deployed }),
+    );
+}

@@ -1,0 +1,78 @@
+//! Figure 3 — Overlaps in production clusters over a long window.
+//!
+//! Per-day percentage of repeated query subexpressions and the average
+//! repeat frequency, over a multi-month workload history (the paper
+//! analyzes Jan–Oct 2020: 67M jobs, 4.3B subexpressions, >75% repeated,
+//! average repeat frequency ≈ 5).
+//!
+//! The history here comes from a long baseline driver run (reuse disabled —
+//! the overlap analysis is about the raw workload).
+
+use cv_bench::{print_series, scenario, Series};
+use cv_workload::run_workload;
+
+fn main() {
+    // A "10-month-shaped" window: long enough to show the steady state;
+    // scaled down in days to keep the harness fast (the per-day statistics
+    // stabilize after the first week).
+    let days = 90u32;
+    let (workload, baseline, _) = scenario(days);
+    let out = run_workload(&workload, &baseline).expect("baseline run");
+
+    let overlap = out.repo.overlap_by_day();
+    let pct = Series {
+        name: "repeated %".to_string(),
+        points: overlap.iter().map(|o| (o.day.label(), o.repeated_pct())).collect(),
+    };
+    let freq = Series {
+        name: "avg repeat freq".to_string(),
+        points: overlap
+            .iter()
+            .map(|o| (o.day.label(), o.avg_repeat_frequency))
+            .collect(),
+    };
+    print_series("Figure 3: overlaps per day", &[pct.clone(), freq.clone()], 7);
+
+    let overall = out.repo.overall_overlap();
+    // A trailing one-week analysis window, the granularity the selection
+    // pipeline actually uses: daily recurrence (fresh GUIDs each day) plus
+    // same-day sharing combine here, like the paper's production overlap.
+    let week = out
+        .repo
+        .window(cv_common::SimDay(days - 7), cv_common::SimDay(days))
+        .overall_overlap();
+    println!("\nWhole-window totals ({days} days):");
+    println!("  jobs analyzed:            {}", out.repo.distinct_jobs());
+    println!("  subexpression instances:  {}", overall.total_subexpressions);
+    println!("  repeated:                 {:.1}%", overall.repeated_pct());
+    println!("  avg repeat frequency:     {:.2}", overall.avg_repeat_frequency);
+    println!("\nOne-week analysis window:");
+    println!("  repeated:                 {:.1}%", week.repeated_pct());
+    println!("  avg repeat frequency:     {:.2}", week.avg_repeat_frequency);
+    println!("\nPaper reference: >75% of subexpressions repeated consistently;");
+    println!("average repeat frequency hovering around 5. (Our fixed template");
+    println!("population recurs daily, so overlap *rises* with window length;");
+    println!("the one-week window is the apples-to-apples comparison point.)");
+
+    assert!(
+        overall.repeated_pct() > 60.0,
+        "workload generator should produce heavy overlap, got {:.1}%",
+        overall.repeated_pct()
+    );
+
+    cv_bench::write_json(
+        "fig3_overlaps",
+        &serde_json::json!({
+            "per_day": overlap
+                .iter()
+                .map(|o| serde_json::json!({
+                    "day": o.day.label(),
+                    "repeated_pct": o.repeated_pct(),
+                    "avg_repeat_frequency": o.avg_repeat_frequency,
+                }))
+                .collect::<Vec<_>>(),
+            "overall_repeated_pct": overall.repeated_pct(),
+            "overall_avg_repeat_frequency": overall.avg_repeat_frequency,
+        }),
+    );
+}

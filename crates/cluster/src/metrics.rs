@@ -1,0 +1,263 @@
+//! Per-job results and daily aggregation — the measurement layer behind the
+//! paper's Figures 6 and 7 and Table 1.
+
+use cv_common::hash::Sig128;
+use cv_common::ids::{JobId, TemplateId, VcId};
+use cv_common::{SimDay, SimDuration, SimTime};
+use cv_engine::physical::JoinAlgoCounts;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Scheduling outcome of one job (from the simulator).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobResult {
+    pub job: JobId,
+    pub vc: VcId,
+    pub template: TemplateId,
+    pub submit: SimTime,
+    pub start: SimTime,
+    pub finish: SimTime,
+    pub queue_len_at_submit: usize,
+    /// Container-seconds on guaranteed allocation.
+    pub processing_seconds: f64,
+    /// Container-seconds on opportunistic (bonus) allocation (§3.4).
+    pub bonus_seconds: f64,
+    /// Container tasks launched (one per stage partition).
+    pub containers: u64,
+    pub restarts: u32,
+    /// Views sealed by this job, with their (early) seal times.
+    pub sealed: Vec<(Sig128, SimTime)>,
+    pub total_work: f64,
+}
+
+impl JobResult {
+    pub fn latency(&self) -> SimDuration {
+        self.finish - self.submit
+    }
+
+    pub fn queue_wait(&self) -> SimDuration {
+        self.start - self.submit
+    }
+}
+
+/// One job's full record: scheduling outcome + data-plane metrics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DataPlane {
+    pub input_bytes: u64,
+    pub data_read_bytes: u64,
+    pub view_bytes_read: u64,
+    pub bytes_written_views: u64,
+    pub views_matched: usize,
+    pub views_built: usize,
+    pub joins_hash: usize,
+    pub joins_merge: usize,
+    pub joins_loop: usize,
+}
+
+impl DataPlane {
+    pub fn from_exec(
+        metrics: &cv_engine::exec::ExecMetrics,
+        views_matched: usize,
+        views_built: usize,
+    ) -> DataPlane {
+        DataPlane {
+            input_bytes: metrics.input_bytes,
+            data_read_bytes: metrics.data_read_bytes,
+            view_bytes_read: metrics.view_bytes_read,
+            bytes_written_views: metrics.bytes_written_views,
+            views_matched,
+            views_built,
+            joins_hash: metrics.join_algos.hash,
+            joins_merge: metrics.join_algos.merge,
+            joins_loop: metrics.join_algos.loop_,
+        }
+    }
+
+    pub fn join_algos(&self) -> JoinAlgoCounts {
+        JoinAlgoCounts { hash: self.joins_hash, merge: self.joins_merge, loop_: self.joins_loop }
+    }
+}
+
+/// Combined record.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JobRecord {
+    pub result: JobResult,
+    pub data: DataPlane,
+}
+
+/// Daily aggregate — one row per day of the deployment window, matching the
+/// x-axes of paper Figs. 6 and 7.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct DailyMetrics {
+    pub jobs: u64,
+    pub latency_seconds: f64,
+    pub processing_seconds: f64,
+    pub bonus_seconds: f64,
+    pub containers: u64,
+    pub input_bytes: u64,
+    pub data_read_bytes: u64,
+    pub queue_length_sum: u64,
+    pub views_built: u64,
+    pub views_reused: u64,
+}
+
+impl DailyMetrics {
+    pub fn add(&mut self, rec: &JobRecord) {
+        self.jobs += 1;
+        self.latency_seconds += rec.result.latency().seconds();
+        self.processing_seconds += rec.result.processing_seconds;
+        self.bonus_seconds += rec.result.bonus_seconds;
+        self.containers += rec.result.containers;
+        self.input_bytes += rec.data.input_bytes;
+        self.data_read_bytes += rec.data.data_read_bytes;
+        self.queue_length_sum += rec.result.queue_len_at_submit as u64;
+        self.views_built += rec.data.views_built as u64;
+        self.views_reused += rec.data.views_matched as u64;
+    }
+
+    pub fn merge(&mut self, other: &DailyMetrics) {
+        self.jobs += other.jobs;
+        self.latency_seconds += other.latency_seconds;
+        self.processing_seconds += other.processing_seconds;
+        self.bonus_seconds += other.bonus_seconds;
+        self.containers += other.containers;
+        self.input_bytes += other.input_bytes;
+        self.data_read_bytes += other.data_read_bytes;
+        self.queue_length_sum += other.queue_length_sum;
+        self.views_built += other.views_built;
+        self.views_reused += other.views_reused;
+    }
+}
+
+/// Accumulates job records and rolls them up per day / in total.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MetricsLedger {
+    records: Vec<JobRecord>,
+}
+
+impl MetricsLedger {
+    pub fn new() -> MetricsLedger {
+        MetricsLedger::default()
+    }
+
+    pub fn add(&mut self, rec: JobRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Aggregate per submission day (sorted).
+    pub fn daily(&self) -> BTreeMap<SimDay, DailyMetrics> {
+        let mut out: BTreeMap<SimDay, DailyMetrics> = BTreeMap::new();
+        for rec in &self.records {
+            out.entry(rec.result.submit.day()).or_default().add(rec);
+        }
+        out
+    }
+
+    /// Grand totals over the whole window.
+    pub fn totals(&self) -> DailyMetrics {
+        let mut total = DailyMetrics::default();
+        for day in self.daily().values() {
+            total.merge(day);
+        }
+        total
+    }
+
+    /// Per-job latencies, for median/percentile reporting.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.result.latency().seconds()).collect()
+    }
+}
+
+/// Percentile over unsorted samples (nearest-rank). Returns 0.0 when empty.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(f64::total_cmp);
+    let rank = ((p / 100.0) * (samples.len() as f64 - 1.0)).round() as usize;
+    samples[rank.min(samples.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(day: f64, latency: f64, proc_s: f64) -> JobRecord {
+        let submit = SimTime::from_days(day);
+        JobRecord {
+            result: JobResult {
+                job: JobId(0),
+                vc: VcId(0),
+                template: TemplateId(0),
+                submit,
+                start: submit,
+                finish: submit + SimDuration::from_secs(latency),
+                queue_len_at_submit: 2,
+                processing_seconds: proc_s,
+                bonus_seconds: 1.0,
+                containers: 5,
+                restarts: 0,
+                sealed: vec![],
+                total_work: proc_s,
+            },
+            data: DataPlane {
+                input_bytes: 100,
+                data_read_bytes: 150,
+                view_bytes_read: 0,
+                bytes_written_views: 0,
+                views_matched: 1,
+                views_built: 0,
+                joins_hash: 1,
+                joins_merge: 0,
+                joins_loop: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn daily_rollup_groups_by_submit_day() {
+        let mut ledger = MetricsLedger::new();
+        ledger.add(rec(0.1, 10.0, 5.0));
+        ledger.add(rec(0.9, 20.0, 5.0));
+        ledger.add(rec(1.5, 30.0, 5.0));
+        let daily = ledger.daily();
+        assert_eq!(daily.len(), 2);
+        assert_eq!(daily[&SimDay(0)].jobs, 2);
+        assert_eq!(daily[&SimDay(0)].latency_seconds, 30.0);
+        assert_eq!(daily[&SimDay(1)].jobs, 1);
+        let totals = ledger.totals();
+        assert_eq!(totals.jobs, 3);
+        assert_eq!(totals.latency_seconds, 60.0);
+        assert_eq!(totals.queue_length_sum, 6);
+        assert_eq!(totals.views_reused, 3);
+    }
+
+    #[test]
+    fn latency_and_queue_wait() {
+        let r = rec(0.0, 42.0, 1.0);
+        assert!((r.result.latency().seconds() - 42.0).abs() < 1e-9);
+        assert!((r.result.queue_wait().seconds()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut xs = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut xs, 50.0), 3.0);
+        assert_eq!(percentile(&mut xs, 0.0), 1.0);
+        assert_eq!(percentile(&mut xs, 100.0), 5.0);
+        assert_eq!(percentile(&mut xs, 75.0), 4.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+}

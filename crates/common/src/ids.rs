@@ -1,0 +1,185 @@
+//! Strongly-typed identifiers used across the workspace.
+//!
+//! The production system (paper Fig. 5) names jobs, virtual clusters, users,
+//! pipelines, datasets and dataset *versions* (input GUIDs). Newtypes keep
+//! these from being mixed up and give each a stable hash encoding.
+
+use crate::hash::{Sig128, StableHasher};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! u64_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+        )]
+        pub struct $name(pub u64);
+
+        impl $name {
+            pub fn new(v: u64) -> Self {
+                $name(v)
+            }
+            pub fn raw(self) -> u64 {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+u64_id!(
+    /// One submitted SCOPE job (a single query execution instance).
+    JobId,
+    "job-"
+);
+u64_id!(
+    /// A recurring job *template*; daily instances share a template id.
+    TemplateId,
+    "tmpl-"
+);
+u64_id!(
+    /// A data pipeline (group of templates wired producer→consumer).
+    PipelineId,
+    "pipe-"
+);
+u64_id!(
+    /// A virtual cluster: the per-customer sub-cluster unit (paper §2.2 fn1).
+    VcId,
+    "vc-"
+);
+u64_id!(
+    /// A user / developer submitting jobs.
+    UserId,
+    "user-"
+);
+u64_id!(
+    /// A physical cluster in the fleet (the paper analyzes five).
+    ClusterId,
+    "cluster-"
+);
+u64_id!(
+    /// A dataset (named stream) in the Cosmos store.
+    DatasetId,
+    "ds-"
+);
+u64_id!(
+    /// A stage of a job's execution DAG in the cluster simulator.
+    StageId,
+    "stage-"
+);
+
+/// A dataset *version*: Cosmos shared datasets are bulk-regenerated, each
+/// regeneration producing a fresh GUID. Strict signatures hash the GUID so a
+/// view over yesterday's inputs never answers today's query (paper §2.3, §4
+/// "handling GDPR requirements" — forget-requests also rotate the GUID).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VersionGuid(pub u128);
+
+impl VersionGuid {
+    /// Deterministically derive the GUID for a dataset regeneration event.
+    pub fn derive(dataset: DatasetId, generation: u64) -> VersionGuid {
+        let mut h = StableHasher::with_domain("version-guid");
+        h.write_u64(dataset.0);
+        h.write_u64(generation);
+        VersionGuid(h.finish128().0)
+    }
+
+    pub fn as_sig(self) -> Sig128 {
+        Sig128(self.0)
+    }
+}
+
+impl fmt::Display for VersionGuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.0;
+        write!(
+            f,
+            "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+            (v >> 96) as u32,
+            (v >> 80) as u16,
+            (v >> 64) as u16,
+            (v >> 48) as u16,
+            v & 0xffff_ffff_ffff
+        )
+    }
+}
+
+impl fmt::Debug for VersionGuid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "guid:{self}")
+    }
+}
+
+/// Monotonic id allocator; each entity family gets its own counter so ids
+/// stay small and readable in traces.
+#[derive(Debug, Default, Clone)]
+pub struct IdGen {
+    next: u64,
+}
+
+impl IdGen {
+    pub fn new() -> Self {
+        IdGen { next: 0 }
+    }
+
+    pub fn starting_at(v: u64) -> Self {
+        IdGen { next: v }
+    }
+
+    pub fn next(&mut self) -> u64 {
+        let v = self.next;
+        self.next += 1;
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_has_prefix() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+        assert_eq!(VcId(3).to_string(), "vc-3");
+        assert_eq!(DatasetId(0).to_string(), "ds-0");
+    }
+
+    #[test]
+    fn version_guids_differ_per_generation() {
+        let d = DatasetId(5);
+        let g0 = VersionGuid::derive(d, 0);
+        let g1 = VersionGuid::derive(d, 1);
+        assert_ne!(g0, g1);
+        // But deterministic for the same inputs.
+        assert_eq!(g0, VersionGuid::derive(d, 0));
+    }
+
+    #[test]
+    fn version_guid_formats_like_a_guid() {
+        let g = VersionGuid::derive(DatasetId(1), 1);
+        let s = g.to_string();
+        assert_eq!(s.split('-').count(), 5);
+        assert_eq!(s.len(), 36);
+    }
+
+    #[test]
+    fn idgen_is_monotonic() {
+        let mut g = IdGen::new();
+        assert_eq!(g.next(), 0);
+        assert_eq!(g.next(), 1);
+        let mut g2 = IdGen::starting_at(10);
+        assert_eq!(g2.next(), 10);
+    }
+}

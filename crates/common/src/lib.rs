@@ -1,0 +1,23 @@
+//! Shared primitives for the CloudViews reproduction.
+//!
+//! This crate deliberately has no heavyweight dependencies: everything the
+//! rest of the workspace relies on for determinism lives here —
+//!
+//! * strongly-typed identifiers ([`ids`]),
+//! * a *stable* (run-to-run reproducible) 64/128-bit hasher used for query
+//!   subexpression signatures ([`hash`]),
+//! * a seeded pseudo-random generator with the distribution helpers the
+//!   workload generator needs ([`rng`]),
+//! * simulated wall-clock types for the cluster simulator ([`time`]),
+//! * the workspace error type ([`error`]).
+
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod rng;
+pub mod time;
+
+pub use error::{CvError, Result};
+pub use hash::{Sig128, StableHasher};
+pub use rng::DetRng;
+pub use time::{SimDay, SimDuration, SimTime};

@@ -1,0 +1,224 @@
+//! Simulated time for the cluster simulator and workload driver.
+//!
+//! The reproduction replays a two-month production window (paper §3) inside
+//! a discrete-event simulation; all latencies, queue lengths and processing
+//! times are measured in simulated seconds, never wall-clock.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in seconds since the simulation epoch.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimTime(pub f64);
+
+/// A span of simulated time, in seconds.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+pub struct SimDuration(pub f64);
+
+pub const SECONDS_PER_DAY: f64 = 86_400.0;
+
+impl SimTime {
+    pub const EPOCH: SimTime = SimTime(0.0);
+
+    pub fn from_days(days: f64) -> SimTime {
+        SimTime(days * SECONDS_PER_DAY)
+    }
+
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// The simulated day this instant falls in (0-based).
+    pub fn day(self) -> SimDay {
+        SimDay((self.0 / SECONDS_PER_DAY).floor() as u32)
+    }
+
+    pub fn max(self, other: SimTime) -> SimTime {
+        SimTime(self.0.max(other.0))
+    }
+
+    pub fn min(self, other: SimTime) -> SimTime {
+        SimTime(self.0.min(other.0))
+    }
+}
+
+impl SimDuration {
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    pub fn from_secs(s: f64) -> SimDuration {
+        SimDuration(s)
+    }
+
+    pub fn from_minutes(m: f64) -> SimDuration {
+        SimDuration(m * 60.0)
+    }
+
+    pub fn from_hours(h: f64) -> SimDuration {
+        SimDuration(h * 3600.0)
+    }
+
+    pub fn from_days(d: f64) -> SimDuration {
+        SimDuration(d * SECONDS_PER_DAY)
+    }
+
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.1}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1}s", self.0)
+    }
+}
+
+/// A simulated calendar day (0-based index from the simulation epoch).
+///
+/// The paper's deployment window starts on 2020-02-01; [`SimDay::label`]
+/// formats day indices in the same `M/D/YY` style as the paper's x-axes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct SimDay(pub u32);
+
+/// Days in each month of 2020 (a leap year, matching the paper's window).
+const MONTH_DAYS_2020: [u32; 12] = [31, 29, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+impl SimDay {
+    pub fn index(self) -> u32 {
+        self.0
+    }
+
+    pub fn start(self) -> SimTime {
+        SimTime::from_days(self.0 as f64)
+    }
+
+    pub fn next(self) -> SimDay {
+        SimDay(self.0 + 1)
+    }
+
+    /// Calendar label anchored at 2020-02-01 (the paper's deployment start),
+    /// e.g. day 0 → "2/1/20", day 29 → "3/1/20".
+    pub fn label(self) -> String {
+        let mut month = 1usize; // 0-based: February
+        let mut day = self.0 + 1;
+        let mut year = 20u32;
+        loop {
+            let len = MONTH_DAYS_2020[month % 12];
+            if day <= len {
+                break;
+            }
+            day -= len;
+            month += 1;
+            if month == 12 {
+                month = 0;
+                year += 1;
+            }
+        }
+        format!("{}/{}/{}", month + 1, day, year)
+    }
+}
+
+impl fmt::Debug for SimDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "day{}", self.0)
+    }
+}
+
+impl fmt::Display for SimDay {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_roundtrips() {
+        let t = SimTime::EPOCH + SimDuration::from_hours(2.0);
+        assert!((t.seconds() - 7200.0).abs() < 1e-9);
+        let d = (t + SimDuration::from_secs(300.0)) - t;
+        assert!((d.seconds() - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn day_boundaries() {
+        assert_eq!(SimTime::from_days(0.5).day(), SimDay(0));
+        assert_eq!(SimTime::from_days(1.0).day(), SimDay(1));
+        assert_eq!(SimTime::from_days(59.9).day(), SimDay(59));
+    }
+
+    #[test]
+    fn labels_match_paper_axis() {
+        assert_eq!(SimDay(0).label(), "2/1/20");
+        assert_eq!(SimDay(3).label(), "2/4/20");
+        assert_eq!(SimDay(28).label(), "2/29/20"); // 2020 is a leap year
+        assert_eq!(SimDay(29).label(), "3/1/20");
+        assert_eq!(SimDay(58).label(), "3/30/20");
+    }
+
+    #[test]
+    fn labels_roll_over_the_year() {
+        // 2020-02-01 + 334 days = 2020-12-31; +335 = 2021-01-01.
+        assert_eq!(SimDay(334).label(), "12/31/20");
+        assert_eq!(SimDay(335).label(), "1/1/21");
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert!((SimDuration::from_minutes(2.0).seconds() - 120.0).abs() < 1e-9);
+        assert!((SimDuration::from_days(1.0).seconds() - 86_400.0).abs() < 1e-9);
+    }
+}

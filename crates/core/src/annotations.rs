@@ -1,0 +1,114 @@
+//! Query annotation files (paper Fig. 5: "generate query annotations file
+//! ... could be used for quickly debugging any job. For instance, in case
+//! of a customer incident, we can reproduce the compute reuse behavior by
+//! compiling a job with the annotations file.").
+
+use cv_common::hash::Sig128;
+use cv_common::ids::{JobId, VcId};
+use cv_engine::optimizer::{ReuseContext, ViewMeta};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The serialized reuse decision for one job, sufficient to replay its
+/// compilation offline.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct QueryAnnotations {
+    pub job: JobId,
+    pub vc: VcId,
+    pub runtime_version: String,
+    /// Strict signatures with a live view at compile time, with the view's
+    /// observed statistics.
+    pub available: Vec<AnnotatedView>,
+    /// Strict signatures selected for materialization.
+    pub to_build: Vec<Sig128>,
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AnnotatedView {
+    pub sig: Sig128,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+impl QueryAnnotations {
+    pub fn from_context(
+        job: JobId,
+        vc: VcId,
+        runtime_version: &str,
+        ctx: &ReuseContext,
+    ) -> QueryAnnotations {
+        let mut available: Vec<AnnotatedView> = ctx
+            .available
+            .iter()
+            .map(|(&sig, meta)| AnnotatedView { sig, rows: meta.rows, bytes: meta.bytes })
+            .collect();
+        available.sort_by_key(|v| v.sig);
+        let mut to_build: Vec<Sig128> = ctx.to_build.iter().copied().collect();
+        to_build.sort();
+        QueryAnnotations {
+            job,
+            vc,
+            runtime_version: runtime_version.to_string(),
+            available,
+            to_build,
+        }
+    }
+
+    /// Rebuild the optimizer input — the debugging replay path.
+    pub fn to_context(&self) -> ReuseContext {
+        let available: HashMap<Sig128, ViewMeta> = self
+            .available
+            .iter()
+            .map(|v| (v.sig, ViewMeta { rows: v.rows, bytes: v.bytes }))
+            .collect();
+        let to_build: HashSet<Sig128> = self.to_build.iter().copied().collect();
+        ReuseContext { available, to_build }
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("annotations serialize")
+    }
+
+    pub fn from_json(json: &str) -> Result<QueryAnnotations, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> ReuseContext {
+        let mut c = ReuseContext::empty();
+        c.available.insert(Sig128(7), ViewMeta { rows: 10, bytes: 100 });
+        c.available.insert(Sig128(3), ViewMeta { rows: 5, bytes: 50 });
+        c.to_build.insert(Sig128(9));
+        c
+    }
+
+    #[test]
+    fn roundtrip_through_json() {
+        let ann = QueryAnnotations::from_context(JobId(1), VcId(2), "scope-v1", &ctx());
+        let json = ann.to_json();
+        let back = QueryAnnotations::from_json(&json).unwrap();
+        assert_eq!(ann, back);
+        let rebuilt = back.to_context();
+        assert_eq!(rebuilt.available.len(), 2);
+        assert_eq!(rebuilt.available[&Sig128(7)].rows, 10);
+        assert!(rebuilt.to_build.contains(&Sig128(9)));
+    }
+
+    #[test]
+    fn serialization_is_deterministic() {
+        let a = QueryAnnotations::from_context(JobId(1), VcId(2), "scope-v1", &ctx());
+        let b = QueryAnnotations::from_context(JobId(1), VcId(2), "scope-v1", &ctx());
+        assert_eq!(a.to_json(), b.to_json());
+        // Sorted regardless of HashMap iteration order.
+        assert!(a.available.windows(2).all(|w| w[0].sig <= w[1].sig));
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert!(QueryAnnotations::from_json("{not json").is_err());
+    }
+}

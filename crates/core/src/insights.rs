@@ -1,0 +1,387 @@
+//! The insights service (paper Fig. 5, middle column).
+//!
+//! Stands in for the Azure-SQL-backed service: it stores the published
+//! selection indexed by tag (we tag by VC), serves per-job *query
+//! annotations* at compile time, arbitrates exclusive **view-creation
+//! locks**, registers sealed views (and their accurate statistics), applies
+//! the multi-level [`Controls`], and keeps the usage counters behind paper
+//! Fig. 6a. Every annotation fetch pays a configurable round-trip latency
+//! (§5.2 reports ~15 ms end-to-end in production).
+
+use crate::controls::Controls;
+use cv_common::hash::Sig128;
+use cv_common::ids::{JobId, VcId};
+use cv_common::{SimDuration, SimTime};
+use cv_engine::optimizer::{BuildCoordinator, ReuseContext, ViewMeta};
+use cv_engine::signature::SubexprInfo;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// Compile-time record of one sealed, live view.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ViewInfo {
+    pub strict: Sig128,
+    pub recurring: Sig128,
+    pub rows: u64,
+    pub bytes: u64,
+    pub sealed_at: SimTime,
+    pub expires: SimTime,
+    pub vc: VcId,
+}
+
+/// Usage log entry (drives Fig. 6a).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum UsageKind {
+    Built,
+    Reused,
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct UsageEvent {
+    pub at: SimTime,
+    pub kind: UsageKind,
+    pub sig: Sig128,
+    pub job: JobId,
+}
+
+/// The service.
+pub struct InsightsService {
+    pub controls: Controls,
+    /// Published selections, indexed by VC tag; `selected_global` applies
+    /// to every VC.
+    selected_by_vc: HashMap<VcId, HashSet<Sig128>>,
+    selected_global: HashSet<Sig128>,
+    /// Sealed views by strict signature.
+    available: HashMap<Sig128, ViewInfo>,
+    /// Exclusive view-creation locks.
+    locks: Mutex<HashSet<Sig128>>,
+    usage: Vec<UsageEvent>,
+    /// Simulated round-trip latency per annotation fetch.
+    pub lookup_latency: SimDuration,
+    round_trips: u64,
+}
+
+impl InsightsService {
+    pub fn new(controls: Controls) -> InsightsService {
+        InsightsService {
+            controls,
+            selected_by_vc: HashMap::new(),
+            selected_global: HashSet::new(),
+            available: HashMap::new(),
+            locks: Mutex::new(HashSet::new()),
+            usage: Vec::new(),
+            lookup_latency: SimDuration::from_secs(0.015),
+            round_trips: 0,
+        }
+    }
+
+    /// Publish a selection under a VC tag (`None` = global).
+    pub fn publish_selection(&mut self, vc: Option<VcId>, sigs: impl IntoIterator<Item = Sig128>) {
+        match vc {
+            Some(vc) => {
+                self.selected_by_vc.entry(vc).or_default().extend(sigs);
+            }
+            None => self.selected_global.extend(sigs),
+        }
+    }
+
+    /// Replace all published selections (a fresh analysis run).
+    pub fn reset_selection(&mut self) {
+        self.selected_by_vc.clear();
+        self.selected_global.clear();
+    }
+
+    pub fn is_selected(&self, vc: VcId, recurring: Sig128) -> bool {
+        self.selected_global.contains(&recurring)
+            || self.selected_by_vc.get(&vc).is_some_and(|s| s.contains(&recurring))
+    }
+
+    /// Serve the annotations for a job: which of its subexpressions have
+    /// live views (→ match) and which are selected for materialization
+    /// (→ build). Returns the reuse context plus the simulated round-trip
+    /// cost. Controls gate everything.
+    pub fn annotate(
+        &mut self,
+        vc: VcId,
+        job: JobId,
+        subexprs: &[SubexprInfo],
+        now: SimTime,
+    ) -> (ReuseContext, SimDuration) {
+        if !self.controls.is_enabled(vc, job) {
+            return (ReuseContext::empty(), SimDuration::ZERO);
+        }
+        self.round_trips += 1;
+        let mut ctx = ReuseContext::empty();
+        for sub in subexprs {
+            if let Some(info) = self.available.get(&sub.strict) {
+                if now.seconds() < info.expires.seconds() {
+                    ctx.available
+                        .insert(sub.strict, ViewMeta { rows: info.rows, bytes: info.bytes });
+                    continue;
+                }
+            }
+            if self.is_selected(vc, sub.recurring) {
+                ctx.to_build.insert(sub.strict);
+            }
+        }
+        (ctx, self.lookup_latency)
+    }
+
+    /// A [`BuildCoordinator`] handle for the optimizer's build phase.
+    pub fn locker(&self) -> ServiceLocker<'_> {
+        ServiceLocker { svc: self }
+    }
+
+    /// Release a creation lock without sealing (job failed / lock timeout).
+    pub fn release_lock(&self, sig: Sig128) {
+        self.locks.lock().remove(&sig);
+    }
+
+    pub fn is_locked(&self, sig: Sig128) -> bool {
+        self.locks.lock().contains(&sig)
+    }
+
+    /// The job manager reports a sealed view (early sealing): release the
+    /// lock, register availability with its observed statistics.
+    pub fn report_sealed(&mut self, info: ViewInfo, job: JobId) {
+        self.locks.lock().remove(&info.strict);
+        self.usage.push(UsageEvent {
+            at: info.sealed_at,
+            kind: UsageKind::Built,
+            sig: info.strict,
+            job,
+        });
+        self.available.insert(info.strict, info);
+    }
+
+    /// Record that a job's plan reused views (at compile time).
+    pub fn record_reuse(&mut self, sigs: &[Sig128], job: JobId, at: SimTime) {
+        for &sig in sigs {
+            self.usage.push(UsageEvent { at, kind: UsageKind::Reused, sig, job });
+        }
+    }
+
+    /// Drop expired views from the serving index.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.available.len();
+        self.available.retain(|_, v| now.seconds() < v.expires.seconds());
+        before - self.available.len()
+    }
+
+    /// Purge specific views by strict signature (GDPR input rotation: views
+    /// derived from a forgotten input must stop being served, §4).
+    pub fn purge_sigs(&mut self, sigs: &[Sig128]) -> usize {
+        let before = self.available.len();
+        self.available.retain(|sig, _| !sigs.contains(sig));
+        before - self.available.len()
+    }
+
+    /// Purge every view of a VC (opt-out / manual purge).
+    pub fn purge_vc(&mut self, vc: VcId) -> usize {
+        let before = self.available.len();
+        self.available.retain(|_, v| v.vc != vc);
+        before - self.available.len()
+    }
+
+    pub fn available_views(&self) -> usize {
+        self.available.len()
+    }
+
+    pub fn round_trips(&self) -> u64 {
+        self.round_trips
+    }
+
+    pub fn usage_log(&self) -> &[UsageEvent] {
+        &self.usage
+    }
+
+    pub fn views_built_total(&self) -> u64 {
+        self.usage.iter().filter(|u| u.kind == UsageKind::Built).count() as u64
+    }
+
+    pub fn views_reused_total(&self) -> u64 {
+        self.usage.iter().filter(|u| u.kind == UsageKind::Reused).count() as u64
+    }
+}
+
+/// Lock handle implementing the optimizer's coordinator interface.
+pub struct ServiceLocker<'a> {
+    svc: &'a InsightsService,
+}
+
+impl BuildCoordinator for ServiceLocker<'_> {
+    fn try_acquire(&mut self, sig: Sig128) -> bool {
+        self.svc.locks.lock().insert(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_common::ids::VersionGuid;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::DataType;
+    use cv_engine::expr::{col, lit};
+    use cv_engine::plan::LogicalPlan;
+    use cv_engine::signature::{enumerate_subexpressions, SignatureConfig};
+    use std::sync::Arc;
+
+    fn subexprs() -> Vec<SubexprInfo> {
+        let scan = Arc::new(LogicalPlan::Scan {
+            dataset: "sales".into(),
+            guid: VersionGuid(1),
+            schema: Schema::new(vec![Field::new("seg", DataType::Str)]).unwrap().into_ref(),
+        });
+        let plan = Arc::new(LogicalPlan::Filter {
+            predicate: col("seg").eq(lit("asia")),
+            input: scan,
+        });
+        enumerate_subexpressions(&plan, &SignatureConfig::default())
+    }
+
+    fn enabled_service() -> InsightsService {
+        InsightsService::new(Controls::opt_out())
+    }
+
+    #[test]
+    fn annotate_marks_selected_for_build() {
+        let mut svc = enabled_service();
+        let subs = subexprs();
+        let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.publish_selection(None, [filter.recurring]);
+        let (ctx, latency) = svc.annotate(VcId(0), JobId(1), &subs, SimTime::EPOCH);
+        assert_eq!(ctx.to_build.len(), 1);
+        assert!(ctx.to_build.contains(&filter.strict));
+        assert!(ctx.available.is_empty());
+        assert!(latency.seconds() > 0.0);
+        assert_eq!(svc.round_trips(), 1);
+    }
+
+    #[test]
+    fn annotate_prefers_available_over_build() {
+        let mut svc = enabled_service();
+        let subs = subexprs();
+        let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.publish_selection(None, [filter.recurring]);
+        svc.report_sealed(
+            ViewInfo {
+                strict: filter.strict,
+                recurring: filter.recurring,
+                rows: 10,
+                bytes: 100,
+                sealed_at: SimTime::EPOCH,
+                expires: SimTime::from_days(7.0),
+                vc: VcId(0),
+            },
+            JobId(1),
+        );
+        let (ctx, _) = svc.annotate(VcId(0), JobId(2), &subs, SimTime(100.0));
+        assert_eq!(ctx.available.len(), 1);
+        assert!(ctx.to_build.is_empty(), "already available; don't rebuild");
+    }
+
+    #[test]
+    fn expired_views_fall_back_to_build() {
+        let mut svc = enabled_service();
+        let subs = subexprs();
+        let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.publish_selection(None, [filter.recurring]);
+        svc.report_sealed(
+            ViewInfo {
+                strict: filter.strict,
+                recurring: filter.recurring,
+                rows: 10,
+                bytes: 100,
+                sealed_at: SimTime::EPOCH,
+                expires: SimTime::from_days(7.0),
+                vc: VcId(0),
+            },
+            JobId(1),
+        );
+        let (ctx, _) = svc.annotate(VcId(0), JobId(2), &subs, SimTime::from_days(8.0));
+        assert!(ctx.available.is_empty());
+        assert_eq!(ctx.to_build.len(), 1);
+        assert_eq!(svc.expire(SimTime::from_days(8.0)), 1);
+        assert_eq!(svc.available_views(), 0);
+    }
+
+    #[test]
+    fn controls_gate_annotations() {
+        let mut svc = InsightsService::new(Controls::default()); // opt-in, nothing enabled
+        let subs = subexprs();
+        svc.publish_selection(None, subs.iter().map(|s| s.recurring));
+        let (ctx, latency) = svc.annotate(VcId(0), JobId(1), &subs, SimTime::EPOCH);
+        assert!(ctx.is_empty());
+        assert_eq!(latency, SimDuration::ZERO);
+        assert_eq!(svc.round_trips(), 0);
+    }
+
+    #[test]
+    fn vc_tagged_selection_scopes() {
+        let mut svc = enabled_service();
+        let subs = subexprs();
+        let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.publish_selection(Some(VcId(1)), [filter.recurring]);
+        let (ctx0, _) = svc.annotate(VcId(0), JobId(1), &subs, SimTime::EPOCH);
+        assert!(ctx0.to_build.is_empty());
+        let (ctx1, _) = svc.annotate(VcId(1), JobId(2), &subs, SimTime::EPOCH);
+        assert_eq!(ctx1.to_build.len(), 1);
+    }
+
+    #[test]
+    fn locks_are_exclusive_until_sealed() {
+        let svc = enabled_service();
+        let sig = Sig128(42);
+        assert!(svc.locker().try_acquire(sig));
+        assert!(!svc.locker().try_acquire(sig), "second acquire must fail");
+        assert!(svc.is_locked(sig));
+        svc.release_lock(sig);
+        assert!(svc.locker().try_acquire(sig));
+    }
+
+    #[test]
+    fn sealing_releases_lock_and_counts_usage() {
+        let mut svc = enabled_service();
+        let sig = Sig128(42);
+        assert!(svc.locker().try_acquire(sig));
+        svc.report_sealed(
+            ViewInfo {
+                strict: sig,
+                recurring: Sig128(43),
+                rows: 1,
+                bytes: 10,
+                sealed_at: SimTime(5.0),
+                expires: SimTime::from_days(7.0),
+                vc: VcId(0),
+            },
+            JobId(1),
+        );
+        assert!(!svc.is_locked(sig));
+        assert_eq!(svc.views_built_total(), 1);
+        svc.record_reuse(&[sig, sig], JobId(2), SimTime(10.0));
+        assert_eq!(svc.views_reused_total(), 2);
+        assert_eq!(svc.usage_log().len(), 3);
+    }
+
+    #[test]
+    fn purge_vc_drops_views() {
+        let mut svc = enabled_service();
+        for (i, vc) in [(1u128, 0u64), (2, 0), (3, 1)] {
+            svc.report_sealed(
+                ViewInfo {
+                    strict: Sig128(i),
+                    recurring: Sig128(i),
+                    rows: 1,
+                    bytes: 1,
+                    sealed_at: SimTime::EPOCH,
+                    expires: SimTime::from_days(7.0),
+                    vc: VcId(vc),
+                },
+                JobId(0),
+            );
+        }
+        assert_eq!(svc.purge_vc(VcId(0)), 2);
+        assert_eq!(svc.available_views(), 1);
+    }
+}

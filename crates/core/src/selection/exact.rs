@@ -1,0 +1,165 @@
+//! Exact branch-and-bound selection — the optimality oracle.
+//!
+//! Exponential in the candidate count, so it caps the instance size; tests
+//! use it to verify the heuristics, and the selection-ablation bench
+//! reports their gap on small instances. (The production system cannot run
+//! anything like this at "Cosmos scale" — that is precisely why BigSubs
+//! exists, §2.4.)
+
+use super::{within_constraints, Selection, SelectionConstraints, ViewSelector};
+use crate::candidates::SelectionProblem;
+
+/// Branch-and-bound exact selector.
+#[derive(Debug, Clone)]
+pub struct ExactSelector {
+    /// Refuses instances with more candidates than this.
+    pub max_candidates: usize,
+}
+
+impl Default for ExactSelector {
+    fn default() -> Self {
+        ExactSelector { max_candidates: 20 }
+    }
+}
+
+struct Search<'a> {
+    problem: &'a SelectionProblem,
+    constraints: &'a SelectionConstraints,
+    /// `suffix_bound[i]`: upper bound on the extra value candidates `i..`
+    /// can add — the sum of all their occurrence works (adding a candidate
+    /// can never contribute more than every occurrence it covers).
+    suffix_bound: Vec<f64>,
+    best_value: f64,
+    best_mask: Vec<bool>,
+}
+
+impl Search<'_> {
+    /// `value_so_far` is the exact value of the current prefix assignment
+    /// with all candidates `i..` deselected.
+    fn recurse(&mut self, mask: &mut Vec<bool>, i: usize, value_so_far: f64) {
+        if i == mask.len() {
+            if value_so_far > self.best_value {
+                self.best_value = value_so_far;
+                self.best_mask = mask.clone();
+            }
+            return;
+        }
+        if value_so_far + self.suffix_bound[i] <= self.best_value {
+            return; // cannot beat the incumbent
+        }
+        // Branch 1: include i (if feasible).
+        mask[i] = true;
+        if within_constraints(self.problem, mask, self.constraints) {
+            let (v, _) = self.problem.evaluate(mask);
+            self.recurse(mask, i + 1, v);
+        }
+        mask[i] = false;
+        // Branch 2: exclude i.
+        self.recurse(mask, i + 1, value_so_far);
+    }
+}
+
+impl ViewSelector for ExactSelector {
+    fn name(&self) -> &'static str {
+        "exact"
+    }
+
+    fn select(&self, problem: &SelectionProblem, constraints: &SelectionConstraints) -> Selection {
+        let n = problem.candidates.len();
+        if n == 0 {
+            return Selection::default();
+        }
+        assert!(
+            n <= self.max_candidates,
+            "exact selection over {n} candidates would explode; cap is {}",
+            self.max_candidates
+        );
+        // Occurrence-work sums per candidate (true upper bound on marginal
+        // contribution).
+        let mut occ_work = vec![0.0f64; n];
+        for q in &problem.queries {
+            for occ in &q.occurrences {
+                occ_work[occ.candidate] += occ.work;
+            }
+        }
+        let mut suffix_bound = vec![0.0; n + 1];
+        for i in (0..n).rev() {
+            suffix_bound[i] = suffix_bound[i + 1] + occ_work[i];
+        }
+
+        let mut search = Search {
+            problem,
+            constraints,
+            suffix_bound,
+            best_value: 0.0,
+            best_mask: vec![false; n],
+        };
+        let mut mask = vec![false; n];
+        search.recurse(&mut mask, 0, 0.0);
+        Selection::from_mask(problem, &search.best_mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::build_problem;
+    use crate::candidates::tests::demo_repo;
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let p = build_problem(&demo_repo(3), 2);
+        let n = p.candidates.len();
+        assert!(n <= 6, "keep brute force tractable");
+        let constraints = SelectionConstraints::default();
+        let exact = ExactSelector::default().select(&p, &constraints);
+        let mut best = 0.0f64;
+        for bits in 0..(1u32 << n) {
+            let mask: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if !super::within_constraints(&p, &mask, &constraints) {
+                continue;
+            }
+            best = best.max(p.evaluate(&mask).0);
+        }
+        assert!(
+            (exact.est_savings - best).abs() < 1e-9,
+            "exact {} != brute force {}",
+            exact.est_savings,
+            best
+        );
+    }
+
+    #[test]
+    fn exact_with_budget_matches_constrained_brute_force() {
+        let p = build_problem(&demo_repo(3), 2);
+        let n = p.candidates.len();
+        let budget = p.candidates.iter().map(|c| c.storage()).min().unwrap() * 2;
+        let constraints = SelectionConstraints::with_budget(budget);
+        let exact = ExactSelector::default().select(&p, &constraints);
+        let mut best = 0.0f64;
+        for bits in 0..(1u32 << n) {
+            let mask: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            if !super::within_constraints(&p, &mask, &constraints) {
+                continue;
+            }
+            best = best.max(p.evaluate(&mask).0);
+        }
+        assert!((exact.est_savings - best).abs() < 1e-9);
+        assert!(exact.est_storage <= budget);
+    }
+
+    #[test]
+    #[should_panic(expected = "would explode")]
+    fn refuses_oversized_instances() {
+        let p = build_problem(&demo_repo(3), 2);
+        let tiny = ExactSelector { max_candidates: 1 };
+        tiny.select(&p, &SelectionConstraints::default());
+    }
+
+    #[test]
+    fn never_returns_negative_value() {
+        let p = build_problem(&demo_repo(2), 2);
+        let sel = ExactSelector::default().select(&p, &SelectionConstraints::default());
+        assert!(sel.est_savings >= 0.0);
+    }
+}

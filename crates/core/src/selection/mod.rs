@@ -1,0 +1,223 @@
+//! View selection: which candidate subexpressions to materialize.
+//!
+//! Three interchangeable algorithms behind one trait:
+//!
+//! * [`GreedySelector`] — utility-density knapsack (the classical baseline);
+//! * [`LabelPropagationSelector`] — BigSubs-style [24] iterative
+//!   query↔subexpression label propagation, the production algorithm;
+//! * [`ExactSelector`] — branch-and-bound oracle for small instances (tests
+//!   verify the heuristics against it).
+//!
+//! Plus the two operational wrappers from §4: **schedule-aware** filtering
+//! (discount consumers submitted before the producer can seal) and
+//! **per-VC** selection with per-VC budgets.
+
+pub mod exact;
+pub mod greedy;
+pub mod labelprop;
+pub mod pervc;
+pub mod schedule;
+
+pub use exact::ExactSelector;
+pub use greedy::GreedySelector;
+pub use labelprop::LabelPropagationSelector;
+pub use pervc::select_per_vc;
+pub use schedule::apply_schedule_awareness;
+
+use crate::candidates::SelectionProblem;
+use cv_common::hash::Sig128;
+use serde::{Deserialize, Serialize};
+
+/// Constraints a selection must respect (paper Fig. 5: "storage and other
+/// constraints", "user control for #views/job").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SelectionConstraints {
+    /// Total bytes of views allowed (per scope: global or per-VC).
+    pub storage_budget_bytes: u64,
+    /// Optional cap on the number of selected views.
+    pub max_views: Option<usize>,
+    /// Candidates must save at least this much to be considered.
+    pub min_utility: f64,
+}
+
+impl Default for SelectionConstraints {
+    fn default() -> Self {
+        SelectionConstraints {
+            storage_budget_bytes: 64 * 1024 * 1024,
+            max_views: None,
+            min_utility: 0.0,
+        }
+    }
+}
+
+impl SelectionConstraints {
+    pub fn with_budget(bytes: u64) -> SelectionConstraints {
+        SelectionConstraints { storage_budget_bytes: bytes, ..Default::default() }
+    }
+}
+
+/// The output of selection.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Selection {
+    /// Recurring signatures of the chosen views.
+    pub chosen: Vec<Sig128>,
+    /// Estimated compute savings under the problem's evaluation model.
+    pub est_savings: f64,
+    /// Total estimated storage.
+    pub est_storage: u64,
+}
+
+impl Selection {
+    pub fn from_mask(problem: &SelectionProblem, mask: &[bool]) -> Selection {
+        let (est_savings, est_storage) = problem.evaluate(mask);
+        let chosen = problem
+            .candidates
+            .iter()
+            .zip(mask)
+            .filter(|(_, &m)| m)
+            .map(|(c, _)| c.recurring)
+            .collect();
+        Selection { chosen, est_savings, est_storage }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.chosen.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Merge two selections (used by per-VC selection).
+    pub fn merge(&mut self, other: Selection) {
+        for sig in other.chosen {
+            if !self.chosen.contains(&sig) {
+                self.chosen.push(sig);
+            }
+        }
+        self.est_savings += other.est_savings;
+        self.est_storage += other.est_storage;
+    }
+}
+
+/// A view-selection algorithm.
+pub trait ViewSelector {
+    fn name(&self) -> &'static str;
+    fn select(&self, problem: &SelectionProblem, constraints: &SelectionConstraints) -> Selection;
+}
+
+/// Shared helper: does a mask respect the constraints?
+pub(crate) fn within_constraints(
+    problem: &SelectionProblem,
+    mask: &[bool],
+    constraints: &SelectionConstraints,
+) -> bool {
+    let count = mask.iter().filter(|&&m| m).count();
+    if let Some(max) = constraints.max_views {
+        if count > max {
+            return false;
+        }
+    }
+    let storage: u64 = problem
+        .candidates
+        .iter()
+        .zip(mask)
+        .filter(|(_, &m)| m)
+        .map(|(c, _)| c.storage())
+        .sum();
+    storage <= constraints.storage_budget_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::tests::demo_repo;
+    use crate::candidates::build_problem;
+
+    fn problem() -> SelectionProblem {
+        build_problem(&demo_repo(4), 2)
+    }
+
+    #[test]
+    fn all_selectors_respect_budget_and_agree_with_exact_on_small_instances() {
+        let p = problem();
+        let selectors: Vec<Box<dyn ViewSelector>> = vec![
+            Box::new(GreedySelector),
+            Box::new(LabelPropagationSelector::default()),
+            Box::new(ExactSelector::default()),
+        ];
+        // Try several budgets, from "nothing fits" to "everything fits".
+        let max_storage: u64 = p.candidates.iter().map(|c| c.storage()).sum();
+        for budget in [0, max_storage / 4, max_storage / 2, max_storage * 2] {
+            let constraints = SelectionConstraints::with_budget(budget);
+            let exact = ExactSelector::default().select(&p, &constraints);
+            for s in &selectors {
+                let sel = s.select(&p, &constraints);
+                assert!(
+                    sel.est_storage <= budget || sel.is_empty(),
+                    "{} exceeded budget {budget}: used {}",
+                    s.name(),
+                    sel.est_storage
+                );
+                // Heuristics must be within the oracle's value (never above,
+                // since exact is optimal under the same evaluation).
+                assert!(
+                    sel.est_savings <= exact.est_savings + 1e-6,
+                    "{} beat the oracle?! {} > {}",
+                    s.name(),
+                    sel.est_savings,
+                    exact.est_savings
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_views_cap_respected() {
+        let p = problem();
+        let mut constraints = SelectionConstraints::with_budget(u64::MAX / 2);
+        constraints.max_views = Some(1);
+        for s in [
+            &GreedySelector as &dyn ViewSelector,
+            &LabelPropagationSelector::default(),
+            &ExactSelector::default(),
+        ] {
+            let sel = s.select(&p, &constraints);
+            assert!(sel.len() <= 1, "{} ignored max_views", s.name());
+        }
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let p = problem();
+        let constraints = SelectionConstraints::with_budget(0);
+        for s in [
+            &GreedySelector as &dyn ViewSelector,
+            &LabelPropagationSelector::default(),
+            &ExactSelector::default(),
+        ] {
+            assert!(s.select(&p, &constraints).is_empty(), "{}", s.name());
+        }
+    }
+
+    #[test]
+    fn empty_problem_selects_nothing() {
+        let p = SelectionProblem::default();
+        let sel = GreedySelector.select(&p, &SelectionConstraints::default());
+        assert!(sel.is_empty());
+        assert_eq!(sel.est_savings, 0.0);
+    }
+
+    #[test]
+    fn selection_merge_dedups() {
+        let mut a = Selection {
+            chosen: vec![Sig128(1), Sig128(2)],
+            est_savings: 10.0,
+            est_storage: 100,
+        };
+        let b = Selection { chosen: vec![Sig128(2), Sig128(3)], est_savings: 5.0, est_storage: 50 };
+        a.merge(b);
+        assert_eq!(a.chosen.len(), 3);
+        assert_eq!(a.est_storage, 150);
+    }
+}

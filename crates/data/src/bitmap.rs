@@ -1,0 +1,183 @@
+//! Compact validity bitmap for columnar data.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-length bitset. Bit `i` set means "row `i` is valid (non-null)".
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// All-valid bitmap of the given length.
+    pub fn all_set(len: usize) -> Bitmap {
+        let mut b = Bitmap { words: vec![u64::MAX; len.div_ceil(64)], len };
+        b.mask_tail();
+        b
+    }
+
+    /// All-null bitmap of the given length.
+    pub fn all_clear(len: usize) -> Bitmap {
+        Bitmap { words: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Build from a bool slice (`true` = valid).
+    pub fn from_bools(bits: &[bool]) -> Bitmap {
+        let mut b = Bitmap::all_clear(bits.len());
+        for (i, &v) in bits.iter().enumerate() {
+            if v {
+                b.set(i, true);
+            }
+        }
+        b
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, v: bool) {
+        debug_assert!(i < self.len);
+        let (w, bit) = (i / 64, i % 64);
+        if v {
+            self.words[w] |= 1 << bit;
+        } else {
+            self.words[w] &= !(1 << bit);
+        }
+    }
+
+    pub fn push(&mut self, v: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        self.len += 1;
+        self.set(self.len - 1, v);
+    }
+
+    /// Number of set (valid) bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if every bit is set (no nulls).
+    pub fn all_true(&self) -> bool {
+        self.count_set() == self.len
+    }
+
+    /// Keep only positions where `mask[i]` is true, preserving order.
+    pub fn filter(&self, mask: &[bool]) -> Bitmap {
+        assert_eq!(mask.len(), self.len);
+        let mut out = Bitmap::all_clear(mask.iter().filter(|&&m| m).count());
+        let mut j = 0;
+        for (i, &m) in mask.iter().enumerate() {
+            if m {
+                out.set(j, self.get(i));
+                j += 1;
+            }
+        }
+        out
+    }
+
+    /// Gather positions by index.
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        let mut out = Bitmap::all_clear(indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            out.set(j, self.get(i));
+        }
+        out
+    }
+
+    fn mask_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_set_and_clear() {
+        let b = Bitmap::all_set(70);
+        assert_eq!(b.len(), 70);
+        assert_eq!(b.count_set(), 70);
+        assert!(b.all_true());
+        let c = Bitmap::all_clear(70);
+        assert_eq!(c.count_set(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundary() {
+        let mut b = Bitmap::all_clear(130);
+        for i in [0, 63, 64, 65, 127, 128, 129] {
+            b.set(i, true);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_set(), 7);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_set(), 6);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut b = Bitmap::all_clear(0);
+        for i in 0..100 {
+            b.push(i % 3 == 0);
+        }
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.count_set(), 34);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let bools: Vec<bool> = (0..75).map(|i| i % 2 == 0).collect();
+        let b = Bitmap::from_bools(&bools);
+        for (i, &v) in bools.iter().enumerate() {
+            assert_eq!(b.get(i), v);
+        }
+    }
+
+    #[test]
+    fn filter_keeps_selected() {
+        let b = Bitmap::from_bools(&[true, false, true, false, true]);
+        let mask = [true, true, false, false, true];
+        let f = b.filter(&mask);
+        assert_eq!(f.len(), 3);
+        assert!(f.get(0));
+        assert!(!f.get(1));
+        assert!(f.get(2));
+    }
+
+    #[test]
+    fn take_gathers() {
+        let b = Bitmap::from_bools(&[true, false, true]);
+        let t = b.take(&[2, 2, 0, 1]);
+        assert_eq!(t.len(), 4);
+        assert!(t.get(0) && t.get(1) && t.get(2));
+        assert!(!t.get(3));
+    }
+
+    #[test]
+    fn tail_bits_are_masked() {
+        let b = Bitmap::all_set(3);
+        assert_eq!(b.count_set(), 3);
+    }
+}

@@ -1,0 +1,321 @@
+//! The versioned dataset catalog — the reproduction's Cosmos store.
+//!
+//! Shared datasets in Cosmos are *written once, read many times* and
+//! periodically bulk-regenerated (paper §1, "Opportunities"). Every
+//! regeneration mints a new GUID; strict signatures hash the GUID, which is
+//! how CloudViews avoids view maintenance entirely: a view over version N
+//! simply never matches a query over version N+1 (paper §2.4 "Not
+//! maintained"). GDPR forget-requests also rotate the GUID (§4).
+
+use crate::schema::SchemaRef;
+use crate::table::Table;
+use crate::value::Value;
+use cv_common::ids::{DatasetId, VersionGuid};
+use cv_common::{CvError, Result, SimTime};
+use std::collections::HashMap;
+
+/// One immutable generation of a dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetVersion {
+    pub guid: VersionGuid,
+    pub generation: u64,
+    pub created: SimTime,
+    pub rows: usize,
+    pub bytes: u64,
+    /// Set when a GDPR forget-request retired this version (§4).
+    pub forgotten: bool,
+}
+
+/// A named shared dataset with its version history and current contents.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    pub id: DatasetId,
+    pub name: String,
+    pub schema: SchemaRef,
+    versions: Vec<DatasetVersion>,
+    data: Table,
+}
+
+impl Dataset {
+    pub fn current_version(&self) -> &DatasetVersion {
+        self.versions.last().expect("dataset always has ≥1 version")
+    }
+
+    pub fn current_guid(&self) -> VersionGuid {
+        self.current_version().guid
+    }
+
+    pub fn versions(&self) -> &[DatasetVersion] {
+        &self.versions
+    }
+
+    pub fn data(&self) -> &Table {
+        &self.data
+    }
+
+    pub fn rows(&self) -> usize {
+        self.data.num_rows()
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.data.byte_size()
+    }
+}
+
+/// Catalog of all shared datasets in a simulated cluster.
+#[derive(Debug, Default)]
+pub struct DatasetCatalog {
+    datasets: Vec<Dataset>,
+    by_name: HashMap<String, DatasetId>,
+}
+
+impl DatasetCatalog {
+    pub fn new() -> DatasetCatalog {
+        DatasetCatalog::default()
+    }
+
+    /// Register a new dataset with its initial contents (generation 0).
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        data: Table,
+        now: SimTime,
+    ) -> Result<DatasetId> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(CvError::constraint(format!("dataset `{name}` already exists")));
+        }
+        let id = DatasetId(self.datasets.len() as u64);
+        let version = DatasetVersion {
+            guid: VersionGuid::derive(id, 0),
+            generation: 0,
+            created: now,
+            rows: data.num_rows(),
+            bytes: data.byte_size(),
+            forgotten: false,
+        };
+        self.by_name.insert(name.clone(), id);
+        self.datasets.push(Dataset {
+            id,
+            name,
+            schema: data.schema().clone(),
+            versions: vec![version],
+            data,
+        });
+        Ok(id)
+    }
+
+    pub fn get(&self, id: DatasetId) -> Result<&Dataset> {
+        self.datasets
+            .get(id.0 as usize)
+            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))
+    }
+
+    pub fn get_by_name(&self, name: &str) -> Result<&Dataset> {
+        let id = self
+            .by_name
+            .get(name)
+            .ok_or_else(|| CvError::not_found(format!("dataset `{name}`")))?;
+        self.get(*id)
+    }
+
+    pub fn id_of(&self, name: &str) -> Option<DatasetId> {
+        self.by_name.get(name).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.datasets.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.datasets.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Dataset> {
+        self.datasets.iter()
+    }
+
+    /// Bulk-regenerate a dataset: replace contents, mint a new GUID.
+    ///
+    /// This is the *only* way dataset contents change — there are no
+    /// in-place updates, mirroring the enterprise pattern in paper §2.1.
+    pub fn bulk_update(&mut self, id: DatasetId, data: Table, now: SimTime) -> Result<VersionGuid> {
+        let ds = self
+            .datasets
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))?;
+        if data.schema().fields() != ds.schema.fields() {
+            return Err(CvError::constraint(format!(
+                "bulk update of `{}` changes schema: {} -> {}",
+                ds.name,
+                ds.schema,
+                data.schema()
+            )));
+        }
+        let generation = ds.current_version().generation + 1;
+        let version = DatasetVersion {
+            guid: VersionGuid::derive(id, generation),
+            generation,
+            created: now,
+            rows: data.num_rows(),
+            bytes: data.byte_size(),
+            forgotten: false,
+        };
+        ds.data = data;
+        let guid = version.guid;
+        ds.versions.push(version);
+        Ok(guid)
+    }
+
+    /// Apply a GDPR forget-request: delete all rows where `column == key`,
+    /// mark the old version forgotten, and mint a new GUID so that any
+    /// signature (and therefore any view) over the old version is dead.
+    pub fn gdpr_forget(
+        &mut self,
+        id: DatasetId,
+        column: &str,
+        key: &Value,
+        now: SimTime,
+    ) -> Result<GdprOutcome> {
+        let ds = self
+            .datasets
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))?;
+        let col_idx = ds
+            .schema
+            .index_of(column)
+            .ok_or_else(|| CvError::not_found(format!("column `{column}` in `{}`", ds.name)))?;
+        let old_guid = ds.current_guid();
+        let col = ds.data.column(col_idx);
+        let mask: Vec<bool> = (0..ds.data.num_rows())
+            .map(|i| col.value(i).sql_eq(key) != Some(true))
+            .collect();
+        let removed = mask.iter().filter(|&&keep| !keep).count();
+        let new_data = ds.data.filter(&mask)?;
+        if let Some(last) = ds.versions.last_mut() {
+            last.forgotten = true;
+        }
+        let generation = ds.current_version().generation + 1;
+        let version = DatasetVersion {
+            guid: VersionGuid::derive(id, generation),
+            generation,
+            created: now,
+            rows: new_data.num_rows(),
+            bytes: new_data.byte_size(),
+            forgotten: false,
+        };
+        ds.data = new_data;
+        let new_guid = version.guid;
+        ds.versions.push(version);
+        Ok(GdprOutcome { rows_removed: removed, old_guid, new_guid })
+    }
+
+    /// Total bytes across current versions (capacity planning in benches).
+    pub fn total_bytes(&self) -> u64 {
+        self.datasets.iter().map(Dataset::bytes).sum()
+    }
+}
+
+/// Result of a GDPR forget-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GdprOutcome {
+    pub rows_removed: usize,
+    pub old_guid: VersionGuid,
+    pub new_guid: VersionGuid,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::DataType;
+
+    fn users_table(ids: &[i64]) -> Table {
+        let schema = Schema::new(vec![
+            Field::new("user_id", DataType::Int),
+            Field::new("region", DataType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        let rows: Vec<Vec<Value>> = ids
+            .iter()
+            .map(|&i| vec![Value::Int(i), Value::Str("asia".into())])
+            .collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2, 3]), SimTime::EPOCH).unwrap();
+        assert_eq!(cat.get(id).unwrap().name, "users");
+        assert_eq!(cat.get_by_name("users").unwrap().rows(), 3);
+        assert!(cat.get_by_name("nope").is_err());
+        assert_eq!(cat.id_of("users"), Some(id));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut cat = DatasetCatalog::new();
+        cat.register("users", users_table(&[1]), SimTime::EPOCH).unwrap();
+        let err = cat.register("users", users_table(&[2]), SimTime::EPOCH).unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+    }
+
+    #[test]
+    fn bulk_update_rotates_guid() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2]), SimTime::EPOCH).unwrap();
+        let g0 = cat.get(id).unwrap().current_guid();
+        let g1 = cat.bulk_update(id, users_table(&[1, 2, 3]), SimTime::from_days(1.0)).unwrap();
+        assert_ne!(g0, g1);
+        let ds = cat.get(id).unwrap();
+        assert_eq!(ds.rows(), 3);
+        assert_eq!(ds.versions().len(), 2);
+        assert_eq!(ds.current_version().generation, 1);
+    }
+
+    #[test]
+    fn bulk_update_schema_change_rejected() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1]), SimTime::EPOCH).unwrap();
+        let other_schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let other = Table::empty(other_schema);
+        assert!(cat.bulk_update(id, other, SimTime::EPOCH).is_err());
+    }
+
+    #[test]
+    fn gdpr_forget_removes_rows_and_rotates_guid() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2, 2, 3]), SimTime::EPOCH).unwrap();
+        let before = cat.get(id).unwrap().current_guid();
+        let out = cat
+            .gdpr_forget(id, "user_id", &Value::Int(2), SimTime::from_days(0.5))
+            .unwrap();
+        assert_eq!(out.rows_removed, 2);
+        assert_eq!(out.old_guid, before);
+        assert_ne!(out.new_guid, before);
+        let ds = cat.get(id).unwrap();
+        assert_eq!(ds.rows(), 2);
+        // Old version is flagged as forgotten.
+        assert!(ds.versions()[0].forgotten);
+        assert!(!ds.current_version().forgotten);
+    }
+
+    #[test]
+    fn gdpr_forget_unknown_column_errors() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1]), SimTime::EPOCH).unwrap();
+        assert!(cat.gdpr_forget(id, "nope", &Value::Int(1), SimTime::EPOCH).is_err());
+    }
+
+    #[test]
+    fn guids_are_deterministic_per_generation() {
+        let mut cat1 = DatasetCatalog::new();
+        let mut cat2 = DatasetCatalog::new();
+        let id1 = cat1.register("a", users_table(&[1]), SimTime::EPOCH).unwrap();
+        let id2 = cat2.register("a", users_table(&[9]), SimTime::EPOCH).unwrap();
+        // GUIDs depend on (dataset id, generation) only — deterministic replay.
+        assert_eq!(cat1.get(id1).unwrap().current_guid(), cat2.get(id2).unwrap().current_guid());
+    }
+}

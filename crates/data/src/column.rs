@@ -1,0 +1,406 @@
+//! Typed columnar arrays with validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::value::{DataType, Value};
+use cv_common::{CvError, Result};
+use serde::{Deserialize, Serialize};
+
+/// The physical buffer of a column. Nulls occupy a slot with an arbitrary
+/// placeholder; validity lives in [`Column::validity`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<String>),
+    Date(Vec<i32>),
+}
+
+impl ColumnData {
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Bool(v) => v.len(),
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Date(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Bool(_) => DataType::Bool,
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Date(_) => DataType::Date,
+        }
+    }
+}
+
+/// One column of a table: typed buffer + optional validity bitmap
+/// (`None` means every row is valid).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Column {
+    data: ColumnData,
+    validity: Option<Bitmap>,
+}
+
+impl Column {
+    pub fn new(data: ColumnData, validity: Option<Bitmap>) -> Column {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), data.len(), "validity length mismatch");
+        }
+        Column { data, validity }
+    }
+
+    /// Build a column of the given type from row values, validating types.
+    pub fn from_values(dtype: DataType, values: &[Value]) -> Result<Column> {
+        let mut b = ColumnBuilder::new(dtype);
+        for v in values {
+            b.push(v)?;
+        }
+        Ok(b.finish())
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        match &self.validity {
+            Some(v) => !v.get(i),
+            None => false,
+        }
+    }
+
+    pub fn null_count(&self) -> usize {
+        match &self.validity {
+            Some(v) => v.len() - v.count_set(),
+            None => 0,
+        }
+    }
+
+    /// Row accessor (boxing into [`Value`]; fine off the hot path).
+    pub fn value(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::Int(v) => Value::Int(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Date(v) => Value::Date(v[i]),
+        }
+    }
+
+    /// Typed accessors used by the vectorized kernels; panic on type
+    /// mismatch (the planner guarantees types line up).
+    pub fn ints(&self) -> &[i64] {
+        match &self.data {
+            ColumnData::Int(v) => v,
+            other => panic!("expected INT column, got {}", other.dtype()),
+        }
+    }
+
+    pub fn floats(&self) -> &[f64] {
+        match &self.data {
+            ColumnData::Float(v) => v,
+            other => panic!("expected FLOAT column, got {}", other.dtype()),
+        }
+    }
+
+    pub fn bools(&self) -> &[bool] {
+        match &self.data {
+            ColumnData::Bool(v) => v,
+            other => panic!("expected BOOL column, got {}", other.dtype()),
+        }
+    }
+
+    pub fn strs(&self) -> &[String] {
+        match &self.data {
+            ColumnData::Str(v) => v,
+            other => panic!("expected STRING column, got {}", other.dtype()),
+        }
+    }
+
+    pub fn dates(&self) -> &[i32] {
+        match &self.data {
+            ColumnData::Date(v) => v,
+            other => panic!("expected DATE column, got {}", other.dtype()),
+        }
+    }
+
+    /// Keep rows where `mask[i]` is true.
+    pub fn filter(&self, mask: &[bool]) -> Column {
+        assert_eq!(mask.len(), self.len());
+        fn sel<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
+            v.iter()
+                .zip(mask)
+                .filter_map(|(x, &m)| if m { Some(x.clone()) } else { None })
+                .collect()
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(sel(v, mask)),
+            ColumnData::Int(v) => ColumnData::Int(sel(v, mask)),
+            ColumnData::Float(v) => ColumnData::Float(sel(v, mask)),
+            ColumnData::Str(v) => ColumnData::Str(sel(v, mask)),
+            ColumnData::Date(v) => ColumnData::Date(sel(v, mask)),
+        };
+        let validity = self.validity.as_ref().map(|v| v.filter(mask));
+        Column { data, validity }
+    }
+
+    /// Gather rows by index (indices may repeat or reorder).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        fn gather<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {
+            idx.iter().map(|&i| v[i].clone()).collect()
+        }
+        let data = match &self.data {
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
+            ColumnData::Int(v) => ColumnData::Int(gather(v, indices)),
+            ColumnData::Float(v) => ColumnData::Float(gather(v, indices)),
+            ColumnData::Str(v) => ColumnData::Str(gather(v, indices)),
+            ColumnData::Date(v) => ColumnData::Date(gather(v, indices)),
+        };
+        let validity = self.validity.as_ref().map(|v| v.take(indices));
+        Column { data, validity }
+    }
+
+    /// Concatenate two same-typed columns.
+    pub fn concat(&self, other: &Column) -> Result<Column> {
+        if self.dtype() != other.dtype() {
+            return Err(CvError::exec(format!(
+                "cannot concat {} with {}",
+                self.dtype(),
+                other.dtype()
+            )));
+        }
+        let mut b = ColumnBuilder::new(self.dtype());
+        for i in 0..self.len() {
+            b.push(&self.value(i))?;
+        }
+        for i in 0..other.len() {
+            b.push(&other.value(i))?;
+        }
+        Ok(b.finish())
+    }
+
+    /// Approximate in-memory byte size (storage accounting for views).
+    pub fn byte_size(&self) -> u64 {
+        let base = match &self.data {
+            ColumnData::Bool(v) => v.len() as u64,
+            ColumnData::Int(v) => v.len() as u64 * 8,
+            ColumnData::Float(v) => v.len() as u64 * 8,
+            ColumnData::Str(v) => v.iter().map(|s| s.len() as u64 + 4).sum(),
+            ColumnData::Date(v) => v.len() as u64 * 4,
+        };
+        base + self.validity.as_ref().map_or(0, |v| v.len() as u64 / 8)
+    }
+}
+
+/// Incremental column builder.
+#[derive(Debug)]
+pub struct ColumnBuilder {
+    data: ColumnData,
+    validity: Bitmap,
+    has_null: bool,
+}
+
+impl ColumnBuilder {
+    pub fn new(dtype: DataType) -> ColumnBuilder {
+        let data = match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::new()),
+            DataType::Int => ColumnData::Int(Vec::new()),
+            DataType::Float => ColumnData::Float(Vec::new()),
+            DataType::Str => ColumnData::Str(Vec::new()),
+            DataType::Date => ColumnData::Date(Vec::new()),
+        };
+        ColumnBuilder { data, validity: Bitmap::all_clear(0), has_null: false }
+    }
+
+    pub fn with_capacity(dtype: DataType, cap: usize) -> ColumnBuilder {
+        let data = match dtype {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(cap)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(cap)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(cap)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(cap)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(cap)),
+        };
+        ColumnBuilder { data, validity: Bitmap::all_clear(0), has_null: false }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Append a value; `Null` is accepted for any type, `Int` coerces into
+    /// `Float`/`Date` columns (planner-inserted casts make this rare).
+    pub fn push(&mut self, v: &Value) -> Result<()> {
+        if v.is_null() {
+            self.push_null();
+            return Ok(());
+        }
+        match (&mut self.data, v) {
+            (ColumnData::Bool(buf), Value::Bool(b)) => buf.push(*b),
+            (ColumnData::Int(buf), Value::Int(i)) => buf.push(*i),
+            (ColumnData::Float(buf), Value::Float(f)) => buf.push(*f),
+            (ColumnData::Float(buf), Value::Int(i)) => buf.push(*i as f64),
+            (ColumnData::Str(buf), Value::Str(s)) => buf.push(s.clone()),
+            (ColumnData::Date(buf), Value::Date(d)) => buf.push(*d),
+            (ColumnData::Date(buf), Value::Int(i)) => buf.push(*i as i32),
+            (data, v) => {
+                return Err(CvError::exec(format!(
+                    "type mismatch: cannot push {v} into {} column",
+                    data.dtype()
+                )))
+            }
+        }
+        self.validity.push(true);
+        Ok(())
+    }
+
+    pub fn push_null(&mut self) {
+        match &mut self.data {
+            ColumnData::Bool(buf) => buf.push(false),
+            ColumnData::Int(buf) => buf.push(0),
+            ColumnData::Float(buf) => buf.push(0.0),
+            ColumnData::Str(buf) => buf.push(String::new()),
+            ColumnData::Date(buf) => buf.push(0),
+        }
+        self.validity.push(false);
+        self.has_null = true;
+    }
+
+    pub fn finish(self) -> Column {
+        let validity = if self.has_null { Some(self.validity) } else { None };
+        Column { data: self.data, validity }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_col(vals: &[Option<i64>]) -> Column {
+        let values: Vec<Value> =
+            vals.iter().map(|v| v.map_or(Value::Null, Value::Int)).collect();
+        Column::from_values(DataType::Int, &values).unwrap()
+    }
+
+    #[test]
+    fn build_and_read_back() {
+        let c = int_col(&[Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert!(c.value(1).is_null());
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.dtype(), DataType::Int);
+    }
+
+    #[test]
+    fn no_nulls_means_no_validity_allocation() {
+        let c = int_col(&[Some(1), Some(2)]);
+        assert_eq!(c.null_count(), 0);
+        assert!(!c.is_null(0));
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let err =
+            Column::from_values(DataType::Int, &[Value::Str("x".into())]).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+    }
+
+    #[test]
+    fn int_coerces_to_float() {
+        let c = Column::from_values(DataType::Float, &[Value::Int(2), Value::Float(0.5)])
+            .unwrap();
+        assert_eq!(c.value(0), Value::Float(2.0));
+        assert_eq!(c.floats(), &[2.0, 0.5]);
+    }
+
+    #[test]
+    fn filter_preserves_nulls() {
+        let c = int_col(&[Some(1), None, Some(3), None]);
+        let f = c.filter(&[true, true, false, true]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.value(0), Value::Int(1));
+        assert!(f.value(1).is_null());
+        assert!(f.value(2).is_null());
+    }
+
+    #[test]
+    fn take_reorders_and_repeats() {
+        let c = int_col(&[Some(10), Some(20), None]);
+        let t = c.take(&[2, 0, 0, 1]);
+        assert_eq!(t.len(), 4);
+        assert!(t.value(0).is_null());
+        assert_eq!(t.value(1), Value::Int(10));
+        assert_eq!(t.value(3), Value::Int(20));
+    }
+
+    #[test]
+    fn concat_same_type() {
+        let a = int_col(&[Some(1)]);
+        let b = int_col(&[None, Some(2)]);
+        let c = a.concat(&b).unwrap();
+        assert_eq!(c.len(), 3);
+        assert!(c.value(1).is_null());
+    }
+
+    #[test]
+    fn concat_type_mismatch_fails() {
+        let a = int_col(&[Some(1)]);
+        let b = Column::from_values(DataType::Str, &[Value::Str("x".into())]).unwrap();
+        assert!(a.concat(&b).is_err());
+    }
+
+    #[test]
+    fn string_column_roundtrip() {
+        let c = Column::from_values(
+            DataType::Str,
+            &[Value::Str("asia".into()), Value::Null, Value::Str("emea".into())],
+        )
+        .unwrap();
+        assert_eq!(c.value(0), Value::Str("asia".into()));
+        assert_eq!(c.strs()[2], "emea");
+        assert!(c.byte_size() > 0);
+    }
+
+    #[test]
+    fn typed_accessor_panics_on_wrong_type() {
+        let c = int_col(&[Some(1)]);
+        let res = std::panic::catch_unwind(|| c.floats().len());
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn byte_size_scales_with_rows() {
+        let small = int_col(&[Some(1)]);
+        let big = int_col(&(0..100).map(Some).collect::<Vec<_>>());
+        assert!(big.byte_size() > small.byte_size());
+    }
+}

@@ -1,0 +1,28 @@
+//! In-memory data layer for the CloudViews reproduction.
+//!
+//! This crate plays the role of the Cosmos store + ADLS in the paper:
+//!
+//! * typed scalar [`value::Value`]s and [`schema::Schema`]s,
+//! * columnar [`column::Column`]s with validity bitmaps and a single-chunk
+//!   [`table::Table`] abstraction the executor operates on,
+//! * a [`catalog::DatasetCatalog`] of *versioned* shared datasets — Cosmos
+//!   datasets are bulk-regenerated (never updated in place), each
+//!   regeneration minting a fresh GUID that strict signatures hash,
+//! * a [`viewstore::ViewStore`] holding materialized common subexpressions
+//!   with TTL expiry (paper: one week) and GDPR-driven invalidation.
+
+pub mod bitmap;
+pub mod catalog;
+pub mod column;
+pub mod schema;
+pub mod table;
+pub mod value;
+pub mod viewstore;
+
+pub use bitmap::Bitmap;
+pub use catalog::{Dataset, DatasetCatalog, DatasetVersion};
+pub use column::{Column, ColumnBuilder, ColumnData};
+pub use schema::{Field, Schema, SchemaRef};
+pub use table::Table;
+pub use value::{DataType, Value};
+pub use viewstore::{MaterializedView, ViewStore, ViewStoreStats};

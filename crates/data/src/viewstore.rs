@@ -1,0 +1,309 @@
+//! The materialized-view store.
+//!
+//! CloudViews materializes common subexpressions to stable storage as part of
+//! query processing. Views here are "cheap throw-away" artifacts (paper
+//! §2.4): never maintained, keyed by *strict* signature (so a new input
+//! version simply misses), expired after a TTL (production: one week), and
+//! purged when GDPR rotates an input GUID they were derived from.
+
+use crate::schema::SchemaRef;
+use crate::table::Table;
+use cv_common::ids::{JobId, VcId, VersionGuid};
+use cv_common::{CvError, Result, Sig128, SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// A materialized common subexpression.
+#[derive(Clone, Debug)]
+pub struct MaterializedView {
+    /// Strict signature: identity of the computation *including* input GUIDs.
+    pub strict_sig: Sig128,
+    /// Recurring signature: identity across input versions (for analysis).
+    pub recurring_sig: Sig128,
+    pub schema: SchemaRef,
+    pub data: Table,
+    pub rows: usize,
+    pub bytes: u64,
+    pub created: SimTime,
+    pub expires: SimTime,
+    pub creator_job: JobId,
+    pub vc: VcId,
+    /// The input versions this view was computed from; a GDPR rotation of
+    /// any of these purges the view.
+    pub input_guids: Vec<VersionGuid>,
+    /// Observed cost (work units) of producing this view — this is the
+    /// "accurate statistics" CloudViews feeds back into the optimizer.
+    pub observed_work: f64,
+}
+
+/// Aggregate counters for usage reporting (paper Fig. 6a).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ViewStoreStats {
+    pub views_created: u64,
+    pub views_reused: u64,
+    pub views_expired: u64,
+    pub views_purged: u64,
+    pub bytes_written: u64,
+    pub bytes_served: u64,
+}
+
+/// In-memory view store with per-VC storage accounting and TTL expiry.
+#[derive(Debug)]
+pub struct ViewStore {
+    ttl: SimDuration,
+    views: HashMap<Sig128, MaterializedView>,
+    storage_by_vc: HashMap<VcId, u64>,
+    stats: ViewStoreStats,
+}
+
+impl ViewStore {
+    /// `ttl` is the view lifetime; the paper's production policy is 7 days.
+    pub fn new(ttl: SimDuration) -> ViewStore {
+        ViewStore {
+            ttl,
+            views: HashMap::new(),
+            storage_by_vc: HashMap::new(),
+            stats: ViewStoreStats::default(),
+        }
+    }
+
+    pub fn with_default_ttl() -> ViewStore {
+        ViewStore::new(SimDuration::from_days(7.0))
+    }
+
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Insert a freshly sealed view. Duplicate strict signatures are
+    /// idempotent (the insights-service lock normally prevents races; a
+    /// second insert can still happen after a lock timeout and must not
+    /// double-count storage).
+    pub fn insert(&mut self, mut view: MaterializedView) -> Result<()> {
+        if self.views.contains_key(&view.strict_sig) {
+            return Ok(()); // idempotent
+        }
+        view.expires = view.created + self.ttl;
+        view.bytes = view.data.byte_size();
+        view.rows = view.data.num_rows();
+        *self.storage_by_vc.entry(view.vc).or_insert(0) += view.bytes;
+        self.stats.views_created += 1;
+        self.stats.bytes_written += view.bytes;
+        self.views.insert(view.strict_sig, view);
+        Ok(())
+    }
+
+    /// Look up a live view by strict signature, recording a reuse hit.
+    pub fn fetch(&mut self, sig: Sig128, now: SimTime) -> Option<&MaterializedView> {
+        let live = match self.views.get(&sig) {
+            Some(v) => now < v.expires,
+            None => return None,
+        };
+        if !live {
+            return None;
+        }
+        let v = self.views.get(&sig).expect("checked above");
+        self.stats.views_reused += 1;
+        self.stats.bytes_served += v.bytes;
+        Some(v)
+    }
+
+    /// Peek without counting a reuse (planning-time existence checks).
+    pub fn peek(&self, sig: Sig128, now: SimTime) -> Option<&MaterializedView> {
+        self.views.get(&sig).filter(|v| now < v.expires)
+    }
+
+    pub fn contains_live(&self, sig: Sig128, now: SimTime) -> bool {
+        self.peek(sig, now).is_some()
+    }
+
+    /// Drop expired views, returning how many were evicted.
+    pub fn evict_expired(&mut self, now: SimTime) -> usize {
+        let dead: Vec<Sig128> = self
+            .views
+            .values()
+            .filter(|v| now >= v.expires)
+            .map(|v| v.strict_sig)
+            .collect();
+        for sig in &dead {
+            self.remove(*sig);
+            self.stats.views_expired += 1;
+        }
+        dead.len()
+    }
+
+    /// Purge all views derived from the given (now forgotten) input version.
+    pub fn purge_input(&mut self, guid: VersionGuid) -> usize {
+        let dead: Vec<Sig128> = self
+            .views
+            .values()
+            .filter(|v| v.input_guids.contains(&guid))
+            .map(|v| v.strict_sig)
+            .collect();
+        for sig in &dead {
+            self.remove(*sig);
+            self.stats.views_purged += 1;
+        }
+        dead.len()
+    }
+
+    /// Purge every view belonging to a VC (customer opt-out / manual purge,
+    /// paper §2.4 "can even purge views whenever necessary").
+    pub fn purge_vc(&mut self, vc: VcId) -> usize {
+        let dead: Vec<Sig128> =
+            self.views.values().filter(|v| v.vc == vc).map(|v| v.strict_sig).collect();
+        for sig in &dead {
+            self.remove(*sig);
+            self.stats.views_purged += 1;
+        }
+        dead.len()
+    }
+
+    fn remove(&mut self, sig: Sig128) {
+        if let Some(v) = self.views.remove(&sig) {
+            if let Some(used) = self.storage_by_vc.get_mut(&v.vc) {
+                *used = used.saturating_sub(v.bytes);
+            }
+        }
+    }
+
+    pub fn storage_used(&self, vc: VcId) -> u64 {
+        self.storage_by_vc.get(&vc).copied().unwrap_or(0)
+    }
+
+    pub fn total_storage(&self) -> u64 {
+        self.storage_by_vc.values().sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    pub fn stats(&self) -> &ViewStoreStats {
+        &self.stats
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.values()
+    }
+
+    /// Validate a storage budget; used by tests and the selection property
+    /// checks ("selection never exceeds the storage budget").
+    pub fn check_budget(&self, vc: VcId, budget: u64) -> Result<()> {
+        let used = self.storage_used(vc);
+        if used > budget {
+            return Err(CvError::constraint(format!(
+                "VC {vc} uses {used} bytes of views, budget is {budget}"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Field, Schema};
+    use crate::value::{DataType, Value};
+
+    fn view(sig: u128, vc: u64, created: SimTime, rows: i64) -> MaterializedView {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let data = Table::from_rows(
+            schema.clone(),
+            &(0..rows).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        MaterializedView {
+            strict_sig: Sig128(sig),
+            recurring_sig: Sig128(sig ^ 0xffff),
+            schema,
+            data,
+            rows: 0,
+            bytes: 0,
+            created,
+            expires: created, // recomputed on insert
+            creator_job: JobId(1),
+            vc: VcId(vc),
+            input_guids: vec![VersionGuid(42)],
+            observed_work: 10.0,
+        }
+    }
+
+    #[test]
+    fn insert_fetch_counts_usage() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 5)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert!(store.fetch(Sig128(1), SimTime::from_days(1.0)).is_some());
+        assert!(store.fetch(Sig128(2), SimTime::from_days(1.0)).is_none());
+        assert_eq!(store.stats().views_created, 1);
+        assert_eq!(store.stats().views_reused, 1);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 5)).unwrap();
+        let before = store.total_storage();
+        store.insert(view(1, 0, SimTime::EPOCH, 5)).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.total_storage(), before);
+        assert_eq!(store.stats().views_created, 1);
+    }
+
+    #[test]
+    fn ttl_expiry() {
+        let mut store = ViewStore::new(SimDuration::from_days(7.0));
+        store.insert(view(1, 0, SimTime::EPOCH, 3)).unwrap();
+        // Live at day 6.9, dead at day 7.1.
+        assert!(store.fetch(Sig128(1), SimTime::from_days(6.9)).is_some());
+        assert!(store.fetch(Sig128(1), SimTime::from_days(7.1)).is_none());
+        assert_eq!(store.evict_expired(SimTime::from_days(7.1)), 1);
+        assert_eq!(store.len(), 0);
+        assert_eq!(store.stats().views_expired, 1);
+        assert_eq!(store.total_storage(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_count_reuse() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 3)).unwrap();
+        assert!(store.peek(Sig128(1), SimTime::EPOCH).is_some());
+        assert_eq!(store.stats().views_reused, 0);
+    }
+
+    #[test]
+    fn gdpr_purge_by_input_guid() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 3)).unwrap();
+        let mut v2 = view(2, 0, SimTime::EPOCH, 3);
+        v2.input_guids = vec![VersionGuid(99)];
+        store.insert(v2).unwrap();
+        assert_eq!(store.purge_input(VersionGuid(42)), 1);
+        assert!(store.peek(Sig128(1), SimTime::EPOCH).is_none());
+        assert!(store.peek(Sig128(2), SimTime::EPOCH).is_some());
+    }
+
+    #[test]
+    fn vc_storage_accounting_and_purge() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 7, SimTime::EPOCH, 100)).unwrap();
+        store.insert(view(2, 7, SimTime::EPOCH, 100)).unwrap();
+        store.insert(view(3, 8, SimTime::EPOCH, 100)).unwrap();
+        assert!(store.storage_used(VcId(7)) > store.storage_used(VcId(8)));
+        assert_eq!(store.purge_vc(VcId(7)), 2);
+        assert_eq!(store.storage_used(VcId(7)), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn budget_check() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 1000)).unwrap();
+        assert!(store.check_budget(VcId(0), u64::MAX).is_ok());
+        assert!(store.check_budget(VcId(0), 1).is_err());
+    }
+}

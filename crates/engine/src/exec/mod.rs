@@ -1,0 +1,1099 @@
+//! Single-node vectorized executor.
+//!
+//! Executes physical plans over the in-memory catalog, producing the result
+//! table plus the runtime telemetry the rest of the system feeds on:
+//!
+//! * per-operator **work units** (cost-model formulas charged on *actual*
+//!   row/byte counts) — the cluster simulator turns these into
+//!   container-seconds;
+//! * **input bytes** (paper Fig. 7b) and **total data read** including
+//!   intermediates (Fig. 7c);
+//! * executed **join-algorithm counts** (Fig. 9);
+//! * **pending views** captured by spool operators, to be sealed by the job
+//!   manager (early sealing happens in the cluster layer).
+
+use crate::cost::CostModel;
+use crate::expr::eval::{eval, eval_predicate, EvalCtx};
+use crate::expr::{AggExpr, AggFunc};
+use crate::physical::{JoinAlgo, JoinAlgoCounts, PhysicalPlan};
+use crate::plan::JoinKind;
+use crate::udo::UdoRegistry;
+use cv_common::hash::{Sig128, StableHasher};
+use cv_common::ids::VersionGuid;
+use cv_common::{CvError, Result, SimTime};
+use cv_data::catalog::DatasetCatalog;
+use cv_data::column::ColumnBuilder;
+use cv_data::schema::SchemaRef;
+use cv_data::table::Table;
+use cv_data::value::Value;
+use cv_data::viewstore::ViewStore;
+use std::collections::HashMap;
+
+/// Execution context: read access to storage plus the evaluation state.
+pub struct ExecContext<'a> {
+    pub catalog: &'a DatasetCatalog,
+    pub views: &'a ViewStore,
+    pub udos: &'a UdoRegistry,
+    pub now: SimTime,
+    pub eval: EvalCtx,
+}
+
+impl<'a> ExecContext<'a> {
+    pub fn new(
+        catalog: &'a DatasetCatalog,
+        views: &'a ViewStore,
+        udos: &'a UdoRegistry,
+        now: SimTime,
+    ) -> ExecContext<'a> {
+        let eval = EvalCtx::new((now.seconds() / 86_400.0) as i32);
+        ExecContext { catalog, views, udos, now, eval }
+    }
+}
+
+/// Profile of one executed operator.
+#[derive(Clone, Debug)]
+pub struct OpProfile {
+    pub kind: &'static str,
+    pub rows_out: u64,
+    pub bytes_out: u64,
+    pub work: f64,
+    pub partitions: usize,
+    /// Set for spool operators: the view being materialized.
+    pub spool_sig: Option<Sig128>,
+}
+
+/// Aggregate runtime metrics of one job execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecMetrics {
+    /// Bytes read from base datasets (paper Fig. 7b "input size").
+    pub input_bytes: u64,
+    /// Bytes read from materialized views.
+    pub view_bytes_read: u64,
+    /// All bytes flowing into operators, incl. intermediates (Fig. 7c).
+    pub data_read_bytes: u64,
+    /// Bytes written by spools to the view store.
+    pub bytes_written_views: u64,
+    pub rows_out: u64,
+    /// Total work units (≈ container-seconds at unit speed).
+    pub total_work: f64,
+    pub join_algos: JoinAlgoCounts,
+    pub op_profiles: Vec<OpProfile>,
+}
+
+/// A view captured by a spool, not yet sealed into the store.
+#[derive(Clone, Debug)]
+pub struct PendingView {
+    pub sig: Sig128,
+    pub recurring_sig: Sig128,
+    pub input_guids: Vec<VersionGuid>,
+    pub schema: SchemaRef,
+    pub data: Table,
+    /// Work units the producing subtree cost — the "accurate statistics"
+    /// stored with the view.
+    pub production_work: f64,
+    /// Work of the spool write itself (materialization overhead).
+    pub write_work: f64,
+}
+
+/// Result of executing one physical plan.
+#[derive(Clone, Debug)]
+pub struct ExecOutcome {
+    pub table: Table,
+    pub metrics: ExecMetrics,
+    pub pending_views: Vec<PendingView>,
+}
+
+/// Execute a physical plan.
+pub fn execute(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext<'_>,
+    model: &CostModel,
+) -> Result<ExecOutcome> {
+    let mut metrics = ExecMetrics::default();
+    let mut pending = Vec::new();
+    let table = exec_node(plan, ctx, model, &mut metrics, &mut pending)?;
+    metrics.rows_out = table.num_rows() as u64;
+    Ok(ExecOutcome { table, metrics, pending_views: pending })
+}
+
+fn record(
+    metrics: &mut ExecMetrics,
+    plan: &PhysicalPlan,
+    out: &Table,
+    work: f64,
+    spool_sig: Option<Sig128>,
+) {
+    metrics.total_work += work;
+    metrics.op_profiles.push(OpProfile {
+        kind: plan.kind_name(),
+        rows_out: out.num_rows() as u64,
+        bytes_out: out.byte_size(),
+        work,
+        partitions: plan.partitions(),
+        spool_sig,
+    });
+}
+
+fn exec_node(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext<'_>,
+    model: &CostModel,
+    metrics: &mut ExecMetrics,
+    pending: &mut Vec<PendingView>,
+) -> Result<Table> {
+    match plan {
+        PhysicalPlan::TableScan { dataset, guid, .. } => {
+            let ds = ctx.catalog.get_by_name(dataset)?;
+            if ds.current_guid() != *guid {
+                return Err(CvError::exec(format!(
+                    "stale plan: dataset `{dataset}` was regenerated since compilation"
+                )));
+            }
+            let table = ds.data().clone();
+            let bytes = table.byte_size();
+            metrics.input_bytes += bytes;
+            metrics.data_read_bytes += bytes;
+            let work = model.scan(bytes as f64).total();
+            record(metrics, plan, &table, work, None);
+            Ok(table)
+        }
+        PhysicalPlan::ViewScan { sig, .. } => {
+            let view = ctx.views.peek(*sig, ctx.now).ok_or_else(|| {
+                CvError::exec(format!("materialized view {} unavailable at execution", sig.short()))
+            })?;
+            let table = view.data.clone();
+            let bytes = table.byte_size();
+            metrics.view_bytes_read += bytes;
+            metrics.data_read_bytes += bytes;
+            let work = model.view_scan(bytes as f64).total();
+            record(metrics, plan, &table, work, None);
+            Ok(table)
+        }
+        PhysicalPlan::Filter { predicate, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += in_table.byte_size();
+            let mask = eval_predicate(predicate, &in_table, &mut ctx.eval)?;
+            let out = in_table.filter(&mask)?;
+            let work = model.filter(in_table.num_rows() as f64).total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::Project { exprs, schema, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += in_table.byte_size();
+            let mut columns = Vec::with_capacity(exprs.len());
+            for (e, _) in exprs {
+                columns.push(eval(e, &in_table, &mut ctx.eval)?);
+            }
+            let out = Table::new(schema.clone(), columns)?;
+            let work = model.project(in_table.num_rows() as f64, exprs.len()).total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::Join { algo, kind, on, left, right, .. } => {
+            let l = exec_node(left, ctx, model, metrics, pending)?;
+            let r = exec_node(right, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += l.byte_size() + r.byte_size();
+            let out = match algo {
+                JoinAlgo::Hash => hash_join(&l, &r, on, *kind)?,
+                JoinAlgo::Merge => merge_join(&l, &r, on, *kind)?,
+                JoinAlgo::Loop => loop_join(&l, &r, on, *kind)?,
+            };
+            match algo {
+                JoinAlgo::Hash => metrics.join_algos.hash += 1,
+                JoinAlgo::Merge => metrics.join_algos.merge += 1,
+                JoinAlgo::Loop => metrics.join_algos.loop_ += 1,
+            }
+            let (ln, rn) = (l.num_rows() as f64, r.num_rows() as f64);
+            let work = match algo {
+                JoinAlgo::Hash => model.hash_join(rn, ln),
+                JoinAlgo::Merge => model.merge_join(ln, rn),
+                JoinAlgo::Loop => model.nested_loop_join(ln, rn),
+            }
+            .total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::HashAggregate { group_by, aggs, schema, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += in_table.byte_size();
+            let out = hash_aggregate(&in_table, group_by, aggs, schema, &mut ctx.eval)?;
+            let work = model.hash_aggregate(in_table.num_rows() as f64, aggs.len()).total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::Sort { keys, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += in_table.byte_size();
+            let mut resolved = Vec::with_capacity(keys.len());
+            for (name, asc) in keys {
+                let idx = in_table
+                    .schema()
+                    .index_of(name)
+                    .ok_or_else(|| CvError::exec(format!("sort key `{name}` missing")))?;
+                resolved.push((idx, *asc));
+            }
+            let out = in_table.sort_by(&resolved)?;
+            let work = model.sort(in_table.num_rows() as f64).total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::Limit { n, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            let keep: Vec<usize> = (0..in_table.num_rows().min(*n)).collect();
+            let out = in_table.take(&keep)?;
+            record(metrics, plan, &out, model.limit().total(), None);
+            Ok(out)
+        }
+        PhysicalPlan::Union { inputs, .. } => {
+            let mut iter = inputs.iter();
+            let first = iter.next().ok_or_else(|| CvError::exec("empty UNION"))?;
+            let mut acc = exec_node(first, ctx, model, metrics, pending)?;
+            for i in iter {
+                let t = exec_node(i, ctx, model, metrics, pending)?;
+                acc = acc.concat(&t)?;
+            }
+            metrics.data_read_bytes += acc.byte_size();
+            let work = model.union(acc.num_rows() as f64).total();
+            record(metrics, plan, &acc, work, None);
+            Ok(acc)
+        }
+        PhysicalPlan::Udo { spec, input, .. } => {
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            metrics.data_read_bytes += in_table.byte_size();
+            let out = ctx.udos.apply(spec, &in_table)?;
+            let work = model.udo(in_table.num_rows() as f64).total();
+            record(metrics, plan, &out, work, None);
+            Ok(out)
+        }
+        PhysicalPlan::Spool { sig, recurring_sig, input_guids, input, .. } => {
+            let work_before = metrics.total_work;
+            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            let production_work = metrics.total_work - work_before;
+            let bytes = in_table.byte_size();
+            let write_work =
+                model.spool(in_table.num_rows() as f64, bytes as f64).total();
+            metrics.bytes_written_views += bytes;
+            pending.push(PendingView {
+                sig: *sig,
+                recurring_sig: *recurring_sig,
+                input_guids: input_guids.clone(),
+                schema: in_table.schema().clone(),
+                data: in_table.clone(),
+                production_work,
+                write_work,
+            });
+            record(metrics, plan, &in_table, write_work, Some(*sig));
+            Ok(in_table)
+        }
+    }
+}
+
+/// Hash a join/group key row; `None` if any component is NULL (SQL: null
+/// keys never join).
+fn key_hash(values: &[Value]) -> Option<u64> {
+    let mut h = StableHasher::with_domain("exec-key");
+    for v in values {
+        if v.is_null() {
+            return None;
+        }
+        v.stable_hash(&mut h);
+    }
+    Some(h.finish64())
+}
+
+fn keys_equal(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y) == Some(true))
+}
+
+/// Resolve join key columns to indices.
+fn resolve_keys(
+    left: &Table,
+    right: &Table,
+    on: &[(String, String)],
+) -> Result<(Vec<usize>, Vec<usize>)> {
+    let mut l = Vec::with_capacity(on.len());
+    let mut r = Vec::with_capacity(on.len());
+    for (lk, rk) in on {
+        l.push(
+            left.schema()
+                .index_of(lk)
+                .ok_or_else(|| CvError::exec(format!("left join key `{lk}` missing")))?,
+        );
+        r.push(
+            right
+                .schema()
+                .index_of(rk)
+                .ok_or_else(|| CvError::exec(format!("right join key `{rk}` missing")))?,
+        );
+    }
+    Ok((l, r))
+}
+
+fn key_row(t: &Table, cols: &[usize], row: usize) -> Vec<Value> {
+    cols.iter().map(|&c| t.column(c).value(row)).collect()
+}
+
+/// Assemble join output from matched index pairs. `right_idx == usize::MAX`
+/// marks a left-outer miss (right side padded with NULLs).
+fn build_join_output(
+    left: &Table,
+    right: &Table,
+    pairs: &[(usize, usize)],
+    kind: JoinKind,
+) -> Result<Table> {
+    let left_idx: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+    let left_part = left.take(&left_idx)?;
+    if kind == JoinKind::Semi {
+        return Ok(left_part);
+    }
+    // Sentinel trick: append one all-NULL row to the right table; misses
+    // index it.
+    let null_row: Vec<Value> = vec![Value::Null; right.num_columns()];
+    let mut padded_cols = Vec::with_capacity(right.num_columns());
+    for (i, col) in right.columns().iter().enumerate() {
+        let mut b = ColumnBuilder::with_capacity(col.dtype(), col.len() + 1);
+        for row in 0..col.len() {
+            b.push(&col.value(row))?;
+        }
+        b.push(&null_row[i])?;
+        padded_cols.push(b.finish());
+    }
+    let padded = Table::new(right.schema().clone(), padded_cols)?;
+    let sentinel = right.num_rows();
+    let right_idx: Vec<usize> = pairs
+        .iter()
+        .map(|&(_, r)| if r == usize::MAX { sentinel } else { r })
+        .collect();
+    let right_part = padded.take(&right_idx)?;
+    let schema = left.schema().join(right.schema())?.into_ref();
+    let mut columns = left_part.columns().to_vec();
+    columns.extend(right_part.columns().iter().cloned());
+    Table::new(schema, columns)
+}
+
+fn hash_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+    let (lk, rk) = resolve_keys(left, right, on)?;
+    // Build on the right side.
+    let mut ht: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    for row in 0..right.num_rows() {
+        if let Some(h) = key_hash(&key_row(right, &rk, row)) {
+            ht.entry(h).or_default().push(row);
+        }
+    }
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for lrow in 0..left.num_rows() {
+        let lkey = key_row(left, &lk, lrow);
+        let mut matched = false;
+        if let Some(h) = key_hash(&lkey) {
+            if let Some(cands) = ht.get(&h) {
+                for &rrow in cands {
+                    if keys_equal(&lkey, &key_row(right, &rk, rrow)) {
+                        match kind {
+                            JoinKind::Semi => {
+                                matched = true;
+                                break;
+                            }
+                            _ => {
+                                pairs.push((lrow, rrow));
+                                matched = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => pairs.push((lrow, usize::MAX)),
+            JoinKind::Left if !matched => pairs.push((lrow, usize::MAX)),
+            _ => {}
+        }
+    }
+    build_join_output(left, right, &pairs, kind)
+}
+
+fn loop_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+    let (lk, rk) = resolve_keys(left, right, on)?;
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for lrow in 0..left.num_rows() {
+        let lkey = key_row(left, &lk, lrow);
+        let mut matched = false;
+        for rrow in 0..right.num_rows() {
+            if keys_equal(&lkey, &key_row(right, &rk, rrow)) {
+                match kind {
+                    JoinKind::Semi => {
+                        matched = true;
+                        break;
+                    }
+                    _ => {
+                        pairs.push((lrow, rrow));
+                        matched = true;
+                    }
+                }
+            }
+        }
+        match kind {
+            JoinKind::Semi if matched => pairs.push((lrow, usize::MAX)),
+            JoinKind::Left if !matched => pairs.push((lrow, usize::MAX)),
+            _ => {}
+        }
+    }
+    build_join_output(left, right, &pairs, kind)
+}
+
+fn merge_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+    let (lk, rk) = resolve_keys(left, right, on)?;
+    // Sort both sides by key; keep a mapping back to original row ids so the
+    // output is assembled against the *original* tables.
+    let lsorted: Vec<usize> = sorted_indices(left, &lk);
+    let rsorted: Vec<usize> = sorted_indices(right, &rk);
+    let lkeys: Vec<Vec<Value>> = lsorted.iter().map(|&i| key_row(left, &lk, i)).collect();
+    let rkeys: Vec<Vec<Value>> = rsorted.iter().map(|&i| key_row(right, &rk, i)).collect();
+
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < lsorted.len() {
+        let lkey = &lkeys[i];
+        if lkey.iter().any(Value::is_null) {
+            // NULL keys never match.
+            if kind != JoinKind::Inner && kind != JoinKind::Semi {
+                pairs.push((lsorted[i], usize::MAX));
+            }
+            i += 1;
+            continue;
+        }
+        // Advance right to the first key ≥ lkey.
+        while j < rsorted.len()
+            && (rkeys[j].iter().any(Value::is_null) || cmp_keys(&rkeys[j], lkey).is_lt())
+        {
+            j += 1;
+        }
+        // Collect the right group equal to lkey.
+        let mut j_end = j;
+        while j_end < rsorted.len() && cmp_keys(&rkeys[j_end], lkey).is_eq() {
+            j_end += 1;
+        }
+        // Emit for every left row in this equal group.
+        let mut i_end = i;
+        while i_end < lsorted.len() && cmp_keys(&lkeys[i_end], lkey).is_eq() {
+            i_end += 1;
+        }
+        for li in i..i_end {
+            if j_end > j {
+                match kind {
+                    JoinKind::Semi => pairs.push((lsorted[li], usize::MAX)),
+                    _ => {
+                        for jj in j..j_end {
+                            pairs.push((lsorted[li], rsorted[jj]));
+                        }
+                    }
+                }
+            } else if kind == JoinKind::Left {
+                pairs.push((lsorted[li], usize::MAX));
+            }
+        }
+        i = i_end;
+    }
+    // Keep output order deterministic (by left row id, then right row id).
+    pairs.sort_unstable();
+    build_join_output(left, right, &pairs, kind)
+}
+
+fn sorted_indices(t: &Table, keys: &[usize]) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..t.num_rows()).collect();
+    idx.sort_by(|&a, &b| cmp_keys(&key_row(t, keys, a), &key_row(t, keys, b)));
+    idx
+}
+
+fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let o = x.total_cmp(y);
+        if o != std::cmp::Ordering::Equal {
+            return o;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// One aggregate accumulator.
+enum Acc {
+    Count(i64),
+    CountDistinct(std::collections::HashSet<String>),
+    Sum { total: f64, any: bool, is_int: bool },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Avg { total: f64, count: i64 },
+}
+
+impl Acc {
+    fn new(func: AggFunc, is_int: bool) -> Acc {
+        match func {
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
+            AggFunc::Sum => Acc::Sum { total: 0.0, any: false, is_int },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::Avg => Acc::Avg { total: 0.0, count: 0 },
+        }
+    }
+
+    fn update(&mut self, v: Option<&Value>) {
+        match self {
+            Acc::Count(c) => {
+                // COUNT(*) gets None arg (count every row); COUNT(x) counts
+                // non-null x.
+                match v {
+                    None => *c += 1,
+                    Some(val) if !val.is_null() => *c += 1,
+                    _ => {}
+                }
+            }
+            Acc::CountDistinct(set) => {
+                if let Some(val) = v {
+                    if !val.is_null() {
+                        set.insert(val.to_string());
+                    }
+                }
+            }
+            Acc::Sum { total, any, .. } => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *total += f;
+                        *any = true;
+                    }
+                }
+            }
+            Acc::Min(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt())
+                    {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Max(cur) => {
+                if let Some(val) = v {
+                    if !val.is_null()
+                        && cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt())
+                    {
+                        *cur = Some(val.clone());
+                    }
+                }
+            }
+            Acc::Avg { total, count } => {
+                if let Some(val) = v {
+                    if let Some(f) = val.as_f64() {
+                        *total += f;
+                        *count += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(c) => Value::Int(c),
+            Acc::CountDistinct(set) => Value::Int(set.len() as i64),
+            Acc::Sum { total, any, is_int } => {
+                if !any {
+                    Value::Null
+                } else if is_int {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::Avg { total, count } => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(total / count as f64)
+                }
+            }
+        }
+    }
+}
+
+fn hash_aggregate(
+    input: &Table,
+    group_by: &[(crate::expr::ScalarExpr, String)],
+    aggs: &[AggExpr],
+    schema: &SchemaRef,
+    eval_ctx: &mut EvalCtx,
+) -> Result<Table> {
+    // Evaluate group keys and aggregate arguments once, columnar.
+    let key_cols: Result<Vec<_>> =
+        group_by.iter().map(|(e, _)| eval(e, input, eval_ctx)).collect();
+    let key_cols = key_cols?;
+    let arg_cols: Result<Vec<Option<_>>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| eval(e, input, eval_ctx)).transpose())
+        .collect();
+    let arg_cols = arg_cols?;
+
+    // SUM over an INT input produces INT; detect from the output schema.
+    let int_sum: Vec<bool> = aggs
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            schema.field(group_by.len() + i).dtype == cv_data::value::DataType::Int
+        })
+        .collect();
+
+    struct Group {
+        key: Vec<Value>,
+        accs: Vec<Acc>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+
+    let n = input.num_rows();
+    for row in 0..n {
+        let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
+        // Group keys treat NULLs as equal; hash NULL as a fixed tag.
+        let mut h = StableHasher::with_domain("group-key");
+        for v in &key {
+            v.stable_hash(&mut h);
+        }
+        let hash = h.finish64();
+        let slot = index.entry(hash).or_default();
+        let gid = slot
+            .iter()
+            .copied()
+            .find(|&g| {
+                groups[g].key.len() == key.len()
+                    && groups[g].key.iter().zip(&key).all(|(a, b)| a.group_key_eq(b))
+            })
+            .unwrap_or_else(|| {
+                let gid = groups.len();
+                groups.push(Group {
+                    key: key.clone(),
+                    accs: aggs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, a)| Acc::new(a.func, int_sum[i]))
+                        .collect(),
+                });
+                slot.push(gid);
+                gid
+            });
+        for (acc, arg) in groups[gid].accs.iter_mut().zip(&arg_cols) {
+            match arg {
+                Some(col) => acc.update(Some(&col.value(row))),
+                None => acc.update(None),
+            }
+        }
+    }
+
+    // Global aggregate over empty input still yields one group.
+    if groups.is_empty() && group_by.is_empty() {
+        groups.push(Group {
+            key: vec![],
+            accs: aggs
+                .iter()
+                .enumerate()
+                .map(|(i, a)| Acc::new(a.func, int_sum[i]))
+                .collect(),
+        });
+    }
+
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
+    for g in groups {
+        let mut row = g.key;
+        for acc in g.accs {
+            row.push(acc.finish());
+        }
+        rows.push(row);
+    }
+    Table::from_rows(schema.clone(), &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::optimizer::{AlwaysGrant, Optimizer, OptimizerConfig, ReuseContext};
+    use crate::plan::{LogicalPlan, PlanBuilder};
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::DataType;
+    use std::sync::Arc;
+
+    fn setup() -> (DatasetCatalog, ViewStore, UdoRegistry) {
+        let mut cat = DatasetCatalog::new();
+        let sales = Schema::new(vec![
+            Field::new("s_cust", DataType::Int),
+            Field::new("price", DataType::Float),
+            Field::new("qty", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| {
+                vec![
+                    Value::Int(i % 10),
+                    Value::Float((i % 7) as f64 + 0.5),
+                    Value::Int(i % 5),
+                ]
+            })
+            .collect();
+        cat.register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH)
+            .unwrap();
+        let cust = Schema::new(vec![
+            Field::new("c_id", DataType::Int),
+            Field::new("seg", DataType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        let crows: Vec<Vec<Value>> = (0..10)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into()),
+                ]
+            })
+            .collect();
+        cat.register("customer", Table::from_rows(cust, &crows).unwrap(), SimTime::EPOCH)
+            .unwrap();
+        (cat, ViewStore::with_default_ttl(), UdoRegistry::with_builtins())
+    }
+
+    fn run(
+        plan: &Arc<LogicalPlan>,
+        cat: &DatasetCatalog,
+        views: &ViewStore,
+        udos: &UdoRegistry,
+    ) -> ExecOutcome {
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats = |name: &str| {
+            cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64))
+        };
+        let out = opt
+            .optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant)
+            .unwrap();
+        let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH);
+        execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap()
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        let (cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(2)))
+            .unwrap()
+            .project(vec![(col("s_cust"), "c"), (col("price").mul(lit(2.0)), "p2")])
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        // qty in {3,4} → 40 of 100 rows.
+        assert_eq!(out.table.num_rows(), 40);
+        assert_eq!(out.table.schema().names(), vec!["c", "p2"]);
+        assert!(out.metrics.input_bytes > 0);
+        assert!(out.metrics.total_work > 0.0);
+    }
+
+    fn join_plan(cat: &DatasetCatalog, kind: JoinKind) -> Arc<LogicalPlan> {
+        PlanBuilder::scan(cat, "sales")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(cat, "customer").unwrap(),
+                &[("s_cust", "c_id")],
+                kind,
+            )
+            .unwrap()
+            .build()
+    }
+
+    #[test]
+    fn all_join_algorithms_agree() {
+        let (cat, views, udos) = setup();
+        let logical = join_plan(&cat, JoinKind::Inner);
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let physical = opt
+            .to_physical(&crate::normalize::normalize(&logical, &opt.cfg.sig).unwrap(), &stats)
+            .unwrap();
+
+        // Execute the same join with each algorithm forced.
+        fn force(p: &PhysicalPlan, algo: JoinAlgo) -> PhysicalPlan {
+            match p.clone() {
+                PhysicalPlan::Join { kind, on, left, right, est, partitions, .. } => {
+                    PhysicalPlan::Join {
+                        algo,
+                        kind,
+                        on,
+                        left: Box::new(force(&left, algo)),
+                        right: Box::new(force(&right, algo)),
+                        est,
+                        partitions,
+                    }
+                }
+                other => other,
+            }
+        }
+        let model = CostModel::default();
+        let mut results = Vec::new();
+        for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::Loop] {
+            let forced = force(&physical, algo);
+            let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+            let out = execute(&forced, &mut ctx, &model).unwrap();
+            assert_eq!(out.table.num_rows(), 100, "{algo:?} row count");
+            results.push(out.table.canonical_rows());
+        }
+        assert_eq!(results[0], results[1], "hash vs merge");
+        assert_eq!(results[0], results[2], "hash vs loop");
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let (mut cat, views, udos) = setup();
+        // Customer table with ids 0..10, sales referencing 0..10 → add a
+        // sale with customer id 99 (no match).
+        let sales = cat.get_by_name("sales").unwrap().data().clone();
+        let extra = Table::from_rows(
+            sales.schema().clone(),
+            &[vec![Value::Int(99), Value::Float(1.0), Value::Int(1)]],
+        )
+        .unwrap();
+        let id = cat.id_of("sales").unwrap();
+        cat.bulk_update(id, sales.concat(&extra).unwrap(), SimTime::EPOCH).unwrap();
+
+        let plan = join_plan(&cat, JoinKind::Left);
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.num_rows(), 101);
+        let seg_idx = out.table.schema().index_of("seg").unwrap();
+        let nulls = (0..out.table.num_rows())
+            .filter(|&i| out.table.column(seg_idx).value(i).is_null())
+            .count();
+        assert_eq!(nulls, 1);
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema() {
+        let (cat, views, udos) = setup();
+        let plan = join_plan(&cat, JoinKind::Semi);
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.schema().names(), vec!["s_cust", "price", "qty"]);
+        assert_eq!(out.table.num_rows(), 100); // every sale has a customer
+    }
+
+    #[test]
+    fn aggregation_results() {
+        let (cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .aggregate(
+                vec![(col("s_cust"), "cust")],
+                vec![
+                    AggExpr::new(AggFunc::Sum, col("qty"), "total_qty"),
+                    AggExpr::new(AggFunc::Avg, col("price"), "avg_price"),
+                    AggExpr::count_star("n"),
+                ],
+            )
+            .unwrap()
+            .sort(&[("cust", true)])
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.num_rows(), 10);
+        // Each customer id occurs 10 times.
+        let n_idx = out.table.schema().index_of("n").unwrap();
+        for i in 0..10 {
+            assert_eq!(out.table.column(n_idx).value(i), Value::Int(10));
+        }
+        // SUM over INT stays INT.
+        let tq = out.table.schema().index_of("total_qty").unwrap();
+        assert_eq!(out.table.schema().field(tq).dtype, DataType::Int);
+    }
+
+    #[test]
+    fn global_aggregate_on_empty_input() {
+        let (cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(1_000_000)))
+            .unwrap()
+            .aggregate(
+                vec![],
+                vec![AggExpr::count_star("n"), AggExpr::new(AggFunc::Sum, col("qty"), "s")],
+            )
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.num_rows(), 1);
+        assert_eq!(out.table.row(0)[0], Value::Int(0));
+        assert!(out.table.row(0)[1].is_null());
+    }
+
+    #[test]
+    fn count_distinct() {
+        let (cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .aggregate(
+                vec![],
+                vec![AggExpr::new(AggFunc::CountDistinct, col("s_cust"), "d")],
+            )
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.row(0)[0], Value::Int(10));
+    }
+
+    #[test]
+    fn union_and_limit() {
+        let (cat, views, udos) = setup();
+        let a = PlanBuilder::scan(&cat, "sales").unwrap();
+        let b = PlanBuilder::scan(&cat, "sales").unwrap();
+        let plan = a.union(b).unwrap().limit(150).build();
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.num_rows(), 150);
+    }
+
+    #[test]
+    fn spool_captures_pending_view() {
+        let (cat, views, udos) = setup();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let logical = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(2)))
+            .unwrap()
+            .build();
+        let normalized = crate::normalize::normalize(&logical, &opt.cfg.sig).unwrap();
+        let sig =
+            crate::signature::plan_signature(&normalized, &opt.cfg.sig, crate::signature::SigMode::Strict)
+                .unwrap();
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(sig);
+        let out = opt.optimize(&logical, &reuse, &stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.built_views, vec![sig]);
+
+        let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+        let exec_out = execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap();
+        assert_eq!(exec_out.pending_views.len(), 1);
+        let pv = &exec_out.pending_views[0];
+        assert_eq!(pv.sig, sig);
+        assert_eq!(pv.data.num_rows(), 40);
+        assert!(pv.production_work > 0.0);
+        assert!(exec_out.metrics.bytes_written_views > 0);
+        // Result identical to the view contents (spool is pass-through).
+        assert_eq!(exec_out.table.canonical_rows(), pv.data.canonical_rows());
+    }
+
+    #[test]
+    fn viewscan_executes_from_store() {
+        let (cat, mut views, udos) = setup();
+        let (sig, data) = {
+            let plan = PlanBuilder::scan(&cat, "sales")
+                .unwrap()
+                .filter(col("qty").gt(lit(2)))
+                .unwrap()
+                .build();
+            let out = run(&plan, &cat, &views, &udos);
+            (Sig128(42), out.table)
+        };
+        views
+            .insert(cv_data::viewstore::MaterializedView {
+                strict_sig: sig,
+                recurring_sig: sig,
+                schema: data.schema().clone(),
+                data: data.clone(),
+                rows: 0,
+                bytes: 0,
+                created: SimTime::EPOCH,
+                expires: SimTime::EPOCH,
+                creator_job: cv_common::ids::JobId(0),
+                vc: cv_common::ids::VcId(0),
+                input_guids: vec![],
+                observed_work: 1.0,
+            })
+            .unwrap();
+        let physical = PhysicalPlan::ViewScan {
+            sig,
+            schema: data.schema().clone(),
+            est: crate::stats::Statistics::accurate(40.0, 100.0),
+            partitions: 1,
+        };
+        let model = CostModel::default();
+        let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+        let out = execute(&physical, &mut ctx, &model).unwrap();
+        assert_eq!(out.table.canonical_rows(), data.canonical_rows());
+        assert!(out.metrics.view_bytes_read > 0);
+        assert_eq!(out.metrics.input_bytes, 0);
+
+        // Missing view → execution error.
+        let physical2 = PhysicalPlan::ViewScan {
+            sig: Sig128(999),
+            schema: data.schema().clone(),
+            est: crate::stats::Statistics::accurate(1.0, 1.0),
+            partitions: 1,
+        };
+        let mut ctx2 = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+        assert!(execute(&physical2, &mut ctx2, &model).is_err());
+    }
+
+    #[test]
+    fn stale_scan_guid_rejected() {
+        let (mut cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales").unwrap().build();
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let out = opt
+            .optimize(&plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant)
+            .unwrap();
+        // Bulk-update between compile and execute.
+        let id = cat.id_of("sales").unwrap();
+        let data = cat.get(id).unwrap().data().clone();
+        cat.bulk_update(id, data, SimTime::from_days(1.0)).unwrap();
+        let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::from_days(1.0));
+        let err = execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap_err();
+        assert!(err.to_string().contains("stale plan"));
+    }
+
+    #[test]
+    fn udo_in_pipeline() {
+        let (mut cat, views, udos) = setup();
+        let events = Schema::new(vec![
+            Field::new("user_agent", DataType::Str),
+            Field::new("ip_hash", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref();
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| {
+                vec![
+                    Value::Str(if i % 2 == 0 { "Chrome/1" } else { "Firefox/2" }.into()),
+                    Value::Int(i),
+                ]
+            })
+            .collect();
+        cat.register("events", Table::from_rows(events, &rows).unwrap(), SimTime::EPOCH)
+            .unwrap();
+        let plan = PlanBuilder::scan(&cat, "events")
+            .unwrap()
+            .udo(crate::udo::UdoSpec::new("parse_user_agent"), &udos)
+            .unwrap()
+            .filter(col("browser").eq(lit("chrome")))
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        assert_eq!(out.table.num_rows(), 10);
+    }
+
+    #[test]
+    fn metrics_data_read_exceeds_input() {
+        let (cat, views, udos) = setup();
+        let plan = join_plan(&cat, JoinKind::Inner);
+        let out = run(&plan, &cat, &views, &udos);
+        assert!(out.metrics.data_read_bytes >= out.metrics.input_bytes);
+        assert_eq!(out.metrics.join_algos.total(), 1);
+        assert!(!out.metrics.op_profiles.is_empty());
+    }
+}

@@ -1,0 +1,542 @@
+//! Expression evaluation over columnar tables.
+//!
+//! Evaluation is column-at-a-time: each expression node materializes one
+//! output [`Column`] for the whole chunk. Scalar kernels operate on
+//! [`Value`]s with SQL ternary-logic null semantics; the same scalar kernels
+//! back the constant folder in [`super::fold`], so folding and runtime can
+//! never disagree.
+
+use super::{BinOp, FuncKind, ScalarExpr, UnOp};
+use cv_common::hash::StableHasher;
+use cv_common::{CvError, Result};
+use cv_data::column::{Column, ColumnBuilder};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+
+/// Evaluation context: carries the simulated "now" and the counter behind
+/// the non-deterministic builtins. Those builtins are *reproducible* given
+/// the context (so tests are stable), but they are semantically
+/// non-deterministic: the signature layer refuses to sign plans using them
+/// (paper §4 "signature correctness").
+#[derive(Debug, Clone)]
+pub struct EvalCtx {
+    /// Simulated current date, days since epoch (returned by `NOW()`).
+    pub now_days: i32,
+    nd_counter: u64,
+}
+
+impl EvalCtx {
+    pub fn new(now_days: i32) -> EvalCtx {
+        EvalCtx { now_days, nd_counter: 0 }
+    }
+
+    fn next_nd(&mut self) -> u64 {
+        self.nd_counter = self.nd_counter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut h = StableHasher::with_domain("nondeterministic");
+        h.write_u64(self.nd_counter);
+        h.write_i64(self.now_days as i64);
+        h.finish64()
+    }
+}
+
+impl Default for EvalCtx {
+    fn default() -> Self {
+        EvalCtx::new(0)
+    }
+}
+
+/// Evaluate an expression over every row of `table`, producing a column.
+pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Column> {
+    let n = table.num_rows();
+    let out_type = expr.dtype(table.schema())?;
+    match expr {
+        ScalarExpr::Column(name) => {
+            let col = table
+                .column_by_name(name)
+                .ok_or_else(|| CvError::exec(format!("unknown column `{name}`")))?;
+            Ok(col.clone())
+        }
+        ScalarExpr::Literal(v) | ScalarExpr::Param { value: v, .. } => {
+            let mut b = ColumnBuilder::with_capacity(out_type, n);
+            for _ in 0..n {
+                b.push(v)?;
+            }
+            Ok(b.finish())
+        }
+        ScalarExpr::Binary { op, left, right } => {
+            let l = eval(left, table, ctx)?;
+            let r = eval(right, table, ctx)?;
+            let mut b = ColumnBuilder::with_capacity(out_type, n);
+            for i in 0..n {
+                let v = binary_value(*op, &l.value(i), &r.value(i))?;
+                b.push(&v)?;
+            }
+            Ok(b.finish())
+        }
+        ScalarExpr::Unary { op, expr } => {
+            let c = eval(expr, table, ctx)?;
+            let mut b = ColumnBuilder::with_capacity(out_type, n);
+            for i in 0..n {
+                let v = unary_value(*op, &c.value(i))?;
+                b.push(&v)?;
+            }
+            Ok(b.finish())
+        }
+        ScalarExpr::Func { func, args } => {
+            let arg_cols: Result<Vec<Column>> =
+                args.iter().map(|a| eval(a, table, ctx)).collect();
+            let arg_cols = arg_cols?;
+            let mut b = ColumnBuilder::with_capacity(out_type, n);
+            let mut row_args: Vec<Value> = Vec::with_capacity(arg_cols.len());
+            for i in 0..n {
+                row_args.clear();
+                for c in &arg_cols {
+                    row_args.push(c.value(i));
+                }
+                let v = func_value(*func, &row_args, ctx)?;
+                b.push(&v)?;
+            }
+            Ok(b.finish())
+        }
+        ScalarExpr::Case { branches, else_expr } => {
+            let when_cols: Result<Vec<Column>> =
+                branches.iter().map(|(w, _)| eval(w, table, ctx)).collect();
+            let when_cols = when_cols?;
+            let then_cols: Result<Vec<Column>> =
+                branches.iter().map(|(_, t)| eval(t, table, ctx)).collect();
+            let then_cols = then_cols?;
+            let else_col = match else_expr {
+                Some(e) => Some(eval(e, table, ctx)?),
+                None => None,
+            };
+            let mut b = ColumnBuilder::with_capacity(out_type, n);
+            'rows: for i in 0..n {
+                for (w, t) in when_cols.iter().zip(&then_cols) {
+                    if w.value(i).as_bool() == Some(true) {
+                        b.push(&t.value(i))?;
+                        continue 'rows;
+                    }
+                }
+                match &else_col {
+                    Some(e) => b.push(&e.value(i))?,
+                    None => b.push_null(),
+                }
+            }
+            Ok(b.finish())
+        }
+        ScalarExpr::Cast { expr, dtype } => {
+            let c = eval(expr, table, ctx)?;
+            let mut b = ColumnBuilder::with_capacity(*dtype, n);
+            for i in 0..n {
+                let v = cast_value(&c.value(i), *dtype)?;
+                b.push(&v)?;
+            }
+            Ok(b.finish())
+        }
+    }
+}
+
+/// Evaluate a predicate into a selection mask; SQL semantics: NULL → false.
+pub fn eval_predicate(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Vec<bool>> {
+    let c = eval(expr, table, ctx)?;
+    if c.dtype() != DataType::Bool {
+        return Err(CvError::exec(format!(
+            "predicate must be BOOL, got {}",
+            c.dtype()
+        )));
+    }
+    Ok((0..c.len()).map(|i| c.value(i).as_bool() == Some(true)).collect())
+}
+
+/// Scalar binary kernel with SQL null propagation (AND/OR use ternary logic).
+pub fn binary_value(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And => {
+            return Ok(match (a.as_bool(), b.as_bool()) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            })
+        }
+        Or => {
+            return Ok(match (a.as_bool(), b.as_bool()) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            })
+        }
+        _ => {}
+    }
+    if a.is_null() || b.is_null() {
+        return Ok(Value::Null);
+    }
+    if op.is_comparison() {
+        let ord = a.total_cmp(b);
+        let res = match op {
+            Eq => ord == std::cmp::Ordering::Equal,
+            NotEq => ord != std::cmp::Ordering::Equal,
+            Lt => ord == std::cmp::Ordering::Less,
+            LtEq => ord != std::cmp::Ordering::Greater,
+            Gt => ord == std::cmp::Ordering::Greater,
+            GtEq => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(res));
+    }
+    // Arithmetic.
+    match (a, b) {
+        (Value::Date(d), Value::Int(i)) => {
+            return match op {
+                Add => Ok(Value::Date(d + *i as i32)),
+                Sub => Ok(Value::Date(d - *i as i32)),
+                _ => Err(CvError::exec("only +/- allowed on dates")),
+            }
+        }
+        _ => {}
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) if op != Div => {
+            let r = match op {
+                Add => x.wrapping_add(*y),
+                Sub => x.wrapping_sub(*y),
+                Mul => x.wrapping_mul(*y),
+                Mod => {
+                    if *y == 0 {
+                        return Ok(Value::Null);
+                    }
+                    x % y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Int(r))
+        }
+        _ => {
+            let (x, y) = match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => {
+                    return Err(CvError::exec(format!(
+                        "arithmetic {} on non-numeric values {a} and {b}",
+                        op.symbol()
+                    )))
+                }
+            };
+            let r = match op {
+                Add => x + y,
+                Sub => x - y,
+                Mul => x * y,
+                Div => {
+                    if y == 0.0 {
+                        return Ok(Value::Null); // SQL: division by zero → NULL here
+                    }
+                    x / y
+                }
+                Mod => {
+                    if y == 0.0 {
+                        return Ok(Value::Null);
+                    }
+                    x % y
+                }
+                _ => unreachable!(),
+            };
+            Ok(Value::Float(r))
+        }
+    }
+}
+
+/// Scalar unary kernel.
+pub fn unary_value(op: UnOp, v: &Value) -> Result<Value> {
+    match op {
+        UnOp::Not => Ok(match v.as_bool() {
+            Some(b) => Value::Bool(!b),
+            None => Value::Null,
+        }),
+        UnOp::Neg => {
+            if v.is_null() {
+                return Ok(Value::Null);
+            }
+            match v {
+                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Float(f) => Ok(Value::Float(-f)),
+                other => Err(CvError::exec(format!("cannot negate {other}"))),
+            }
+        }
+        UnOp::IsNull => Ok(Value::Bool(v.is_null())),
+        UnOp::IsNotNull => Ok(Value::Bool(!v.is_null())),
+    }
+}
+
+/// Scalar function kernel.
+pub fn func_value(func: FuncKind, args: &[Value], ctx: &mut EvalCtx) -> Result<Value> {
+    // Deterministic single-argument functions propagate NULL.
+    if func.arity() == 1 && args[0].is_null() {
+        return Ok(Value::Null);
+    }
+    match func {
+        FuncKind::Lower => Ok(Value::Str(req_str(&args[0])?.to_lowercase())),
+        FuncKind::Upper => Ok(Value::Str(req_str(&args[0])?.to_uppercase())),
+        FuncKind::Length => Ok(Value::Int(req_str(&args[0])?.len() as i64)),
+        FuncKind::Abs => match &args[0] {
+            Value::Int(i) => Ok(Value::Int(i.abs())),
+            Value::Float(f) => Ok(Value::Float(f.abs())),
+            other => Err(CvError::exec(format!("ABS on non-numeric {other}"))),
+        },
+        FuncKind::Round => match &args[0] {
+            Value::Int(i) => Ok(Value::Int(*i)),
+            Value::Float(f) => Ok(Value::Float(f.round())),
+            other => Err(CvError::exec(format!("ROUND on non-numeric {other}"))),
+        },
+        FuncKind::Year => {
+            let days = args[0]
+                .as_date()
+                .ok_or_else(|| CvError::exec("YEAR requires a DATE"))?;
+            let y = cv_data::value::format_date(days)[..4].parse::<i64>().expect("4-digit year");
+            Ok(Value::Int(y))
+        }
+        FuncKind::Month => {
+            let days = args[0]
+                .as_date()
+                .ok_or_else(|| CvError::exec("MONTH requires a DATE"))?;
+            let formatted = cv_data::value::format_date(days);
+            let m = formatted[5..7].parse::<i64>().expect("2-digit month");
+            Ok(Value::Int(m))
+        }
+        FuncKind::Hash64 => {
+            let mut h = StableHasher::with_domain("hash64-fn");
+            args[0].stable_hash(&mut h);
+            Ok(Value::Int((h.finish64() >> 1) as i64))
+        }
+        FuncKind::Now => Ok(Value::Date(ctx.now_days)),
+        FuncKind::RandomNext => Ok(Value::Int((ctx.next_nd() >> 33) as i64)),
+        FuncKind::NewGuid => Ok(Value::Str(format!("{:016x}", ctx.next_nd()))),
+    }
+}
+
+/// Scalar cast kernel.
+pub fn cast_value(v: &Value, to: DataType) -> Result<Value> {
+    if v.is_null() {
+        return Ok(Value::Null);
+    }
+    let out = match (v, to) {
+        (Value::Int(i), DataType::Int) => Value::Int(*i),
+        (Value::Int(i), DataType::Float) => Value::Float(*i as f64),
+        (Value::Int(i), DataType::Str) => Value::Str(i.to_string()),
+        (Value::Int(i), DataType::Bool) => Value::Bool(*i != 0),
+        (Value::Int(i), DataType::Date) => Value::Date(*i as i32),
+        (Value::Float(f), DataType::Float) => Value::Float(*f),
+        (Value::Float(f), DataType::Int) => Value::Int(*f as i64),
+        (Value::Float(f), DataType::Str) => Value::Str(f.to_string()),
+        (Value::Str(s), DataType::Str) => Value::Str(s.clone()),
+        (Value::Str(s), DataType::Int) => match s.trim().parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => Value::Null,
+        },
+        (Value::Str(s), DataType::Float) => match s.trim().parse::<f64>() {
+            Ok(f) => Value::Float(f),
+            Err(_) => Value::Null,
+        },
+        (Value::Str(s), DataType::Date) => match cv_data::value::parse_date(s) {
+            Some(d) => Value::Date(d),
+            None => Value::Null,
+        },
+        (Value::Bool(b), DataType::Bool) => Value::Bool(*b),
+        (Value::Bool(b), DataType::Int) => Value::Int(*b as i64),
+        (Value::Bool(b), DataType::Str) => Value::Str(b.to_string()),
+        (Value::Date(d), DataType::Date) => Value::Date(*d),
+        (Value::Date(d), DataType::Int) => Value::Int(*d as i64),
+        (Value::Date(d), DataType::Str) => Value::Str(cv_data::value::format_date(*d)),
+        (v, to) => {
+            return Err(CvError::exec(format!("unsupported cast {v} -> {to}")));
+        }
+    };
+    Ok(out)
+}
+
+fn req_str(v: &Value) -> Result<&str> {
+    v.as_str().ok_or_else(|| CvError::exec(format!("expected STRING, got {v}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, param};
+    use cv_data::schema::{Field, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("price", DataType::Float),
+            Field::new("qty", DataType::Int),
+            Field::new("seg", DataType::Str),
+            Field::new("day", DataType::Date),
+        ])
+        .unwrap()
+        .into_ref();
+        Table::from_rows(
+            schema,
+            &[
+                vec![Value::Float(2.5), Value::Int(4), Value::Str("asia".into()), Value::Date(0)],
+                vec![Value::Float(1.0), Value::Null, Value::Str("emea".into()), Value::Date(31)],
+                vec![Value::Null, Value::Int(2), Value::Str("asia".into()), Value::Date(60)],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ev(e: &ScalarExpr) -> Column {
+        eval(e, &table(), &mut EvalCtx::new(100)).unwrap()
+    }
+
+    #[test]
+    fn column_and_literal() {
+        let c = ev(&col("qty"));
+        assert_eq!(c.value(0), Value::Int(4));
+        assert!(c.value(1).is_null());
+        let l = ev(&lit(7));
+        assert_eq!(l.len(), 3);
+        assert_eq!(l.value(2), Value::Int(7));
+    }
+
+    #[test]
+    fn arithmetic_with_null_propagation() {
+        let e = col("price").mul(col("qty").cast(DataType::Float));
+        let c = ev(&e);
+        assert_eq!(c.value(0), Value::Float(10.0));
+        assert!(c.value(1).is_null()); // qty null
+        assert!(c.value(2).is_null()); // price null
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_int() {
+        let c = ev(&col("qty").add(lit(1)));
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.value(0), Value::Int(5));
+    }
+
+    #[test]
+    fn division_promotes_and_div_by_zero_is_null() {
+        assert_eq!(
+            binary_value(BinOp::Div, &Value::Int(7), &Value::Int(2)).unwrap(),
+            Value::Float(3.5)
+        );
+        assert!(binary_value(BinOp::Div, &Value::Int(7), &Value::Int(0)).unwrap().is_null());
+        assert!(binary_value(BinOp::Mod, &Value::Int(7), &Value::Int(0)).unwrap().is_null());
+    }
+
+    #[test]
+    fn comparisons() {
+        let mask =
+            eval_predicate(&col("seg").eq(lit("asia")), &table(), &mut EvalCtx::default())
+                .unwrap();
+        assert_eq!(mask, vec![true, false, true]);
+        // NULL comparison is not true.
+        let mask2 =
+            eval_predicate(&col("qty").gt(lit(0)), &table(), &mut EvalCtx::default()).unwrap();
+        assert_eq!(mask2, vec![true, false, true]);
+    }
+
+    #[test]
+    fn ternary_logic_and_or() {
+        let n = Value::Null;
+        let t = Value::Bool(true);
+        let f = Value::Bool(false);
+        assert_eq!(binary_value(BinOp::And, &n, &f).unwrap(), Value::Bool(false));
+        assert!(binary_value(BinOp::And, &n, &t).unwrap().is_null());
+        assert_eq!(binary_value(BinOp::Or, &n, &t).unwrap(), Value::Bool(true));
+        assert!(binary_value(BinOp::Or, &n, &f).unwrap().is_null());
+    }
+
+    #[test]
+    fn is_null_checks() {
+        let c = ev(&col("qty").is_null());
+        assert_eq!(c.value(0), Value::Bool(false));
+        assert_eq!(c.value(1), Value::Bool(true));
+        let c2 = ev(&col("qty").is_not_null());
+        assert_eq!(c2.value(1), Value::Bool(false));
+    }
+
+    #[test]
+    fn date_arithmetic_and_parts() {
+        let c = ev(&col("day").add(lit(7)));
+        assert_eq!(c.value(0), Value::Date(7));
+        let y = ev(&ScalarExpr::Func { func: FuncKind::Year, args: vec![col("day")] });
+        assert_eq!(y.value(0), Value::Int(1970));
+        let m = ev(&ScalarExpr::Func { func: FuncKind::Month, args: vec![col("day")] });
+        assert_eq!(m.value(1), Value::Int(2)); // day 31 = 1970-02-01
+    }
+
+    #[test]
+    fn string_functions() {
+        let c = ev(&ScalarExpr::Func { func: FuncKind::Upper, args: vec![col("seg")] });
+        assert_eq!(c.value(0), Value::Str("ASIA".into()));
+        let l = ev(&ScalarExpr::Func { func: FuncKind::Length, args: vec![col("seg")] });
+        assert_eq!(l.value(1), Value::Int(4));
+    }
+
+    #[test]
+    fn case_expression() {
+        let e = ScalarExpr::Case {
+            branches: vec![(col("seg").eq(lit("asia")), lit(1))],
+            else_expr: Some(Box::new(lit(0))),
+        };
+        let c = ev(&e);
+        assert_eq!(c.value(0), Value::Int(1));
+        assert_eq!(c.value(1), Value::Int(0));
+    }
+
+    #[test]
+    fn case_without_else_yields_null() {
+        let e = ScalarExpr::Case {
+            branches: vec![(col("seg").eq(lit("asia")), lit(1))],
+            else_expr: None,
+        };
+        let c = ev(&e);
+        assert!(c.value(1).is_null());
+    }
+
+    #[test]
+    fn casts() {
+        assert_eq!(cast_value(&Value::Str("42".into()), DataType::Int).unwrap(), Value::Int(42));
+        assert!(cast_value(&Value::Str("xx".into()), DataType::Int).unwrap().is_null());
+        assert_eq!(
+            cast_value(&Value::Str("2020-02-01".into()), DataType::Date).unwrap(),
+            Value::Date(cv_data::value::parse_date("2020-02-01").unwrap())
+        );
+        assert_eq!(cast_value(&Value::Date(0), DataType::Str).unwrap(), Value::Str("1970-01-01".into()));
+    }
+
+    #[test]
+    fn params_evaluate_like_literals() {
+        let c = ev(&param("cutoff", 3i64));
+        assert_eq!(c.value(0), Value::Int(3));
+    }
+
+    #[test]
+    fn now_uses_context() {
+        let c = ev(&ScalarExpr::Func { func: FuncKind::Now, args: vec![] });
+        assert_eq!(c.value(0), Value::Date(100));
+    }
+
+    #[test]
+    fn nondeterministic_functions_vary_per_row() {
+        let c = ev(&ScalarExpr::Func { func: FuncKind::NewGuid, args: vec![] });
+        assert_ne!(c.value(0), c.value(1));
+        let r = ev(&ScalarExpr::Func { func: FuncKind::RandomNext, args: vec![] });
+        assert_ne!(r.value(0), r.value(1));
+    }
+
+    #[test]
+    fn hash64_is_stable() {
+        let a = func_value(FuncKind::Hash64, &[Value::Str("x".into())], &mut EvalCtx::default())
+            .unwrap();
+        let b = func_value(FuncKind::Hash64, &[Value::Str("x".into())], &mut EvalCtx::default())
+            .unwrap();
+        assert_eq!(a, b);
+        assert!(a.as_int().unwrap() >= 0);
+    }
+
+    #[test]
+    fn predicate_type_enforced() {
+        let err = eval_predicate(&col("qty"), &table(), &mut EvalCtx::default()).unwrap_err();
+        assert_eq!(err.kind(), "execution");
+    }
+}

@@ -1,0 +1,45 @@
+//! A SCOPE-like analytical query engine — the substrate CloudViews lives in.
+//!
+//! The paper's CloudViews feature is implemented *inside* the SCOPE
+//! compiler/optimizer (Fig. 5, "Query Processing" column). This crate
+//! reproduces that substrate end to end:
+//!
+//! * [`expr`] — typed scalar expressions, aggregates, vectorized evaluation,
+//!   constant folding and canonical ordering;
+//! * [`udo`] — user-defined operators with determinism flags and library
+//!   dependency chains (the §4 "signature correctness" hazards);
+//! * [`sql`] — a mini-SQL frontend (lexer, parser, binder) with `@param`
+//!   markers for recurring job templates;
+//! * [`plan`] — logical plans and a fluent builder;
+//! * [`normalize`] — deterministic plan canonicalization so that
+//!   syntactically different but trivially-equal plans hash alike;
+//! * [`signature`] — strict and recurring subexpression signatures;
+//! * [`stats`] / [`cost`] — cardinality estimation (deliberately imperfect,
+//!   reproducing §3.5's over-estimation) and the cost model;
+//! * [`optimizer`] — normalization pipeline, top-down view *matching*,
+//!   bottom-up view *building* (spool insertion), physical planning;
+//! * [`physical`] / [`exec`] — physical operators and the single-node
+//!   vectorized executor with per-operator work accounting;
+//! * [`engine`] — the `QueryEngine` facade tying catalog, view store and
+//!   optimizer together.
+
+pub mod cost;
+pub mod engine;
+pub mod exec;
+pub mod expr;
+pub mod normalize;
+pub mod optimizer;
+pub mod physical;
+pub mod plan;
+pub mod signature;
+pub mod sql;
+pub mod stats;
+pub mod udo;
+
+pub use engine::{CompiledJob, JobOutcome, QueryEngine};
+pub use expr::{col, lit, param, AggExpr, AggFunc, BinOp, FuncKind, ScalarExpr, UnOp};
+pub use optimizer::{OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext, ViewMeta};
+pub use plan::{JoinKind, LogicalPlan, PlanBuilder};
+pub use signature::{
+    enumerate_subexpressions, plan_signature, SigMode, SignatureConfig, SubexprInfo,
+};

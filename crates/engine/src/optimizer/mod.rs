@@ -1,0 +1,594 @@
+//! The optimizer: normalization → top-down view *matching* → bottom-up view
+//! *building* → physical planning (paper Fig. 5, "Query Processing").
+//!
+//! * **Core search / match view**: walk the normalized plan top-down (larger
+//!   subexpressions first); whenever a subexpression's strict signature has
+//!   a live materialized view, cost the `ViewScan` alternative against
+//!   recomputing the subtree and keep the cheaper plan. Matching is a hash
+//!   lookup — no containment reasoning (§2.4 "lightweight view matching").
+//! * **Follow-up optimization / build view**: walk bottom-up; for each
+//!   subexpression whose signature the workload analysis selected for
+//!   materialization, acquire the view-creation lock from the insights
+//!   service and insert a spool with two consumers.
+//! * **Physical planning**: pick join algorithms and partition counts from
+//!   the (possibly view-corrected) statistics.
+
+use crate::cost::{Cost, CostModel};
+use crate::normalize::normalize;
+use crate::physical::{JoinAlgo, PhysicalPlan};
+use crate::plan::LogicalPlan;
+use crate::signature::{plan_sig_pair, plan_signature, SigMode, SignatureConfig};
+use crate::stats::{estimate, ScanStats, Statistics};
+use cv_common::hash::Sig128;
+use cv_common::{CvError, Result};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// Compile-time metadata about an available materialized view, served by the
+/// insights service through the query annotations (paper Fig. 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ViewMeta {
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+/// The reuse-relevant annotations for one job: which strict signatures have
+/// live views, and which the selection pipeline wants materialized.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseContext {
+    pub available: HashMap<Sig128, ViewMeta>,
+    pub to_build: HashSet<Sig128>,
+}
+
+impl ReuseContext {
+    pub fn empty() -> ReuseContext {
+        ReuseContext::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.available.is_empty() && self.to_build.is_empty()
+    }
+}
+
+/// Grants (or refuses) the exclusive view-creation lock; implemented by the
+/// insights service so that concurrent jobs don't materialize the same view
+/// twice (paper Fig. 5 "view lock: acquire/release").
+pub trait BuildCoordinator {
+    fn try_acquire(&mut self, sig: Sig128) -> bool;
+}
+
+/// Coordinator that always grants — for single-job contexts and tests.
+#[derive(Debug, Default)]
+pub struct AlwaysGrant;
+
+impl BuildCoordinator for AlwaysGrant {
+    fn try_acquire(&mut self, _sig: Sig128) -> bool {
+        true
+    }
+}
+
+/// Optimizer tuning knobs.
+#[derive(Clone, Debug)]
+pub struct OptimizerConfig {
+    pub sig: SignatureConfig,
+    /// Master switches — part of the paper's multi-level controls (§4).
+    pub enable_view_match: bool,
+    pub enable_view_build: bool,
+    /// User-facing control for #views per job (paper Fig. 5 left margin).
+    pub max_views_per_job: usize,
+    /// Rows per stage partition; estimates above this fan out more tasks.
+    pub rows_per_partition: f64,
+    pub max_partitions: usize,
+    /// Smaller join side below this row count → nested-loop join.
+    pub loop_join_threshold: f64,
+    /// Larger join side above this row count → sort-merge join.
+    pub merge_join_threshold: f64,
+    pub cost: CostModel,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            sig: SignatureConfig::default(),
+            enable_view_match: true,
+            enable_view_build: true,
+            max_views_per_job: 4,
+            rows_per_partition: 2_500.0,
+            max_partitions: 256,
+            loop_join_threshold: 64.0,
+            merge_join_threshold: 120_000.0,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// Result of optimizing one job.
+#[derive(Clone, Debug)]
+pub struct OptimizeOutcome {
+    /// Final logical plan (normalized, views matched, materialize markers).
+    pub logical: Arc<LogicalPlan>,
+    pub physical: PhysicalPlan,
+    /// Strict signatures of views this plan reuses.
+    pub matched_views: Vec<Sig128>,
+    /// Strict signatures of views this plan will materialize.
+    pub built_views: Vec<Sig128>,
+    pub est_cost: Cost,
+}
+
+/// The query optimizer.
+#[derive(Clone, Debug, Default)]
+pub struct Optimizer {
+    pub cfg: OptimizerConfig,
+}
+
+impl Optimizer {
+    pub fn new(cfg: OptimizerConfig) -> Optimizer {
+        Optimizer { cfg }
+    }
+
+    /// Optimize a logical plan under the given reuse annotations.
+    pub fn optimize(
+        &self,
+        plan: &Arc<LogicalPlan>,
+        reuse: &ReuseContext,
+        scan_stats: ScanStats<'_>,
+        coordinator: &mut dyn BuildCoordinator,
+    ) -> Result<OptimizeOutcome> {
+        let normalized = normalize(plan, &self.cfg.sig)?;
+
+        let mut matched = Vec::new();
+        let with_views = if self.cfg.enable_view_match && !reuse.available.is_empty() {
+            self.match_views(&normalized, reuse, scan_stats, &mut matched)?
+        } else {
+            normalized
+        };
+
+        let mut built = Vec::new();
+        let final_logical = if self.cfg.enable_view_build && !reuse.to_build.is_empty() {
+            self.insert_builds(&with_views, reuse, coordinator, &mut built)?
+        } else {
+            with_views
+        };
+
+        let physical = self.to_physical(&final_logical, scan_stats)?;
+        let est_cost = physical.total_cost(&self.cfg.cost);
+        Ok(OptimizeOutcome { logical: final_logical, physical, matched_views: matched, built_views: built, est_cost })
+    }
+
+    /// Top-down matching: try the largest subexpressions first; on a match
+    /// the subtree is replaced and not descended into.
+    fn match_views(
+        &self,
+        node: &Arc<LogicalPlan>,
+        reuse: &ReuseContext,
+        scan_stats: ScanStats<'_>,
+        matched: &mut Vec<Sig128>,
+    ) -> Result<Arc<LogicalPlan>> {
+        let replaceable = !matches!(
+            &**node,
+            LogicalPlan::Scan { .. } | LogicalPlan::ViewScan { .. } | LogicalPlan::Materialize { .. }
+        );
+        if replaceable {
+            if let Some(sig) = plan_signature(node, &self.cfg.sig, SigMode::Strict) {
+                if let Some(meta) = reuse.available.get(&sig) {
+                    // Cost the alternative: the plan using the materialized
+                    // view is chosen only if it is cheaper (paper §2.3).
+                    let recompute = self
+                        .to_physical(node, scan_stats)?
+                        .total_cost(&self.cfg.cost)
+                        .total();
+                    let reuse_cost = self.cfg.cost.view_scan(meta.bytes as f64).total();
+                    if reuse_cost < recompute {
+                        matched.push(sig);
+                        return Ok(Arc::new(LogicalPlan::ViewScan {
+                            sig,
+                            schema: node.schema()?,
+                            rows: meta.rows,
+                            bytes: meta.bytes,
+                        }));
+                    }
+                }
+            }
+        }
+        // No match here: recurse.
+        let new_children: Result<Vec<Arc<LogicalPlan>>> = node
+            .children()
+            .into_iter()
+            .map(|c| self.match_views(c, reuse, scan_stats, matched))
+            .collect();
+        Ok(Arc::new(node.with_children(new_children?)?))
+    }
+
+    /// Bottom-up build insertion: wrap selected subexpressions in
+    /// `Materialize`, bounded by `max_views_per_job`, gated by the lock.
+    fn insert_builds(
+        &self,
+        node: &Arc<LogicalPlan>,
+        reuse: &ReuseContext,
+        coordinator: &mut dyn BuildCoordinator,
+        built: &mut Vec<Sig128>,
+    ) -> Result<Arc<LogicalPlan>> {
+        let new_children: Result<Vec<Arc<LogicalPlan>>> = node
+            .children()
+            .into_iter()
+            .map(|c| self.insert_builds(c, reuse, coordinator, built))
+            .collect();
+        let rebuilt = Arc::new(node.with_children(new_children?)?);
+
+        let eligible = !matches!(
+            &*rebuilt,
+            LogicalPlan::Scan { .. } | LogicalPlan::ViewScan { .. } | LogicalPlan::Materialize { .. }
+        );
+        if eligible && built.len() < self.cfg.max_views_per_job {
+            if let Some(sig) = plan_signature(&rebuilt, &self.cfg.sig, SigMode::Strict) {
+                if reuse.to_build.contains(&sig)
+                    && !reuse.available.contains_key(&sig)
+                    && !built.contains(&sig)
+                    && coordinator.try_acquire(sig)
+                {
+                    built.push(sig);
+                    return Ok(Arc::new(LogicalPlan::Materialize { sig, input: rebuilt }));
+                }
+            }
+        }
+        Ok(rebuilt)
+    }
+
+    fn partitions_for(&self, est: Statistics) -> usize {
+        ((est.rows / self.cfg.rows_per_partition).ceil() as usize)
+            .clamp(1, self.cfg.max_partitions)
+    }
+
+    /// Lower a logical plan to physical operators.
+    pub fn to_physical(
+        &self,
+        node: &Arc<LogicalPlan>,
+        scan_stats: ScanStats<'_>,
+    ) -> Result<PhysicalPlan> {
+        let est = estimate(node, scan_stats);
+        let partitions = self.partitions_for(est);
+        Ok(match &**node {
+            LogicalPlan::Scan { dataset, guid, schema } => PhysicalPlan::TableScan {
+                dataset: dataset.clone(),
+                guid: *guid,
+                schema: schema.clone(),
+                est,
+                partitions,
+            },
+            LogicalPlan::ViewScan { sig, schema, rows, bytes } => PhysicalPlan::ViewScan {
+                sig: *sig,
+                schema: schema.clone(),
+                est: Statistics::accurate(*rows as f64, *bytes as f64),
+                partitions,
+            },
+            LogicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
+                predicate: predicate.clone(),
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+                partitions,
+            },
+            LogicalPlan::Project { exprs, input } => PhysicalPlan::Project {
+                exprs: exprs.clone(),
+                schema: node.schema()?,
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+                partitions,
+            },
+            LogicalPlan::Join { left, right, on, kind } => {
+                let l = self.to_physical(left, scan_stats)?;
+                let r = self.to_physical(right, scan_stats)?;
+                let l_rows = l.est().rows;
+                let r_rows = r.est().rows;
+                let algo = if l_rows.min(r_rows) <= self.cfg.loop_join_threshold {
+                    JoinAlgo::Loop
+                } else if l_rows.max(r_rows) >= self.cfg.merge_join_threshold {
+                    JoinAlgo::Merge
+                } else {
+                    JoinAlgo::Hash
+                };
+                PhysicalPlan::Join {
+                    algo,
+                    kind: *kind,
+                    on: on.clone(),
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    est,
+                    partitions,
+                }
+            }
+            LogicalPlan::Aggregate { group_by, aggs, input } => PhysicalPlan::HashAggregate {
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+                schema: node.schema()?,
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+                partitions,
+            },
+            LogicalPlan::Union { inputs } => PhysicalPlan::Union {
+                inputs: inputs
+                    .iter()
+                    .map(|i| self.to_physical(i, scan_stats))
+                    .collect::<Result<Vec<_>>>()?,
+                est,
+                partitions,
+            },
+            LogicalPlan::Sort { keys, input } => PhysicalPlan::Sort {
+                keys: keys.clone(),
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+                partitions,
+            },
+            LogicalPlan::Limit { n, input } => PhysicalPlan::Limit {
+                n: *n,
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+            },
+            LogicalPlan::Udo { spec, schema, input } => PhysicalPlan::Udo {
+                spec: spec.clone(),
+                schema: schema.clone(),
+                input: Box::new(self.to_physical(input, scan_stats)?),
+                est,
+                partitions,
+            },
+            LogicalPlan::Materialize { sig, input } => {
+                let pair = plan_sig_pair(input, &self.cfg.sig).ok_or_else(|| {
+                    CvError::internal("Materialize wrapped an unsignable subexpression")
+                })?;
+                debug_assert_eq!(pair.strict, *sig);
+                PhysicalPlan::Spool {
+                    sig: *sig,
+                    recurring_sig: pair.recurring,
+                    input_guids: input.input_guids(),
+                    input: Box::new(self.to_physical(input, scan_stats)?),
+                    est,
+                    partitions,
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, AggExpr, AggFunc};
+    use crate::plan::JoinKind;
+    use cv_common::ids::VersionGuid;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::DataType;
+
+    fn scan(name: &str, cols: &[(&str, DataType)]) -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            dataset: name.to_string(),
+            guid: VersionGuid(1),
+            schema: Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+                .unwrap()
+                .into_ref(),
+        })
+    }
+
+    fn sales() -> Arc<LogicalPlan> {
+        scan("sales", &[("s_cust", DataType::Int), ("price", DataType::Float)])
+    }
+
+    fn customer() -> Arc<LogicalPlan> {
+        scan("customer", &[("c_id", DataType::Int), ("seg", DataType::Str)])
+    }
+
+    fn scan_stats(name: &str) -> Option<(f64, f64)> {
+        match name {
+            "sales" => Some((200_000.0, 20_000_000.0)),
+            "customer" => Some((10_000.0, 400_000.0)),
+            _ => None,
+        }
+    }
+
+    fn shared_subplan() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Join {
+            left: sales(),
+            right: Arc::new(LogicalPlan::Filter {
+                predicate: col("seg").eq(lit("asia")),
+                input: customer(),
+            }),
+            on: vec![("s_cust".into(), "c_id".into())],
+            kind: JoinKind::Inner,
+        })
+    }
+
+    fn query() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Aggregate {
+            group_by: vec![(col("s_cust"), "cust".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Avg, col("price"), "avg_price")],
+            input: shared_subplan(),
+        })
+    }
+
+    fn optimizer() -> Optimizer {
+        Optimizer::new(OptimizerConfig::default())
+    }
+
+    fn shared_sig(opt: &Optimizer) -> Sig128 {
+        // Signature of the *normalized* shared subplan — annotations come
+        // from workload analysis which sees normalized plans.
+        let n = normalize(&shared_subplan(), &opt.cfg.sig).unwrap();
+        plan_signature(&n, &opt.cfg.sig, SigMode::Strict).unwrap()
+    }
+
+    #[test]
+    fn no_annotations_means_plain_plan() {
+        let opt = optimizer();
+        let out = opt
+            .optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant)
+            .unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(out.built_views.is_empty());
+        assert!(!out.logical.uses_views());
+        assert!(out.est_cost.total() > 0.0);
+    }
+
+    #[test]
+    fn build_inserts_spool() {
+        let opt = optimizer();
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(shared_sig(&opt));
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.built_views.len(), 1);
+        // A Spool appears in the physical plan.
+        let tree = out.physical.display_tree();
+        assert!(tree.contains("Spool"), "physical plan:\n{tree}");
+    }
+
+    #[test]
+    fn match_replaces_subtree_with_viewscan() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.matched_views, vec![sig]);
+        assert!(out.logical.uses_views());
+        let tree = out.physical.display_tree();
+        assert!(tree.contains("ViewScan"), "physical plan:\n{tree}");
+        // The base scans are gone.
+        assert!(!tree.contains("TableScan"), "physical plan:\n{tree}");
+    }
+
+    #[test]
+    fn match_is_cost_gated() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        // A pathological view that is *bigger* than re-reading everything:
+        // reuse must be rejected by costing.
+        reuse.available.insert(sig, ViewMeta { rows: 1 << 30, bytes: 1 << 62 });
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(!out.logical.uses_views());
+    }
+
+    #[test]
+    fn reused_plan_is_cheaper() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let baseline = opt
+            .optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant)
+            .unwrap();
+        let mut reuse = ReuseContext::empty();
+        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        let reused = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(
+            reused.est_cost.total() < baseline.est_cost.total(),
+            "reuse {} !< baseline {}",
+            reused.est_cost.total(),
+            baseline.est_cost.total()
+        );
+    }
+
+    #[test]
+    fn max_views_per_job_enforced() {
+        let mut cfg = OptimizerConfig::default();
+        cfg.max_views_per_job = 0;
+        let opt = Optimizer::new(cfg);
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(shared_sig(&opt));
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.built_views.is_empty());
+    }
+
+    #[test]
+    fn lock_denial_prevents_build() {
+        struct DenyAll;
+        impl BuildCoordinator for DenyAll {
+            fn try_acquire(&mut self, _s: Sig128) -> bool {
+                false
+            }
+        }
+        let opt = optimizer();
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(shared_sig(&opt));
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut DenyAll).unwrap();
+        assert!(out.built_views.is_empty());
+        assert!(!out.physical.display_tree().contains("Spool"));
+    }
+
+    #[test]
+    fn disabled_switches_do_nothing() {
+        let mut cfg = OptimizerConfig::default();
+        cfg.enable_view_match = false;
+        cfg.enable_view_build = false;
+        let opt = Optimizer::new(cfg);
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        reuse.available.insert(sig, ViewMeta { rows: 10, bytes: 100 });
+        reuse.to_build.insert(sig);
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(out.built_views.is_empty());
+    }
+
+    #[test]
+    fn available_view_not_rebuilt() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        reuse.to_build.insert(sig);
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        // Matched, and NOT rebuilt (it's already materialized).
+        assert_eq!(out.matched_views, vec![sig]);
+        assert!(out.built_views.is_empty());
+    }
+
+    #[test]
+    fn join_algo_selection() {
+        let opt = optimizer();
+        // customer(10k) ⋈ sales(200k) with merge threshold 120k → Merge.
+        let big = shared_subplan();
+        let phys = opt
+            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &scan_stats)
+            .unwrap();
+        let counts = phys.join_algo_counts();
+        assert_eq!(counts.total(), 1);
+        assert_eq!(counts.merge, 1);
+
+        // Tiny side → loop join.
+        let tiny_stats = |name: &str| match name {
+            "sales" => Some((100.0, 10_000.0)),
+            "customer" => Some((10.0, 400.0)),
+            _ => None,
+        };
+        let phys2 = opt
+            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &tiny_stats)
+            .unwrap();
+        assert_eq!(phys2.join_algo_counts().loop_, 1);
+
+        // Mid-size both sides → hash join.
+        let mid_stats = |name: &str| match name {
+            "sales" => Some((50_000.0, 5_000_000.0)),
+            "customer" => Some((5_000.0, 200_000.0)),
+            _ => None,
+        };
+        let phys3 = opt
+            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &mid_stats)
+            .unwrap();
+        assert_eq!(phys3.join_algo_counts().hash, 1);
+    }
+
+    #[test]
+    fn partition_counts_track_estimates() {
+        let opt = optimizer();
+        let phys = opt
+            .to_physical(&normalize(&query(), &opt.cfg.sig).unwrap(), &scan_stats)
+            .unwrap();
+        // sales scan: 200k rows / 2.5k per partition = 80 partitions.
+        fn find_scan(p: &PhysicalPlan) -> Option<usize> {
+            if let PhysicalPlan::TableScan { dataset, partitions, .. } = p {
+                if dataset == "sales" {
+                    return Some(*partitions);
+                }
+            }
+            p.children().iter().find_map(|c| find_scan(c))
+        }
+        assert_eq!(find_scan(&phys), Some(80));
+    }
+}

@@ -1,0 +1,309 @@
+//! Physical plans.
+//!
+//! Physical planning chooses operator implementations (three join
+//! algorithms, matching the paper's Fig. 9 taxonomy of merge/loop/hash
+//! joins) and assigns each operator a *partition count* derived from its
+//! **estimated** cardinality. Partition counts feed the cluster simulator's
+//! container allocation — so cardinality over-estimates directly become
+//! over-partitioning and wasted containers (§3.5), which view reuse then
+//! avoids by replacing estimates with observed view statistics.
+
+use crate::cost::{Cost, CostModel};
+use crate::expr::{AggExpr, ScalarExpr};
+use crate::plan::JoinKind;
+use crate::stats::Statistics;
+use crate::udo::UdoSpec;
+use cv_common::hash::Sig128;
+use cv_common::ids::VersionGuid;
+use cv_data::schema::SchemaRef;
+
+/// Physical join algorithm (paper Fig. 9 categories).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum JoinAlgo {
+    Hash,
+    Merge,
+    Loop,
+}
+
+impl JoinAlgo {
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinAlgo::Hash => "Hash Join",
+            JoinAlgo::Merge => "Merge Join",
+            JoinAlgo::Loop => "Loop Join",
+        }
+    }
+}
+
+/// A physical operator tree. Every node carries its estimated statistics
+/// and partition count.
+#[derive(Clone, Debug)]
+pub enum PhysicalPlan {
+    TableScan {
+        dataset: String,
+        guid: VersionGuid,
+        schema: SchemaRef,
+        est: Statistics,
+        partitions: usize,
+    },
+    ViewScan {
+        sig: Sig128,
+        schema: SchemaRef,
+        est: Statistics,
+        partitions: usize,
+    },
+    Filter {
+        predicate: ScalarExpr,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    Project {
+        exprs: Vec<(ScalarExpr, String)>,
+        schema: SchemaRef,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    Join {
+        algo: JoinAlgo,
+        kind: JoinKind,
+        on: Vec<(String, String)>,
+        left: Box<PhysicalPlan>,
+        right: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    HashAggregate {
+        group_by: Vec<(ScalarExpr, String)>,
+        aggs: Vec<AggExpr>,
+        schema: SchemaRef,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    Sort {
+        keys: Vec<(String, bool)>,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    Limit {
+        n: usize,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+    },
+    Union {
+        inputs: Vec<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    Udo {
+        spec: UdoSpec,
+        schema: SchemaRef,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+    /// Spool with two consumers: pass-through + view writer (paper Fig. 5,
+    /// "add a spool + output operators"). Carries everything the runtime
+    /// needs to register the sealed view.
+    Spool {
+        sig: Sig128,
+        recurring_sig: Sig128,
+        input_guids: Vec<VersionGuid>,
+        input: Box<PhysicalPlan>,
+        est: Statistics,
+        partitions: usize,
+    },
+}
+
+impl PhysicalPlan {
+    pub fn est(&self) -> Statistics {
+        match self {
+            PhysicalPlan::TableScan { est, .. }
+            | PhysicalPlan::ViewScan { est, .. }
+            | PhysicalPlan::Filter { est, .. }
+            | PhysicalPlan::Project { est, .. }
+            | PhysicalPlan::Join { est, .. }
+            | PhysicalPlan::HashAggregate { est, .. }
+            | PhysicalPlan::Sort { est, .. }
+            | PhysicalPlan::Limit { est, .. }
+            | PhysicalPlan::Union { est, .. }
+            | PhysicalPlan::Udo { est, .. }
+            | PhysicalPlan::Spool { est, .. } => *est,
+        }
+    }
+
+    pub fn partitions(&self) -> usize {
+        match self {
+            PhysicalPlan::TableScan { partitions, .. }
+            | PhysicalPlan::ViewScan { partitions, .. }
+            | PhysicalPlan::Filter { partitions, .. }
+            | PhysicalPlan::Project { partitions, .. }
+            | PhysicalPlan::Join { partitions, .. }
+            | PhysicalPlan::HashAggregate { partitions, .. }
+            | PhysicalPlan::Sort { partitions, .. }
+            | PhysicalPlan::Union { partitions, .. }
+            | PhysicalPlan::Udo { partitions, .. }
+            | PhysicalPlan::Spool { partitions, .. } => *partitions,
+            PhysicalPlan::Limit { .. } => 1,
+        }
+    }
+
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::ViewScan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Udo { input, .. }
+            | PhysicalPlan::Spool { input, .. } => vec![input],
+            PhysicalPlan::Join { left, right, .. } => vec![left, right],
+            PhysicalPlan::Union { inputs, .. } => inputs.iter().collect(),
+        }
+    }
+
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            PhysicalPlan::TableScan { .. } => "TableScan",
+            PhysicalPlan::ViewScan { .. } => "ViewScan",
+            PhysicalPlan::Filter { .. } => "Filter",
+            PhysicalPlan::Project { .. } => "Project",
+            PhysicalPlan::Join { algo, .. } => match algo {
+                JoinAlgo::Hash => "HashJoin",
+                JoinAlgo::Merge => "MergeJoin",
+                JoinAlgo::Loop => "LoopJoin",
+            },
+            PhysicalPlan::HashAggregate { .. } => "HashAggregate",
+            PhysicalPlan::Sort { .. } => "Sort",
+            PhysicalPlan::Limit { .. } => "Limit",
+            PhysicalPlan::Union { .. } => "Union",
+            PhysicalPlan::Udo { .. } => "Udo",
+            PhysicalPlan::Spool { .. } => "Spool",
+        }
+    }
+
+    /// Estimated cost of this node alone (children excluded).
+    pub fn self_cost(&self, model: &CostModel) -> Cost {
+        let est = self.est();
+        match self {
+            PhysicalPlan::TableScan { .. } => model.scan(est.bytes),
+            PhysicalPlan::ViewScan { .. } => model.view_scan(est.bytes),
+            PhysicalPlan::Filter { input, .. } => model.filter(input.est().rows),
+            PhysicalPlan::Project { exprs, input, .. } => {
+                model.project(input.est().rows, exprs.len())
+            }
+            PhysicalPlan::Join { algo, left, right, .. } => {
+                let l = left.est().rows;
+                let r = right.est().rows;
+                match algo {
+                    JoinAlgo::Hash => model.hash_join(r, l),
+                    JoinAlgo::Merge => model.merge_join(l, r),
+                    JoinAlgo::Loop => model.nested_loop_join(l, r),
+                }
+            }
+            PhysicalPlan::HashAggregate { aggs, input, .. } => {
+                model.hash_aggregate(input.est().rows, aggs.len())
+            }
+            PhysicalPlan::Sort { input, .. } => model.sort(input.est().rows),
+            PhysicalPlan::Limit { .. } => model.limit(),
+            PhysicalPlan::Union { .. } => model.union(est.rows),
+            PhysicalPlan::Udo { input, .. } => model.udo(input.est().rows),
+            PhysicalPlan::Spool { input, .. } => {
+                model.spool(input.est().rows, input.est().bytes)
+            }
+        }
+    }
+
+    /// Estimated cost of the whole subtree.
+    pub fn total_cost(&self, model: &CostModel) -> Cost {
+        let mut c = self.self_cost(model);
+        for child in self.children() {
+            c += child.total_cost(model);
+        }
+        c
+    }
+
+    /// Total nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+    }
+
+    /// Tally of join algorithms used in this plan (Fig. 9 series).
+    pub fn join_algo_counts(&self) -> JoinAlgoCounts {
+        let mut counts = JoinAlgoCounts::default();
+        self.tally_joins(&mut counts);
+        counts
+    }
+
+    fn tally_joins(&self, counts: &mut JoinAlgoCounts) {
+        if let PhysicalPlan::Join { algo, .. } = self {
+            match algo {
+                JoinAlgo::Hash => counts.hash += 1,
+                JoinAlgo::Merge => counts.merge += 1,
+                JoinAlgo::Loop => counts.loop_ += 1,
+            }
+        }
+        for c in self.children() {
+            c.tally_joins(counts);
+        }
+    }
+
+    /// Rendered tree (the "modified query plans are surfaced to the users in
+    /// the query monitoring tool", §2.3).
+    pub fn display_tree(&self) -> String {
+        let mut out = String::new();
+        self.fmt_tree(0, &mut out);
+        out
+    }
+
+    fn fmt_tree(&self, depth: usize, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        let extra = match self {
+            PhysicalPlan::TableScan { dataset, .. } => format!(" {dataset}"),
+            PhysicalPlan::ViewScan { sig, .. } => format!(" cloudview-{}", sig.short()),
+            PhysicalPlan::Spool { sig, .. } => format!(" cloudview-{}", sig.short()),
+            PhysicalPlan::Filter { predicate, .. } => format!(" {predicate}"),
+            PhysicalPlan::Join { on, .. } => {
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                format!(" on {}", keys.join(","))
+            }
+            _ => String::new(),
+        };
+        let est = self.est();
+        out.push_str(&format!(
+            "{pad}{}{extra} [rows≈{:.0}, parts={}]\n",
+            self.kind_name(),
+            est.rows,
+            self.partitions()
+        ));
+        for c in self.children() {
+            c.fmt_tree(depth + 1, out);
+        }
+    }
+}
+
+/// Join algorithm tally (Fig. 9 series).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct JoinAlgoCounts {
+    pub hash: usize,
+    pub merge: usize,
+    pub loop_: usize,
+}
+
+impl JoinAlgoCounts {
+    pub fn total(&self) -> usize {
+        self.hash + self.merge + self.loop_
+    }
+}
+
+impl std::ops::AddAssign for JoinAlgoCounts {
+    fn add_assign(&mut self, rhs: JoinAlgoCounts) {
+        self.hash += rhs.hash;
+        self.merge += rhs.merge;
+        self.loop_ += rhs.loop_;
+    }
+}

@@ -1,0 +1,324 @@
+//! Fluent, validating builder for logical plans.
+//!
+//! The SQL binder lowers onto this builder; workload templates and tests use
+//! it directly. Every step type-checks against the current schema so invalid
+//! plans are rejected at build time rather than mid-execution.
+
+use super::{JoinKind, LogicalPlan};
+use crate::expr::{AggExpr, ScalarExpr};
+use crate::udo::{UdoRegistry, UdoSpec};
+use cv_common::{CvError, Result};
+use cv_data::catalog::DatasetCatalog;
+use cv_data::value::DataType;
+use std::sync::Arc;
+
+/// Builder over an in-progress plan.
+#[derive(Clone, Debug)]
+pub struct PlanBuilder {
+    plan: Arc<LogicalPlan>,
+}
+
+impl PlanBuilder {
+    /// Start from a scan of a catalog dataset at its *current* version.
+    pub fn scan(catalog: &DatasetCatalog, dataset: &str) -> Result<PlanBuilder> {
+        let ds = catalog.get_by_name(dataset)?;
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::Scan {
+                dataset: ds.name.clone(),
+                guid: ds.current_guid(),
+                schema: ds.schema.clone(),
+            }),
+        })
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: Arc<LogicalPlan>) -> PlanBuilder {
+        PlanBuilder { plan }
+    }
+
+    pub fn filter(self, predicate: ScalarExpr) -> Result<PlanBuilder> {
+        let schema = self.plan.schema()?;
+        let t = predicate.dtype(&schema)?;
+        if t != DataType::Bool {
+            return Err(CvError::plan(format!("filter predicate must be BOOL, got {t}")));
+        }
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::Filter { predicate, input: self.plan }),
+        })
+    }
+
+    pub fn project(self, exprs: Vec<(ScalarExpr, &str)>) -> Result<PlanBuilder> {
+        let schema = self.plan.schema()?;
+        let mut out = Vec::with_capacity(exprs.len());
+        for (e, name) in exprs {
+            e.dtype(&schema)?; // type check
+            out.push((e, name.to_string()));
+        }
+        let plan = LogicalPlan::Project { exprs: out, input: self.plan };
+        plan.schema()?; // checks duplicate output names
+        Ok(PlanBuilder { plan: Arc::new(plan) })
+    }
+
+    pub fn join(
+        self,
+        right: PlanBuilder,
+        on: &[(&str, &str)],
+        kind: JoinKind,
+    ) -> Result<PlanBuilder> {
+        if on.is_empty() {
+            return Err(CvError::plan("join requires at least one key pair"));
+        }
+        let ls = self.plan.schema()?;
+        let rs = right.plan.schema()?;
+        for (l, r) in on {
+            let lf = ls
+                .field_by_name(l)
+                .ok_or_else(|| CvError::plan(format!("left join key `{l}` not found in {ls}")))?;
+            let rf = rs
+                .field_by_name(r)
+                .ok_or_else(|| CvError::plan(format!("right join key `{r}` not found in {rs}")))?;
+            let compatible = lf.dtype == rf.dtype
+                || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
+            if !compatible {
+                return Err(CvError::plan(format!(
+                    "join key type mismatch: {l} is {}, {r} is {}",
+                    lf.dtype, rf.dtype
+                )));
+            }
+        }
+        let plan = LogicalPlan::Join {
+            left: self.plan,
+            right: right.plan,
+            on: on.iter().map(|(l, r)| (l.to_string(), r.to_string())).collect(),
+            kind,
+        };
+        plan.schema()?; // detects output-name collisions for non-semi joins
+        Ok(PlanBuilder { plan: Arc::new(plan) })
+    }
+
+    pub fn aggregate(
+        self,
+        group_by: Vec<(ScalarExpr, &str)>,
+        aggs: Vec<AggExpr>,
+    ) -> Result<PlanBuilder> {
+        let schema = self.plan.schema()?;
+        let mut g = Vec::with_capacity(group_by.len());
+        for (e, name) in group_by {
+            e.dtype(&schema)?;
+            g.push((e, name.to_string()));
+        }
+        for a in &aggs {
+            a.dtype(&schema)?;
+        }
+        if g.is_empty() && aggs.is_empty() {
+            return Err(CvError::plan("aggregate requires group keys or aggregates"));
+        }
+        let plan = LogicalPlan::Aggregate { group_by: g, aggs, input: self.plan };
+        plan.schema()?;
+        Ok(PlanBuilder { plan: Arc::new(plan) })
+    }
+
+    pub fn union(self, other: PlanBuilder) -> Result<PlanBuilder> {
+        let plan = LogicalPlan::Union { inputs: vec![self.plan, other.plan] };
+        plan.schema()?;
+        Ok(PlanBuilder { plan: Arc::new(plan) })
+    }
+
+    pub fn sort(self, keys: &[(&str, bool)]) -> Result<PlanBuilder> {
+        let schema = self.plan.schema()?;
+        for (k, _) in keys {
+            if !schema.contains(k) {
+                return Err(CvError::plan(format!("sort key `{k}` not found in {schema}")));
+            }
+        }
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::Sort {
+                keys: keys.iter().map(|(k, asc)| (k.to_string(), *asc)).collect(),
+                input: self.plan,
+            }),
+        })
+    }
+
+    pub fn limit(self, n: usize) -> PlanBuilder {
+        PlanBuilder { plan: Arc::new(LogicalPlan::Limit { n, input: self.plan }) }
+    }
+
+    pub fn udo(self, spec: UdoSpec, registry: &UdoRegistry) -> Result<PlanBuilder> {
+        let in_schema = self.plan.schema()?;
+        let out_schema = registry.output_schema(&spec, &in_schema)?;
+        Ok(PlanBuilder {
+            plan: Arc::new(LogicalPlan::Udo { spec, schema: out_schema, input: self.plan }),
+        })
+    }
+
+    pub fn build(self) -> Arc<LogicalPlan> {
+        self.plan
+    }
+
+    pub fn peek(&self) -> &Arc<LogicalPlan> {
+        &self.plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, AggFunc};
+    use cv_common::SimTime;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::table::Table;
+    use cv_data::value::Value;
+
+    fn catalog() -> DatasetCatalog {
+        let mut cat = DatasetCatalog::new();
+        let sales = Schema::new(vec![
+            Field::new("s_cust", DataType::Int),
+            Field::new("price", DataType::Float),
+            Field::new("qty", DataType::Int),
+        ])
+        .unwrap()
+        .into_ref();
+        cat.register(
+            "sales",
+            Table::from_rows(
+                sales,
+                &[vec![Value::Int(1), Value::Float(2.0), Value::Int(3)]],
+            )
+            .unwrap(),
+            SimTime::EPOCH,
+        )
+        .unwrap();
+        let cust = Schema::new(vec![
+            Field::new("c_id", DataType::Int),
+            Field::new("seg", DataType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        cat.register(
+            "customer",
+            Table::from_rows(cust, &[vec![Value::Int(1), Value::Str("asia".into())]])
+                .unwrap(),
+            SimTime::EPOCH,
+        )
+        .unwrap();
+        cat
+    }
+
+    #[test]
+    fn full_pipeline_builds() {
+        let cat = catalog();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .join(
+                PlanBuilder::scan(&cat, "customer").unwrap(),
+                &[("s_cust", "c_id")],
+                JoinKind::Inner,
+            )
+            .unwrap()
+            .filter(col("seg").eq(lit("asia")))
+            .unwrap()
+            .aggregate(
+                vec![(col("s_cust"), "cust")],
+                vec![AggExpr::new(AggFunc::Sum, col("qty"), "total")],
+            )
+            .unwrap()
+            .sort(&[("total", false)])
+            .unwrap()
+            .limit(10)
+            .build();
+        assert_eq!(plan.node_count(), 7);
+        assert_eq!(plan.schema().unwrap().names(), vec!["cust", "total"]);
+    }
+
+    #[test]
+    fn scan_missing_dataset() {
+        let cat = catalog();
+        assert!(PlanBuilder::scan(&cat, "nope").is_err());
+    }
+
+    #[test]
+    fn filter_requires_bool() {
+        let cat = catalog();
+        let err = PlanBuilder::scan(&cat, "sales").unwrap().filter(col("qty")).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn join_key_validation() {
+        let cat = catalog();
+        let left = PlanBuilder::scan(&cat, "sales").unwrap();
+        let right = PlanBuilder::scan(&cat, "customer").unwrap();
+        let err = left
+            .clone()
+            .join(right.clone(), &[("nope", "c_id")], JoinKind::Inner)
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        let err2 = left
+            .clone()
+            .join(right.clone(), &[("s_cust", "seg")], JoinKind::Inner)
+            .unwrap_err();
+        assert!(err2.to_string().contains("type mismatch"));
+        assert!(left.join(right, &[], JoinKind::Inner).is_err());
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        let cat = catalog();
+        let b = PlanBuilder::scan(&cat, "sales").unwrap();
+        assert!(b.clone().aggregate(vec![], vec![]).is_err());
+        let err = b
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("nope"), "s")])
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn sort_key_must_exist() {
+        let cat = catalog();
+        let err =
+            PlanBuilder::scan(&cat, "sales").unwrap().sort(&[("zz", true)]).unwrap_err();
+        assert_eq!(err.kind(), "plan");
+    }
+
+    #[test]
+    fn union_schema_mismatch() {
+        let cat = catalog();
+        let a = PlanBuilder::scan(&cat, "sales").unwrap();
+        let b = PlanBuilder::scan(&cat, "customer").unwrap();
+        assert!(a.union(b).is_err());
+    }
+
+    #[test]
+    fn udo_builds_with_registry() {
+        let cat = catalog();
+        let mut registry = UdoRegistry::with_builtins();
+        // sales has no user_agent column → schema validation must fail.
+        let err = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .udo(UdoSpec::new("parse_user_agent"), &registry)
+            .unwrap_err();
+        assert_eq!(err.kind(), "plan");
+        // Unknown UDO.
+        registry = UdoRegistry::empty();
+        let err2 = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .udo(UdoSpec::new("parse_user_agent"), &registry)
+            .unwrap_err();
+        assert_eq!(err2.kind(), "not_found");
+    }
+
+    #[test]
+    fn scan_pins_current_guid() {
+        let mut cat = catalog();
+        let p1 = PlanBuilder::scan(&cat, "sales").unwrap().build();
+        let id = cat.id_of("sales").unwrap();
+        let data = cat.get(id).unwrap().data().clone();
+        cat.bulk_update(id, data, SimTime::from_days(1.0)).unwrap();
+        let p2 = PlanBuilder::scan(&cat, "sales").unwrap().build();
+        let (g1, g2) = match (&*p1, &*p2) {
+            (LogicalPlan::Scan { guid: a, .. }, LogicalPlan::Scan { guid: b, .. }) => (*a, *b),
+            _ => panic!("expected scans"),
+        };
+        assert_ne!(g1, g2, "new version must be pinned by new scans");
+    }
+}

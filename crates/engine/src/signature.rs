@@ -1,0 +1,481 @@
+//! Strict and recurring subexpression signatures (paper §2.3, Fig. 5).
+//!
+//! * The **strict signature** uniquely captures a subexpression *instance*,
+//!   including the exact input dataset versions (GUIDs) and parameter
+//!   values. Views are stored and matched by strict signature: equality
+//!   means "same logical computation over the same inputs", so matching is a
+//!   hash lookup instead of a view-containment check (§2.4 "lightweight view
+//!   matching").
+//! * The **recurring signature** discards time-varying attributes — input
+//!   GUIDs and `@param` values — and therefore stays stable across daily
+//!   instances of a recurring job. Workload analysis selects views by
+//!   recurring signature; the runtime then materializes each day's strict
+//!   instance just in time.
+//!
+//! Signatures refuse to cover non-deterministic UDOs/functions and UDOs with
+//! over-deep library chains (§4 "signature correctness"): such
+//! subexpressions (and everything above them) return `None` and are simply
+//! never reused. The engine runtime version salts every signature, so a
+//! runtime upgrade atomically invalidates all existing views (§4 "impact of
+//! changed signatures").
+
+use crate::plan::LogicalPlan;
+use cv_common::hash::{Sig128, StableHasher};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Which signature flavour to compute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum SigMode {
+    Strict,
+    Recurring,
+}
+
+/// Signature computation parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// SCOPE runtime version; part of the hash domain.
+    pub runtime_version: String,
+    /// Maximum UDO library-chain length the signer will traverse.
+    pub max_udo_chain: usize,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig { runtime_version: "scope-v1".to_string(), max_udo_chain: 8 }
+    }
+}
+
+impl SignatureConfig {
+    pub fn with_runtime(version: impl Into<String>) -> SignatureConfig {
+        SignatureConfig { runtime_version: version.into(), ..Default::default() }
+    }
+}
+
+/// Both signatures of one signable subexpression.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SigPair {
+    pub strict: Sig128,
+    pub recurring: Sig128,
+}
+
+/// One enumerated subexpression of a plan.
+#[derive(Clone, Debug)]
+pub struct SubexprInfo {
+    pub plan: Arc<LogicalPlan>,
+    pub strict: Sig128,
+    pub recurring: Sig128,
+    /// Height of the subtree (leaf scan = 1).
+    pub height: usize,
+    pub node_count: usize,
+    /// True for the plan root.
+    pub is_root: bool,
+    pub kind: &'static str,
+}
+
+/// Compute the signature of a whole plan in the given mode.
+/// `None` means the plan is unsignable (non-determinism somewhere inside).
+pub fn plan_signature(
+    plan: &Arc<LogicalPlan>,
+    cfg: &SignatureConfig,
+    mode: SigMode,
+) -> Option<Sig128> {
+    sig_walk(plan, cfg, &mut |_, _, _| {}).map(|p| match mode {
+        SigMode::Strict => p.strict,
+        SigMode::Recurring => p.recurring,
+    })
+}
+
+/// Compute both signatures at once.
+pub fn plan_sig_pair(plan: &Arc<LogicalPlan>, cfg: &SignatureConfig) -> Option<SigPair> {
+    sig_walk(plan, cfg, &mut |_, _, _| {})
+}
+
+/// Enumerate every *signable* subexpression of the plan, bottom-up.
+pub fn enumerate_subexpressions(
+    plan: &Arc<LogicalPlan>,
+    cfg: &SignatureConfig,
+) -> Vec<SubexprInfo> {
+    let mut out: Vec<SubexprInfo> = Vec::new();
+    let root_ptr = Arc::as_ptr(plan);
+    sig_walk(plan, cfg, &mut |node: &Arc<LogicalPlan>, pair: SigPair, height: usize| {
+        out.push(SubexprInfo {
+            plan: node.clone(),
+            strict: pair.strict,
+            recurring: pair.recurring,
+            height,
+            node_count: node.node_count(),
+            is_root: std::ptr::eq(Arc::as_ptr(node), root_ptr),
+            kind: node.kind_name(),
+        });
+    });
+    out
+}
+
+/// Bottom-up walk computing `(strict, recurring)` pairs, invoking `visit`
+/// for each signable node with its pair and height. Returns the root pair.
+fn sig_walk(
+    plan: &Arc<LogicalPlan>,
+    cfg: &SignatureConfig,
+    visit: &mut impl FnMut(&Arc<LogicalPlan>, SigPair, usize),
+) -> Option<SigPair> {
+    fn inner(
+        plan: &Arc<LogicalPlan>,
+        cfg: &SignatureConfig,
+        visit: &mut impl FnMut(&Arc<LogicalPlan>, SigPair, usize),
+    ) -> Option<(SigPair, usize)> {
+        let mut child_pairs = Vec::new();
+        let mut height = 0usize;
+        let mut signable = true;
+        for c in plan.children() {
+            match inner(c, cfg, visit) {
+                Some((pair, h)) => {
+                    child_pairs.push(pair);
+                    height = height.max(h);
+                }
+                None => signable = false,
+            }
+        }
+        if !signable {
+            return None;
+        }
+        let pair = node_sig(plan, cfg, &child_pairs)?;
+        let height = height + 1;
+        visit(plan, pair, height);
+        Some((pair, height))
+    }
+    inner(plan, cfg, visit).map(|(p, _)| p)
+}
+
+/// Hash one node given its children's signature pairs.
+fn node_sig(plan: &LogicalPlan, cfg: &SignatureConfig, children: &[SigPair]) -> Option<SigPair> {
+    let mut strict = StableHasher::with_domain(&format!("plan-sig:{}", cfg.runtime_version));
+    let mut recurring =
+        StableHasher::with_domain(&format!("plan-sig-recurring:{}", cfg.runtime_version));
+    for c in children {
+        strict.write_sig(c.strict);
+        recurring.write_sig(c.recurring);
+    }
+    let both = |s: &mut StableHasher, r: &mut StableHasher, f: &dyn Fn(&mut StableHasher)| {
+        f(s);
+        f(r);
+    };
+    match plan {
+        LogicalPlan::Scan { dataset, guid, schema } => {
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(0);
+                h.write_str(dataset);
+                schema.stable_hash(h);
+            });
+            // Only the strict flavour pins the input version.
+            strict.write_sig(guid.as_sig());
+        }
+        LogicalPlan::Filter { predicate, .. } => {
+            if !predicate.is_deterministic() {
+                return None;
+            }
+            strict.write_u8(1);
+            recurring.write_u8(1);
+            predicate.stable_hash(&mut strict, true);
+            predicate.stable_hash(&mut recurring, false);
+        }
+        LogicalPlan::Project { exprs, .. } => {
+            strict.write_u8(2);
+            recurring.write_u8(2);
+            for (e, name) in exprs {
+                if !e.is_deterministic() {
+                    return None;
+                }
+                e.stable_hash(&mut strict, true);
+                strict.write_str(name);
+                e.stable_hash(&mut recurring, false);
+                recurring.write_str(name);
+            }
+        }
+        LogicalPlan::Join { on, kind, .. } => {
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(3);
+                h.write_u8(kind.ordinal());
+                h.write_u64(on.len() as u64);
+                for (l, r) in on {
+                    h.write_str(l);
+                    h.write_str(r);
+                }
+            });
+        }
+        LogicalPlan::Aggregate { group_by, aggs, .. } => {
+            strict.write_u8(4);
+            recurring.write_u8(4);
+            for (e, name) in group_by {
+                if !e.is_deterministic() {
+                    return None;
+                }
+                e.stable_hash(&mut strict, true);
+                strict.write_str(name);
+                e.stable_hash(&mut recurring, false);
+                recurring.write_str(name);
+            }
+            for a in aggs {
+                if !a.is_deterministic() {
+                    return None;
+                }
+                a.stable_hash(&mut strict, true);
+                a.stable_hash(&mut recurring, false);
+            }
+        }
+        LogicalPlan::Union { inputs } => {
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(5);
+                h.write_u64(inputs.len() as u64);
+            });
+        }
+        LogicalPlan::Sort { keys, .. } => {
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(6);
+                for (k, asc) in keys {
+                    h.write_str(k);
+                    h.write_bool(*asc);
+                }
+            });
+        }
+        LogicalPlan::Limit { n, .. } => {
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(7);
+                h.write_u64(*n as u64);
+            });
+        }
+        LogicalPlan::Udo { spec, .. } => {
+            // The §4 policy: skip reuse on non-determinism or over-deep
+            // dependency chains rather than risk wrong results or slow
+            // compilations.
+            if !spec.deterministic || spec.library_chain.len() > cfg.max_udo_chain {
+                return None;
+            }
+            both(&mut strict, &mut recurring, &|h| {
+                h.write_u8(8);
+                spec.stable_hash(h);
+            });
+        }
+        LogicalPlan::ViewScan { sig, .. } => {
+            // A view scan *is* the computation it replaced: reuse the
+            // original signature so nested matching keeps working.
+            return Some(SigPair { strict: *sig, recurring: *sig });
+        }
+        LogicalPlan::Materialize { .. } => {
+            // Materialize is transparent: it computes exactly its input.
+            return children.first().copied();
+        }
+    }
+    Some(SigPair { strict: strict.finish128(), recurring: recurring.finish128() })
+}
+
+/// A deterministic ordering key for plans, used by the normalizer to order
+/// commutative join inputs. Falls back to a structural hash when the plan is
+/// unsignable.
+pub fn order_key(plan: &Arc<LogicalPlan>, cfg: &SignatureConfig) -> Sig128 {
+    match plan_signature(plan, cfg, SigMode::Strict) {
+        Some(s) => s,
+        None => Sig128::of_str(&plan.display_tree()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, param, AggExpr, AggFunc, FuncKind, ScalarExpr};
+    use crate::plan::JoinKind;
+    use crate::udo::UdoSpec;
+    use cv_common::ids::VersionGuid;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::{DataType, Value};
+
+    fn scan(name: &str, guid: u128) -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            dataset: name.to_string(),
+            guid: VersionGuid(guid),
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Float),
+                Field::new("seg", DataType::Str),
+            ])
+            .unwrap()
+            .into_ref(),
+        })
+    }
+
+    fn cfg() -> SignatureConfig {
+        SignatureConfig::default()
+    }
+
+    fn filter(input: Arc<LogicalPlan>, pred: ScalarExpr) -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Filter { predicate: pred, input })
+    }
+
+    #[test]
+    fn identical_plans_same_signature() {
+        let p1 = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let p2 = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        assert_eq!(
+            plan_signature(&p1, &cfg(), SigMode::Strict),
+            plan_signature(&p2, &cfg(), SigMode::Strict)
+        );
+    }
+
+    #[test]
+    fn strict_differs_across_input_versions_recurring_does_not() {
+        let day1 = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let day2 = filter(scan("sales", 2), col("seg").eq(lit("asia")));
+        assert_ne!(
+            plan_signature(&day1, &cfg(), SigMode::Strict),
+            plan_signature(&day2, &cfg(), SigMode::Strict)
+        );
+        assert_eq!(
+            plan_signature(&day1, &cfg(), SigMode::Recurring),
+            plan_signature(&day2, &cfg(), SigMode::Recurring)
+        );
+    }
+
+    #[test]
+    fn params_strict_vs_recurring() {
+        let d1 = filter(scan("sales", 1), col("k").gt_eq(param("cutoff", Value::Int(10))));
+        let d2 = filter(scan("sales", 1), col("k").gt_eq(param("cutoff", Value::Int(20))));
+        assert_ne!(
+            plan_signature(&d1, &cfg(), SigMode::Strict),
+            plan_signature(&d2, &cfg(), SigMode::Strict)
+        );
+        assert_eq!(
+            plan_signature(&d1, &cfg(), SigMode::Recurring),
+            plan_signature(&d2, &cfg(), SigMode::Recurring)
+        );
+    }
+
+    #[test]
+    fn different_predicates_different_signatures() {
+        let a = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let b = filter(scan("sales", 1), col("seg").eq(lit("emea")));
+        assert_ne!(
+            plan_signature(&a, &cfg(), SigMode::Strict),
+            plan_signature(&b, &cfg(), SigMode::Strict)
+        );
+    }
+
+    #[test]
+    fn runtime_version_salts_everything() {
+        let p = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let v1 = plan_signature(&p, &SignatureConfig::with_runtime("scope-v1"), SigMode::Strict);
+        let v2 = plan_signature(&p, &SignatureConfig::with_runtime("scope-v2"), SigMode::Strict);
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn nondeterministic_expr_unsignable() {
+        let nd = ScalarExpr::Func { func: FuncKind::RandomNext, args: vec![] };
+        let p = filter(scan("sales", 1), col("k").gt(nd));
+        assert_eq!(plan_signature(&p, &cfg(), SigMode::Strict), None);
+        // And the taint propagates upward…
+        let parent = Arc::new(LogicalPlan::Limit { n: 5, input: p });
+        assert_eq!(plan_signature(&parent, &cfg(), SigMode::Strict), None);
+    }
+
+    #[test]
+    fn udo_policies() {
+        let schema = scan("sales", 1).schema().unwrap();
+        let mk = |spec: UdoSpec| {
+            Arc::new(LogicalPlan::Udo { spec, schema: schema.clone(), input: scan("sales", 1) })
+        };
+        // Deterministic shallow chain: signable.
+        assert!(plan_signature(&mk(UdoSpec::new("f")), &cfg(), SigMode::Strict).is_some());
+        // Non-deterministic UDO: unsignable.
+        assert!(plan_signature(&mk(UdoSpec::new("f").nondeterministic()), &cfg(), SigMode::Strict)
+            .is_none());
+        // Over-deep chain: unsignable.
+        let deep: Vec<String> = (0..20).map(|i| format!("lib{i}")).collect();
+        assert!(
+            plan_signature(&mk(UdoSpec::new("f").with_chain(deep)), &cfg(), SigMode::Strict)
+                .is_none()
+        );
+        // Version bump changes the signature.
+        let s1 = plan_signature(&mk(UdoSpec::new("f")), &cfg(), SigMode::Strict);
+        let s2 = plan_signature(&mk(UdoSpec::new("f").with_version(2)), &cfg(), SigMode::Strict);
+        assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn enumerate_lists_all_signable_nodes() {
+        let join = Arc::new(LogicalPlan::Join {
+            left: filter(scan("sales", 1), col("seg").eq(lit("asia"))),
+            right: scan("customer", 2),
+            on: vec![("k".to_string(), "k".to_string())],
+            kind: JoinKind::Inner,
+        });
+        let agg = Arc::new(LogicalPlan::Aggregate {
+            group_by: vec![(col("seg"), "seg".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            input: join,
+        });
+        // Schema conflict: both scans expose k/v/seg. Use semi join instead.
+        // (kept inner: enumerate doesn't validate schemas)
+        let subs = enumerate_subexpressions(&agg, &cfg());
+        assert_eq!(subs.len(), 5); // scan, filter, scan, join, aggregate
+        let root: Vec<_> = subs.iter().filter(|s| s.is_root).collect();
+        assert_eq!(root.len(), 1);
+        assert_eq!(root[0].kind, "Aggregate");
+        // Heights are consistent: root has the max height.
+        let max_h = subs.iter().map(|s| s.height).max().unwrap();
+        assert_eq!(root[0].height, max_h);
+        // All signatures are distinct here.
+        let uniq: std::collections::HashSet<_> = subs.iter().map(|s| s.strict).collect();
+        assert_eq!(uniq.len(), subs.len());
+    }
+
+    #[test]
+    fn shared_subexpressions_across_plans_collide() {
+        // Two different queries over the same filtered scan share the
+        // filter subexpression signature — the core CloudViews observation.
+        let shared1 = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let shared2 = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let q1 = Arc::new(LogicalPlan::Limit { n: 10, input: shared1 });
+        let q2 = Arc::new(LogicalPlan::Aggregate {
+            group_by: vec![],
+            aggs: vec![AggExpr::count_star("n")],
+            input: shared2,
+        });
+        let subs1 = enumerate_subexpressions(&q1, &cfg());
+        let subs2 = enumerate_subexpressions(&q2, &cfg());
+        let sigs1: std::collections::HashSet<_> = subs1.iter().map(|s| s.strict).collect();
+        let common: Vec<_> = subs2.iter().filter(|s| sigs1.contains(&s.strict)).collect();
+        // scan + filter collide; roots differ.
+        assert_eq!(common.len(), 2);
+    }
+
+    #[test]
+    fn materialize_is_signature_transparent() {
+        let base = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let sig = plan_signature(&base, &cfg(), SigMode::Strict).unwrap();
+        let mat = Arc::new(LogicalPlan::Materialize { sig, input: base });
+        assert_eq!(plan_signature(&mat, &cfg(), SigMode::Strict), Some(sig));
+    }
+
+    #[test]
+    fn viewscan_carries_replaced_signature() {
+        let base = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let sig = plan_signature(&base, &cfg(), SigMode::Strict).unwrap();
+        let vs = Arc::new(LogicalPlan::ViewScan {
+            sig,
+            schema: base.schema().unwrap(),
+            rows: 1,
+            bytes: 1,
+        });
+        assert_eq!(plan_signature(&vs, &cfg(), SigMode::Strict), Some(sig));
+    }
+
+    #[test]
+    fn order_key_total_over_unsignable_plans() {
+        let nd = ScalarExpr::Func { func: FuncKind::Now, args: vec![] };
+        let p = filter(scan("sales", 1), col("k").gt(nd.cast(DataType::Int)));
+        // Unsignable but still orderable.
+        let k1 = order_key(&p, &cfg());
+        let k2 = order_key(&p, &cfg());
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,108 @@
+//! SQL abstract syntax tree.
+
+use crate::expr::{AggFunc, BinOp, FuncKind, UnOp};
+use cv_data::value::{DataType, Value};
+
+/// A parsed expression. Unlike [`crate::expr::ScalarExpr`], this can contain
+/// aggregate calls and qualified column references; the binder lowers it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Possibly-qualified column: `(qualifier, name)`.
+    Column(Option<String>, String),
+    Literal(Value),
+    Param(String),
+    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
+    Unary { op: UnOp, expr: Box<Expr> },
+    Func { func: FuncKind, args: Vec<Expr> },
+    Agg { func: AggFunc, arg: Option<Box<Expr>> },
+    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
+    Cast { expr: Box<Expr>, dtype: DataType },
+}
+
+/// One select-list item.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelectItem {
+    pub expr: Expr,
+    pub alias: Option<String>,
+}
+
+/// A FROM-clause table with optional alias.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+/// One JOIN clause (always INNER in the surface syntax unless prefixed).
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinClause {
+    pub table: TableRef,
+    /// `(left, right)` qualified column pairs from the ON conjunction.
+    pub on: Vec<(Expr, Expr)>,
+    pub kind: JoinType,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinType {
+    Inner,
+    Left,
+    Semi,
+}
+
+/// A single SELECT block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Select {
+    /// Empty = `SELECT *`.
+    pub items: Vec<SelectItem>,
+    pub from: TableRef,
+    pub joins: Vec<JoinClause>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+}
+
+/// A full query: one or more UNION ALL'd selects + optional ordering/limit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    pub selects: Vec<Select>,
+    pub order_by: Vec<(String, bool)>,
+    pub limit: Option<usize>,
+}
+
+impl Expr {
+    /// Does this expression contain an aggregate call?
+    pub fn has_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Column(..) | Expr::Literal(_) | Expr::Param(_) => false,
+            Expr::Binary { left, right, .. } => left.has_aggregate() || right.has_aggregate(),
+            Expr::Unary { expr, .. } => expr.has_aggregate(),
+            Expr::Func { args, .. } => args.iter().any(Expr::has_aggregate),
+            Expr::Case { branches, else_expr } => {
+                branches.iter().any(|(w, t)| w.has_aggregate() || t.has_aggregate())
+                    || else_expr.as_ref().map_or(false, |e| e.has_aggregate())
+            }
+            Expr::Cast { expr, .. } => expr.has_aggregate(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinOp;
+
+    #[test]
+    fn aggregate_detection() {
+        let plain = Expr::Column(None, "x".into());
+        assert!(!plain.has_aggregate());
+        let agg = Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(plain.clone())) };
+        assert!(agg.has_aggregate());
+        let nested = Expr::Binary {
+            op: BinOp::Div,
+            left: Box::new(agg),
+            right: Box::new(Expr::Literal(Value::Int(2))),
+        };
+        assert!(nested.has_aggregate());
+    }
+}

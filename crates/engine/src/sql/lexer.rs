@@ -1,0 +1,258 @@
+//! SQL tokenizer.
+
+use cv_common::{CvError, Result};
+
+/// A lexed token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (keywords are matched case-insensitively by
+    /// the parser; the original spelling is preserved for identifiers).
+    Ident(String),
+    /// `@name` template parameter.
+    Param(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Punctuation / operators.
+    Symbol(Sym),
+    Eof,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Sym {
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+impl Token {
+    /// Case-insensitive keyword check for identifier tokens.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize SQL text.
+pub fn tokenize(sql: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let bytes = sql.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // line comment
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::Symbol(Sym::LParen));
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::Symbol(Sym::RParen));
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Symbol(Sym::Comma));
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Symbol(Sym::Dot));
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Symbol(Sym::Star));
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Symbol(Sym::Plus));
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Symbol(Sym::Minus));
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Symbol(Sym::Slash));
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Symbol(Sym::Percent));
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Symbol(Sym::Eq));
+                i += 1;
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::LtEq));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::GtEq));
+                    i += 2;
+                } else {
+                    tokens.push(Token::Symbol(Sym::Gt));
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push(Token::Symbol(Sym::NotEq));
+                    i += 2;
+                } else {
+                    return Err(CvError::parse("unexpected `!`"));
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    if j >= bytes.len() {
+                        return Err(CvError::parse("unterminated string literal"));
+                    }
+                    if bytes[j] == b'\'' {
+                        // '' escape
+                        if j + 1 < bytes.len() && bytes[j + 1] == b'\'' {
+                            s.push('\'');
+                            j += 2;
+                            continue;
+                        }
+                        break;
+                    }
+                    s.push(bytes[j] as char);
+                    j += 1;
+                }
+                tokens.push(Token::Str(s));
+                i = j + 1;
+            }
+            '@' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(CvError::parse("`@` must be followed by a parameter name"));
+                }
+                tokens.push(Token::Param(sql[start..j].to_string()));
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == b'.'
+                            && j + 1 < bytes.len()
+                            && bytes[j + 1].is_ascii_digit()))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &sql[start..j];
+                if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| CvError::parse(format!("bad float literal `{text}`")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v: i64 = text
+                        .parse()
+                        .map_err(|_| CvError::parse(format!("bad int literal `{text}`")))?;
+                    tokens.push(Token::Int(v));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == b'_') {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(sql[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(CvError::parse(format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    tokens.push(Token::Eof);
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT a, b FROM T WHERE x >= 1.5 AND y <> 'it''s'").unwrap();
+        assert!(t.contains(&Token::Symbol(Sym::GtEq)));
+        assert!(t.contains(&Token::Symbol(Sym::NotEq)));
+        assert!(t.contains(&Token::Float(1.5)));
+        assert!(t.contains(&Token::Str("it's".into())));
+        assert_eq!(*t.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn params_and_comments() {
+        let t = tokenize("-- header\nSELECT @run_date, x -- trailing\nFROM T").unwrap();
+        assert!(t.contains(&Token::Param("run_date".into())));
+        assert!(!t.iter().any(|tok| matches!(tok, Token::Ident(s) if s == "header")));
+    }
+
+    #[test]
+    fn numbers() {
+        let t = tokenize("1 23 4.5 0.25").unwrap();
+        assert_eq!(t[0], Token::Int(1));
+        assert_eq!(t[1], Token::Int(23));
+        assert_eq!(t[2], Token::Float(4.5));
+        assert_eq!(t[3], Token::Float(0.25));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a @ b").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+        assert!(t[0].is_kw("select"));
+        assert!(!t[0].is_kw("FROM"));
+    }
+}

@@ -1,0 +1,588 @@
+//! Recursive-descent SQL parser.
+
+use super::ast::*;
+use super::lexer::{tokenize, Sym, Token};
+use crate::expr::{AggFunc, BinOp, FuncKind, UnOp};
+use cv_common::{CvError, Result};
+use cv_data::value::{parse_date, DataType, Value};
+
+/// Parse SQL text into a [`Query`].
+pub fn parse(sql: &str) -> Result<Query> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(CvError::parse(format!("expected `{kw}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn eat_sym(&mut self, s: Sym) -> bool {
+        if *self.peek() == Token::Symbol(s) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, s: Sym) -> Result<()> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(CvError::parse(format!("expected `{s:?}`, found {:?}", self.peek())))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Token::Eof {
+            Ok(())
+        } else {
+            Err(CvError::parse(format!("trailing input at {:?}", self.peek())))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String> {
+        match self.bump() {
+            Token::Ident(s) => Ok(s),
+            other => Err(CvError::parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        let mut selects = vec![self.select()?];
+        while self.peek().is_kw("UNION") {
+            self.bump();
+            self.expect_kw("ALL")?;
+            selects.push(self.select()?);
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let name = self.ident()?;
+                let asc = if self.eat_kw("DESC") {
+                    false
+                } else {
+                    self.eat_kw("ASC");
+                    true
+                };
+                order_by.push((name, asc));
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let mut limit = None;
+        if self.eat_kw("LIMIT") {
+            match self.bump() {
+                Token::Int(n) if n >= 0 => limit = Some(n as usize),
+                other => {
+                    return Err(CvError::parse(format!(
+                        "LIMIT requires a non-negative integer, found {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(Query { selects, order_by, limit })
+    }
+
+    fn select(&mut self) -> Result<Select> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        if self.eat_sym(Sym::Star) {
+            // SELECT * — empty item list.
+        } else {
+            loop {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem { expr, alias });
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let kind = if self.peek().is_kw("JOIN") {
+                self.bump();
+                JoinType::Inner
+            } else if self.peek().is_kw("LEFT") {
+                self.bump();
+                self.expect_kw("JOIN")?;
+                JoinType::Left
+            } else if self.peek().is_kw("SEMI") {
+                self.bump();
+                self.expect_kw("JOIN")?;
+                JoinType::Semi
+            } else if self.peek().is_kw("INNER") {
+                self.bump();
+                self.expect_kw("JOIN")?;
+                JoinType::Inner
+            } else {
+                break;
+            };
+            let table = self.table_ref()?;
+            self.expect_kw("ON")?;
+            let mut on = Vec::new();
+            loop {
+                let l = self.primary()?;
+                self.expect_sym(Sym::Eq)?;
+                let r = self.primary()?;
+                on.push((l, r));
+                if !self.eat_kw("AND") {
+                    break;
+                }
+            }
+            joins.push(JoinClause { table, on, kind });
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(Sym::Comma) {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") { Some(self.expr()?) } else { None };
+        Ok(Select { items, from, joins, where_clause, group_by, having })
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let name = self.ident()?;
+        // Optional alias (with or without AS); guard against keywords that
+        // start the next clause.
+        let alias = if self.eat_kw("AS") {
+            Some(self.ident()?)
+        } else if let Token::Ident(s) = self.peek() {
+            const CLAUSES: [&str; 13] = [
+                "JOIN", "LEFT", "SEMI", "INNER", "ON", "WHERE", "GROUP", "HAVING", "UNION",
+                "ORDER", "LIMIT", "AND", "OR",
+            ];
+            if CLAUSES.iter().any(|k| s.eq_ignore_ascii_case(k)) {
+                None
+            } else {
+                Some(self.ident()?)
+            }
+        } else {
+            None
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression precedence: OR < AND < NOT < comparison < +- < */% < unary.
+    fn expr(&mut self) -> Result<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut left = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let right = self.and_expr()?;
+            left = Expr::Binary { op: BinOp::Or, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut left = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let right = self.not_expr()?;
+            left = Expr::Binary { op: BinOp::And, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            let inner = self.not_expr()?;
+            return Ok(Expr::Unary { op: UnOp::Not, expr: Box::new(inner) });
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Token::Symbol(Sym::Eq) => Some(BinOp::Eq),
+            Token::Symbol(Sym::NotEq) => Some(BinOp::NotEq),
+            Token::Symbol(Sym::Lt) => Some(BinOp::Lt),
+            Token::Symbol(Sym::LtEq) => Some(BinOp::LtEq),
+            Token::Symbol(Sym::Gt) => Some(BinOp::Gt),
+            Token::Symbol(Sym::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let right = self.additive()?;
+            return Ok(Expr::Binary { op, left: Box::new(left), right: Box::new(right) });
+        }
+        // IS [NOT] NULL
+        if self.eat_kw("IS") {
+            let not = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let op = if not { UnOp::IsNotNull } else { UnOp::IsNull };
+            return Ok(Expr::Unary { op, expr: Box::new(left) });
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Expr> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Plus) => BinOp::Add,
+                Token::Symbol(Sym::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let right = self.multiplicative()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr> {
+        let mut left = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Token::Symbol(Sym::Star) => BinOp::Mul,
+                Token::Symbol(Sym::Slash) => BinOp::Div,
+                Token::Symbol(Sym::Percent) => BinOp::Mod,
+                _ => break,
+            };
+            self.bump();
+            let right = self.unary()?;
+            left = Expr::Binary { op, left: Box::new(left), right: Box::new(right) };
+        }
+        Ok(left)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat_sym(Sym::Minus) {
+            let inner = self.unary()?;
+            return Ok(Expr::Unary { op: UnOp::Neg, expr: Box::new(inner) });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.bump() {
+            Token::Int(v) => Ok(Expr::Literal(Value::Int(v))),
+            Token::Float(v) => Ok(Expr::Literal(Value::Float(v))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            Token::Param(name) => Ok(Expr::Param(name)),
+            Token::Symbol(Sym::LParen) => {
+                let e = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(id) => self.ident_expr(id),
+            other => Err(CvError::parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+
+    fn ident_expr(&mut self, id: String) -> Result<Expr> {
+        let upper = id.to_ascii_uppercase();
+        match upper.as_str() {
+            "NULL" => return Ok(Expr::Literal(Value::Null)),
+            "TRUE" => return Ok(Expr::Literal(Value::Bool(true))),
+            "FALSE" => return Ok(Expr::Literal(Value::Bool(false))),
+            "DATE" => {
+                // DATE 'YYYY-MM-DD'
+                if let Token::Str(s) = self.peek().clone() {
+                    self.bump();
+                    let d = parse_date(&s)
+                        .ok_or_else(|| CvError::parse(format!("bad DATE literal '{s}'")))?;
+                    return Ok(Expr::Literal(Value::Date(d)));
+                }
+                return Err(CvError::parse("DATE must be followed by a string literal"));
+            }
+            "CASE" => return self.case_expr(),
+            "CAST" => return self.cast_expr(),
+            _ => {}
+        }
+        // Aggregate call?
+        if *self.peek() == Token::Symbol(Sym::LParen) {
+            if let Some(agg) = agg_func(&upper) {
+                self.bump(); // (
+                if agg == AggFunc::Count && self.eat_sym(Sym::Star) {
+                    self.expect_sym(Sym::RParen)?;
+                    return Ok(Expr::Agg { func: AggFunc::Count, arg: None });
+                }
+                let distinct = self.eat_kw("DISTINCT");
+                let arg = self.expr()?;
+                self.expect_sym(Sym::RParen)?;
+                let func = if distinct {
+                    if agg != AggFunc::Count {
+                        return Err(CvError::parse("DISTINCT only supported with COUNT"));
+                    }
+                    AggFunc::CountDistinct
+                } else {
+                    agg
+                };
+                return Ok(Expr::Agg { func, arg: Some(Box::new(arg)) });
+            }
+            // Scalar function call.
+            if let Some(func) = FuncKind::from_name(&upper) {
+                self.bump(); // (
+                let mut args = Vec::new();
+                if !self.eat_sym(Sym::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat_sym(Sym::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect_sym(Sym::RParen)?;
+                }
+                return Ok(Expr::Func { func, args });
+            }
+            return Err(CvError::parse(format!("unknown function `{id}`")));
+        }
+        // Qualified column a.b?
+        if self.eat_sym(Sym::Dot) {
+            let col = self.ident()?;
+            return Ok(Expr::Column(Some(id), col));
+        }
+        Ok(Expr::Column(None, id))
+    }
+
+    fn case_expr(&mut self) -> Result<Expr> {
+        let mut branches = Vec::new();
+        while self.eat_kw("WHEN") {
+            let when = self.expr()?;
+            self.expect_kw("THEN")?;
+            let then = self.expr()?;
+            branches.push((when, then));
+        }
+        if branches.is_empty() {
+            return Err(CvError::parse("CASE requires at least one WHEN"));
+        }
+        let else_expr = if self.eat_kw("ELSE") {
+            Some(Box::new(self.expr()?))
+        } else {
+            None
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case { branches, else_expr })
+    }
+
+    fn cast_expr(&mut self) -> Result<Expr> {
+        self.expect_sym(Sym::LParen)?;
+        let e = self.expr()?;
+        self.expect_kw("AS")?;
+        let ty = self.ident()?;
+        let dtype = match ty.to_ascii_uppercase().as_str() {
+            "INT" | "BIGINT" | "INTEGER" => DataType::Int,
+            "FLOAT" | "DOUBLE" | "REAL" => DataType::Float,
+            "STRING" | "VARCHAR" | "TEXT" => DataType::Str,
+            "BOOL" | "BOOLEAN" => DataType::Bool,
+            "DATE" => DataType::Date,
+            other => return Err(CvError::parse(format!("unknown type `{other}` in CAST"))),
+        };
+        self.expect_sym(Sym::RParen)?;
+        Ok(Expr::Cast { expr: Box::new(e), dtype })
+    }
+}
+
+fn agg_func(upper: &str) -> Option<AggFunc> {
+    Some(match upper {
+        "COUNT" => AggFunc::Count,
+        "SUM" => AggFunc::Sum,
+        "AVG" => AggFunc::Avg,
+        "MIN" => AggFunc::Min,
+        "MAX" => AggFunc::Max,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure4_queries() {
+        // The three analyst queries of paper Fig. 4.
+        let q1 = parse(
+            "SELECT c_id, AVG(price * quantity) AS avg_sales FROM Sales \
+             JOIN Customer ON s_cust = c_id \
+             WHERE mkt_segment = 'asia' GROUP BY c_id",
+        )
+        .unwrap();
+        assert_eq!(q1.selects.len(), 1);
+        assert_eq!(q1.selects[0].joins.len(), 1);
+        assert_eq!(q1.selects[0].group_by.len(), 1);
+
+        let q2 = parse(
+            "SELECT brand, AVG(discount) AS avg_disc FROM Sales \
+             JOIN Part ON s_part = p_id JOIN Customer ON s_cust = c_id \
+             WHERE mkt_segment = 'asia' GROUP BY brand",
+        )
+        .unwrap();
+        assert_eq!(q2.selects[0].joins.len(), 2);
+    }
+
+    #[test]
+    fn select_star_and_aliases() {
+        let q = parse("SELECT * FROM Sales s WHERE s.price > 2").unwrap();
+        assert!(q.selects[0].items.is_empty());
+        assert_eq!(q.selects[0].from.alias.as_deref(), Some("s"));
+        match &q.selects[0].where_clause {
+            Some(Expr::Binary { left, .. }) => {
+                assert_eq!(**left, Expr::Column(Some("s".into()), "price".into()));
+            }
+            other => panic!("unexpected where: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn union_order_limit() {
+        let q = parse(
+            "SELECT price FROM Sales UNION ALL SELECT price FROM Sales \
+             ORDER BY price DESC LIMIT 5",
+        )
+        .unwrap();
+        assert_eq!(q.selects.len(), 2);
+        assert_eq!(q.order_by, vec![("price".to_string(), false)]);
+        assert_eq!(q.limit, Some(5));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse("SELECT a + b * c FROM T").unwrap();
+        match &q.selects[0].items[0].expr {
+            Expr::Binary { op: BinOp::Add, right, .. } => {
+                assert!(matches!(&**right, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("precedence broken: {other:?}"),
+        }
+        let q2 = parse("SELECT x FROM T WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match q2.selects[0].where_clause.as_ref().unwrap() {
+            Expr::Binary { op: BinOp::Or, right, .. } => {
+                assert!(matches!(&**right, Expr::Binary { op: BinOp::And, .. }));
+            }
+            other => panic!("precedence broken: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literals_and_params() {
+        let q = parse(
+            "SELECT x FROM T WHERE d >= DATE '2020-02-01' AND r <= @run_date AND ok = TRUE AND n IS NOT NULL",
+        )
+        .unwrap();
+        let w = q.selects[0].where_clause.as_ref().unwrap();
+        let s = format!("{w:?}");
+        assert!(s.contains("Date(18293)"));
+        assert!(s.contains("Param(\"run_date\")"));
+        assert!(s.contains("IsNotNull"));
+    }
+
+    #[test]
+    fn case_and_cast() {
+        let q = parse(
+            "SELECT CASE WHEN x > 0 THEN 'pos' ELSE 'neg' END AS sign, \
+             CAST(x AS FLOAT) AS xf FROM T",
+        )
+        .unwrap();
+        assert_eq!(q.selects[0].items.len(), 2);
+        assert_eq!(q.selects[0].items[0].alias.as_deref(), Some("sign"));
+    }
+
+    #[test]
+    fn count_variants() {
+        let q = parse("SELECT COUNT(*) AS n, COUNT(DISTINCT x) AS d, COUNT(y) AS c FROM T")
+            .unwrap();
+        let items = &q.selects[0].items;
+        assert_eq!(items[0].expr, Expr::Agg { func: AggFunc::Count, arg: None });
+        assert!(matches!(items[1].expr, Expr::Agg { func: AggFunc::CountDistinct, .. }));
+        assert!(matches!(items[2].expr, Expr::Agg { func: AggFunc::Count, arg: Some(_) }));
+    }
+
+    #[test]
+    fn join_kinds() {
+        let q = parse(
+            "SELECT * FROM A LEFT JOIN B ON a = b SEMI JOIN C ON a = c INNER JOIN D ON a = d",
+        )
+        .unwrap();
+        let kinds: Vec<JoinType> = q.selects[0].joins.iter().map(|j| j.kind).collect();
+        assert_eq!(kinds, vec![JoinType::Left, JoinType::Semi, JoinType::Inner]);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let q = parse("SELECT * FROM A JOIN B ON a1 = b1 AND a2 = b2 WHERE x = 1").unwrap();
+        assert_eq!(q.selects[0].joins[0].on.len(), 2);
+        assert!(q.selects[0].where_clause.is_some());
+    }
+
+    #[test]
+    fn having_clause() {
+        let q = parse("SELECT k, COUNT(*) AS n FROM T GROUP BY k HAVING COUNT(*) > 5").unwrap();
+        assert!(q.selects[0].having.as_ref().unwrap().has_aggregate());
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT").is_err());
+        assert!(parse("SELECT x FROM").is_err());
+        assert!(parse("SELECT x FROM T WHERE").is_err());
+        assert!(parse("SELECT x FROM T LIMIT xyz").is_err());
+        assert!(parse("SELECT nosuchfn(x) FROM T").is_err());
+        assert!(parse("SELECT x FROM T extra garbage !").is_err());
+        assert!(parse("SELECT SUM(DISTINCT x) FROM T").is_err());
+    }
+
+    #[test]
+    fn unknown_function_vs_column() {
+        // Bare identifier: column. Identifier + paren: must be known fn.
+        let ok = parse("SELECT lower(name) FROM T").unwrap();
+        assert!(matches!(
+            ok.selects[0].items[0].expr,
+            Expr::Func { func: FuncKind::Lower, .. }
+        ));
+    }
+}

@@ -1,0 +1,364 @@
+//! User-defined operators (UDOs).
+//!
+//! SCOPE jobs routinely embed custom user code. For signatures this is the
+//! hard part (paper §4 "signature correctness"): a UDO's identity includes
+//! the libraries it links (possibly a very deep dependency chain), and some
+//! UDOs are non-deterministic by design. CloudViews *skips* computation
+//! reuse whenever the chain is too deep to traverse or non-determinism is
+//! detected — we reproduce exactly that policy in
+//! [`crate::signature`].
+
+use cv_common::hash::StableHasher;
+use cv_common::{CvError, Result};
+use cv_data::schema::{Field, Schema, SchemaRef};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Compiler-visible metadata of a UDO call site.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct UdoSpec {
+    /// Registry key of the implementation.
+    pub name: String,
+    /// Version of the user library providing the implementation; bumping it
+    /// changes the signature (new code ⇒ new computation).
+    pub version: u32,
+    /// Whether the implementation is pure. `false` disables signing of any
+    /// plan containing this UDO.
+    pub deterministic: bool,
+    /// Transitive library dependency chain, outermost first. Signatures must
+    /// cover all of it; chains longer than the configured limit make the
+    /// subexpression unsignable (traversing them "could slow down the entire
+    /// compilation process", §4).
+    pub library_chain: Vec<String>,
+}
+
+impl UdoSpec {
+    pub fn new(name: impl Into<String>) -> UdoSpec {
+        UdoSpec {
+            name: name.into(),
+            version: 1,
+            deterministic: true,
+            library_chain: Vec::new(),
+        }
+    }
+
+    pub fn with_version(mut self, version: u32) -> UdoSpec {
+        self.version = version;
+        self
+    }
+
+    pub fn nondeterministic(mut self) -> UdoSpec {
+        self.deterministic = false;
+        self
+    }
+
+    pub fn with_chain(mut self, chain: Vec<String>) -> UdoSpec {
+        self.library_chain = chain;
+        self
+    }
+
+    pub fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_u64(self.version as u64);
+        h.write_bool(self.deterministic);
+        h.write_u64(self.library_chain.len() as u64);
+        for lib in &self.library_chain {
+            h.write_str(lib);
+        }
+    }
+}
+
+impl fmt::Display for UdoSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@v{}", self.name, self.version)
+    }
+}
+
+/// A registered UDO implementation: schema transform + row processor.
+pub struct UdoImpl {
+    /// Output schema as a function of the input schema.
+    pub output_schema: Box<dyn Fn(&Schema) -> Result<SchemaRef> + Send + Sync>,
+    /// The operator body: whole-chunk transform.
+    pub apply: Box<dyn Fn(&Table) -> Result<Table> + Send + Sync>,
+}
+
+/// Registry of UDO implementations available to the executor.
+pub struct UdoRegistry {
+    impls: HashMap<String, Arc<UdoImpl>>,
+}
+
+impl fmt::Debug for UdoRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.impls.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        write!(f, "UdoRegistry({names:?})")
+    }
+}
+
+impl UdoRegistry {
+    pub fn empty() -> UdoRegistry {
+        UdoRegistry { impls: HashMap::new() }
+    }
+
+    /// Registry pre-loaded with the built-in cooking UDOs used by the
+    /// workload generator (see below).
+    pub fn with_builtins() -> UdoRegistry {
+        let mut r = UdoRegistry::empty();
+        r.register("parse_user_agent", parse_user_agent_impl());
+        r.register("geo_enrich", geo_enrich_impl());
+        r.register("scrub_pii", scrub_pii_impl());
+        r
+    }
+
+    pub fn register(&mut self, name: impl Into<String>, imp: UdoImpl) {
+        self.impls.insert(name.into(), Arc::new(imp));
+    }
+
+    pub fn get(&self, name: &str) -> Result<Arc<UdoImpl>> {
+        self.impls
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CvError::not_found(format!("UDO `{name}` not registered")))
+    }
+
+    pub fn output_schema(&self, spec: &UdoSpec, input: &Schema) -> Result<SchemaRef> {
+        let imp = self.get(&spec.name)?;
+        (imp.output_schema)(input)
+    }
+
+    pub fn apply(&self, spec: &UdoSpec, input: &Table) -> Result<Table> {
+        let imp = self.get(&spec.name)?;
+        (imp.apply)(input)
+    }
+}
+
+impl Default for UdoRegistry {
+    fn default() -> Self {
+        UdoRegistry::with_builtins()
+    }
+}
+
+/// `parse_user_agent`: adds a `browser STRING` column derived from a
+/// `user_agent` column — the classic extraction step of telemetry cooking.
+fn parse_user_agent_impl() -> UdoImpl {
+    UdoImpl {
+        output_schema: Box::new(|input: &Schema| {
+            if input.index_of("user_agent").is_none() {
+                return Err(CvError::plan("parse_user_agent requires a `user_agent` column"));
+            }
+            let mut fields = input.fields().to_vec();
+            fields.push(Field::new("browser", DataType::Str));
+            Ok(Schema::new(fields)?.into_ref())
+        }),
+        apply: Box::new(|t: &Table| {
+            let ua_idx = t
+                .schema()
+                .index_of("user_agent")
+                .ok_or_else(|| CvError::exec("missing `user_agent`"))?;
+            let ua = t.column(ua_idx);
+            let mut rows = Vec::with_capacity(t.num_rows());
+            for i in 0..t.num_rows() {
+                let mut row = t.row(i);
+                let browser = match ua.value(i) {
+                    Value::Str(s) => {
+                        let s = s.to_ascii_lowercase();
+                        let b = if s.contains("edge") {
+                            "edge"
+                        } else if s.contains("chrome") {
+                            "chrome"
+                        } else if s.contains("firefox") {
+                            "firefox"
+                        } else if s.contains("safari") {
+                            "safari"
+                        } else {
+                            "other"
+                        };
+                        Value::Str(b.to_string())
+                    }
+                    _ => Value::Null,
+                };
+                row.push(browser);
+                rows.push(row);
+            }
+            let mut fields = t.schema().fields().to_vec();
+            fields.push(Field::new("browser", DataType::Str));
+            Table::from_rows(Schema::new(fields)?.into_ref(), &rows)
+        }),
+    }
+}
+
+/// `geo_enrich`: derives a `region STRING` from an `ip_hash INT` column —
+/// the correlate step joining telemetry to a (stubbed) geo database.
+fn geo_enrich_impl() -> UdoImpl {
+    const REGIONS: [&str; 5] = ["asia", "emea", "amer", "oceania", "latam"];
+    UdoImpl {
+        output_schema: Box::new(|input: &Schema| {
+            if input.index_of("ip_hash").is_none() {
+                return Err(CvError::plan("geo_enrich requires an `ip_hash` column"));
+            }
+            let mut fields = input.fields().to_vec();
+            fields.push(Field::new("region", DataType::Str));
+            Ok(Schema::new(fields)?.into_ref())
+        }),
+        apply: Box::new(|t: &Table| {
+            let idx = t
+                .schema()
+                .index_of("ip_hash")
+                .ok_or_else(|| CvError::exec("missing `ip_hash`"))?;
+            let ip = t.column(idx);
+            let mut rows = Vec::with_capacity(t.num_rows());
+            for i in 0..t.num_rows() {
+                let mut row = t.row(i);
+                let region = match ip.value(i) {
+                    Value::Int(v) => {
+                        Value::Str(REGIONS[(v.unsigned_abs() % 5) as usize].to_string())
+                    }
+                    _ => Value::Null,
+                };
+                row.push(region);
+                rows.push(row);
+            }
+            let mut fields = t.schema().fields().to_vec();
+            fields.push(Field::new("region", DataType::Str));
+            Table::from_rows(Schema::new(fields)?.into_ref(), &rows)
+        }),
+    }
+}
+
+/// `scrub_pii`: blanks any column named `email` or `ip` — a transform step
+/// every compliant cooking pipeline runs.
+fn scrub_pii_impl() -> UdoImpl {
+    UdoImpl {
+        output_schema: Box::new(|input: &Schema| Ok(Arc::new(input.clone()))),
+        apply: Box::new(|t: &Table| {
+            let scrub: Vec<bool> = t
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name == "email" || f.name == "ip")
+                .collect();
+            let mut rows = Vec::with_capacity(t.num_rows());
+            for i in 0..t.num_rows() {
+                let row: Vec<Value> = t
+                    .row(i)
+                    .into_iter()
+                    .zip(&scrub)
+                    .map(|(v, &s)| {
+                        if s && !v.is_null() {
+                            Value::Str("<redacted>".to_string())
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                rows.push(row);
+            }
+            Table::from_rows(t.schema().clone(), &rows)
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn events() -> Table {
+        let schema = Schema::new(vec![
+            Field::new("user_agent", DataType::Str),
+            Field::new("ip_hash", DataType::Int),
+            Field::new("email", DataType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        Table::from_rows(
+            schema,
+            &[
+                vec![
+                    Value::Str("Mozilla Chrome/99".into()),
+                    Value::Int(7),
+                    Value::Str("a@b.c".into()),
+                ],
+                vec![Value::Str("Gecko Firefox/78".into()), Value::Int(10), Value::Null],
+                vec![Value::Null, Value::Null, Value::Str("x@y.z".into())],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registry_lookup_and_missing() {
+        let r = UdoRegistry::with_builtins();
+        assert!(r.get("parse_user_agent").is_ok());
+        assert!(r.get("nope").is_err());
+    }
+
+    #[test]
+    fn parse_user_agent_adds_browser() {
+        let r = UdoRegistry::with_builtins();
+        let spec = UdoSpec::new("parse_user_agent");
+        let out = r.apply(&spec, &events()).unwrap();
+        assert_eq!(out.schema().index_of("browser"), Some(3));
+        assert_eq!(out.row(0)[3], Value::Str("chrome".into()));
+        assert_eq!(out.row(1)[3], Value::Str("firefox".into()));
+        assert!(out.row(2)[3].is_null());
+    }
+
+    #[test]
+    fn geo_enrich_maps_regions_deterministically() {
+        let r = UdoRegistry::with_builtins();
+        let spec = UdoSpec::new("geo_enrich");
+        let out1 = r.apply(&spec, &events()).unwrap();
+        let out2 = r.apply(&spec, &events()).unwrap();
+        assert_eq!(out1.canonical_rows(), out2.canonical_rows());
+        assert_eq!(out1.row(1)[3], Value::Str("asia".into())); // 10 % 5 == 0
+    }
+
+    #[test]
+    fn scrub_pii_redacts() {
+        let r = UdoRegistry::with_builtins();
+        let spec = UdoSpec::new("scrub_pii");
+        let out = r.apply(&spec, &events()).unwrap();
+        assert_eq!(out.row(0)[2], Value::Str("<redacted>".into()));
+        assert!(out.row(1)[2].is_null()); // nulls stay null
+        assert_eq!(out.row(0)[0], Value::Str("Mozilla Chrome/99".into())); // untouched
+    }
+
+    #[test]
+    fn output_schema_validation() {
+        let r = UdoRegistry::with_builtins();
+        let spec = UdoSpec::new("parse_user_agent");
+        let bad = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap();
+        assert!(r.output_schema(&spec, &bad).is_err());
+        let ok = events();
+        assert!(r.output_schema(&spec, ok.schema()).is_ok());
+    }
+
+    #[test]
+    fn spec_hash_covers_version_and_chain() {
+        let base = UdoSpec::new("f");
+        let v2 = UdoSpec::new("f").with_version(2);
+        let chained = UdoSpec::new("f").with_chain(vec!["libA".into(), "libB".into()]);
+        let sigs: Vec<_> = [&base, &v2, &chained]
+            .iter()
+            .map(|s| {
+                let mut h = StableHasher::new();
+                s.stable_hash(&mut h);
+                h.finish128()
+            })
+            .collect();
+        assert_ne!(sigs[0], sigs[1]);
+        assert_ne!(sigs[0], sigs[2]);
+    }
+
+    #[test]
+    fn builder_flags() {
+        let s = UdoSpec::new("x").nondeterministic().with_version(3);
+        assert!(!s.deterministic);
+        assert_eq!(s.version, 3);
+        assert_eq!(s.to_string(), "x@v3");
+    }
+}

@@ -1,0 +1,283 @@
+//! Generalized reuse (paper §5.3 + Fig. 8).
+//!
+//! Core CloudViews only reuses *exact* signature matches. The paper
+//! measures how much more is on the table by grouping subexpressions that
+//! **join the same sets of inputs** (Fig. 8): such groups "could still have
+//! different projections, selections, or group by operations, which could
+//! be merged to create more general materialized views and then later
+//! queries could be rewritten using containment checks". This module does
+//! exactly that for the conjunctive-filter fragment:
+//!
+//! * [`join_set_groups`] — the Fig. 8 analysis over the workload repository;
+//! * [`GeneralizedViewCatalog`] — views registered as (base signature,
+//!   predicate) pairs; queries whose filter *implies* a view's predicate
+//!   over the same base are rewritten to scan the view with a compensating
+//!   filter;
+//! * [`merge_predicates`] — OR-merging of sibling filters to build one
+//!   wider view covering several queries.
+
+use crate::containment::implies;
+use cv_common::hash::Sig128;
+use cv_core::repository::SubexpressionRepo;
+use cv_data::schema::SchemaRef;
+use cv_engine::expr::fold::normalize_expr;
+use cv_engine::expr::ScalarExpr;
+use cv_engine::plan::LogicalPlan;
+use cv_engine::signature::{plan_signature, SigMode, SignatureConfig};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One Fig. 8 data point: a set of joined inputs with how many distinct
+/// subexpressions (and total occurrences) join exactly that set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct JoinSetGroup {
+    pub datasets: Vec<String>,
+    pub distinct_subexpressions: usize,
+    pub occurrences: u64,
+}
+
+/// The Fig. 8 analysis: group join subexpressions by their input set.
+pub fn join_set_groups(repo: &SubexpressionRepo) -> Vec<JoinSetGroup> {
+    repo.join_set_groups()
+        .into_iter()
+        .map(|(datasets, distinct, occ)| JoinSetGroup {
+            datasets,
+            distinct_subexpressions: distinct,
+            occurrences: occ,
+        })
+        .collect()
+}
+
+/// A generalized (merged) view: `Filter(predicate, base)` materialized,
+/// where `base` is identified by its strict signature.
+#[derive(Clone, Debug)]
+pub struct GeneralizedView {
+    /// Strict signature of the *base* (the subtree under the filter).
+    pub base_sig: Sig128,
+    /// The view's (possibly OR-merged) predicate.
+    pub predicate: ScalarExpr,
+    /// Signature under which the view data is stored.
+    pub view_sig: Sig128,
+    pub schema: SchemaRef,
+    pub rows: u64,
+    pub bytes: u64,
+}
+
+/// Registry of generalized views with containment-based rewriting.
+#[derive(Default)]
+pub struct GeneralizedViewCatalog {
+    views: Vec<GeneralizedView>,
+}
+
+impl GeneralizedViewCatalog {
+    pub fn new() -> GeneralizedViewCatalog {
+        GeneralizedViewCatalog::default()
+    }
+
+    pub fn register(&mut self, view: GeneralizedView) {
+        self.views.push(view);
+    }
+
+    pub fn len(&self) -> usize {
+        self.views.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.views.is_empty()
+    }
+
+    /// Rewrite `Filter(p, base)` nodes whose predicate implies a registered
+    /// view's predicate over the same base: the filter is re-applied on top
+    /// of the (smaller) view scan — the compensating filter. Returns the
+    /// rewritten plan and the view signatures used.
+    pub fn rewrite(
+        &self,
+        plan: &Arc<LogicalPlan>,
+        cfg: &SignatureConfig,
+    ) -> (Arc<LogicalPlan>, Vec<Sig128>) {
+        let mut used = Vec::new();
+        let rewritten = self.rewrite_rec(plan, cfg, &mut used);
+        (rewritten, used)
+    }
+
+    fn rewrite_rec(
+        &self,
+        plan: &Arc<LogicalPlan>,
+        cfg: &SignatureConfig,
+        used: &mut Vec<Sig128>,
+    ) -> Arc<LogicalPlan> {
+        if let LogicalPlan::Filter { predicate, input } = &**plan {
+            if let Some(base_sig) = plan_signature(input, cfg, SigMode::Strict) {
+                // Prefer the smallest matching view.
+                let mut best: Option<&GeneralizedView> = None;
+                for v in &self.views {
+                    if v.base_sig == base_sig && implies(predicate, &v.predicate) {
+                        if best.map_or(true, |b| v.bytes < b.bytes) {
+                            best = Some(v);
+                        }
+                    }
+                }
+                if let Some(v) = best {
+                    used.push(v.view_sig);
+                    return Arc::new(LogicalPlan::Filter {
+                        predicate: predicate.clone(),
+                        input: Arc::new(LogicalPlan::ViewScan {
+                            sig: v.view_sig,
+                            schema: v.schema.clone(),
+                            rows: v.rows,
+                            bytes: v.bytes,
+                        }),
+                    });
+                }
+            }
+        }
+        // Recurse.
+        let children: Vec<Arc<LogicalPlan>> = plan
+            .children()
+            .into_iter()
+            .map(|c| self.rewrite_rec(c, cfg, used))
+            .collect();
+        Arc::new(plan.with_children(children).expect("same arity"))
+    }
+}
+
+/// OR-merge sibling predicates into one wider view predicate.
+pub fn merge_predicates(preds: &[ScalarExpr]) -> Option<ScalarExpr> {
+    let mut it = preds.iter().cloned();
+    let first = it.next()?;
+    let merged = it.fold(first, |acc, p| acc.or(p));
+    Some(normalize_expr(&merged))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_common::ids::VersionGuid;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::DataType;
+    use cv_engine::expr::{col, lit};
+
+    fn base() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            dataset: "sales".into(),
+            guid: VersionGuid(1),
+            schema: Schema::new(vec![
+                Field::new("cust", DataType::Int),
+                Field::new("qty", DataType::Int),
+            ])
+            .unwrap()
+            .into_ref(),
+        })
+    }
+
+    fn cfg() -> SignatureConfig {
+        SignatureConfig::default()
+    }
+
+    fn view_over(pred: ScalarExpr, sig: u128) -> GeneralizedView {
+        GeneralizedView {
+            base_sig: plan_signature(&base(), &cfg(), SigMode::Strict).unwrap(),
+            predicate: pred,
+            view_sig: Sig128(sig),
+            schema: base().schema().unwrap(),
+            rows: 100,
+            bytes: 1_000,
+        }
+    }
+
+    #[test]
+    fn contained_query_is_rewritten_with_compensation() {
+        // View: cust > 5. Query: cust > 6 → ViewScan + Filter(cust > 6).
+        let mut cat = GeneralizedViewCatalog::new();
+        cat.register(view_over(col("cust").gt(lit(5)), 99));
+        let query = Arc::new(LogicalPlan::Filter {
+            predicate: col("cust").gt(lit(6)),
+            input: base(),
+        });
+        let (rewritten, used) = cat.rewrite(&query, &cfg());
+        assert_eq!(used, vec![Sig128(99)]);
+        match &*rewritten {
+            LogicalPlan::Filter { predicate, input } => {
+                assert_eq!(predicate, &col("cust").gt(lit(6)));
+                assert!(matches!(&**input, LogicalPlan::ViewScan { sig, .. } if *sig == Sig128(99)));
+            }
+            other => panic!("unexpected: {}", other.kind_name()),
+        }
+    }
+
+    #[test]
+    fn uncontained_query_untouched() {
+        let mut cat = GeneralizedViewCatalog::new();
+        cat.register(view_over(col("cust").gt(lit(5)), 99));
+        // cust > 4 is NOT contained in cust > 5.
+        let query = Arc::new(LogicalPlan::Filter {
+            predicate: col("cust").gt(lit(4)),
+            input: base(),
+        });
+        let (rewritten, used) = cat.rewrite(&query, &cfg());
+        assert!(used.is_empty());
+        assert_eq!(rewritten, query);
+    }
+
+    #[test]
+    fn smallest_matching_view_wins() {
+        let mut cat = GeneralizedViewCatalog::new();
+        let mut wide = view_over(col("cust").gt(lit(0)), 1);
+        wide.bytes = 10_000;
+        let mut narrow = view_over(col("cust").gt(lit(5)), 2);
+        narrow.bytes = 500;
+        cat.register(wide);
+        cat.register(narrow);
+        let query = Arc::new(LogicalPlan::Filter {
+            predicate: col("cust").gt(lit(10)),
+            input: base(),
+        });
+        let (_, used) = cat.rewrite(&query, &cfg());
+        assert_eq!(used, vec![Sig128(2)]);
+    }
+
+    #[test]
+    fn merged_predicate_covers_all_members() {
+        let preds =
+            vec![col("cust").eq(lit(1)), col("cust").eq(lit(2)), col("cust").gt(lit(10))];
+        let merged = merge_predicates(&preds).unwrap();
+        for p in &preds {
+            assert!(implies(p, &merged), "{p} should imply merged {merged}");
+        }
+        assert!(merge_predicates(&[]).is_none());
+    }
+
+    #[test]
+    fn different_base_never_matches() {
+        let mut cat = GeneralizedViewCatalog::new();
+        cat.register(view_over(col("cust").gt(lit(0)), 7));
+        // Same predicate over a *different* base (other GUID).
+        let other_base = Arc::new(LogicalPlan::Scan {
+            dataset: "sales".into(),
+            guid: VersionGuid(2),
+            schema: base().schema().unwrap(),
+        });
+        let query = Arc::new(LogicalPlan::Filter {
+            predicate: col("cust").gt(lit(5)),
+            input: other_base,
+        });
+        let (_, used) = cat.rewrite(&query, &cfg());
+        assert!(used.is_empty());
+    }
+
+    #[test]
+    fn rewrite_descends_into_subtrees() {
+        let mut cat = GeneralizedViewCatalog::new();
+        cat.register(view_over(col("cust").gt(lit(5)), 42));
+        let query = Arc::new(LogicalPlan::Limit {
+            n: 3,
+            input: Arc::new(LogicalPlan::Filter {
+                predicate: col("cust").gt(lit(7)),
+                input: base(),
+            }),
+        });
+        let (rewritten, used) = cat.rewrite(&query, &cfg());
+        assert_eq!(used.len(), 1);
+        assert!(rewritten.uses_views());
+    }
+}

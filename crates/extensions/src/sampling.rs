@@ -1,0 +1,122 @@
+//! Sampled views for approximate query execution (paper §5.6 "Sampling").
+//!
+//! "CloudViews style computation reuse can be applied for reducing the cost
+//! of approximate query execution ... by sampling the views created by
+//! CloudViews." We implement deterministic Bernoulli row sampling (stable
+//! per view signature, so every consumer of a sampled view sees the same
+//! sample) and scale-up estimators for additive aggregates.
+
+use cv_common::hash::{Sig128, StableHasher};
+use cv_common::{CvError, Result};
+use cv_data::table::Table;
+
+/// Deterministic Bernoulli sample: row `i` is kept iff
+/// `hash(seed_sig, i) < rate`. Stable across runs and consumers.
+pub fn sample_table(table: &Table, rate: f64, seed_sig: Sig128) -> Result<Table> {
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CvError::constraint(format!("sample rate {rate} outside [0, 1]")));
+    }
+    let threshold = (rate * (u64::MAX as f64)) as u64;
+    let mask: Vec<bool> = (0..table.num_rows())
+        .map(|i| {
+            let mut h = StableHasher::with_domain("sampled-view");
+            h.write_sig(seed_sig);
+            h.write_u64(i as u64);
+            h.finish64() < threshold
+        })
+        .collect();
+    table.filter(&mask)
+}
+
+/// Scale a COUNT computed over a sample back to the population estimate.
+pub fn scale_up_count(sampled_count: i64, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        0.0
+    } else {
+        sampled_count as f64 / rate
+    }
+}
+
+/// Scale a SUM computed over a sample back to the population estimate.
+pub fn scale_up_sum(sampled_sum: f64, rate: f64) -> f64 {
+    if rate <= 0.0 {
+        0.0
+    } else {
+        sampled_sum / rate
+    }
+}
+
+/// Relative error of an estimate vs. the true value (|est−truth|/|truth|).
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    if truth == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (estimate - truth).abs() / truth.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::{DataType, Value};
+
+    fn numbers(n: i64) -> Table {
+        let schema = Schema::new(vec![Field::new("v", DataType::Int)]).unwrap().into_ref();
+        Table::from_rows(
+            schema,
+            &(0..n).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_rate_accurate() {
+        let t = numbers(20_000);
+        let s1 = sample_table(&t, 0.1, Sig128(7)).unwrap();
+        let s2 = sample_table(&t, 0.1, Sig128(7)).unwrap();
+        assert_eq!(s1.canonical_rows(), s2.canonical_rows());
+        let rate = s1.num_rows() as f64 / t.num_rows() as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed rate {rate}");
+        // Different seed ⇒ different sample.
+        let s3 = sample_table(&t, 0.1, Sig128(8)).unwrap();
+        assert_ne!(s1.canonical_rows(), s3.canonical_rows());
+    }
+
+    #[test]
+    fn edge_rates() {
+        let t = numbers(100);
+        assert_eq!(sample_table(&t, 0.0, Sig128(1)).unwrap().num_rows(), 0);
+        assert_eq!(sample_table(&t, 1.0, Sig128(1)).unwrap().num_rows(), 100);
+        assert!(sample_table(&t, 1.5, Sig128(1)).is_err());
+        assert!(sample_table(&t, -0.1, Sig128(1)).is_err());
+    }
+
+    #[test]
+    fn scale_up_estimates_are_close() {
+        let n = 50_000i64;
+        let t = numbers(n);
+        let rate = 0.05;
+        let s = sample_table(&t, rate, Sig128(3)).unwrap();
+        // COUNT estimate.
+        let est_count = scale_up_count(s.num_rows() as i64, rate);
+        assert!(relative_error(est_count, n as f64) < 0.05, "count err");
+        // SUM estimate.
+        let true_sum: f64 = (0..n).map(|i| i as f64).sum();
+        let sample_sum: f64 =
+            (0..s.num_rows()).map(|i| s.column(0).value(i).as_f64().unwrap()).sum();
+        let est_sum = scale_up_sum(sample_sum, rate);
+        assert!(relative_error(est_sum, true_sum) < 0.05, "sum err {}", relative_error(est_sum, true_sum));
+    }
+
+    #[test]
+    fn relative_error_edge_cases() {
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(1.0, 0.0), f64::INFINITY);
+        assert!((relative_error(110.0, 100.0) - 0.1).abs() < 1e-12);
+    }
+}

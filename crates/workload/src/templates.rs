@@ -1,0 +1,192 @@
+//! Recurring job templates.
+//!
+//! A template is "a similar job ... executed periodically at regular
+//! intervals over new data sets and parameters" (paper §2). Each simulated
+//! day, due templates are instantiated with that day's parameter values and
+//! compiled against the *current* dataset versions — which is exactly what
+//! makes their strict signatures fresh and their recurring signatures
+//! stable.
+
+use cv_common::ids::{PipelineId, TemplateId, UserId, VcId};
+use cv_common::{Result, SimDay, SimDuration, SimTime};
+use cv_data::value::Value;
+use cv_engine::engine::QueryEngine;
+use cv_engine::expr::col;
+use cv_engine::plan::{LogicalPlan, PlanBuilder};
+use cv_engine::sql::Params;
+use cv_engine::udo::UdoSpec;
+use std::sync::Arc;
+
+/// What a template produces.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemplateKind {
+    /// Data-cooking job: its result is bulk-written into a shared dataset.
+    Cooking { output: String },
+    /// Downstream analytics job: its result leaves the cluster (reports).
+    Analytics,
+}
+
+/// How the plan is expressed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TemplateBody {
+    /// Plain SCOPE-SQL with optional `@run_date` / `@window_start` markers.
+    Sql(String),
+    /// The page-view cooking pipeline, which needs UDOs (not expressible in
+    /// the SQL surface): parse_user_agent → geo_enrich → project.
+    CookPageViews,
+}
+
+/// A recurring job template.
+#[derive(Clone, Debug)]
+pub struct JobTemplate {
+    pub id: TemplateId,
+    pub pipeline: PipelineId,
+    pub vc: VcId,
+    pub user: UserId,
+    pub kind: TemplateKind,
+    pub body: TemplateBody,
+    /// Submission time within the day.
+    pub submit_offset: SimDuration,
+    /// Run every N days.
+    pub period_days: u32,
+    /// For sliding-window templates: `@window_start = run_date - N days`.
+    pub sliding_window_days: Option<i64>,
+}
+
+impl JobTemplate {
+    pub fn due_on(&self, day: SimDay) -> bool {
+        self.period_days > 0 && day.index() % self.period_days == 0
+    }
+
+    pub fn submit_time(&self, day: SimDay) -> SimTime {
+        day.start() + self.submit_offset
+    }
+
+    /// Per-instance parameter values. Day 0 of the simulation corresponds
+    /// to 2020-02-01 (epoch day 18293), matching the paper's window.
+    pub fn params_for(&self, day: SimDay) -> Params {
+        let run_date = 18_293 + day.index() as i32;
+        let mut params = Params::none();
+        params.insert("run_date", Value::Date(run_date));
+        if let Some(w) = self.sliding_window_days {
+            params.insert("window_start", Value::Date(run_date - w as i32));
+        }
+        params
+    }
+
+    /// Instantiate this template's plan for a given day against the
+    /// engine's current catalog state.
+    pub fn build_plan(&self, engine: &QueryEngine, day: SimDay) -> Result<Arc<LogicalPlan>> {
+        match &self.body {
+            TemplateBody::Sql(sql) => engine.compile_sql(sql, &self.params_for(day)),
+            TemplateBody::CookPageViews => {
+                let plan = PlanBuilder::scan(&engine.catalog, "page_views")?
+                    .udo(UdoSpec::new("parse_user_agent"), &engine.udos)?
+                    .udo(UdoSpec::new("geo_enrich"), &engine.udos)?
+                    .project(vec![
+                        (col("pv_user"), "pv_user"),
+                        (col("pv_url"), "pv_url"),
+                        (col("pv_ms"), "pv_ms"),
+                        (col("browser"), "browser"),
+                        (col("region"), "region"),
+                        (col("pv_date"), "pv_date"),
+                    ])?
+                    .build();
+                Ok(plan)
+            }
+        }
+    }
+
+    /// Name of the dataset this template writes, if it is a cooking job.
+    pub fn output_dataset(&self) -> Option<&str> {
+        match &self.kind {
+            TemplateKind::Cooking { output } => Some(output),
+            TemplateKind::Analytics => None,
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::schemas::raw_specs;
+    use cv_common::rng::DetRng;
+    use cv_common::SimTime;
+
+    pub(crate) fn engine_with_raw_data() -> QueryEngine {
+        let mut e = QueryEngine::new();
+        let mut rng = DetRng::seed(1);
+        for spec in raw_specs() {
+            let t = spec.generate(&mut rng, 0.1, SimDay(0));
+            e.catalog.register(spec.name, t, SimTime::EPOCH).unwrap();
+        }
+        e
+    }
+
+    fn sql_template(sql: &str, window: Option<i64>) -> JobTemplate {
+        JobTemplate {
+            id: TemplateId(1),
+            pipeline: PipelineId(1),
+            vc: VcId(0),
+            user: UserId(0),
+            kind: TemplateKind::Analytics,
+            body: TemplateBody::Sql(sql.to_string()),
+            submit_offset: SimDuration::from_hours(1.0),
+            period_days: 1,
+            sliding_window_days: window,
+        }
+    }
+
+    #[test]
+    fn due_and_submit_times() {
+        let mut t = sql_template("SELECT * FROM sales", None);
+        t.period_days = 2;
+        assert!(t.due_on(SimDay(0)));
+        assert!(!t.due_on(SimDay(1)));
+        assert!(t.due_on(SimDay(2)));
+        assert!((t.submit_time(SimDay(1)).seconds() - (86_400.0 + 3_600.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn params_track_day() {
+        let t = sql_template("SELECT * FROM sales WHERE s_date >= @window_start", Some(7));
+        let p0 = t.params_for(SimDay(0));
+        assert_eq!(p0.get("run_date"), Some(&Value::Date(18_293)));
+        assert_eq!(p0.get("window_start"), Some(&Value::Date(18_286)));
+        let p5 = t.params_for(SimDay(5));
+        assert_eq!(p5.get("run_date"), Some(&Value::Date(18_298)));
+    }
+
+    #[test]
+    fn sql_body_builds_plan() {
+        let e = engine_with_raw_data();
+        let t = sql_template(
+            "SELECT mkt_segment, COUNT(*) AS n FROM sales JOIN customer ON s_cust = c_id \
+             WHERE s_date >= @window_start GROUP BY mkt_segment",
+            Some(7),
+        );
+        let plan = t.build_plan(&e, SimDay(0)).unwrap();
+        assert_eq!(plan.schema().unwrap().names(), vec!["mkt_segment", "n"]);
+    }
+
+    #[test]
+    fn cooking_body_builds_udo_pipeline() {
+        let e = engine_with_raw_data();
+        let t = JobTemplate {
+            id: TemplateId(0),
+            pipeline: PipelineId(0),
+            vc: VcId(0),
+            user: UserId(0),
+            kind: TemplateKind::Cooking { output: "cooked_pv".into() },
+            body: TemplateBody::CookPageViews,
+            submit_offset: SimDuration::from_minutes(5.0),
+            period_days: 1,
+            sliding_window_days: None,
+        };
+        let plan = t.build_plan(&e, SimDay(0)).unwrap();
+        let names = plan.schema().unwrap().names().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        assert!(names.contains(&"browser".to_string()));
+        assert!(names.contains(&"region".to_string()));
+        assert_eq!(t.output_dataset(), Some("cooked_pv"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Operational machinery: the §4 production-hardening features.
+//!
+//! Demonstrates the multi-level controls (service / cluster / VC / job),
+//! the opt-in → opt-out deployment switch, query annotation files for
+//! incident debugging, view-creation locks, and a GDPR forget-request
+//! purging derived views.
+//!
+//!     cargo run --example operational_controls
+
+use cloudviews::prelude::*;
+use cv_core::annotations::QueryAnnotations;
+use cv_core::controls::DeploymentMode;
+use cv_core::insights::ViewInfo;
+use cv_data::schema::{Field, Schema};
+use cv_engine::optimizer::BuildCoordinator;
+
+fn main() -> Result<()> {
+    // --- Multi-level controls -------------------------------------------
+    println!("== multi-level controls ==");
+    let mut controls = Controls::default(); // opt-in deployment
+    assert_eq!(controls.mode, DeploymentMode::OptIn);
+    println!("opt-in: vc-7 enabled? {}", controls.is_enabled(VcId(7), JobId(1)));
+    controls.enable_vc(VcId(7)); // the customer signs up
+    println!("after onboarding: vc-7 enabled? {}", controls.is_enabled(VcId(7), JobId(1)));
+    controls.disable_job(JobId(99)); // one developer opts their job out
+    println!("job-level toggle: job-99 enabled? {}", controls.is_enabled(VcId(7), JobId(99)));
+
+    // After hardening: switch to opt-out, tier by tier (paper §4).
+    let mut controls = Controls::opt_out();
+    println!("opt-out: any vc enabled? {}", controls.is_enabled(VcId(123), JobId(1)));
+    // Incident! The über gate at the insights service:
+    controls.service_enabled = false;
+    println!("kill switch: anything enabled? {}", controls.is_enabled(VcId(123), JobId(1)));
+    controls.service_enabled = true;
+
+    // --- Insights service: selection, annotations, locks -----------------
+    println!("\n== insights service ==");
+    let mut engine = QueryEngine::new();
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("region", DataType::Str),
+    ])?
+    .into_ref();
+    let rows: Vec<Vec<Value>> = (0..5_000)
+        .map(|i| {
+            vec![
+                Value::Int(i % 100),
+                Value::Str(["asia", "emea"][(i % 2) as usize].to_string()),
+            ]
+        })
+        .collect();
+    engine.catalog.register("events", Table::from_rows(schema, &rows)?, SimTime::EPOCH)?;
+
+    let mut insights = InsightsService::new(controls);
+    let plan = engine.compile_sql(
+        "SELECT k, COUNT(*) AS n FROM events WHERE region = 'asia' GROUP BY k",
+        &Params::none(),
+    )?;
+    let subs = engine.subexpressions(&plan)?;
+    let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+    insights.publish_selection(Some(VcId(7)), [filter.recurring]);
+    let (ctx, latency) = insights.annotate(VcId(7), JobId(1), &subs, SimTime::EPOCH);
+    println!("annotations for job-1: build {} view(s), {} available (rtt {latency})", ctx.to_build.len(), ctx.available.len());
+
+    // The annotations FILE: "in case of a customer incident, we can
+    // reproduce the compute reuse behavior by compiling a job with the
+    // annotations file" (paper Fig. 5).
+    let ann = QueryAnnotations::from_context(JobId(1), VcId(7), "scope-v1", &ctx);
+    let json = ann.to_json();
+    println!("annotations file ({} bytes):\n{}", json.len(), &json[..json.len().min(400)]);
+    let replayed = QueryAnnotations::from_json(&json).expect("parse").to_context();
+    assert_eq!(replayed.to_build.len(), ctx.to_build.len());
+    println!("replayed compilation from the file matches ✓");
+
+    // View-creation locks: two concurrent compilations, one winner.
+    let won_a = insights.locker().try_acquire(filter.strict);
+    let won_b = insights.locker().try_acquire(filter.strict);
+    println!("lock race: job A acquired={won_a}, job B acquired={won_b}");
+    insights.report_sealed(
+        ViewInfo {
+            strict: filter.strict,
+            recurring: filter.recurring,
+            rows: 2_500,
+            bytes: 40_000,
+            sealed_at: SimTime(10.0),
+            expires: SimTime::from_days(7.0),
+            vc: VcId(7),
+        },
+        JobId(1),
+    );
+    println!("sealed: lock released, view served to later jobs ✓");
+    let (ctx2, _) = insights.annotate(VcId(7), JobId(2), &subs, SimTime(20.0));
+    assert_eq!(ctx2.available.len(), 1);
+
+    // --- GDPR forget-request ---------------------------------------------
+    println!("\n== GDPR forget-request ==");
+    // Materialize a view over `events`, then forget user k=42.
+    let mut reuse = ReuseContext::empty();
+    reuse.to_build.insert(filter.strict);
+    engine.run_sql(
+        "SELECT k, COUNT(*) AS n FROM events WHERE region = 'asia' GROUP BY k",
+        &Params::none(),
+        &reuse,
+        JobId(3),
+        VcId(7),
+        SimTime(30.0),
+    )?;
+    println!("views in store before forget: {}", engine.views.len());
+    let ds = engine.catalog.id_of("events").unwrap();
+    let outcome = engine.catalog.gdpr_forget(ds, "k", &Value::Int(42), SimTime(40.0))?;
+    let purged = engine.views.purge_input(outcome.old_guid);
+    println!(
+        "forgot k=42: {} rows removed, input GUID rotated, {} derived view(s) purged",
+        outcome.rows_removed, purged
+    );
+    println!("views in store after forget: {}", engine.views.len());
+    assert_eq!(engine.views.len(), 0);
+    Ok(())
+}

@@ -1,0 +1,200 @@
+//! Cross-crate integration tests: the full CloudViews loop through the
+//! public facade.
+
+use cloudviews::prelude::*;
+use cv_core::annotations::QueryAnnotations;
+use cv_data::schema::{Field, Schema};
+
+fn small_workload() -> cv_workload::Workload {
+    generate_workload(WorkloadConfig {
+        scale: 0.05,
+        n_analytics: 12,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn feedback_loop_saves_work_without_changing_results() {
+    let w = small_workload();
+    let base = run_workload(&w, &DriverConfig::baseline(4)).unwrap();
+    let with = run_workload(&w, &DriverConfig::enabled(4)).unwrap();
+    assert_eq!(base.failed_jobs, 0);
+    assert_eq!(with.failed_jobs, 0);
+    // Identical results…
+    assert_eq!(base.result_digests, with.result_digests);
+    // …monotone savings on every aggregate the paper reports.
+    let b = base.ledger.totals();
+    let v = with.ledger.totals();
+    assert!(v.processing_seconds < b.processing_seconds);
+    assert!(v.input_bytes < b.input_bytes);
+    assert!(v.data_read_bytes < b.data_read_bytes);
+    assert!(v.latency_seconds <= b.latency_seconds * 1.02);
+    // Views were built AND reused.
+    assert!(with.view_store_stats.views_created > 0);
+    let reused: usize = with.ledger.records().iter().map(|r| r.data.views_matched).sum();
+    assert!(reused > 0);
+}
+
+#[test]
+fn kill_switch_makes_enabled_run_equal_baseline() {
+    let w = small_workload();
+    let base = run_workload(&w, &DriverConfig::baseline(3)).unwrap();
+    let mut cfg = DriverConfig::enabled(3);
+    cfg.controls.service_enabled = false; // the über gate (§4)
+    let gated = run_workload(&w, &cfg).unwrap();
+    assert_eq!(gated.view_store_stats.views_created, 0);
+    assert_eq!(gated.usage.len(), 0);
+    assert_eq!(base.result_digests, gated.result_digests);
+    let b = base.ledger.totals();
+    let g = gated.ledger.totals();
+    assert_eq!(b.processing_seconds, g.processing_seconds);
+    assert_eq!(b.containers, g.containers);
+}
+
+#[test]
+fn opt_in_only_touches_onboarded_vcs() {
+    let w = small_workload();
+    let mut cfg = DriverConfig::enabled(3);
+    cfg.controls = Controls::default(); // opt-in, nobody onboarded
+    cfg.controls.enable_vc(VcId(1));
+    let out = run_workload(&w, &cfg).unwrap();
+    // Any built view must belong to VC 1 (the only onboarded customer).
+    for rec in out.ledger.records() {
+        if rec.data.views_built > 0 || rec.data.views_matched > 0 {
+            assert_eq!(rec.result.vc, VcId(1), "job {} in non-onboarded VC used CloudViews", rec.result.job);
+        }
+    }
+}
+
+#[test]
+fn runtime_version_bump_invalidates_all_views() {
+    // Same plan signed under two runtime versions → disjoint signatures
+    // (§4 "impact of changed signatures").
+    let mut engine = QueryEngine::new();
+    let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+    let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+    engine
+        .catalog
+        .register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH)
+        .unwrap();
+    let plan = engine.compile_sql("SELECT * FROM t WHERE x > 5", &Params::none()).unwrap();
+    let v1: Vec<_> = engine.subexpressions(&plan).unwrap().iter().map(|s| s.strict).collect();
+    engine.optimizer.cfg.sig.runtime_version = "scope-v2".to_string();
+    let v2: Vec<_> = engine.subexpressions(&plan).unwrap().iter().map(|s| s.strict).collect();
+    for sig in &v1 {
+        assert!(!v2.contains(sig), "signature survived a runtime upgrade");
+    }
+}
+
+fn dense_workload() -> cv_workload::Workload {
+    generate_workload(WorkloadConfig {
+        scale: 0.05,
+        n_analytics: 32,
+        ..Default::default()
+    })
+}
+
+#[test]
+fn ttl_expiry_limits_reuse_window() {
+    let w = dense_workload();
+    let mut cfg = DriverConfig::enabled(5);
+    cfg.view_ttl = SimDuration::from_days(7.0);
+    let long = run_workload(&w, &cfg).unwrap();
+    // With a TTL much shorter than the day, views expire before the
+    // staggered afternoon consumers arrive → fewer reuses.
+    let mut cfg_short = DriverConfig::enabled(5);
+    cfg_short.view_ttl = SimDuration::from_minutes(20.0);
+    let short = run_workload(&w, &cfg_short).unwrap();
+    let reuses = |o: &cv_workload::DriverOutcome| -> usize {
+        o.ledger.records().iter().map(|r| r.data.views_matched).sum()
+    };
+    assert!(
+        reuses(&short) < reuses(&long),
+        "short TTL {} !< long TTL {}",
+        reuses(&short),
+        reuses(&long)
+    );
+    // Expired views actually left the store.
+    assert!(short.view_store_stats.views_expired > 0);
+}
+
+#[test]
+fn annotations_file_replays_identical_plans() {
+    // The §4 debugging path: compile a job, write its annotations file,
+    // recompile from the file, get the same physical plan.
+    let mut engine = QueryEngine::new();
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+    ])
+    .unwrap()
+    .into_ref();
+    let rows: Vec<Vec<Value>> =
+        (0..1000).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
+    engine
+        .catalog
+        .register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH)
+        .unwrap();
+    let sql = "SELECT k, SUM(v) AS s FROM t WHERE k > 10 GROUP BY k";
+    let plan = engine.compile_sql(sql, &Params::none()).unwrap();
+    let subs = engine.subexpressions(&plan).unwrap();
+    let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+
+    let mut ctx = ReuseContext::empty();
+    ctx.to_build.insert(filter.strict);
+    let ann = QueryAnnotations::from_context(JobId(1), VcId(0), "scope-v1", &ctx);
+    let replayed_ctx = QueryAnnotations::from_json(&ann.to_json()).unwrap().to_context();
+
+    let original = engine
+        .optimize(&plan, &ctx, &mut cv_engine::optimizer::AlwaysGrant)
+        .unwrap();
+    let replayed = engine
+        .optimize(&plan, &replayed_ctx, &mut cv_engine::optimizer::AlwaysGrant)
+        .unwrap();
+    assert_eq!(
+        original.outcome.physical.display_tree(),
+        replayed.outcome.physical.display_tree()
+    );
+    assert_eq!(original.outcome.built_views, replayed.outcome.built_views);
+}
+
+#[test]
+fn per_vc_selection_respects_vc_scoping() {
+    let w = dense_workload();
+    let mut cfg = DriverConfig::enabled(5);
+    cfg.cloudviews = Some(SelectionKnobs { per_vc: true, ..SelectionKnobs::default() });
+    let out = run_workload(&w, &cfg).unwrap();
+    assert_eq!(out.failed_jobs, 0);
+    // Per-VC selection still produces reuse.
+    let reused: usize = out.ledger.records().iter().map(|r| r.data.views_matched).sum();
+    assert!(reused > 0, "per-VC selection should still drive reuse");
+}
+
+#[test]
+fn gdpr_run_stays_correct() {
+    let w = small_workload();
+    let mut base_cfg = DriverConfig::baseline(5);
+    base_cfg.gdpr_every_days = Some(2);
+    let mut on_cfg = DriverConfig::enabled(5);
+    on_cfg.gdpr_every_days = Some(2);
+    let base = run_workload(&w, &base_cfg).unwrap();
+    let on = run_workload(&w, &on_cfg).unwrap();
+    assert_eq!(base.failed_jobs, 0);
+    assert_eq!(on.failed_jobs, 0);
+    // Even with forget-requests rotating inputs mid-window, reuse never
+    // changes any result.
+    assert_eq!(base.result_digests, on.result_digests);
+}
+
+#[test]
+fn repository_overlap_matches_paper_shape() {
+    let w = small_workload();
+    let out = run_workload(&w, &DriverConfig::baseline(7)).unwrap();
+    let overall = out.repo.overall_overlap();
+    assert!(
+        overall.repeated_pct() > 60.0,
+        "expected heavy subexpression overlap, got {:.1}%",
+        overall.repeated_pct()
+    );
+    assert!(overall.avg_repeat_frequency > 2.0);
+}

@@ -1,0 +1,265 @@
+//! Property-based tests on the core invariants.
+
+use cloudviews::prelude::*;
+use cv_data::schema::{Field, Schema};
+use cv_engine::expr::fold::normalize_expr;
+use cv_engine::expr::{col, lit, ScalarExpr};
+use cv_engine::normalize::normalize;
+use cv_engine::signature::{plan_signature, SigMode, SignatureConfig};
+use proptest::prelude::*;
+
+/// A random comparison atom over known columns.
+fn atom() -> impl Strategy<Value = ScalarExpr> {
+    (
+        prop_oneof![Just("a"), Just("b"), Just("c")],
+        prop_oneof![Just(0usize), Just(1), Just(2), Just(3), Just(4), Just(5)],
+        -20i64..20,
+    )
+        .prop_map(|(c, op, v)| {
+            let l = col(c);
+            let r = lit(v);
+            match op {
+                0 => l.eq(r),
+                1 => l.not_eq(r),
+                2 => l.lt(r),
+                3 => l.lt_eq(r),
+                4 => l.gt(r),
+                _ => l.gt_eq(r),
+            }
+        })
+}
+
+fn table_abc(rows: &[(i64, i64, i64)]) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("a", DataType::Int),
+        Field::new("b", DataType::Int),
+        Field::new("c", DataType::Int),
+    ])
+    .unwrap()
+    .into_ref();
+    let rows: Vec<Vec<Value>> = rows
+        .iter()
+        .map(|&(a, b, c)| vec![Value::Int(a), Value::Int(b), Value::Int(c)])
+        .collect();
+    Table::from_rows(schema, &rows).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Conjunct order never affects the normalized form or the signature.
+    #[test]
+    fn conjunction_order_insensitive(atoms in prop::collection::vec(atom(), 1..5), seed in 0u64..1000) {
+        let mut shuffled = atoms.clone();
+        let mut rng = cv_common::rng::DetRng::seed(seed);
+        rng.shuffle(&mut shuffled);
+        let conj = |xs: &[ScalarExpr]| {
+            let mut it = xs.iter().cloned();
+            let first = it.next().unwrap();
+            it.fold(first, |acc, x| acc.and(x))
+        };
+        let n1 = normalize_expr(&conj(&atoms));
+        let n2 = normalize_expr(&conj(&shuffled));
+        prop_assert_eq!(n1, n2);
+    }
+
+    /// Expression normalization is idempotent.
+    #[test]
+    fn normalize_expr_idempotent(atoms in prop::collection::vec(atom(), 1..6)) {
+        let mut it = atoms.into_iter();
+        let first = it.next().unwrap();
+        let e = it.fold(first, |acc, x| acc.or(x));
+        let once = normalize_expr(&e);
+        let twice = normalize_expr(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Normalization preserves filter semantics, and plan signatures are
+    /// stable across structurally equal inputs.
+    #[test]
+    fn normalization_preserves_semantics(
+        atoms in prop::collection::vec(atom(), 1..4),
+        rows in prop::collection::vec((-20i64..20, -20i64..20, -20i64..20), 0..40),
+    ) {
+        let mut engine = QueryEngine::new();
+        engine.catalog.register("t", table_abc(&rows), SimTime::EPOCH).unwrap();
+
+        let mut it = atoms.iter().cloned();
+        let first = it.next().unwrap();
+        let pred = it.fold(first, |acc, x| acc.and(x));
+
+        let plan = cv_engine::plan::PlanBuilder::scan(&engine.catalog, "t")
+            .unwrap()
+            .filter(pred)
+            .unwrap()
+            .build();
+        let cfg = SignatureConfig::default();
+        let normalized = normalize(&plan, &cfg).unwrap();
+        // Same signature when normalizing twice.
+        prop_assert_eq!(
+            plan_signature(&normalized, &cfg, SigMode::Strict),
+            plan_signature(&normalize(&normalized, &cfg).unwrap(), &cfg, SigMode::Strict)
+        );
+        // Executing raw vs normalized gives identical results.
+        let run = |p: &std::sync::Arc<cv_engine::plan::LogicalPlan>| {
+            let compiled = engine
+                .optimize(p, &ReuseContext::empty(), &mut cv_engine::optimizer::AlwaysGrant)
+                .unwrap();
+            engine.execute(&compiled.outcome.physical, SimTime::EPOCH).unwrap().table
+        };
+        prop_assert_eq!(run(&plan).canonical_rows(), run(&normalized).canonical_rows());
+    }
+
+    /// Materialize-then-reuse returns exactly what direct execution returns.
+    #[test]
+    fn reuse_roundtrip_preserves_results(
+        a in atom(),
+        b in atom(),
+        rows in prop::collection::vec((-20i64..20, -20i64..20, -20i64..20), 1..40),
+    ) {
+        let mut engine = QueryEngine::new();
+        engine.catalog.register("t", table_abc(&rows), SimTime::EPOCH).unwrap();
+        let build_plan = |p: ScalarExpr| {
+            cv_engine::plan::PlanBuilder::scan(&engine.catalog, "t")
+                .unwrap()
+                .filter(p)
+                .unwrap()
+                .build()
+        };
+        // Shared subexpression: Filter(a); queries add a second filter b.
+        let shared = build_plan(a.clone());
+        let query = cv_engine::plan::PlanBuilder::from_plan(shared.clone())
+            .filter(b.clone())
+            .unwrap()
+            .build();
+
+        let cfg = engine.optimizer.cfg.sig.clone();
+        let shared_norm = normalize(&shared, &cfg).unwrap();
+        let sig = plan_signature(&shared_norm, &cfg, SigMode::Strict).unwrap();
+
+        // Run 1: build the view.
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(sig);
+        let out1 = engine
+            .run_plan(&query, &reuse, JobId(1), VcId(0), SimTime::EPOCH)
+            .unwrap();
+
+        // Run 2: reuse it (if it was actually built — the merged filter may
+        // normalize the shared prefix away; in that case skip).
+        if let Some(view) = engine.views.peek(sig, SimTime::EPOCH) {
+            let mut reuse2 = ReuseContext::empty();
+            reuse2.available.insert(
+                sig,
+                cv_engine::optimizer::ViewMeta { rows: view.rows as u64, bytes: view.bytes },
+            );
+            let out2 = engine
+                .run_plan(&query, &reuse2, JobId(2), VcId(0), SimTime::EPOCH)
+                .unwrap();
+            prop_assert_eq!(out1.table.canonical_rows(), out2.table.canonical_rows());
+        }
+        // And both equal the no-reuse execution.
+        let baseline = engine
+            .run_plan(&query, &ReuseContext::empty(), JobId(3), VcId(0), SimTime::EPOCH)
+            .unwrap();
+        prop_assert_eq!(out1.table.canonical_rows(), baseline.table.canonical_rows());
+    }
+
+    /// Selection never exceeds the storage budget, whatever the problem.
+    #[test]
+    fn selection_respects_budget(seed in 0u64..500, budget_kb in 0u64..64) {
+        let workload = generate_workload(WorkloadConfig {
+            seed,
+            scale: 0.03,
+            n_analytics: 8,
+            ..Default::default()
+        });
+        let out = run_workload(&workload, &DriverConfig::baseline(2)).unwrap();
+        let problem = cv_core::build_problem(&out.repo, 2);
+        let constraints = SelectionConstraints::with_budget(budget_kb * 1024);
+        for selector in [
+            &GreedySelector as &dyn ViewSelector,
+            &LabelPropagationSelector::default(),
+        ] {
+            let sel = selector.select(&problem, &constraints);
+            prop_assert!(
+                sel.est_storage <= budget_kb * 1024,
+                "{} exceeded budget", selector.name()
+            );
+            prop_assert!(sel.est_savings >= 0.0);
+        }
+    }
+
+    /// Simulator conservation: processing + bonus container-seconds equal
+    /// total work / speed for every job, and latency ≥ critical path.
+    #[test]
+    fn simulator_conserves_work(
+        jobs in prop::collection::vec((1.0f64..500.0, 1usize..40, 0.0f64..100.0), 1..12)
+    ) {
+        use cv_cluster::stage::{Stage, StageGraph};
+        use cv_cluster::sim::JobSpec;
+        let mut sim = ClusterSim::new(ClusterConfig::default());
+        for (i, &(work, partitions, submit)) in jobs.iter().enumerate() {
+            let graph = StageGraph {
+                stages: vec![
+                    Stage { id: 0, kind: "scan".into(), work, partitions, deps: vec![], seals_view: None, checkpointed: false },
+                    Stage { id: 1, kind: "agg".into(), work: work / 2.0, partitions: partitions.div_ceil(2), deps: vec![0], seals_view: None, checkpointed: false },
+                ],
+            };
+            sim.submit(JobSpec {
+                job: JobId(i as u64),
+                vc: VcId(i as u64 % 3),
+                template: TemplateId(0),
+                submit: SimTime(submit),
+                stages: graph,
+            });
+        }
+        sim.run_to_completion();
+        prop_assert_eq!(sim.results().len(), jobs.len());
+        for r in sim.results() {
+            let total = r.processing_seconds + r.bonus_seconds;
+            let expected = r.total_work / 1.0; // default speed
+            prop_assert!((total - expected).abs() < 1e-6,
+                "job {:?}: {} vs {}", r.job, total, expected);
+            prop_assert!(r.finish.seconds() >= r.start.seconds());
+            prop_assert!(r.start.seconds() >= r.submit.seconds());
+        }
+    }
+
+    /// Bloom filters never produce false negatives.
+    #[test]
+    fn bloom_no_false_negatives(keys in prop::collection::vec(-10_000i64..10_000, 1..500)) {
+        let mut bf = cv_extensions::BloomFilter::new(keys.len(), 0.01);
+        for &k in &keys {
+            bf.insert(&Value::Int(k));
+        }
+        for &k in &keys {
+            prop_assert!(bf.contains(&Value::Int(k)));
+        }
+    }
+
+    /// Containment implication is sound: if `implies(a, b)` then every row
+    /// satisfying `a` satisfies `b`.
+    #[test]
+    fn containment_is_sound(
+        a in prop::collection::vec(atom(), 1..3),
+        b in prop::collection::vec(atom(), 1..3),
+        rows in prop::collection::vec((-20i64..20, -20i64..20, -20i64..20), 0..60),
+    ) {
+        let conj = |xs: &[ScalarExpr]| {
+            let mut it = xs.iter().cloned();
+            let first = it.next().unwrap();
+            it.fold(first, |acc, x| acc.and(x))
+        };
+        let pa = conj(&a);
+        let pb = conj(&b);
+        if cv_extensions::implies(&pa, &pb) {
+            let t = table_abc(&rows);
+            let mut ctx = cv_engine::expr::eval::EvalCtx::default();
+            let ma = cv_engine::expr::eval::eval_predicate(&pa, &t, &mut ctx).unwrap();
+            let mb = cv_engine::expr::eval::eval_predicate(&pb, &t, &mut ctx).unwrap();
+            for (i, (&x, &y)) in ma.iter().zip(&mb).enumerate() {
+                prop_assert!(!x || y, "row {i} satisfies a but not b");
+            }
+        }
+    }
+}
