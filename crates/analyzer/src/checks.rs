@@ -1,0 +1,601 @@
+//! The invariant check registry.
+//!
+//! Each [`Check`] inspects whatever parts of an [`AnalysisInput`] are
+//! present and appends [`Diagnostic`]s. Checks never panic and never
+//! return early on the first finding — a corrupted plan yields *every*
+//! violation it contains, which is what makes the report useful when a
+//! production job is being replayed from its annotations.
+//!
+//! To add a check: implement [`Check`], pick a code in the right family
+//! (see [`crate::diag::codes`]), and push it in [`CheckRegistry::standard`].
+
+use crate::diag::{codes, Diagnostic, Report};
+use cv_common::hash::Sig128;
+use cv_data::schema::SchemaRef;
+use cv_engine::cost::CostModel;
+use cv_engine::normalize::normalize;
+use cv_engine::optimizer::ReuseContext;
+use cv_engine::physical::PhysicalPlan;
+use cv_engine::plan::LogicalPlan;
+use cv_engine::signature::{plan_signature, SigMode, SignatureConfig};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+
+/// Everything a check may look at. All plan fields are optional so the
+/// same registry serves full post-optimize audits (everything present)
+/// and the narrower in-optimizer hooks (logical-only / physical-only).
+pub struct AnalysisInput<'a> {
+    /// The normalized plan *before* view matching/building.
+    pub original: Option<&'a Arc<LogicalPlan>>,
+    /// The rewritten logical plan (view scans + materialize markers).
+    pub optimized: Option<&'a Arc<LogicalPlan>>,
+    pub physical: Option<&'a PhysicalPlan>,
+    /// The annotations that drove the rewrite.
+    pub reuse: Option<&'a ReuseContext>,
+    /// Strict signatures with a live, sealed view-store entry, when the
+    /// caller has access to the store (the CLI and execution-time audits).
+    pub live_views: Option<&'a HashSet<Sig128>>,
+    pub sig: &'a SignatureConfig,
+    pub cost: &'a CostModel,
+}
+
+impl<'a> AnalysisInput<'a> {
+    pub fn new(sig: &'a SignatureConfig, cost: &'a CostModel) -> AnalysisInput<'a> {
+        AnalysisInput {
+            original: None,
+            optimized: None,
+            physical: None,
+            reuse: None,
+            live_views: None,
+            sig,
+            cost,
+        }
+    }
+}
+
+/// One plan invariant.
+pub trait Check: fmt::Debug + Send + Sync {
+    /// The code family this check emits (e.g. `"CV04x"`).
+    fn family(&self) -> &'static str;
+    fn name(&self) -> &'static str;
+    fn description(&self) -> &'static str;
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>);
+}
+
+/// An ordered collection of checks, run as one pass.
+#[derive(Debug, Default)]
+pub struct CheckRegistry {
+    checks: Vec<Box<dyn Check>>,
+}
+
+impl CheckRegistry {
+    /// The full stock rule set.
+    pub fn standard() -> CheckRegistry {
+        let mut r = CheckRegistry::default();
+        r.register(Box::new(SchemaSoundness));
+        r.register(Box::new(SignatureDeterminism));
+        r.register(Box::new(SubstitutionSoundness));
+        r.register(Box::new(SpoolWellFormedness));
+        r.register(Box::new(StatsSanity));
+        r
+    }
+
+    pub fn register(&mut self, check: Box<dyn Check>) {
+        self.checks.push(check);
+    }
+
+    pub fn checks(&self) -> impl Iterator<Item = &dyn Check> {
+        self.checks.iter().map(|c| c.as_ref())
+    }
+
+    pub fn run(&self, input: &AnalysisInput<'_>) -> Report {
+        let mut diagnostics = Vec::new();
+        for check in &self.checks {
+            check.run(input, &mut diagnostics);
+        }
+        Report { diagnostics }
+    }
+}
+
+fn child_path(parent: &str, idx: usize, kind: &str) -> String {
+    format!("{parent}/{idx}:{kind}")
+}
+
+/// Walk a logical plan with root-to-node paths.
+fn walk_logical<'p>(plan: &'p Arc<LogicalPlan>, mut f: impl FnMut(&'p Arc<LogicalPlan>, &str)) {
+    fn go<'p>(
+        node: &'p Arc<LogicalPlan>,
+        path: &str,
+        f: &mut impl FnMut(&'p Arc<LogicalPlan>, &str),
+    ) {
+        f(node, path);
+        for (i, c) in node.children().into_iter().enumerate() {
+            go(c, &child_path(path, i, c.kind_name()), f);
+        }
+    }
+    go(plan, plan.kind_name(), &mut f);
+}
+
+/// Walk a physical plan with root-to-node paths.
+fn walk_physical<'p>(plan: &'p PhysicalPlan, mut f: impl FnMut(&'p PhysicalPlan, &str)) {
+    fn go<'p>(node: &'p PhysicalPlan, path: &str, f: &mut impl FnMut(&'p PhysicalPlan, &str)) {
+        f(node, path);
+        for (i, c) in node.children().into_iter().enumerate() {
+            go(c, &child_path(path, i, c.kind_name()), f);
+        }
+    }
+    go(plan, plan.kind_name(), &mut f);
+}
+
+/// Strict signature → (schema, path) for every signable node of a plan.
+fn subexpr_index(
+    plan: &Arc<LogicalPlan>,
+    sig_cfg: &SignatureConfig,
+) -> HashMap<Sig128, (Option<SchemaRef>, String)> {
+    let mut map = HashMap::new();
+    walk_logical(plan, |node, path| {
+        if let Some(sig) = plan_signature(node, sig_cfg, SigMode::Strict) {
+            map.entry(sig).or_insert_with(|| (node.schema().ok(), path.to_string()));
+        }
+    });
+    map
+}
+
+// ---------------------------------------------------------------------------
+// CV01x — schema soundness
+// ---------------------------------------------------------------------------
+
+/// Every node's schema must derive without error, and every `ViewScan`
+/// must carry exactly the schema of the subexpression it replaced —
+/// otherwise the substitution changed what the query computes.
+#[derive(Debug)]
+pub struct SchemaSoundness;
+
+impl Check for SchemaSoundness {
+    fn family(&self) -> &'static str {
+        "CV01x"
+    }
+
+    fn name(&self) -> &'static str {
+        "schema-soundness"
+    }
+
+    fn description(&self) -> &'static str {
+        "schemas derive cleanly at every node; ViewScan schemas equal the replaced subexpression"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        for plan in [input.original, input.optimized].into_iter().flatten() {
+            walk_logical(plan, |node, path| {
+                if let Err(e) = node.schema() {
+                    out.push(Diagnostic::error(
+                        codes::SCHEMA_DERIVE,
+                        path,
+                        format!("schema derivation failed on {} node: {e}", node.kind_name()),
+                    ));
+                }
+            });
+        }
+        // ViewScan schemas vs. the original subexpressions they replaced.
+        let (Some(original), Some(optimized)) = (input.original, input.optimized) else {
+            return;
+        };
+        let index = subexpr_index(original, input.sig);
+        walk_logical(optimized, |node, path| {
+            let LogicalPlan::ViewScan { sig, schema, .. } = &**node else {
+                return;
+            };
+            let Some((Some(expected), original_path)) = index.get(sig) else {
+                return; // CV032's territory: no such subexpression at all.
+            };
+            if expected != schema {
+                out.push(Diagnostic::error(
+                    codes::VIEWSCAN_SCHEMA,
+                    path,
+                    format!(
+                        "ViewScan {} schema {:?} differs from replaced subexpression at {} \
+                         with schema {:?}",
+                        sig.short(),
+                        schema.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+                        original_path,
+                        expected.fields().iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+                    ),
+                ));
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV02x — signature determinism
+// ---------------------------------------------------------------------------
+
+/// `normalize` must be a fixpoint and signatures must not drift across
+/// re-normalization: annotations are keyed by signature, so any drift
+/// silently severs every view a job was granted.
+#[derive(Debug)]
+pub struct SignatureDeterminism;
+
+impl Check for SignatureDeterminism {
+    fn family(&self) -> &'static str {
+        "CV02x"
+    }
+
+    fn name(&self) -> &'static str {
+        "signature-determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "normalize() is idempotent and plan_signature() is stable across re-normalization"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(original) = input.original else { return };
+        let root = original.kind_name();
+        let renormalized = match normalize(original, input.sig) {
+            Ok(p) => p,
+            Err(e) => {
+                out.push(Diagnostic::error(
+                    codes::NORMALIZE_IDEMPOTENT,
+                    root,
+                    format!("re-normalizing an already normalized plan failed: {e}"),
+                ));
+                return;
+            }
+        };
+        if renormalized != *original {
+            out.push(Diagnostic::error(
+                codes::NORMALIZE_IDEMPOTENT,
+                root,
+                "normalize() is not idempotent: re-normalizing the normalized plan \
+                 produced a different tree"
+                    .to_string(),
+            ));
+        }
+        for mode in [SigMode::Strict, SigMode::Recurring] {
+            let before = plan_signature(original, input.sig, mode);
+            let after = plan_signature(&renormalized, input.sig, mode);
+            if before != after {
+                out.push(Diagnostic::error(
+                    codes::SIGNATURE_STABLE,
+                    root,
+                    format!(
+                        "{mode:?} signature drifted across re-normalization: \
+                         {:?} != {:?}",
+                        before.map(|s| s.short()),
+                        after.map(|s| s.short()),
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV03x — substitution soundness
+// ---------------------------------------------------------------------------
+
+/// Every `ViewScan` must trace back to (1) a grant in the `ReuseContext`,
+/// (2) an actual subexpression of the original plan (which pins down the
+/// input GUIDs the view covers), and (3) a live, sealed view-store entry
+/// when the caller can see the store.
+#[derive(Debug)]
+pub struct SubstitutionSoundness;
+
+impl Check for SubstitutionSoundness {
+    fn family(&self) -> &'static str {
+        "CV03x"
+    }
+
+    fn name(&self) -> &'static str {
+        "substitution-soundness"
+    }
+
+    fn description(&self) -> &'static str {
+        "ViewScans resolve to granted, live views that correspond to real subexpressions"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(optimized) = input.optimized else { return };
+        let index = input.original.map(|orig| subexpr_index(orig, input.sig));
+        walk_logical(optimized, |node, path| {
+            let LogicalPlan::ViewScan { sig, .. } = &**node else { return };
+            if let Some(reuse) = input.reuse {
+                if !reuse.available.contains_key(sig) {
+                    out.push(Diagnostic::error(
+                        codes::VIEW_NOT_GRANTED,
+                        path,
+                        format!(
+                            "ViewScan {} was never granted: the ReuseContext has no \
+                             available entry for it",
+                            sig.short()
+                        ),
+                    ));
+                }
+            }
+            if let Some(index) = &index {
+                if !index.contains_key(sig) {
+                    out.push(Diagnostic::error(
+                        codes::VIEW_NO_SUBEXPR,
+                        path,
+                        format!(
+                            "ViewScan {} does not correspond to any subexpression of the \
+                             original plan; its input GUIDs cannot be validated against \
+                             the job's inputs",
+                            sig.short()
+                        ),
+                    ));
+                }
+            }
+            if let Some(live) = input.live_views {
+                if !live.contains(sig) {
+                    out.push(Diagnostic::error(
+                        codes::VIEW_NOT_LIVE,
+                        path,
+                        format!(
+                            "ViewScan {} has no live, sealed entry in the view store",
+                            sig.short()
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV04x — spool well-formedness
+// ---------------------------------------------------------------------------
+
+/// Spools (and their logical `Materialize` markers) must target unique
+/// signatures, must not scan the view they are producing, must be backed
+/// by a build grant, and should not sit under partial-consumption parents.
+#[derive(Debug)]
+pub struct SpoolWellFormedness;
+
+impl SpoolWellFormedness {
+    fn check_target(
+        sig: Sig128,
+        path: &str,
+        kind: &str,
+        seen: &mut HashMap<Sig128, String>,
+        reuse: Option<&ReuseContext>,
+        under_limit: bool,
+        out: &mut Vec<Diagnostic>,
+    ) {
+        if let Some(first) = seen.get(&sig) {
+            out.push(Diagnostic::error(
+                codes::SPOOL_DUPLICATE,
+                path,
+                format!(
+                    "{kind} targets signature {} already produced at {first}; \
+                     spool targets must be unique within a plan",
+                    sig.short()
+                ),
+            ));
+        } else {
+            seen.insert(sig, path.to_string());
+        }
+        if let Some(reuse) = reuse {
+            if !reuse.to_build.contains(&sig) {
+                out.push(Diagnostic::error(
+                    codes::SPOOL_DANGLING,
+                    path,
+                    format!(
+                        "dangling {kind}: signature {} has no build grant in the \
+                         ReuseContext",
+                        sig.short()
+                    ),
+                ));
+            }
+        }
+        if under_limit {
+            out.push(Diagnostic::warning(
+                codes::SPOOL_UNDER_LIMIT,
+                path,
+                format!(
+                    "{kind} {} sits under a Limit; a partial-consumption runtime \
+                     would seal a truncated view",
+                    sig.short()
+                ),
+            ));
+        }
+    }
+
+    fn viewscan_under(node: &LogicalPlan, sig: Sig128) -> bool {
+        if matches!(node, LogicalPlan::ViewScan { sig: s, .. } if *s == sig) {
+            return true;
+        }
+        node.children().iter().any(|c| Self::viewscan_under(c, sig))
+    }
+
+    fn phys_viewscan_under(node: &PhysicalPlan, sig: Sig128) -> bool {
+        if matches!(node, PhysicalPlan::ViewScan { sig: s, .. } if *s == sig) {
+            return true;
+        }
+        node.children().iter().any(|c| Self::phys_viewscan_under(c, sig))
+    }
+
+    fn run_logical(plan: &Arc<LogicalPlan>, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashMap<Sig128, String> = HashMap::new();
+        fn go(
+            node: &Arc<LogicalPlan>,
+            path: &str,
+            under_limit: bool,
+            seen: &mut HashMap<Sig128, String>,
+            input: &AnalysisInput<'_>,
+            out: &mut Vec<Diagnostic>,
+        ) {
+            if let LogicalPlan::Materialize { sig, input: inner } = &**node {
+                SpoolWellFormedness::check_target(
+                    *sig,
+                    path,
+                    "Materialize",
+                    seen,
+                    input.reuse,
+                    under_limit,
+                    out,
+                );
+                if SpoolWellFormedness::viewscan_under(inner, *sig) {
+                    out.push(Diagnostic::error(
+                        codes::SPOOL_CYCLE,
+                        path,
+                        format!(
+                            "cycle: the subtree under Materialize {} scans the very \
+                             view it is producing",
+                            sig.short()
+                        ),
+                    ));
+                }
+            }
+            let limited = under_limit || matches!(&**node, LogicalPlan::Limit { .. });
+            for (i, c) in node.children().into_iter().enumerate() {
+                go(c, &child_path(path, i, c.kind_name()), limited, seen, input, out);
+            }
+        }
+        go(plan, plan.kind_name(), false, &mut seen, input, out);
+    }
+
+    fn run_physical(plan: &PhysicalPlan, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let mut seen: HashMap<Sig128, String> = HashMap::new();
+        fn go(
+            node: &PhysicalPlan,
+            path: &str,
+            under_limit: bool,
+            seen: &mut HashMap<Sig128, String>,
+            input: &AnalysisInput<'_>,
+            out: &mut Vec<Diagnostic>,
+        ) {
+            if let PhysicalPlan::Spool { sig, input: inner, .. } = node {
+                SpoolWellFormedness::check_target(
+                    *sig,
+                    path,
+                    "Spool",
+                    seen,
+                    input.reuse,
+                    under_limit,
+                    out,
+                );
+                if SpoolWellFormedness::phys_viewscan_under(inner, *sig) {
+                    out.push(Diagnostic::error(
+                        codes::SPOOL_CYCLE,
+                        path,
+                        format!(
+                            "cycle: the subtree under Spool {} scans the very view \
+                             it is producing",
+                            sig.short()
+                        ),
+                    ));
+                }
+            }
+            let limited = under_limit || matches!(node, PhysicalPlan::Limit { .. });
+            for (i, c) in node.children().into_iter().enumerate() {
+                go(c, &child_path(path, i, c.kind_name()), limited, seen, input, out);
+            }
+        }
+        go(plan, plan.kind_name(), false, &mut seen, input, out);
+    }
+}
+
+impl Check for SpoolWellFormedness {
+    fn family(&self) -> &'static str {
+        "CV04x"
+    }
+
+    fn name(&self) -> &'static str {
+        "spool-well-formedness"
+    }
+
+    fn description(&self) -> &'static str {
+        "spool targets are unique, granted, acyclic, and fully consumed"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        if let Some(plan) = input.optimized {
+            Self::run_logical(plan, input, out);
+        }
+        if let Some(plan) = input.physical {
+            Self::run_physical(plan, input, out);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV05x — cost / statistics sanity
+// ---------------------------------------------------------------------------
+
+/// Estimates feed partitioning and the reuse cost gate; garbage here turns
+/// into over-partitioned stages or wrongly accepted substitutions.
+#[derive(Debug)]
+pub struct StatsSanity;
+
+impl Check for StatsSanity {
+    fn family(&self) -> &'static str {
+        "CV05x"
+    }
+
+    fn name(&self) -> &'static str {
+        "stats-sanity"
+    }
+
+    fn description(&self) -> &'static str {
+        "estimated rows/bytes are finite and non-negative; total_cost is monotone over children"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(physical) = input.physical else { return };
+        walk_physical(physical, |node, path| {
+            let est = node.est();
+            if !est.rows.is_finite() || est.rows < 0.0 || !est.bytes.is_finite() || est.bytes < 0.0
+            {
+                out.push(Diagnostic::error(
+                    codes::STATS_INVALID,
+                    path,
+                    format!(
+                        "invalid estimate on {} node: rows={}, bytes={}",
+                        node.kind_name(),
+                        est.rows,
+                        est.bytes
+                    ),
+                ));
+            }
+            if node.partitions() == 0 {
+                out.push(Diagnostic::error(
+                    codes::STATS_INVALID,
+                    path,
+                    format!("{} node has zero partitions", node.kind_name()),
+                ));
+            }
+            let total = node.total_cost(input.cost).total();
+            let self_cost = node.self_cost(input.cost).total();
+            if !total.is_finite() || !self_cost.is_finite() || self_cost < 0.0 {
+                out.push(Diagnostic::error(
+                    codes::COST_MONOTONE,
+                    path,
+                    format!(
+                        "non-finite or negative cost on {} node: self={self_cost}, \
+                         total={total}",
+                        node.kind_name()
+                    ),
+                ));
+                return;
+            }
+            for child in node.children() {
+                let child_total = child.total_cost(input.cost).total();
+                if total < child_total {
+                    out.push(Diagnostic::error(
+                        codes::COST_MONOTONE,
+                        path,
+                        format!(
+                            "total_cost is not monotone: {} node totals {total} but its \
+                             {} child totals {child_total}",
+                            node.kind_name(),
+                            child.kind_name()
+                        ),
+                    ));
+                }
+            }
+        });
+    }
+}

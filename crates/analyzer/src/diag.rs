@@ -1,0 +1,201 @@
+//! Structured diagnostics: what a check reports and how a batch of
+//! reports is rendered (text for humans, JSON for tooling).
+
+use cv_common::json::{json, Json, ToJson};
+use std::fmt;
+
+/// Diagnostic code constants. Families group related invariants:
+/// `CV01x` schema soundness, `CV02x` signature determinism, `CV03x`
+/// substitution soundness, `CV04x` spool well-formedness, `CV05x`
+/// cost/statistics sanity.
+pub mod codes {
+    /// Schema derivation failed or is structurally inconsistent.
+    pub const SCHEMA_DERIVE: &str = "CV011";
+    /// A `ViewScan` schema differs from the subexpression it replaced.
+    pub const VIEWSCAN_SCHEMA: &str = "CV012";
+    /// `normalize()` is not idempotent on this plan.
+    pub const NORMALIZE_IDEMPOTENT: &str = "CV021";
+    /// `plan_signature()` changed across re-normalization.
+    pub const SIGNATURE_STABLE: &str = "CV022";
+    /// A `ViewScan` signature was never granted by the `ReuseContext`.
+    pub const VIEW_NOT_GRANTED: &str = "CV031";
+    /// A `ViewScan` does not correspond to any subexpression of the
+    /// original plan (its input GUIDs cannot be validated).
+    pub const VIEW_NO_SUBEXPR: &str = "CV032";
+    /// A `ViewScan` signature has no live, sealed view-store entry.
+    pub const VIEW_NOT_LIVE: &str = "CV033";
+    /// Two spools/materializes target the same strict signature.
+    pub const SPOOL_DUPLICATE: &str = "CV041";
+    /// A spool's subtree scans the very view the spool is producing.
+    pub const SPOOL_CYCLE: &str = "CV042";
+    /// A spool was inserted without a matching build grant.
+    pub const SPOOL_DANGLING: &str = "CV043";
+    /// A spool sits under a parent that may consume partial input.
+    pub const SPOOL_UNDER_LIMIT: &str = "CV044";
+    /// Estimated rows/bytes are negative or non-finite, or a stage has
+    /// no partitions.
+    pub const STATS_INVALID: &str = "CV051";
+    /// `total_cost` is not monotone over children.
+    pub const COST_MONOTONE: &str = "CV052";
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Observation only; never fails a job.
+    Info,
+    /// Suspicious but not provably corrupt; reported, never fatal.
+    Warning,
+    /// Invariant violation — the optimizer must reject the plan.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One invariant violation, anchored to a node in a plan tree.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Diagnostic {
+    /// Stable `CV0xx` code (see [`codes`]).
+    pub code: &'static str,
+    pub severity: Severity,
+    /// Root-to-node path, e.g. `Aggregate/0:Join/1:Filter`.
+    pub plan_path: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn error(
+        code: &'static str,
+        plan_path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            plan_path: plan_path.into(),
+            message: message.into(),
+        }
+    }
+
+    pub fn warning(
+        code: &'static str,
+        plan_path: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            plan_path: plan_path.into(),
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}] at {}: {}", self.severity, self.code, self.plan_path, self.message)
+    }
+}
+
+impl ToJson for Diagnostic {
+    fn to_json(&self) -> Json {
+        json!({
+            "code": self.code,
+            "severity": self.severity.to_string(),
+            "plan_path": self.plan_path.as_str(),
+            "message": self.message.as_str(),
+        })
+    }
+}
+
+/// The result of one analysis run: every diagnostic all checks emitted.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics.iter().any(|d| d.severity == Severity::Error)
+    }
+
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Every distinct code present, sorted (handy for assertions).
+    pub fn codes(&self) -> Vec<&'static str> {
+        let mut codes: Vec<&'static str> = self.diagnostics.iter().map(|d| d.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        codes
+    }
+
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    pub fn to_text(&self) -> String {
+        if self.diagnostics.is_empty() {
+            return "no diagnostics\n".to_string();
+        }
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        let diags: Vec<Json> = self.diagnostics.iter().map(ToJson::to_json).collect();
+        json!({
+            "errors": self.errors().count() as u64,
+            "warnings": self
+                .diagnostics
+                .iter()
+                .filter(|d| d.severity == Severity::Warning)
+                .count() as u64,
+            "diagnostics": diags,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_puts_error_on_top() {
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn report_summaries() {
+        let mut r = Report::default();
+        assert!(r.is_clean() && !r.has_errors());
+        r.diagnostics.push(Diagnostic::warning(codes::SPOOL_UNDER_LIMIT, "Limit/0:Spool", "w"));
+        assert!(!r.is_clean() && !r.has_errors());
+        r.diagnostics.push(Diagnostic::error(codes::STATS_INVALID, "Join", "boom"));
+        assert!(r.has_errors());
+        assert_eq!(r.codes(), vec![codes::SPOOL_UNDER_LIMIT, codes::STATS_INVALID]);
+        let text = r.to_text();
+        assert!(text.contains("error [CV051] at Join: boom"));
+        let j = r.to_json();
+        assert_eq!(j.get("errors").and_then(|v| v.as_u64()), Some(1));
+    }
+}

@@ -1,0 +1,244 @@
+//! Deliberately corrupted plans, each asserting the exact diagnostic code
+//! the analyzer must emit. These are the negative tests for the check
+//! registry: every invariant family has at least one plan that violates
+//! it and nothing else.
+
+use cv_analyzer::{codes, Analyzer};
+use cv_common::hash::Sig128;
+use cv_common::ids::VersionGuid;
+use cv_data::schema::{Field, Schema, SchemaRef};
+use cv_data::value::DataType;
+use cv_engine::expr::{col, lit};
+use cv_engine::normalize::normalize;
+use cv_engine::optimizer::{OptimizerConfig, ReuseContext, ViewMeta};
+use cv_engine::physical::PhysicalPlan;
+use cv_engine::plan::LogicalPlan;
+use cv_engine::signature::{plan_signature, SigMode};
+use cv_engine::stats::Statistics;
+use std::sync::Arc;
+
+fn schema(cols: &[(&str, DataType)]) -> SchemaRef {
+    Schema::new(cols.iter().map(|(n, t)| Field::new(*n, *t)).collect()).unwrap().into_ref()
+}
+
+fn scan(name: &str, cols: &[(&str, DataType)]) -> Arc<LogicalPlan> {
+    Arc::new(LogicalPlan::Scan {
+        dataset: name.to_string(),
+        guid: VersionGuid(1),
+        schema: schema(cols),
+    })
+}
+
+fn filtered_scan() -> Arc<LogicalPlan> {
+    Arc::new(LogicalPlan::Filter {
+        predicate: col("a").gt(lit(3)),
+        input: scan("t", &[("a", DataType::Int), ("b", DataType::Str)]),
+    })
+}
+
+fn phys_scan(est: Statistics, partitions: usize) -> PhysicalPlan {
+    PhysicalPlan::TableScan {
+        dataset: "t".into(),
+        guid: VersionGuid(1),
+        schema: schema(&[("a", DataType::Int)]),
+        est,
+        partitions,
+    }
+}
+
+/// CV011: a Project referencing a column its input does not produce makes
+/// schema derivation fail.
+#[test]
+fn underivable_schema_is_cv011() {
+    let analyzer = Analyzer::default();
+    let broken = Arc::new(LogicalPlan::Project {
+        exprs: vec![(col("no_such_column"), "x".into())],
+        input: scan("t", &[("a", DataType::Int)]),
+    });
+    let mut input = analyzer.input();
+    input.optimized = Some(&broken);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::SCHEMA_DERIVE), "{}", report.to_text());
+    assert!(report.has_errors());
+}
+
+/// CV012: a ViewScan whose schema differs from the subexpression it
+/// replaced — the exact corruption the paper's validation layer exists to
+/// stop (wrong data silently returned to the customer).
+#[test]
+fn wrong_viewscan_schema_is_cv012() {
+    let cfg = OptimizerConfig::default();
+    let analyzer = Analyzer::new(&cfg);
+    let original = normalize(&filtered_scan(), &cfg.sig).unwrap();
+    let sig = plan_signature(&original, &cfg.sig, SigMode::Strict).unwrap();
+
+    // Same signature, wrong shape: one Float column instead of (Int, Str).
+    let corrupt = Arc::new(LogicalPlan::ViewScan {
+        sig,
+        schema: schema(&[("wrong", DataType::Float)]),
+        rows: 10,
+        bytes: 100,
+    });
+    let mut reuse = ReuseContext::empty();
+    reuse.available.insert(sig, ViewMeta { rows: 10, bytes: 100 });
+
+    let mut input = analyzer.input();
+    input.original = Some(&original);
+    input.optimized = Some(&corrupt);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::VIEWSCAN_SCHEMA), "{}", report.to_text());
+    assert!(report.has_errors());
+}
+
+/// CV041: two materialization points targeting the same signature.
+#[test]
+fn duplicate_spool_target_is_cv041() {
+    let analyzer = Analyzer::default();
+    let sig = Sig128(0x41);
+    let side = |name: &str| {
+        Arc::new(LogicalPlan::Materialize { sig, input: scan(name, &[("k", DataType::Int)]) })
+    };
+    let plan = Arc::new(LogicalPlan::Join {
+        left: side("l"),
+        right: side("r"),
+        on: vec![("k".into(), "k".into())],
+        kind: cv_engine::plan::JoinKind::Inner,
+    });
+    let mut reuse = ReuseContext::empty();
+    reuse.to_build.insert(sig);
+
+    let mut input = analyzer.input();
+    input.optimized = Some(&plan);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::SPOOL_DUPLICATE), "{}", report.to_text());
+    assert!(report.has_errors());
+}
+
+/// CV042: the subtree under a Materialize scans the very view being
+/// produced — a self-referential view that could never be computed.
+#[test]
+fn spool_cycle_is_cv042() {
+    let analyzer = Analyzer::default();
+    let sig = Sig128(0x42);
+    let plan = Arc::new(LogicalPlan::Materialize {
+        sig,
+        input: Arc::new(LogicalPlan::ViewScan {
+            sig,
+            schema: schema(&[("a", DataType::Int)]),
+            rows: 1,
+            bytes: 1,
+        }),
+    });
+    let mut reuse = ReuseContext::empty();
+    reuse.available.insert(sig, ViewMeta { rows: 1, bytes: 1 });
+    reuse.to_build.insert(sig);
+
+    let mut input = analyzer.input();
+    input.optimized = Some(&plan);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::SPOOL_CYCLE), "{}", report.to_text());
+    assert!(report.has_errors());
+}
+
+/// CV043: a spool the ReuseContext never asked to build (dangling spool) —
+/// both at the logical (Materialize) and physical (Spool) level.
+#[test]
+fn dangling_spool_is_cv043() {
+    let analyzer = Analyzer::default();
+    let sig = Sig128(0x43);
+    let logical =
+        Arc::new(LogicalPlan::Materialize { sig, input: scan("t", &[("a", DataType::Int)]) });
+    let reuse = ReuseContext::empty();
+
+    let mut input = analyzer.input();
+    input.optimized = Some(&logical);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert_eq!(report.codes(), vec![codes::SPOOL_DANGLING], "{}", report.to_text());
+    assert!(report.has_errors());
+
+    let physical = PhysicalPlan::Spool {
+        sig,
+        recurring_sig: sig,
+        input_guids: vec![VersionGuid(1)],
+        input: Box::new(phys_scan(Statistics { rows: 5.0, bytes: 50.0, accurate: true }, 1)),
+        est: Statistics { rows: 5.0, bytes: 50.0, accurate: true },
+        partitions: 1,
+    };
+    let mut input = analyzer.input();
+    input.physical = Some(&physical);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::SPOOL_DANGLING), "{}", report.to_text());
+}
+
+/// CV044 is a warning, not an error: a spool under a Limit is suspicious
+/// (a partial-consumption runtime would truncate the view) but this
+/// engine always drains its inputs, so the job must not be rejected.
+#[test]
+fn spool_under_limit_is_cv044_warning_only() {
+    let analyzer = Analyzer::default();
+    let sig = Sig128(0x44);
+    let plan = Arc::new(LogicalPlan::Limit {
+        n: 10,
+        input: Arc::new(LogicalPlan::Materialize {
+            sig,
+            input: scan("t", &[("a", DataType::Int)]),
+        }),
+    });
+    let mut reuse = ReuseContext::empty();
+    reuse.to_build.insert(sig);
+
+    let mut input = analyzer.input();
+    input.optimized = Some(&plan);
+    input.reuse = Some(&reuse);
+    let report = analyzer.analyze(&input);
+    assert_eq!(report.codes(), vec![codes::SPOOL_UNDER_LIMIT], "{}", report.to_text());
+    assert!(!report.has_errors(), "CV044 must never be fatal");
+}
+
+/// CV051: a negative row estimate in physical statistics.
+#[test]
+fn negative_row_estimate_is_cv051() {
+    let analyzer = Analyzer::default();
+    let physical = phys_scan(Statistics { rows: -5.0, bytes: 10.0, accurate: false }, 1);
+    let mut input = analyzer.input();
+    input.physical = Some(&physical);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::STATS_INVALID), "{}", report.to_text());
+    assert!(report.has_errors());
+}
+
+/// CV051 also fires on a stage with zero partitions.
+#[test]
+fn zero_partitions_is_cv051() {
+    let analyzer = Analyzer::default();
+    let physical = phys_scan(Statistics { rows: 5.0, bytes: 10.0, accurate: true }, 0);
+    let mut input = analyzer.input();
+    input.physical = Some(&physical);
+    let report = analyzer.analyze(&input);
+    assert_eq!(report.codes(), vec![codes::STATS_INVALID], "{}", report.to_text());
+}
+
+/// CV052: corrupted estimates that drive a node's derived cost negative.
+/// (`total_cost` is recomputed as self + children, so the monotone branch
+/// can only be violated through a negative/non-finite self cost.)
+#[test]
+fn negative_derived_cost_is_cv052() {
+    let analyzer = Analyzer::default();
+    // The Filter's own estimate is valid, but its cost is derived from the
+    // child's (negative) row estimate, so the Filter node trips CV052.
+    let physical = PhysicalPlan::Filter {
+        predicate: col("a").gt(lit(3)),
+        input: Box::new(phys_scan(Statistics { rows: -100.0, bytes: 10.0, accurate: false }, 1)),
+        est: Statistics { rows: 1.0, bytes: 1.0, accurate: true },
+        partitions: 1,
+    };
+    let mut input = analyzer.input();
+    input.physical = Some(&physical);
+    let report = analyzer.analyze(&input);
+    assert!(report.codes().contains(&codes::COST_MONOTONE), "{}", report.to_text());
+}

@@ -1,9 +1,12 @@
-//! Criterion microbenchmarks for the hot paths CloudViews adds to the
-//! compiler: signature computation, plan normalization, view matching
-//! (the paper's claim: "lightweight hash equality checks" instead of
-//! containment, §2.4), view selection, executor kernels, Bloom filters.
+//! Microbenchmarks for the hot paths CloudViews adds to the compiler:
+//! signature computation, plan normalization, view matching (the paper's
+//! claim: "lightweight hash equality checks" instead of containment, §2.4),
+//! view selection, executor kernels, Bloom filters.
+//!
+//! Self-contained harness (no external bench framework): each case is
+//! warmed up, then timed over enough iterations to fill a fixed
+//! measurement window, reporting mean ns/iter.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use cv_common::ids::{JobId, VcId};
 use cv_common::{Sig128, SimTime};
 use cv_core::selection::{LabelPropagationSelector, SelectionConstraints, ViewSelector};
@@ -20,6 +23,30 @@ use cv_engine::sql::{compile_sql, Params};
 use cv_extensions::bitvector::BloomFilter;
 use std::hint::black_box;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(200);
+const MEASURE: Duration = Duration::from_secs(1);
+
+/// Time `f` for roughly [`MEASURE`] and print mean ns/iter.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP {
+        black_box(f());
+        warm_iters += 1;
+    }
+    // Aim for the measurement window based on the warmed-up rate.
+    let per_iter = WARMUP.as_nanos().max(1) / u128::from(warm_iters.max(1));
+    let target = (MEASURE.as_nanos() / per_iter.max(1)).clamp(10, 10_000_000) as u64;
+    let start = Instant::now();
+    for _ in 0..target {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let ns = elapsed.as_nanos() as f64 / target as f64;
+    println!("  {name:<44} {ns:>14.0} ns/iter  ({target} iters)");
+}
 
 fn bench_engine() -> QueryEngine {
     let mut e = QueryEngine::new();
@@ -31,23 +58,15 @@ fn bench_engine() -> QueryEngine {
     .unwrap()
     .into_ref();
     let rows: Vec<Vec<Value>> = (0..10_000)
-        .map(|i| {
-            vec![Value::Int(i % 500), Value::Float((i % 97) as f64), Value::Int(i % 7)]
-        })
+        .map(|i| vec![Value::Int(i % 500), Value::Float((i % 97) as f64), Value::Int(i % 7)])
         .collect();
-    e.catalog
-        .register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH)
-        .unwrap();
-    let cust = Schema::new(vec![
-        Field::new("c_id", DataType::Int),
-        Field::new("seg", DataType::Str),
-    ])
-    .unwrap()
-    .into_ref();
+    e.catalog.register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH).unwrap();
+    let cust =
+        Schema::new(vec![Field::new("c_id", DataType::Int), Field::new("seg", DataType::Str)])
+            .unwrap()
+            .into_ref();
     let crows: Vec<Vec<Value>> = (0..500)
-        .map(|i| {
-            vec![Value::Int(i), Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into())]
-        })
+        .map(|i| vec![Value::Int(i), Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into())])
         .collect();
     e.catalog
         .register("customer", Table::from_rows(cust, &crows).unwrap(), SimTime::EPOCH)
@@ -74,35 +93,31 @@ fn deep_plan(e: &QueryEngine) -> Arc<LogicalPlan> {
     b.build()
 }
 
-fn signatures(c: &mut Criterion) {
+fn signatures() {
     let e = bench_engine();
     let plan = deep_plan(&e);
     let cfg = SignatureConfig::default();
-    c.bench_function("signature/plan_signature", |b| {
-        b.iter(|| plan_signature(black_box(&plan), &cfg, SigMode::Strict))
-    });
-    c.bench_function("signature/enumerate_subexpressions", |b| {
-        b.iter(|| enumerate_subexpressions(black_box(&plan), &cfg))
+    bench("signature/plan_signature", || plan_signature(black_box(&plan), &cfg, SigMode::Strict));
+    bench("signature/enumerate_subexpressions", || {
+        enumerate_subexpressions(black_box(&plan), &cfg)
     });
 }
 
-fn normalization(c: &mut Criterion) {
+fn normalization() {
     let e = bench_engine();
     let plan = deep_plan(&e);
     let cfg = SignatureConfig::default();
-    c.bench_function("normalize/plan", |b| {
-        b.iter(|| normalize(black_box(&plan), &cfg).unwrap())
-    });
+    bench("normalize/plan", || normalize(black_box(&plan), &cfg).unwrap());
 }
 
-fn sql_frontend(c: &mut Criterion) {
+fn sql_frontend() {
     let e = bench_engine();
-    c.bench_function("sql/parse_and_bind", |b| {
-        b.iter(|| compile_sql(black_box(QUERY), &e.catalog, &Params::none()).unwrap())
+    bench("sql/parse_and_bind", || {
+        compile_sql(black_box(QUERY), &e.catalog, &Params::none()).unwrap()
     });
 }
 
-fn view_matching(c: &mut Criterion) {
+fn view_matching() {
     let e = bench_engine();
     let plan = e.compile_sql(QUERY, &Params::none()).unwrap();
     // 256 irrelevant annotations + one real: matching stays a hash probe.
@@ -113,25 +128,25 @@ fn view_matching(c: &mut Criterion) {
     let subs = e.subexpressions(&plan).unwrap();
     let target = subs.iter().max_by_key(|s| s.node_count).unwrap();
     reuse.available.insert(target.strict, ViewMeta { rows: 100, bytes: 4_000 });
-    c.bench_function("optimizer/view_match_256_annotations", |b| {
-        b.iter(|| e.optimize(black_box(&plan), &reuse, &mut AlwaysGrant).unwrap())
+    bench("optimizer/view_match_256_annotations", || {
+        e.optimize(black_box(&plan), &reuse, &mut AlwaysGrant).unwrap()
     });
     let empty = ReuseContext::empty();
-    c.bench_function("optimizer/no_annotations", |b| {
-        b.iter(|| e.optimize(black_box(&plan), &empty, &mut AlwaysGrant).unwrap())
+    bench("optimizer/no_annotations", || {
+        e.optimize(black_box(&plan), &empty, &mut AlwaysGrant).unwrap()
     });
 }
 
-fn executor(c: &mut Criterion) {
+fn executor() {
     let e = bench_engine();
     let plan = e.compile_sql(QUERY, &Params::none()).unwrap();
     let compiled = e.optimize(&plan, &ReuseContext::empty(), &mut AlwaysGrant).unwrap();
-    c.bench_function("exec/join_agg_10k_rows", |b| {
-        b.iter(|| e.execute(black_box(&compiled.outcome.physical), SimTime::EPOCH).unwrap())
+    bench("exec/join_agg_10k_rows", || {
+        e.execute(black_box(&compiled.outcome.physical), SimTime::EPOCH).unwrap()
     });
 }
 
-fn selection(c: &mut Criterion) {
+fn selection() {
     // Selection over a problem harvested from a tiny driver run.
     let workload = cv_workload::generate_workload(cv_workload::WorkloadConfig {
         scale: 0.05,
@@ -142,65 +157,44 @@ fn selection(c: &mut Criterion) {
     let out = cv_workload::run_workload(&workload, &cfg).unwrap();
     let problem = cv_core::build_problem(&out.repo, 2);
     let constraints = SelectionConstraints::default();
-    c.bench_function("selection/label_propagation", |b| {
-        b.iter(|| {
-            LabelPropagationSelector::default().select(black_box(&problem), &constraints)
-        })
+    bench("selection/label_propagation", || {
+        LabelPropagationSelector::default().select(black_box(&problem), &constraints)
     });
 }
 
-fn bloom(c: &mut Criterion) {
+fn bloom() {
     let keys: Vec<Value> = (0..10_000).map(Value::Int).collect();
-    c.bench_function("bloom/build_10k", |b| {
-        b.iter_batched(
-            || keys.clone(),
-            |keys| {
-                let mut bf = BloomFilter::new(keys.len(), 0.01);
-                for k in &keys {
-                    bf.insert(k);
-                }
-                bf
-            },
-            BatchSize::SmallInput,
-        )
+    bench("bloom/build_10k", || {
+        let mut bf = BloomFilter::new(keys.len(), 0.01);
+        for k in &keys {
+            bf.insert(k);
+        }
+        bf
     });
     let mut bf = BloomFilter::new(10_000, 0.01);
     for k in &keys {
         bf.insert(k);
     }
-    c.bench_function("bloom/probe", |b| {
-        b.iter(|| bf.contains(black_box(&Value::Int(5_000))))
-    });
+    bench("bloom/probe", || bf.contains(black_box(&Value::Int(5_000))));
 }
 
-fn end_to_end(c: &mut Criterion) {
+fn end_to_end() {
     // Full compile→optimize→execute→seal cycle, as the driver runs it.
-    c.bench_function("engine/run_sql_end_to_end", |b| {
-        b.iter_batched(
-            bench_engine,
-            |mut e| {
-                e.run_sql(
-                    QUERY,
-                    &Params::none(),
-                    &ReuseContext::empty(),
-                    JobId(1),
-                    VcId(0),
-                    SimTime::EPOCH,
-                )
-                .unwrap()
-            },
-            BatchSize::SmallInput,
-        )
+    bench("engine/run_sql_end_to_end", || {
+        let mut e = bench_engine();
+        e.run_sql(QUERY, &Params::none(), &ReuseContext::empty(), JobId(1), VcId(0), SimTime::EPOCH)
+            .unwrap()
     });
 }
 
-fn configured() -> Criterion {
-    Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2))
+fn main() {
+    println!("cv-bench microbenchmarks (mean over ~{}s window per case)", MEASURE.as_secs());
+    signatures();
+    normalization();
+    sql_frontend();
+    view_matching();
+    executor();
+    selection();
+    bloom();
+    end_to_end();
 }
-
-criterion_group! {
-    name = benches;
-    config = configured();
-    targets = signatures, normalization, sql_frontend, view_matching, executor, selection, bloom, end_to_end
-}
-criterion_main!(benches);

@@ -7,6 +7,7 @@
 //! storage-for-compute trade-off curve.
 
 use cv_bench::{improvement_pct, scenario};
+use cv_common::json::json;
 use cv_workload::{run_workload, SelectionKnobs};
 
 fn main() {
@@ -36,23 +37,17 @@ fn main() {
     let mut results = Vec::new();
     for (budget, label) in budgets {
         let mut cfg = enabled_proto.clone();
-        cfg.cloudviews = Some(SelectionKnobs {
-            storage_budget_bytes: budget,
-            ..SelectionKnobs::default()
-        });
+        cfg.cloudviews =
+            Some(SelectionKnobs { storage_budget_bytes: budget, ..SelectionKnobs::default() });
         let out = run_workload(&workload, &cfg).expect("enabled");
         let totals = out.ledger.totals();
         let reused: usize = out.ledger.records().iter().map(|r| r.data.views_matched).sum();
         let imp = improvement_pct(base_totals.processing_seconds, totals.processing_seconds);
         println!(
             "  {:<14} {:>8} {:>8} {:>16.1} {:>11.2}%",
-            label,
-            out.view_store_stats.views_created,
-            reused,
-            totals.processing_seconds,
-            imp
+            label, out.view_store_stats.views_created, reused, totals.processing_seconds, imp
         );
-        results.push(serde_json::json!({
+        results.push(json!({
             "budget_bytes": budget,
             "views_built": out.view_store_stats.views_created,
             "views_reused": reused,

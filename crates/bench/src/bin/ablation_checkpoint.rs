@@ -7,6 +7,7 @@
 
 use cv_bench::scenario;
 use cv_cluster::sim::{ClusterConfig, ClusterSim, JobSpec};
+use cv_common::json::json;
 use cv_extensions::checkpoint::{apply_checkpoints, CheckpointPolicy};
 use cv_workload::run_workload;
 
@@ -61,13 +62,8 @@ fn main() {
             });
         }
         sim.run_to_completion();
-        let work: f64 = sim
-            .results()
-            .iter()
-            .map(|r| r.processing_seconds + r.bonus_seconds)
-            .sum();
-        let latency: f64 =
-            sim.results().iter().map(|r| (r.finish - r.submit).seconds()).sum();
+        let work: f64 = sim.results().iter().map(|r| r.processing_seconds + r.bonus_seconds).sum();
+        let latency: f64 = sim.results().iter().map(|r| (r.finish - r.submit).seconds()).sum();
         (work, latency)
     };
 
@@ -91,7 +87,7 @@ fn main() {
 
     cv_bench::write_json(
         "ablation_checkpoint",
-        &serde_json::json!({
+        &json!({
             "jobs": jobs.len(),
             "work_without_checkpoints": work_plain,
             "work_with_checkpoints": work_ckpt,

@@ -7,6 +7,7 @@
 //! (`qty > min(k_i)`) covers them all with compensating filters.
 
 use cv_common::ids::{JobId, VcId};
+use cv_common::json::json;
 use cv_common::SimTime;
 use cv_data::schema::{Field, Schema};
 use cv_data::table::Table;
@@ -30,11 +31,7 @@ fn main() {
     .into_ref();
     let rows: Vec<Vec<Value>> = (0..40_000)
         .map(|i| {
-            vec![
-                Value::Int(i % 500),
-                Value::Int(i % 100),
-                Value::Float((i % 37) as f64 + 0.5),
-            ]
+            vec![Value::Int(i % 500), Value::Int(i % 100), Value::Float((i % 37) as f64 + 0.5)]
         })
         .collect();
     engine
@@ -57,10 +54,8 @@ fn main() {
 
     // Exact matching: distinct strict signatures → zero cross-query reuse.
     let cfg = engine.optimizer.cfg.sig.clone();
-    let sigs: std::collections::HashSet<_> = queries
-        .iter()
-        .map(|q| plan_signature(q, &cfg, SigMode::Strict).unwrap())
-        .collect();
+    let sigs: std::collections::HashSet<_> =
+        queries.iter().map(|q| plan_signature(q, &cfg, SigMode::Strict).unwrap()).collect();
     println!("\n=== Ablation: exact-match vs containment-based reuse ===");
     println!("  query family: qty > k for k in {thresholds:?}");
     println!("  distinct strict signatures: {} (exact reuse: 0 hits)", sigs.len());
@@ -115,7 +110,13 @@ fn main() {
     for (i, q) in queries.iter().enumerate() {
         // Plain execution.
         let plain = engine
-            .run_plan(&q.clone(), &ReuseContext::empty(), JobId(100 + i as u64), VcId(0), SimTime(1.0))
+            .run_plan(
+                &q.clone(),
+                &ReuseContext::empty(),
+                JobId(100 + i as u64),
+                VcId(0),
+                SimTime(1.0),
+            )
             .unwrap();
         work_plain += plain.metrics.total_work;
         // Containment rewrite + execution.
@@ -124,7 +125,13 @@ fn main() {
             matched += 1;
         }
         let rw = engine
-            .run_plan(&rewritten, &ReuseContext::empty(), JobId(200 + i as u64), VcId(0), SimTime(1.0))
+            .run_plan(
+                &rewritten,
+                &ReuseContext::empty(),
+                JobId(200 + i as u64),
+                VcId(0),
+                SimTime(1.0),
+            )
             .unwrap();
         work_rewritten += rw.metrics.total_work;
         assert_eq!(
@@ -151,7 +158,7 @@ fn main() {
 
     cv_bench::write_json(
         "ablation_containment",
-        &serde_json::json!({
+        &json!({
             "queries": queries.len(),
             "exact_match_hits": 0,
             "containment_hits": matched,

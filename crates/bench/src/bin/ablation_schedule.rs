@@ -10,6 +10,7 @@
 //! direct comparison.
 
 use cv_bench::{improvement_pct, scenario};
+use cv_common::json::json;
 use cv_core::impact::{direct_comparison, p75_method};
 use cv_workload::{generate_workload, run_workload, SelectionKnobs, WorkloadConfig};
 
@@ -55,7 +56,7 @@ fn main() {
             totals.processing_seconds,
             imp
         );
-        results.push(serde_json::json!({
+        results.push(json!({
             "schedule_aware": aware,
             "views_built": built,
             "views_reused": reused,
@@ -90,14 +91,23 @@ fn main() {
         }
     }
     let estimated = p75_method(&stitched, enable_at);
-    println!(
-        "  {:<28} {:>14} {:>14}",
-        "metric", "direct truth", "p75 estimate"
-    );
+    println!("  {:<28} {:>14} {:>14}", "metric", "direct truth", "p75 estimate");
     for (name, t, e) in [
-        ("processing improvement %", truth.processing.improvement_pct(), estimated.processing.improvement_pct()),
-        ("latency improvement %", truth.latency.improvement_pct(), estimated.latency.improvement_pct()),
-        ("input improvement %", truth.input_size.improvement_pct(), estimated.input_size.improvement_pct()),
+        (
+            "processing improvement %",
+            truth.processing.improvement_pct(),
+            estimated.processing.improvement_pct(),
+        ),
+        (
+            "latency improvement %",
+            truth.latency.improvement_pct(),
+            estimated.latency.improvement_pct(),
+        ),
+        (
+            "input improvement %",
+            truth.input_size.improvement_pct(),
+            estimated.input_size.improvement_pct(),
+        ),
     ] {
         println!("  {name:<28} {t:>13.2}% {e:>13.2}%");
     }
@@ -107,14 +117,14 @@ fn main() {
 
     cv_bench::write_json(
         "ablation_schedule",
-        &serde_json::json!({
+        &json!({
             "schedule_awareness": results,
-            "p75_vs_direct": {
+            "p75_vs_direct": json!({
                 "direct_processing_pct": truth.processing.improvement_pct(),
                 "p75_processing_pct": estimated.processing.improvement_pct(),
                 "direct_latency_pct": truth.latency.improvement_pct(),
                 "p75_latency_pct": estimated.latency.improvement_pct(),
-            }
+            }),
         }),
     );
 }

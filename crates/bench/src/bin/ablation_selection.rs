@@ -7,6 +7,7 @@
 //! how each selection performs when actually deployed in the driver loop.
 
 use cv_bench::scenario;
+use cv_common::json::json;
 use cv_core::selection::{
     ExactSelector, GreedySelector, LabelPropagationSelector, SelectionConstraints, ViewSelector,
 };
@@ -52,7 +53,7 @@ fn main() {
             sel.len(),
             ms
         );
-        offline.push(serde_json::json!({
+        offline.push(json!({
             "algorithm": s.name(),
             "est_savings": sel.est_savings,
             "storage": sel.est_storage,
@@ -63,10 +64,7 @@ fn main() {
 
     // Deployed comparison: run the feedback loop with each selector.
     println!("\n=== Ablation: selection algorithm impact (deployed, 14 days) ===");
-    println!(
-        "  {:<20} {:>14} {:>12} {:>12}",
-        "algorithm", "processing (s)", "built", "reused"
-    );
+    println!("  {:<20} {:>14} {:>12} {:>12}", "algorithm", "processing (s)", "built", "reused");
     let (workload, baseline, enabled_proto) = scenario(14);
     let base = run_workload(&workload, &baseline).expect("baseline");
     let base_proc = base.ledger.totals().processing_seconds;
@@ -85,7 +83,7 @@ fn main() {
             out.view_store_stats.views_created,
             reused
         );
-        deployed.push(serde_json::json!({
+        deployed.push(json!({
             "algorithm": format!("{kind:?}"),
             "processing_seconds": totals.processing_seconds,
             "baseline_processing_seconds": base_proc,
@@ -96,6 +94,6 @@ fn main() {
 
     cv_bench::write_json(
         "ablation_selection",
-        &serde_json::json!({ "offline": offline, "deployed": deployed }),
+        &json!({ "offline": offline, "deployed": deployed }),
     );
 }

@@ -6,6 +6,7 @@
 //! tail: 10% of its inputs reused by >16 downstream consumers, ≥7 for the
 //! other clusters, a few datasets reused thousands of times.
 
+use cv_common::json::json;
 use cv_common::rng::DetRng;
 use cv_workload::generator::sharing_distribution;
 
@@ -59,9 +60,9 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(c, counts)| {
-                serde_json::json!({
+                json!({
                     "cluster": c + 1,
-                    "consumers_sorted_desc": counts,
+                    "consumers_sorted_desc": counts.clone(),
                 })
             })
             .collect::<Vec<_>>(),

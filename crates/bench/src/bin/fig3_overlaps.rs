@@ -9,6 +9,7 @@
 //! the overlap analysis is about the raw workload).
 
 use cv_bench::{print_series, scenario, Series};
+use cv_common::json::json;
 use cv_workload::run_workload;
 
 fn main() {
@@ -26,10 +27,7 @@ fn main() {
     };
     let freq = Series {
         name: "avg repeat freq".to_string(),
-        points: overlap
-            .iter()
-            .map(|o| (o.day.label(), o.avg_repeat_frequency))
-            .collect(),
+        points: overlap.iter().map(|o| (o.day.label(), o.avg_repeat_frequency)).collect(),
     };
     print_series("Figure 3: overlaps per day", &[pct.clone(), freq.clone()], 7);
 
@@ -37,10 +35,8 @@ fn main() {
     // A trailing one-week analysis window, the granularity the selection
     // pipeline actually uses: daily recurrence (fresh GUIDs each day) plus
     // same-day sharing combine here, like the paper's production overlap.
-    let week = out
-        .repo
-        .window(cv_common::SimDay(days - 7), cv_common::SimDay(days))
-        .overall_overlap();
+    let week =
+        out.repo.window(cv_common::SimDay(days - 7), cv_common::SimDay(days)).overall_overlap();
     println!("\nWhole-window totals ({days} days):");
     println!("  jobs analyzed:            {}", out.repo.distinct_jobs());
     println!("  subexpression instances:  {}", overall.total_subexpressions);
@@ -62,10 +58,10 @@ fn main() {
 
     cv_bench::write_json(
         "fig3_overlaps",
-        &serde_json::json!({
+        &json!({
             "per_day": overlap
                 .iter()
-                .map(|o| serde_json::json!({
+                .map(|o| json!({
                     "day": o.day.label(),
                     "repeated_pct": o.repeated_pct(),
                     "avg_repeat_frequency": o.avg_repeat_frequency,

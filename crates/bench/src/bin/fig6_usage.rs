@@ -7,6 +7,7 @@
 //!   (d) bonus processing time, baseline vs CloudViews.
 
 use cv_bench::{improvement_pct, print_series, run_both, two_month_scenario, Series};
+use cv_common::json::{json, JsonMap};
 use cv_core::insights::UsageKind;
 use std::collections::BTreeMap;
 
@@ -34,10 +35,8 @@ fn main() {
         name: name.to_string(),
         points: map.iter().map(|(d, v)| (cv_common::SimDay(*d).label(), *v)).collect(),
     };
-    let usage = [
-        to_series("views built", &built_by_day),
-        to_series("views reused", &reused_by_day),
-    ];
+    let usage =
+        [to_series("views built", &built_by_day), to_series("views reused", &reused_by_day)];
     print_series("Figure 6a: cumulative views built vs reused", &usage, 7);
 
     // (b)–(d): cumulative latency / processing / bonus, baseline vs enabled.
@@ -48,7 +47,7 @@ fn main() {
         ("processing (s)", |m| m.processing_seconds),
         ("bonus processing (s)", |m| m.bonus_seconds),
     ];
-    let mut results = serde_json::Map::new();
+    let mut results = JsonMap::new();
     for (panel, (name, field)) in panels.iter().enumerate() {
         let b = Series::cumulative("baseline", &base_daily, field);
         let w = Series::cumulative("with CloudViews", &on_daily, field);
@@ -61,7 +60,7 @@ fn main() {
         println!("  -> overall improvement: {imp:.2}%");
         results.insert(
             name.to_string(),
-            serde_json::json!({
+            json!({
                 "baseline_total": b.last(),
                 "cloudviews_total": w.last(),
                 "improvement_pct": imp,
@@ -72,9 +71,6 @@ fn main() {
     println!("\nPaper reference: latency -34% (median per-job -15%),");
     println!("processing time -38.96%, bonus processing time -45.01%.");
 
-    results.insert(
-        "views_built_total".into(),
-        serde_json::json!(on.view_store_stats.views_created),
-    );
+    results.insert("views_built_total", json!(on.view_store_stats.views_created));
     cv_bench::write_json("fig6_usage", &results);
 }

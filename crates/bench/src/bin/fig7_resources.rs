@@ -6,6 +6,7 @@
 //!   (d) queue lengths seen at submission.
 
 use cv_bench::{improvement_pct, print_series, run_both, two_month_scenario, Series};
+use cv_common::json::{json, JsonMap};
 
 fn main() {
     let (workload, baseline, enabled) = two_month_scenario();
@@ -21,7 +22,7 @@ fn main() {
         ("d", "queue lengths", |m| m.queue_length_sum as f64),
     ];
 
-    let mut results = serde_json::Map::new();
+    let mut results = JsonMap::new();
     for (letter, name, field) in panels {
         let b = Series::cumulative("baseline", &base_daily, field);
         let w = Series::cumulative("with CloudViews", &on_daily, field);
@@ -30,7 +31,7 @@ fn main() {
         println!("  -> overall improvement: {imp:.2}%");
         results.insert(
             name.to_string(),
-            serde_json::json!({
+            json!({
                 "baseline_total": b.last(),
                 "cloudviews_total": w.last(),
                 "improvement_pct": imp,

@@ -8,6 +8,7 @@
 //! is §5.3's proposal), and demonstrate the containment rewrite uplift.
 
 use cv_bench::scenario;
+use cv_common::json::json;
 use cv_extensions::generalized::join_set_groups;
 use cv_workload::run_workload;
 
@@ -17,10 +18,7 @@ fn main() {
 
     let groups = join_set_groups(&out.repo);
     println!("\n=== Figure 8: subexpressions joining the same input sets ===");
-    println!(
-        "  {:<44} {:>10} {:>12}",
-        "join set", "distinct", "frequency"
-    );
+    println!("  {:<44} {:>10} {:>12}", "join set", "distinct", "frequency");
     for g in groups.iter().take(20) {
         println!(
             "  {:<44} {:>10} {:>12}",
@@ -29,8 +27,7 @@ fn main() {
             g.occurrences
         );
     }
-    let merge_candidates =
-        groups.iter().filter(|g| g.distinct_subexpressions >= 2).count();
+    let merge_candidates = groups.iter().filter(|g| g.distinct_subexpressions >= 2).count();
     println!("\n  join sets with ≥2 distinct subexpressions (mergeable): {merge_candidates}");
     println!("  (each such set could be covered by ONE generalized view +");
     println!("   per-query compensating filters, paper §5.3)");
@@ -47,8 +44,8 @@ fn main() {
         &groups
             .iter()
             .map(|g| {
-                serde_json::json!({
-                    "join_set": g.datasets,
+                json!({
+                    "join_set": g.datasets.clone(),
                     "distinct_subexpressions": g.distinct_subexpressions,
                     "frequency": g.occurrences,
                 })

@@ -6,6 +6,7 @@
 //! materialize-then-reuse model cannot capture (§5.4) — they need pipelined
 //! sharing instead.
 
+use cv_common::json::json;
 use cv_extensions::concurrent::{concurrent_join_histogram, pipelining_savings_bound};
 use cv_workload::{generate_workload, run_workload, DriverConfig, WorkloadConfig};
 
@@ -50,11 +51,11 @@ fn main() {
 
     cv_bench::write_json(
         "fig9_concurrent_joins",
-        &serde_json::json!({
+        &json!({
             "histogram": hist
                 .iter()
-                .map(|b| serde_json::json!({
-                    "algo": b.algo,
+                .map(|b| json!({
+                    "algo": b.algo.as_str(),
                     "concurrency": b.concurrency,
                     "frequency": b.frequency,
                 }))

@@ -10,6 +10,7 @@
 //! data read −38.84%, queuing −12.87%.
 
 use cv_bench::{print_kv_table, run_both, two_month_scenario};
+use cv_common::json::json;
 use cv_core::impact::direct_comparison;
 
 fn main() {
@@ -37,7 +38,7 @@ fn main() {
 
     cv_bench::write_json(
         "table1_impact",
-        &serde_json::json!({
+        &json!({
             "jobs": on.ledger.len(),
             "pipelines": workload.pipelines(),
             "virtual_clusters": vcs.len(),

@@ -10,6 +10,7 @@
 
 use cv_cluster::metrics::DailyMetrics;
 use cv_cluster::sim::ClusterConfig;
+use cv_common::json::{json, Json, ToJson};
 use cv_common::SimDay;
 use cv_workload::{
     generate_workload, run_workload, DriverConfig, DriverOutcome, Workload, WorkloadConfig,
@@ -80,10 +81,18 @@ pub fn print_kv_table(title: &str, rows: &[(String, String)]) {
 }
 
 /// A named daily series (one line of a paper figure).
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct Series {
     pub name: String,
     pub points: Vec<(String, f64)>,
+}
+
+impl ToJson for Series {
+    fn to_json(&self) -> Json {
+        let points: Vec<Json> =
+            self.points.iter().map(|(label, v)| json!([label.as_str(), *v])).collect();
+        json!({ "name": self.name.as_str(), "points": points })
+    }
 }
 
 impl Series {
@@ -120,10 +129,8 @@ pub fn print_series(title: &str, series: &[Series], every: usize) {
     println!();
     let n = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
     for i in (0..n).step_by(every.max(1)) {
-        let label = series
-            .iter()
-            .find_map(|s| s.points.get(i).map(|(l, _)| l.clone()))
-            .unwrap_or_default();
+        let label =
+            series.iter().find_map(|s| s.points.get(i).map(|(l, _)| l.clone())).unwrap_or_default();
         print!("  {label:<10}");
         for s in series {
             match s.points.get(i) {
@@ -154,13 +161,12 @@ pub fn improvement_pct(base: f64, with: f64) -> f64 {
 }
 
 /// Write a JSON artifact under `target/experiments/<name>.json`.
-pub fn write_json(name: &str, value: &impl serde::Serialize) -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/experiments");
+pub fn write_json(name: &str, value: &impl ToJson) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/experiments");
     std::fs::create_dir_all(&dir).expect("create experiments dir");
     let path = dir.join(format!("{name}.json"));
     let mut f = std::fs::File::create(&path).expect("create artifact");
-    let json = serde_json::to_string_pretty(value).expect("serialize artifact");
+    let json = value.to_json().to_string_pretty();
     f.write_all(json.as_bytes()).expect("write artifact");
     println!("\n[artifact] {}", path.display());
     path
@@ -173,8 +179,14 @@ mod tests {
     #[test]
     fn cumulative_series_accumulates() {
         let mut daily = BTreeMap::new();
-        daily.insert(SimDay(0), DailyMetrics { jobs: 2, latency_seconds: 10.0, ..Default::default() });
-        daily.insert(SimDay(1), DailyMetrics { jobs: 3, latency_seconds: 5.0, ..Default::default() });
+        daily.insert(
+            SimDay(0),
+            DailyMetrics { jobs: 2, latency_seconds: 10.0, ..Default::default() },
+        );
+        daily.insert(
+            SimDay(1),
+            DailyMetrics { jobs: 3, latency_seconds: 5.0, ..Default::default() },
+        );
         let s = Series::cumulative("lat", &daily, |m| m.latency_seconds);
         assert_eq!(s.points.len(), 2);
         assert_eq!(s.points[0].1, 10.0);

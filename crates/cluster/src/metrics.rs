@@ -5,11 +5,10 @@ use cv_common::hash::Sig128;
 use cv_common::ids::{JobId, TemplateId, VcId};
 use cv_common::{SimDay, SimDuration, SimTime};
 use cv_engine::physical::JoinAlgoCounts;
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// Scheduling outcome of one job (from the simulator).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobResult {
     pub job: JobId,
     pub vc: VcId,
@@ -41,7 +40,7 @@ impl JobResult {
 }
 
 /// One job's full record: scheduling outcome + data-plane metrics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct DataPlane {
     pub input_bytes: u64,
     pub data_read_bytes: u64,
@@ -79,7 +78,7 @@ impl DataPlane {
 }
 
 /// Combined record.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JobRecord {
     pub result: JobResult,
     pub data: DataPlane,
@@ -87,7 +86,7 @@ pub struct JobRecord {
 
 /// Daily aggregate — one row per day of the deployment window, matching the
 /// x-axes of paper Figs. 6 and 7.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct DailyMetrics {
     pub jobs: u64,
     pub latency_seconds: f64,
@@ -130,7 +129,7 @@ impl DailyMetrics {
 }
 
 /// Accumulates job records and rolls them up per day / in total.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct MetricsLedger {
     records: Vec<JobRecord>,
 }

@@ -78,8 +78,15 @@ pub struct JobSpec {
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimEvent {
     /// A spool stage finished: the view is sealed and reusable *now*.
-    ViewSealed { sig: Sig128, job: JobId, at: SimTime },
-    JobFinished { job: JobId, at: SimTime },
+    ViewSealed {
+        sig: Sig128,
+        job: JobId,
+        at: SimTime,
+    },
+    JobFinished {
+        job: JobId,
+        at: SimTime,
+    },
 }
 
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -272,9 +279,7 @@ impl ClusterSim {
     }
 
     fn free_bonus(&self) -> usize {
-        self.cfg
-            .total_containers
-            .saturating_sub(self.guaranteed_in_use + self.bonus_in_use)
+        self.cfg.total_containers.saturating_sub(self.guaranteed_in_use + self.bonus_in_use)
     }
 
     fn handle(&mut self, kind: EventKind) {
@@ -351,9 +356,7 @@ impl ClusterSim {
     fn schedule_ready_stages(&mut self, job_idx: usize) {
         let ready: Vec<usize> = {
             let job = &self.jobs[job_idx];
-            (0..job.spec.stages.len())
-                .filter(|&s| !job.done[s] && job.indeg[s] == 0)
-                .collect()
+            (0..job.spec.stages.len()).filter(|&s| !job.done[s] && job.indeg[s] == 0).collect()
         };
         for s in ready {
             // Already in flight? Mark via indeg sentinel.
@@ -438,9 +441,9 @@ impl ClusterSim {
                 }
             }
             let mut remaining = 0;
-            for s in 0..n {
-                job.done[s] = protected[s];
-                if !protected[s] {
+            for (done, &prot) in job.done.iter_mut().zip(&protected) {
+                *done = prot;
+                if !prot {
                     remaining += 1;
                 }
             }
@@ -450,11 +453,8 @@ impl ClusterSim {
                 if job.done[s] {
                     job.indeg[s] = 0;
                 } else {
-                    job.indeg[s] = job.spec.stages.stages[s]
-                        .deps
-                        .iter()
-                        .filter(|&&d| !job.done[d])
-                        .count();
+                    job.indeg[s] =
+                        job.spec.stages.stages[s].deps.iter().filter(|&&d| !job.done[d]).count();
                 }
             }
             job.epoch
@@ -750,10 +750,7 @@ mod tests {
                 sim.submit(spec(j, j % 3, j as f64 * 0.5, simple_graph(100.0 + j as f64, 10)));
             }
             sim.run_to_completion();
-            sim.results()
-                .iter()
-                .map(|r| (r.job, r.finish.seconds().to_bits()))
-                .collect::<Vec<_>>()
+            sim.results().iter().map(|r| (r.job, r.finish.seconds().to_bits())).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

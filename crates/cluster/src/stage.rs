@@ -15,10 +15,9 @@ use cv_common::hash::Sig128;
 use cv_common::{CvError, Result};
 use cv_engine::exec::OpProfile;
 use cv_engine::physical::PhysicalPlan;
-use serde::{Deserialize, Serialize};
 
 /// One schedulable stage.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Stage {
     /// Index within the owning [`StageGraph`].
     pub id: usize,
@@ -37,7 +36,7 @@ pub struct Stage {
 }
 
 /// A job's stage DAG.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct StageGraph {
     pub stages: Vec<Stage>,
 }
@@ -73,17 +72,11 @@ impl StageGraph {
                 return memo[i];
             }
             let own = stages[i].work / stages[i].partitions.max(1) as f64;
-            let dep_max = stages[i]
-                .deps
-                .iter()
-                .map(|&d| path(stages, d, memo))
-                .fold(0.0, f64::max);
+            let dep_max = stages[i].deps.iter().map(|&d| path(stages, d, memo)).fold(0.0, f64::max);
             memo[i] = own + dep_max;
             memo[i]
         }
-        (0..self.stages.len())
-            .map(|i| path(&self.stages, i, &mut memo))
-            .fold(0.0, f64::max)
+        (0..self.stages.len()).map(|i| path(&self.stages, i, &mut memo)).fold(0.0, f64::max)
     }
 
     /// Validate the DAG: deps in range, acyclic by construction (deps must
@@ -178,18 +171,15 @@ mod tests {
         ])
         .unwrap()
         .into_ref();
-        let rows: Vec<Vec<Value>> = (0..500)
-            .map(|i| vec![Value::Int(i % 50), Value::Float((i % 9) as f64)])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            (0..500).map(|i| vec![Value::Int(i % 50), Value::Float((i % 9) as f64)]).collect();
         e.catalog
             .register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH)
             .unwrap();
-        let cust = Schema::new(vec![
-            Field::new("c_id", DataType::Int),
-            Field::new("seg", DataType::Str),
-        ])
-        .unwrap()
-        .into_ref();
+        let cust =
+            Schema::new(vec![Field::new("c_id", DataType::Int), Field::new("seg", DataType::Str)])
+                .unwrap()
+                .into_ref();
         let crows: Vec<Vec<Value>> = (0..50)
             .map(|i| {
                 vec![Value::Int(i), Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into())]
@@ -241,16 +231,12 @@ mod tests {
     #[test]
     fn spool_stage_carries_seal_sig() {
         let mut e = demo_engine();
-        let plan = e
-            .compile_sql("SELECT * FROM sales WHERE price > 3", &Params::none())
-            .unwrap();
+        let plan = e.compile_sql("SELECT * FROM sales WHERE price > 3", &Params::none()).unwrap();
         let subs = e.subexpressions(&plan).unwrap();
         let root_sig = subs.iter().find(|s| s.is_root).unwrap().strict;
         let mut reuse = ReuseContext::empty();
         reuse.to_build.insert(root_sig);
-        let out = e
-            .run_plan(&plan, &reuse, JobId(1), VcId(0), SimTime::EPOCH)
-            .unwrap();
+        let out = e.run_plan(&plan, &reuse, JobId(1), VcId(0), SimTime::EPOCH).unwrap();
         let g = build_stages(&out.physical, &out.metrics.op_profiles).unwrap();
         let seals: Vec<_> = g.stages.iter().filter_map(|s| s.seals_view).collect();
         assert_eq!(seals, vec![root_sig]);

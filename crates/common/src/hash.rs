@@ -16,7 +16,6 @@
 //! cryptographic; adversarial collision resistance is out of scope (matching
 //! the production system, where signatures are an internal optimizer detail).
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A 128-bit signature value.
@@ -24,7 +23,7 @@ use std::fmt;
 /// `Sig128` is the identity of a query subexpression: two subexpressions with
 /// equal strict signatures are treated as the same computation over the same
 /// inputs (paper §2.3, "strict signature").
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Sig128(pub u128);
 
 impl Sig128 {
@@ -263,9 +262,8 @@ mod tests {
         h2.write_i64(1);
         let mut h3 = StableHasher::new();
         h3.write_bool(true);
-        let sigs: HashSet<_> = [h1.finish128(), h2.finish128(), h3.finish128()]
-            .into_iter()
-            .collect();
+        let sigs: HashSet<_> =
+            [h1.finish128(), h2.finish128(), h3.finish128()].into_iter().collect();
         assert_eq!(sigs.len(), 3);
     }
 

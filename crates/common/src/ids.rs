@@ -5,14 +5,13 @@
 //! these from being mixed up and give each a stable hash encoding.
 
 use crate::hash::{Sig128, StableHasher};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! u64_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+            Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default,
         )]
         pub struct $name(pub u64);
 
@@ -84,7 +83,7 @@ u64_id!(
 /// regeneration producing a fresh GUID. Strict signatures hash the GUID so a
 /// view over yesterday's inputs never answers today's query (paper §2.3, §4
 /// "handling GDPR requirements" — forget-requests also rotate the GUID).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct VersionGuid(pub u128);
 
 impl VersionGuid {
@@ -138,6 +137,8 @@ impl IdGen {
         IdGen { next: v }
     }
 
+    // Not an Iterator: never exhausts, and `for id in gen` would read oddly.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         let v = self.next;
         self.next += 1;

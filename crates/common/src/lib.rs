@@ -14,6 +14,7 @@
 pub mod error;
 pub mod hash;
 pub mod ids;
+pub mod json;
 pub mod rng;
 pub mod time;
 

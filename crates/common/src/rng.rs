@@ -26,12 +26,7 @@ impl DetRng {
     pub fn seed(seed: u64) -> DetRng {
         let mut sm = seed;
         DetRng {
-            s: [
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-                splitmix64(&mut sm),
-            ],
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
         }
     }
 

@@ -4,16 +4,15 @@
 //! a discrete-event simulation; all latencies, queue lengths and processing
 //! times are measured in simulated seconds, never wall-clock.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
 /// A point in simulated time, in seconds since the simulation epoch.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimTime(pub f64);
 
 /// A span of simulated time, in seconds.
-#[derive(Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
 pub struct SimDuration(pub f64);
 
 pub const SECONDS_PER_DAY: f64 = 86_400.0;
@@ -128,7 +127,7 @@ impl fmt::Display for SimDuration {
 ///
 /// The paper's deployment window starts on 2020-02-01; [`SimDay::label`]
 /// formats day indices in the same `M/D/YY` style as the paper's x-axes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct SimDay(pub u32);
 
 /// Days in each month of 2020 (a leap year, matching the paper's window).

@@ -5,13 +5,14 @@
 
 use cv_common::hash::Sig128;
 use cv_common::ids::{JobId, VcId};
+use cv_common::json::{json, Json};
+use cv_common::{CvError, Result};
 use cv_engine::optimizer::{ReuseContext, ViewMeta};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The serialized reuse decision for one job, sufficient to replay its
 /// compilation offline.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct QueryAnnotations {
     pub job: JobId,
     pub vc: VcId,
@@ -23,7 +24,7 @@ pub struct QueryAnnotations {
     pub to_build: Vec<Sig128>,
 }
 
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct AnnotatedView {
     pub sig: Sig128,
     pub rows: u64,
@@ -66,11 +67,68 @@ impl QueryAnnotations {
     }
 
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("annotations serialize")
+        let available: Vec<Json> = self
+            .available
+            .iter()
+            .map(|v| json!({ "sig": v.sig.to_string(), "rows": v.rows, "bytes": v.bytes }))
+            .collect();
+        let to_build: Vec<Json> = self.to_build.iter().map(|s| Json::from(s.to_string())).collect();
+        json!({
+            "job": self.job.0,
+            "vc": self.vc.0,
+            "runtime_version": self.runtime_version.as_str(),
+            "available": available,
+            "to_build": to_build,
+        })
+        .to_string_pretty()
     }
 
-    pub fn from_json(json: &str) -> Result<QueryAnnotations, serde_json::Error> {
-        serde_json::from_str(json)
+    pub fn from_json(json: &str) -> Result<QueryAnnotations> {
+        let v = Json::parse(json)?;
+        let field =
+            |k: &str| v.get(k).ok_or_else(|| CvError::parse(format!("annotations: missing `{k}`")));
+        let sig_of = |j: &Json| -> Result<Sig128> {
+            let s = j
+                .as_str()
+                .or_else(|| j.get("sig").and_then(Json::as_str))
+                .ok_or_else(|| CvError::parse("annotations: signature must be a hex string"))?;
+            u128::from_str_radix(s, 16)
+                .map(Sig128)
+                .map_err(|_| CvError::parse(format!("annotations: bad signature `{s}`")))
+        };
+        let num = |j: &Json, k: &str| -> Result<u64> {
+            j.get(k)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| CvError::parse(format!("annotations: bad `{k}`")))
+        };
+        let arr = |j: &Json, k: &str| -> Result<Vec<Json>> {
+            Ok(j.get(k)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| CvError::parse(format!("annotations: `{k}` must be an array")))?
+                .to_vec())
+        };
+        let mut available = Vec::new();
+        for item in arr(&v, "available")? {
+            available.push(AnnotatedView {
+                sig: sig_of(&item)?,
+                rows: num(&item, "rows")?,
+                bytes: num(&item, "bytes")?,
+            });
+        }
+        let mut to_build = Vec::new();
+        for item in arr(&v, "to_build")? {
+            to_build.push(sig_of(&item)?);
+        }
+        Ok(QueryAnnotations {
+            job: JobId(num(&v, "job")?),
+            vc: VcId(field("vc")?.as_u64().ok_or_else(|| CvError::parse("annotations: bad `vc`"))?),
+            runtime_version: field("runtime_version")?
+                .as_str()
+                .ok_or_else(|| CvError::parse("annotations: bad `runtime_version`"))?
+                .to_string(),
+            available,
+            to_build,
+        })
     }
 }
 

@@ -5,11 +5,10 @@ use crate::repository::SubexpressionRepo;
 use cv_common::hash::Sig128;
 use cv_common::ids::{JobId, TemplateId, VcId};
 use cv_common::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A candidate view: one recurring subexpression with aggregated history.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ViewCandidate {
     pub recurring: Sig128,
     pub kind: String,
@@ -63,7 +62,7 @@ impl ViewCandidate {
 /// *instance* identity: only occurrences sharing a strict signature can
 /// share one materialized view — views are never maintained across input
 /// versions, paper §2.4).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Occurrence {
     pub candidate: usize,
     pub span: (usize, usize),
@@ -72,7 +71,7 @@ pub struct Occurrence {
 }
 
 /// A query (job) as a bag of candidate occurrences.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct QueryOccurrences {
     pub job: JobId,
     pub vc: VcId,
@@ -81,7 +80,7 @@ pub struct QueryOccurrences {
 }
 
 /// The full input to view selection.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SelectionProblem {
     pub candidates: Vec<ViewCandidate>,
     pub queries: Vec<QueryOccurrences>,
@@ -122,10 +121,7 @@ impl SelectionProblem {
                         && (other.span != occ.span)
                 });
                 if !nested {
-                    group_works
-                        .entry((occ.candidate, occ.strict))
-                        .or_default()
-                        .push(occ.work);
+                    group_works.entry((occ.candidate, occ.strict)).or_default().push(occ.work);
                 }
             }
         }
@@ -418,8 +414,7 @@ pub(crate) mod tests {
         let repo = demo_repo(1);
         // Aggregate and Limit appear once each; Join/Filter twice.
         let problem = build_problem(&repo, 2);
-        let kinds: Vec<&str> =
-            problem.candidates.iter().map(|c| c.kind.as_str()).collect();
+        let kinds: Vec<&str> = problem.candidates.iter().map(|c| c.kind.as_str()).collect();
         assert!(kinds.contains(&"Join"));
         assert!(kinds.contains(&"Filter"));
         assert!(!kinds.contains(&"Aggregate"));

@@ -7,11 +7,10 @@
 //! tier (§4 "opt-in vs opt-out").
 
 use cv_common::ids::{JobId, VcId};
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// How VCs are onboarded.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DeploymentMode {
     /// VCs are disabled unless explicitly enabled (early deployment).
     OptIn,
@@ -21,7 +20,7 @@ pub enum DeploymentMode {
 
 /// The control hierarchy. All four levels must allow a job for CloudViews
 /// to apply to it.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Controls {
     /// Über gate at the insights service (incident kill switch).
     pub service_enabled: bool,

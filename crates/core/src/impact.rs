@@ -14,11 +14,10 @@
 use cv_cluster::metrics::{percentile, JobRecord, MetricsLedger};
 use cv_common::ids::TemplateId;
 use cv_common::SimTime;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// One metric's baseline-vs-treatment totals.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct MetricImpact {
     pub baseline: f64,
     pub with_cloudviews: f64,
@@ -35,7 +34,7 @@ impl MetricImpact {
 }
 
 /// The Table 1 bundle.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ImpactSummary {
     pub jobs: u64,
     pub latency: MetricImpact,
@@ -55,10 +54,7 @@ impl ImpactSummary {
     pub fn table_rows(&self) -> Vec<(String, String)> {
         vec![
             ("Jobs".into(), format!("{}", self.jobs)),
-            (
-                "Latency Improvement".into(),
-                format!("{:.2}%", self.latency.improvement_pct()),
-            ),
+            ("Latency Improvement".into(), format!("{:.2}%", self.latency.improvement_pct())),
             (
                 "Processing Time Improvement".into(),
                 format!("{:.2}%", self.processing.improvement_pct()),
@@ -71,14 +67,8 @@ impl ImpactSummary {
                 "Containers Count Improvement".into(),
                 format!("{:.2}%", self.containers.improvement_pct()),
             ),
-            (
-                "Input Size Improvement".into(),
-                format!("{:.2}%", self.input_size.improvement_pct()),
-            ),
-            (
-                "Data Read Improvement".into(),
-                format!("{:.2}%", self.data_read.improvement_pct()),
-            ),
+            ("Input Size Improvement".into(), format!("{:.2}%", self.input_size.improvement_pct())),
+            ("Data Read Improvement".into(), format!("{:.2}%", self.data_read.improvement_pct())),
             (
                 "Queuing Length Improvement".into(),
                 format!("{:.2}%", self.queue_length.improvement_pct()),
@@ -229,8 +219,7 @@ pub fn p75_method(ledger: &MetricsLedger, enabled_at: SimTime) -> ImpactSummary 
         summary.queue_length.baseline += b.queue;
         summary.queue_length.with_cloudviews += rec.result.queue_len_at_submit as f64;
         if b.latency > 0.0 {
-            improvements
-                .push(100.0 * (b.latency - rec.result.latency().seconds()) / b.latency);
+            improvements.push(100.0 * (b.latency - rec.result.latency().seconds()) / b.latency);
         }
     }
     summary.median_latency_improvement_pct = percentile(&mut improvements, 50.0);

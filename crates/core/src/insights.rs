@@ -14,12 +14,11 @@ use cv_common::ids::{JobId, VcId};
 use cv_common::{SimDuration, SimTime};
 use cv_engine::optimizer::{BuildCoordinator, ReuseContext, ViewMeta};
 use cv_engine::signature::SubexprInfo;
-use parking_lot::Mutex;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::sync::Mutex;
 
 /// Compile-time record of one sealed, live view.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ViewInfo {
     pub strict: Sig128,
     pub recurring: Sig128,
@@ -31,13 +30,13 @@ pub struct ViewInfo {
 }
 
 /// Usage log entry (drives Fig. 6a).
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum UsageKind {
     Built,
     Reused,
 }
 
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct UsageEvent {
     pub at: SimTime,
     pub kind: UsageKind,
@@ -135,17 +134,17 @@ impl InsightsService {
 
     /// Release a creation lock without sealing (job failed / lock timeout).
     pub fn release_lock(&self, sig: Sig128) {
-        self.locks.lock().remove(&sig);
+        self.locks.lock().expect("lock poisoned").remove(&sig);
     }
 
     pub fn is_locked(&self, sig: Sig128) -> bool {
-        self.locks.lock().contains(&sig)
+        self.locks.lock().expect("lock poisoned").contains(&sig)
     }
 
     /// The job manager reports a sealed view (early sealing): release the
     /// lock, register availability with its observed statistics.
     pub fn report_sealed(&mut self, info: ViewInfo, job: JobId) {
-        self.locks.lock().remove(&info.strict);
+        self.locks.lock().expect("lock poisoned").remove(&info.strict);
         self.usage.push(UsageEvent {
             at: info.sealed_at,
             kind: UsageKind::Built,
@@ -212,7 +211,7 @@ pub struct ServiceLocker<'a> {
 
 impl BuildCoordinator for ServiceLocker<'_> {
     fn try_acquire(&mut self, sig: Sig128) -> bool {
-        self.svc.locks.lock().insert(sig)
+        self.svc.locks.lock().expect("lock poisoned").insert(sig)
     }
 }
 
@@ -233,10 +232,8 @@ mod tests {
             guid: VersionGuid(1),
             schema: Schema::new(vec![Field::new("seg", DataType::Str)]).unwrap().into_ref(),
         });
-        let plan = Arc::new(LogicalPlan::Filter {
-            predicate: col("seg").eq(lit("asia")),
-            input: scan,
-        });
+        let plan =
+            Arc::new(LogicalPlan::Filter { predicate: col("seg").eq(lit("asia")), input: scan });
         enumerate_subexpressions(&plan, &SignatureConfig::default())
     }
 

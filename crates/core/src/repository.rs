@@ -7,11 +7,10 @@ use cv_common::ids::{JobId, PipelineId, TemplateId, UserId, VcId};
 use cv_common::{SimDay, SimTime};
 use cv_engine::exec::OpProfile;
 use cv_engine::signature::SubexprInfo;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Identity of the job an observation came from.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct JobMeta {
     pub job: JobId,
     pub template: TemplateId,
@@ -22,7 +21,7 @@ pub struct JobMeta {
 }
 
 /// One subexpression observation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SubexprRecord {
     pub meta: JobMeta,
     pub strict: Sig128,
@@ -62,7 +61,7 @@ impl SubexprRecord {
 }
 
 /// Per-day overlap statistics (paper Fig. 3).
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct OverlapStats {
     pub day: SimDay,
     pub total_subexpressions: u64,
@@ -83,7 +82,7 @@ impl OverlapStats {
 }
 
 /// The repository itself.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct SubexpressionRepo {
     records: Vec<SubexprRecord>,
 }
@@ -192,16 +191,10 @@ impl SubexpressionRepo {
                 jobs_per_sig.entry(r.recurring).or_default().insert(r.meta.job);
                 *count_per_sig.entry(r.recurring).or_insert(0) += 1;
             }
-            let repeated = recs
-                .iter()
-                .filter(|r| jobs_per_sig[&r.recurring].len() >= 2)
-                .count() as u64;
+            let repeated =
+                recs.iter().filter(|r| jobs_per_sig[&r.recurring].len() >= 2).count() as u64;
             let distinct = count_per_sig.len() as f64;
-            let avg_freq = if distinct > 0.0 {
-                recs.len() as f64 / distinct
-            } else {
-                0.0
-            };
+            let avg_freq = if distinct > 0.0 { recs.len() as f64 / distinct } else { 0.0 };
             out.push(OverlapStats {
                 day,
                 total_subexpressions: recs.len() as u64,
@@ -219,11 +212,8 @@ impl SubexpressionRepo {
         for r in &self.records {
             jobs_per_sig.entry(r.recurring).or_default().insert(r.meta.job);
         }
-        let repeated = self
-            .records
-            .iter()
-            .filter(|r| jobs_per_sig[&r.recurring].len() >= 2)
-            .count() as u64;
+        let repeated =
+            self.records.iter().filter(|r| jobs_per_sig[&r.recurring].len() >= 2).count() as u64;
         let distinct = jobs_per_sig.len() as f64;
         OverlapStats {
             day: SimDay(0),
@@ -251,10 +241,8 @@ impl SubexpressionRepo {
             e.0.insert(r.recurring);
             e.1 += 1;
         }
-        let mut out: Vec<(Vec<String>, usize, u64)> = groups
-            .into_iter()
-            .map(|(k, (sigs, occ))| (k, sigs.len(), occ))
-            .collect();
+        let mut out: Vec<(Vec<String>, usize, u64)> =
+            groups.into_iter().map(|(k, (sigs, occ))| (k, sigs.len(), occ)).collect();
         out.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
         out
     }

@@ -33,7 +33,7 @@ impl ViewSelector for GreedySelector {
                     let marginal = s - current_savings;
                     if marginal > constraints.min_utility && marginal > 0.0 {
                         let density = marginal / problem.candidates[i].storage() as f64;
-                        if best.map_or(true, |(_, _, d)| density > d) {
+                        if best.is_none_or(|(_, _, d)| density > d) {
                             best = Some((i, marginal, density));
                         }
                     }

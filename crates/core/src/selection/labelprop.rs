@@ -55,11 +55,8 @@ impl ViewSelector for LabelPropagationSelector {
         let seed = density_seed(problem, constraints);
         let (seed_value, _) = problem.evaluate(&seed);
         let (start_value, _) = problem.evaluate(&mask);
-        let (mut best_mask, mut best_value) = if seed_value > start_value {
-            (seed, seed_value)
-        } else {
-            (mask.clone(), start_value)
-        };
+        let (mut best_mask, mut best_value) =
+            if seed_value > start_value { (seed, seed_value) } else { (mask.clone(), start_value) };
 
         for round in 0..self.rounds {
             // --- Query-side round: attribute each query's savings to the
@@ -95,8 +92,8 @@ impl ViewSelector for LabelPropagationSelector {
                 .map(|i| {
                     let c = &problem.candidates[i];
                     let g = groups[i].len() as f64;
-                    let net = attributed[i]
-                        - g * (c.avg_subtree_work + materialization_write_cost(c));
+                    let net =
+                        attributed[i] - g * (c.avg_subtree_work + materialization_write_cost(c));
                     (i, net)
                 })
                 .collect();
@@ -155,9 +152,7 @@ fn density_seed(problem: &SelectionProblem, constraints: &SelectionConstraints) 
     let n = problem.candidates.len();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| {
-        problem.candidates[b]
-            .density()
-            .total_cmp(&problem.candidates[a].density())
+        problem.candidates[b].density().total_cmp(&problem.candidates[a].density())
     });
     let mut mask = vec![false; n];
     for i in order {

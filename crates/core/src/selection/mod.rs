@@ -26,11 +26,10 @@ pub use schedule::apply_schedule_awareness;
 
 use crate::candidates::SelectionProblem;
 use cv_common::hash::Sig128;
-use serde::{Deserialize, Serialize};
 
 /// Constraints a selection must respect (paper Fig. 5: "storage and other
 /// constraints", "user control for #views/job").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SelectionConstraints {
     /// Total bytes of views allowed (per scope: global or per-VC).
     pub storage_budget_bytes: u64,
@@ -57,7 +56,7 @@ impl SelectionConstraints {
 }
 
 /// The output of selection.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Selection {
     /// Recurring signatures of the chosen views.
     pub chosen: Vec<Sig128>,
@@ -118,21 +117,16 @@ pub(crate) fn within_constraints(
             return false;
         }
     }
-    let storage: u64 = problem
-        .candidates
-        .iter()
-        .zip(mask)
-        .filter(|(_, &m)| m)
-        .map(|(c, _)| c.storage())
-        .sum();
+    let storage: u64 =
+        problem.candidates.iter().zip(mask).filter(|(_, &m)| m).map(|(c, _)| c.storage()).sum();
     storage <= constraints.storage_budget_bytes
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidates::tests::demo_repo;
     use crate::candidates::build_problem;
+    use crate::candidates::tests::demo_repo;
 
     fn problem() -> SelectionProblem {
         build_problem(&demo_repo(4), 2)
@@ -210,11 +204,8 @@ mod tests {
 
     #[test]
     fn selection_merge_dedups() {
-        let mut a = Selection {
-            chosen: vec![Sig128(1), Sig128(2)],
-            est_savings: 10.0,
-            est_storage: 100,
-        };
+        let mut a =
+            Selection { chosen: vec![Sig128(1), Sig128(2)], est_savings: 10.0, est_storage: 100 };
         let b = Selection { chosen: vec![Sig128(2), Sig128(3)], est_savings: 5.0, est_storage: 50 };
         a.merge(b);
         assert_eq!(a.chosen.len(), 3);

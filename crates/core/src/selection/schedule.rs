@@ -21,7 +21,11 @@ use cv_common::SimDuration;
 /// with early sealing the view is ready once that subtree's stages finish,
 /// which we approximate as the subtree work spread over `parallelism`
 /// containers plus a fixed scheduling overhead.
-pub fn estimated_seal_delay(subtree_work: f64, parallelism: f64, overhead: SimDuration) -> SimDuration {
+pub fn estimated_seal_delay(
+    subtree_work: f64,
+    parallelism: f64,
+    overhead: SimDuration,
+) -> SimDuration {
     SimDuration::from_secs(subtree_work / parallelism.max(1.0)) + overhead
 }
 
@@ -59,8 +63,7 @@ pub fn apply_schedule_awareness(
     for q in out.queries.iter_mut() {
         let submit = q.submit;
         for occ in &mut q.occurrences {
-            let Some(&(prod_submit, prod_job)) = producer.get(&(occ.candidate, occ.strict))
-            else {
+            let Some(&(prod_submit, prod_job)) = producer.get(&(occ.candidate, occ.strict)) else {
                 continue;
             };
             let delay = estimated_seal_delay(
@@ -108,8 +111,7 @@ mod tests {
         let before = GreedySelector.select(&p, &constraints);
 
         // Huge seal delay: nothing ever seals before any consumer.
-        let hopeless =
-            apply_schedule_awareness(&p, 1.0, SimDuration::from_days(400.0));
+        let hopeless = apply_schedule_awareness(&p, 1.0, SimDuration::from_days(400.0));
         let after = GreedySelector.select(&hopeless, &constraints);
         assert!(
             after.est_savings <= before.est_savings,

@@ -1,9 +1,7 @@
 //! Compact validity bitmap for columnar data.
 
-use serde::{Deserialize, Serialize};
-
 /// A fixed-length bitset. Bit `i` set means "row `i` is valid (non-null)".
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Bitmap {
     words: Vec<u64>,
     len: usize,
@@ -59,7 +57,7 @@ impl Bitmap {
     }
 
     pub fn push(&mut self, v: bool) {
-        if self.len % 64 == 0 {
+        if self.len.is_multiple_of(64) {
             self.words.push(0);
         }
         self.len += 1;

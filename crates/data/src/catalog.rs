@@ -106,9 +106,7 @@ impl DatasetCatalog {
     }
 
     pub fn get(&self, id: DatasetId) -> Result<&Dataset> {
-        self.datasets
-            .get(id.0 as usize)
-            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))
+        self.datasets.get(id.0 as usize).ok_or_else(|| CvError::not_found(format!("dataset {id}")))
     }
 
     pub fn get_by_name(&self, name: &str) -> Result<&Dataset> {
@@ -187,9 +185,8 @@ impl DatasetCatalog {
             .ok_or_else(|| CvError::not_found(format!("column `{column}` in `{}`", ds.name)))?;
         let old_guid = ds.current_guid();
         let col = ds.data.column(col_idx);
-        let mask: Vec<bool> = (0..ds.data.num_rows())
-            .map(|i| col.value(i).sql_eq(key) != Some(true))
-            .collect();
+        let mask: Vec<bool> =
+            (0..ds.data.num_rows()).map(|i| col.value(i).sql_eq(key) != Some(true)).collect();
         let removed = mask.iter().filter(|&&keep| !keep).count();
         let new_data = ds.data.filter(&mask)?;
         if let Some(last) = ds.versions.last_mut() {
@@ -237,10 +234,8 @@ mod tests {
         ])
         .unwrap()
         .into_ref();
-        let rows: Vec<Vec<Value>> = ids
-            .iter()
-            .map(|&i| vec![Value::Int(i), Value::Str("asia".into())])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            ids.iter().map(|&i| vec![Value::Int(i), Value::Str("asia".into())]).collect();
         Table::from_rows(schema, &rows).unwrap()
     }
 
@@ -289,9 +284,7 @@ mod tests {
         let mut cat = DatasetCatalog::new();
         let id = cat.register("users", users_table(&[1, 2, 2, 3]), SimTime::EPOCH).unwrap();
         let before = cat.get(id).unwrap().current_guid();
-        let out = cat
-            .gdpr_forget(id, "user_id", &Value::Int(2), SimTime::from_days(0.5))
-            .unwrap();
+        let out = cat.gdpr_forget(id, "user_id", &Value::Int(2), SimTime::from_days(0.5)).unwrap();
         assert_eq!(out.rows_removed, 2);
         assert_eq!(out.old_guid, before);
         assert_ne!(out.new_guid, before);

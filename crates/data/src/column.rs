@@ -3,11 +3,10 @@
 use crate::bitmap::Bitmap;
 use crate::value::{DataType, Value};
 use cv_common::{CvError, Result};
-use serde::{Deserialize, Serialize};
 
 /// The physical buffer of a column. Nulls occupy a slot with an arbitrary
 /// placeholder; validity lives in [`Column::validity`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum ColumnData {
     Bool(Vec<bool>),
     Int(Vec<i64>),
@@ -44,7 +43,7 @@ impl ColumnData {
 
 /// One column of a table: typed buffer + optional validity bitmap
 /// (`None` means every row is valid).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Column {
     data: ColumnData,
     validity: Option<Bitmap>,
@@ -305,8 +304,7 @@ mod tests {
     use super::*;
 
     fn int_col(vals: &[Option<i64>]) -> Column {
-        let values: Vec<Value> =
-            vals.iter().map(|v| v.map_or(Value::Null, Value::Int)).collect();
+        let values: Vec<Value> = vals.iter().map(|v| v.map_or(Value::Null, Value::Int)).collect();
         Column::from_values(DataType::Int, &values).unwrap()
     }
 
@@ -329,15 +327,13 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        let err =
-            Column::from_values(DataType::Int, &[Value::Str("x".into())]).unwrap_err();
+        let err = Column::from_values(DataType::Int, &[Value::Str("x".into())]).unwrap_err();
         assert_eq!(err.kind(), "execution");
     }
 
     #[test]
     fn int_coerces_to_float() {
-        let c = Column::from_values(DataType::Float, &[Value::Int(2), Value::Float(0.5)])
-            .unwrap();
+        let c = Column::from_values(DataType::Float, &[Value::Int(2), Value::Float(0.5)]).unwrap();
         assert_eq!(c.value(0), Value::Float(2.0));
         assert_eq!(c.floats(), &[2.0, 0.5]);
     }

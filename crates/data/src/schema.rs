@@ -3,12 +3,11 @@
 use crate::value::DataType;
 use cv_common::hash::StableHasher;
 use cv_common::{CvError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// A named, typed column in a schema.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Field {
     pub name: String,
     pub dtype: DataType,
@@ -27,7 +26,7 @@ impl Field {
 
 /// An ordered list of fields. Field names are unique (case-sensitive);
 /// planners disambiguate join collisions by prefixing before building one.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Schema {
     fields: Vec<Field>,
 }
@@ -148,11 +147,8 @@ mod tests {
 
     #[test]
     fn duplicate_names_rejected() {
-        let err = Schema::new(vec![
-            Field::new("a", DataType::Int),
-            Field::new("a", DataType::Str),
-        ])
-        .unwrap_err();
+        let err = Schema::new(vec![Field::new("a", DataType::Int), Field::new("a", DataType::Str)])
+            .unwrap_err();
         assert_eq!(err.kind(), "plan");
     }
 

@@ -52,11 +52,8 @@ impl Table {
 
     /// Empty table with the given schema.
     pub fn empty(schema: SchemaRef) -> Table {
-        let columns = schema
-            .fields()
-            .iter()
-            .map(|f| ColumnBuilder::new(f.dtype).finish())
-            .collect();
+        let columns =
+            schema.fields().iter().map(|f| ColumnBuilder::new(f.dtype).finish()).collect();
         Table { schema, columns, rows: 0 }
     }
 
@@ -147,12 +144,8 @@ impl Table {
                 self.schema, other.schema
             )));
         }
-        let columns: Result<Vec<Column>> = self
-            .columns
-            .iter()
-            .zip(&other.columns)
-            .map(|(a, b)| a.concat(b))
-            .collect();
+        let columns: Result<Vec<Column>> =
+            self.columns.iter().zip(&other.columns).map(|(a, b)| a.concat(b)).collect();
         Table::new(self.schema.clone(), columns?)
     }
 
@@ -182,8 +175,7 @@ impl Table {
     /// Render the first `limit` rows as an ASCII table (examples/debugging).
     pub fn pretty(&self, limit: usize) -> String {
         let mut out = String::new();
-        let names: Vec<String> =
-            self.schema.fields().iter().map(|f| f.name.clone()).collect();
+        let names: Vec<String> = self.schema.fields().iter().map(|f| f.name.clone()).collect();
         let shown = self.rows.min(limit);
         let mut cells: Vec<Vec<String>> = Vec::with_capacity(shown);
         for i in 0..shown {
@@ -228,13 +220,7 @@ impl Table {
     /// tests: rows rendered to strings and sorted.
     pub fn canonical_rows(&self) -> Vec<String> {
         let mut rows: Vec<String> = (0..self.rows)
-            .map(|i| {
-                self.row(i)
-                    .iter()
-                    .map(Value::to_string)
-                    .collect::<Vec<_>>()
-                    .join("|")
-            })
+            .map(|i| self.row(i).iter().map(Value::to_string).collect::<Vec<_>>().join("|"))
             .collect();
         rows.sort();
         rows
@@ -283,10 +269,8 @@ mod tests {
 
     #[test]
     fn row_arity_mismatch_rejected() {
-        let schema =
-            Schema::new(vec![Field::new("id", DataType::Int)]).unwrap().into_ref();
-        let err = Table::from_rows(schema, &[vec![Value::Int(1), Value::Int(2)]])
-            .unwrap_err();
+        let schema = Schema::new(vec![Field::new("id", DataType::Int)]).unwrap().into_ref();
+        let err = Table::from_rows(schema, &[vec![Value::Int(1), Value::Int(2)]]).unwrap_err();
         assert_eq!(err.kind(), "execution");
     }
 

@@ -1,12 +1,11 @@
 //! Scalar values and data types.
 
 use cv_common::hash::StableHasher;
-use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
 use std::fmt;
 
 /// The type of a column or scalar expression.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum DataType {
     Bool,
     Int,
@@ -52,7 +51,7 @@ impl fmt::Display for DataType {
 }
 
 /// A single scalar value. `Null` is typeless (SQL semantics).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub enum Value {
     Null,
     Bool(bool),
@@ -313,13 +312,7 @@ mod tests {
 
     #[test]
     fn type_names_and_ordinals_distinct() {
-        let types = [
-            DataType::Bool,
-            DataType::Int,
-            DataType::Float,
-            DataType::Str,
-            DataType::Date,
-        ];
+        let types = [DataType::Bool, DataType::Int, DataType::Float, DataType::Str, DataType::Date];
         let ords: std::collections::HashSet<_> = types.iter().map(|t| t.ordinal()).collect();
         assert_eq!(ords.len(), types.len());
         assert!(DataType::Int.is_numeric());
@@ -332,10 +325,7 @@ mod tests {
         assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
         assert_eq!(Value::Float(2.5).total_cmp(&Value::Int(2)), Ordering::Greater);
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
-        assert_eq!(
-            Value::Str("a".into()).total_cmp(&Value::Str("b".into())),
-            Ordering::Less
-        );
+        assert_eq!(Value::Str("a".into()).total_cmp(&Value::Str("b".into())), Ordering::Less);
     }
 
     #[test]
@@ -385,7 +375,8 @@ mod tests {
         let feb29 = parse_date("2020-02-29").unwrap();
         let mar1 = parse_date("2020-03-01").unwrap();
         assert_eq!(mar1 - feb29, 1);
-        assert_eq!(parse_date("2021-02-29"), Some(days_from_civil(2021, 2, 29))); // not validated beyond 31
+        assert_eq!(parse_date("2021-02-29"), Some(days_from_civil(2021, 2, 29)));
+        // not validated beyond 31
     }
 
     #[test]

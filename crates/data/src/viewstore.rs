@@ -118,12 +118,8 @@ impl ViewStore {
 
     /// Drop expired views, returning how many were evicted.
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
-        let dead: Vec<Sig128> = self
-            .views
-            .values()
-            .filter(|v| now >= v.expires)
-            .map(|v| v.strict_sig)
-            .collect();
+        let dead: Vec<Sig128> =
+            self.views.values().filter(|v| now >= v.expires).map(|v| v.strict_sig).collect();
         for sig in &dead {
             self.remove(*sig);
             self.stats.views_expired += 1;

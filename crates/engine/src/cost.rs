@@ -12,10 +12,8 @@
 //! by the harness are differences in actually-executed work, not in
 //! optimistic estimates.
 
-use serde::{Deserialize, Serialize};
-
 /// A cost in abstract units, split by resource.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Cost {
     pub cpu: f64,
     pub io: f64,
@@ -45,7 +43,7 @@ impl std::ops::AddAssign for Cost {
 
 /// Cost-model coefficients. Units are arbitrary but consistent: one unit ≈
 /// one container-second at the simulator's default container speed.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// CPU cost to process one row through a simple operator.
     pub cpu_per_row: f64,
@@ -88,10 +86,7 @@ impl CostModel {
     }
 
     pub fn hash_join(&self, build_rows: f64, probe_rows: f64) -> Cost {
-        Cost {
-            cpu: (build_rows * self.hash_build_factor + probe_rows) * self.cpu_per_row,
-            io: 0.0,
-        }
+        Cost { cpu: (build_rows * self.hash_build_factor + probe_rows) * self.cpu_per_row, io: 0.0 }
     }
 
     pub fn merge_join(&self, left_rows: f64, right_rows: f64) -> Cost {
@@ -109,10 +104,7 @@ impl CostModel {
     }
 
     pub fn hash_aggregate(&self, rows_in: f64, n_aggs: usize) -> Cost {
-        Cost {
-            cpu: rows_in * self.cpu_per_row * (1.2 + 0.2 * n_aggs as f64),
-            io: 0.0,
-        }
+        Cost { cpu: rows_in * self.cpu_per_row * (1.2 + 0.2 * n_aggs as f64), io: 0.0 }
     }
 
     pub fn sort(&self, rows: f64) -> Cost {

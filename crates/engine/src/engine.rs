@@ -2,7 +2,9 @@
 //! registry and optimizer — one simulated SCOPE engine instance per cluster.
 
 use crate::exec::{execute, ExecContext, ExecMetrics, ExecOutcome, PendingView};
-use crate::optimizer::{AlwaysGrant, BuildCoordinator, OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext};
+use crate::optimizer::{
+    AlwaysGrant, BuildCoordinator, OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext,
+};
 use crate::physical::PhysicalPlan;
 use crate::plan::LogicalPlan;
 use crate::signature::{enumerate_subexpressions, SubexprInfo};
@@ -77,8 +79,9 @@ impl QueryEngine {
         coordinator: &mut dyn BuildCoordinator,
     ) -> Result<CompiledJob> {
         let catalog = &self.catalog;
-        let stats =
-            |name: &str| catalog.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let stats = |name: &str| {
+            catalog.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64))
+        };
         let outcome = self.optimizer.optimize(plan, reuse, &stats, coordinator)?;
         Ok(CompiledJob { bound: plan.clone(), outcome })
     }
@@ -216,10 +219,8 @@ mod tests {
         let subs1 = e.subexpressions(&p1).unwrap();
         let subs2 = e.subexpressions(&p2).unwrap();
         let sigs2: std::collections::HashSet<_> = subs2.iter().map(|s| s.strict).collect();
-        let shared: Vec<_> = subs1
-            .iter()
-            .filter(|s| sigs2.contains(&s.strict) && s.kind != "Scan")
-            .collect();
+        let shared: Vec<_> =
+            subs1.iter().filter(|s| sigs2.contains(&s.strict) && s.kind != "Scan").collect();
         assert!(!shared.is_empty(), "queries must share a non-scan subexpression");
         // Pick the largest shared subexpression.
         let best = shared.iter().max_by_key(|s| s.node_count).unwrap();
@@ -252,7 +253,14 @@ mod tests {
         // Correctness: same result as the no-reuse run.
         let mut e2 = engine();
         let baseline = e2
-            .run_sql(ASIA_QTY, &Params::none(), &ReuseContext::empty(), JobId(3), VcId(0), SimTime::EPOCH)
+            .run_sql(
+                ASIA_QTY,
+                &Params::none(),
+                &ReuseContext::empty(),
+                JobId(3),
+                VcId(0),
+                SimTime::EPOCH,
+            )
             .unwrap();
         assert_eq!(out2.table.canonical_rows(), baseline.table.canonical_rows());
 
@@ -270,16 +278,10 @@ mod tests {
         let e = engine();
         // Conjunct order must not matter after normalization.
         let a = e
-            .compile_sql(
-                "SELECT * FROM Sales WHERE price > 2 AND quantity < 3",
-                &Params::none(),
-            )
+            .compile_sql("SELECT * FROM Sales WHERE price > 2 AND quantity < 3", &Params::none())
             .unwrap();
         let b = e
-            .compile_sql(
-                "SELECT * FROM Sales WHERE quantity < 3 AND price > 2",
-                &Params::none(),
-            )
+            .compile_sql("SELECT * FROM Sales WHERE quantity < 3 AND price > 2", &Params::none())
             .unwrap();
         let sa: Vec<_> = e.subexpressions(&a).unwrap().iter().map(|s| s.strict).collect();
         let sb: Vec<_> = e.subexpressions(&b).unwrap().iter().map(|s| s.strict).collect();

@@ -271,8 +271,7 @@ fn exec_node(
             let in_table = exec_node(input, ctx, model, metrics, pending)?;
             let production_work = metrics.total_work - work_before;
             let bytes = in_table.byte_size();
-            let write_work =
-                model.spool(in_table.num_rows() as f64, bytes as f64).total();
+            let write_work = model.spool(in_table.num_rows() as f64, bytes as f64).total();
             metrics.bytes_written_views += bytes;
             pending.push(PendingView {
                 sig: *sig,
@@ -361,10 +360,8 @@ fn build_join_output(
     }
     let padded = Table::new(right.schema().clone(), padded_cols)?;
     let sentinel = right.num_rows();
-    let right_idx: Vec<usize> = pairs
-        .iter()
-        .map(|&(_, r)| if r == usize::MAX { sentinel } else { r })
-        .collect();
+    let right_idx: Vec<usize> =
+        pairs.iter().map(|&(_, r)| if r == usize::MAX { sentinel } else { r }).collect();
     let right_part = padded.take(&right_idx)?;
     let schema = left.schema().join(right.schema())?.into_ref();
     let mut columns = left_part.columns().to_vec();
@@ -372,7 +369,12 @@ fn build_join_output(
     Table::new(schema, columns)
 }
 
-fn hash_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+fn hash_join(
+    left: &Table,
+    right: &Table,
+    on: &[(String, String)],
+    kind: JoinKind,
+) -> Result<Table> {
     let (lk, rk) = resolve_keys(left, right, on)?;
     // Build on the right side.
     let mut ht: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.num_rows());
@@ -412,7 +414,12 @@ fn hash_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKin
     build_join_output(left, right, &pairs, kind)
 }
 
-fn loop_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+fn loop_join(
+    left: &Table,
+    right: &Table,
+    on: &[(String, String)],
+    kind: JoinKind,
+) -> Result<Table> {
     let (lk, rk) = resolve_keys(left, right, on)?;
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     for lrow in 0..left.num_rows() {
@@ -441,7 +448,12 @@ fn loop_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKin
     build_join_output(left, right, &pairs, kind)
 }
 
-fn merge_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKind) -> Result<Table> {
+fn merge_join(
+    left: &Table,
+    right: &Table,
+    on: &[(String, String)],
+    kind: JoinKind,
+) -> Result<Table> {
     let (lk, rk) = resolve_keys(left, right, on)?;
     // Sort both sides by key; keep a mapping back to original row ids so the
     // output is assembled against the *original* tables.
@@ -478,18 +490,18 @@ fn merge_join(left: &Table, right: &Table, on: &[(String, String)], kind: JoinKi
         while i_end < lsorted.len() && cmp_keys(&lkeys[i_end], lkey).is_eq() {
             i_end += 1;
         }
-        for li in i..i_end {
+        for &lrow in &lsorted[i..i_end] {
             if j_end > j {
                 match kind {
-                    JoinKind::Semi => pairs.push((lsorted[li], usize::MAX)),
+                    JoinKind::Semi => pairs.push((lrow, usize::MAX)),
                     _ => {
-                        for jj in j..j_end {
-                            pairs.push((lsorted[li], rsorted[jj]));
+                        for &rrow in &rsorted[j..j_end] {
+                            pairs.push((lrow, rrow));
                         }
                     }
                 }
             } else if kind == JoinKind::Left {
-                pairs.push((lsorted[li], usize::MAX));
+                pairs.push((lrow, usize::MAX));
             }
         }
         i = i_end;
@@ -565,18 +577,14 @@ impl Acc {
             }
             Acc::Min(cur) => {
                 if let Some(val) = v {
-                    if !val.is_null()
-                        && cur.as_ref().map_or(true, |c| val.total_cmp(c).is_lt())
-                    {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val.total_cmp(c).is_lt()) {
                         *cur = Some(val.clone());
                     }
                 }
             }
             Acc::Max(cur) => {
                 if let Some(val) = v {
-                    if !val.is_null()
-                        && cur.as_ref().map_or(true, |c| val.total_cmp(c).is_gt())
-                    {
+                    if !val.is_null() && cur.as_ref().is_none_or(|c| val.total_cmp(c).is_gt()) {
                         *cur = Some(val.clone());
                     }
                 }
@@ -625,22 +633,17 @@ fn hash_aggregate(
     eval_ctx: &mut EvalCtx,
 ) -> Result<Table> {
     // Evaluate group keys and aggregate arguments once, columnar.
-    let key_cols: Result<Vec<_>> =
-        group_by.iter().map(|(e, _)| eval(e, input, eval_ctx)).collect();
+    let key_cols: Result<Vec<_>> = group_by.iter().map(|(e, _)| eval(e, input, eval_ctx)).collect();
     let key_cols = key_cols?;
-    let arg_cols: Result<Vec<Option<_>>> = aggs
-        .iter()
-        .map(|a| a.arg.as_ref().map(|e| eval(e, input, eval_ctx)).transpose())
-        .collect();
+    let arg_cols: Result<Vec<Option<_>>> =
+        aggs.iter().map(|a| a.arg.as_ref().map(|e| eval(e, input, eval_ctx)).transpose()).collect();
     let arg_cols = arg_cols?;
 
     // SUM over an INT input produces INT; detect from the output schema.
     let int_sum: Vec<bool> = aggs
         .iter()
         .enumerate()
-        .map(|(i, _)| {
-            schema.field(group_by.len() + i).dtype == cv_data::value::DataType::Int
-        })
+        .map(|(i, _)| schema.field(group_by.len() + i).dtype == cv_data::value::DataType::Int)
         .collect();
 
     struct Group {
@@ -692,11 +695,7 @@ fn hash_aggregate(
     if groups.is_empty() && group_by.is_empty() {
         groups.push(Group {
             key: vec![],
-            accs: aggs
-                .iter()
-                .enumerate()
-                .map(|(i, a)| Acc::new(a.func, int_sum[i]))
-                .collect(),
+            accs: aggs.iter().enumerate().map(|(i, a)| Acc::new(a.func, int_sum[i])).collect(),
         });
     }
 
@@ -732,31 +731,20 @@ mod tests {
         .into_ref();
         let rows: Vec<Vec<Value>> = (0..100)
             .map(|i| {
-                vec![
-                    Value::Int(i % 10),
-                    Value::Float((i % 7) as f64 + 0.5),
-                    Value::Int(i % 5),
-                ]
+                vec![Value::Int(i % 10), Value::Float((i % 7) as f64 + 0.5), Value::Int(i % 5)]
             })
             .collect();
-        cat.register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH)
-            .unwrap();
-        let cust = Schema::new(vec![
-            Field::new("c_id", DataType::Int),
-            Field::new("seg", DataType::Str),
-        ])
-        .unwrap()
-        .into_ref();
+        cat.register("sales", Table::from_rows(sales, &rows).unwrap(), SimTime::EPOCH).unwrap();
+        let cust =
+            Schema::new(vec![Field::new("c_id", DataType::Int), Field::new("seg", DataType::Str)])
+                .unwrap()
+                .into_ref();
         let crows: Vec<Vec<Value>> = (0..10)
             .map(|i| {
-                vec![
-                    Value::Int(i),
-                    Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into()),
-                ]
+                vec![Value::Int(i), Value::Str(if i % 2 == 0 { "asia" } else { "emea" }.into())]
             })
             .collect();
-        cat.register("customer", Table::from_rows(cust, &crows).unwrap(), SimTime::EPOCH)
-            .unwrap();
+        cat.register("customer", Table::from_rows(cust, &crows).unwrap(), SimTime::EPOCH).unwrap();
         (cat, ViewStore::with_default_ttl(), UdoRegistry::with_builtins())
     }
 
@@ -767,12 +755,9 @@ mod tests {
         udos: &UdoRegistry,
     ) -> ExecOutcome {
         let opt = Optimizer::new(OptimizerConfig::default());
-        let stats = |name: &str| {
-            cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64))
-        };
-        let out = opt
-            .optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant)
-            .unwrap();
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let out = opt.optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
         let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH);
         execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap()
     }
@@ -798,11 +783,7 @@ mod tests {
     fn join_plan(cat: &DatasetCatalog, kind: JoinKind) -> Arc<LogicalPlan> {
         PlanBuilder::scan(cat, "sales")
             .unwrap()
-            .join(
-                PlanBuilder::scan(cat, "customer").unwrap(),
-                &[("s_cust", "c_id")],
-                kind,
-            )
+            .join(PlanBuilder::scan(cat, "customer").unwrap(), &[("s_cust", "c_id")], kind)
             .unwrap()
             .build()
     }
@@ -934,10 +915,7 @@ mod tests {
         let (cat, views, udos) = setup();
         let plan = PlanBuilder::scan(&cat, "sales")
             .unwrap()
-            .aggregate(
-                vec![],
-                vec![AggExpr::new(AggFunc::CountDistinct, col("s_cust"), "d")],
-            )
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::CountDistinct, col("s_cust"), "d")])
             .unwrap()
             .build();
         let out = run(&plan, &cat, &views, &udos);
@@ -966,9 +944,12 @@ mod tests {
             .unwrap()
             .build();
         let normalized = crate::normalize::normalize(&logical, &opt.cfg.sig).unwrap();
-        let sig =
-            crate::signature::plan_signature(&normalized, &opt.cfg.sig, crate::signature::SigMode::Strict)
-                .unwrap();
+        let sig = crate::signature::plan_signature(
+            &normalized,
+            &opt.cfg.sig,
+            crate::signature::SigMode::Strict,
+        )
+        .unwrap();
         let mut reuse = ReuseContext::empty();
         reuse.to_build.insert(sig);
         let out = opt.optimize(&logical, &reuse, &stats, &mut AlwaysGrant).unwrap();
@@ -1045,9 +1026,7 @@ mod tests {
         let opt = Optimizer::new(OptimizerConfig::default());
         let stats =
             |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
-        let out = opt
-            .optimize(&plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant)
-            .unwrap();
+        let out = opt.optimize(&plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
         // Bulk-update between compile and execute.
         let id = cat.id_of("sales").unwrap();
         let data = cat.get(id).unwrap().data().clone();
@@ -1074,8 +1053,7 @@ mod tests {
                 ]
             })
             .collect();
-        cat.register("events", Table::from_rows(events, &rows).unwrap(), SimTime::EPOCH)
-            .unwrap();
+        cat.register("events", Table::from_rows(events, &rows).unwrap(), SimTime::EPOCH).unwrap();
         let plan = PlanBuilder::scan(&cat, "events")
             .unwrap()
             .udo(crate::udo::UdoSpec::new("parse_user_agent"), &udos)

@@ -83,8 +83,7 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
             Ok(b.finish())
         }
         ScalarExpr::Func { func, args } => {
-            let arg_cols: Result<Vec<Column>> =
-                args.iter().map(|a| eval(a, table, ctx)).collect();
+            let arg_cols: Result<Vec<Column>> = args.iter().map(|a| eval(a, table, ctx)).collect();
             let arg_cols = arg_cols?;
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             let mut row_args: Vec<Value> = Vec::with_capacity(arg_cols.len());
@@ -140,10 +139,7 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
 pub fn eval_predicate(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Vec<bool>> {
     let c = eval(expr, table, ctx)?;
     if c.dtype() != DataType::Bool {
-        return Err(CvError::exec(format!(
-            "predicate must be BOOL, got {}",
-            c.dtype()
-        )));
+        return Err(CvError::exec(format!("predicate must be BOOL, got {}", c.dtype())));
     }
     Ok((0..c.len()).map(|i| c.value(i).as_bool() == Some(true)).collect())
 }
@@ -185,15 +181,12 @@ pub fn binary_value(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
         return Ok(Value::Bool(res));
     }
     // Arithmetic.
-    match (a, b) {
-        (Value::Date(d), Value::Int(i)) => {
-            return match op {
-                Add => Ok(Value::Date(d + *i as i32)),
-                Sub => Ok(Value::Date(d - *i as i32)),
-                _ => Err(CvError::exec("only +/- allowed on dates")),
-            }
-        }
-        _ => {}
+    if let (Value::Date(d), Value::Int(i)) = (a, b) {
+        return match op {
+            Add => Ok(Value::Date(d + *i as i32)),
+            Sub => Ok(Value::Date(d - *i as i32)),
+            _ => Err(CvError::exec("only +/- allowed on dates")),
+        };
     }
     match (a, b) {
         (Value::Int(x), Value::Int(y)) if op != Div => {
@@ -287,16 +280,12 @@ pub fn func_value(func: FuncKind, args: &[Value], ctx: &mut EvalCtx) -> Result<V
             other => Err(CvError::exec(format!("ROUND on non-numeric {other}"))),
         },
         FuncKind::Year => {
-            let days = args[0]
-                .as_date()
-                .ok_or_else(|| CvError::exec("YEAR requires a DATE"))?;
+            let days = args[0].as_date().ok_or_else(|| CvError::exec("YEAR requires a DATE"))?;
             let y = cv_data::value::format_date(days)[..4].parse::<i64>().expect("4-digit year");
             Ok(Value::Int(y))
         }
         FuncKind::Month => {
-            let days = args[0]
-                .as_date()
-                .ok_or_else(|| CvError::exec("MONTH requires a DATE"))?;
+            let days = args[0].as_date().ok_or_else(|| CvError::exec("MONTH requires a DATE"))?;
             let formatted = cv_data::value::format_date(days);
             let m = formatted[5..7].parse::<i64>().expect("2-digit month");
             Ok(Value::Int(m))
@@ -425,8 +414,7 @@ mod tests {
     #[test]
     fn comparisons() {
         let mask =
-            eval_predicate(&col("seg").eq(lit("asia")), &table(), &mut EvalCtx::default())
-                .unwrap();
+            eval_predicate(&col("seg").eq(lit("asia")), &table(), &mut EvalCtx::default()).unwrap();
         assert_eq!(mask, vec![true, false, true]);
         // NULL comparison is not true.
         let mask2 =
@@ -501,7 +489,10 @@ mod tests {
             cast_value(&Value::Str("2020-02-01".into()), DataType::Date).unwrap(),
             Value::Date(cv_data::value::parse_date("2020-02-01").unwrap())
         );
-        assert_eq!(cast_value(&Value::Date(0), DataType::Str).unwrap(), Value::Str("1970-01-01".into()));
+        assert_eq!(
+            cast_value(&Value::Date(0), DataType::Str).unwrap(),
+            Value::Str("1970-01-01".into())
+        );
     }
 
     #[test]

@@ -73,10 +73,8 @@ pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
                         return r;
                     }
                 }
-                BinOp::Div => {
-                    if is_one(&r) {
-                        return l;
-                    }
+                BinOp::Div if is_one(&r) => {
+                    return l;
                 }
                 _ => {}
             }
@@ -135,10 +133,7 @@ pub fn fold(expr: &ScalarExpr) -> ScalarExpr {
             match (out.is_empty(), &else_out) {
                 (true, Some(e)) => e.clone(),
                 (true, None) => ScalarExpr::Literal(Value::Null),
-                _ => ScalarExpr::Case {
-                    branches: out,
-                    else_expr: else_out.map(Box::new),
-                },
+                _ => ScalarExpr::Case { branches: out, else_expr: else_out.map(Box::new) },
             }
         }
         ScalarExpr::Cast { expr, dtype } => {
@@ -182,15 +177,11 @@ pub fn canonicalize(expr: &ScalarExpr) -> ScalarExpr {
         ScalarExpr::Unary { op, expr } => {
             ScalarExpr::Unary { op: *op, expr: Box::new(canonicalize(expr)) }
         }
-        ScalarExpr::Func { func, args } => ScalarExpr::Func {
-            func: *func,
-            args: args.iter().map(canonicalize).collect(),
-        },
+        ScalarExpr::Func { func, args } => {
+            ScalarExpr::Func { func: *func, args: args.iter().map(canonicalize).collect() }
+        }
         ScalarExpr::Case { branches, else_expr } => ScalarExpr::Case {
-            branches: branches
-                .iter()
-                .map(|(w, t)| (canonicalize(w), canonicalize(t)))
-                .collect(),
+            branches: branches.iter().map(|(w, t)| (canonicalize(w), canonicalize(t))).collect(),
             else_expr: else_expr.as_ref().map(|e| Box::new(canonicalize(e))),
         },
         ScalarExpr::Cast { expr, dtype } => {

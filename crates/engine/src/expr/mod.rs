@@ -4,14 +4,13 @@ pub mod eval;
 pub mod fold;
 
 use cv_common::hash::{Sig128, StableHasher};
+use cv_common::{CvError, Result};
 use cv_data::schema::Schema;
 use cv_data::value::{DataType, Value};
-use cv_common::{CvError, Result};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary operators.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum BinOp {
     Add,
     Sub,
@@ -30,10 +29,7 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
-        )
+        matches!(self, BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq)
     }
 
     pub fn is_commutative(self) -> bool {
@@ -90,7 +86,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum UnOp {
     Not,
     Neg,
@@ -113,7 +109,7 @@ impl UnOp {
 /// exactly the hazards the paper names (`DateTime.Now`, `Guid.NewGuid()`,
 /// `new Random().Next()`, §4 "signature correctness"): subexpressions
 /// containing them are never given signatures and therefore never reused.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FuncKind {
     Lower,
     Upper,
@@ -195,7 +191,7 @@ impl FuncKind {
 }
 
 /// A scalar expression tree.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub enum ScalarExpr {
     /// Reference to an input column by name.
     Column(String),
@@ -206,15 +202,31 @@ pub enum ScalarExpr {
     /// rather than the value, so daily instances collide (paper §2.3
     /// "recurring signatures ... discard time varying attributes like
     /// parameter values").
-    Param { name: String, value: Value },
-    Binary { op: BinOp, left: Box<ScalarExpr>, right: Box<ScalarExpr> },
-    Unary { op: UnOp, expr: Box<ScalarExpr> },
-    Func { func: FuncKind, args: Vec<ScalarExpr> },
+    Param {
+        name: String,
+        value: Value,
+    },
+    Binary {
+        op: BinOp,
+        left: Box<ScalarExpr>,
+        right: Box<ScalarExpr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<ScalarExpr>,
+    },
+    Func {
+        func: FuncKind,
+        args: Vec<ScalarExpr>,
+    },
     Case {
         branches: Vec<(ScalarExpr, ScalarExpr)>,
         else_expr: Option<Box<ScalarExpr>>,
     },
-    Cast { expr: Box<ScalarExpr>, dtype: DataType },
+    Cast {
+        expr: Box<ScalarExpr>,
+        dtype: DataType,
+    },
 }
 
 /// Shorthand constructors used throughout the workspace.
@@ -230,6 +242,9 @@ pub fn param(name: impl Into<String>, v: impl Into<Value>) -> ScalarExpr {
     ScalarExpr::Param { name: name.into(), value: v.into() }
 }
 
+// add/sub/mul/div/not mirror the SQL surface as a fluent builder; the
+// std::ops traits would force by-value semantics onto every expression use.
+#[allow(clippy::should_implement_trait)]
 impl ScalarExpr {
     pub fn binary(op: BinOp, left: ScalarExpr, right: ScalarExpr) -> ScalarExpr {
         ScalarExpr::Binary { op, left: Box::new(left), right: Box::new(right) }
@@ -313,9 +328,7 @@ impl ScalarExpr {
                             || (lt.is_numeric() && rt.is_numeric())
                             || (lt == DataType::Date && rt == DataType::Date);
                         if !compatible {
-                            return Err(CvError::plan(format!(
-                                "cannot compare {lt} with {rt}"
-                            )));
+                            return Err(CvError::plan(format!("cannot compare {lt} with {rt}")));
                         }
                         Ok(DataType::Bool)
                     }
@@ -352,7 +365,9 @@ impl ScalarExpr {
                     }
                     UnOp::Neg => {
                         if !t.is_numeric() {
-                            return Err(CvError::plan(format!("negation requires numeric, got {t}")));
+                            return Err(CvError::plan(format!(
+                                "negation requires numeric, got {t}"
+                            )));
                         }
                         Ok(t)
                     }
@@ -477,7 +492,7 @@ impl ScalarExpr {
             }
             ScalarExpr::Case { branches, else_expr } => {
                 branches.iter().all(|(w, t)| w.is_deterministic() && t.is_deterministic())
-                    && else_expr.as_ref().map_or(true, |e| e.is_deterministic())
+                    && else_expr.as_ref().is_none_or(|e| e.is_deterministic())
             }
             ScalarExpr::Cast { expr, .. } => expr.is_deterministic(),
         }
@@ -614,7 +629,7 @@ impl fmt::Display for ScalarExpr {
 }
 
 /// Aggregate functions.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AggFunc {
     Count,
     CountDistinct,
@@ -649,7 +664,7 @@ impl AggFunc {
 }
 
 /// One aggregate in an `Aggregate` plan node, e.g. `AVG(price * qty) AS v`.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Debug)]
 pub struct AggExpr {
     pub func: AggFunc,
     /// `None` only for `COUNT(*)`.
@@ -672,7 +687,8 @@ impl AggExpr {
             AggFunc::Count | AggFunc::CountDistinct => Ok(DataType::Int),
             AggFunc::Avg => Ok(DataType::Float),
             AggFunc::Sum => {
-                let arg = self.arg.as_ref().ok_or_else(|| CvError::plan("SUM requires an argument"))?;
+                let arg =
+                    self.arg.as_ref().ok_or_else(|| CvError::plan("SUM requires an argument"))?;
                 let t = arg.dtype(schema)?;
                 if !t.is_numeric() {
                     return Err(CvError::plan(format!("SUM requires numeric, got {t}")));
@@ -690,7 +706,7 @@ impl AggExpr {
     }
 
     pub fn is_deterministic(&self) -> bool {
-        self.arg.as_ref().map_or(true, ScalarExpr::is_deterministic)
+        self.arg.as_ref().is_none_or(ScalarExpr::is_deterministic)
     }
 
     pub fn stable_hash(&self, h: &mut StableHasher, strict: bool) {
@@ -745,9 +761,7 @@ mod tests {
         assert_eq!(col("seg").eq(lit("asia")).dtype(&s).unwrap(), DataType::Bool);
         assert_eq!(col("day").add(lit(7)).dtype(&s).unwrap(), DataType::Date);
         assert_eq!(
-            ScalarExpr::Func { func: FuncKind::Year, args: vec![col("day")] }
-                .dtype(&s)
-                .unwrap(),
+            ScalarExpr::Func { func: FuncKind::Year, args: vec![col("day")] }.dtype(&s).unwrap(),
             DataType::Int
         );
     }
@@ -831,19 +845,13 @@ mod tests {
     #[test]
     fn agg_dtype() {
         let s = schema();
-        assert_eq!(
-            AggExpr::new(AggFunc::Sum, col("qty"), "s").dtype(&s).unwrap(),
-            DataType::Int
-        );
+        assert_eq!(AggExpr::new(AggFunc::Sum, col("qty"), "s").dtype(&s).unwrap(), DataType::Int);
         assert_eq!(
             AggExpr::new(AggFunc::Avg, col("price"), "a").dtype(&s).unwrap(),
             DataType::Float
         );
         assert_eq!(AggExpr::count_star("c").dtype(&s).unwrap(), DataType::Int);
-        assert_eq!(
-            AggExpr::new(AggFunc::Min, col("seg"), "m").dtype(&s).unwrap(),
-            DataType::Str
-        );
+        assert_eq!(AggExpr::new(AggFunc::Min, col("seg"), "m").dtype(&s).unwrap(), DataType::Str);
         assert!(AggExpr::new(AggFunc::Sum, col("seg"), "s").dtype(&s).is_err());
     }
 

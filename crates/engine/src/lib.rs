@@ -35,6 +35,7 @@ pub mod signature;
 pub mod sql;
 pub mod stats;
 pub mod udo;
+pub mod verify;
 
 pub use engine::{CompiledJob, JobOutcome, QueryEngine};
 pub use expr::{col, lit, param, AggExpr, AggFunc, BinOp, FuncKind, ScalarExpr, UnOp};

@@ -220,20 +220,14 @@ fn push_filter_down(node: LogicalPlan, _cfg: &SignatureConfig) -> Result<Logical
             if keep.is_empty() {
                 Ok((*join).clone())
             } else {
-                Ok(LogicalPlan::Filter {
-                    predicate: normalize_expr(&conjoin(keep)),
-                    input: join,
-                })
+                Ok(LogicalPlan::Filter { predicate: normalize_expr(&conjoin(keep)), input: join })
             }
         }
         LogicalPlan::Union { inputs } => {
             let pushed: Vec<Arc<LogicalPlan>> = inputs
                 .iter()
                 .map(|i| {
-                    Arc::new(LogicalPlan::Filter {
-                        predicate: predicate.clone(),
-                        input: i.clone(),
-                    })
+                    Arc::new(LogicalPlan::Filter { predicate: predicate.clone(), input: i.clone() })
                 })
                 .collect();
             Ok(LogicalPlan::Union { inputs: pushed })
@@ -536,10 +530,7 @@ mod tests {
 
     #[test]
     fn constant_true_filter_removed() {
-        let plan = Arc::new(LogicalPlan::Filter {
-            predicate: lit(1).lt(lit(2)),
-            input: sales(),
-        });
+        let plan = Arc::new(LogicalPlan::Filter { predicate: lit(1).lt(lit(2)), input: sales() });
         assert_eq!(norm(&plan).kind_name(), "Scan");
     }
 

@@ -19,6 +19,7 @@ use crate::physical::{JoinAlgo, PhysicalPlan};
 use crate::plan::LogicalPlan;
 use crate::signature::{plan_sig_pair, plan_signature, SigMode, SignatureConfig};
 use crate::stats::{estimate, ScanStats, Statistics};
+use crate::verify::PlanVerifier;
 use cv_common::hash::Sig128;
 use cv_common::{CvError, Result};
 use std::collections::{HashMap, HashSet};
@@ -84,6 +85,10 @@ pub struct OptimizerConfig {
     /// Larger join side above this row count → sort-merge join.
     pub merge_join_threshold: f64,
     pub cost: CostModel,
+    /// Run the installed [`PlanVerifier`] over every optimized plan.
+    /// Defaults to on in debug builds (and thus under `cargo test`),
+    /// off in release builds.
+    pub verify_plans: bool,
 }
 
 impl Default for OptimizerConfig {
@@ -98,6 +103,7 @@ impl Default for OptimizerConfig {
             loop_join_threshold: 64.0,
             merge_join_threshold: 120_000.0,
             cost: CostModel::default(),
+            verify_plans: cfg!(debug_assertions),
         }
     }
 }
@@ -119,11 +125,26 @@ pub struct OptimizeOutcome {
 #[derive(Clone, Debug, Default)]
 pub struct Optimizer {
     pub cfg: OptimizerConfig,
+    /// Installed by the embedding application (see `cv-analyzer`); only
+    /// consulted when [`OptimizerConfig::verify_plans`] is set.
+    pub verifier: Option<Arc<dyn PlanVerifier>>,
 }
 
 impl Optimizer {
     pub fn new(cfg: OptimizerConfig) -> Optimizer {
-        Optimizer { cfg }
+        Optimizer { cfg, verifier: None }
+    }
+
+    pub fn set_verifier(&mut self, verifier: Arc<dyn PlanVerifier>) {
+        self.verifier = Some(verifier);
+    }
+
+    fn active_verifier(&self) -> Option<&dyn PlanVerifier> {
+        if self.cfg.verify_plans {
+            self.verifier.as_deref()
+        } else {
+            None
+        }
     }
 
     /// Optimize a logical plan under the given reuse annotations.
@@ -140,7 +161,7 @@ impl Optimizer {
         let with_views = if self.cfg.enable_view_match && !reuse.available.is_empty() {
             self.match_views(&normalized, reuse, scan_stats, &mut matched)?
         } else {
-            normalized
+            normalized.clone()
         };
 
         let mut built = Vec::new();
@@ -150,9 +171,18 @@ impl Optimizer {
             with_views
         };
 
+        if let Some(verifier) = self.active_verifier() {
+            verifier.verify_logical(&normalized, &final_logical, reuse)?;
+        }
         let physical = self.to_physical(&final_logical, scan_stats)?;
         let est_cost = physical.total_cost(&self.cfg.cost);
-        Ok(OptimizeOutcome { logical: final_logical, physical, matched_views: matched, built_views: built, est_cost })
+        Ok(OptimizeOutcome {
+            logical: final_logical,
+            physical,
+            matched_views: matched,
+            built_views: built,
+            est_cost,
+        })
     }
 
     /// Top-down matching: try the largest subexpressions first; on a match
@@ -166,17 +196,17 @@ impl Optimizer {
     ) -> Result<Arc<LogicalPlan>> {
         let replaceable = !matches!(
             &**node,
-            LogicalPlan::Scan { .. } | LogicalPlan::ViewScan { .. } | LogicalPlan::Materialize { .. }
+            LogicalPlan::Scan { .. }
+                | LogicalPlan::ViewScan { .. }
+                | LogicalPlan::Materialize { .. }
         );
         if replaceable {
             if let Some(sig) = plan_signature(node, &self.cfg.sig, SigMode::Strict) {
                 if let Some(meta) = reuse.available.get(&sig) {
                     // Cost the alternative: the plan using the materialized
                     // view is chosen only if it is cheaper (paper §2.3).
-                    let recompute = self
-                        .to_physical(node, scan_stats)?
-                        .total_cost(&self.cfg.cost)
-                        .total();
+                    let recompute =
+                        self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
                     let reuse_cost = self.cfg.cost.view_scan(meta.bytes as f64).total();
                     if reuse_cost < recompute {
                         matched.push(sig);
@@ -217,7 +247,9 @@ impl Optimizer {
 
         let eligible = !matches!(
             &*rebuilt,
-            LogicalPlan::Scan { .. } | LogicalPlan::ViewScan { .. } | LogicalPlan::Materialize { .. }
+            LogicalPlan::Scan { .. }
+                | LogicalPlan::ViewScan { .. }
+                | LogicalPlan::Materialize { .. }
         );
         if eligible && built.len() < self.cfg.max_views_per_job {
             if let Some(sig) = plan_signature(&rebuilt, &self.cfg.sig, SigMode::Strict) {
@@ -235,16 +267,26 @@ impl Optimizer {
     }
 
     fn partitions_for(&self, est: Statistics) -> usize {
-        ((est.rows / self.cfg.rows_per_partition).ceil() as usize)
-            .clamp(1, self.cfg.max_partitions)
+        ((est.rows / self.cfg.rows_per_partition).ceil() as usize).clamp(1, self.cfg.max_partitions)
     }
 
-    /// Lower a logical plan to physical operators.
+    /// Lower a logical plan to physical operators. Runs the installed
+    /// [`PlanVerifier`] over the lowered plan when verification is on.
     pub fn to_physical(
         &self,
         node: &Arc<LogicalPlan>,
         scan_stats: ScanStats<'_>,
     ) -> Result<PhysicalPlan> {
+        let physical = self.lower(node, scan_stats)?;
+        if let Some(verifier) = self.active_verifier() {
+            verifier.verify_physical(&physical)?;
+        }
+        Ok(physical)
+    }
+
+    /// The recursive lowering step (costing probes call this directly so
+    /// alternative subplans aren't re-verified mid-search).
+    fn lower(&self, node: &Arc<LogicalPlan>, scan_stats: ScanStats<'_>) -> Result<PhysicalPlan> {
         let est = estimate(node, scan_stats);
         let partitions = self.partitions_for(est);
         Ok(match &**node {
@@ -263,20 +305,20 @@ impl Optimizer {
             },
             LogicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
                 predicate: predicate.clone(),
-                input: Box::new(self.to_physical(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats)?),
                 est,
                 partitions,
             },
             LogicalPlan::Project { exprs, input } => PhysicalPlan::Project {
                 exprs: exprs.clone(),
                 schema: node.schema()?,
-                input: Box::new(self.to_physical(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats)?),
                 est,
                 partitions,
             },
             LogicalPlan::Join { left, right, on, kind } => {
-                let l = self.to_physical(left, scan_stats)?;
-                let r = self.to_physical(right, scan_stats)?;
+                let l = self.lower(left, scan_stats)?;
+                let r = self.lower(right, scan_stats)?;
                 let l_rows = l.est().rows;
                 let r_rows = r.est().rows;
                 let algo = if l_rows.min(r_rows) <= self.cfg.loop_join_threshold {
@@ -300,33 +342,31 @@ impl Optimizer {
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
                 schema: node.schema()?,
-                input: Box::new(self.to_physical(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats)?),
                 est,
                 partitions,
             },
             LogicalPlan::Union { inputs } => PhysicalPlan::Union {
                 inputs: inputs
                     .iter()
-                    .map(|i| self.to_physical(i, scan_stats))
+                    .map(|i| self.lower(i, scan_stats))
                     .collect::<Result<Vec<_>>>()?,
                 est,
                 partitions,
             },
             LogicalPlan::Sort { keys, input } => PhysicalPlan::Sort {
                 keys: keys.clone(),
-                input: Box::new(self.to_physical(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats)?),
                 est,
                 partitions,
             },
-            LogicalPlan::Limit { n, input } => PhysicalPlan::Limit {
-                n: *n,
-                input: Box::new(self.to_physical(input, scan_stats)?),
-                est,
-            },
+            LogicalPlan::Limit { n, input } => {
+                PhysicalPlan::Limit { n: *n, input: Box::new(self.lower(input, scan_stats)?), est }
+            }
             LogicalPlan::Udo { spec, schema, input } => PhysicalPlan::Udo {
                 spec: spec.clone(),
                 schema: schema.clone(),
-                input: Box::new(self.to_physical(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats)?),
                 est,
                 partitions,
             },
@@ -339,7 +379,7 @@ impl Optimizer {
                     sig: *sig,
                     recurring_sig: pair.recurring,
                     input_guids: input.input_guids(),
-                    input: Box::new(self.to_physical(input, scan_stats)?),
+                    input: Box::new(self.lower(input, scan_stats)?),
                     est,
                     partitions,
                 }
@@ -417,9 +457,8 @@ mod tests {
     #[test]
     fn no_annotations_means_plain_plan() {
         let opt = optimizer();
-        let out = opt
-            .optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant)
-            .unwrap();
+        let out =
+            opt.optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant).unwrap();
         assert!(out.matched_views.is_empty());
         assert!(out.built_views.is_empty());
         assert!(!out.logical.uses_views());
@@ -470,9 +509,8 @@ mod tests {
     fn reused_plan_is_cheaper() {
         let opt = optimizer();
         let sig = shared_sig(&opt);
-        let baseline = opt
-            .optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant)
-            .unwrap();
+        let baseline =
+            opt.optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant).unwrap();
         let mut reuse = ReuseContext::empty();
         reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
         let reused = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
@@ -544,9 +582,7 @@ mod tests {
         let opt = optimizer();
         // customer(10k) ⋈ sales(200k) with merge threshold 120k → Merge.
         let big = shared_subplan();
-        let phys = opt
-            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &scan_stats)
-            .unwrap();
+        let phys = opt.to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &scan_stats).unwrap();
         let counts = phys.join_algo_counts();
         assert_eq!(counts.total(), 1);
         assert_eq!(counts.merge, 1);
@@ -557,9 +593,7 @@ mod tests {
             "customer" => Some((10.0, 400.0)),
             _ => None,
         };
-        let phys2 = opt
-            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &tiny_stats)
-            .unwrap();
+        let phys2 = opt.to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &tiny_stats).unwrap();
         assert_eq!(phys2.join_algo_counts().loop_, 1);
 
         // Mid-size both sides → hash join.
@@ -568,18 +602,15 @@ mod tests {
             "customer" => Some((5_000.0, 200_000.0)),
             _ => None,
         };
-        let phys3 = opt
-            .to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &mid_stats)
-            .unwrap();
+        let phys3 = opt.to_physical(&normalize(&big, &opt.cfg.sig).unwrap(), &mid_stats).unwrap();
         assert_eq!(phys3.join_algo_counts().hash, 1);
     }
 
     #[test]
     fn partition_counts_track_estimates() {
         let opt = optimizer();
-        let phys = opt
-            .to_physical(&normalize(&query(), &opt.cfg.sig).unwrap(), &scan_stats)
-            .unwrap();
+        let phys =
+            opt.to_physical(&normalize(&query(), &opt.cfg.sig).unwrap(), &scan_stats).unwrap();
         // sales scan: 200k rows / 2.5k per partition = 80 partitions.
         fn find_scan(p: &PhysicalPlan) -> Option<usize> {
             if let PhysicalPlan::TableScan { dataset, partitions, .. } = p {

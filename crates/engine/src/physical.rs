@@ -212,9 +212,7 @@ impl PhysicalPlan {
             PhysicalPlan::Limit { .. } => model.limit(),
             PhysicalPlan::Union { .. } => model.union(est.rows),
             PhysicalPlan::Udo { input, .. } => model.udo(input.est().rows),
-            PhysicalPlan::Spool { input, .. } => {
-                model.spool(input.est().rows, input.est().bytes)
-            }
+            PhysicalPlan::Spool { input, .. } => model.spool(input.est().rows, input.est().bytes),
         }
     }
 

@@ -42,9 +42,7 @@ impl PlanBuilder {
         if t != DataType::Bool {
             return Err(CvError::plan(format!("filter predicate must be BOOL, got {t}")));
         }
-        Ok(PlanBuilder {
-            plan: Arc::new(LogicalPlan::Filter { predicate, input: self.plan }),
-        })
+        Ok(PlanBuilder { plan: Arc::new(LogicalPlan::Filter { predicate, input: self.plan }) })
     }
 
     pub fn project(self, exprs: Vec<(ScalarExpr, &str)>) -> Result<PlanBuilder> {
@@ -77,8 +75,8 @@ impl PlanBuilder {
             let rf = rs
                 .field_by_name(r)
                 .ok_or_else(|| CvError::plan(format!("right join key `{r}` not found in {rs}")))?;
-            let compatible = lf.dtype == rf.dtype
-                || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
+            let compatible =
+                lf.dtype == rf.dtype || (lf.dtype.is_numeric() && rf.dtype.is_numeric());
             if !compatible {
                 return Err(CvError::plan(format!(
                     "join key type mismatch: {l} is {}, {r} is {}",
@@ -180,24 +178,18 @@ mod tests {
         .into_ref();
         cat.register(
             "sales",
-            Table::from_rows(
-                sales,
-                &[vec![Value::Int(1), Value::Float(2.0), Value::Int(3)]],
-            )
-            .unwrap(),
+            Table::from_rows(sales, &[vec![Value::Int(1), Value::Float(2.0), Value::Int(3)]])
+                .unwrap(),
             SimTime::EPOCH,
         )
         .unwrap();
-        let cust = Schema::new(vec![
-            Field::new("c_id", DataType::Int),
-            Field::new("seg", DataType::Str),
-        ])
-        .unwrap()
-        .into_ref();
+        let cust =
+            Schema::new(vec![Field::new("c_id", DataType::Int), Field::new("seg", DataType::Str)])
+                .unwrap()
+                .into_ref();
         cat.register(
             "customer",
-            Table::from_rows(cust, &[vec![Value::Int(1), Value::Str("asia".into())]])
-                .unwrap(),
+            Table::from_rows(cust, &[vec![Value::Int(1), Value::Str("asia".into())]]).unwrap(),
             SimTime::EPOCH,
         )
         .unwrap();
@@ -248,15 +240,11 @@ mod tests {
         let cat = catalog();
         let left = PlanBuilder::scan(&cat, "sales").unwrap();
         let right = PlanBuilder::scan(&cat, "customer").unwrap();
-        let err = left
-            .clone()
-            .join(right.clone(), &[("nope", "c_id")], JoinKind::Inner)
-            .unwrap_err();
+        let err =
+            left.clone().join(right.clone(), &[("nope", "c_id")], JoinKind::Inner).unwrap_err();
         assert_eq!(err.kind(), "plan");
-        let err2 = left
-            .clone()
-            .join(right.clone(), &[("s_cust", "seg")], JoinKind::Inner)
-            .unwrap_err();
+        let err2 =
+            left.clone().join(right.clone(), &[("s_cust", "seg")], JoinKind::Inner).unwrap_err();
         assert!(err2.to_string().contains("type mismatch"));
         assert!(left.join(right, &[], JoinKind::Inner).is_err());
     }
@@ -266,17 +254,15 @@ mod tests {
         let cat = catalog();
         let b = PlanBuilder::scan(&cat, "sales").unwrap();
         assert!(b.clone().aggregate(vec![], vec![]).is_err());
-        let err = b
-            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("nope"), "s")])
-            .unwrap_err();
+        let err =
+            b.aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("nope"), "s")]).unwrap_err();
         assert_eq!(err.kind(), "plan");
     }
 
     #[test]
     fn sort_key_must_exist() {
         let cat = catalog();
-        let err =
-            PlanBuilder::scan(&cat, "sales").unwrap().sort(&[("zz", true)]).unwrap_err();
+        let err = PlanBuilder::scan(&cat, "sales").unwrap().sort(&[("zz", true)]).unwrap_err();
         assert_eq!(err.kind(), "plan");
     }
 

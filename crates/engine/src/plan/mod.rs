@@ -10,12 +10,11 @@ use cv_common::hash::Sig128;
 use cv_common::ids::VersionGuid;
 use cv_common::{CvError, Result};
 use cv_data::schema::{Field, Schema, SchemaRef};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::Arc;
 
 /// Join kinds supported by the engine.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum JoinKind {
     Inner,
     Left,
@@ -74,7 +73,9 @@ pub enum LogicalPlan {
         input: Arc<LogicalPlan>,
     },
     /// Bag union (UNION ALL).
-    Union { inputs: Vec<Arc<LogicalPlan>> },
+    Union {
+        inputs: Vec<Arc<LogicalPlan>>,
+    },
     Sort {
         keys: Vec<(String, bool)>,
         input: Arc<LogicalPlan>,
@@ -184,8 +185,11 @@ impl LogicalPlan {
     pub fn with_children(&self, mut children: Vec<Arc<LogicalPlan>>) -> Result<LogicalPlan> {
         let expect = self.children().len();
         if children.len() != expect {
-            return Err(CvError::internal(format!(
-                "with_children: expected {expect} children, got {}",
+            return Err(CvError::plan(format!(
+                "with_children on {} node: expected {expect} child plan{}, got {} — \
+                 a plan rewrite changed operator arity",
+                self.kind_name(),
+                if expect == 1 { "" } else { "s" },
                 children.len()
             )));
         }
@@ -210,23 +214,20 @@ impl LogicalPlan {
                 input: children.pop().expect("one child"),
             },
             LogicalPlan::Union { .. } => LogicalPlan::Union { inputs: children },
-            LogicalPlan::Sort { keys, .. } => LogicalPlan::Sort {
-                keys: keys.clone(),
-                input: children.pop().expect("one child"),
-            },
-            LogicalPlan::Limit { n, .. } => LogicalPlan::Limit {
-                n: *n,
-                input: children.pop().expect("one child"),
-            },
+            LogicalPlan::Sort { keys, .. } => {
+                LogicalPlan::Sort { keys: keys.clone(), input: children.pop().expect("one child") }
+            }
+            LogicalPlan::Limit { n, .. } => {
+                LogicalPlan::Limit { n: *n, input: children.pop().expect("one child") }
+            }
             LogicalPlan::Udo { spec, schema, .. } => LogicalPlan::Udo {
                 spec: spec.clone(),
                 schema: schema.clone(),
                 input: children.pop().expect("one child"),
             },
-            LogicalPlan::Materialize { sig, .. } => LogicalPlan::Materialize {
-                sig: *sig,
-                input: children.pop().expect("one child"),
-            },
+            LogicalPlan::Materialize { sig, .. } => {
+                LogicalPlan::Materialize { sig: *sig, input: children.pop().expect("one child") }
+            }
         })
     }
 
@@ -308,18 +309,15 @@ impl LogicalPlan {
             LogicalPlan::Scan { dataset, .. } => format!("Scan {dataset}"),
             LogicalPlan::Filter { predicate, .. } => format!("Filter {predicate}"),
             LogicalPlan::Project { exprs, .. } => {
-                let items: Vec<String> =
-                    exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let items: Vec<String> = exprs.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 format!("Project [{}]", items.join(", "))
             }
             LogicalPlan::Join { on, kind, .. } => {
-                let keys: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let keys: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 format!("{} Join on {}", kind.name(), keys.join(", "))
             }
             LogicalPlan::Aggregate { group_by, aggs, .. } => {
-                let g: Vec<String> =
-                    group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
+                let g: Vec<String> = group_by.iter().map(|(e, n)| format!("{e} AS {n}")).collect();
                 let a: Vec<String> = aggs.iter().map(|x| x.to_string()).collect();
                 format!("Aggregate group=[{}] aggs=[{}]", g.join(", "), a.join(", "))
             }
@@ -417,10 +415,7 @@ mod tests {
     fn aggregate_schema() {
         let plan = LogicalPlan::Aggregate {
             group_by: vec![(col("s_cust"), "cust".into())],
-            aggs: vec![
-                AggExpr::new(AggFunc::Avg, col("price"), "avg_p"),
-                AggExpr::count_star("n"),
-            ],
+            aggs: vec![AggExpr::new(AggFunc::Avg, col("price"), "avg_p"), AggExpr::count_star("n")],
             input: sales(),
         };
         let s = plan.schema().unwrap();

@@ -21,18 +21,17 @@
 
 use crate::plan::LogicalPlan;
 use cv_common::hash::{Sig128, StableHasher};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Which signature flavour to compute.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SigMode {
     Strict,
     Recurring,
 }
 
 /// Signature computation parameters.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct SignatureConfig {
     /// SCOPE runtime version; part of the hash domain.
     pub runtime_version: String,
@@ -390,10 +389,8 @@ mod tests {
             .is_none());
         // Over-deep chain: unsignable.
         let deep: Vec<String> = (0..20).map(|i| format!("lib{i}")).collect();
-        assert!(
-            plan_signature(&mk(UdoSpec::new("f").with_chain(deep)), &cfg(), SigMode::Strict)
-                .is_none()
-        );
+        assert!(plan_signature(&mk(UdoSpec::new("f").with_chain(deep)), &cfg(), SigMode::Strict)
+            .is_none());
         // Version bump changes the signature.
         let s1 = plan_signature(&mk(UdoSpec::new("f")), &cfg(), SigMode::Strict);
         let s2 = plan_signature(&mk(UdoSpec::new("f").with_version(2)), &cfg(), SigMode::Strict);

@@ -11,12 +11,31 @@ pub enum Expr {
     Column(Option<String>, String),
     Literal(Value),
     Param(String),
-    Binary { op: BinOp, left: Box<Expr>, right: Box<Expr> },
-    Unary { op: UnOp, expr: Box<Expr> },
-    Func { func: FuncKind, args: Vec<Expr> },
-    Agg { func: AggFunc, arg: Option<Box<Expr>> },
-    Case { branches: Vec<(Expr, Expr)>, else_expr: Option<Box<Expr>> },
-    Cast { expr: Box<Expr>, dtype: DataType },
+    Binary {
+        op: BinOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    Unary {
+        op: UnOp,
+        expr: Box<Expr>,
+    },
+    Func {
+        func: FuncKind,
+        args: Vec<Expr>,
+    },
+    Agg {
+        func: AggFunc,
+        arg: Option<Box<Expr>>,
+    },
+    Case {
+        branches: Vec<(Expr, Expr)>,
+        else_expr: Option<Box<Expr>>,
+    },
+    Cast {
+        expr: Box<Expr>,
+        dtype: DataType,
+    },
 }
 
 /// One select-list item.
@@ -80,7 +99,7 @@ impl Expr {
             Expr::Func { args, .. } => args.iter().any(Expr::has_aggregate),
             Expr::Case { branches, else_expr } => {
                 branches.iter().any(|(w, t)| w.has_aggregate() || t.has_aggregate())
-                    || else_expr.as_ref().map_or(false, |e| e.has_aggregate())
+                    || else_expr.as_ref().is_some_and(|e| e.has_aggregate())
             }
             Expr::Cast { expr, .. } => expr.has_aggregate(),
         }

@@ -23,9 +23,7 @@ impl Params {
     }
 
     pub fn with(pairs: &[(&str, Value)]) -> Params {
-        Params {
-            map: pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect(),
-        }
+        Params { map: pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect() }
     }
 
     pub fn insert(&mut self, name: impl Into<String>, v: Value) {
@@ -58,8 +56,7 @@ impl Scope {
                 Ok(name.to_string())
             }
             None => {
-                let hits =
-                    self.tables.iter().filter(|(_, s)| s.contains(name)).count();
+                let hits = self.tables.iter().filter(|(_, s)| s.contains(name)).count();
                 match hits {
                     0 => Err(CvError::plan(format!("unknown column `{name}`"))),
                     1 => Ok(name.to_string()),
@@ -72,10 +69,7 @@ impl Scope {
     /// Which table (by index) holds this column?
     fn table_of(&self, qual: Option<&str>, name: &str) -> Option<usize> {
         match qual {
-            Some(q) => self
-                .tables
-                .iter()
-                .position(|(alias, s)| alias == q && s.contains(name)),
+            Some(q) => self.tables.iter().position(|(alias, s)| alias == q && s.contains(name)),
             None => self.tables.iter().position(|(_, s)| s.contains(name)),
         }
     }
@@ -107,11 +101,7 @@ fn alias_of(t: &TableRef) -> String {
     t.alias.clone().unwrap_or_else(|| t.name.clone())
 }
 
-fn bind_select(
-    select: &Select,
-    catalog: &DatasetCatalog,
-    params: &Params,
-) -> Result<PlanBuilder> {
+fn bind_select(select: &Select, catalog: &DatasetCatalog, params: &Params) -> Result<PlanBuilder> {
     // FROM + JOINs, left-deep in syntactic order.
     let mut scope = Scope { tables: Vec::new() };
     let first = catalog.get_by_name(&select.from.name)?;
@@ -152,8 +142,7 @@ fn bind_select(
             JoinType::Left => JoinKind::Left,
             JoinType::Semi => JoinKind::Semi,
         };
-        let on_refs: Vec<(&str, &str)> =
-            on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
+        let on_refs: Vec<(&str, &str)> = on.iter().map(|(l, r)| (l.as_str(), r.as_str())).collect();
         builder = builder.join(right_builder, &on_refs, kind)?;
         if kind == JoinKind::Semi {
             // Semi join output is left-only; pop the right table from scope.
@@ -173,7 +162,7 @@ fn bind_select(
     // Aggregate path?
     let needs_agg = !select.group_by.is_empty()
         || select.items.iter().any(|i| i.expr.has_aggregate())
-        || select.having.as_ref().map_or(false, Expr::has_aggregate);
+        || select.having.as_ref().is_some_and(Expr::has_aggregate);
 
     if !needs_agg {
         if let Some(h) = &select.having {
@@ -221,8 +210,14 @@ fn bind_select(
         // If the item is exactly one aggregate, its alias names the agg
         // directly — avoids a synthetic indirection.
         let preferred = item.alias.clone();
-        let rewritten =
-            rewrite_agg_expr(&item.expr, &scope, params, &group_by, &mut aggs, preferred.as_deref())?;
+        let rewritten = rewrite_agg_expr(
+            &item.expr,
+            &scope,
+            params,
+            &group_by,
+            &mut aggs,
+            preferred.as_deref(),
+        )?;
         let name = match (&item.alias, &rewritten) {
             (Some(a), _) => a.clone(),
             (None, ScalarExpr::Column(c)) => c.clone(),
@@ -271,9 +266,9 @@ fn lower_scalar(e: &Expr, scope: &Scope, params: &Params) -> Result<ScalarExpr> 
         Expr::Column(q, n) => ScalarExpr::Column(scope.resolve(q.as_deref(), n)?),
         Expr::Literal(v) => ScalarExpr::Literal(v.clone()),
         Expr::Param(name) => {
-            let v = params.get(name).ok_or_else(|| {
-                CvError::plan(format!("missing value for parameter `@{name}`"))
-            })?;
+            let v = params
+                .get(name)
+                .ok_or_else(|| CvError::plan(format!("missing value for parameter `@{name}`")))?;
             ScalarExpr::Param { name: name.clone(), value: v.clone() }
         }
         Expr::Binary { op, left, right } => ScalarExpr::Binary {
@@ -281,10 +276,9 @@ fn lower_scalar(e: &Expr, scope: &Scope, params: &Params) -> Result<ScalarExpr> 
             left: Box::new(lower_scalar(left, scope, params)?),
             right: Box::new(lower_scalar(right, scope, params)?),
         },
-        Expr::Unary { op, expr } => ScalarExpr::Unary {
-            op: *op,
-            expr: Box::new(lower_scalar(expr, scope, params)?),
-        },
+        Expr::Unary { op, expr } => {
+            ScalarExpr::Unary { op: *op, expr: Box::new(lower_scalar(expr, scope, params)?) }
+        }
         Expr::Func { func, args } => ScalarExpr::Func {
             func: *func,
             args: args
@@ -298,17 +292,18 @@ fn lower_scalar(e: &Expr, scope: &Scope, params: &Params) -> Result<ScalarExpr> 
         Expr::Case { branches, else_expr } => ScalarExpr::Case {
             branches: branches
                 .iter()
-                .map(|(w, t)| Ok((lower_scalar(w, scope, params)?, lower_scalar(t, scope, params)?)))
+                .map(|(w, t)| {
+                    Ok((lower_scalar(w, scope, params)?, lower_scalar(t, scope, params)?))
+                })
                 .collect::<Result<Vec<_>>>()?,
             else_expr: match else_expr {
                 Some(b) => Some(Box::new(lower_scalar(b, scope, params)?)),
                 None => None,
             },
         },
-        Expr::Cast { expr, dtype } => ScalarExpr::Cast {
-            expr: Box::new(lower_scalar(expr, scope, params)?),
-            dtype: *dtype,
-        },
+        Expr::Cast { expr, dtype } => {
+            ScalarExpr::Cast { expr: Box::new(lower_scalar(expr, scope, params)?), dtype: *dtype }
+        }
     })
 }
 
@@ -336,14 +331,14 @@ fn rewrite_agg_expr(
         };
         // Deduplicate identical aggregates.
         let normalized_arg = lowered_arg.as_ref().map(normalize_expr);
-        if let Some(existing) = aggs.iter().find(|x| {
-            x.func == *func && x.arg.as_ref().map(normalize_expr) == normalized_arg
-        }) {
+        if let Some(existing) = aggs
+            .iter()
+            .find(|x| x.func == *func && x.arg.as_ref().map(normalize_expr) == normalized_arg)
+        {
             return Ok(ScalarExpr::Column(existing.alias.clone()));
         }
-        let alias = preferred_alias
-            .map(str::to_string)
-            .unwrap_or_else(|| format!("agg_{}", aggs.len()));
+        let alias =
+            preferred_alias.map(str::to_string).unwrap_or_else(|| format!("agg_{}", aggs.len()));
         aggs.push(AggExpr { func: *func, arg: lowered_arg, alias: alias.clone() });
         return Ok(ScalarExpr::Column(alias));
     }
@@ -351,9 +346,7 @@ fn rewrite_agg_expr(
     if !e.has_aggregate() {
         let lowered = lower_scalar(e, scope, params)?;
         let norm = normalize_expr(&lowered);
-        if let Some((_, name)) =
-            group_by.iter().find(|(g, _)| normalize_expr(g) == norm)
-        {
+        if let Some((_, name)) = group_by.iter().find(|(g, _)| normalize_expr(g) == norm) {
             return Ok(ScalarExpr::Column(name.clone()));
         }
         // Constants are always fine.
@@ -393,7 +386,9 @@ fn rewrite_agg_expr(
                 })
                 .collect::<Result<Vec<_>>>()?,
             else_expr: match else_expr {
-                Some(b) => Some(Box::new(rewrite_agg_expr(b, scope, params, group_by, aggs, None)?)),
+                Some(b) => {
+                    Some(Box::new(rewrite_agg_expr(b, scope, params, group_by, aggs, None)?))
+                }
                 None => None,
             },
         },
@@ -435,10 +430,8 @@ mod tests {
 
     #[test]
     fn where_and_join() {
-        let p = bind_sql(
-            "SELECT c_name FROM Sales JOIN Customer ON s_cust = c_id WHERE price > 3",
-        )
-        .unwrap();
+        let p = bind_sql("SELECT c_name FROM Sales JOIN Customer ON s_cust = c_id WHERE price > 3")
+            .unwrap();
         assert_eq!(p.schema().unwrap().names(), vec!["c_name"]);
         assert_eq!(p.scanned_datasets(), vec!["Customer".to_string(), "Sales".to_string()]);
     }
@@ -474,9 +467,8 @@ mod tests {
 
     #[test]
     fn duplicate_aggregates_dedup() {
-        let p = bind_sql(
-            "SELECT SUM(price) AS a, SUM(price) + 0.0 AS b FROM Sales GROUP BY s_cust",
-        );
+        let p =
+            bind_sql("SELECT SUM(price) AS a, SUM(price) + 0.0 AS b FROM Sales GROUP BY s_cust");
         // Should bind (two items, one underlying SUM) without error.
         assert!(p.is_ok(), "{p:?}");
     }
@@ -492,17 +484,15 @@ mod tests {
 
     #[test]
     fn non_grouped_column_rejected() {
-        let err = bind_sql("SELECT price, COUNT(*) AS n FROM Sales GROUP BY s_cust")
-            .unwrap_err();
+        let err = bind_sql("SELECT price, COUNT(*) AS n FROM Sales GROUP BY s_cust").unwrap_err();
         assert!(err.to_string().contains("GROUP BY"), "{err}");
     }
 
     #[test]
     fn having_filters_after_aggregate() {
-        let p = bind_sql(
-            "SELECT s_cust, COUNT(*) AS n FROM Sales GROUP BY s_cust HAVING COUNT(*) > 5",
-        )
-        .unwrap();
+        let p =
+            bind_sql("SELECT s_cust, COUNT(*) AS n FROM Sales GROUP BY s_cust HAVING COUNT(*) > 5")
+                .unwrap();
         // Root should be Project over Filter over Aggregate.
         assert_eq!(p.kind_name(), "Project");
         assert_eq!(p.children()[0].kind_name(), "Filter");
@@ -512,11 +502,7 @@ mod tests {
     #[test]
     fn params_are_bound() {
         let params = Params::with(&[("min_price", Value::Float(2.0))]);
-        let p = bind_sql_params(
-            "SELECT * FROM Sales WHERE price > @min_price",
-            &params,
-        )
-        .unwrap();
+        let p = bind_sql_params("SELECT * FROM Sales WHERE price > @min_price", &params).unwrap();
         assert!(p.display_tree().contains("@min_price"));
         // Missing param → plan error.
         let err = bind_sql("SELECT * FROM Sales WHERE price > @min_price").unwrap_err();
@@ -525,28 +511,20 @@ mod tests {
 
     #[test]
     fn qualified_and_ambiguous_columns() {
-        let p = bind_sql(
-            "SELECT s.price FROM Sales s JOIN Customer c ON s.s_cust = c.c_id",
-        )
-        .unwrap();
+        let p =
+            bind_sql("SELECT s.price FROM Sales s JOIN Customer c ON s.s_cust = c.c_id").unwrap();
         assert_eq!(p.schema().unwrap().names(), vec!["price"]);
         let err = bind_sql("SELECT s.nope FROM Sales s").unwrap_err();
         assert!(err.to_string().contains("nope"));
-        let err2 =
-            bind_sql("SELECT x.price FROM Sales s").unwrap_err();
+        let err2 = bind_sql("SELECT x.price FROM Sales s").unwrap_err();
         assert!(err2.to_string().contains("alias"));
     }
 
     #[test]
     fn semi_join_hides_right_columns() {
-        let ok = bind_sql(
-            "SELECT price FROM Sales SEMI JOIN Customer ON s_cust = c_id",
-        )
-        .unwrap();
+        let ok = bind_sql("SELECT price FROM Sales SEMI JOIN Customer ON s_cust = c_id").unwrap();
         assert_eq!(ok.schema().unwrap().names(), vec!["price"]);
-        let err = bind_sql(
-            "SELECT mkt_segment FROM Sales SEMI JOIN Customer ON s_cust = c_id",
-        );
+        let err = bind_sql("SELECT mkt_segment FROM Sales SEMI JOIN Customer ON s_cust = c_id");
         assert!(err.is_err(), "semi join must hide right columns");
     }
 
@@ -575,10 +553,7 @@ mod tests {
 
     #[test]
     fn join_unrelated_condition_rejected() {
-        let err = bind_sql(
-            "SELECT price FROM Sales JOIN Customer ON c_id = c_id",
-        )
-        .unwrap_err();
+        let err = bind_sql("SELECT price FROM Sales JOIN Customer ON c_id = c_id").unwrap_err();
         assert!(err.to_string().contains("relate"), "{err}");
     }
 }

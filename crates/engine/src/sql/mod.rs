@@ -62,8 +62,7 @@ pub(crate) mod tests {
                 ]
             })
             .collect();
-        cat.register("Sales", Table::from_rows(sales, &srows).unwrap(), SimTime::EPOCH)
-            .unwrap();
+        cat.register("Sales", Table::from_rows(sales, &srows).unwrap(), SimTime::EPOCH).unwrap();
 
         let customer = Schema::new(vec![
             Field::new("c_id", DataType::Int),
@@ -100,8 +99,7 @@ pub(crate) mod tests {
                 ]
             })
             .collect();
-        cat.register("Part", Table::from_rows(part, &prows).unwrap(), SimTime::EPOCH)
-            .unwrap();
+        cat.register("Part", Table::from_rows(part, &prows).unwrap(), SimTime::EPOCH).unwrap();
         cat
     }
 

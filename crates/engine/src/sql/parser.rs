@@ -128,11 +128,7 @@ impl Parser {
         } else {
             loop {
                 let expr = self.expr()?;
-                let alias = if self.eat_kw("AS") {
-                    Some(self.ident()?)
-                } else {
-                    None
-                };
+                let alias = if self.eat_kw("AS") { Some(self.ident()?) } else { None };
                 items.push(SelectItem { expr, alias });
                 if !self.eat_sym(Sym::Comma) {
                     break;
@@ -401,11 +397,7 @@ impl Parser {
         if branches.is_empty() {
             return Err(CvError::parse("CASE requires at least one WHEN"));
         }
-        let else_expr = if self.eat_kw("ELSE") {
-            Some(Box::new(self.expr()?))
-        } else {
-            None
-        };
+        let else_expr = if self.eat_kw("ELSE") { Some(Box::new(self.expr()?)) } else { None };
         self.expect_kw("END")?;
         Ok(Expr::Case { branches, else_expr })
     }
@@ -534,8 +526,8 @@ mod tests {
 
     #[test]
     fn count_variants() {
-        let q = parse("SELECT COUNT(*) AS n, COUNT(DISTINCT x) AS d, COUNT(y) AS c FROM T")
-            .unwrap();
+        let q =
+            parse("SELECT COUNT(*) AS n, COUNT(DISTINCT x) AS d, COUNT(y) AS c FROM T").unwrap();
         let items = &q.selects[0].items;
         assert_eq!(items[0].expr, Expr::Agg { func: AggFunc::Count, arg: None });
         assert!(matches!(items[1].expr, Expr::Agg { func: AggFunc::CountDistinct, .. }));
@@ -580,9 +572,6 @@ mod tests {
     fn unknown_function_vs_column() {
         // Bare identifier: column. Identifier + paren: must be known fn.
         let ok = parse("SELECT lower(name) FROM T").unwrap();
-        assert!(matches!(
-            ok.selects[0].items[0].expr,
-            Expr::Func { func: FuncKind::Lower, .. }
-        ));
+        assert!(matches!(ok.selects[0].items[0].expr, Expr::Func { func: FuncKind::Lower, .. }));
     }
 }

@@ -12,10 +12,9 @@
 
 use crate::expr::{BinOp, ScalarExpr};
 use crate::plan::{JoinKind, LogicalPlan};
-use serde::{Deserialize, Serialize};
 
 /// Estimated (or observed) properties of an operator output.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Statistics {
     pub rows: f64,
     pub bytes: f64,
@@ -56,14 +55,10 @@ pub fn predicate_selectivity(pred: &ScalarExpr) -> f64 {
         }
         ScalarExpr::Binary { op: BinOp::Eq, .. } => 0.08,
         ScalarExpr::Binary { op: BinOp::NotEq, .. } => 0.9,
-        ScalarExpr::Binary {
-            op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq, ..
-        } => 0.35,
+        ScalarExpr::Binary { op: BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq, .. } => 0.35,
         ScalarExpr::Unary { op: crate::expr::UnOp::IsNull, .. } => 0.05,
         ScalarExpr::Unary { op: crate::expr::UnOp::IsNotNull, .. } => 0.95,
-        ScalarExpr::Unary { op: crate::expr::UnOp::Not, expr } => {
-            1.0 - predicate_selectivity(expr)
-        }
+        ScalarExpr::Unary { op: crate::expr::UnOp::Not, expr } => 1.0 - predicate_selectivity(expr),
         _ => 0.25,
     }
 }
@@ -103,21 +98,18 @@ pub fn estimate(plan: &LogicalPlan, scan_stats: ScanStats<'_>) -> Statistics {
             match kind {
                 JoinKind::Inner => {
                     // FK-join heuristic with a deliberate over-estimate.
-                    let rows =
-                        (l.rows * r.rows / l.rows.min(r.rows).max(1.0)) * JOIN_OVERESTIMATE;
+                    let rows = (l.rows * r.rows / l.rows.min(r.rows).max(1.0)) * JOIN_OVERESTIMATE;
                     let width = l.row_width() + r.row_width();
                     Statistics::new(rows, rows * width)
                 }
                 JoinKind::Left => {
-                    let rows = l.rows.max(
-                        l.rows * r.rows / l.rows.min(r.rows).max(1.0) * JOIN_OVERESTIMATE,
-                    );
+                    let rows = l
+                        .rows
+                        .max(l.rows * r.rows / l.rows.min(r.rows).max(1.0) * JOIN_OVERESTIMATE);
                     let width = l.row_width() + r.row_width();
                     Statistics::new(rows, rows * width)
                 }
-                JoinKind::Semi => {
-                    Statistics::new(l.rows * 0.6, l.bytes * 0.6)
-                }
+                JoinKind::Semi => Statistics::new(l.rows * 0.6, l.bytes * 0.6),
             }
         }
         LogicalPlan::Aggregate { group_by, input, .. } => {
@@ -193,10 +185,7 @@ mod tests {
 
     #[test]
     fn filter_reduces_by_selectivity() {
-        let f = LogicalPlan::Filter {
-            predicate: col("k").eq(lit(1)),
-            input: scan("big"),
-        };
+        let f = LogicalPlan::Filter { predicate: col("k").eq(lit(1)), input: scan("big") };
         let s = estimate(&f, &stats);
         assert!(s.rows < 100_000.0);
         assert!((s.rows - 8_000.0).abs() < 1.0);

@@ -13,13 +13,12 @@ use cv_common::{CvError, Result};
 use cv_data::schema::{Field, Schema, SchemaRef};
 use cv_data::table::Table;
 use cv_data::value::{DataType, Value};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
 /// Compiler-visible metadata of a UDO call site.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct UdoSpec {
     /// Registry key of the implementation.
     pub name: String,
@@ -38,12 +37,7 @@ pub struct UdoSpec {
 
 impl UdoSpec {
     pub fn new(name: impl Into<String>) -> UdoSpec {
-        UdoSpec {
-            name: name.into(),
-            version: 1,
-            deterministic: true,
-            library_chain: Vec::new(),
-        }
+        UdoSpec { name: name.into(), version: 1, deterministic: true, library_chain: Vec::new() }
     }
 
     pub fn with_version(mut self, version: u32) -> UdoSpec {
@@ -205,10 +199,8 @@ fn geo_enrich_impl() -> UdoImpl {
             Ok(Schema::new(fields)?.into_ref())
         }),
         apply: Box::new(|t: &Table| {
-            let idx = t
-                .schema()
-                .index_of("ip_hash")
-                .ok_or_else(|| CvError::exec("missing `ip_hash`"))?;
+            let idx =
+                t.schema().index_of("ip_hash").ok_or_else(|| CvError::exec("missing `ip_hash`"))?;
             let ip = t.column(idx);
             let mut rows = Vec::with_capacity(t.num_rows());
             for i in 0..t.num_rows() {
@@ -235,26 +227,22 @@ fn scrub_pii_impl() -> UdoImpl {
     UdoImpl {
         output_schema: Box::new(|input: &Schema| Ok(Arc::new(input.clone()))),
         apply: Box::new(|t: &Table| {
-            let scrub: Vec<bool> = t
-                .schema()
-                .fields()
-                .iter()
-                .map(|f| f.name == "email" || f.name == "ip")
-                .collect();
+            let scrub: Vec<bool> =
+                t.schema().fields().iter().map(|f| f.name == "email" || f.name == "ip").collect();
             let mut rows = Vec::with_capacity(t.num_rows());
             for i in 0..t.num_rows() {
-                let row: Vec<Value> = t
-                    .row(i)
-                    .into_iter()
-                    .zip(&scrub)
-                    .map(|(v, &s)| {
-                        if s && !v.is_null() {
-                            Value::Str("<redacted>".to_string())
-                        } else {
-                            v
-                        }
-                    })
-                    .collect();
+                let row: Vec<Value> =
+                    t.row(i)
+                        .into_iter()
+                        .zip(&scrub)
+                        .map(|(v, &s)| {
+                            if s && !v.is_null() {
+                                Value::Str("<redacted>".to_string())
+                            } else {
+                                v
+                            }
+                        })
+                        .collect();
                 rows.push(row);
             }
             Table::from_rows(t.schema().clone(), &rows)

@@ -1,0 +1,38 @@
+//! Plan-verification hook.
+//!
+//! The optimizer can carry a [`PlanVerifier`] that is invoked after view
+//! matching/building (on the logical plan) and after physical lowering.
+//! The concrete implementation lives in `cv-analyzer`; keeping only the
+//! trait here avoids a dependency cycle (the analyzer inspects engine
+//! plan types, the engine only knows it can be audited).
+//!
+//! Verification is gated by [`OptimizerConfig::verify_plans`], which
+//! defaults to on in debug builds (and therefore under `cargo test`) and
+//! off in release builds, mirroring how production plan-sanity gates run
+//! in pre-production rings first.
+//!
+//! [`OptimizerConfig::verify_plans`]: crate::optimizer::OptimizerConfig::verify_plans
+
+use crate::optimizer::ReuseContext;
+use crate::physical::PhysicalPlan;
+use crate::plan::LogicalPlan;
+use cv_common::Result;
+use std::fmt;
+use std::sync::Arc;
+
+/// Audits optimizer output. Implementations return `Err` (never panic)
+/// when an error-severity invariant violation is found, so a corrupted
+/// plan fails the compiling job instead of the whole process.
+pub trait PlanVerifier: fmt::Debug + Send + Sync {
+    /// Check the post-rewrite logical plan against the pre-substitution
+    /// normalized plan and the reuse annotations that drove the rewrite.
+    fn verify_logical(
+        &self,
+        original: &Arc<LogicalPlan>,
+        optimized: &Arc<LogicalPlan>,
+        reuse: &ReuseContext,
+    ) -> Result<()>;
+
+    /// Check a freshly lowered physical plan (spool shape, stats, costs).
+    fn verify_physical(&self, physical: &PhysicalPlan) -> Result<()>;
+}

@@ -11,11 +11,10 @@ use cv_common::hash::{Sig128, StableHasher};
 use cv_common::{CvError, Result};
 use cv_data::table::Table;
 use cv_data::value::Value;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A Bloom filter over join-key values.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BloomFilter {
     bits: Vec<u64>,
     m: usize,
@@ -94,8 +93,7 @@ impl BloomFilter {
             .index_of(key)
             .ok_or_else(|| CvError::not_found(format!("column `{key}`")))?;
         let col = probe.column(idx);
-        let mask: Vec<bool> =
-            (0..probe.num_rows()).map(|i| self.contains(&col.value(i))).collect();
+        let mask: Vec<bool> = (0..probe.num_rows()).map(|i| self.contains(&col.value(i))).collect();
         probe.filter(&mask)
     }
 }
@@ -154,9 +152,7 @@ mod tests {
     fn false_positive_rate_near_target() {
         let build = keys(&(0..2000).collect::<Vec<_>>());
         let bf = BloomFilter::from_column(&build, "k", 0.01).unwrap();
-        let fps = (100_000..120_000)
-            .filter(|&i| bf.contains(&Value::Int(i)))
-            .count();
+        let fps = (100_000..120_000).filter(|&i| bf.contains(&Value::Int(i))).count();
         let rate = fps as f64 / 20_000.0;
         assert!(rate < 0.03, "fp rate {rate}");
     }
@@ -169,9 +165,7 @@ mod tests {
         let reduced = bf.reduce(&probe, "k").unwrap();
         // All true matches survive…
         for v in [2i64, 4, 6, 8] {
-            assert!(reduced
-                .canonical_rows()
-                .contains(&v.to_string()));
+            assert!(reduced.canonical_rows().contains(&v.to_string()));
         }
         // …and most non-matches are gone.
         assert!(reduced.num_rows() < 20, "kept {} rows", reduced.num_rows());

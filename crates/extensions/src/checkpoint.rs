@@ -7,10 +7,9 @@
 //! restarted job skips checkpointed stages.
 
 use cv_cluster::stage::StageGraph;
-use serde::{Deserialize, Serialize};
 
 /// Which stages to checkpoint.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CheckpointPolicy {
     /// Checkpoint a stage once the work *at risk* above it (its transitive
     /// upstream work, itself included) exceeds this fraction of the job's
@@ -41,11 +40,7 @@ pub fn upstream_work(graph: &StageGraph) -> Vec<f64> {
         // Upstream sets may overlap between deps; for tree-shaped plans
         // (ours) summing deps is exact.
         let v = graph.stages[i].work
-            + graph.stages[i]
-                .deps
-                .iter()
-                .map(|&d| walk(graph, d, memo))
-                .sum::<f64>();
+            + graph.stages[i].deps.iter().map(|&d| walk(graph, d, memo)).sum::<f64>();
         memo[i] = Some(v);
         v
     }
@@ -54,7 +49,10 @@ pub fn upstream_work(graph: &StageGraph) -> Vec<f64> {
 
 /// Apply the policy: returns the graph with `checkpointed` set on the
 /// chosen stages, and the list of chosen stage ids.
-pub fn apply_checkpoints(graph: &StageGraph, policy: &CheckpointPolicy) -> (StageGraph, Vec<usize>) {
+pub fn apply_checkpoints(
+    graph: &StageGraph,
+    policy: &CheckpointPolicy,
+) -> (StageGraph, Vec<usize>) {
     let mut out = graph.clone();
     let total = graph.total_work().max(1e-12);
     let upstream = upstream_work(graph);
@@ -112,10 +110,8 @@ mod tests {
     #[test]
     fn policy_selects_high_risk_stages() {
         let g = chain(&[100.0, 50.0, 25.0]);
-        let (ckpt, chosen) = apply_checkpoints(
-            &g,
-            &CheckpointPolicy { risk_fraction: 0.5, max_checkpoints: 1 },
-        );
+        let (ckpt, chosen) =
+            apply_checkpoints(&g, &CheckpointPolicy { risk_fraction: 0.5, max_checkpoints: 1 });
         assert_eq!(chosen.len(), 1);
         assert!(ckpt.stages[chosen[0]].checkpointed);
         // The chosen stage protects the most work among non-sink stages.
@@ -125,10 +121,8 @@ mod tests {
     #[test]
     fn max_checkpoints_respected() {
         let g = chain(&[10.0, 10.0, 10.0, 10.0, 10.0]);
-        let (_, chosen) = apply_checkpoints(
-            &g,
-            &CheckpointPolicy { risk_fraction: 0.0, max_checkpoints: 2 },
-        );
+        let (_, chosen) =
+            apply_checkpoints(&g, &CheckpointPolicy { risk_fraction: 0.0, max_checkpoints: 2 });
         assert_eq!(chosen.len(), 2);
     }
 
@@ -153,10 +147,8 @@ mod tests {
             (r.processing_seconds + r.bonus_seconds, (r.finish - r.submit).seconds())
         };
         let (work_plain, latency_plain) = run(g.clone());
-        let (ckpt_graph, chosen) = apply_checkpoints(
-            &g,
-            &CheckpointPolicy { risk_fraction: 0.5, max_checkpoints: 1 },
-        );
+        let (ckpt_graph, chosen) =
+            apply_checkpoints(&g, &CheckpointPolicy { risk_fraction: 0.5, max_checkpoints: 1 });
         assert!(!chosen.is_empty());
         let (work_ckpt, latency_ckpt) = run(ckpt_graph);
         assert!(

@@ -12,11 +12,10 @@ use cv_cluster::metrics::JobRecord;
 use cv_common::hash::Sig128;
 use cv_common::ids::JobId;
 use cv_core::repository::SubexpressionRepo;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// Concurrency count of one recurring join signature on one day.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConcurrentJoin {
     pub recurring: Sig128,
     pub algo: String,
@@ -26,7 +25,7 @@ pub struct ConcurrentJoin {
 }
 
 /// Histogram bucket for Fig. 9: (concurrency level, algo) → frequency.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ConcurrencyBucket {
     pub algo: String,
     pub concurrency: usize,
@@ -36,10 +35,7 @@ pub struct ConcurrencyBucket {
 /// Find, per day and per recurring join signature, the number of
 /// temporally overlapping executions. `records` supplies each job's
 /// simulated `[start, finish]` interval.
-pub fn concurrent_joins(
-    repo: &SubexpressionRepo,
-    records: &[JobRecord],
-) -> Vec<ConcurrentJoin> {
+pub fn concurrent_joins(repo: &SubexpressionRepo, records: &[JobRecord]) -> Vec<ConcurrentJoin> {
     let intervals: HashMap<JobId, (f64, f64)> = records
         .iter()
         .map(|r| (r.result.job, (r.result.start.seconds(), r.result.finish.seconds())))
@@ -53,17 +49,12 @@ pub fn concurrent_joins(
     }
     let mut groups: HashMap<(u32, Sig128), Group> = HashMap::new();
     for rec in repo.records() {
-        let is_join = rec
-            .physical_kind
-            .as_deref()
-            .is_some_and(|k| k.ends_with("Join"));
+        let is_join = rec.physical_kind.as_deref().is_some_and(|k| k.ends_with("Join"));
         if !is_join {
             continue;
         }
         let Some(&(start, finish)) = intervals.get(&rec.meta.job) else { continue };
-        let g = groups
-            .entry((rec.meta.submit.day().index(), rec.recurring))
-            .or_default();
+        let g = groups.entry((rec.meta.submit.day().index(), rec.recurring)).or_default();
         g.algo = rec.physical_kind.clone().expect("checked above");
         g.spans.push((start, finish));
     }
@@ -75,8 +66,8 @@ pub fn concurrent_joins(
         let mut concurrent = 0usize;
         for i in 0..n {
             let (s_i, f_i) = group.spans[i];
-            let overlaps = (0..n)
-                .any(|j| j != i && group.spans[j].0 < f_i && s_i < group.spans[j].1);
+            let overlaps =
+                (0..n).any(|j| j != i && group.spans[j].0 < f_i && s_i < group.spans[j].1);
             if overlaps {
                 concurrent += 1;
             }
@@ -90,9 +81,7 @@ pub fn concurrent_joins(
             });
         }
     }
-    out.sort_by(|a, b| {
-        (a.day, a.recurring, &a.algo).cmp(&(b.day, b.recurring, &b.algo))
-    });
+    out.sort_by(|a, b| (a.day, a.recurring, &a.algo).cmp(&(b.day, b.recurring, &b.algo)));
     out
 }
 
@@ -108,11 +97,7 @@ pub fn concurrent_join_histogram(
     }
     let mut out: Vec<ConcurrencyBucket> = buckets
         .into_iter()
-        .map(|((algo, concurrency), frequency)| ConcurrencyBucket {
-            algo,
-            concurrency,
-            frequency,
-        })
+        .map(|((algo, concurrency), frequency)| ConcurrencyBucket { algo, concurrency, frequency })
         .collect();
     out.sort_by(|a, b| (&a.algo, a.concurrency).cmp(&(&b.algo, b.concurrency)));
     out
@@ -152,8 +137,7 @@ pub fn pipelining_savings_bound(repo: &SubexpressionRepo, records: &[JobRecord])
             })
             .count();
         if overlapping >= 2 {
-            let avg_work: f64 =
-                spans.iter().map(|(_, _, w)| *w).sum::<f64>() / n as f64;
+            let avg_work: f64 = spans.iter().map(|(_, _, w)| *w).sum::<f64>() / n as f64;
             bound += (overlapping as f64 - 1.0) * avg_work;
         }
     }
@@ -276,11 +260,8 @@ mod tests {
     #[test]
     fn histogram_buckets() {
         let repo = repo_with(&[(1, 100.0), (2, 150.0), (3, 160.0)]);
-        let records = vec![
-            record(1, 100.0, 400.0),
-            record(2, 150.0, 500.0),
-            record(3, 160.0, 450.0),
-        ];
+        let records =
+            vec![record(1, 100.0, 400.0), record(2, 150.0, 500.0), record(3, 160.0, 450.0)];
         let hist = concurrent_join_histogram(&repo, &records);
         assert_eq!(hist.len(), 1);
         assert_eq!(hist[0].concurrency, 3);

@@ -6,9 +6,9 @@
 //! subset of the rows `b` selects?" soundly (never a false positive) but
 //! incompletely (unknown shapes answer `false`).
 
+use cv_data::value::Value;
 use cv_engine::expr::fold::{normalize_expr, split_conjunction};
 use cv_engine::expr::{BinOp, ScalarExpr};
-use cv_data::value::Value;
 use std::cmp::Ordering;
 
 /// One atomic comparison `column op constant`.
@@ -58,7 +58,7 @@ pub fn atom_implies(a: &Atom, b: &Atom) -> bool {
         (Eq, Gt) => cmp == Ordering::Greater,
         (Eq, GtEq) => cmp != Ordering::Less,
         // Range ⇒ range.
-        (Gt, Gt) => cmp != Ordering::Less,   // x > a ⇒ x > b iff a ≥ b
+        (Gt, Gt) => cmp != Ordering::Less, // x > a ⇒ x > b iff a ≥ b
         (Gt, GtEq) => cmp != Ordering::Less,
         (GtEq, GtEq) => cmp != Ordering::Less,
         (GtEq, Gt) => cmp == Ordering::Greater,
@@ -67,7 +67,7 @@ pub fn atom_implies(a: &Atom, b: &Atom) -> bool {
         (LtEq, LtEq) => cmp != Ordering::Greater,
         (LtEq, Lt) => cmp == Ordering::Less,
         // Range ⇒ inequality.
-        (Gt, NotEq) => cmp != Ordering::Less,    // x > a ⇒ x ≠ b iff b ≤ a
+        (Gt, NotEq) => cmp != Ordering::Less, // x > a ⇒ x ≠ b iff b ≤ a
         (GtEq, NotEq) => cmp == Ordering::Greater,
         (Lt, NotEq) => cmp != Ordering::Greater,
         (LtEq, NotEq) => cmp == Ordering::Less,

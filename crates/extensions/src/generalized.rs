@@ -24,12 +24,11 @@ use cv_engine::expr::fold::normalize_expr;
 use cv_engine::expr::ScalarExpr;
 use cv_engine::plan::LogicalPlan;
 use cv_engine::signature::{plan_signature, SigMode, SignatureConfig};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One Fig. 8 data point: a set of joined inputs with how many distinct
 /// subexpressions (and total occurrences) join exactly that set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct JoinSetGroup {
     pub datasets: Vec<String>,
     pub distinct_subexpressions: usize,
@@ -111,10 +110,11 @@ impl GeneralizedViewCatalog {
                 // Prefer the smallest matching view.
                 let mut best: Option<&GeneralizedView> = None;
                 for v in &self.views {
-                    if v.base_sig == base_sig && implies(predicate, &v.predicate) {
-                        if best.map_or(true, |b| v.bytes < b.bytes) {
-                            best = Some(v);
-                        }
+                    if v.base_sig == base_sig
+                        && implies(predicate, &v.predicate)
+                        && best.is_none_or(|b| v.bytes < b.bytes)
+                    {
+                        best = Some(v);
                     }
                 }
                 if let Some(v) = best {
@@ -132,11 +132,8 @@ impl GeneralizedViewCatalog {
             }
         }
         // Recurse.
-        let children: Vec<Arc<LogicalPlan>> = plan
-            .children()
-            .into_iter()
-            .map(|c| self.rewrite_rec(c, cfg, used))
-            .collect();
+        let children: Vec<Arc<LogicalPlan>> =
+            plan.children().into_iter().map(|c| self.rewrite_rec(c, cfg, used)).collect();
         Arc::new(plan.with_children(children).expect("same arity"))
     }
 }
@@ -190,16 +187,16 @@ mod tests {
         // View: cust > 5. Query: cust > 6 → ViewScan + Filter(cust > 6).
         let mut cat = GeneralizedViewCatalog::new();
         cat.register(view_over(col("cust").gt(lit(5)), 99));
-        let query = Arc::new(LogicalPlan::Filter {
-            predicate: col("cust").gt(lit(6)),
-            input: base(),
-        });
+        let query =
+            Arc::new(LogicalPlan::Filter { predicate: col("cust").gt(lit(6)), input: base() });
         let (rewritten, used) = cat.rewrite(&query, &cfg());
         assert_eq!(used, vec![Sig128(99)]);
         match &*rewritten {
             LogicalPlan::Filter { predicate, input } => {
                 assert_eq!(predicate, &col("cust").gt(lit(6)));
-                assert!(matches!(&**input, LogicalPlan::ViewScan { sig, .. } if *sig == Sig128(99)));
+                assert!(
+                    matches!(&**input, LogicalPlan::ViewScan { sig, .. } if *sig == Sig128(99))
+                );
             }
             other => panic!("unexpected: {}", other.kind_name()),
         }
@@ -210,10 +207,8 @@ mod tests {
         let mut cat = GeneralizedViewCatalog::new();
         cat.register(view_over(col("cust").gt(lit(5)), 99));
         // cust > 4 is NOT contained in cust > 5.
-        let query = Arc::new(LogicalPlan::Filter {
-            predicate: col("cust").gt(lit(4)),
-            input: base(),
-        });
+        let query =
+            Arc::new(LogicalPlan::Filter { predicate: col("cust").gt(lit(4)), input: base() });
         let (rewritten, used) = cat.rewrite(&query, &cfg());
         assert!(used.is_empty());
         assert_eq!(rewritten, query);
@@ -228,18 +223,15 @@ mod tests {
         narrow.bytes = 500;
         cat.register(wide);
         cat.register(narrow);
-        let query = Arc::new(LogicalPlan::Filter {
-            predicate: col("cust").gt(lit(10)),
-            input: base(),
-        });
+        let query =
+            Arc::new(LogicalPlan::Filter { predicate: col("cust").gt(lit(10)), input: base() });
         let (_, used) = cat.rewrite(&query, &cfg());
         assert_eq!(used, vec![Sig128(2)]);
     }
 
     #[test]
     fn merged_predicate_covers_all_members() {
-        let preds =
-            vec![col("cust").eq(lit(1)), col("cust").eq(lit(2)), col("cust").gt(lit(10))];
+        let preds = vec![col("cust").eq(lit(1)), col("cust").eq(lit(2)), col("cust").gt(lit(10))];
         let merged = merge_predicates(&preds).unwrap();
         for p in &preds {
             assert!(implies(p, &merged), "{p} should imply merged {merged}");
@@ -257,10 +249,8 @@ mod tests {
             guid: VersionGuid(2),
             schema: base().schema().unwrap(),
         });
-        let query = Arc::new(LogicalPlan::Filter {
-            predicate: col("cust").gt(lit(5)),
-            input: other_base,
-        });
+        let query =
+            Arc::new(LogicalPlan::Filter { predicate: col("cust").gt(lit(5)), input: other_base });
         let (_, used) = cat.rewrite(&query, &cfg());
         assert!(used.is_empty());
     }

@@ -67,11 +67,7 @@ mod tests {
 
     fn numbers(n: i64) -> Table {
         let schema = Schema::new(vec![Field::new("v", DataType::Int)]).unwrap().into_ref();
-        Table::from_rows(
-            schema,
-            &(0..n).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>(),
-        )
-        .unwrap()
+        Table::from_rows(schema, &(0..n).map(|i| vec![Value::Int(i)]).collect::<Vec<_>>()).unwrap()
     }
 
     #[test]
@@ -110,7 +106,11 @@ mod tests {
         let sample_sum: f64 =
             (0..s.num_rows()).map(|i| s.column(0).value(i).as_f64().unwrap()).sum();
         let est_sum = scale_up_sum(sample_sum, rate);
-        assert!(relative_error(est_sum, true_sum) < 0.05, "sum err {}", relative_error(est_sum, true_sum));
+        assert!(
+            relative_error(est_sum, true_sum) < 0.05,
+            "sum err {}",
+            relative_error(est_sum, true_sum)
+        );
     }
 
     #[test]

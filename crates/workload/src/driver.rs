@@ -143,6 +143,13 @@ struct PendingSeal {
 pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOutcome> {
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    if cfg.optimizer.verify_plans {
+        // Audit every optimized plan; a corrupted rewrite fails the job
+        // with a CV0xx diagnostic instead of sealing bad results.
+        engine
+            .optimizer
+            .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
+    }
     engine.views = ViewStore::new(cfg.view_ttl);
     let mut insights = InsightsService::new(cfg.controls.clone());
     let mut sim = ClusterSim::new(cfg.cluster.clone());
@@ -228,24 +235,15 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 submit,
             };
 
-            let run = run_one_job(
-                &mut engine,
-                &mut insights,
-                template,
-                day,
-                meta,
-                enabled,
-            );
+            let run = run_one_job(&mut engine, &mut insights, template, day, meta, enabled);
             match run {
                 Ok(one) => {
                     repo.log_job(meta, &one.subexprs, Some(&one.profiles));
                     result_digests.insert(job, one.digest);
                     data_plane.insert(job, one.data_plane);
                     for pv in one.pending_views {
-                        pending_seals.insert(
-                            pv.sig,
-                            PendingSeal { view: pv, job, vc: template.vc },
-                        );
+                        pending_seals
+                            .insert(pv.sig, PendingSeal { view: pv, job, vc: template.vc });
                     }
                     sim.submit(JobSpec {
                         job,
@@ -272,13 +270,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
 
     // Drain the simulator.
     let final_events = sim.run_to_completion();
-    apply_seal_events(
-        &final_events,
-        &mut pending_seals,
-        &mut engine,
-        &mut insights,
-        cfg.view_ttl,
-    )?;
+    apply_seal_events(&final_events, &mut pending_seals, &mut engine, &mut insights, cfg.view_ttl)?;
 
     // Assemble the ledger.
     let mut ledger = MetricsLedger::new();
@@ -463,8 +455,7 @@ fn run_analysis(
     };
     insights.reset_selection();
     if knobs.per_vc {
-        let (_, per_vc) =
-            select_per_vc(selector.as_ref(), &problem, &HashMap::new(), &constraints);
+        let (_, per_vc) = select_per_vc(selector.as_ref(), &problem, &HashMap::new(), &constraints);
         let mut total = 0;
         for (vc, sel) in per_vc {
             total += sel.len();
@@ -492,8 +483,7 @@ fn apply_gdpr(
     };
     let mut rng = data_rng(seed, "gdpr", day);
     let victim = rng.range_i64(0, 40);
-    let outcome =
-        engine.catalog.gdpr_forget(id, "u_id", &Value::Int(victim), day.start())?;
+    let outcome = engine.catalog.gdpr_forget(id, "u_id", &Value::Int(victim), day.start())?;
     // Purge every view derived from the retired version.
     let stale: Vec<Sig128> = engine
         .views
@@ -549,16 +539,9 @@ mod tests {
             "no views materialized: {:?}",
             out.selection_history
         );
-        let reused = out
-            .usage
-            .iter()
-            .filter(|u| u.kind == cv_core::insights::UsageKind::Reused)
-            .count();
-        assert!(
-            reused > 0,
-            "views never reused (created {})",
-            out.view_store_stats.views_created
-        );
+        let reused =
+            out.usage.iter().filter(|u| u.kind == cv_core::insights::UsageKind::Reused).count();
+        assert!(reused > 0, "views never reused (created {})", out.view_store_stats.views_created);
         // Reuse also shows up in the per-job data plane.
         let matched: usize = out.ledger.records().iter().map(|r| r.data.views_matched).sum();
         assert_eq!(matched, reused);

@@ -203,8 +203,7 @@ pub fn generate_workload(config: WorkloadConfig) -> Workload {
     // Which pipelines burst-submit everything at once (at the start of the
     // analytics window, before any view can seal — the §4 hazard), and
     // where each staggered pipeline's dense afternoon run sits.
-    let burst: Vec<bool> =
-        (0..n_pipelines).map(|_| rng.chance(config.burst_fraction)).collect();
+    let burst: Vec<bool> = (0..n_pipelines).map(|_| rng.chance(config.burst_fraction)).collect();
 
     for i in 0..config.n_analytics {
         let id = TemplateId(templates.len() as u64);
@@ -323,12 +322,7 @@ mod tests {
     fn different_seeds_differ() {
         let a = generate_workload(WorkloadConfig::default());
         let b = generate_workload(WorkloadConfig { seed: 7, ..WorkloadConfig::default() });
-        let same = a
-            .templates
-            .iter()
-            .zip(&b.templates)
-            .filter(|(x, y)| x.body == y.body)
-            .count();
+        let same = a.templates.iter().zip(&b.templates).filter(|(x, y)| x.body == y.body).count();
         assert!(same < a.templates.len(), "seeds should change the workload");
     }
 
@@ -361,10 +355,7 @@ mod tests {
 
     #[test]
     fn fragment_skew_creates_shared_filters() {
-        let w = generate_workload(WorkloadConfig {
-            n_analytics: 40,
-            ..WorkloadConfig::default()
-        });
+        let w = generate_workload(WorkloadConfig { n_analytics: 40, ..WorkloadConfig::default() });
         // Count how many analytics templates use the most popular
         // (dataset, filter) combination — skew should make it ≥ 4.
         let mut counts = std::collections::HashMap::new();

@@ -55,7 +55,7 @@ pub struct JobTemplate {
 
 impl JobTemplate {
     pub fn due_on(&self, day: SimDay) -> bool {
-        self.period_days > 0 && day.index() % self.period_days == 0
+        self.period_days > 0 && day.index().is_multiple_of(self.period_days)
     }
 
     pub fn submit_time(&self, day: SimDay) -> SimTime {
@@ -184,7 +184,8 @@ pub(crate) mod tests {
             sliding_window_days: None,
         };
         let plan = t.build_plan(&e, SimDay(0)).unwrap();
-        let names = plan.schema().unwrap().names().iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let names =
+            plan.schema().unwrap().names().iter().map(|s| s.to_string()).collect::<Vec<_>>();
         assert!(names.contains(&"browser".to_string()));
         assert!(names.contains(&"region".to_string()));
         assert_eq!(t.output_dataset(), Some("cooked_pv"));

@@ -39,7 +39,10 @@ fn main() -> Result<()> {
     for (title, sql) in &queries {
         let plan = engine.compile_sql(sql, &Params::none())?;
         let subs = engine.subexpressions(&plan)?;
-        println!("\n--- {title} ---\n{}", subs.iter().find(|s| s.is_root).unwrap().plan.display_tree());
+        println!(
+            "\n--- {title} ---\n{}",
+            subs.iter().find(|s| s.is_root).unwrap().plan.display_tree()
+        );
         all_subs.push(subs);
     }
 
@@ -74,7 +77,10 @@ fn main() -> Result<()> {
             covered.remove(&s.strict);
         }
     }
-    println!("\nworkload analysis selected {} common computation(s) to materialize", selected.len());
+    println!(
+        "\nworkload analysis selected {} common computation(s) to materialize",
+        selected.len()
+    );
 
     // ---- Fig. 4b: modified plans with computation reuse ----------------
     println!("\n================ Figure 4b: plans with CloudViews ================");
@@ -87,9 +93,10 @@ fn main() -> Result<()> {
         // available (the first query builds, the rest reuse).
         for sig in &selected {
             if let Some(v) = engine.views.peek(*sig, SimTime::EPOCH) {
-                reuse
-                    .available
-                    .insert(*sig, cv_engine::optimizer::ViewMeta { rows: v.rows as u64, bytes: v.bytes });
+                reuse.available.insert(
+                    *sig,
+                    cv_engine::optimizer::ViewMeta { rows: v.rows as u64, bytes: v.bytes },
+                );
                 reuse.to_build.remove(sig);
             }
         }
@@ -170,9 +177,7 @@ fn load_retail(engine: &mut QueryEngine) -> Result<()> {
         .map(|i| {
             vec![
                 Value::Int(i),
-                Value::Str(
-                    ["asia", "emea", "amer", "oceania"][(i % 4) as usize].to_string(),
-                ),
+                Value::Str(["asia", "emea", "amer", "oceania"][(i % 4) as usize].to_string()),
             ]
         })
         .collect();

@@ -11,11 +11,8 @@ use cloudviews::prelude::*;
 use cv_core::insights::UsageKind;
 
 fn main() -> Result<()> {
-    let workload = generate_workload(WorkloadConfig {
-        scale: 0.2,
-        n_analytics: 24,
-        ..Default::default()
-    });
+    let workload =
+        generate_workload(WorkloadConfig { scale: 0.2, n_analytics: 24, ..Default::default() });
     println!(
         "workload: {} cooking + {} analytics templates across {} pipelines",
         workload.cooking_templates().count(),
@@ -37,21 +34,18 @@ fn main() -> Result<()> {
     println!("all {} job results identical under reuse ✓", base.result_digests.len());
 
     // The daily story.
-    println!("\n{:<10} {:>6} {:>7} {:>8} {:>14} {:>14}", "day", "jobs", "built", "reused", "base proc (s)", "cv proc (s)");
+    println!(
+        "\n{:<10} {:>6} {:>7} {:>8} {:>14} {:>14}",
+        "day", "jobs", "built", "reused", "base proc (s)", "cv proc (s)"
+    );
     let base_daily = base.ledger.daily();
     let with_daily = with.ledger.daily();
     for (day, b) in &base_daily {
         let w = &with_daily[day];
-        let built = with
-            .usage
-            .iter()
-            .filter(|u| u.at.day() == *day && u.kind == UsageKind::Built)
-            .count();
-        let reused = with
-            .usage
-            .iter()
-            .filter(|u| u.at.day() == *day && u.kind == UsageKind::Reused)
-            .count();
+        let built =
+            with.usage.iter().filter(|u| u.at.day() == *day && u.kind == UsageKind::Built).count();
+        let reused =
+            with.usage.iter().filter(|u| u.at.day() == *day && u.kind == UsageKind::Reused).count();
         println!(
             "{:<10} {:>6} {:>7} {:>8} {:>14.1} {:>14.1}",
             day.label(),
@@ -71,17 +65,9 @@ fn main() -> Result<()> {
     println!(
         "  {:<36} {}",
         "Views selected per analysis run",
-        with.selection_history
-            .iter()
-            .map(|(_, n)| n.to_string())
-            .collect::<Vec<_>>()
-            .join(", ")
+        with.selection_history.iter().map(|(_, n)| n.to_string()).collect::<Vec<_>>().join(", ")
     );
-    println!(
-        "  {:<36} {} bytes",
-        "Peak view storage",
-        with.view_store_stats.bytes_written
-    );
+    println!("  {:<36} {} bytes", "Peak view storage", with.view_store_stats.bytes_written);
     println!("\nNote the warm-up shape (paper Fig. 6): day 0 builds but cannot");
     println!("reuse (nothing was selected yet); from day 1 the feedback loop");
     println!("kicks in and daily processing drops below baseline.");

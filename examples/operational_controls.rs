@@ -36,17 +36,12 @@ fn main() -> Result<()> {
     // --- Insights service: selection, annotations, locks -----------------
     println!("\n== insights service ==");
     let mut engine = QueryEngine::new();
-    let schema = Schema::new(vec![
-        Field::new("k", DataType::Int),
-        Field::new("region", DataType::Str),
-    ])?
-    .into_ref();
+    let schema =
+        Schema::new(vec![Field::new("k", DataType::Int), Field::new("region", DataType::Str)])?
+            .into_ref();
     let rows: Vec<Vec<Value>> = (0..5_000)
         .map(|i| {
-            vec![
-                Value::Int(i % 100),
-                Value::Str(["asia", "emea"][(i % 2) as usize].to_string()),
-            ]
+            vec![Value::Int(i % 100), Value::Str(["asia", "emea"][(i % 2) as usize].to_string())]
         })
         .collect();
     engine.catalog.register("events", Table::from_rows(schema, &rows)?, SimTime::EPOCH)?;
@@ -60,7 +55,11 @@ fn main() -> Result<()> {
     let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
     insights.publish_selection(Some(VcId(7)), [filter.recurring]);
     let (ctx, latency) = insights.annotate(VcId(7), JobId(1), &subs, SimTime::EPOCH);
-    println!("annotations for job-1: build {} view(s), {} available (rtt {latency})", ctx.to_build.len(), ctx.available.len());
+    println!(
+        "annotations for job-1: build {} view(s), {} available (rtt {latency})",
+        ctx.to_build.len(),
+        ctx.available.len()
+    );
 
     // The annotations FILE: "in case of a customer incident, we can
     // reproduce the compute reuse behavior by compiling a job with the

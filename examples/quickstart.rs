@@ -27,11 +27,7 @@ fn main() -> Result<()> {
             ]
         })
         .collect();
-    engine.catalog.register(
-        "sessions",
-        Table::from_rows(schema, &rows)?,
-        SimTime::EPOCH,
-    )?;
+    engine.catalog.register("sessions", Table::from_rows(schema, &rows)?, SimTime::EPOCH)?;
 
     // 2. Two analysts ask different questions over the same filtered slice.
     let q1 = "SELECT user_id, SUM(ms_spent) AS total \
@@ -58,7 +54,11 @@ fn main() -> Result<()> {
     let mut reuse = ReuseContext::empty();
     reuse.to_build.insert(shared.strict);
     let out1 = engine.run_sql(q1, &Params::none(), &reuse, JobId(1), VcId(0), SimTime::EPOCH)?;
-    println!("job 1 built {} view(s); physical plan:\n{}", out1.sealed_views, out1.physical.display_tree());
+    println!(
+        "job 1 built {} view(s); physical plan:\n{}",
+        out1.sealed_views,
+        out1.physical.display_tree()
+    );
     println!("top spenders in jp:\n{}", out1.table.pretty(5));
 
     // 5. Job 2 runs with a match annotation: it reuses the view.
@@ -69,14 +69,24 @@ fn main() -> Result<()> {
         cv_engine::optimizer::ViewMeta { rows: view.rows as u64, bytes: view.bytes },
     );
     let out2 = engine.run_sql(q2, &Params::none(), &reuse2, JobId(2), VcId(0), SimTime::EPOCH)?;
-    println!("job 2 physical plan (note the ViewScan, no base TableScan):\n{}", out2.physical.display_tree());
+    println!(
+        "job 2 physical plan (note the ViewScan, no base TableScan):\n{}",
+        out2.physical.display_tree()
+    );
     println!("{}", out2.table.pretty(3));
 
     // 6. The savings: job 2 did far less work than it would have.
     let baseline = {
         let mut fresh = QueryEngine::new();
         std::mem::swap(&mut fresh.catalog, &mut engine.catalog);
-        let out = fresh.run_sql(q2, &Params::none(), &ReuseContext::empty(), JobId(3), VcId(0), SimTime::EPOCH)?;
+        let out = fresh.run_sql(
+            q2,
+            &Params::none(),
+            &ReuseContext::empty(),
+            JobId(3),
+            VcId(0),
+            SimTime::EPOCH,
+        )?;
         std::mem::swap(&mut fresh.catalog, &mut engine.catalog);
         out
     };

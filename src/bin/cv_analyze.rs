@@ -1,0 +1,306 @@
+//! `cv-analyze` — sweep the synthetic workload's job templates through the
+//! optimizer under several reuse configurations and report every CV0xx
+//! diagnostic the plan analyzer finds.
+//!
+//! This is the offline counterpart of the in-optimizer verification hook:
+//! instead of failing one job, it audits the whole template population
+//! (baseline / build-only / full feedback loop) and prints an aggregate
+//! report in text and JSON. Exit code is non-zero iff any error-severity
+//! diagnostic fired — wire it into CI next to the test suite.
+//!
+//! Usage:
+//!   cv-analyze [--days N] [--scale F] [--json PATH] [--verbose]
+
+use cv_analyzer::{Analyzer, Diagnostic, Report, Severity};
+use cv_common::hash::Sig128;
+use cv_common::ids::JobId;
+use cv_common::json::{json, Json, ToJson};
+use cv_common::rng::DetRng;
+use cv_common::SimDay;
+use cv_engine::engine::QueryEngine;
+use cv_engine::normalize::normalize;
+use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext, ViewMeta};
+use cv_workload::schemas::raw_specs;
+use cv_workload::{generate_workload, TemplateKind, WorkloadConfig};
+use std::collections::{HashMap, HashSet};
+use std::process::ExitCode;
+
+#[derive(Clone, Copy, Debug)]
+struct SweepConfig {
+    name: &'static str,
+    match_views: bool,
+    build_views: bool,
+}
+
+const SWEEPS: &[SweepConfig] = &[
+    SweepConfig { name: "baseline", match_views: false, build_views: false },
+    SweepConfig { name: "build-only", match_views: false, build_views: true },
+    SweepConfig { name: "match+build", match_views: true, build_views: true },
+];
+
+#[derive(Debug, Default)]
+struct SweepOutcome {
+    jobs: u64,
+    compile_failures: u64,
+    views_matched: u64,
+    views_built: u64,
+    diagnostics: Vec<Diagnostic>,
+}
+
+struct Args {
+    days: u32,
+    scale: f64,
+    json_path: Option<String>,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { days: 4, scale: 0.15, json_path: None, verbose: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--days" => {
+                let v = it.next().ok_or("--days needs a value")?;
+                args.days = v.parse().map_err(|_| format!("bad --days value `{v}`"))?;
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
+            }
+            "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
+            "--verbose" | "-v" => args.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "cv-analyze: audit optimizer output over the workload templates\n\n\
+                     options:\n  --days N      simulated days to sweep (default 4)\n  \
+                     --scale F     workload data scale (default 0.15)\n  \
+                     --json PATH   also write the JSON report to PATH\n  \
+                     --verbose     print every diagnostic as it fires"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Compile-and-run one reuse configuration over the whole template
+/// population for `days` days, auditing every optimized plan.
+fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutcome {
+    let mut out = SweepOutcome::default();
+    let workload = generate_workload(WorkloadConfig::default());
+
+    let mut cfg = OptimizerConfig::default();
+    cfg.enable_view_match = sweep.match_views;
+    cfg.enable_view_build = sweep.build_views;
+    // The CLI inspects reports itself; the in-engine hook would turn the
+    // first error into a compile failure and hide the rest.
+    cfg.verify_plans = false;
+    let mut engine = QueryEngine::with_config(cfg);
+
+    // Raw data, refreshed on each dataset's own cadence (guid rotation).
+    let mut rng = DetRng::seed(7);
+    let mut dataset_ids = HashMap::new();
+    let mut sig_counts: HashMap<Sig128, u32> = HashMap::new();
+    let mut job_seq = 0u64;
+
+    for day_idx in 0..args.days {
+        let day = SimDay(day_idx);
+        let now = day.start();
+        for spec in raw_specs() {
+            if day_idx % spec.update_every_days != 0 {
+                continue;
+            }
+            let table = spec.generate(&mut rng, args.scale, day);
+            match dataset_ids.get(spec.name) {
+                None => {
+                    let id = engine
+                        .catalog
+                        .register(spec.name, table, now)
+                        .expect("register raw dataset");
+                    dataset_ids.insert(spec.name, id);
+                }
+                Some(&id) => {
+                    engine.catalog.bulk_update(id, table, now).expect("refresh raw dataset");
+                }
+            }
+        }
+
+        // Cooking first: analytics templates read the cooked outputs.
+        let mut due: Vec<_> = workload.templates.iter().filter(|t| t.due_on(day)).collect();
+        due.sort_by_key(|t| matches!(t.kind, TemplateKind::Analytics));
+
+        for template in due {
+            let plan = match template.build_plan(&engine, day) {
+                Ok(p) => p,
+                Err(_) => {
+                    // Analytics over a dataset not cooked yet this sweep.
+                    out.compile_failures += 1;
+                    continue;
+                }
+            };
+            out.jobs += 1;
+
+            // Reuse annotations for this job, as the insights service
+            // would serve them: live views + recurring build candidates.
+            let mut reuse = ReuseContext::empty();
+            let live: HashSet<Sig128> =
+                engine.views.iter().filter(|v| v.expires > now).map(|v| v.strict_sig).collect();
+            if sweep.match_views {
+                for view in engine.views.iter().filter(|v| v.expires > now) {
+                    reuse.available.insert(
+                        view.strict_sig,
+                        ViewMeta { rows: view.rows as u64, bytes: view.bytes },
+                    );
+                }
+            }
+            if sweep.build_views {
+                if let Ok(subs) = engine.subexpressions(&plan) {
+                    for sub in subs.iter().filter(|s| !s.is_root && s.node_count > 1) {
+                        let count = sig_counts.entry(sub.strict).or_insert(0);
+                        *count += 1;
+                        if *count >= 2 && !reuse.available.contains_key(&sub.strict) {
+                            reuse.to_build.insert(sub.strict);
+                        }
+                    }
+                }
+            }
+
+            let normalized = match normalize(&plan, &engine.optimizer.cfg.sig) {
+                Ok(n) => n,
+                Err(_) => {
+                    out.compile_failures += 1;
+                    continue;
+                }
+            };
+            let compiled = match engine.optimize(&plan, &reuse, &mut AlwaysGrant) {
+                Ok(c) => c,
+                Err(_) => {
+                    out.compile_failures += 1;
+                    continue;
+                }
+            };
+            out.views_matched += compiled.outcome.matched_views.len() as u64;
+            out.views_built += compiled.outcome.built_views.len() as u64;
+
+            let report =
+                analyzer.analyze_outcome(&normalized, &compiled.outcome, &reuse, Some(&live));
+            if args.verbose {
+                for d in &report.diagnostics {
+                    println!("  [{}] {}", sweep.name, d);
+                }
+            }
+            out.diagnostics.extend(report.diagnostics);
+
+            // Execute + seal so later jobs can match this job's views, and
+            // register cooked outputs for downstream analytics.
+            job_seq += 1;
+            let outcome = engine
+                .run_plan(&plan, &reuse, JobId(job_seq), template.vc, now)
+                .expect("execute swept job");
+            if let Some(output) = template.output_dataset() {
+                match dataset_ids.get(output) {
+                    None => {
+                        let id = engine
+                            .catalog
+                            .register(output, outcome.table.clone(), now)
+                            .expect("register cooked dataset");
+                        dataset_ids
+                            .insert(Box::leak(output.to_string().into_boxed_str()) as &str, id);
+                    }
+                    Some(&id) => {
+                        engine
+                            .catalog
+                            .bulk_update(id, outcome.table.clone(), now)
+                            .expect("refresh cooked dataset");
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cv-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let analyzer = Analyzer::new(&OptimizerConfig::default());
+    println!(
+        "cv-analyze: sweeping workload templates over {} day(s) at scale {} \
+         under {} reuse configuration(s)",
+        args.days,
+        args.scale,
+        SWEEPS.len()
+    );
+    println!("checks:");
+    for check in analyzer.registry().checks() {
+        println!("  {} {:<24} {}", check.family(), check.name(), check.description());
+    }
+
+    let mut sweeps = Vec::new();
+    let mut total_errors = 0usize;
+    for &sweep in SWEEPS {
+        let outcome = run_sweep(sweep, &args, &analyzer);
+        let report = Report { diagnostics: outcome.diagnostics.clone() };
+        let errors = report.errors().count();
+        let warnings =
+            report.diagnostics.iter().filter(|d| d.severity == Severity::Warning).count();
+        total_errors += errors;
+        println!(
+            "\n=== {} ===\n  jobs optimized     {}\n  compile failures   {}\n  \
+             views matched      {}\n  views built        {}\n  \
+             diagnostics        {} error(s), {} warning(s)",
+            sweep.name,
+            outcome.jobs,
+            outcome.compile_failures,
+            outcome.views_matched,
+            outcome.views_built,
+            errors,
+            warnings
+        );
+        if !report.is_clean() && !args.verbose {
+            print!("{}", report.to_text());
+        }
+        sweeps.push(json!({
+            "config": sweep.name,
+            "jobs": outcome.jobs,
+            "compile_failures": outcome.compile_failures,
+            "views_matched": outcome.views_matched,
+            "views_built": outcome.views_built,
+            "errors": errors as u64,
+            "warnings": warnings as u64,
+            "diagnostics": report.to_json().get("diagnostics").cloned().unwrap_or(Json::Null),
+        }));
+    }
+
+    let report_json = json!({
+        "days": args.days,
+        "scale": args.scale,
+        "sweeps": sweeps,
+        "total_errors": total_errors as u64,
+    });
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, report_json.to_string_pretty()) {
+            eprintln!("cv-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[json report] {path}");
+    } else {
+        println!("\n{}", report_json.to_string_compact());
+    }
+
+    if total_errors > 0 {
+        eprintln!("cv-analyze: {total_errors} error-severity diagnostic(s)");
+        ExitCode::FAILURE
+    } else {
+        println!("\ncv-analyze: all plans clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -6,11 +6,7 @@ use cv_core::annotations::QueryAnnotations;
 use cv_data::schema::{Field, Schema};
 
 fn small_workload() -> cv_workload::Workload {
-    generate_workload(WorkloadConfig {
-        scale: 0.05,
-        n_analytics: 12,
-        ..Default::default()
-    })
+    generate_workload(WorkloadConfig { scale: 0.05, n_analytics: 12, ..Default::default() })
 }
 
 #[test]
@@ -61,7 +57,12 @@ fn opt_in_only_touches_onboarded_vcs() {
     // Any built view must belong to VC 1 (the only onboarded customer).
     for rec in out.ledger.records() {
         if rec.data.views_built > 0 || rec.data.views_matched > 0 {
-            assert_eq!(rec.result.vc, VcId(1), "job {} in non-onboarded VC used CloudViews", rec.result.job);
+            assert_eq!(
+                rec.result.vc,
+                VcId(1),
+                "job {} in non-onboarded VC used CloudViews",
+                rec.result.job
+            );
         }
     }
 }
@@ -73,10 +74,7 @@ fn runtime_version_bump_invalidates_all_views() {
     let mut engine = QueryEngine::new();
     let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
     let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
-    engine
-        .catalog
-        .register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH)
-        .unwrap();
+    engine.catalog.register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
     let plan = engine.compile_sql("SELECT * FROM t WHERE x > 5", &Params::none()).unwrap();
     let v1: Vec<_> = engine.subexpressions(&plan).unwrap().iter().map(|s| s.strict).collect();
     engine.optimizer.cfg.sig.runtime_version = "scope-v2".to_string();
@@ -87,11 +85,7 @@ fn runtime_version_bump_invalidates_all_views() {
 }
 
 fn dense_workload() -> cv_workload::Workload {
-    generate_workload(WorkloadConfig {
-        scale: 0.05,
-        n_analytics: 32,
-        ..Default::default()
-    })
+    generate_workload(WorkloadConfig { scale: 0.05, n_analytics: 32, ..Default::default() })
 }
 
 #[test]
@@ -123,18 +117,13 @@ fn annotations_file_replays_identical_plans() {
     // The §4 debugging path: compile a job, write its annotations file,
     // recompile from the file, get the same physical plan.
     let mut engine = QueryEngine::new();
-    let schema = Schema::new(vec![
-        Field::new("k", DataType::Int),
-        Field::new("v", DataType::Float),
-    ])
-    .unwrap()
-    .into_ref();
+    let schema =
+        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Float)])
+            .unwrap()
+            .into_ref();
     let rows: Vec<Vec<Value>> =
         (0..1000).map(|i| vec![Value::Int(i % 50), Value::Float(i as f64)]).collect();
-    engine
-        .catalog
-        .register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH)
-        .unwrap();
+    engine.catalog.register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
     let sql = "SELECT k, SUM(v) AS s FROM t WHERE k > 10 GROUP BY k";
     let plan = engine.compile_sql(sql, &Params::none()).unwrap();
     let subs = engine.subexpressions(&plan).unwrap();
@@ -145,16 +134,10 @@ fn annotations_file_replays_identical_plans() {
     let ann = QueryAnnotations::from_context(JobId(1), VcId(0), "scope-v1", &ctx);
     let replayed_ctx = QueryAnnotations::from_json(&ann.to_json()).unwrap().to_context();
 
-    let original = engine
-        .optimize(&plan, &ctx, &mut cv_engine::optimizer::AlwaysGrant)
-        .unwrap();
-    let replayed = engine
-        .optimize(&plan, &replayed_ctx, &mut cv_engine::optimizer::AlwaysGrant)
-        .unwrap();
-    assert_eq!(
-        original.outcome.physical.display_tree(),
-        replayed.outcome.physical.display_tree()
-    );
+    let original = engine.optimize(&plan, &ctx, &mut cv_engine::optimizer::AlwaysGrant).unwrap();
+    let replayed =
+        engine.optimize(&plan, &replayed_ctx, &mut cv_engine::optimizer::AlwaysGrant).unwrap();
+    assert_eq!(original.outcome.physical.display_tree(), replayed.outcome.physical.display_tree());
     assert_eq!(original.outcome.built_views, replayed.outcome.built_views);
 }
 
