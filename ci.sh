@@ -12,4 +12,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test"
 cargo test --workspace -q
 
+echo "==> cv-chaos smoke sweep (fixed seed; nonzero exit on divergence)"
+cargo run --release -q --bin cv-chaos -- --days 3 --scale 0.05 --seed 1 \
+  > /dev/null || { echo "cv-chaos: fault sweep diverged"; exit 1; }
+
 echo "==> OK"

@@ -59,7 +59,8 @@ fn main() {
                 template: cv_common::ids::TemplateId(job),
                 submit: cv_common::SimTime(job as f64),
                 stages: graph,
-            });
+            })
+            .unwrap();
         }
         sim.run_to_completion();
         let work: f64 = sim.results().iter().map(|r| r.processing_seconds + r.bonus_seconds).sum();

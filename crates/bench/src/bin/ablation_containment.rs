@@ -101,6 +101,7 @@ fn main() {
             vc: VcId(0),
             input_guids: vec![],
             observed_work: 0.0,
+            checksum: 0, // recomputed by the store
         })
         .unwrap();
 

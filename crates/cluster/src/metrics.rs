@@ -27,6 +27,13 @@ pub struct JobResult {
     /// Views sealed by this job, with their (early) seal times.
     pub sealed: Vec<(Sig128, SimTime)>,
     pub total_work: f64,
+    /// Stage-level retries (injected stage failures absorbed without a
+    /// full restart).
+    pub stage_retries: u32,
+    /// Bonus-container preemptions (the stage re-ran immediately).
+    pub preemptions: u32,
+    /// Sim-time spent in exponential backoff between retries.
+    pub backoff_seconds: f64,
 }
 
 impl JobResult {
@@ -51,6 +58,10 @@ pub struct DataPlane {
     pub joins_hash: usize,
     pub joins_merge: usize,
     pub joins_loop: usize,
+    /// ViewScans that fell back to recomputing their original subplan.
+    pub fallbacks_recompute: u64,
+    /// Signatures quarantined after a failed verified read.
+    pub views_quarantined: u64,
 }
 
 impl DataPlane {
@@ -69,6 +80,8 @@ impl DataPlane {
             joins_hash: metrics.join_algos.hash,
             joins_merge: metrics.join_algos.merge,
             joins_loop: metrics.join_algos.loop_,
+            fallbacks_recompute: metrics.fallbacks_recompute,
+            views_quarantined: metrics.quarantined_sigs.len() as u64,
         }
     }
 
@@ -98,6 +111,12 @@ pub struct DailyMetrics {
     pub queue_length_sum: u64,
     pub views_built: u64,
     pub views_reused: u64,
+    pub fallbacks_recompute: u64,
+    pub views_quarantined: u64,
+    pub stage_retries: u64,
+    pub preemptions: u64,
+    pub backoff_seconds: f64,
+    pub restarts: u64,
 }
 
 impl DailyMetrics {
@@ -112,6 +131,12 @@ impl DailyMetrics {
         self.queue_length_sum += rec.result.queue_len_at_submit as u64;
         self.views_built += rec.data.views_built as u64;
         self.views_reused += rec.data.views_matched as u64;
+        self.fallbacks_recompute += rec.data.fallbacks_recompute;
+        self.views_quarantined += rec.data.views_quarantined;
+        self.stage_retries += rec.result.stage_retries as u64;
+        self.preemptions += rec.result.preemptions as u64;
+        self.backoff_seconds += rec.result.backoff_seconds;
+        self.restarts += rec.result.restarts as u64;
     }
 
     pub fn merge(&mut self, other: &DailyMetrics) {
@@ -125,6 +150,61 @@ impl DailyMetrics {
         self.queue_length_sum += other.queue_length_sum;
         self.views_built += other.views_built;
         self.views_reused += other.views_reused;
+        self.fallbacks_recompute += other.fallbacks_recompute;
+        self.views_quarantined += other.views_quarantined;
+        self.stage_retries += other.stage_retries;
+        self.preemptions += other.preemptions;
+        self.backoff_seconds += other.backoff_seconds;
+        self.restarts += other.restarts;
+    }
+}
+
+/// Robustness roll-up for a whole run — everything the fault layer touched
+/// (ISSUE 2: graceful degradation across the reuse feedback loop). Collected
+/// by the workload driver from exec metrics, store stats, and the ledger.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RobustnessStats {
+    /// ViewScans that recomputed their original subplan instead of reading
+    /// the view.
+    pub fallbacks_recompute: u64,
+    /// Signatures quarantined for the rest of the run.
+    pub views_quarantined: u64,
+    /// Injected read errors observed at execution.
+    pub view_read_failures: u64,
+    /// Checksum mismatches caught by the verified read.
+    pub view_corruptions: u64,
+    /// Expiry races between optimizer match and execution.
+    pub view_expiry_races: u64,
+    /// Injected write failures absorbed at seal time.
+    pub view_write_failures: u64,
+    /// Stage-level retries across all jobs.
+    pub stage_retries: u64,
+    /// Bonus-container preemptions across all jobs.
+    pub preemptions: u64,
+    /// Total sim-time spent in retry backoff.
+    pub backoff_seconds: f64,
+    /// Full job restarts.
+    pub job_restarts: u64,
+    /// Jobs optimized without reuse because the metadata repository was in
+    /// an outage window.
+    pub metadata_outage_jobs: u64,
+}
+
+impl cv_common::json::ToJson for RobustnessStats {
+    fn to_json(&self) -> cv_common::json::Json {
+        cv_common::json!({
+            "fallbacks_recompute": self.fallbacks_recompute,
+            "views_quarantined": self.views_quarantined,
+            "view_read_failures": self.view_read_failures,
+            "view_corruptions": self.view_corruptions,
+            "view_expiry_races": self.view_expiry_races,
+            "view_write_failures": self.view_write_failures,
+            "stage_retries": self.stage_retries,
+            "preemptions": self.preemptions,
+            "backoff_seconds": self.backoff_seconds,
+            "job_restarts": self.job_restarts,
+            "metadata_outage_jobs": self.metadata_outage_jobs,
+        })
     }
 }
 
@@ -210,6 +290,9 @@ mod tests {
                 restarts: 0,
                 sealed: vec![],
                 total_work: proc_s,
+                stage_retries: 0,
+                preemptions: 0,
+                backoff_seconds: 0.0,
             },
             data: DataPlane {
                 input_bytes: 100,
@@ -221,6 +304,8 @@ mod tests {
                 joins_hash: 1,
                 joins_merge: 0,
                 joins_loop: 0,
+                fallbacks_recompute: 0,
+                views_quarantined: 0,
             },
         }
     }

@@ -11,9 +11,13 @@
 //! * **Early sealing**: a spool stage completing emits a `ViewSealed` event
 //!   immediately, before the job finishes (§2.3) — the driver uses it to
 //!   make views visible to later jobs.
-//! * **Failure injection + restart** for the checkpointing extension
-//!   (§5.6): a failed job re-runs all non-checkpointed stages after a
-//!   restart delay.
+//! * **Failure injection + retry policy**: a [`FaultPlan`] can fail stages
+//!   probabilistically and preempt bonus containers. Failed stages retry
+//!   with exponential backoff under a bounded per-stage attempt limit and a
+//!   per-job retry budget; only when both are exhausted does the job fall
+//!   back to the full restart path (§5.6), where checkpointed stages keep
+//!   their protection. The legacy one-shot [`ClusterSim::inject_failure`]
+//!   still forces an immediate job-level restart.
 //!
 //! Simplification (documented in DESIGN.md): concurrently-ready stages of
 //! one job each use the job's full guaranteed allocation rather than
@@ -25,7 +29,7 @@ use crate::metrics::JobResult;
 use crate::stage::StageGraph;
 use cv_common::hash::Sig128;
 use cv_common::ids::{JobId, TemplateId, VcId};
-use cv_common::{SimDuration, SimTime};
+use cv_common::{CvError, FaultPlan, FaultPoint, Result, SimDuration, SimTime};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
@@ -43,6 +47,33 @@ pub struct ClusterConfig {
     pub enable_bonus: bool,
     /// Delay before a failed job restarts.
     pub restart_delay: SimDuration,
+    /// Stage-level retry policy used for probabilistic (fault-plan) stage
+    /// failures before escalating to a full job restart.
+    pub retry: RetryPolicy,
+}
+
+/// Bounded-retry policy for injected stage failures.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Attempts allowed per stage per epoch (first run + retries).
+    pub max_attempts_per_stage: u32,
+    /// Total retries a job may consume across all its stages per epoch.
+    pub retry_budget_per_job: u32,
+    /// First-retry backoff; doubles on each subsequent attempt.
+    pub backoff_base: SimDuration,
+    /// Backoff ceiling.
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts_per_stage: 4,
+            retry_budget_per_job: 12,
+            backoff_base: SimDuration::from_secs(5.0),
+            backoff_cap: SimDuration::from_secs(120.0),
+        }
+    }
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +85,7 @@ impl Default for ClusterConfig {
             vc_guaranteed: HashMap::new(),
             enable_bonus: true,
             restart_delay: SimDuration::from_secs(120.0),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -91,9 +123,25 @@ pub enum SimEvent {
 
 #[derive(Clone, Copy, Debug, PartialEq)]
 enum EventKind {
-    Arrival { job_idx: usize },
-    StageDone { job_idx: usize, stage: usize, bonus_held: usize, epoch: u32 },
-    Restart { job_idx: usize, epoch: u32 },
+    Arrival {
+        job_idx: usize,
+    },
+    StageDone {
+        job_idx: usize,
+        stage: usize,
+        bonus_held: usize,
+        epoch: u32,
+    },
+    /// Re-launch one failed stage after its backoff elapses.
+    StageRetry {
+        job_idx: usize,
+        stage: usize,
+        epoch: u32,
+    },
+    Restart {
+        job_idx: usize,
+        epoch: u32,
+    },
 }
 
 /// Heap entry ordered by (time, seq) — earliest first, FIFO on ties.
@@ -145,6 +193,13 @@ struct JobState {
     epoch: u32,
     restarts: u32,
     sealed: Vec<(Sig128, SimTime)>,
+    /// Attempts consumed per stage in the current epoch (0 = first run).
+    attempts: Vec<u32>,
+    /// Remaining stage-retry budget in the current epoch.
+    retry_budget: u32,
+    stage_retries: u32,
+    preemptions: u32,
+    backoff_seconds: f64,
 }
 
 /// The simulator. Drive it with [`ClusterSim::submit`] +
@@ -163,6 +218,7 @@ pub struct ClusterSim {
     out_events: Vec<SimEvent>,
     results: Vec<JobResult>,
     fail_once: HashSet<(JobId, usize)>,
+    faults: FaultPlan,
 }
 
 impl ClusterSim {
@@ -180,7 +236,14 @@ impl ClusterSim {
             out_events: Vec::new(),
             results: Vec::new(),
             fail_once: HashSet::new(),
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Install a fault plan driving probabilistic stage failures and bonus
+    /// preemption. The default (empty) plan leaves the simulation untouched.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
     }
 
     pub fn now(&self) -> SimTime {
@@ -197,14 +260,13 @@ impl ClusterSim {
     }
 
     /// Submit a job. `spec.submit` must not be in the simulator's past.
-    pub fn submit(&mut self, spec: JobSpec) {
-        assert!(
-            spec.submit.seconds() >= self.now.seconds(),
-            "job {} submitted in the past ({} < {})",
-            spec.job,
-            spec.submit,
-            self.now
-        );
+    pub fn submit(&mut self, spec: JobSpec) -> Result<()> {
+        if spec.submit.seconds() < self.now.seconds() {
+            return Err(CvError::constraint(format!(
+                "job {} submitted in the past ({} < {})",
+                spec.job, spec.submit, self.now
+            )));
+        }
         let n = spec.stages.len();
         let mut dependents = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
@@ -216,6 +278,7 @@ impl ClusterSim {
         }
         let job_idx = self.jobs.len();
         let submit = spec.submit;
+        let retry_budget = self.cfg.retry.retry_budget_per_job;
         self.jobs.push(JobState {
             spec,
             phase: JobPhase::Pending,
@@ -232,8 +295,14 @@ impl ClusterSim {
             epoch: 0,
             restarts: 0,
             sealed: Vec::new(),
+            attempts: vec![0; n],
+            retry_budget,
+            stage_retries: 0,
+            preemptions: 0,
+            backoff_seconds: 0.0,
         });
         self.push_event(submit.seconds(), EventKind::Arrival { job_idx });
+        Ok(())
     }
 
     /// Process all events up to and including time `t`; advances `now` to
@@ -301,7 +370,36 @@ impl ClusterSim {
                     self.fail_job(job_idx);
                     return;
                 }
+                // Probabilistic faults, keyed on (job, stage, epoch,
+                // attempt): a retry presents a fresh key and so draws an
+                // independent decision — termination is all but certain and
+                // fully deterministic for a given plan seed.
+                let attempt = self.jobs[job_idx].attempts[stage];
+                let key = [job_id.0, stage as u64, epoch as u64, attempt as u64];
+                if bonus_held > 0 && self.faults.fires(FaultPoint::BonusPreempt, &key) {
+                    // Opportunistic containers reclaimed mid-stage: the
+                    // stage re-runs immediately (it may re-acquire bonus)
+                    // without consuming retry budget — losing bonus capacity
+                    // is normal operation, not a failure (§3.4).
+                    let job = &mut self.jobs[job_idx];
+                    job.preemptions += 1;
+                    job.attempts[stage] += 1;
+                    self.launch_stage(job_idx, stage);
+                    return;
+                }
+                if self.faults.fires(FaultPoint::StageFail, &key) {
+                    self.retry_or_fail(job_idx, stage);
+                    return;
+                }
                 self.complete_stage(job_idx, stage);
+            }
+            EventKind::StageRetry { job_idx, stage, epoch } => {
+                if self.jobs[job_idx].epoch != epoch
+                    || self.jobs[job_idx].phase != JobPhase::Running
+                {
+                    return; // stale retry from before a restart
+                }
+                self.launch_stage(job_idx, stage);
             }
             EventKind::Restart { job_idx, epoch } => {
                 if self.jobs[job_idx].epoch != epoch
@@ -425,11 +523,48 @@ impl ClusterSim {
         }
     }
 
+    /// A stage failed under the fault plan: retry it with exponential
+    /// backoff while the per-stage attempt limit and the job's retry budget
+    /// allow, otherwise escalate to a full job restart (checkpointed stages
+    /// keep their §5.6 protection there).
+    fn retry_or_fail(&mut self, job_idx: usize, stage: usize) {
+        let policy = self.cfg.retry;
+        let (attempts, budget) = {
+            let job = &self.jobs[job_idx];
+            (job.attempts[stage], job.retry_budget)
+        };
+        if attempts + 1 >= policy.max_attempts_per_stage || budget == 0 {
+            self.fail_job(job_idx);
+            return;
+        }
+        let epoch = {
+            let job = &mut self.jobs[job_idx];
+            job.attempts[stage] += 1;
+            job.retry_budget -= 1;
+            job.stage_retries += 1;
+            job.epoch
+        };
+        let exp = (self.jobs[job_idx].attempts[stage] - 1).min(16);
+        let backoff = (policy.backoff_base.seconds() * 2f64.powi(exp as i32))
+            .min(policy.backoff_cap.seconds());
+        self.jobs[job_idx].backoff_seconds += backoff;
+        self.push_event(
+            self.now.seconds() + backoff,
+            EventKind::StageRetry { job_idx, stage, epoch },
+        );
+    }
+
     fn fail_job(&mut self, job_idx: usize) {
+        let fresh_budget = self.cfg.retry.retry_budget_per_job;
         let epoch = {
             let job = &mut self.jobs[job_idx];
             job.epoch += 1;
             job.restarts += 1;
+            // A restart opens a fresh epoch: per-stage attempts and the
+            // retry budget reset (stale in-flight events are filtered by
+            // the epoch check).
+            job.attempts.iter_mut().for_each(|a| *a = 0);
+            job.retry_budget = fresh_budget;
             // A completed checkpoint persists its subtree's result, so it
             // protects itself AND everything transitively upstream of it;
             // all other stages re-run.
@@ -493,6 +628,9 @@ impl ClusterSim {
                 restarts: job.restarts,
                 sealed: job.sealed.clone(),
                 total_work: job.spec.stages.total_work(),
+                stage_retries: job.stage_retries,
+                preemptions: job.preemptions,
+                backoff_seconds: job.backoff_seconds,
             }
         };
         self.out_events.push(SimEvent::JobFinished { job: result.job, at: self.now });
@@ -555,7 +693,7 @@ mod tests {
     #[test]
     fn single_job_runs_and_accounts_work() {
         let mut sim = ClusterSim::new(ClusterConfig::default());
-        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10))).unwrap();
         let events = sim.run_to_completion();
         assert!(matches!(events.last(), Some(SimEvent::JobFinished { .. })));
         let r = &sim.results()[0];
@@ -578,7 +716,7 @@ mod tests {
 
         let run = |cfg: ClusterConfig| {
             let mut sim = ClusterSim::new(cfg);
-            sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 50)));
+            sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 50))).unwrap();
             sim.run_to_completion();
             let r = &sim.results()[0];
             (r.finish - r.submit).seconds()
@@ -594,7 +732,7 @@ mod tests {
         cfg.default_vc_guaranteed = 5;
         cfg.total_containers = 500;
         let mut sim = ClusterSim::new(cfg);
-        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 100)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 100))).unwrap();
         sim.run_to_completion();
         let r = &sim.results()[0];
         assert!(r.bonus_seconds > 0.0, "idle capacity should be used as bonus");
@@ -604,7 +742,7 @@ mod tests {
         cfg2.default_vc_guaranteed = 5;
         cfg2.enable_bonus = false;
         let mut sim2 = ClusterSim::new(cfg2);
-        sim2.submit(spec(1, 0, 0.0, simple_graph(1000.0, 100)));
+        sim2.submit(spec(1, 0, 0.0, simple_graph(1000.0, 100))).unwrap();
         sim2.run_to_completion();
         assert_eq!(sim2.results()[0].bonus_seconds, 0.0);
     }
@@ -616,8 +754,8 @@ mod tests {
         cfg.total_containers = 10; // no bonus headroom
         let mut sim = ClusterSim::new(cfg);
         // Two big jobs on the same VC: the second must wait.
-        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 10)));
-        sim.submit(spec(2, 0, 1.0, simple_graph(1000.0, 10)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 10))).unwrap();
+        sim.submit(spec(2, 0, 1.0, simple_graph(1000.0, 10))).unwrap();
         sim.run_to_completion();
         let r1 = sim.results().iter().find(|r| r.job == JobId(1)).unwrap();
         let r2 = sim.results().iter().find(|r| r.job == JobId(2)).unwrap();
@@ -632,8 +770,8 @@ mod tests {
         cfg.total_containers = 100;
         cfg.enable_bonus = false;
         let mut sim = ClusterSim::new(cfg);
-        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 10)));
-        sim.submit(spec(2, 1, 0.0, simple_graph(1000.0, 10)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(1000.0, 10))).unwrap();
+        sim.submit(spec(2, 1, 0.0, simple_graph(1000.0, 10))).unwrap();
         sim.run_to_completion();
         let r1 = sim.results().iter().find(|r| r.job == JobId(1)).unwrap();
         let r2 = sim.results().iter().find(|r| r.job == JobId(2)).unwrap();
@@ -649,9 +787,9 @@ mod tests {
         cfg.total_containers = 20;
         cfg.enable_bonus = false;
         let mut sim = ClusterSim::new(cfg);
-        sim.submit(spec(1, 0, 0.0, simple_graph(10_000.0, 10))); // long, vc0
-        sim.submit(spec(2, 0, 1.0, simple_graph(10.0, 10))); // blocked, vc0
-        sim.submit(spec(3, 1, 2.0, simple_graph(10.0, 10))); // vc1 — must not wait
+        sim.submit(spec(1, 0, 0.0, simple_graph(10_000.0, 10))).unwrap(); // long, vc0
+        sim.submit(spec(2, 0, 1.0, simple_graph(10.0, 10))).unwrap(); // blocked, vc0
+        sim.submit(spec(3, 1, 2.0, simple_graph(10.0, 10))).unwrap(); // vc1 — must not wait
         sim.run_to_completion();
         let r1 = sim.results().iter().find(|r| r.job == JobId(1)).unwrap();
         let r3 = sim.results().iter().find(|r| r.job == JobId(3)).unwrap();
@@ -663,7 +801,7 @@ mod tests {
         let mut g = simple_graph(100.0, 10);
         g.stages[0].seals_view = Some(Sig128(7));
         let mut sim = ClusterSim::new(ClusterConfig::default());
-        sim.submit(spec(1, 0, 0.0, g));
+        sim.submit(spec(1, 0, 0.0, g)).unwrap();
         let events = sim.run_to_completion();
         let seal_at = events
             .iter()
@@ -686,7 +824,7 @@ mod tests {
     #[test]
     fn run_until_is_incremental() {
         let mut sim = ClusterSim::new(ClusterConfig::default());
-        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10))).unwrap();
         let early = sim.run_until(SimTime(0.5));
         assert!(early.is_empty(), "nothing finishes that fast: {early:?}");
         assert_eq!(sim.now(), SimTime(0.5));
@@ -695,18 +833,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "submitted in the past")]
-    fn past_submission_panics() {
+    fn past_submission_is_an_error() {
         let mut sim = ClusterSim::new(ClusterConfig::default());
         sim.run_until(SimTime(100.0));
-        sim.submit(spec(1, 0, 0.0, simple_graph(1.0, 1)));
+        let err = sim.submit(spec(1, 0, 0.0, simple_graph(1.0, 1))).unwrap_err();
+        assert!(err.to_string().contains("submitted in the past"), "{err}");
+        // The rejected job left no trace: the sim keeps running normally.
+        sim.submit(spec(2, 0, 200.0, simple_graph(1.0, 1))).unwrap();
+        sim.run_to_completion();
+        assert_eq!(sim.results().len(), 1);
+        assert_eq!(sim.results()[0].job, JobId(2));
     }
 
     #[test]
     fn failure_restarts_job() {
         let mut sim = ClusterSim::new(ClusterConfig::default());
         sim.inject_failure(JobId(1), 1);
-        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10)));
+        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10))).unwrap();
         sim.run_to_completion();
         let r = &sim.results()[0];
         assert_eq!(r.restarts, 1);
@@ -723,7 +866,7 @@ mod tests {
         g.stages[0].checkpointed = true;
         let mut sim = ClusterSim::new(ClusterConfig::default());
         sim.inject_failure(JobId(1), 1);
-        sim.submit(spec(1, 0, 0.0, g));
+        sim.submit(spec(1, 0, 0.0, g)).unwrap();
         sim.run_to_completion();
         let r = &sim.results()[0];
         assert_eq!(r.restarts, 1);
@@ -735,7 +878,7 @@ mod tests {
     #[test]
     fn empty_stage_graph_finishes_instantly() {
         let mut sim = ClusterSim::new(ClusterConfig::default());
-        sim.submit(spec(1, 0, 5.0, StageGraph::default()));
+        sim.submit(spec(1, 0, 5.0, StageGraph::default())).unwrap();
         sim.run_to_completion();
         let r = &sim.results()[0];
         assert!((r.finish - r.submit).seconds() < 1e-6);
@@ -747,10 +890,133 @@ mod tests {
         let run = || {
             let mut sim = ClusterSim::new(ClusterConfig::default());
             for j in 0..20 {
-                sim.submit(spec(j, j % 3, j as f64 * 0.5, simple_graph(100.0 + j as f64, 10)));
+                sim.submit(spec(j, j % 3, j as f64 * 0.5, simple_graph(100.0 + j as f64, 10)))
+                    .unwrap();
             }
             sim.run_to_completion();
             sim.results().iter().map(|r| (r.job, r.finish.seconds().to_bits())).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    /// Run a batch of jobs under a fault plan; every job must finish.
+    fn run_faulty(plan: FaultPlan, jobs: u64) -> Vec<JobResult> {
+        let mut sim = ClusterSim::new(ClusterConfig::default());
+        sim.set_fault_plan(plan);
+        for j in 0..jobs {
+            sim.submit(spec(j, j % 3, j as f64 * 0.5, simple_graph(100.0 + j as f64, 10))).unwrap();
+        }
+        sim.run_to_completion();
+        let results = sim.results().to_vec();
+        assert_eq!(results.len(), jobs as usize, "all jobs must complete");
+        results
+    }
+
+    #[test]
+    fn stage_failures_retry_with_backoff_and_complete() {
+        let plan = FaultPlan::seeded(11).with_rate(FaultPoint::StageFail, 0.3);
+        let results = run_faulty(plan, 20);
+        let retries: u32 = results.iter().map(|r| r.stage_retries).sum();
+        let backoff: f64 = results.iter().map(|r| r.backoff_seconds).sum();
+        assert!(retries > 0, "a 30% stage-failure rate must produce retries");
+        assert!(backoff > 0.0, "retries must accumulate backoff time");
+        // Retries delay jobs: backoff shows up in wall-clock latency.
+        let hit = results.iter().find(|r| r.stage_retries > 0).unwrap();
+        let clean = {
+            let mut sim = ClusterSim::new(ClusterConfig::default());
+            sim.submit(spec(99, 0, 0.0, simple_graph(100.0 + hit.job.0 as f64, 10))).unwrap();
+            sim.run_to_completion();
+            sim.results()[0].latency().seconds()
+        };
+        assert!(hit.latency().seconds() > clean, "retried job must be slower than clean run");
+    }
+
+    #[test]
+    fn retry_exhaustion_escalates_to_restart() {
+        // With the failure rate near the clamp and a tiny budget, some job
+        // exhausts its retries and restarts from scratch — and still finishes.
+        let mut cfg = ClusterConfig::default();
+        cfg.retry = RetryPolicy {
+            max_attempts_per_stage: 2,
+            retry_budget_per_job: 1,
+            backoff_base: SimDuration::from_secs(1.0),
+            backoff_cap: SimDuration::from_secs(4.0),
+        };
+        let mut sim = ClusterSim::new(cfg);
+        sim.set_fault_plan(FaultPlan::seeded(3).with_rate(FaultPoint::StageFail, 0.9));
+        sim.submit(spec(1, 0, 0.0, simple_graph(100.0, 10))).unwrap();
+        sim.run_to_completion();
+        let r = &sim.results()[0];
+        assert!(r.restarts > 0, "0.9 failure rate with budget 1 must escalate");
+    }
+
+    #[test]
+    fn checkpointed_stage_survives_retry_escalation() {
+        let mut g = simple_graph(100.0, 10);
+        g.stages[0].checkpointed = true;
+        let mut cfg = ClusterConfig::default();
+        cfg.retry.retry_budget_per_job = 0; // every stage failure escalates
+        let mut sim = ClusterSim::new(cfg);
+        sim.set_fault_plan(FaultPlan::seeded(17).with_rate(FaultPoint::StageFail, 0.4));
+        sim.submit(spec(1, 0, 0.0, g)).unwrap();
+        sim.run_to_completion();
+        let r = &sim.results()[0];
+        // §5.6 semantics: once stage 0's checkpoint completed, restarts only
+        // re-run stage 1, so total work stays bounded by 100 + k·50.
+        let total = r.processing_seconds + r.bonus_seconds;
+        let expected_max = 100.0 * (r.restarts as f64 + 1.0) + 50.0 * (r.restarts as f64 + 1.0);
+        assert!(total <= expected_max + 1e-6, "total={total} restarts={}", r.restarts);
+        assert_eq!(r.stage_retries, 0, "budget 0 leaves no stage retries");
+    }
+
+    #[test]
+    fn bonus_preemption_reruns_stage_without_budget() {
+        let mut cfg = ClusterConfig::default();
+        cfg.default_vc_guaranteed = 5;
+        cfg.total_containers = 500; // lots of bonus headroom
+        let mut sim = ClusterSim::new(cfg);
+        sim.set_fault_plan(FaultPlan::seeded(7).with_rate(FaultPoint::BonusPreempt, 0.5));
+        for j in 0..10 {
+            sim.submit(spec(j, 0, j as f64, simple_graph(500.0, 50))).unwrap();
+        }
+        sim.run_to_completion();
+        assert_eq!(sim.results().len(), 10);
+        let preempts: u32 = sim.results().iter().map(|r| r.preemptions).sum();
+        assert!(preempts > 0, "bonus-heavy jobs at 50% preemption must get preempted");
+        // Preemption does not consume the retry budget and never restarts.
+        assert!(sim.results().iter().all(|r| r.restarts == 0));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_a_pure_overlay() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut sim = ClusterSim::new(ClusterConfig::default());
+            if let Some(p) = plan {
+                sim.set_fault_plan(p);
+            }
+            for j in 0..10 {
+                sim.submit(spec(j, j % 2, j as f64, simple_graph(200.0, 10))).unwrap();
+            }
+            sim.run_to_completion();
+            sim.results()
+                .iter()
+                .map(|r| (r.job, r.finish.seconds().to_bits(), r.stage_retries, r.preemptions))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(None), run(Some(FaultPlan::none())));
+        assert_eq!(run(None), run(Some(FaultPlan::seeded(42)))); // seeded but all-zero rates
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_for_a_seed() {
+        let run = || {
+            let plan = FaultPlan::seeded(5)
+                .with_rate(FaultPoint::StageFail, 0.2)
+                .with_rate(FaultPoint::BonusPreempt, 0.2);
+            run_faulty(plan, 15)
+                .iter()
+                .map(|r| (r.job, r.finish.seconds().to_bits(), r.stage_retries, r.preemptions))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

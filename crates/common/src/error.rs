@@ -24,6 +24,10 @@ pub enum CvError {
     Constraint(String),
     /// Internal invariant violation — indicates a bug in this codebase.
     Internal(String),
+    /// An injected fault from a [`crate::faults::FaultPlan`]. Degradation
+    /// paths match on this kind to distinguish simulated failures from real
+    /// bugs; it must never escape to a job outcome.
+    Fault(String),
 }
 
 impl CvError {
@@ -45,6 +49,9 @@ impl CvError {
     pub fn internal(msg: impl Into<String>) -> Self {
         CvError::Internal(msg.into())
     }
+    pub fn fault(msg: impl Into<String>) -> Self {
+        CvError::Fault(msg.into())
+    }
 
     /// Short category tag, useful in logs and tests.
     pub fn kind(&self) -> &'static str {
@@ -55,7 +62,13 @@ impl CvError {
             CvError::NotFound(_) => "not_found",
             CvError::Constraint(_) => "constraint",
             CvError::Internal(_) => "internal",
+            CvError::Fault(_) => "fault",
         }
+    }
+
+    /// True iff this error was injected by a fault plan.
+    pub fn is_fault(&self) -> bool {
+        matches!(self, CvError::Fault(_))
     }
 }
 
@@ -68,6 +81,7 @@ impl fmt::Display for CvError {
             CvError::NotFound(m) => ("not found", m),
             CvError::Constraint(m) => ("constraint violation", m),
             CvError::Internal(m) => ("internal error", m),
+            CvError::Fault(m) => ("injected fault", m),
         };
         write!(f, "{kind}: {msg}")
     }
@@ -95,6 +109,7 @@ mod tests {
             CvError::not_found("x"),
             CvError::constraint("x"),
             CvError::internal("x"),
+            CvError::fault("x"),
         ];
         let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), all.len());

@@ -9,9 +9,11 @@
 //! * a seeded pseudo-random generator with the distribution helpers the
 //!   workload generator needs ([`rng`]),
 //! * simulated wall-clock types for the cluster simulator ([`time`]),
+//! * a seeded deterministic fault-injection registry ([`faults`]),
 //! * the workspace error type ([`error`]).
 
 pub mod error;
+pub mod faults;
 pub mod hash;
 pub mod ids;
 pub mod json;
@@ -19,6 +21,7 @@ pub mod rng;
 pub mod time;
 
 pub use error::{CvError, Result};
+pub use faults::{FaultPlan, FaultPoint};
 pub use hash::{Sig128, StableHasher};
 pub use rng::DetRng;
 pub use time::{SimDay, SimDuration, SimTime};

@@ -250,6 +250,9 @@ mod tests {
                 restarts: 0,
                 sealed: vec![],
                 total_work: processing,
+                stage_retries: 0,
+                preemptions: 0,
+                backoff_seconds: 0.0,
             },
             data: DataPlane {
                 input_bytes: input,

@@ -55,6 +55,11 @@ pub struct InsightsService {
     available: HashMap<Sig128, ViewInfo>,
     /// Exclusive view-creation locks.
     locks: Mutex<HashSet<Sig128>>,
+    /// Strict signatures quarantined after a failed verified read. A
+    /// quarantined signature is never served as available and never
+    /// re-selected for build within this run (graceful degradation: the
+    /// engine keeps recomputing instead of retrying a bad artifact).
+    quarantined: HashSet<Sig128>,
     usage: Vec<UsageEvent>,
     /// Simulated round-trip latency per annotation fetch.
     pub lookup_latency: SimDuration,
@@ -69,6 +74,7 @@ impl InsightsService {
             selected_global: HashSet::new(),
             available: HashMap::new(),
             locks: Mutex::new(HashSet::new()),
+            quarantined: HashSet::new(),
             usage: Vec::new(),
             lookup_latency: SimDuration::from_secs(0.015),
             round_trips: 0,
@@ -113,6 +119,9 @@ impl InsightsService {
         self.round_trips += 1;
         let mut ctx = ReuseContext::empty();
         for sub in subexprs {
+            if self.quarantined.contains(&sub.strict) {
+                continue;
+            }
             if let Some(info) = self.available.get(&sub.strict) {
                 if now.seconds() < info.expires.seconds() {
                     ctx.available
@@ -145,6 +154,9 @@ impl InsightsService {
     /// lock, register availability with its observed statistics.
     pub fn report_sealed(&mut self, info: ViewInfo, job: JobId) {
         self.locks.lock().expect("lock poisoned").remove(&info.strict);
+        if self.quarantined.contains(&info.strict) {
+            return; // never re-register a quarantined signature
+        }
         self.usage.push(UsageEvent {
             at: info.sealed_at,
             kind: UsageKind::Built,
@@ -181,6 +193,21 @@ impl InsightsService {
         let before = self.available.len();
         self.available.retain(|_, v| v.vc != vc);
         before - self.available.len()
+    }
+
+    /// Quarantine a signature: stop serving it and refuse re-registration
+    /// for the rest of the run. Returns true the first time.
+    pub fn quarantine(&mut self, sig: Sig128) -> bool {
+        self.available.remove(&sig);
+        self.quarantined.insert(sig)
+    }
+
+    pub fn is_quarantined(&self, sig: Sig128) -> bool {
+        self.quarantined.contains(&sig)
+    }
+
+    pub fn quarantined_total(&self) -> u64 {
+        self.quarantined.len() as u64
     }
 
     pub fn available_views(&self) -> usize {
@@ -359,6 +386,35 @@ mod tests {
         svc.record_reuse(&[sig, sig], JobId(2), SimTime(10.0));
         assert_eq!(svc.views_reused_total(), 2);
         assert_eq!(svc.usage_log().len(), 3);
+    }
+
+    #[test]
+    fn quarantine_blocks_serving_and_resealing() {
+        let mut svc = enabled_service();
+        let subs = subexprs();
+        let filter = subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.publish_selection(None, [filter.recurring]);
+        let info = ViewInfo {
+            strict: filter.strict,
+            recurring: filter.recurring,
+            rows: 10,
+            bytes: 100,
+            sealed_at: SimTime::EPOCH,
+            expires: SimTime::from_days(7.0),
+            vc: VcId(0),
+        };
+        svc.report_sealed(info.clone(), JobId(1));
+        assert!(svc.quarantine(filter.strict));
+        assert!(!svc.quarantine(filter.strict), "second quarantine is a no-op");
+        assert_eq!(svc.available_views(), 0);
+        // Neither served as available nor re-selected for build.
+        let (ctx, _) = svc.annotate(VcId(0), JobId(2), &subs, SimTime(1.0));
+        assert!(ctx.available.is_empty());
+        assert!(!ctx.to_build.contains(&filter.strict));
+        // A later seal report releases the lock but does not re-register.
+        svc.report_sealed(info, JobId(3));
+        assert_eq!(svc.available_views(), 0);
+        assert_eq!(svc.quarantined_total(), 1);
     }
 
     #[test]

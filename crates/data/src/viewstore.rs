@@ -6,11 +6,46 @@
 //! version simply misses), expired after a TTL (production: one week), and
 //! purged when GDPR rotates an input GUID they were derived from.
 
+//!
+//! Faults: the store owns a [`FaultPlan`] (empty by default) that can inject
+//! write failures, torn-write corruption (caught by a content checksum on
+//! read), read failures, and expiry races. Any read-side failure is reported
+//! to the caller so the engine can quarantine the signature and fall back to
+//! recomputing the subexpression — a view must never wrong-answer a query.
+
 use crate::schema::SchemaRef;
 use crate::table::Table;
 use cv_common::ids::{JobId, VcId, VersionGuid};
-use cv_common::{CvError, Result, Sig128, SimDuration, SimTime};
-use std::collections::HashMap;
+use cv_common::{
+    CvError, FaultPlan, FaultPoint, Result, Sig128, SimDuration, SimTime, StableHasher,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Content checksum over a table's canonical row rendering; stored on every
+/// sealed view and re-verified on read when fault injection is active.
+pub fn table_checksum(data: &Table) -> u64 {
+    let mut h = StableHasher::with_domain("view-checksum");
+    for row in data.canonical_rows() {
+        h.write_str(&row);
+    }
+    h.finish64()
+}
+
+/// Why a view read failed at execution time (distinct from a plain miss).
+/// Every variant quarantines the signature at the caller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewReadFault {
+    /// Injected storage read failure.
+    ReadError,
+    /// Stored bytes do not match the content checksum (torn write).
+    Corrupt,
+    /// The view expired between optimizer match and executor read.
+    ExpiryRace,
+}
+
+fn sig_key(sig: Sig128) -> [u64; 2] {
+    [sig.0 as u64, (sig.0 >> 64) as u64]
+}
 
 /// A materialized common subexpression.
 #[derive(Clone, Debug)]
@@ -33,6 +68,9 @@ pub struct MaterializedView {
     /// Observed cost (work units) of producing this view — this is the
     /// "accurate statistics" CloudViews feeds back into the optimizer.
     pub observed_work: f64,
+    /// Content checksum of `data` (recomputed on insert); a mismatch on read
+    /// means the materialization was torn and the view must not be served.
+    pub checksum: u64,
 }
 
 /// Aggregate counters for usage reporting (paper Fig. 6a).
@@ -44,6 +82,10 @@ pub struct ViewStoreStats {
     pub views_purged: u64,
     pub bytes_written: u64,
     pub bytes_served: u64,
+    /// Signatures permanently denylisted after a read-side failure.
+    pub views_quarantined: u64,
+    /// Injected materialization failures (view never published).
+    pub write_failures: u64,
 }
 
 /// In-memory view store with per-VC storage accounting and TTL expiry.
@@ -53,6 +95,8 @@ pub struct ViewStore {
     views: HashMap<Sig128, MaterializedView>,
     storage_by_vc: HashMap<VcId, u64>,
     stats: ViewStoreStats,
+    faults: FaultPlan,
+    quarantined: HashSet<Sig128>,
 }
 
 impl ViewStore {
@@ -63,7 +107,19 @@ impl ViewStore {
             views: HashMap::new(),
             storage_by_vc: HashMap::new(),
             stats: ViewStoreStats::default(),
+            faults: FaultPlan::none(),
+            quarantined: HashSet::new(),
         }
+    }
+
+    /// Install a fault plan. The default (empty) plan injects nothing and
+    /// leaves every code path and counter exactly as before.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     pub fn with_default_ttl() -> ViewStore {
@@ -82,9 +138,27 @@ impl ViewStore {
         if self.views.contains_key(&view.strict_sig) {
             return Ok(()); // idempotent
         }
+        if self.quarantined.contains(&view.strict_sig) {
+            // A signature that already failed a read this run stays dead;
+            // re-publishing it would just fail the same way again.
+            return Ok(());
+        }
+        if self.faults.fires(FaultPoint::ViewWrite, &sig_key(view.strict_sig)) {
+            self.stats.write_failures += 1;
+            return Err(CvError::fault(format!(
+                "materialization of view {} failed mid-write",
+                view.strict_sig.short()
+            )));
+        }
         view.expires = view.created + self.ttl;
         view.bytes = view.data.byte_size();
         view.rows = view.data.num_rows();
+        view.checksum = table_checksum(&view.data);
+        if self.faults.fires(FaultPoint::ViewCorrupt, &sig_key(view.strict_sig)) {
+            // Torn write: the view publishes, but its stored checksum no
+            // longer matches the content — caught on first verified read.
+            view.checksum ^= 0xdead_beef_dead_beef;
+        }
         *self.storage_by_vc.entry(view.vc).or_insert(0) += view.bytes;
         self.stats.views_created += 1;
         self.stats.bytes_written += view.bytes;
@@ -116,19 +190,76 @@ impl ViewStore {
         self.peek(sig, now).is_some()
     }
 
+    /// Execution-time read with fault checks and checksum verification.
+    ///
+    /// `Ok(Some(view))` — serve the view. `Ok(None)` — plain miss (expired,
+    /// purged, or quarantined earlier); the caller should recompute.
+    /// `Err(fault)` — a read-side failure that must quarantine the
+    /// signature before recomputing.
+    ///
+    /// Checksum verification renders every row, so it only runs when a fault
+    /// plan is active — the fault-free hot path is unchanged.
+    pub fn read_for_exec(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<&MaterializedView>, ViewReadFault> {
+        if self.quarantined.contains(&sig) {
+            return Ok(None);
+        }
+        let Some(view) = self.views.get(&sig) else {
+            return Ok(None);
+        };
+        if now >= view.expires {
+            return Ok(None);
+        }
+        if self.faults.fires(FaultPoint::ViewRead, &sig_key(sig)) {
+            return Err(ViewReadFault::ReadError);
+        }
+        if self.faults.fires(FaultPoint::ViewExpiryRace, &sig_key(sig)) {
+            return Err(ViewReadFault::ExpiryRace);
+        }
+        if !self.faults.is_empty() && view.checksum != table_checksum(&view.data) {
+            return Err(ViewReadFault::Corrupt);
+        }
+        Ok(Some(view))
+    }
+
+    /// Permanently denylist a signature after a read-side failure, dropping
+    /// any stored copy. Returns true if the signature was newly quarantined.
+    pub fn quarantine(&mut self, sig: Sig128) -> bool {
+        let _ = self.remove(sig);
+        if self.quarantined.insert(sig) {
+            self.stats.views_quarantined += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    pub fn is_quarantined(&self, sig: Sig128) -> bool {
+        self.quarantined.contains(&sig)
+    }
+
     /// Drop expired views, returning how many were evicted.
     pub fn evict_expired(&mut self, now: SimTime) -> usize {
         let dead: Vec<Sig128> =
             self.views.values().filter(|v| now >= v.expires).map(|v| v.strict_sig).collect();
         for sig in &dead {
-            self.remove(*sig);
-            self.stats.views_expired += 1;
+            if self.remove(*sig).is_some() {
+                self.stats.views_expired += 1;
+            }
         }
         dead.len()
     }
 
     /// Purge all views derived from the given (now forgotten) input version.
-    pub fn purge_input(&mut self, guid: VersionGuid) -> usize {
+    ///
+    /// A purge can race TTL expiry: a view already past `expires` at `now`
+    /// is counted as expired, not purged, so the two counters partition the
+    /// removals and neither double-counts (the storage accounting is handled
+    /// once, in `remove`, either way).
+    pub fn purge_input(&mut self, guid: VersionGuid, now: SimTime) -> usize {
         let dead: Vec<Sig128> = self
             .views
             .values()
@@ -136,30 +267,39 @@ impl ViewStore {
             .map(|v| v.strict_sig)
             .collect();
         for sig in &dead {
-            self.remove(*sig);
-            self.stats.views_purged += 1;
+            self.remove_classified(*sig, now);
         }
         dead.len()
     }
 
     /// Purge every view belonging to a VC (customer opt-out / manual purge,
-    /// paper §2.4 "can even purge views whenever necessary").
-    pub fn purge_vc(&mut self, vc: VcId) -> usize {
+    /// paper §2.4 "can even purge views whenever necessary"). Shares the
+    /// expired-vs-purged classification with [`ViewStore::purge_input`].
+    pub fn purge_vc(&mut self, vc: VcId, now: SimTime) -> usize {
         let dead: Vec<Sig128> =
             self.views.values().filter(|v| v.vc == vc).map(|v| v.strict_sig).collect();
         for sig in &dead {
-            self.remove(*sig);
-            self.stats.views_purged += 1;
+            self.remove_classified(*sig, now);
         }
         dead.len()
     }
 
-    fn remove(&mut self, sig: Sig128) {
-        if let Some(v) = self.views.remove(&sig) {
-            if let Some(used) = self.storage_by_vc.get_mut(&v.vc) {
-                *used = used.saturating_sub(v.bytes);
+    fn remove_classified(&mut self, sig: Sig128, now: SimTime) {
+        if let Some(v) = self.remove(sig) {
+            if now >= v.expires {
+                self.stats.views_expired += 1;
+            } else {
+                self.stats.views_purged += 1;
             }
         }
+    }
+
+    fn remove(&mut self, sig: Sig128) -> Option<MaterializedView> {
+        let v = self.views.remove(&sig)?;
+        if let Some(used) = self.storage_by_vc.get_mut(&v.vc) {
+            *used = used.saturating_sub(v.bytes);
+        }
+        Some(v)
     }
 
     pub fn storage_used(&self, vc: VcId) -> u64 {
@@ -225,6 +365,7 @@ mod tests {
             vc: VcId(vc),
             input_guids: vec![VersionGuid(42)],
             observed_work: 10.0,
+            checksum: 0, // recomputed on insert
         }
     }
 
@@ -278,9 +419,10 @@ mod tests {
         let mut v2 = view(2, 0, SimTime::EPOCH, 3);
         v2.input_guids = vec![VersionGuid(99)];
         store.insert(v2).unwrap();
-        assert_eq!(store.purge_input(VersionGuid(42)), 1);
+        assert_eq!(store.purge_input(VersionGuid(42), SimTime::EPOCH), 1);
         assert!(store.peek(Sig128(1), SimTime::EPOCH).is_none());
         assert!(store.peek(Sig128(2), SimTime::EPOCH).is_some());
+        assert_eq!(store.stats().views_purged, 1);
     }
 
     #[test]
@@ -290,9 +432,89 @@ mod tests {
         store.insert(view(2, 7, SimTime::EPOCH, 100)).unwrap();
         store.insert(view(3, 8, SimTime::EPOCH, 100)).unwrap();
         assert!(store.storage_used(VcId(7)) > store.storage_used(VcId(8)));
-        assert_eq!(store.purge_vc(VcId(7)), 2);
+        assert_eq!(store.purge_vc(VcId(7), SimTime::EPOCH), 2);
         assert_eq!(store.storage_used(VcId(7)), 0);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn purge_of_expired_view_counts_as_expired_not_purged() {
+        // Regression: a GDPR purge racing an already-expired view used to
+        // count it under `views_purged` (and a later evict sweep could not
+        // see it), drifting the expired/purged split. The storage accounting
+        // must come off exactly once either way.
+        let mut store = ViewStore::new(SimDuration::from_days(7.0));
+        store.insert(view(1, 3, SimTime::EPOCH, 10)).unwrap();
+        store.insert(view(2, 3, SimTime::EPOCH, 10)).unwrap();
+        let after_expiry = SimTime::from_days(8.0);
+        assert_eq!(store.purge_input(VersionGuid(42), after_expiry), 2);
+        assert_eq!(store.stats().views_expired, 2);
+        assert_eq!(store.stats().views_purged, 0);
+        assert_eq!(store.storage_used(VcId(3)), 0);
+        // A follow-up eviction sweep finds nothing and must not double-count.
+        assert_eq!(store.evict_expired(after_expiry), 0);
+        assert_eq!(store.stats().views_expired, 2);
+        assert_eq!(store.total_storage(), 0);
+    }
+
+    #[test]
+    fn injected_write_failure_never_publishes() {
+        let mut store = ViewStore::with_default_ttl();
+        store.set_fault_plan(FaultPlan::seeded(11).with_rate(FaultPoint::ViewWrite, 0.9));
+        let mut failed = 0;
+        for sig in 1..=20u128 {
+            match store.insert(view(sig, 0, SimTime::EPOCH, 3)) {
+                Ok(()) => assert!(store.peek(Sig128(sig), SimTime::EPOCH).is_some()),
+                Err(e) => {
+                    assert!(e.is_fault());
+                    assert!(store.peek(Sig128(sig), SimTime::EPOCH).is_none());
+                    failed += 1;
+                }
+            }
+        }
+        assert!(failed > 0);
+        assert_eq!(store.stats().write_failures, failed);
+        assert_eq!(store.stats().views_created, 20 - failed);
+    }
+
+    #[test]
+    fn corrupt_view_fails_verified_read() {
+        let mut store = ViewStore::with_default_ttl();
+        store.set_fault_plan(FaultPlan::seeded(13).with_rate(FaultPoint::ViewCorrupt, 0.9));
+        let mut corrupt = 0;
+        for sig in 1..=20u128 {
+            store.insert(view(sig, 0, SimTime::EPOCH, 3)).unwrap();
+            match store.read_for_exec(Sig128(sig), SimTime::EPOCH) {
+                Err(ViewReadFault::Corrupt) => corrupt += 1,
+                Ok(Some(_)) => {}
+                other => panic!("unexpected read outcome {other:?}"),
+            }
+        }
+        assert!(corrupt > 0, "0.9 corruption rate over 20 views must hit");
+    }
+
+    #[test]
+    fn quarantine_drops_view_and_blocks_reinsert() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 5, SimTime::EPOCH, 10)).unwrap();
+        assert!(store.quarantine(Sig128(1)));
+        assert!(!store.quarantine(Sig128(1)), "second quarantine is a no-op");
+        assert_eq!(store.stats().views_quarantined, 1);
+        assert_eq!(store.storage_used(VcId(5)), 0);
+        assert!(store.read_for_exec(Sig128(1), SimTime::EPOCH).unwrap().is_none());
+        // Re-sealing the same signature is silently dropped.
+        store.insert(view(1, 5, SimTime::EPOCH, 10)).unwrap();
+        assert_eq!(store.len(), 0);
+        assert!(store.is_quarantined(Sig128(1)));
+    }
+
+    #[test]
+    fn read_for_exec_without_faults_matches_peek() {
+        let mut store = ViewStore::with_default_ttl();
+        store.insert(view(1, 0, SimTime::EPOCH, 3)).unwrap();
+        assert!(store.read_for_exec(Sig128(1), SimTime::EPOCH).unwrap().is_some());
+        assert!(store.read_for_exec(Sig128(2), SimTime::EPOCH).unwrap().is_none());
+        assert!(store.read_for_exec(Sig128(1), SimTime::from_days(8.0)).unwrap().is_none());
     }
 
     #[test]

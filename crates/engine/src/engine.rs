@@ -95,6 +95,11 @@ impl QueryEngine {
     /// Seal pending views into the store (the job-manager step; the cluster
     /// simulator calls this at the producing stage's finish time for *early
     /// sealing*, paper §2.3).
+    ///
+    /// An injected write failure is absorbed here: the half-materialized
+    /// view is discarded and simply not counted in the returned total — the
+    /// job itself already succeeded, and views are throw-away artifacts.
+    /// Callers must only advertise the views actually sealed.
     pub fn seal_views(
         &mut self,
         pending: &[PendingView],
@@ -104,7 +109,7 @@ impl QueryEngine {
     ) -> Result<usize> {
         let mut sealed = 0;
         for pv in pending {
-            self.views.insert(MaterializedView {
+            match self.views.insert(MaterializedView {
                 strict_sig: pv.sig,
                 recurring_sig: pv.recurring_sig,
                 schema: pv.schema.clone(),
@@ -117,8 +122,12 @@ impl QueryEngine {
                 vc,
                 input_guids: pv.input_guids.clone(),
                 observed_work: pv.production_work,
-            })?;
-            sealed += 1;
+                checksum: 0, // recomputed by the store
+            }) {
+                Ok(()) => sealed += 1,
+                Err(e) if e.is_fault() => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(sealed)
     }

@@ -78,6 +78,19 @@ pub struct ExecMetrics {
     pub total_work: f64,
     pub join_algos: JoinAlgoCounts,
     pub op_profiles: Vec<OpProfile>,
+    /// ViewScans that degraded to recomputing their original subexpression
+    /// because the view was missing, corrupt, or failed to read.
+    pub fallbacks_recompute: u64,
+    /// Injected storage read failures observed at ViewScans.
+    pub view_read_failures: u64,
+    /// Checksum mismatches (torn writes) observed at ViewScans.
+    pub view_corruptions: u64,
+    /// Views that expired between optimizer match and executor read.
+    pub view_expiry_races: u64,
+    /// Signatures to quarantine after this execution: every read-side
+    /// failure lands here; the driver denylists them in the view store and
+    /// the insights service.
+    pub quarantined_sigs: Vec<Sig128>,
 }
 
 /// A view captured by a spool, not yet sealed into the store.
@@ -157,16 +170,53 @@ fn exec_node(
             record(metrics, plan, &table, work, None);
             Ok(table)
         }
-        PhysicalPlan::ViewScan { sig, .. } => {
-            let view = ctx.views.peek(*sig, ctx.now).ok_or_else(|| {
-                CvError::exec(format!("materialized view {} unavailable at execution", sig.short()))
-            })?;
-            let table = view.data.clone();
-            let bytes = table.byte_size();
-            metrics.view_bytes_read += bytes;
-            metrics.data_read_bytes += bytes;
-            let work = model.view_scan(bytes as f64).total();
-            record(metrics, plan, &table, work, None);
+        PhysicalPlan::ViewScan { sig, fallback, .. } => {
+            use cv_data::viewstore::ViewReadFault;
+            let read = ctx.views.read_for_exec(*sig, ctx.now);
+            if let Ok(Some(view)) = read {
+                let table = view.data.clone();
+                let bytes = table.byte_size();
+                metrics.view_bytes_read += bytes;
+                metrics.data_read_bytes += bytes;
+                let work = model.view_scan(bytes as f64).total();
+                record(metrics, plan, &table, work, None);
+                return Ok(table);
+            }
+            // Read-side failure or plain miss: a view must never fail the
+            // job. Quarantine the signature on a failure, then degrade to
+            // recomputing the original subexpression.
+            if let Err(fault) = read {
+                match fault {
+                    ViewReadFault::ReadError => metrics.view_read_failures += 1,
+                    ViewReadFault::Corrupt => metrics.view_corruptions += 1,
+                    ViewReadFault::ExpiryRace => metrics.view_expiry_races += 1,
+                }
+                metrics.quarantined_sigs.push(*sig);
+            }
+            let Some(fb) = fallback else {
+                return Err(CvError::exec(format!(
+                    "materialized view {} unavailable at execution and the plan \
+                     carries no recompute fallback",
+                    sig.short()
+                )));
+            };
+            metrics.fallbacks_recompute += 1;
+            // Execute the fallback subtree, then collapse its operator
+            // profiles into this single ViewScan profile: the stage builder
+            // zips profiles 1:1 against the plan tree, which still sees a
+            // leaf here. The subtree's work/bytes have already accumulated
+            // into the aggregate metrics (the recomputation really ran).
+            let profiles_before = metrics.op_profiles.len();
+            let table = exec_node(fb, ctx, model, metrics, pending)?;
+            let sub_work: f64 = metrics.op_profiles.drain(profiles_before..).map(|p| p.work).sum();
+            metrics.op_profiles.push(OpProfile {
+                kind: plan.kind_name(),
+                rows_out: table.num_rows() as u64,
+                bytes_out: table.byte_size(),
+                work: sub_work,
+                partitions: plan.partitions(),
+                spool_sig: None,
+            });
             Ok(table)
         }
         PhysicalPlan::Filter { predicate, input, .. } => {
@@ -993,6 +1043,7 @@ mod tests {
                 vc: cv_common::ids::VcId(0),
                 input_guids: vec![],
                 observed_work: 1.0,
+                checksum: 0,
             })
             .unwrap();
         let physical = PhysicalPlan::ViewScan {
@@ -1000,6 +1051,7 @@ mod tests {
             schema: data.schema().clone(),
             est: crate::stats::Statistics::accurate(40.0, 100.0),
             partitions: 1,
+            fallback: None,
         };
         let model = CostModel::default();
         let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
@@ -1014,9 +1066,80 @@ mod tests {
             schema: data.schema().clone(),
             est: crate::stats::Statistics::accurate(1.0, 1.0),
             partitions: 1,
+            fallback: None,
         };
         let mut ctx2 = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
         assert!(execute(&physical2, &mut ctx2, &model).is_err());
+    }
+
+    #[test]
+    fn viewscan_falls_back_to_recompute_on_read_fault() {
+        use cv_common::{FaultPlan, FaultPoint};
+        let (cat, mut views, udos) = setup();
+        let logical = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(2)))
+            .unwrap()
+            .build();
+        let expected = run(&logical, &cat, &views, &udos).table;
+
+        // Seal a view for the subexpression, then make every read fail.
+        views
+            .insert(cv_data::viewstore::MaterializedView {
+                strict_sig: Sig128(77),
+                recurring_sig: Sig128(77),
+                schema: expected.schema().clone(),
+                data: expected.clone(),
+                rows: 0,
+                bytes: 0,
+                created: SimTime::EPOCH,
+                expires: SimTime::EPOCH,
+                creator_job: cv_common::ids::JobId(0),
+                vc: cv_common::ids::VcId(0),
+                input_guids: vec![],
+                observed_work: 1.0,
+                checksum: 0,
+            })
+            .unwrap();
+        views.set_fault_plan(FaultPlan::seeded(1).with_rate(FaultPoint::ViewRead, 0.9));
+        // Under a 0.9 read-fail rate the decision for this sig may still be
+        // "serve"; scan seeds until the fault actually fires so the test is
+        // deterministic and meaningful.
+        let mut seed = 1u64;
+        while !views
+            .fault_plan()
+            .fires(FaultPoint::ViewRead, &[Sig128(77).0 as u64, (Sig128(77).0 >> 64) as u64])
+        {
+            seed += 1;
+            views.set_fault_plan(FaultPlan::seeded(seed).with_rate(FaultPoint::ViewRead, 0.9));
+        }
+
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let fallback = opt.to_physical(&logical, &stats).unwrap();
+        let physical = PhysicalPlan::ViewScan {
+            sig: Sig128(77),
+            schema: expected.schema().clone(),
+            est: crate::stats::Statistics::accurate(40.0, 100.0),
+            partitions: 1,
+            fallback: Some(Box::new(fallback)),
+        };
+        let model = CostModel::default();
+        let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+        let out = execute(&physical, &mut ctx, &model).unwrap();
+
+        // Correct answer via recomputation, counted as a degradation.
+        assert_eq!(out.table.canonical_rows(), expected.canonical_rows());
+        assert_eq!(out.metrics.fallbacks_recompute, 1);
+        assert_eq!(out.metrics.view_read_failures, 1);
+        assert_eq!(out.metrics.quarantined_sigs, vec![Sig128(77)]);
+        assert!(out.metrics.input_bytes > 0, "fallback re-read the base table");
+        // The fallback subtree collapsed into one ViewScan profile, so the
+        // profile list still zips 1:1 with the plan the stage builder sees.
+        assert_eq!(out.metrics.op_profiles.len(), 1);
+        assert_eq!(out.metrics.op_profiles[0].kind, "ViewScan");
+        assert!(out.metrics.op_profiles[0].work > 0.0);
     }
 
     #[test]

@@ -158,8 +158,9 @@ impl Optimizer {
         let normalized = normalize(plan, &self.cfg.sig)?;
 
         let mut matched = Vec::new();
+        let mut replaced = HashMap::new();
         let with_views = if self.cfg.enable_view_match && !reuse.available.is_empty() {
-            self.match_views(&normalized, reuse, scan_stats, &mut matched)?
+            self.match_views(&normalized, reuse, scan_stats, &mut matched, &mut replaced)?
         } else {
             normalized.clone()
         };
@@ -174,7 +175,15 @@ impl Optimizer {
         if let Some(verifier) = self.active_verifier() {
             verifier.verify_logical(&normalized, &final_logical, reuse)?;
         }
-        let physical = self.to_physical(&final_logical, scan_stats)?;
+        let mut physical = self.to_physical(&final_logical, scan_stats)?;
+        if !replaced.is_empty() {
+            // Views are throw-away artifacts: each ViewScan carries the
+            // lowered original subexpression so the executor can recompute
+            // if the view is gone or corrupt at run time. Attached after
+            // verification — the fallback is not a plan child and must not
+            // change costs, stages, or analyzer output.
+            self.attach_fallbacks(&mut physical, &replaced, scan_stats)?;
+        }
         let est_cost = physical.total_cost(&self.cfg.cost);
         Ok(OptimizeOutcome {
             logical: final_logical,
@@ -193,6 +202,7 @@ impl Optimizer {
         reuse: &ReuseContext,
         scan_stats: ScanStats<'_>,
         matched: &mut Vec<Sig128>,
+        replaced: &mut HashMap<Sig128, Arc<LogicalPlan>>,
     ) -> Result<Arc<LogicalPlan>> {
         let replaceable = !matches!(
             &**node,
@@ -210,6 +220,7 @@ impl Optimizer {
                     let reuse_cost = self.cfg.cost.view_scan(meta.bytes as f64).total();
                     if reuse_cost < recompute {
                         matched.push(sig);
+                        replaced.entry(sig).or_insert_with(|| node.clone());
                         return Ok(Arc::new(LogicalPlan::ViewScan {
                             sig,
                             schema: node.schema()?,
@@ -224,9 +235,31 @@ impl Optimizer {
         let new_children: Result<Vec<Arc<LogicalPlan>>> = node
             .children()
             .into_iter()
-            .map(|c| self.match_views(c, reuse, scan_stats, matched))
+            .map(|c| self.match_views(c, reuse, scan_stats, matched, replaced))
             .collect();
         Ok(Arc::new(node.with_children(new_children?)?))
+    }
+
+    /// Lower each matched view's original subexpression and hang it off the
+    /// corresponding physical `ViewScan` as its recompute fallback.
+    fn attach_fallbacks(
+        &self,
+        plan: &mut PhysicalPlan,
+        replaced: &HashMap<Sig128, Arc<LogicalPlan>>,
+        scan_stats: ScanStats<'_>,
+    ) -> Result<()> {
+        if let PhysicalPlan::ViewScan { sig, fallback, .. } = plan {
+            if fallback.is_none() {
+                if let Some(original) = replaced.get(sig) {
+                    *fallback = Some(Box::new(self.lower(original, scan_stats)?));
+                }
+            }
+            return Ok(());
+        }
+        for child in plan.children_mut() {
+            self.attach_fallbacks(child, replaced, scan_stats)?;
+        }
+        Ok(())
     }
 
     /// Bottom-up build insertion: wrap selected subexpressions in
@@ -302,6 +335,7 @@ impl Optimizer {
                 schema: schema.clone(),
                 est: Statistics::accurate(*rows as f64, *bytes as f64),
                 partitions,
+                fallback: None, // attached post-lowering by `attach_fallbacks`
             },
             LogicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
                 predicate: predicate.clone(),
@@ -490,6 +524,31 @@ mod tests {
         assert!(tree.contains("ViewScan"), "physical plan:\n{tree}");
         // The base scans are gone.
         assert!(!tree.contains("TableScan"), "physical plan:\n{tree}");
+    }
+
+    #[test]
+    fn matched_viewscan_carries_recompute_fallback() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+
+        fn find_viewscan(p: &PhysicalPlan) -> Option<&PhysicalPlan> {
+            if matches!(p, PhysicalPlan::ViewScan { .. }) {
+                return Some(p);
+            }
+            p.children().iter().find_map(|c| find_viewscan(c))
+        }
+        let scan = find_viewscan(&out.physical).expect("plan has a ViewScan");
+        let PhysicalPlan::ViewScan { fallback, .. } = scan else { unreachable!() };
+        let fb = fallback.as_ref().expect("matched ViewScan carries a fallback");
+        // The fallback is the lowered original subexpression…
+        assert!(fb.display_tree().contains("TableScan"));
+        // …but stays invisible to the plan's own shape and costing.
+        assert!(scan.children().is_empty());
+        assert_eq!(scan.node_count(), 1);
+        assert!(!out.physical.display_tree().contains("TableScan"));
     }
 
     #[test]

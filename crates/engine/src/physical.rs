@@ -51,6 +51,13 @@ pub enum PhysicalPlan {
         schema: SchemaRef,
         est: Statistics,
         partitions: usize,
+        /// The lowered original subexpression this scan replaced. If the view
+        /// turns out to be missing, expired, or corrupt at execution time,
+        /// the executor runs this plan instead (graceful degradation — views
+        /// are throw-away artifacts, paper §2.4). Deliberately *not* part of
+        /// [`PhysicalPlan::children`]: costing, stage building, display, and
+        /// the analyzer all see the ViewScan as a leaf.
+        fallback: Option<Box<PhysicalPlan>>,
     },
     Filter {
         predicate: ScalarExpr,
@@ -148,6 +155,24 @@ impl PhysicalPlan {
             | PhysicalPlan::Udo { partitions, .. }
             | PhysicalPlan::Spool { partitions, .. } => *partitions,
             PhysicalPlan::Limit { .. } => 1,
+        }
+    }
+
+    /// Mutable child access for post-lowering rewrites (fallback
+    /// attachment). Mirrors [`PhysicalPlan::children`]: a ViewScan's
+    /// fallback plan is not a child.
+    pub fn children_mut(&mut self) -> Vec<&mut PhysicalPlan> {
+        match self {
+            PhysicalPlan::TableScan { .. } | PhysicalPlan::ViewScan { .. } => vec![],
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::HashAggregate { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::Limit { input, .. }
+            | PhysicalPlan::Udo { input, .. }
+            | PhysicalPlan::Spool { input, .. } => vec![input],
+            PhysicalPlan::Join { left, right, .. } => vec![left, right],
+            PhysicalPlan::Union { inputs, .. } => inputs.iter_mut().collect(),
         }
     }
 

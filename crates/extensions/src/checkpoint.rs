@@ -141,7 +141,8 @@ mod tests {
                 template: TemplateId(0),
                 submit: SimTime::EPOCH,
                 stages: graph,
-            });
+            })
+            .unwrap();
             sim.run_to_completion();
             let r = &sim.results()[0];
             (r.processing_seconds + r.bonus_seconds, (r.finish - r.submit).seconds())

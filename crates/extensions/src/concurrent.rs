@@ -204,6 +204,9 @@ mod tests {
                 restarts: 0,
                 sealed: vec![],
                 total_work: 15.0,
+                stage_retries: 0,
+                preemptions: 0,
+                backoff_seconds: 0.0,
             },
             data: DataPlane::default(),
         }

@@ -24,13 +24,14 @@
 use crate::generator::Workload;
 use crate::schemas::raw_specs;
 use crate::templates::JobTemplate;
-use cv_cluster::metrics::{DataPlane, JobRecord, MetricsLedger};
+use cv_cluster::metrics::{DataPlane, JobRecord, MetricsLedger, RobustnessStats};
 use cv_cluster::sim::{ClusterConfig, ClusterSim, JobSpec, SimEvent};
 use cv_cluster::stage::build_stages;
 use cv_common::hash::{Sig128, StableHasher};
 use cv_common::ids::{JobId, VcId};
+use cv_common::json::{Json, ToJson};
 use cv_common::rng::DetRng;
-use cv_common::{Result, SimDay, SimDuration, SimTime};
+use cv_common::{json, FaultPlan, Result, SimDay, SimDuration, SimTime};
 use cv_core::controls::Controls;
 use cv_core::insights::{InsightsService, UsageEvent, ViewInfo};
 use cv_core::repository::{JobMeta, SubexpressionRepo};
@@ -95,6 +96,9 @@ pub struct DriverConfig {
     pub optimizer: OptimizerConfig,
     /// Issue a GDPR forget-request every N days (None = never).
     pub gdpr_every_days: Option<u32>,
+    /// Deterministic fault-injection plan (default: no faults — a pure
+    /// overlay that leaves every run bit-identical).
+    pub faults: FaultPlan,
 }
 
 impl DriverConfig {
@@ -107,6 +111,7 @@ impl DriverConfig {
             view_ttl: SimDuration::from_days(7.0),
             optimizer: OptimizerConfig::default(),
             gdpr_every_days: None,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -131,6 +136,28 @@ pub struct DriverOutcome {
     pub selection_history: Vec<(SimDay, usize)>,
     /// Views purged by GDPR input rotations.
     pub gdpr_purged_views: u64,
+    /// Fault-layer roll-up: every degradation the run absorbed.
+    pub robustness: RobustnessStats,
+}
+
+impl DriverOutcome {
+    /// The run's JSON report (the shape `BENCH_*.json` trajectories track):
+    /// headline totals plus the robustness counters.
+    pub fn report_json(&self) -> Json {
+        let totals = self.ledger.totals();
+        json!({
+            "jobs": totals.jobs,
+            "failed_jobs": self.failed_jobs,
+            "latency_seconds": totals.latency_seconds,
+            "processing_seconds": totals.processing_seconds,
+            "bonus_seconds": totals.bonus_seconds,
+            "containers": totals.containers,
+            "input_bytes": totals.input_bytes,
+            "views_built": totals.views_built,
+            "views_reused": totals.views_reused,
+            "robustness": self.robustness.to_json(),
+        })
+    }
 }
 
 struct PendingSeal {
@@ -151,8 +178,10 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
             .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
     }
     engine.views = ViewStore::new(cfg.view_ttl);
+    engine.views.set_fault_plan(cfg.faults.clone());
     let mut insights = InsightsService::new(cfg.controls.clone());
     let mut sim = ClusterSim::new(cfg.cluster.clone());
+    sim.set_fault_plan(cfg.faults.clone());
     let mut repo = SubexpressionRepo::new();
     let mut data_plane: HashMap<JobId, DataPlane> = HashMap::new();
     let mut pending_seals: HashMap<Sig128, PendingSeal> = HashMap::new();
@@ -161,6 +190,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
     let mut failed_jobs = 0u64;
     let mut gdpr_purged_views = 0u64;
     let mut next_job = 0u64;
+    let mut robustness = RobustnessStats::default();
 
     let specs = raw_specs();
 
@@ -235,11 +265,39 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 submit,
             };
 
-            let run = run_one_job(&mut engine, &mut insights, template, day, meta, enabled);
+            // Metadata repository outage: the annotation service is
+            // unreachable, so the optimizer degrades to a baseline
+            // no-reuse plan for this job (graceful degradation — the job
+            // must still run, just without CloudViews).
+            let metadata_down = enabled && cfg.faults.metadata_down(submit);
+            if metadata_down {
+                robustness.metadata_outage_jobs += 1;
+            }
+
+            let run = run_one_job(
+                &mut engine,
+                &mut insights,
+                template,
+                day,
+                meta,
+                enabled && !metadata_down,
+            );
             match run {
                 Ok(one) => {
                     repo.log_job(meta, &one.subexprs, Some(&one.profiles));
                     result_digests.insert(job, one.digest);
+                    // Any read-side fault quarantines the signature in both
+                    // the store and the serving index for the rest of the
+                    // run: the engine recomputes instead of retrying a bad
+                    // artifact.
+                    for sig in &one.quarantined_sigs {
+                        engine.views.quarantine(*sig);
+                        insights.quarantine(*sig);
+                    }
+                    robustness.fallbacks_recompute += one.data_plane.fallbacks_recompute;
+                    robustness.view_read_failures += one.view_read_failures;
+                    robustness.view_corruptions += one.view_corruptions;
+                    robustness.view_expiry_races += one.view_expiry_races;
                     data_plane.insert(job, one.data_plane);
                     for pv in one.pending_views {
                         pending_seals
@@ -251,7 +309,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                         template: template.id,
                         submit,
                         stages: one.stages,
-                    });
+                    })?;
                 }
                 Err(_) => {
                     failed_jobs += 1;
@@ -275,19 +333,27 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
     // Assemble the ledger.
     let mut ledger = MetricsLedger::new();
     for result in sim.results() {
+        robustness.stage_retries += result.stage_retries as u64;
+        robustness.preemptions += result.preemptions as u64;
+        robustness.backoff_seconds += result.backoff_seconds;
+        robustness.job_restarts += result.restarts as u64;
         let data = data_plane.remove(&result.job).unwrap_or_default();
         ledger.add(JobRecord { result: result.clone(), data });
     }
+    let store_stats = engine.views.stats().clone();
+    robustness.view_write_failures = store_stats.write_failures;
+    robustness.views_quarantined = store_stats.views_quarantined;
 
     Ok(DriverOutcome {
         ledger,
         repo,
         usage: insights.usage_log().to_vec(),
-        view_store_stats: engine.views.stats().clone(),
+        view_store_stats: store_stats,
         result_digests,
         failed_jobs,
         selection_history,
         gdpr_purged_views,
+        robustness,
     })
 }
 
@@ -308,6 +374,10 @@ struct OneJob {
     stages: cv_cluster::stage::StageGraph,
     data_plane: DataPlane,
     digest: Sig128,
+    quarantined_sigs: Vec<Sig128>,
+    view_read_failures: u64,
+    view_corruptions: u64,
+    view_expiry_races: u64,
 }
 
 fn run_one_job(
@@ -375,6 +445,10 @@ fn run_one_job(
         stages,
         data_plane,
         digest,
+        quarantined_sigs: exec.metrics.quarantined_sigs.clone(),
+        view_read_failures: exec.metrics.view_read_failures,
+        view_corruptions: exec.metrics.view_corruptions,
+        view_expiry_races: exec.metrics.view_expiry_races,
     })
 }
 
@@ -408,7 +482,15 @@ fn apply_seal_events(
     for ev in events {
         if let SimEvent::ViewSealed { sig, at, .. } = ev {
             let Some(seal) = pending.remove(sig) else { continue };
-            engine.seal_views(std::slice::from_ref(&seal.view), seal.job, seal.vc, *at)?;
+            let sealed =
+                engine.seal_views(std::slice::from_ref(&seal.view), seal.job, seal.vc, *at)?;
+            if sealed == 0 {
+                // Injected write failure: the half-materialized view was
+                // discarded and must never be advertised — release the
+                // creation lock so a later job can rebuild it.
+                insights.release_lock(seal.view.sig);
+                continue;
+            }
             insights.report_sealed(
                 ViewInfo {
                     strict: seal.view.sig,
@@ -491,7 +573,7 @@ fn apply_gdpr(
         .filter(|v| v.input_guids.contains(&outcome.old_guid))
         .map(|v| v.strict_sig)
         .collect();
-    let purged = engine.views.purge_input(outcome.old_guid);
+    let purged = engine.views.purge_input(outcome.old_guid, day.start());
     insights.purge_sigs(&stale);
     Ok(purged)
 }

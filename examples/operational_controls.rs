@@ -107,7 +107,7 @@ fn main() -> Result<()> {
     println!("views in store before forget: {}", engine.views.len());
     let ds = engine.catalog.id_of("events").unwrap();
     let outcome = engine.catalog.gdpr_forget(ds, "k", &Value::Int(42), SimTime(40.0))?;
-    let purged = engine.views.purge_input(outcome.old_guid);
+    let purged = engine.views.purge_input(outcome.old_guid, SimTime(40.0));
     println!(
         "forgot k=42: {} rows removed, input GUID rotated, {} derived view(s) purged",
         outcome.rows_removed, purged

@@ -1,0 +1,264 @@
+//! `cv-chaos` — replay the workload templates under a matrix of injected
+//! fault plans and assert graceful degradation end to end.
+//!
+//! For every sweep the driver runs the same multi-day workload the other
+//! experiments use, but with a seeded [`FaultPlan`] installed across the
+//! view store, the cluster simulator, and the metadata path. The contract
+//! checked here is the tentpole guarantee: **faults may cost time, never
+//! correctness** — every job completes and produces a result byte-identical
+//! to the fault-free run, while the robustness counters show the faults
+//! actually fired and were absorbed (fallback recompute, quarantine, stage
+//! retries, metadata-outage degradation).
+//!
+//! Exit code is non-zero iff any sweep diverges from the fault-free
+//! baseline, fails a job, or (for fault sweeps) absorbs zero faults — wire
+//! it into CI next to `cv-analyze`.
+//!
+//! Usage:
+//!   cv-chaos [--days N] [--scale F] [--seed N] [--json PATH]
+
+use cv_common::json::{json, Json};
+use cv_common::{FaultPlan, FaultPoint, SimDuration};
+use cv_workload::{generate_workload, run_workload, DriverConfig, Workload, WorkloadConfig};
+use std::process::ExitCode;
+
+struct Args {
+    days: u32,
+    scale: f64,
+    seed: u64,
+    json_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { days: 4, scale: 0.05, seed: 1, json_path: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--days" => {
+                let v = it.next().ok_or("--days needs a value")?;
+                args.days = v.parse().map_err(|_| format!("bad --days value `{v}`"))?;
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
+            "--help" | "-h" => {
+                println!(
+                    "cv-chaos: fault-injection sweep over the workload templates\n\n\
+                     options:\n  --days N      simulated days per sweep (default 4)\n  \
+                     --scale F     workload data scale (default 0.05)\n  \
+                     --seed N      fault-plan seed (default 1)\n  \
+                     --json PATH   also write the JSON report to PATH"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One entry of the fault matrix.
+struct Sweep {
+    name: &'static str,
+    plan: FaultPlan,
+    /// Counters that must be non-zero for the sweep to count as having
+    /// exercised its fault points (name, extractor).
+    must_fire: Vec<(&'static str, fn(&cv_cluster::metrics::RobustnessStats) -> u64)>,
+}
+
+fn fault_matrix(seed: u64) -> Vec<Sweep> {
+    vec![
+        Sweep { name: "fault-free", plan: FaultPlan::none(), must_fire: vec![] },
+        Sweep {
+            name: "view-faults",
+            plan: FaultPlan::seeded(seed)
+                .with_rate(FaultPoint::ViewRead, 0.2)
+                .with_rate(FaultPoint::ViewWrite, 0.1)
+                .with_rate(FaultPoint::ViewCorrupt, 0.1)
+                .with_rate(FaultPoint::ViewExpiryRace, 0.05),
+            must_fire: vec![
+                ("fallbacks_recompute", |r| r.fallbacks_recompute),
+                ("views_quarantined", |r| r.views_quarantined),
+            ],
+        },
+        Sweep {
+            name: "cluster-faults",
+            plan: FaultPlan::seeded(seed)
+                .with_rate(FaultPoint::StageFail, 0.1)
+                .with_rate(FaultPoint::BonusPreempt, 0.2),
+            must_fire: vec![("stage_retries", |r| r.stage_retries)],
+        },
+        Sweep {
+            name: "metadata-outages",
+            plan: FaultPlan::seeded(seed).with_metadata_outages(
+                SimDuration::from_secs(3.0 * 3600.0),
+                SimDuration::from_secs(3600.0),
+            ),
+            must_fire: vec![("metadata_outage_jobs", |r| r.metadata_outage_jobs)],
+        },
+        Sweep {
+            name: "aggressive",
+            plan: FaultPlan::seeded(seed)
+                .with_rate(FaultPoint::ViewRead, 0.2)
+                .with_rate(FaultPoint::ViewWrite, 0.1)
+                .with_rate(FaultPoint::ViewCorrupt, 0.1)
+                .with_rate(FaultPoint::ViewExpiryRace, 0.05)
+                .with_rate(FaultPoint::StageFail, 0.1)
+                .with_rate(FaultPoint::BonusPreempt, 0.1)
+                .with_metadata_outages(
+                    SimDuration::from_secs(4.0 * 3600.0),
+                    SimDuration::from_secs(3600.0),
+                ),
+            must_fire: vec![
+                ("fallbacks_recompute", |r| r.fallbacks_recompute),
+                ("views_quarantined", |r| r.views_quarantined),
+                ("stage_retries", |r| r.stage_retries),
+            ],
+        },
+    ]
+}
+
+fn chaos_config(days: u32, plan: FaultPlan) -> DriverConfig {
+    let mut cfg = DriverConfig::enabled(days);
+    cfg.cluster.total_containers = 200;
+    cfg.faults = plan;
+    cfg
+}
+
+fn run_matrix(workload: &Workload, args: &Args) -> (Vec<Json>, usize) {
+    let mut reports = Vec::new();
+    let mut violations = 0usize;
+
+    println!("cv-chaos: {} day(s) at scale {}, fault seed {}", args.days, args.scale, args.seed);
+
+    let baseline = run_workload(workload, &chaos_config(args.days, FaultPlan::none()))
+        .expect("fault-free run");
+
+    for sweep in fault_matrix(args.seed) {
+        let out = run_workload(workload, &chaos_config(args.days, sweep.plan.clone()))
+            .expect("faulty run must not error out");
+        let mut problems: Vec<String> = Vec::new();
+
+        if out.failed_jobs > 0 {
+            problems.push(format!("{} job(s) failed", out.failed_jobs));
+        }
+        if out.result_digests.len() != baseline.result_digests.len() {
+            problems.push(format!(
+                "job count diverged: {} vs {} fault-free",
+                out.result_digests.len(),
+                baseline.result_digests.len()
+            ));
+        }
+        let diverged = baseline
+            .result_digests
+            .iter()
+            .filter(|(job, digest)| out.result_digests.get(job) != Some(digest))
+            .count();
+        if diverged > 0 {
+            problems.push(format!("{diverged} job result(s) diverged from fault-free run"));
+        }
+        for (counter, get) in &sweep.must_fire {
+            if get(&out.robustness) == 0 {
+                problems.push(format!("expected non-zero {counter}"));
+            }
+        }
+
+        let r = &out.robustness;
+        println!(
+            "\n=== {} ===\n  jobs                 {}\n  fallbacks_recompute  {}\n  \
+             views_quarantined    {}\n  view_read_failures   {}\n  \
+             view_corruptions     {}\n  view_expiry_races    {}\n  \
+             view_write_failures  {}\n  stage_retries        {}\n  \
+             preemptions          {}\n  backoff_seconds      {:.1}\n  \
+             job_restarts         {}\n  metadata_outage_jobs {}",
+            sweep.name,
+            out.ledger.len(),
+            r.fallbacks_recompute,
+            r.views_quarantined,
+            r.view_read_failures,
+            r.view_corruptions,
+            r.view_expiry_races,
+            r.view_write_failures,
+            r.stage_retries,
+            r.preemptions,
+            r.backoff_seconds,
+            r.job_restarts,
+            r.metadata_outage_jobs
+        );
+        let ok = problems.is_empty();
+        if ok {
+            println!("  result: OK — all results byte-identical to fault-free run");
+        } else {
+            violations += problems.len();
+            for p in &problems {
+                println!("  VIOLATION: {p}");
+            }
+        }
+
+        let mut report = match out.report_json() {
+            Json::Obj(map) => map,
+            other => {
+                let mut m = cv_common::json::JsonMap::new();
+                m.insert("report", other);
+                m
+            }
+        };
+        report.insert("sweep", sweep.name);
+        report.insert("ok", ok);
+        report.insert(
+            "violations",
+            Json::Arr(problems.iter().map(|p| Json::Str(p.clone())).collect()),
+        );
+        reports.push(Json::Obj(report));
+    }
+
+    (reports, violations)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cv-chaos: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workload = generate_workload(WorkloadConfig {
+        scale: args.scale,
+        n_analytics: 24,
+        ..WorkloadConfig::default()
+    });
+    let (sweeps, violations) = run_matrix(&workload, &args);
+
+    let report_json = json!({
+        "days": args.days,
+        "scale": args.scale,
+        "seed": args.seed,
+        "sweeps": sweeps,
+        "violations": violations as u64,
+    });
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, report_json.to_string_pretty()) {
+            eprintln!("cv-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[json report] {path}");
+    } else {
+        println!("\n{}", report_json.to_string_compact());
+    }
+
+    if violations > 0 {
+        eprintln!("cv-chaos: {violations} violation(s) — degradation was not graceful");
+        ExitCode::FAILURE
+    } else {
+        println!("\ncv-chaos: every sweep degraded gracefully");
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,115 @@
+//! Chaos suite: the fault-injection layer end to end through the workload
+//! driver — the test-sized version of the `cv-chaos` CLI sweep.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Graceful degradation** — an aggressive fault plan (view read/write/
+//!    corruption/expiry faults, stage failures, preemptions, metadata
+//!    outages) completes every job with results byte-identical to the
+//!    fault-free run, while the robustness counters prove faults actually
+//!    fired and were absorbed.
+//! 2. **Pure overlay** — an empty fault plan leaves behavior and metrics
+//!    bit-identical to a run that never heard of fault injection.
+
+use cv_common::{FaultPlan, FaultPoint, SimDuration};
+use cv_workload::{
+    generate_workload, run_workload, DriverConfig, DriverOutcome, Workload, WorkloadConfig,
+};
+
+fn chaos_workload() -> Workload {
+    generate_workload(WorkloadConfig { scale: 0.05, n_analytics: 24, ..WorkloadConfig::default() })
+}
+
+fn run(workload: &Workload, days: u32, faults: FaultPlan) -> DriverOutcome {
+    let mut cfg = DriverConfig::enabled(days);
+    cfg.cluster.total_containers = 200;
+    cfg.faults = faults;
+    run_workload(workload, &cfg).unwrap()
+}
+
+fn aggressive_plan() -> FaultPlan {
+    FaultPlan::seeded(1)
+        .with_rate(FaultPoint::ViewRead, 0.2)
+        .with_rate(FaultPoint::ViewWrite, 0.1)
+        .with_rate(FaultPoint::ViewCorrupt, 0.1)
+        .with_rate(FaultPoint::ViewExpiryRace, 0.05)
+        .with_rate(FaultPoint::StageFail, 0.1)
+        .with_rate(FaultPoint::BonusPreempt, 0.1)
+        .with_metadata_outages(SimDuration::from_secs(4.0 * 3600.0), SimDuration::from_secs(3600.0))
+}
+
+#[test]
+fn aggressive_faults_never_change_results() {
+    let w = chaos_workload();
+    let clean = run(&w, 4, FaultPlan::none());
+    let faulty = run(&w, 4, aggressive_plan());
+
+    // Zero panics, zero failed jobs, full job count.
+    assert_eq!(clean.failed_jobs, 0);
+    assert_eq!(faulty.failed_jobs, 0);
+    assert_eq!(faulty.result_digests.len(), clean.result_digests.len());
+
+    // Byte-identical results, job by job.
+    for (job, digest) in &clean.result_digests {
+        assert_eq!(faulty.result_digests.get(job), Some(digest), "job {job} diverged under faults");
+    }
+
+    // The faults actually fired and were absorbed, not silently skipped.
+    let r = &faulty.robustness;
+    assert!(r.fallbacks_recompute > 0, "no fallback recomputes: {r:?}");
+    assert!(r.views_quarantined > 0, "nothing quarantined: {r:?}");
+    assert!(r.stage_retries > 0, "no stage retries: {r:?}");
+    assert!(r.metadata_outage_jobs > 0, "no outage-degraded jobs: {r:?}");
+    assert!(r.backoff_seconds > 0.0, "retries accumulated no backoff: {r:?}");
+
+    // Degradation costs time/resources, never correctness: the faulty run
+    // read more base data (recomputes) than the clean one.
+    let clean_read = clean.ledger.totals().input_bytes;
+    let faulty_read = faulty.ledger.totals().input_bytes;
+    assert!(faulty_read >= clean_read, "faulty {faulty_read} < clean {clean_read}");
+}
+
+#[test]
+fn faulty_runs_are_deterministic() {
+    let w = chaos_workload();
+    let a = run(&w, 3, aggressive_plan());
+    let b = run(&w, 3, aggressive_plan());
+    assert_eq!(a.result_digests, b.result_digests);
+    assert_eq!(a.robustness, b.robustness);
+    assert_eq!(a.view_store_stats, b.view_store_stats);
+    assert_eq!(a.ledger.totals(), b.ledger.totals());
+}
+
+#[test]
+fn empty_fault_plan_is_a_pure_overlay() {
+    let w = chaos_workload();
+    // Three spellings of "no faults" must be bit-identical: the config
+    // default, an explicit none(), and a seeded plan with all-zero rates.
+    let default_cfg = {
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster.total_containers = 200;
+        run_workload(&w, &cfg).unwrap()
+    };
+    for plan in [FaultPlan::none(), FaultPlan::seeded(99)] {
+        let out = run(&w, 3, plan);
+        assert_eq!(out.result_digests, default_cfg.result_digests);
+        assert_eq!(out.view_store_stats, default_cfg.view_store_stats);
+        assert_eq!(out.ledger.totals(), default_cfg.ledger.totals());
+        assert_eq!(out.robustness, Default::default());
+    }
+}
+
+#[test]
+fn report_json_surfaces_robustness_counters() {
+    let w = chaos_workload();
+    let out = run(&w, 3, aggressive_plan());
+    let report = out.report_json();
+    let robustness = report.get("robustness").expect("robustness block in report");
+    for key in ["fallbacks_recompute", "views_quarantined", "stage_retries", "backoff_seconds"] {
+        assert!(robustness.get(key).is_some(), "missing {key} in JSON report");
+    }
+    assert_eq!(
+        robustness.get("views_quarantined").and_then(|j| j.as_u64()),
+        Some(out.robustness.views_quarantined)
+    );
+}

@@ -278,7 +278,8 @@ fn simulator_conserves_work() {
                 template: TemplateId(0),
                 submit: SimTime(submit),
                 stages: graph,
-            });
+            })
+            .unwrap();
         }
         sim.run_to_completion();
         assert_eq!(sim.results().len(), jobs.len());
@@ -330,6 +331,50 @@ fn containment_is_sound() {
         }
     }
     assert!(hits > 0, "implication never fired; generator too narrow");
+}
+
+/// Graceful degradation is correctness-preserving: under *random* fault
+/// plans — view read/write/corruption/expiry faults, stage failures, bonus
+/// preemptions, metadata outages — every job still completes and every
+/// result is byte-identical to the fault-free run. The optimizer's
+/// verification hook stays active (`verify_plans`), so a fault that
+/// corrupted a rewrite would surface as a failed job, not a wrong answer.
+#[test]
+fn random_fault_plans_never_change_results() {
+    use cv_common::{FaultPlan, FaultPoint, SimDuration};
+    let mut rng = DetRng::seed(0x0b);
+    let workload = generate_workload(WorkloadConfig {
+        scale: 0.05,
+        n_analytics: 12,
+        ..WorkloadConfig::default()
+    });
+    let run = |faults: FaultPlan| {
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster.total_containers = 200;
+        cfg.faults = faults;
+        run_workload(&workload, &cfg).unwrap()
+    };
+    let clean = run(FaultPlan::none());
+    assert_eq!(clean.failed_jobs, 0);
+
+    for case in 0..4 {
+        let mut plan = FaultPlan::seeded(rng.range_u64(1, 1_000_000));
+        for point in FaultPoint::all() {
+            plan = plan.with_rate(point, rng.range_f64(0.0, 0.3));
+        }
+        if rng.chance(0.5) {
+            plan = plan.with_metadata_outages(
+                SimDuration::from_secs(rng.range_f64(2.0, 8.0) * 3600.0),
+                SimDuration::from_secs(rng.range_f64(0.2, 1.0) * 3600.0),
+            );
+        }
+        let out = run(plan.clone());
+        assert_eq!(out.failed_jobs, 0, "case {case}: jobs failed under {plan:?}");
+        assert_eq!(
+            out.result_digests, clean.result_digests,
+            "case {case}: results diverged under {plan:?}"
+        );
+    }
 }
 
 /// The substitution-soundness checks reject a plan whose ViewScan was
