@@ -16,4 +16,9 @@ echo "==> cv-chaos smoke sweep (fixed seed; nonzero exit on divergence)"
 cargo run --release -q --bin cv-chaos -- --days 3 --scale 0.05 --seed 1 \
   > /dev/null || { echo "cv-chaos: fault sweep diverged"; exit 1; }
 
+echo "==> cv-serve smoke gate (1-worker vs 8-worker digest equality)"
+cargo run --release -q --bin cv-serve -- --days 3 --scale 0.05 --analytics 12 \
+  --seed 42 --workers 8 --min-speedup auto --bench BENCH_service.json \
+  > /dev/null || { echo "cv-serve: service contract violated"; exit 1; }
+
 echo "==> OK"

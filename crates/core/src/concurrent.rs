@@ -1,0 +1,83 @@
+//! Concurrent facade over the [`InsightsService`].
+//!
+//! The sequential driver owns its insights service outright; the service
+//! layer (cv-service) has many worker threads and a coordinator touching the
+//! same reuse state. [`SharedInsights`] wraps the service in
+//! `Arc<Mutex<...>>` so handles clone cheaply across threads, and implements
+//! the optimizer's [`BuildCoordinator`] so compile-time build arbitration
+//! goes through the same exclusive view-creation locks (paper §4) as the
+//! sequential path — one mutex acquisition per lock attempt, never held
+//! across query execution.
+
+use crate::insights::InsightsService;
+use cv_common::hash::Sig128;
+use cv_engine::optimizer::BuildCoordinator;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Cheaply cloneable, thread-safe handle to one [`InsightsService`].
+#[derive(Clone)]
+pub struct SharedInsights {
+    inner: Arc<Mutex<InsightsService>>,
+}
+
+impl SharedInsights {
+    pub fn new(svc: InsightsService) -> SharedInsights {
+        SharedInsights { inner: Arc::new(Mutex::new(svc)) }
+    }
+
+    /// Exclusive access for a compound operation (annotate, publish,
+    /// report_sealed, ...). Keep the guard short-lived: the service is a
+    /// metadata hot spot shared by every worker.
+    pub fn lock(&self) -> MutexGuard<'_, InsightsService> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl BuildCoordinator for SharedInsights {
+    fn try_acquire(&mut self, sig: Sig128) -> bool {
+        let guard = self.lock();
+        let mut locker = guard.locker();
+        locker.try_acquire(sig)
+    }
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SharedInsights>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controls::Controls;
+
+    #[test]
+    fn build_locks_are_exclusive_across_handles() {
+        let shared = SharedInsights::new(InsightsService::new(Controls::default()));
+        let mut a = shared.clone();
+        let mut b = shared.clone();
+        let sig = Sig128(7);
+        assert!(a.try_acquire(sig), "first claim wins the creation lock");
+        assert!(!b.try_acquire(sig), "second claim must be refused");
+        shared.lock().release_lock(sig);
+        assert!(b.try_acquire(sig), "released lock is claimable again");
+    }
+
+    #[test]
+    fn concurrent_claims_grant_exactly_one_winner() {
+        let shared = SharedInsights::new(InsightsService::new(Controls::default()));
+        let winners = std::sync::atomic::AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let mut handle = shared.clone();
+                let winners = &winners;
+                s.spawn(move || {
+                    if handle.try_acquire(Sig128(42)) {
+                        winners.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+}

@@ -15,6 +15,7 @@ pub mod bitmap;
 pub mod catalog;
 pub mod column;
 pub mod schema;
+pub mod sharded;
 pub mod table;
 pub mod value;
 pub mod viewstore;
@@ -23,6 +24,21 @@ pub use bitmap::Bitmap;
 pub use catalog::{Dataset, DatasetCatalog, DatasetVersion};
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use schema::{Field, Schema, SchemaRef};
+pub use sharded::ShardedViewStore;
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use viewstore::{MaterializedView, ViewStore, ViewStoreStats};
+pub use viewstore::{MaterializedView, ViewSource, ViewStore, ViewStoreStats};
+
+// Compile-time Send + Sync audit of everything shared across service worker
+// threads. A future patch that sneaks `Rc`/`RefCell` (or a raw pointer) into
+// these types fails to build rather than failing at the first concurrent run.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Table>();
+    assert_send_sync::<SchemaRef>();
+    assert_send_sync::<DatasetCatalog>();
+    assert_send_sync::<MaterializedView>();
+    assert_send_sync::<ViewStore>();
+    assert_send_sync::<ShardedViewStore>();
+    assert_send_sync::<ViewStoreStats>();
+};

@@ -20,6 +20,7 @@ use cv_common::{
     CvError, FaultPlan, FaultPoint, Result, Sig128, SimDuration, SimTime, StableHasher,
 };
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Content checksum over a table's canonical row rendering; stored on every
 /// sealed view and re-verified on read when fault injection is active.
@@ -82,19 +83,73 @@ pub struct ViewStoreStats {
     pub views_purged: u64,
     pub bytes_written: u64,
     pub bytes_served: u64,
+    /// Execution-time reads that missed (expired, purged, quarantined, or
+    /// never materialized) and fell back to recomputation.
+    pub read_misses: u64,
     /// Signatures permanently denylisted after a read-side failure.
     pub views_quarantined: u64,
     /// Injected materialization failures (view never published).
     pub write_failures: u64,
 }
 
+impl ViewStoreStats {
+    /// Field-wise accumulation (shard roll-ups).
+    pub fn merge(&mut self, other: &ViewStoreStats) {
+        self.views_created += other.views_created;
+        self.views_reused += other.views_reused;
+        self.views_expired += other.views_expired;
+        self.views_purged += other.views_purged;
+        self.bytes_written += other.bytes_written;
+        self.bytes_served += other.bytes_served;
+        self.read_misses += other.read_misses;
+        self.views_quarantined += other.views_quarantined;
+        self.write_failures += other.write_failures;
+    }
+}
+
+/// Read-side access to materialized views at execution time.
+///
+/// The executor only ever *reads* views; this trait is the seam that lets it
+/// run against a plain [`ViewStore`], a lock-striped
+/// [`crate::sharded::ShardedViewStore`], or a service-layer wrapper that
+/// pipelines from in-flight materializations. Returns an owned [`Table`]
+/// because the executor clones the served data anyway.
+pub trait ViewSource: Sync {
+    /// Execution-time read with the same contract as
+    /// [`ViewStore::read_for_exec`]: `Ok(Some(table))` serves the view,
+    /// `Ok(None)` is a plain miss (recompute), `Err(fault)` quarantines the
+    /// signature before recomputing.
+    fn read_view(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<Table>, ViewReadFault>;
+}
+
+impl ViewSource for ViewStore {
+    fn read_view(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<Table>, ViewReadFault> {
+        self.read_for_exec(sig, now).map(|v| v.map(|view| view.data.clone()))
+    }
+}
+
 /// In-memory view store with per-VC storage accounting and TTL expiry.
+///
+/// Write paths take `&mut self`; the read paths (`fetch`, `read_for_exec`)
+/// take `&self` and bump their hit/miss counters through atomics so
+/// concurrent readers never serialize on stats accounting.
 #[derive(Debug)]
 pub struct ViewStore {
     ttl: SimDuration,
     views: HashMap<Sig128, MaterializedView>,
     storage_by_vc: HashMap<VcId, u64>,
     stats: ViewStoreStats,
+    views_reused: AtomicU64,
+    bytes_served: AtomicU64,
+    read_misses: AtomicU64,
     faults: FaultPlan,
     quarantined: HashSet<Sig128>,
 }
@@ -107,6 +162,9 @@ impl ViewStore {
             views: HashMap::new(),
             storage_by_vc: HashMap::new(),
             stats: ViewStoreStats::default(),
+            views_reused: AtomicU64::new(0),
+            bytes_served: AtomicU64::new(0),
+            read_misses: AtomicU64::new(0),
             faults: FaultPlan::none(),
             quarantined: HashSet::new(),
         }
@@ -167,17 +225,12 @@ impl ViewStore {
     }
 
     /// Look up a live view by strict signature, recording a reuse hit.
-    pub fn fetch(&mut self, sig: Sig128, now: SimTime) -> Option<&MaterializedView> {
-        let live = match self.views.get(&sig) {
-            Some(v) => now < v.expires,
-            None => return None,
-        };
-        if !live {
-            return None;
-        }
-        let v = self.views.get(&sig).expect("checked above");
-        self.stats.views_reused += 1;
-        self.stats.bytes_served += v.bytes;
+    /// Shared access: the hit counters are atomic, so concurrent readers
+    /// never serialize on stats bumps.
+    pub fn fetch(&self, sig: Sig128, now: SimTime) -> Option<&MaterializedView> {
+        let v = self.views.get(&sig).filter(|v| now < v.expires)?;
+        self.views_reused.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(v.bytes, Ordering::Relaxed);
         Some(v)
     }
 
@@ -205,12 +258,15 @@ impl ViewStore {
         now: SimTime,
     ) -> std::result::Result<Option<&MaterializedView>, ViewReadFault> {
         if self.quarantined.contains(&sig) {
+            self.read_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         let Some(view) = self.views.get(&sig) else {
+            self.read_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         };
         if now >= view.expires {
+            self.read_misses.fetch_add(1, Ordering::Relaxed);
             return Ok(None);
         }
         if self.faults.fires(FaultPoint::ViewRead, &sig_key(sig)) {
@@ -222,6 +278,8 @@ impl ViewStore {
         if !self.faults.is_empty() && view.checksum != table_checksum(&view.data) {
             return Err(ViewReadFault::Corrupt);
         }
+        self.views_reused.fetch_add(1, Ordering::Relaxed);
+        self.bytes_served.fetch_add(view.bytes, Ordering::Relaxed);
         Ok(Some(view))
     }
 
@@ -318,8 +376,20 @@ impl ViewStore {
         self.views.is_empty()
     }
 
-    pub fn stats(&self) -> &ViewStoreStats {
-        &self.stats
+    /// Snapshot of the counters, merging the write-path struct with the
+    /// atomic read-path counters.
+    pub fn stats(&self) -> ViewStoreStats {
+        let mut s = self.stats.clone();
+        s.views_reused += self.views_reused.load(Ordering::Relaxed);
+        s.bytes_served += self.bytes_served.load(Ordering::Relaxed);
+        s.read_misses += self.read_misses.load(Ordering::Relaxed);
+        s
+    }
+
+    /// Whether a view for this signature is stored, ignoring expiry — used
+    /// by the service layer to detect duplicate materializations.
+    pub fn contains(&self, sig: Sig128) -> bool {
+        self.views.contains_key(&sig)
     }
 
     pub fn iter(&self) -> impl Iterator<Item = &MaterializedView> {

@@ -15,7 +15,7 @@ use cv_common::ids::{JobId, VcId};
 use cv_common::{Result, SimTime};
 use cv_data::catalog::DatasetCatalog;
 use cv_data::table::Table;
-use cv_data::viewstore::{MaterializedView, ViewStore};
+use cv_data::viewstore::{MaterializedView, ViewSource, ViewStore};
 use std::sync::Arc;
 
 /// A compiled + optimized job, ready for execution.
@@ -88,7 +88,19 @@ impl QueryEngine {
 
     /// Execute an optimized physical plan.
     pub fn execute(&self, physical: &PhysicalPlan, now: SimTime) -> Result<ExecOutcome> {
-        let mut ctx = ExecContext::new(&self.catalog, &self.views, &self.udos, now);
+        self.execute_with(physical, &self.views, now)
+    }
+
+    /// Execute against an external view source instead of the engine's own
+    /// store — the service path, where many concurrent jobs share one
+    /// sharded store (or pipeline from in-flight builds).
+    pub fn execute_with(
+        &self,
+        physical: &PhysicalPlan,
+        views: &dyn ViewSource,
+        now: SimTime,
+    ) -> Result<ExecOutcome> {
+        let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now);
         execute(physical, &mut ctx, &self.optimizer.cfg.cost)
     }
 

@@ -26,13 +26,17 @@ use cv_data::column::ColumnBuilder;
 use cv_data::schema::SchemaRef;
 use cv_data::table::Table;
 use cv_data::value::Value;
-use cv_data::viewstore::ViewStore;
+use cv_data::viewstore::ViewSource;
 use std::collections::HashMap;
 
 /// Execution context: read access to storage plus the evaluation state.
+///
+/// Views come in through the [`ViewSource`] trait object so the same
+/// executor runs against a plain `ViewStore`, the service layer's sharded
+/// store, or a pipelining wrapper over in-flight materializations.
 pub struct ExecContext<'a> {
     pub catalog: &'a DatasetCatalog,
-    pub views: &'a ViewStore,
+    pub views: &'a dyn ViewSource,
     pub udos: &'a UdoRegistry,
     pub now: SimTime,
     pub eval: EvalCtx,
@@ -41,7 +45,7 @@ pub struct ExecContext<'a> {
 impl<'a> ExecContext<'a> {
     pub fn new(
         catalog: &'a DatasetCatalog,
-        views: &'a ViewStore,
+        views: &'a dyn ViewSource,
         udos: &'a UdoRegistry,
         now: SimTime,
     ) -> ExecContext<'a> {
@@ -172,26 +176,28 @@ fn exec_node(
         }
         PhysicalPlan::ViewScan { sig, fallback, .. } => {
             use cv_data::viewstore::ViewReadFault;
-            let read = ctx.views.read_for_exec(*sig, ctx.now);
-            if let Ok(Some(view)) = read {
-                let table = view.data.clone();
-                let bytes = table.byte_size();
-                metrics.view_bytes_read += bytes;
-                metrics.data_read_bytes += bytes;
-                let work = model.view_scan(bytes as f64).total();
-                record(metrics, plan, &table, work, None);
-                return Ok(table);
-            }
-            // Read-side failure or plain miss: a view must never fail the
-            // job. Quarantine the signature on a failure, then degrade to
-            // recomputing the original subexpression.
-            if let Err(fault) = read {
-                match fault {
-                    ViewReadFault::ReadError => metrics.view_read_failures += 1,
-                    ViewReadFault::Corrupt => metrics.view_corruptions += 1,
-                    ViewReadFault::ExpiryRace => metrics.view_expiry_races += 1,
+            match ctx.views.read_view(*sig, ctx.now) {
+                Ok(Some(table)) => {
+                    let bytes = table.byte_size();
+                    metrics.view_bytes_read += bytes;
+                    metrics.data_read_bytes += bytes;
+                    let work = model.view_scan(bytes as f64).total();
+                    record(metrics, plan, &table, work, None);
+                    return Ok(table);
                 }
-                metrics.quarantined_sigs.push(*sig);
+                // Plain miss (expired, purged, quarantined earlier): fall
+                // through to the recompute fallback without quarantining.
+                Ok(None) => {}
+                // Read-side failure: a view must never fail the job.
+                // Quarantine the signature, then degrade to recompute.
+                Err(fault) => {
+                    match fault {
+                        ViewReadFault::ReadError => metrics.view_read_failures += 1,
+                        ViewReadFault::Corrupt => metrics.view_corruptions += 1,
+                        ViewReadFault::ExpiryRace => metrics.view_expiry_races += 1,
+                    }
+                    metrics.quarantined_sigs.push(*sig);
+                }
             }
             let Some(fb) = fallback else {
                 return Err(CvError::exec(format!(
@@ -768,6 +774,7 @@ mod tests {
     use crate::plan::{LogicalPlan, PlanBuilder};
     use cv_data::schema::{Field, Schema};
     use cv_data::value::DataType;
+    use cv_data::viewstore::ViewStore;
     use std::sync::Arc;
 
     fn setup() -> (DatasetCatalog, ViewStore, UdoRegistry) {

@@ -44,3 +44,23 @@ pub use plan::{JoinKind, LogicalPlan, PlanBuilder};
 pub use signature::{
     enumerate_subexpressions, plan_signature, SigMode, SignatureConfig, SubexprInfo,
 };
+
+// Compile-time Send + Sync audit of the compiled-plan types the service
+// layer shares across worker threads (satellite of the cv-service PR): a
+// compiled job is optimized once on the coordinator and executed on any
+// worker, so plans, reuse metadata, and the optimizer itself must stay
+// thread-shareable. Adding `Rc`/`RefCell` to any of these breaks the build
+// here rather than at the first concurrent run.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<plan::LogicalPlan>();
+    assert_send_sync::<physical::PhysicalPlan>();
+    assert_send_sync::<engine::CompiledJob>();
+    assert_send_sync::<optimizer::OptimizeOutcome>();
+    assert_send_sync::<optimizer::ReuseContext>();
+    assert_send_sync::<Optimizer>();
+    assert_send_sync::<udo::UdoRegistry>();
+    assert_send_sync::<exec::ExecMetrics>();
+    assert_send_sync::<exec::PendingView>();
+    assert_send_sync::<exec::ExecOutcome>();
+};

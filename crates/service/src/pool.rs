@@ -1,0 +1,461 @@
+//! Work-stealing thread pool with per-VC admission control.
+//!
+//! The service executes one batch ("wave") of pre-compiled jobs at a time.
+//! Each worker owns a deque: it pops its own front and steals from the back
+//! of other workers' deques when idle. Three admission mechanisms sit in
+//! front of the deques, mirroring a multi-tenant cluster front door:
+//!
+//! * **per-VC inflight limit** — at most `vc_inflight_limit` jobs of one
+//!   virtual cluster admitted (queued-on-a-worker or running) at once; the
+//!   rest park in a per-VC deferred queue and are promoted as same-VC jobs
+//!   complete (token isolation, paper §2.2);
+//! * **bounded deferred queues** — each VC's deferred queue holds at most
+//!   `queue_cap` jobs; beyond that the submitter blocks (backpressure), the
+//!   service never drops work;
+//! * **dependency gating** — a task declaring `deps` (single-flight
+//!   consumers waiting on their builder) is held un-runnable until every
+//!   dep completes. Gating in the scheduler rather than blocking inside a
+//!   worker keeps the pool deadlock-free: a blocked *task* never occupies a
+//!   worker thread.
+//!
+//! Workers are plain scoped threads (`std::thread::scope`), so tasks may
+//! borrow from the caller's stack — the driver shares its catalog and
+//! engine by reference, no `Arc` restructuring required.
+
+use cv_common::ids::{JobId, VcId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// One schedulable unit of work.
+pub struct TaskSpec<'env> {
+    pub job: JobId,
+    pub vc: VcId,
+    /// Jobs that must complete before this task may start (single-flight
+    /// builders this task pipelines from). Deps referencing jobs outside
+    /// the batch are ignored.
+    pub deps: Vec<JobId>,
+    pub run: Box<dyn FnOnce() + Send + 'env>,
+}
+
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    pub workers: usize,
+    /// Max concurrently admitted jobs per virtual cluster.
+    pub vc_inflight_limit: usize,
+    /// Bound on each VC's deferred queue; a full queue blocks the submitter.
+    pub queue_cap: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> PoolConfig {
+        PoolConfig { workers: 4, vc_inflight_limit: 4, queue_cap: 32 }
+    }
+}
+
+/// What one `run_tasks` call did.
+#[derive(Clone, Debug, Default)]
+pub struct PoolReport {
+    pub executed: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+    /// Tasks that hit the per-VC admission limit and parked.
+    pub admission_deferrals: u64,
+    /// Peak concurrently admitted tasks.
+    pub max_inflight: usize,
+    /// Per-job wall latency from release (submission) to completion,
+    /// sorted by job id.
+    pub latencies: Vec<(JobId, Duration)>,
+}
+
+struct Runnable<'env> {
+    job: JobId,
+    vc: VcId,
+    run: Box<dyn FnOnce() + Send + 'env>,
+    released: Instant,
+}
+
+struct Pending<'env> {
+    task: Runnable<'env>,
+    deps: Vec<JobId>,
+}
+
+struct State<'env> {
+    local: Vec<VecDeque<Runnable<'env>>>,
+    waiting: Vec<Pending<'env>>,
+    deferred: HashMap<VcId, VecDeque<Runnable<'env>>>,
+    inflight: HashMap<VcId, usize>,
+    inflight_total: usize,
+    max_inflight: usize,
+    done: HashSet<JobId>,
+    outstanding: usize,
+    submitted_all: bool,
+    next_worker: usize,
+    executed: u64,
+    admission_deferrals: u64,
+    latencies: Vec<(JobId, Duration)>,
+    panicked: bool,
+}
+
+struct Shared<'env> {
+    state: Mutex<State<'env>>,
+    /// Workers wait here for runnable tasks.
+    work: Condvar,
+    /// The submitter waits here for deferred-queue space.
+    space: Condvar,
+    /// The submitter waits here for batch completion.
+    all_done: Condvar,
+    steals: AtomicU64,
+    vc_limit: usize,
+    queue_cap: usize,
+}
+
+impl<'env> Shared<'env> {
+    fn lock(&self) -> MutexGuard<'_, State<'env>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Admit a task onto a worker deque, bypassing the admission limit check.
+fn admit<'env>(st: &mut State<'env>, task: Runnable<'env>) {
+    *st.inflight.entry(task.vc).or_insert(0) += 1;
+    st.inflight_total += 1;
+    st.max_inflight = st.max_inflight.max(st.inflight_total);
+    let n = st.local.len();
+    let w = st.next_worker % n;
+    st.next_worker = st.next_worker.wrapping_add(1);
+    st.local[w].push_back(task);
+}
+
+impl<'env> Shared<'env> {
+    /// Internal promotion path: admission slot or (unbounded) deferred park.
+    fn dispatch_unbounded(&self, st: &mut State<'env>, task: Runnable<'env>) {
+        if st.inflight.get(&task.vc).copied().unwrap_or(0) < self.vc_limit {
+            admit(st, task);
+            self.work.notify_one();
+        } else {
+            st.admission_deferrals += 1;
+            st.deferred.entry(task.vc).or_default().push_back(task);
+        }
+    }
+
+    /// External submission path: like `dispatch_unbounded`, but a full
+    /// deferred queue refuses the task so the submitter can block.
+    fn dispatch_bounded(
+        &self,
+        st: &mut State<'env>,
+        task: Runnable<'env>,
+    ) -> Result<(), Runnable<'env>> {
+        if st.inflight.get(&task.vc).copied().unwrap_or(0) < self.vc_limit {
+            admit(st, task);
+            self.work.notify_one();
+            return Ok(());
+        }
+        let q = st.deferred.entry(task.vc).or_default();
+        if q.len() >= self.queue_cap {
+            return Err(task);
+        }
+        st.admission_deferrals += 1;
+        q.push_back(task);
+        Ok(())
+    }
+
+    /// Post-completion bookkeeping: free the VC slot, promote deferred and
+    /// dep-gated tasks, wake whoever needs waking.
+    fn complete(&self, job: JobId, vc: VcId, released: Instant) {
+        let mut st = self.lock();
+        st.executed += 1;
+        st.outstanding -= 1;
+        st.done.insert(job);
+        st.latencies.push((job, released.elapsed()));
+        if let Some(n) = st.inflight.get_mut(&vc) {
+            *n = n.saturating_sub(1);
+        }
+        st.inflight_total = st.inflight_total.saturating_sub(1);
+        // The freed slot promotes one parked task of the same VC.
+        if let Some(t) = st.deferred.get_mut(&vc).and_then(VecDeque::pop_front) {
+            admit(&mut st, t);
+            self.work.notify_one();
+        }
+        // Unblock dependency-gated tasks whose builders are all done.
+        let mut ready: Vec<Runnable<'env>> = Vec::new();
+        let mut still_waiting: Vec<Pending<'env>> = Vec::new();
+        for mut p in st.waiting.drain(..).collect::<Vec<_>>() {
+            p.deps.retain(|d| !st.done.contains(d));
+            if p.deps.is_empty() {
+                ready.push(p.task);
+            } else {
+                still_waiting.push(p);
+            }
+        }
+        st.waiting = still_waiting;
+        for t in ready {
+            self.dispatch_unbounded(&mut st, t);
+        }
+        self.space.notify_all();
+        if st.submitted_all && st.outstanding == 0 {
+            self.work.notify_all();
+            self.all_done.notify_all();
+        }
+    }
+
+    fn next_task(&self, me: usize) -> Option<Runnable<'env>> {
+        let mut st = self.lock();
+        loop {
+            if let Some(t) = st.local[me].pop_front() {
+                return Some(t);
+            }
+            let n = st.local.len();
+            for k in 1..n {
+                let victim = (me + k) % n;
+                if let Some(t) = st.local[victim].pop_back() {
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    return Some(t);
+                }
+            }
+            if st.submitted_all && st.outstanding == 0 {
+                return None;
+            }
+            st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn worker_loop(&self, me: usize) {
+        while let Some(task) = self.next_task(me) {
+            let Runnable { job, vc, run, released } = task;
+            if catch_unwind(AssertUnwindSafe(run)).is_err() {
+                self.lock().panicked = true;
+            }
+            self.complete(job, vc, released);
+        }
+    }
+}
+
+/// Execute a batch of tasks and block until all complete.
+///
+/// `release_gaps[i]` delays task `i`'s submission by that wall-clock amount
+/// after task `i-1`'s (open-loop load generation); an empty slice releases
+/// everything immediately (closed loop). Latency is measured from release.
+pub fn run_tasks<'env>(
+    cfg: &PoolConfig,
+    tasks: Vec<TaskSpec<'env>>,
+    release_gaps: &[Duration],
+) -> PoolReport {
+    let workers = cfg.workers.max(1);
+    let batch_jobs: HashSet<JobId> = tasks.iter().map(|t| t.job).collect();
+    let shared = Shared {
+        state: Mutex::new(State {
+            local: (0..workers).map(|_| VecDeque::new()).collect(),
+            waiting: Vec::new(),
+            deferred: HashMap::new(),
+            inflight: HashMap::new(),
+            inflight_total: 0,
+            max_inflight: 0,
+            done: HashSet::new(),
+            outstanding: 0,
+            submitted_all: false,
+            next_worker: 0,
+            executed: 0,
+            admission_deferrals: 0,
+            latencies: Vec::new(),
+            panicked: false,
+        }),
+        work: Condvar::new(),
+        space: Condvar::new(),
+        all_done: Condvar::new(),
+        steals: AtomicU64::new(0),
+        vc_limit: cfg.vc_inflight_limit.max(1),
+        queue_cap: cfg.queue_cap.max(1),
+    };
+
+    std::thread::scope(|s| {
+        for me in 0..workers {
+            let shared = &shared;
+            s.spawn(move || shared.worker_loop(me));
+        }
+
+        // Submission loop (this thread is the load generator).
+        for (i, spec) in tasks.into_iter().enumerate() {
+            if let Some(gap) = release_gaps.get(i) {
+                if !gap.is_zero() {
+                    std::thread::sleep(*gap);
+                }
+            }
+            let TaskSpec { job, vc, deps, run } = spec;
+            let task = Runnable { job, vc, run, released: Instant::now() };
+            let mut st = shared.lock();
+            st.outstanding += 1;
+            let open_deps: Vec<JobId> = deps
+                .into_iter()
+                .filter(|d| batch_jobs.contains(d) && !st.done.contains(d))
+                .collect();
+            if !open_deps.is_empty() {
+                st.waiting.push(Pending { task, deps: open_deps });
+                continue;
+            }
+            let mut task = task;
+            loop {
+                match shared.dispatch_bounded(&mut st, task) {
+                    Ok(()) => break,
+                    Err(refused) => {
+                        task = refused;
+                        st = shared.space.wait(st).unwrap_or_else(PoisonError::into_inner);
+                    }
+                }
+            }
+        }
+        {
+            let mut st = shared.lock();
+            st.submitted_all = true;
+            shared.work.notify_all();
+            while st.outstanding > 0 {
+                st = shared.all_done.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        shared.work.notify_all();
+    });
+
+    let st = shared.state.into_inner().unwrap_or_else(PoisonError::into_inner);
+    assert!(!st.panicked, "a pool task panicked");
+    assert!(st.waiting.is_empty(), "dependency-gated tasks never became runnable");
+    let mut latencies = st.latencies;
+    latencies.sort_by_key(|(job, _)| *job);
+    PoolReport {
+        executed: st.executed,
+        steals: shared.steals.load(Ordering::Relaxed),
+        admission_deferrals: st.admission_deferrals,
+        max_inflight: st.max_inflight,
+        latencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn spec<'env>(
+        job: u64,
+        vc: u64,
+        deps: Vec<u64>,
+        run: impl FnOnce() + Send + 'env,
+    ) -> TaskSpec<'env> {
+        TaskSpec {
+            job: JobId(job),
+            vc: VcId(vc),
+            deps: deps.into_iter().map(JobId).collect(),
+            run: Box::new(run),
+        }
+    }
+
+    #[test]
+    fn executes_every_task_once() {
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<TaskSpec<'_>> = (0..50)
+            .map(|i| {
+                let counter = &counter;
+                spec(i, i % 3, vec![], move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        let report = run_tasks(&PoolConfig { workers: 4, ..PoolConfig::default() }, tasks, &[]);
+        assert_eq!(counter.load(Ordering::Relaxed), 50);
+        assert_eq!(report.executed, 50);
+        assert_eq!(report.latencies.len(), 50);
+    }
+
+    #[test]
+    fn per_vc_admission_limit_holds() {
+        let limit = 2usize;
+        let peak = AtomicUsize::new(0);
+        let current = AtomicUsize::new(0);
+        let tasks: Vec<TaskSpec<'_>> = (0..40)
+            .map(|i| {
+                let peak = &peak;
+                let current = &current;
+                // All tasks share one VC, so the pool may run at most
+                // `limit` of them at once regardless of worker count.
+                spec(i, 0, vec![], move || {
+                    let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                    peak.fetch_max(now, Ordering::SeqCst);
+                    std::thread::sleep(Duration::from_micros(200));
+                    current.fetch_sub(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        let cfg = PoolConfig { workers: 8, vc_inflight_limit: limit, queue_cap: 4 };
+        let report = run_tasks(&cfg, tasks, &[]);
+        assert_eq!(report.executed, 40);
+        assert!(
+            peak.load(Ordering::SeqCst) <= limit,
+            "admission limit violated: peak {} > {limit}",
+            peak.load(Ordering::SeqCst)
+        );
+        assert!(report.admission_deferrals > 0, "bounded queue never engaged");
+    }
+
+    #[test]
+    fn dependency_gating_orders_builder_before_consumers() {
+        let order = Mutex::new(Vec::new());
+        let mut tasks = Vec::new();
+        let builder_done = &order;
+        tasks.push(spec(1, 0, vec![], move || {
+            std::thread::sleep(Duration::from_millis(5));
+            builder_done.lock().unwrap().push(1u64);
+        }));
+        for consumer in 2..=5u64 {
+            let order = &order;
+            tasks.push(spec(consumer, 0, vec![1], move || {
+                order.lock().unwrap().push(consumer);
+            }));
+        }
+        run_tasks(&PoolConfig { workers: 4, ..PoolConfig::default() }, tasks, &[]);
+        let seen = order.lock().unwrap();
+        assert_eq!(seen.len(), 5);
+        assert_eq!(seen[0], 1, "builder must complete before any consumer starts");
+    }
+
+    #[test]
+    fn deps_outside_batch_are_ignored() {
+        let ran = AtomicUsize::new(0);
+        let ran_ref = &ran;
+        let tasks = vec![spec(7, 0, vec![999], move || {
+            ran_ref.fetch_add(1, Ordering::Relaxed);
+        })];
+        let report = run_tasks(&PoolConfig::default(), tasks, &[]);
+        assert_eq!(report.executed, 1);
+        assert_eq!(ran.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn single_worker_runs_in_submission_order() {
+        let order = Mutex::new(Vec::new());
+        let tasks: Vec<TaskSpec<'_>> = (0..20)
+            .map(|i| {
+                let order = &order;
+                spec(i, i % 4, vec![], move || order.lock().unwrap().push(i))
+            })
+            .collect();
+        let cfg = PoolConfig { workers: 1, vc_inflight_limit: 64, queue_cap: 64 };
+        run_tasks(&cfg, tasks, &[]);
+        let seen = order.lock().unwrap();
+        assert_eq!(*seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn open_loop_gaps_released_in_order() {
+        let order = Mutex::new(Vec::new());
+        let tasks: Vec<TaskSpec<'_>> = (0..5)
+            .map(|i| {
+                let order = &order;
+                spec(i, 0, vec![], move || order.lock().unwrap().push(i))
+            })
+            .collect();
+        let gaps = vec![Duration::ZERO; 5];
+        let report = run_tasks(&PoolConfig { workers: 2, ..PoolConfig::default() }, tasks, &gaps);
+        assert_eq!(report.executed, 5);
+    }
+}

@@ -340,7 +340,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         let data = data_plane.remove(&result.job).unwrap_or_default();
         ledger.add(JobRecord { result: result.clone(), data });
     }
-    let store_stats = engine.views.stats().clone();
+    let store_stats = engine.views.stats();
     robustness.view_write_failures = store_stats.write_failures;
     robustness.views_quarantined = store_stats.views_quarantined;
 
@@ -359,7 +359,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
 
 /// Deterministic per-(dataset, day) data stream, independent of everything
 /// else — baseline and enabled runs see byte-identical inputs.
-fn data_rng(seed: u64, dataset: &str, day: SimDay) -> DetRng {
+pub(crate) fn data_rng(seed: u64, dataset: &str, day: SimDay) -> DetRng {
     let mut h = StableHasher::with_domain("workload-data");
     h.write_u64(seed);
     h.write_str(dataset);
@@ -452,7 +452,7 @@ fn run_one_job(
     })
 }
 
-fn digest_table(t: &cv_data::table::Table) -> Sig128 {
+pub(crate) fn digest_table(t: &cv_data::table::Table) -> Sig128 {
     let mut h = StableHasher::with_domain("result-digest");
     for row in t.canonical_rows() {
         h.write_str(&row);
@@ -508,7 +508,7 @@ fn apply_seal_events(
     Ok(())
 }
 
-fn run_analysis(
+pub(crate) fn run_analysis(
     repo: &SubexpressionRepo,
     insights: &mut InsightsService,
     knobs: &SelectionKnobs,

@@ -22,8 +22,12 @@
 pub mod driver;
 pub mod generator;
 pub mod schemas;
+pub mod service_driver;
 pub mod templates;
 
 pub use driver::{run_workload, DriverConfig, DriverOutcome, SelectionKnobs, SelectorKind};
 pub use generator::{generate_workload, Workload, WorkloadConfig};
+pub use service_driver::{
+    merge_completions, run_workload_service, ServiceConfig, ServiceOutcome, ServiceReport,
+};
 pub use templates::{JobTemplate, TemplateKind};

@@ -1,0 +1,1018 @@
+//! Concurrent (service-mode) workload driver.
+//!
+//! The sequential [`crate::driver`] replays one job at a time; this driver
+//! replays the same workload the way the paper's production service runs it
+//! (§2.1): many jobs from many virtual clusters execute *concurrently*
+//! against shared reuse state — a sharded view store, a mutex-guarded
+//! insights service, and the single-flight materialization registry that
+//! turns Fig. 9's concurrent-duplicate opportunity into realized savings.
+//!
+//! # The three-phase wave protocol
+//!
+//! Each day's due jobs are split into waves (dataset producers before their
+//! consumers) and every wave runs three phases:
+//!
+//! 1. **Compile (sequential, job order)** — annotate, rewrite the reuse
+//!    context against the single-flight registry (an in-flight build of a
+//!    wanted signature becomes a *promised* view plus a scheduling
+//!    dependency on its builder; a flight already published becomes
+//!    ordinary reuse), optimize under the insights creation locks, claim
+//!    flights for the views this job will build.
+//! 2. **Execute (parallel)** — the work-stealing pool runs every compiled
+//!    plan; dependency gating holds consumers until their builders finish,
+//!    so pipelined reads hit a sealed view, never a blocked wait (the
+//!    single-flight `wait` remains as safety net). Builders seal into the
+//!    shared store immediately and resolve their flights.
+//! 3. **Commit (sequential, job order)** — log to the repository, digest
+//!    results, propagate quarantines, attribute realized pipelining
+//!    savings, publish cooking outputs to the catalog.
+//!
+//! Because every phase that touches shared metadata is sequential in job
+//! order and execution itself is deterministic per plan, the per-job result
+//! digests are byte-identical for any worker count and any seed — and with
+//! one worker the realized schedule *is* the submission order.
+//!
+//! Cluster-side accounting (latency, containers, retries) is replayed at
+//! the end through [`merge_completions`], which sorts job specs by
+//! `(submit, job)` before feeding the simulator — concurrent completion
+//! order can never leak into the metrics (the monotonic-submission fix).
+
+use crate::driver::{data_rng, digest_table, run_analysis, DriverConfig};
+use crate::generator::Workload;
+use crate::schemas::raw_specs;
+use crate::templates::JobTemplate;
+use cv_cluster::metrics::{DataPlane, JobRecord, MetricsLedger, RobustnessStats};
+use cv_cluster::sim::{ClusterConfig, ClusterSim, JobSpec};
+use cv_cluster::stage::build_stages;
+use cv_common::hash::Sig128;
+use cv_common::ids::JobId;
+use cv_common::json::{Json, ToJson};
+use cv_common::{json, CvError, FaultPlan, Result, SimDay, SimTime};
+use cv_core::insights::{InsightsService, UsageEvent, ViewInfo};
+use cv_core::repository::{JobMeta, SubexpressionRepo};
+use cv_core::SharedInsights;
+use cv_data::sharded::ShardedViewStore;
+use cv_data::value::Value;
+use cv_data::viewstore::{MaterializedView, ViewStoreStats};
+use cv_engine::engine::QueryEngine;
+use cv_engine::exec::{ExecOutcome, PendingView};
+use cv_engine::optimizer::{AlwaysGrant, ReuseContext, ViewMeta};
+use cv_engine::physical::PhysicalPlan;
+use cv_engine::signature::SubexprInfo;
+use cv_service::{
+    run_tasks, FlightOutcome, PipelinedViewSource, PoolConfig, PromisedView, ServiceStats,
+    SingleFlight, TaskSpec,
+};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Service-layer knobs on top of [`DriverConfig`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads in the execution pool.
+    pub workers: usize,
+    /// Lock stripes in the shared view store.
+    pub store_shards: usize,
+    /// Max concurrently admitted jobs per virtual cluster.
+    pub vc_inflight_limit: usize,
+    /// Bound on each VC's deferred queue (backpressure on the submitter).
+    pub queue_cap: usize,
+    /// Open-loop pacing: wall-clock microseconds of release gap per
+    /// sim-hour between consecutive submissions. 0 = closed loop (release
+    /// everything immediately, the pool's admission control is the only
+    /// throttle).
+    pub pacing_us_per_sim_hour: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 4,
+            store_shards: cv_data::sharded::DEFAULT_SHARDS,
+            vc_inflight_limit: 4,
+            queue_cap: 32,
+            pacing_us_per_sim_hour: 0,
+        }
+    }
+}
+
+/// Service-side counters for one run.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceReport {
+    pub workers: usize,
+    pub shards: usize,
+    /// Jobs whose execution read at least one view built by a concurrent
+    /// job in the same epoch.
+    pub pipelined_jobs: u64,
+    pub pipelined_reads: u64,
+    pub flight_waits: u64,
+    pub duplicate_materializations: u64,
+    /// Work units of recomputation avoided by pipelining — compare against
+    /// `pipelining_savings_bound` (the Fig. 9 opportunity).
+    pub realized_pipelining_savings: f64,
+    pub steals: u64,
+    pub admission_deferrals: u64,
+    pub max_inflight: usize,
+    /// Wall-clock seconds spent inside the execution pool.
+    pub exec_wall_seconds: f64,
+    /// Per-job wall latency (release → completion) in milliseconds, sorted
+    /// by job id.
+    pub latencies_ms: Vec<(JobId, f64)>,
+}
+
+impl ServiceReport {
+    pub fn to_json(&self) -> Json {
+        json!({
+            "workers": self.workers,
+            "shards": self.shards,
+            "pipelined_jobs": self.pipelined_jobs,
+            "pipelined_reads": self.pipelined_reads,
+            "flight_waits": self.flight_waits,
+            "duplicate_materializations": self.duplicate_materializations,
+            "realized_pipelining_savings": self.realized_pipelining_savings,
+            "steals": self.steals,
+            "admission_deferrals": self.admission_deferrals,
+            "max_inflight": self.max_inflight,
+            "exec_wall_seconds": self.exec_wall_seconds,
+        })
+    }
+}
+
+/// Everything a service run produces: the sequential driver's outcome
+/// fields plus the service counters.
+#[derive(Debug)]
+pub struct ServiceOutcome {
+    pub ledger: MetricsLedger,
+    pub repo: SubexpressionRepo,
+    pub usage: Vec<UsageEvent>,
+    pub view_store_stats: ViewStoreStats,
+    pub result_digests: BTreeMap<JobId, Sig128>,
+    pub failed_jobs: u64,
+    pub selection_history: Vec<(SimDay, usize)>,
+    pub gdpr_purged_views: u64,
+    pub robustness: RobustnessStats,
+    pub service: ServiceReport,
+}
+
+impl ServiceOutcome {
+    pub fn report_json(&self) -> Json {
+        let totals = self.ledger.totals();
+        json!({
+            "jobs": totals.jobs,
+            "failed_jobs": self.failed_jobs,
+            "latency_seconds": totals.latency_seconds,
+            "processing_seconds": totals.processing_seconds,
+            "bonus_seconds": totals.bonus_seconds,
+            "containers": totals.containers,
+            "input_bytes": totals.input_bytes,
+            "views_built": totals.views_built,
+            "views_reused": totals.views_reused,
+            "robustness": self.robustness.to_json(),
+            "service": self.service.to_json(),
+        })
+    }
+}
+
+/// One compiled job awaiting (or back from) pool execution.
+struct CompiledTask {
+    meta: JobMeta,
+    use_cv: bool,
+    matched: Vec<Sig128>,
+    built: Vec<Sig128>,
+    subexprs: Vec<SubexprInfo>,
+    output_dataset: Option<String>,
+}
+
+/// How one pending view's seal went.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SealState {
+    /// Sealed into the store; announce at the epoch boundary.
+    Published,
+    /// Dropped (write fault or quarantine race); release the creation lock.
+    Dropped,
+    /// The signature was already live — a duplicate materialization the
+    /// single-flight layer exists to prevent.
+    Duplicate,
+}
+
+struct SealReport {
+    sig: Sig128,
+    recurring: Sig128,
+    rows: u64,
+    bytes: u64,
+    state: SealState,
+}
+
+/// What a pool task ships back to the commit phase.
+struct TaskDone {
+    exec: ExecOutcome,
+    stages: cv_cluster::stage::StageGraph,
+    served: Vec<Sig128>,
+    seals: Vec<SealReport>,
+}
+
+/// A view sealed during the day, queued for the day-end insights announce.
+struct DaySeal {
+    sig: Sig128,
+    recurring: Sig128,
+    rows: u64,
+    bytes: u64,
+    job: JobId,
+    vc: cv_common::ids::VcId,
+    at: SimTime,
+}
+
+/// Run a workload through the concurrent service.
+///
+/// Determinism contract: for a fixed workload and [`DriverConfig`], the
+/// per-job `result_digests` are identical for every `svc.workers` value —
+/// and identical to the sequential [`crate::driver::run_workload`] digests
+/// (reuse and scheduling never change results).
+pub fn run_workload_service(
+    workload: &Workload,
+    cfg: &DriverConfig,
+    svc: &ServiceConfig,
+) -> Result<ServiceOutcome> {
+    let enabled = cfg.cloudviews.is_some();
+    let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    if cfg.optimizer.verify_plans {
+        engine
+            .optimizer
+            .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
+    }
+    // The engine's own store stays empty; all view traffic goes through the
+    // shared sharded store.
+    let store = ShardedViewStore::new(cfg.view_ttl, svc.store_shards);
+    store.set_fault_plan(cfg.faults.clone());
+    let insights = SharedInsights::new(InsightsService::new(cfg.controls.clone()));
+    let flights = SingleFlight::new();
+    let stats = ServiceStats::default();
+
+    let mut repo = SubexpressionRepo::new();
+    let mut data_plane: HashMap<JobId, DataPlane> = HashMap::new();
+    let mut result_digests = BTreeMap::new();
+    let mut selection_history = Vec::new();
+    let mut failed_jobs = 0u64;
+    let mut gdpr_purged_views = 0u64;
+    let mut next_job = 0u64;
+    let mut robustness = RobustnessStats::default();
+    let mut specs_for_sim: Vec<JobSpec> = Vec::new();
+    let mut pipelined_jobs = 0u64;
+    let mut steals = 0u64;
+    let mut admission_deferrals = 0u64;
+    let mut max_inflight = 0usize;
+    let mut exec_wall = Duration::ZERO;
+    let mut latencies_ms: Vec<(JobId, f64)> = Vec::new();
+
+    let raw = raw_specs();
+
+    for day_idx in 0..cfg.days {
+        let day = SimDay(day_idx);
+        let day_start = day.start();
+
+        // Hygiene once per day (the sequential driver evicts before every
+        // job; reads re-check expiry themselves, so only eviction-counter
+        // timing differs — see DESIGN.md §9).
+        store.evict_expired(day_start);
+        insights.lock().expire(day_start);
+
+        // 1. Ingestion: bulk-regenerate due raw datasets (identical to the
+        // sequential driver — same rng, same tables, same GUID rotations).
+        for spec in &raw {
+            if day_idx % spec.update_every_days != 0 {
+                continue;
+            }
+            let mut rng = data_rng(workload.config.seed, spec.name, day);
+            let table = spec.generate(&mut rng, workload.config.scale, day);
+            match engine.catalog.id_of(spec.name) {
+                Some(id) => {
+                    engine.catalog.bulk_update(id, table, day_start)?;
+                }
+                None => {
+                    engine.catalog.register(spec.name, table, day_start)?;
+                }
+            }
+        }
+
+        if let Some(every) = cfg.gdpr_every_days {
+            if day_idx > 0 && day_idx % every == 0 {
+                gdpr_purged_views +=
+                    apply_gdpr_service(&mut engine, &store, &insights, workload.config.seed, day)?
+                        as u64;
+            }
+        }
+
+        // 2. Due jobs, sorted exactly like the sequential driver so job ids
+        // line up one-to-one across modes.
+        let mut due: Vec<&JobTemplate> =
+            workload.templates.iter().filter(|t| t.due_on(day)).collect();
+        due.sort_by(|a, b| {
+            a.submit_time(day)
+                .seconds()
+                .total_cmp(&b.submit_time(day).seconds())
+                .then(a.id.cmp(&b.id))
+        });
+
+        // Wave split: dataset producers run (and publish to the catalog)
+        // before any consumer compiles. The generator schedules cooking
+        // well before analytics; verify that holds so the split never
+        // reorders jobs relative to the sequential driver.
+        let first_consumer =
+            due.iter().position(|t| t.output_dataset().is_none()).unwrap_or(due.len());
+        if due[first_consumer..].iter().any(|t| t.output_dataset().is_some()) {
+            return Err(CvError::constraint(
+                "wave partition would reorder jobs: a dataset producer submits after a consumer",
+            ));
+        }
+        let (wave0, wave1) = due.split_at(first_consumer);
+
+        let mut day_seals: Vec<DaySeal> = Vec::new();
+        for wave in [wave0, wave1] {
+            if wave.is_empty() {
+                continue;
+            }
+            let report = run_wave(WaveCtx {
+                engine: &mut engine,
+                insights: &insights,
+                store: &store,
+                flights: &flights,
+                stats: &stats,
+                wave,
+                day,
+                enabled,
+                cfg,
+                svc,
+                next_job: &mut next_job,
+                repo: &mut repo,
+                data_plane: &mut data_plane,
+                result_digests: &mut result_digests,
+                failed_jobs: &mut failed_jobs,
+                robustness: &mut robustness,
+                day_seals: &mut day_seals,
+                specs_for_sim: &mut specs_for_sim,
+                pipelined_jobs: &mut pipelined_jobs,
+            })?;
+            steals += report.steals;
+            admission_deferrals += report.admission_deferrals;
+            max_inflight = max_inflight.max(report.max_inflight);
+            exec_wall += report.exec_wall;
+            latencies_ms.extend(
+                report.latencies.into_iter().map(|(job, d)| (job, d.as_secs_f64() * 1000.0)),
+            );
+        }
+
+        // Day end: announce the views sealed this day to the insights
+        // service, in job order (the sequential driver announces at the
+        // simulator's seal events; the digest contract is unaffected, only
+        // the announce instant differs — DESIGN.md §9).
+        {
+            let mut ins = insights.lock();
+            for s in &day_seals {
+                ins.report_sealed(
+                    ViewInfo {
+                        strict: s.sig,
+                        recurring: s.recurring,
+                        rows: s.rows,
+                        bytes: s.bytes,
+                        sealed_at: s.at,
+                        expires: s.at + cfg.view_ttl,
+                        vc: s.vc,
+                    },
+                    s.job,
+                );
+            }
+        }
+        flights.clear();
+
+        // 3. Workload analysis + selection publish.
+        if let Some(knobs) = &cfg.cloudviews {
+            if (day_idx + 1) % knobs.analysis_every_days == 0 {
+                let n = run_analysis(&repo, &mut insights.lock(), knobs, day, &cfg.cluster);
+                selection_history.push((day, n));
+            }
+        }
+    }
+
+    // Cluster-side accounting, merged deterministically.
+    let ledger = merge_completions(
+        specs_for_sim,
+        &mut data_plane,
+        &cfg.cluster,
+        &cfg.faults,
+        &mut robustness,
+    )?;
+
+    let store_stats = store.stats();
+    robustness.view_write_failures = store_stats.write_failures;
+    robustness.views_quarantined = store_stats.views_quarantined;
+
+    let snap = stats.snapshot();
+    latencies_ms.sort_by_key(|a| a.0);
+    let service = ServiceReport {
+        workers: svc.workers,
+        shards: store.n_shards(),
+        pipelined_jobs,
+        pipelined_reads: snap.pipelined_reads,
+        flight_waits: snap.flight_waits,
+        duplicate_materializations: snap.duplicate_materializations,
+        realized_pipelining_savings: snap.realized_savings,
+        steals,
+        admission_deferrals,
+        max_inflight,
+        exec_wall_seconds: exec_wall.as_secs_f64(),
+        latencies_ms,
+    };
+
+    let usage = insights.lock().usage_log().to_vec();
+    Ok(ServiceOutcome {
+        ledger,
+        repo,
+        usage,
+        view_store_stats: store_stats,
+        result_digests,
+        failed_jobs,
+        selection_history,
+        gdpr_purged_views,
+        robustness,
+        service,
+    })
+}
+
+/// Everything one wave needs (bundled to keep `run_wave` callable).
+struct WaveCtx<'a, 'w> {
+    engine: &'a mut QueryEngine,
+    insights: &'a SharedInsights,
+    store: &'a ShardedViewStore,
+    flights: &'a SingleFlight,
+    stats: &'a ServiceStats,
+    wave: &'a [&'w JobTemplate],
+    day: SimDay,
+    enabled: bool,
+    cfg: &'a DriverConfig,
+    svc: &'a ServiceConfig,
+    next_job: &'a mut u64,
+    repo: &'a mut SubexpressionRepo,
+    data_plane: &'a mut HashMap<JobId, DataPlane>,
+    result_digests: &'a mut BTreeMap<JobId, Sig128>,
+    failed_jobs: &'a mut u64,
+    robustness: &'a mut RobustnessStats,
+    day_seals: &'a mut Vec<DaySeal>,
+    specs_for_sim: &'a mut Vec<JobSpec>,
+    pipelined_jobs: &'a mut u64,
+}
+
+struct WaveReport {
+    steals: u64,
+    admission_deferrals: u64,
+    max_inflight: usize,
+    exec_wall: Duration,
+    latencies: Vec<(JobId, Duration)>,
+}
+
+fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
+    let WaveCtx {
+        engine,
+        insights,
+        store,
+        flights,
+        stats,
+        wave,
+        day,
+        enabled,
+        cfg,
+        svc,
+        next_job,
+        repo,
+        data_plane,
+        result_digests,
+        failed_jobs,
+        robustness,
+        day_seals,
+        specs_for_sim,
+        pipelined_jobs,
+    } = ctx;
+
+    // ---- Phase A: compile sequentially, in job order. ----
+    let mut compiled: Vec<CompiledTask> = Vec::new();
+    // Owned per-task execution inputs, moved into pool closures.
+    let mut exec_inputs: Vec<(PhysicalPlan, HashSet<Sig128>, Vec<JobId>)> = Vec::new();
+
+    for template in wave {
+        let submit = template.submit_time(day);
+        let job = JobId(*next_job);
+        *next_job += 1;
+        let meta = JobMeta {
+            job,
+            template: template.id,
+            pipeline: template.pipeline,
+            vc: template.vc,
+            user: template.user,
+            submit,
+        };
+
+        let metadata_down = enabled && cfg.faults.metadata_down(submit);
+        if metadata_down {
+            robustness.metadata_outage_jobs += 1;
+        }
+        let use_cv = enabled && !metadata_down;
+
+        let compile = (|| -> Result<(CompiledTask, PhysicalPlan, HashSet<Sig128>, Vec<JobId>)> {
+            let plan = template.build_plan(engine, day)?;
+            let subexprs = engine.subexpressions(&plan)?;
+            let mut reuse = if use_cv {
+                insights.lock().annotate(meta.vc, job, &subexprs, submit).0
+            } else {
+                ReuseContext::empty()
+            };
+
+            // Flight-state rewrite: reconcile the wanted builds against the
+            // in-flight registry before optimizing.
+            let mut promised: HashSet<Sig128> = HashSet::new();
+            let mut deps: Vec<JobId> = Vec::new();
+            if use_cv {
+                let mut wanted: Vec<Sig128> = reuse.to_build.iter().copied().collect();
+                wanted.sort();
+                for sig in wanted {
+                    if let Some((builder, pv)) = flights.promise(sig) {
+                        // A concurrent job is building it: plan against the
+                        // promised statistics and pipeline from the builder.
+                        reuse.to_build.remove(&sig);
+                        reuse.available.insert(sig, ViewMeta { rows: pv.rows, bytes: pv.bytes });
+                        promised.insert(sig);
+                        if !deps.contains(&builder) {
+                            deps.push(builder);
+                        }
+                    } else if let Some(outcome) = flights.outcome(sig) {
+                        match outcome {
+                            FlightOutcome::Published => {
+                                // Built earlier this epoch (e.g. by wave 0):
+                                // ordinary reuse with the sealed statistics.
+                                if let Some((rows, bytes, _)) = store.peek_meta(sig, submit) {
+                                    reuse.to_build.remove(&sig);
+                                    reuse.available.insert(sig, ViewMeta { rows, bytes });
+                                }
+                            }
+                            // Failed builds released their creation lock in
+                            // the commit phase; leave the signature in
+                            // to_build so this job may rebuild it.
+                            FlightOutcome::Failed => {}
+                        }
+                    }
+                }
+            }
+
+            let compiled_job = if use_cv {
+                let mut coord = insights.clone();
+                engine.optimize(&plan, &reuse, &mut coord)?
+            } else {
+                engine.optimize(&plan, &reuse, &mut AlwaysGrant)?
+            };
+
+            let built = compiled_job.outcome.built_views.clone();
+            for sig in &built {
+                let promise = spool_promise(&compiled_job.outcome.physical, *sig);
+                flights.claim(*sig, job, promise);
+            }
+
+            let task = CompiledTask {
+                meta,
+                use_cv,
+                matched: compiled_job.outcome.matched_views.clone(),
+                built,
+                subexprs,
+                output_dataset: template.output_dataset().map(str::to_string),
+            };
+            Ok((task, compiled_job.outcome.physical, promised, deps))
+        })();
+
+        match compile {
+            Ok((task, physical, promised, deps)) => {
+                compiled.push(task);
+                exec_inputs.push((physical, promised, deps));
+            }
+            Err(_) => {
+                *failed_jobs += 1;
+            }
+        }
+    }
+
+    // ---- Phase B: execute in parallel. ----
+    let pool_cfg = PoolConfig {
+        workers: svc.workers,
+        vc_inflight_limit: svc.vc_inflight_limit,
+        queue_cap: svc.queue_cap,
+    };
+    // Open-loop release gaps scaled from sim-time submission deltas.
+    let gaps: Vec<Duration> = if svc.pacing_us_per_sim_hour == 0 {
+        vec![Duration::ZERO; compiled.len()]
+    } else {
+        let mut gaps = Vec::with_capacity(compiled.len());
+        let mut prev: Option<f64> = None;
+        for t in &compiled {
+            let s = t.meta.submit.seconds();
+            let gap = prev.map_or(0.0, |p| (s - p).max(0.0) / 3600.0);
+            gaps.push(Duration::from_micros((gap * svc.pacing_us_per_sim_hour as f64) as u64));
+            prev = Some(s);
+        }
+        gaps
+    };
+
+    let (tx, rx) = mpsc::channel::<(JobId, Result<TaskDone>)>();
+    let mut tasks: Vec<TaskSpec<'_>> = Vec::new();
+    let engine_ref: &QueryEngine = engine;
+    for (task, (physical, promised, deps)) in compiled.iter().zip(exec_inputs) {
+        let job = task.meta.job;
+        let vc = task.meta.vc;
+        let submit = task.meta.submit;
+        let built = task.built.clone();
+        let tx = tx.clone();
+        tasks.push(TaskSpec {
+            job,
+            vc,
+            deps,
+            run: Box::new(move || {
+                let src = PipelinedViewSource::new(store, flights, stats, promised);
+                let res = engine_ref.execute_with(&physical, &src, submit);
+                let served = src.into_served();
+                let done = res.and_then(|exec| {
+                    let mut seals = Vec::new();
+                    let mut resolved: HashSet<Sig128> = HashSet::new();
+                    for pv in &exec.pending_views {
+                        let state = seal_pending(store, stats, pv, job, vc, submit);
+                        let outcome = match state {
+                            SealState::Published | SealState::Duplicate => FlightOutcome::Published,
+                            SealState::Dropped => FlightOutcome::Failed,
+                        };
+                        flights.resolve(pv.sig, outcome);
+                        resolved.insert(pv.sig);
+                        seals.push(SealReport {
+                            sig: pv.sig,
+                            recurring: pv.recurring_sig,
+                            rows: pv.data.num_rows() as u64,
+                            bytes: pv.data.byte_size(),
+                            state,
+                        });
+                    }
+                    for sig in &built {
+                        if !resolved.contains(sig) {
+                            flights.resolve(*sig, FlightOutcome::Failed);
+                        }
+                    }
+                    let stages = build_stages(&physical, &exec.metrics.op_profiles)?;
+                    stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                    Ok(TaskDone { exec, stages, served, seals })
+                });
+                if done.is_err() {
+                    // Exec (or stage-build) failure: every claimed flight
+                    // must resolve so pipelined consumers fall back.
+                    for sig in &built {
+                        flights.resolve(*sig, FlightOutcome::Failed);
+                    }
+                }
+                let _ = tx.send((job, done));
+            }),
+        });
+    }
+    drop(tx);
+
+    let pool_started = Instant::now();
+    let report = run_tasks(&pool_cfg, tasks, &gaps);
+    let exec_wall = pool_started.elapsed();
+
+    let mut results: HashMap<JobId, Result<TaskDone>> = HashMap::new();
+    for (job, done) in rx.try_iter() {
+        results.insert(job, done);
+    }
+
+    // ---- Phase C: commit sequentially, in job order. ----
+    for task in &compiled {
+        let job = task.meta.job;
+        match results.remove(&job) {
+            Some(Ok(done)) => {
+                repo.log_job(task.meta, &task.subexprs, Some(&done.exec.metrics.op_profiles));
+                result_digests.insert(job, digest_table(&done.exec.table));
+
+                for sig in &done.exec.metrics.quarantined_sigs {
+                    store.quarantine(*sig);
+                    insights.lock().quarantine(*sig);
+                }
+                robustness.view_read_failures += done.exec.metrics.view_read_failures;
+                robustness.view_corruptions += done.exec.metrics.view_corruptions;
+                robustness.view_expiry_races += done.exec.metrics.view_expiry_races;
+
+                let dp =
+                    DataPlane::from_exec(&done.exec.metrics, task.matched.len(), task.built.len());
+                robustness.fallbacks_recompute += dp.fallbacks_recompute;
+
+                if task.use_cv && !task.matched.is_empty() {
+                    insights.lock().record_reuse(&task.matched, job, task.meta.submit);
+                }
+
+                // Realized pipelining savings: each read served from a view
+                // a concurrent job built avoided recomputing that
+                // subexpression (the view's observed production work).
+                if !done.served.is_empty() {
+                    *pipelined_jobs += 1;
+                    for sig in &done.served {
+                        if let Some(work) = store.observed_work(*sig) {
+                            stats.add_realized_savings(work);
+                        }
+                    }
+                }
+
+                if let Some(output) = &task.output_dataset {
+                    match engine.catalog.id_of(output) {
+                        Some(id) => {
+                            engine.catalog.bulk_update(
+                                id,
+                                done.exec.table.clone(),
+                                task.meta.submit,
+                            )?;
+                        }
+                        None => {
+                            engine.catalog.register(
+                                output,
+                                done.exec.table.clone(),
+                                task.meta.submit,
+                            )?;
+                        }
+                    }
+                }
+
+                for seal in &done.seals {
+                    match seal.state {
+                        SealState::Published => day_seals.push(DaySeal {
+                            sig: seal.sig,
+                            recurring: seal.recurring,
+                            rows: seal.rows,
+                            bytes: seal.bytes,
+                            job,
+                            vc: task.meta.vc,
+                            at: task.meta.submit,
+                        }),
+                        // Write fault / quarantine race / duplicate: the
+                        // view was never (newly) advertised — release the
+                        // creation lock so a later job can rebuild.
+                        SealState::Dropped | SealState::Duplicate => {
+                            insights.lock().release_lock(seal.sig);
+                        }
+                    }
+                }
+
+                data_plane.insert(job, dp);
+                specs_for_sim.push(JobSpec {
+                    job,
+                    vc: task.meta.vc,
+                    template: task.meta.template,
+                    submit: task.meta.submit,
+                    stages: done.stages,
+                });
+            }
+            Some(Err(_)) | None => {
+                *failed_jobs += 1;
+                let ins = insights.lock();
+                for sig in &task.built {
+                    ins.release_lock(*sig);
+                }
+            }
+        }
+    }
+
+    Ok(WaveReport {
+        steals: report.steals,
+        admission_deferrals: report.admission_deferrals,
+        max_inflight: report.max_inflight,
+        exec_wall,
+        latencies: report.latencies,
+    })
+}
+
+/// Seal one pending view into the shared store, classifying the outcome.
+fn seal_pending(
+    store: &ShardedViewStore,
+    stats: &ServiceStats,
+    pv: &PendingView,
+    job: JobId,
+    vc: cv_common::ids::VcId,
+    now: SimTime,
+) -> SealState {
+    if store.contains(pv.sig) {
+        // Another materialization already landed — exactly what the
+        // single-flight registry plus the insights creation locks prevent.
+        stats.duplicate_materializations.fetch_add(1, Ordering::Relaxed);
+        return SealState::Duplicate;
+    }
+    let insert = store.insert(MaterializedView {
+        strict_sig: pv.sig,
+        recurring_sig: pv.recurring_sig,
+        schema: pv.schema.clone(),
+        data: pv.data.clone(),
+        rows: 0,
+        bytes: 0,
+        created: now,
+        expires: now, // recomputed by the store from its TTL
+        creator_job: job,
+        vc,
+        input_guids: pv.input_guids.clone(),
+        observed_work: pv.production_work,
+        checksum: 0, // recomputed by the store
+    });
+    match insert {
+        // The store may silently drop a quarantined signature; re-check.
+        Ok(()) if store.contains(pv.sig) => SealState::Published,
+        Ok(()) => SealState::Dropped,
+        Err(_) => SealState::Dropped,
+    }
+}
+
+/// Promised statistics for a claimed build: the spool's own estimate.
+fn spool_promise(plan: &PhysicalPlan, target: Sig128) -> PromisedView {
+    if let PhysicalPlan::Spool { sig, est, .. } = plan {
+        if *sig == target {
+            return PromisedView {
+                rows: est.rows.max(0.0) as u64,
+                bytes: est.bytes.max(0.0) as u64,
+            };
+        }
+    }
+    for child in plan.children() {
+        let p = spool_promise(child, target);
+        if p.rows != 0 || p.bytes != 0 {
+            return p;
+        }
+    }
+    PromisedView::default()
+}
+
+/// GDPR forget-request against the shared sharded store (mirrors the
+/// sequential driver's `apply_gdpr`).
+fn apply_gdpr_service(
+    engine: &mut QueryEngine,
+    store: &ShardedViewStore,
+    insights: &SharedInsights,
+    seed: u64,
+    day: SimDay,
+) -> Result<usize> {
+    let Some(id) = engine.catalog.id_of("users") else {
+        return Ok(0);
+    };
+    let mut rng = data_rng(seed, "gdpr", day);
+    let victim = rng.range_i64(0, 40);
+    let outcome = engine.catalog.gdpr_forget(id, "u_id", &Value::Int(victim), day.start())?;
+    let stale = store.sigs_with_input(outcome.old_guid);
+    let purged = store.purge_input(outcome.old_guid, day.start());
+    insights.lock().purge_sigs(&stale);
+    Ok(purged)
+}
+
+/// Deterministically merge concurrently completed jobs into the cluster
+/// simulator.
+///
+/// The simulator rejects submissions that move time backwards, and the
+/// sequential driver relied on processing jobs in submission order to
+/// satisfy that. Under concurrent execution, completion order is
+/// schedule-dependent — so the merge sorts by `(submit, job)` first, making
+/// the cluster-side metrics a pure function of the job set regardless of
+/// which worker finished when.
+pub fn merge_completions(
+    mut specs: Vec<JobSpec>,
+    data_plane: &mut HashMap<JobId, DataPlane>,
+    cluster: &ClusterConfig,
+    faults: &FaultPlan,
+    robustness: &mut RobustnessStats,
+) -> Result<MetricsLedger> {
+    specs.sort_by(|a, b| a.submit.seconds().total_cmp(&b.submit.seconds()).then(a.job.cmp(&b.job)));
+    let mut sim = ClusterSim::new(cluster.clone());
+    sim.set_fault_plan(faults.clone());
+    for spec in specs {
+        // Advance to the submission instant, as the sequential driver does
+        // between jobs. ViewSealed events are ignored: the service sealed
+        // views at execution time.
+        let _ = sim.run_until(spec.submit);
+        sim.submit(spec)?;
+    }
+    let _ = sim.run_to_completion();
+    let mut ledger = MetricsLedger::new();
+    for result in sim.results() {
+        robustness.stage_retries += result.stage_retries as u64;
+        robustness.preemptions += result.preemptions as u64;
+        robustness.backoff_seconds += result.backoff_seconds;
+        robustness.job_restarts += result.restarts as u64;
+        let data = data_plane.remove(&result.job).unwrap_or_default();
+        ledger.add(JobRecord { result: result.clone(), data });
+    }
+    Ok(ledger)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_workload;
+    use crate::generator::{generate_workload, WorkloadConfig};
+    use cv_cluster::stage::{Stage, StageGraph};
+    use cv_common::ids::{TemplateId, VcId};
+
+    fn small_workload() -> Workload {
+        generate_workload(WorkloadConfig {
+            scale: 0.05,
+            n_analytics: 12,
+            ..WorkloadConfig::default()
+        })
+    }
+
+    fn quick_cluster() -> ClusterConfig {
+        ClusterConfig { total_containers: 200, ..ClusterConfig::default() }
+    }
+
+    fn spec(job: u64, submit_hours: f64, work: f64) -> JobSpec {
+        let stages = StageGraph {
+            stages: vec![Stage {
+                id: 0,
+                kind: "Extract".to_string(),
+                work,
+                partitions: 4,
+                deps: vec![],
+                seals_view: None,
+                checkpointed: false,
+            }],
+        };
+        JobSpec {
+            job: JobId(job),
+            vc: VcId(job % 2),
+            template: TemplateId(job),
+            submit: SimTime::EPOCH + cv_common::SimDuration::from_hours(submit_hours),
+            stages,
+        }
+    }
+
+    /// Satellite fix: the merge must produce identical cluster metrics no
+    /// matter what order concurrent completions arrive in — and must not
+    /// trip the simulator's monotonic-submission check.
+    #[test]
+    fn merge_is_completion_order_insensitive() {
+        let in_order: Vec<JobSpec> = (0..6).map(|i| spec(i, i as f64, 50.0 + i as f64)).collect();
+        let mut shuffled = in_order.clone();
+        shuffled.reverse();
+        shuffled.swap(1, 4);
+
+        let cluster = quick_cluster();
+        let run = |specs: Vec<JobSpec>| {
+            let mut dp = HashMap::new();
+            let mut rb = RobustnessStats::default();
+            let ledger =
+                merge_completions(specs, &mut dp, &cluster, &FaultPlan::none(), &mut rb).unwrap();
+            (ledger, rb)
+        };
+        let (a, rb_a) = run(in_order);
+        let (b, rb_b) = run(shuffled);
+
+        assert_eq!(a.len(), 6);
+        assert_eq!(a.totals(), b.totals());
+        assert_eq!(rb_a.stage_retries, rb_b.stage_retries);
+        let lat_a: Vec<f64> = a.records().iter().map(|r| r.result.finish.seconds()).collect();
+        let lat_b: Vec<f64> = b.records().iter().map(|r| r.result.finish.seconds()).collect();
+        assert_eq!(lat_a, lat_b, "per-job finish times must not depend on arrival order");
+    }
+
+    /// The determinism contract, cheap edition: a 1-worker service run
+    /// produces exactly the sequential driver's per-job digests.
+    #[test]
+    fn one_worker_matches_sequential_digests() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let seq = run_workload(&w, &cfg).unwrap();
+        let svc = ServiceConfig { workers: 1, ..ServiceConfig::default() };
+        let out = run_workload_service(&w, &cfg, &svc).unwrap();
+        assert_eq!(out.failed_jobs, 0);
+        assert_eq!(out.result_digests, seq.result_digests);
+        assert_eq!(out.service.duplicate_materializations, 0);
+    }
+
+    /// Multi-worker runs must agree with the 1-worker run bit-for-bit.
+    #[test]
+    fn worker_count_never_changes_results() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let one = run_workload_service(
+            &w,
+            &cfg,
+            &ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        )
+        .unwrap();
+        let four = run_workload_service(
+            &w,
+            &cfg,
+            &ServiceConfig { workers: 4, ..ServiceConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(one.result_digests, four.result_digests);
+        assert_eq!(one.failed_jobs, 0);
+        assert_eq!(four.failed_jobs, 0);
+        assert_eq!(four.service.duplicate_materializations, 0);
+        assert_eq!(one.ledger.totals(), four.ledger.totals());
+    }
+}

@@ -1,0 +1,343 @@
+//! `cv-serve` — drive the concurrent query service and check its contracts.
+//!
+//! Runs the same multi-day workload three ways: through the sequential
+//! driver (the reference), through the service with 1 worker, and through
+//! the service with N workers — then verifies the tentpole guarantees:
+//!
+//! * **Determinism** — per-job result digests are byte-identical across all
+//!   three runs, for any seed and any worker count.
+//! * **Single flight** — the duplicate-materialization counter is 0.
+//! * **No lost jobs** — every job completes under concurrency.
+//!
+//! It also reports throughput (jobs/sec of wall time inside the execution
+//! pool), latency percentiles, and the pipelining ledger: the realized
+//! concurrent-reuse savings next to the Fig. 9 `pipelining_savings_bound`
+//! opportunity. Exit code is non-zero iff any contract is violated.
+//!
+//! The speedup assertion is host-aware: on a single-hardware-thread box a
+//! thread pool cannot beat one worker, so `--min-speedup auto` only
+//! enforces the bound when the host has parallelism to give. The digest
+//! checks are unconditional — they are the correctness gate.
+//!
+//! Usage:
+//!   cv-serve [--days N] [--scale F] [--seed N] [--analytics N]
+//!            [--workers N] [--shards N] [--mode closed|open]
+//!            [--min-speedup auto|F] [--json PATH] [--bench PATH]
+
+use cv_common::json::{json, Json};
+use cv_common::Sig128;
+use cv_extensions::concurrent::pipelining_savings_bound;
+use cv_workload::{
+    generate_workload, run_workload, run_workload_service, DriverConfig, ServiceConfig,
+    ServiceOutcome, WorkloadConfig,
+};
+use std::process::ExitCode;
+
+struct Args {
+    days: u32,
+    scale: f64,
+    seed: u64,
+    analytics: usize,
+    workers: usize,
+    shards: usize,
+    open_loop: bool,
+    min_speedup: Option<f64>, // None = auto
+    json_path: Option<String>,
+    bench_path: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        days: 4,
+        scale: 0.05,
+        seed: 7,
+        analytics: 24,
+        workers: 8,
+        shards: 16,
+        open_loop: false,
+        min_speedup: None,
+        json_path: None,
+        bench_path: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--days" => {
+                let v = it.next().ok_or("--days needs a value")?;
+                args.days = v.parse().map_err(|_| format!("bad --days value `{v}`"))?;
+            }
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                args.scale = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
+            "--analytics" => {
+                let v = it.next().ok_or("--analytics needs a value")?;
+                args.analytics = v.parse().map_err(|_| format!("bad --analytics value `{v}`"))?;
+            }
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                args.workers = v.parse().map_err(|_| format!("bad --workers value `{v}`"))?;
+                if args.workers == 0 {
+                    return Err("--workers must be at least 1".to_string());
+                }
+            }
+            "--shards" => {
+                let v = it.next().ok_or("--shards needs a value")?;
+                args.shards = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
+            }
+            "--mode" => {
+                let v = it.next().ok_or("--mode needs closed|open")?;
+                args.open_loop = match v.as_str() {
+                    "closed" => false,
+                    "open" => true,
+                    other => return Err(format!("bad --mode value `{other}`")),
+                };
+            }
+            "--min-speedup" => {
+                let v = it.next().ok_or("--min-speedup needs auto|F")?;
+                args.min_speedup = if v == "auto" {
+                    None
+                } else {
+                    Some(v.parse().map_err(|_| format!("bad --min-speedup value `{v}`"))?)
+                };
+            }
+            "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
+            "--bench" => args.bench_path = Some(it.next().ok_or("--bench needs a path")?),
+            "--help" | "-h" => {
+                println!(
+                    "cv-serve: concurrent query-service benchmark + correctness gate\n\n\
+                     options:\n  --days N          simulated days (default 4)\n  \
+                     --scale F         workload data scale (default 0.05)\n  \
+                     --seed N          workload seed (default 7)\n  \
+                     --analytics N     analytics templates (default 24)\n  \
+                     --workers N       service worker threads (default 8)\n  \
+                     --shards N        view-store lock stripes (default 16)\n  \
+                     --mode M          closed|open load generation (default closed)\n  \
+                     --min-speedup S   auto, or a required N-worker/1-worker ratio\n  \
+                     --json PATH       write the full JSON report to PATH\n  \
+                     --bench PATH      write BENCH_service.json-style summary to PATH"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn percentile_ms(latencies: &[(cv_common::ids::JobId, f64)], p: f64) -> f64 {
+    let mut samples: Vec<f64> = latencies.iter().map(|(_, ms)| *ms).collect();
+    cv_cluster::metrics::percentile(&mut samples, p)
+}
+
+/// Order-insensitive checksum over every per-job digest, for the report.
+fn digest_checksum(digests: &std::collections::BTreeMap<cv_common::ids::JobId, Sig128>) -> String {
+    let mut h = cv_common::hash::StableHasher::with_domain("digest-checksum");
+    for (job, sig) in digests {
+        h.write_u64(job.0);
+        h.write_u128(sig.0);
+    }
+    format!("{:032x}", h.finish128().0)
+}
+
+fn jobs_per_sec(out: &ServiceOutcome) -> f64 {
+    let wall = out.service.exec_wall_seconds;
+    if wall <= 0.0 {
+        0.0
+    } else {
+        out.ledger.len() as f64 / wall
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cv-serve: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let workload = generate_workload(WorkloadConfig {
+        seed: args.seed,
+        scale: args.scale,
+        n_analytics: args.analytics,
+        ..WorkloadConfig::default()
+    });
+    let mut cfg = DriverConfig::enabled(args.days);
+    cfg.cluster.total_containers = 200;
+
+    let svc = |workers: usize| ServiceConfig {
+        workers,
+        store_shards: args.shards,
+        pacing_us_per_sim_hour: if args.open_loop { 200 } else { 0 },
+        ..ServiceConfig::default()
+    };
+
+    println!(
+        "cv-serve: {} day(s) at scale {}, seed {}, {} workers, {} shards, {} loop",
+        args.days,
+        args.scale,
+        args.seed,
+        args.workers,
+        args.shards,
+        if args.open_loop { "open" } else { "closed" }
+    );
+
+    let sequential = run_workload(&workload, &cfg).expect("sequential reference run");
+    let one = run_workload_service(&workload, &cfg, &svc(1)).expect("1-worker service run");
+    let many =
+        run_workload_service(&workload, &cfg, &svc(args.workers)).expect("N-worker service run");
+
+    // ---- Contracts. ----
+    let mut problems: Vec<String> = Vec::new();
+    if one.failed_jobs > 0 || many.failed_jobs > 0 {
+        problems.push(format!(
+            "failed jobs: {} (1-worker), {} ({}-worker)",
+            one.failed_jobs, many.failed_jobs, args.workers
+        ));
+    }
+    if one.result_digests != sequential.result_digests {
+        problems.push("1-worker digests diverge from the sequential driver".to_string());
+    }
+    if many.result_digests != one.result_digests {
+        problems.push(format!("{}-worker digests diverge from the 1-worker run", args.workers));
+    }
+    if many.service.duplicate_materializations > 0 {
+        problems.push(format!(
+            "{} duplicate materialization(s) — single flight failed",
+            many.service.duplicate_materializations
+        ));
+    }
+
+    let jps_1 = jobs_per_sec(&one);
+    let jps_n = jobs_per_sec(&many);
+    let speedup = if jps_1 > 0.0 { jps_n / jps_1 } else { 0.0 };
+    let host_parallelism =
+        std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+    let required_speedup = match args.min_speedup {
+        Some(f) => Some(f),
+        // auto: a pool cannot outrun one worker without hardware threads to
+        // run on; enforce only where the comparison is meaningful.
+        None if host_parallelism >= 2 => Some(1.0),
+        None => None,
+    };
+    match required_speedup {
+        Some(min) if speedup < min => problems.push(format!(
+            "speedup {speedup:.2}x below required {min:.2}x ({jps_n:.2} vs {jps_1:.2} jobs/sec)"
+        )),
+        Some(_) => {}
+        None => {
+            println!("  [speedup check skipped: host has {host_parallelism} hardware thread(s)]")
+        }
+    }
+
+    let bound = pipelining_savings_bound(&many.repo, many.ledger.records());
+    let realized = many.service.realized_pipelining_savings;
+    let s = &many.service;
+    println!(
+        "\n  jobs                        {}\n  exec wall (1w / {}w)        {:.3}s / {:.3}s\n  \
+         jobs/sec (1w / {}w)         {:.2} / {:.2}  (speedup {:.2}x)\n  \
+         latency p50/p95/p99         {:.2} / {:.2} / {:.2} ms\n  \
+         pipelined jobs / reads      {} / {}\n  flight waits                {}\n  \
+         duplicate materializations  {}\n  realized pipelining savings {:.3} work units\n  \
+         opportunity bound (Fig. 9)  {:.3} work units\n  \
+         steals / deferrals          {} / {}\n  max inflight                {}",
+        many.ledger.len(),
+        args.workers,
+        one.service.exec_wall_seconds,
+        many.service.exec_wall_seconds,
+        args.workers,
+        jps_1,
+        jps_n,
+        speedup,
+        percentile_ms(&s.latencies_ms, 50.0),
+        percentile_ms(&s.latencies_ms, 95.0),
+        percentile_ms(&s.latencies_ms, 99.0),
+        s.pipelined_jobs,
+        s.pipelined_reads,
+        s.flight_waits,
+        s.duplicate_materializations,
+        realized,
+        bound,
+        s.steals,
+        s.admission_deferrals,
+        s.max_inflight
+    );
+
+    let digests_match = many.result_digests == sequential.result_digests;
+    let bench = json!({
+        "workload": json!({
+            "days": args.days,
+            "scale": args.scale,
+            "seed": args.seed,
+            "analytics": args.analytics as u64,
+            "jobs": many.ledger.len() as u64,
+            "mode": if args.open_loop { "open" } else { "closed" },
+        }),
+        "workers": args.workers as u64,
+        "shards": s.shards as u64,
+        "exec_wall_seconds_1w": one.service.exec_wall_seconds,
+        "exec_wall_seconds_nw": many.service.exec_wall_seconds,
+        "jobs_per_sec_1w": jps_1,
+        "jobs_per_sec_nw": jps_n,
+        "speedup": speedup,
+        "latency_ms": json!({
+            "p50": percentile_ms(&s.latencies_ms, 50.0),
+            "p95": percentile_ms(&s.latencies_ms, 95.0),
+            "p99": percentile_ms(&s.latencies_ms, 99.0),
+        }),
+        "pipelining": json!({
+            "realized_savings": realized,
+            "opportunity_bound": bound,
+            "pipelined_jobs": s.pipelined_jobs,
+            "pipelined_reads": s.pipelined_reads,
+            "flight_waits": s.flight_waits,
+            "duplicate_materializations": s.duplicate_materializations,
+        }),
+        "digest_checksum": digest_checksum(&many.result_digests),
+        "digests_match_sequential": digests_match,
+        "host_parallelism": host_parallelism as u64,
+    });
+
+    if let Some(path) = &args.bench_path {
+        if let Err(e) = std::fs::write(path, bench.to_string_pretty()) {
+            eprintln!("cv-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[bench report] {path}");
+    }
+    if let Some(path) = &args.json_path {
+        let full = match many.report_json() {
+            Json::Obj(mut map) => {
+                map.insert("bench", bench.clone());
+                Json::Obj(map)
+            }
+            other => other,
+        };
+        if let Err(e) = std::fs::write(path, full.to_string_pretty()) {
+            eprintln!("cv-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[json report] {path}");
+    }
+    if args.bench_path.is_none() && args.json_path.is_none() {
+        println!("\n{}", bench.to_string_compact());
+    }
+
+    if problems.is_empty() {
+        println!(
+            "\ncv-serve: all contracts hold — digests identical across drivers and worker counts"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("cv-serve: VIOLATION: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -55,6 +55,7 @@ pub use cv_core as core;
 pub use cv_data as data;
 pub use cv_engine as engine;
 pub use cv_extensions as extensions;
+pub use cv_service as service;
 pub use cv_workload as workload;
 
 /// The names most programs need.
@@ -76,6 +77,7 @@ pub mod prelude {
     pub use cv_engine::optimizer::ReuseContext;
     pub use cv_engine::sql::Params;
     pub use cv_workload::{
-        generate_workload, run_workload, DriverConfig, SelectionKnobs, WorkloadConfig,
+        generate_workload, run_workload, run_workload_service, DriverConfig, SelectionKnobs,
+        ServiceConfig, WorkloadConfig,
     };
 }

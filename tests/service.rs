@@ -1,0 +1,141 @@
+//! Service-mode stress suite: the concurrent driver's contracts under
+//! multi-threaded execution — the test-sized version of the `cv-serve` gate.
+//!
+//! Contracts pinned here:
+//!
+//! 1. **Determinism** — per-job result digests are byte-identical across
+//!    the sequential driver, a 1-worker service run, and N-worker service
+//!    runs, for multiple seeds; repeated N-worker runs agree bit-for-bit.
+//! 2. **Single flight** — the duplicate-materialization counter stays 0
+//!    under contention, and concurrent duplicates pipeline from the
+//!    in-flight builder (realized savings > 0 once reuse warms up).
+//! 3. **Graceful degradation** — an aggressive fault plan through the
+//!    shared sharded store completes every job with fault-free results
+//!    while the robustness counters prove the faults fired.
+
+use cv_common::{FaultPlan, FaultPoint};
+use cv_workload::{
+    generate_workload, run_workload, run_workload_service, DriverConfig, ServiceConfig,
+    ServiceOutcome, Workload, WorkloadConfig,
+};
+
+fn stress_workload(seed: u64) -> Workload {
+    generate_workload(WorkloadConfig {
+        seed,
+        scale: 0.05,
+        n_analytics: 24,
+        ..WorkloadConfig::default()
+    })
+}
+
+fn config(days: u32, faults: FaultPlan) -> DriverConfig {
+    let mut cfg = DriverConfig::enabled(days);
+    cfg.cluster.total_containers = 200;
+    cfg.faults = faults;
+    cfg
+}
+
+fn service(workload: &Workload, cfg: &DriverConfig, workers: usize) -> ServiceOutcome {
+    let svc = ServiceConfig { workers, ..ServiceConfig::default() };
+    run_workload_service(workload, cfg, &svc).unwrap()
+}
+
+#[test]
+fn digests_match_sequential_across_seeds_and_workers() {
+    for seed in [7u64, 1234] {
+        let w = stress_workload(seed);
+        let cfg = config(3, FaultPlan::none());
+        let sequential = run_workload(&w, &cfg).unwrap();
+        assert_eq!(sequential.failed_jobs, 0);
+
+        for workers in [1usize, 4, 8] {
+            let out = service(&w, &cfg, workers);
+            assert_eq!(out.failed_jobs, 0, "seed {seed}, {workers} workers: jobs failed");
+            assert_eq!(
+                out.result_digests, sequential.result_digests,
+                "seed {seed}, {workers} workers: digests diverged from sequential driver"
+            );
+            assert_eq!(
+                out.service.duplicate_materializations, 0,
+                "seed {seed}, {workers} workers: single flight failed"
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_concurrent_runs_are_bit_identical() {
+    let w = stress_workload(99);
+    let cfg = config(3, FaultPlan::none());
+    let a = service(&w, &cfg, 8);
+    let b = service(&w, &cfg, 8);
+    assert_eq!(a.result_digests, b.result_digests);
+    assert_eq!(a.ledger.totals(), b.ledger.totals());
+    assert_eq!(a.failed_jobs, 0);
+    // Cluster-side metrics come from the deterministic merge, so even
+    // per-job records agree.
+    let fin_a: Vec<f64> = a.ledger.records().iter().map(|r| r.result.finish.seconds()).collect();
+    let fin_b: Vec<f64> = b.ledger.records().iter().map(|r| r.result.finish.seconds()).collect();
+    assert_eq!(fin_a, fin_b);
+}
+
+#[test]
+fn single_flight_pipelines_concurrent_duplicates() {
+    // Enough days for selection to publish and concurrent builds to
+    // collide on wanted signatures.
+    let w = stress_workload(7);
+    let cfg = config(5, FaultPlan::none());
+    let out = service(&w, &cfg, 8);
+    assert_eq!(out.failed_jobs, 0);
+    assert_eq!(out.service.duplicate_materializations, 0);
+    assert!(
+        out.service.pipelined_reads > 0,
+        "expected at least one read served from an in-flight build"
+    );
+    assert!(out.service.realized_pipelining_savings > 0.0, "pipelined reads must realize savings");
+    assert!(out.service.pipelined_jobs <= out.ledger.len() as u64);
+    // Dependency gating means consumers never block on the flight itself.
+    assert_eq!(out.service.flight_waits, 0, "scheduler should gate, not block");
+}
+
+#[test]
+fn faults_degrade_gracefully_under_contention() {
+    let w = stress_workload(7);
+    let clean = service(&w, &config(4, FaultPlan::none()), 8);
+    let faulty_plan = FaultPlan::seeded(1)
+        .with_rate(FaultPoint::ViewRead, 0.2)
+        .with_rate(FaultPoint::ViewWrite, 0.1)
+        .with_rate(FaultPoint::ViewCorrupt, 0.1)
+        .with_rate(FaultPoint::ViewExpiryRace, 0.05);
+    let faulty = service(&w, &config(4, faulty_plan), 8);
+
+    // Faults cost time, never correctness: every job completes and every
+    // result is byte-identical to the fault-free run.
+    assert_eq!(faulty.failed_jobs, 0, "faults must degrade, not fail jobs");
+    assert_eq!(faulty.result_digests, clean.result_digests);
+    assert_eq!(faulty.service.duplicate_materializations, 0);
+
+    // ...and the faults really fired through the sharded store.
+    let r = &faulty.robustness;
+    assert!(
+        r.view_read_failures + r.view_corruptions + r.view_write_failures > 0,
+        "fault plan did not fire: {r:?}"
+    );
+    assert!(r.fallbacks_recompute > 0, "read faults must trigger recompute fallbacks: {r:?}");
+    assert!(r.views_quarantined > 0, "read faults must quarantine views: {r:?}");
+}
+
+#[test]
+fn concurrent_gdpr_purges_views() {
+    let w = stress_workload(7);
+    let mut cfg = config(5, FaultPlan::none());
+    cfg.gdpr_every_days = Some(2);
+    let sequential = run_workload(&w, &cfg).unwrap();
+    let out = service(&w, &cfg, 4);
+    assert_eq!(out.failed_jobs, 0);
+    assert_eq!(out.result_digests, sequential.result_digests);
+    // Selection may or may not pick user-joined views (the sequential
+    // driver makes the same caveat); what must hold is that the sharded
+    // store purges exactly what the sequential store purged.
+    assert_eq!(out.gdpr_purged_views, sequential.gdpr_purged_views);
+}
