@@ -16,9 +16,28 @@ echo "==> cv-chaos smoke sweep (fixed seed; nonzero exit on divergence)"
 cargo run --release -q --bin cv-chaos -- --days 3 --scale 0.05 --seed 1 \
   > /dev/null || { echo "cv-chaos: fault sweep diverged"; exit 1; }
 
-echo "==> cv-serve smoke gate (1-worker vs 8-worker digest equality)"
+echo "==> cv-serve smoke gate (digest equality + trace structure across worker counts)"
+trace_json="$(mktemp)"
 cargo run --release -q --bin cv-serve -- --days 3 --scale 0.05 --analytics 12 \
   --seed 42 --workers 8 --min-speedup auto --bench BENCH_service.json \
+  --trace "$trace_json" \
   > /dev/null || { echo "cv-serve: service contract violated"; exit 1; }
+
+echo "==> trace + bench artifact validation"
+python3 - "$trace_json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "trace has no events"
+assert all("name" in e and e["ph"] in ("X", "i") for e in events), "malformed trace event"
+assert {e["pid"] for e in events} >= {1, 2}, "service or cluster timeline missing"
+bench = json.load(open("BENCH_service.json"))
+phases = bench["phase_wall_seconds"]
+for key in ("compile", "execute_parallel", "execute_pool", "commit", "pool_overhead"):
+    assert key in phases, f"phase_wall_seconds missing {key}"
+assert bench["digests_match_sequential"] is True, "digest contract violated"
+print(f"    trace OK ({len(events)} events), phase breakdown OK")
+EOF
+rm -f "$trace_json"
 
 echo "==> OK"

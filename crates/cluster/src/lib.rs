@@ -19,6 +19,7 @@
 pub mod metrics;
 pub mod sim;
 pub mod stage;
+pub mod timeline;
 
 pub use metrics::{DailyMetrics, JobResult, MetricsLedger};
 pub use sim::{ClusterConfig, ClusterSim, SimEvent};

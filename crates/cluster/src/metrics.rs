@@ -260,13 +260,23 @@ impl MetricsLedger {
 }
 
 /// Percentile over unsorted samples (nearest-rank). Returns 0.0 when empty.
+///
+/// Nearest-rank definition: the p-th percentile is the smallest sample such
+/// that at least p% of the data is ≤ it, i.e. index `ceil(p/100 · N) − 1`.
+/// p ≤ 0 selects the minimum, p ≥ 100 the maximum.
 pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     samples.sort_by(f64::total_cmp);
-    let rank = ((p / 100.0) * (samples.len() as f64 - 1.0)).round() as usize;
-    samples[rank.min(samples.len() - 1)]
+    if p <= 0.0 {
+        return samples[0];
+    }
+    if p >= 100.0 {
+        return samples[samples.len() - 1];
+    }
+    let rank = ((p / 100.0) * samples.len() as f64).ceil() as usize;
+    samples[rank.clamp(1, samples.len()) - 1]
 }
 
 #[cfg(test)]
@@ -343,5 +353,17 @@ mod tests {
         assert_eq!(percentile(&mut xs, 100.0), 5.0);
         assert_eq!(percentile(&mut xs, 75.0), 4.0);
         assert_eq!(percentile(&mut [], 50.0), 0.0);
+        // Even-length samples: nearest-rank p50 is the lower middle, not the
+        // upper (the old `.round()` formula picked 3.0 here).
+        let mut even = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&mut even, 50.0), 2.0);
+        // p95 of 100 samples selects the 95th order statistic (index 94),
+        // not index 94.05 rounded from (N−1)-scaling.
+        let mut hundred: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&mut hundred, 95.0), 95.0);
+        assert_eq!(percentile(&mut hundred, 99.0), 99.0);
+        // Tiny p never underflows below the first sample.
+        let mut pair = vec![10.0, 20.0];
+        assert_eq!(percentile(&mut pair, 0.1), 10.0);
     }
 }

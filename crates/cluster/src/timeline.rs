@@ -1,0 +1,160 @@
+//! Simulated-cluster timeline → Chrome trace events.
+//!
+//! The driver's [`Tracer`](../../obs/src/trace.rs) records *wall-clock*
+//! spans; the cluster simulator runs in *sim time*. This module renders the
+//! sim's [`JobResult`]s as a second Chrome-trace process (pick a distinct
+//! `pid`) so both timelines land in one `chrome://tracing` file: per-job
+//! queue-wait and run spans on a `tid` per virtual cluster, with early view
+//! seals as instant events. Sim seconds are mapped 1 µs : 1 ms (×1000) so a
+//! multi-day simulation stays navigable next to a millisecond-scale driver
+//! trace.
+//!
+//! Everything here derives from `JobResult` fields, which are deterministic
+//! for a fixed seed — the exported events are too (sim time is logical, not
+//! wall-clock).
+
+use crate::metrics::JobResult;
+use cv_common::json::{Json, JsonMap};
+
+/// Sim-seconds → trace microseconds (1 sim second renders as 1 ms).
+const US_PER_SIM_SECOND: f64 = 1000.0;
+
+fn us(seconds: f64) -> u64 {
+    (seconds * US_PER_SIM_SECOND).round().max(0.0) as u64
+}
+
+fn event(
+    name: &str,
+    ph: &str,
+    ts: u64,
+    dur: Option<u64>,
+    pid: u64,
+    tid: u64,
+    args: JsonMap,
+) -> Json {
+    let mut ev = JsonMap::new();
+    ev.insert("name", Json::from(name));
+    ev.insert("ph", Json::from(ph));
+    ev.insert("ts", Json::from(ts));
+    if let Some(d) = dur {
+        ev.insert("dur", Json::from(d));
+    }
+    ev.insert("pid", Json::from(pid));
+    ev.insert("tid", Json::from(tid));
+    ev.insert("args", Json::Obj(args));
+    Json::Obj(ev)
+}
+
+/// Render completed sim jobs as Chrome trace events under process `pid`.
+///
+/// Per job: a `queue` span (submit → start, omitted when zero-length), a
+/// `run` span (start → finish) carrying the job's deterministic counters,
+/// and one `seal` instant event per early-sealed view. `tid` is the job's
+/// virtual cluster, so each VC renders as one timeline row.
+pub fn chrome_events(results: &[JobResult], pid: u64) -> Vec<Json> {
+    let mut events = Vec::new();
+    let mut ordered: Vec<&JobResult> = results.iter().collect();
+    ordered.sort_by(|a, b| {
+        a.submit.seconds().total_cmp(&b.submit.seconds()).then(a.job.0.cmp(&b.job.0))
+    });
+    for r in ordered {
+        let tid = r.vc.0;
+        let submit = us(r.submit.seconds());
+        let start = us(r.start.seconds());
+        let finish = us(r.finish.seconds());
+        if start > submit {
+            let mut args = JsonMap::new();
+            args.insert("job", Json::from(r.job.0));
+            args.insert("queue_len_at_submit", Json::from(r.queue_len_at_submit as u64));
+            events.push(event(
+                &format!("queue j{}", r.job.0),
+                "X",
+                submit,
+                Some(start - submit),
+                pid,
+                tid,
+                args,
+            ));
+        }
+        let mut args = JsonMap::new();
+        args.insert("job", Json::from(r.job.0));
+        args.insert("template", Json::from(r.template.0));
+        args.insert("containers", Json::from(r.containers));
+        args.insert("restarts", Json::from(u64::from(r.restarts)));
+        args.insert("stage_retries", Json::from(u64::from(r.stage_retries)));
+        args.insert("preemptions", Json::from(u64::from(r.preemptions)));
+        args.insert("views_sealed", Json::from(r.sealed.len() as u64));
+        events.push(event(
+            &format!("run j{} t{}", r.job.0, r.template.0),
+            "X",
+            start,
+            Some(finish.saturating_sub(start).max(1)),
+            pid,
+            tid,
+            args,
+        ));
+        for (sig, at) in &r.sealed {
+            let mut args = JsonMap::new();
+            args.insert("job", Json::from(r.job.0));
+            args.insert("sig", Json::from(format!("{sig:?}")));
+            events.push(event("seal", "i", us(at.seconds()), None, pid, tid, args));
+        }
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_common::hash::Sig128;
+    use cv_common::ids::{JobId, TemplateId, VcId};
+    use cv_common::time::SimTime;
+
+    fn result(job: u64, vc: u64, submit_s: f64, start_s: f64, finish_s: f64) -> JobResult {
+        JobResult {
+            job: JobId(job),
+            vc: VcId(vc),
+            template: TemplateId(1),
+            submit: SimTime(submit_s),
+            start: SimTime(start_s),
+            finish: SimTime(finish_s),
+            queue_len_at_submit: 2,
+            processing_seconds: 1.0,
+            bonus_seconds: 0.0,
+            containers: 4,
+            restarts: 0,
+            sealed: vec![(Sig128(0x0709), SimTime(start_s + 0.5))],
+            total_work: 1.0,
+            stage_retries: 0,
+            preemptions: 0,
+            backoff_seconds: 0.0,
+        }
+    }
+
+    #[test]
+    fn queued_job_gets_queue_run_and_seal_events() {
+        let events = chrome_events(&[result(3, 1, 10.0, 12.0, 15.0)], 2);
+        assert_eq!(events.len(), 3);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.as_obj().and_then(|m| m.get("name")).and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, vec!["queue j3", "run j3 t1", "seal"]);
+        let run = events[1].as_obj().unwrap();
+        assert_eq!(run.get("ts").and_then(Json::as_u64), Some(12_000));
+        assert_eq!(run.get("dur").and_then(Json::as_u64), Some(3_000));
+        assert_eq!(run.get("tid").and_then(Json::as_u64), Some(1));
+        assert_eq!(run.get("pid").and_then(Json::as_u64), Some(2));
+    }
+
+    #[test]
+    fn unqueued_job_has_no_queue_span_and_order_is_deterministic() {
+        // Same submit time: ties break by job id regardless of input order.
+        let events = chrome_events(&[result(9, 0, 5.0, 5.0, 6.0), result(4, 0, 5.0, 5.0, 6.0)], 2);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.as_obj().and_then(|m| m.get("name")).and_then(Json::as_str))
+            .collect();
+        assert_eq!(names, vec!["run j4 t1", "seal", "run j9 t1", "seal"]);
+    }
+}

@@ -3,6 +3,7 @@
 use crate::bitmap::Bitmap;
 use crate::value::{DataType, Value};
 use cv_common::{CvError, Result};
+use std::sync::Arc;
 
 /// The physical buffer of a column. Nulls occupy a slot with an arbitrary
 /// placeholder; validity lives in [`Column::validity`].
@@ -43,9 +44,14 @@ impl ColumnData {
 
 /// One column of a table: typed buffer + optional validity bitmap
 /// (`None` means every row is valid).
+///
+/// The buffer is behind an `Arc`, so cloning a column (and hence a table)
+/// is a reference bump, never a data copy — view-store reads, catalog
+/// publishes and spool snapshots all share one immutable buffer. Columns
+/// are never mutated in place; every operator builds fresh buffers.
 #[derive(Clone, Debug)]
 pub struct Column {
-    data: ColumnData,
+    data: Arc<ColumnData>,
     validity: Option<Bitmap>,
 }
 
@@ -54,7 +60,7 @@ impl Column {
         if let Some(v) = &validity {
             assert_eq!(v.len(), data.len(), "validity length mismatch");
         }
-        Column { data, validity }
+        Column { data: Arc::new(data), validity }
     }
 
     /// Build a column of the given type from row values, validating types.
@@ -82,6 +88,11 @@ impl Column {
         &self.data
     }
 
+    /// Shared handle to the underlying buffer (reference bump, no copy).
+    pub fn shared_data(&self) -> Arc<ColumnData> {
+        Arc::clone(&self.data)
+    }
+
     #[inline]
     pub fn is_null(&self, i: usize) -> bool {
         match &self.validity {
@@ -102,7 +113,7 @@ impl Column {
         if self.is_null(i) {
             return Value::Null;
         }
-        match &self.data {
+        match self.data() {
             ColumnData::Bool(v) => Value::Bool(v[i]),
             ColumnData::Int(v) => Value::Int(v[i]),
             ColumnData::Float(v) => Value::Float(v[i]),
@@ -114,35 +125,35 @@ impl Column {
     /// Typed accessors used by the vectorized kernels; panic on type
     /// mismatch (the planner guarantees types line up).
     pub fn ints(&self) -> &[i64] {
-        match &self.data {
+        match self.data() {
             ColumnData::Int(v) => v,
             other => panic!("expected INT column, got {}", other.dtype()),
         }
     }
 
     pub fn floats(&self) -> &[f64] {
-        match &self.data {
+        match self.data() {
             ColumnData::Float(v) => v,
             other => panic!("expected FLOAT column, got {}", other.dtype()),
         }
     }
 
     pub fn bools(&self) -> &[bool] {
-        match &self.data {
+        match self.data() {
             ColumnData::Bool(v) => v,
             other => panic!("expected BOOL column, got {}", other.dtype()),
         }
     }
 
     pub fn strs(&self) -> &[String] {
-        match &self.data {
+        match self.data() {
             ColumnData::Str(v) => v,
             other => panic!("expected STRING column, got {}", other.dtype()),
         }
     }
 
     pub fn dates(&self) -> &[i32] {
-        match &self.data {
+        match self.data() {
             ColumnData::Date(v) => v,
             other => panic!("expected DATE column, got {}", other.dtype()),
         }
@@ -157,7 +168,7 @@ impl Column {
                 .filter_map(|(x, &m)| if m { Some(x.clone()) } else { None })
                 .collect()
         }
-        let data = match &self.data {
+        let data = match self.data() {
             ColumnData::Bool(v) => ColumnData::Bool(sel(v, mask)),
             ColumnData::Int(v) => ColumnData::Int(sel(v, mask)),
             ColumnData::Float(v) => ColumnData::Float(sel(v, mask)),
@@ -165,7 +176,7 @@ impl Column {
             ColumnData::Date(v) => ColumnData::Date(sel(v, mask)),
         };
         let validity = self.validity.as_ref().map(|v| v.filter(mask));
-        Column { data, validity }
+        Column { data: Arc::new(data), validity }
     }
 
     /// Gather rows by index (indices may repeat or reorder).
@@ -173,7 +184,7 @@ impl Column {
         fn gather<T: Clone>(v: &[T], idx: &[usize]) -> Vec<T> {
             idx.iter().map(|&i| v[i].clone()).collect()
         }
-        let data = match &self.data {
+        let data = match self.data() {
             ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices)),
             ColumnData::Int(v) => ColumnData::Int(gather(v, indices)),
             ColumnData::Float(v) => ColumnData::Float(gather(v, indices)),
@@ -181,7 +192,7 @@ impl Column {
             ColumnData::Date(v) => ColumnData::Date(gather(v, indices)),
         };
         let validity = self.validity.as_ref().map(|v| v.take(indices));
-        Column { data, validity }
+        Column { data: Arc::new(data), validity }
     }
 
     /// Concatenate two same-typed columns.
@@ -205,7 +216,7 @@ impl Column {
 
     /// Approximate in-memory byte size (storage accounting for views).
     pub fn byte_size(&self) -> u64 {
-        let base = match &self.data {
+        let base = match self.data() {
             ColumnData::Bool(v) => v.len() as u64,
             ColumnData::Int(v) => v.len() as u64 * 8,
             ColumnData::Float(v) => v.len() as u64 * 8,
@@ -295,7 +306,7 @@ impl ColumnBuilder {
 
     pub fn finish(self) -> Column {
         let validity = if self.has_null { Some(self.validity) } else { None };
-        Column { data: self.data, validity }
+        Column { data: Arc::new(self.data), validity }
     }
 }
 
@@ -391,6 +402,14 @@ mod tests {
         let c = int_col(&[Some(1)]);
         let res = std::panic::catch_unwind(|| c.floats().len());
         assert!(res.is_err());
+    }
+
+    #[test]
+    fn clone_shares_the_buffer() {
+        let c = int_col(&(0..1000).map(Some).collect::<Vec<_>>());
+        let d = c.clone();
+        assert!(Arc::ptr_eq(&c.shared_data(), &d.shared_data()));
+        assert_eq!(d.ints(), c.ints());
     }
 
     #[test]

@@ -111,9 +111,7 @@ impl ShardedViewStore {
 
     /// Observed production cost of a stored view (any liveness state).
     pub fn observed_work(&self, sig: Sig128) -> Option<f64> {
-        let shard = self.read_for(sig);
-        let work = shard.iter().find(|v| v.strict_sig == sig).map(|v| v.observed_work);
-        work
+        self.read_for(sig).observed_work(sig)
     }
 
     /// Drop expired views across all shards; total evicted.

@@ -243,6 +243,13 @@ impl ViewStore {
         self.peek(sig, now).is_some()
     }
 
+    /// Observed production cost of a stored view, regardless of liveness.
+    /// Direct map lookup — commit-phase savings accounting calls this per
+    /// reused view, so it must not scan the store.
+    pub fn observed_work(&self, sig: Sig128) -> Option<f64> {
+        self.views.get(&sig).map(|v| v.observed_work)
+    }
+
     /// Execution-time read with fault checks and checksum verification.
     ///
     /// `Ok(Some(view))` — serve the view. `Ok(None)` — plain miss (expired,

@@ -104,6 +104,19 @@ impl QueryEngine {
         execute(physical, &mut ctx, &self.optimizer.cfg.cost)
     }
 
+    /// [`Self::execute_with`] plus per-operator observability hooks.
+    pub fn execute_with_obs(
+        &self,
+        physical: &PhysicalPlan,
+        views: &dyn ViewSource,
+        now: SimTime,
+        obs: Option<&dyn crate::obs::ObsSink>,
+    ) -> Result<ExecOutcome> {
+        let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now);
+        ctx.obs = obs;
+        execute(physical, &mut ctx, &self.optimizer.cfg.cost)
+    }
+
     /// Seal pending views into the store (the job-manager step; the cluster
     /// simulator calls this at the producing stage's finish time for *early
     /// sealing*, paper §2.3).

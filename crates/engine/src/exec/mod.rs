@@ -15,6 +15,7 @@
 use crate::cost::CostModel;
 use crate::expr::eval::{eval, eval_predicate, EvalCtx};
 use crate::expr::{AggExpr, AggFunc};
+use crate::obs::ObsSink;
 use crate::physical::{JoinAlgo, JoinAlgoCounts, PhysicalPlan};
 use crate::plan::JoinKind;
 use crate::udo::UdoRegistry;
@@ -40,6 +41,9 @@ pub struct ExecContext<'a> {
     pub udos: &'a UdoRegistry,
     pub now: SimTime,
     pub eval: EvalCtx,
+    /// Per-operator observability hooks; `None` keeps the hot path free of
+    /// timing calls entirely (a single branch per operator).
+    pub obs: Option<&'a dyn ObsSink>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -50,7 +54,12 @@ impl<'a> ExecContext<'a> {
         now: SimTime,
     ) -> ExecContext<'a> {
         let eval = EvalCtx::new((now.seconds() / 86_400.0) as i32);
-        ExecContext { catalog, views, udos, now, eval }
+        ExecContext { catalog, views, udos, now, eval, obs: None }
+    }
+
+    pub fn with_obs(mut self, obs: &'a dyn ObsSink) -> ExecContext<'a> {
+        self.obs = Some(obs);
+        self
     }
 }
 
@@ -151,7 +160,34 @@ fn record(
     });
 }
 
+/// Dispatch one operator, emitting [`ObsSink`] events around the recursion
+/// when a sink is installed. `op_started` fires preorder and `op_finished`
+/// postorder, so a sink that maps them onto span begin/end reconstructs the
+/// exact plan-tree nesting. With `obs: None` this is a single branch — no
+/// clock reads, no virtual calls.
 fn exec_node(
+    plan: &PhysicalPlan,
+    ctx: &mut ExecContext<'_>,
+    model: &CostModel,
+    metrics: &mut ExecMetrics,
+    pending: &mut Vec<PendingView>,
+) -> Result<Table> {
+    let Some(obs) = ctx.obs else {
+        return exec_node_inner(plan, ctx, model, metrics, pending);
+    };
+    let kind = plan.kind_name();
+    obs.op_started(kind);
+    let started = std::time::Instant::now();
+    let result = exec_node_inner(plan, ctx, model, metrics, pending);
+    let ns = started.elapsed().as_nanos() as u64;
+    match &result {
+        Ok(table) => obs.op_finished(kind, table.num_rows() as u64, table.byte_size(), ns),
+        Err(_) => obs.op_finished(kind, 0, 0, ns),
+    }
+    result
+}
+
+fn exec_node_inner(
     plan: &PhysicalPlan,
     ctx: &mut ExecContext<'_>,
     model: &CostModel,

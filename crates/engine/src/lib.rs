@@ -28,6 +28,7 @@ pub mod engine;
 pub mod exec;
 pub mod expr;
 pub mod normalize;
+pub mod obs;
 pub mod optimizer;
 pub mod physical;
 pub mod plan;
@@ -39,6 +40,7 @@ pub mod verify;
 
 pub use engine::{CompiledJob, JobOutcome, QueryEngine};
 pub use expr::{col, lit, param, AggExpr, AggFunc, BinOp, FuncKind, ScalarExpr, UnOp};
+pub use obs::{NoopSink, ObsSink};
 pub use optimizer::{OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext, ViewMeta};
 pub use plan::{JoinKind, LogicalPlan, PlanBuilder};
 pub use signature::{

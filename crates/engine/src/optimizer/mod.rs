@@ -128,15 +128,22 @@ pub struct Optimizer {
     /// Installed by the embedding application (see `cv-analyzer`); only
     /// consulted when [`OptimizerConfig::verify_plans`] is set.
     pub verifier: Option<Arc<dyn PlanVerifier>>,
+    /// Observability sink for view-match / view-build decisions; no-op when
+    /// absent. Installed like the verifier, by the embedding application.
+    pub obs: Option<Arc<dyn crate::obs::ObsSink>>,
 }
 
 impl Optimizer {
     pub fn new(cfg: OptimizerConfig) -> Optimizer {
-        Optimizer { cfg, verifier: None }
+        Optimizer { cfg, verifier: None, obs: None }
     }
 
     pub fn set_verifier(&mut self, verifier: Arc<dyn PlanVerifier>) {
         self.verifier = Some(verifier);
+    }
+
+    pub fn set_obs(&mut self, obs: Arc<dyn crate::obs::ObsSink>) {
+        self.obs = Some(obs);
     }
 
     fn active_verifier(&self) -> Option<&dyn PlanVerifier> {
@@ -219,6 +226,9 @@ impl Optimizer {
                         self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
                     let reuse_cost = self.cfg.cost.view_scan(meta.bytes as f64).total();
                     if reuse_cost < recompute {
+                        if let Some(obs) = &self.obs {
+                            obs.view_matched(sig);
+                        }
                         matched.push(sig);
                         replaced.entry(sig).or_insert_with(|| node.clone());
                         return Ok(Arc::new(LogicalPlan::ViewScan {
@@ -291,6 +301,9 @@ impl Optimizer {
                     && !built.contains(&sig)
                     && coordinator.try_acquire(sig)
                 {
+                    if let Some(obs) = &self.obs {
+                        obs.view_build_inserted(sig);
+                    }
                     built.push(sig);
                     return Ok(Arc::new(LogicalPlan::Materialize { sig, input: rebuilt }));
                 }

@@ -24,7 +24,7 @@ pub mod source;
 pub mod stats;
 
 pub use pool::{run_tasks, PoolConfig, PoolReport, TaskSpec};
-pub use singleflight::{FlightOutcome, PromisedView, SingleFlight};
+pub use singleflight::{FlightOutcome, PromisedView, SingleFlight, SingleFlightStats};
 pub use source::PipelinedViewSource;
 pub use stats::{ServiceStats, ServiceStatsSnapshot};
 

@@ -63,10 +63,25 @@ pub struct PoolReport {
     pub steals: u64,
     /// Tasks that hit the per-VC admission limit and parked.
     pub admission_deferrals: u64,
+    /// Admission deferrals broken down by virtual cluster, sorted by VC.
+    pub deferrals_by_vc: Vec<(VcId, u64)>,
     /// Peak concurrently admitted tasks.
     pub max_inflight: usize,
-    /// Per-job wall latency from release (submission) to completion,
-    /// sorted by job id.
+    /// Peak total parked tasks across all per-VC deferred queues.
+    pub max_queue_depth: usize,
+    /// Wall time of the parallel phase proper: from the batch epoch (all
+    /// workers spawned and parked on the condvar) to the last task
+    /// completion. Excludes worker thread spawn/join — the speedup metric
+    /// must compare parallel work, not `std::thread` setup costs.
+    pub parallel_wall: Duration,
+    /// Per-worker time spent inside task closures; `parallel_wall − busy`
+    /// is that worker's idle (queue-starved or admission-limited) time.
+    pub worker_busy: Vec<Duration>,
+    /// Per-job wall latency from *scheduled* release to completion, sorted
+    /// by job id. The release origin is the batch epoch plus the job's
+    /// cumulative release gap — not the instant the submitter got around to
+    /// dispatching it — so backpressure on the submitter counts toward the
+    /// latency of the jobs it delays (no coordinated omission).
     pub latencies: Vec<(JobId, Duration)>,
 }
 
@@ -86,6 +101,8 @@ struct State<'env> {
     local: Vec<VecDeque<Runnable<'env>>>,
     waiting: Vec<Pending<'env>>,
     deferred: HashMap<VcId, VecDeque<Runnable<'env>>>,
+    deferred_total: usize,
+    max_queue_depth: usize,
     inflight: HashMap<VcId, usize>,
     inflight_total: usize,
     max_inflight: usize,
@@ -95,7 +112,16 @@ struct State<'env> {
     next_worker: usize,
     executed: u64,
     admission_deferrals: u64,
+    deferrals_by_vc: HashMap<VcId, u64>,
     latencies: Vec<(JobId, Duration)>,
+    /// Workers that have started and parked on the work condvar at least
+    /// once; the submitter waits for all of them before stamping the batch
+    /// epoch, so `parallel_wall` never includes thread spawn time.
+    workers_ready: usize,
+    /// Per-worker time spent inside task closures.
+    busy: Vec<Duration>,
+    /// Completion instant of the most recently finished task.
+    last_completion: Option<Instant>,
     panicked: bool,
 }
 
@@ -107,6 +133,8 @@ struct Shared<'env> {
     space: Condvar,
     /// The submitter waits here for batch completion.
     all_done: Condvar,
+    /// The submitter waits here for the worker ready-barrier.
+    ready: Condvar,
     steals: AtomicU64,
     vc_limit: usize,
     queue_cap: usize,
@@ -137,7 +165,10 @@ impl<'env> Shared<'env> {
             self.work.notify_one();
         } else {
             st.admission_deferrals += 1;
+            *st.deferrals_by_vc.entry(task.vc).or_insert(0) += 1;
             st.deferred.entry(task.vc).or_default().push_back(task);
+            st.deferred_total += 1;
+            st.max_queue_depth = st.max_queue_depth.max(st.deferred_total);
         }
     }
 
@@ -158,24 +189,31 @@ impl<'env> Shared<'env> {
             return Err(task);
         }
         st.admission_deferrals += 1;
+        *st.deferrals_by_vc.entry(task.vc).or_insert(0) += 1;
         q.push_back(task);
+        st.deferred_total += 1;
+        st.max_queue_depth = st.max_queue_depth.max(st.deferred_total);
         Ok(())
     }
 
     /// Post-completion bookkeeping: free the VC slot, promote deferred and
     /// dep-gated tasks, wake whoever needs waking.
-    fn complete(&self, job: JobId, vc: VcId, released: Instant) {
+    fn complete(&self, job: JobId, vc: VcId, released: Instant, me: usize, busy: Duration) {
+        let finished = Instant::now();
         let mut st = self.lock();
         st.executed += 1;
         st.outstanding -= 1;
         st.done.insert(job);
-        st.latencies.push((job, released.elapsed()));
+        st.latencies.push((job, finished.saturating_duration_since(released)));
+        st.busy[me] += busy;
+        st.last_completion = Some(finished);
         if let Some(n) = st.inflight.get_mut(&vc) {
             *n = n.saturating_sub(1);
         }
         st.inflight_total = st.inflight_total.saturating_sub(1);
         // The freed slot promotes one parked task of the same VC.
         if let Some(t) = st.deferred.get_mut(&vc).and_then(VecDeque::pop_front) {
+            st.deferred_total = st.deferred_total.saturating_sub(1);
             admit(&mut st, t);
             self.work.notify_one();
         }
@@ -201,8 +239,12 @@ impl<'env> Shared<'env> {
         }
     }
 
-    fn next_task(&self, me: usize) -> Option<Runnable<'env>> {
+    fn next_task(&self, me: usize, first: bool) -> Option<Runnable<'env>> {
         let mut st = self.lock();
+        if first {
+            st.workers_ready += 1;
+            self.ready.notify_all();
+        }
         loop {
             if let Some(t) = st.local[me].pop_front() {
                 return Some(t);
@@ -223,21 +265,27 @@ impl<'env> Shared<'env> {
     }
 
     fn worker_loop(&self, me: usize) {
-        while let Some(task) = self.next_task(me) {
+        let mut first = true;
+        while let Some(task) = self.next_task(me, first) {
+            first = false;
             let Runnable { job, vc, run, released } = task;
+            let started = Instant::now();
             if catch_unwind(AssertUnwindSafe(run)).is_err() {
                 self.lock().panicked = true;
             }
-            self.complete(job, vc, released);
+            self.complete(job, vc, released, me, started.elapsed());
         }
     }
 }
 
 /// Execute a batch of tasks and block until all complete.
 ///
-/// `release_gaps[i]` delays task `i`'s submission by that wall-clock amount
+/// `release_gaps[i]` delays task `i`'s scheduled release by that amount
 /// after task `i-1`'s (open-loop load generation); an empty slice releases
-/// everything immediately (closed loop). Latency is measured from release.
+/// everything at the batch epoch (closed loop). Latency is measured from
+/// the *scheduled* release instant — the batch epoch plus cumulative gaps —
+/// not from whenever the submitter actually dispatched the task, so
+/// submitter backpressure shows up in the latency of the jobs it delayed.
 pub fn run_tasks<'env>(
     cfg: &PoolConfig,
     tasks: Vec<TaskSpec<'env>>,
@@ -250,6 +298,8 @@ pub fn run_tasks<'env>(
             local: (0..workers).map(|_| VecDeque::new()).collect(),
             waiting: Vec::new(),
             deferred: HashMap::new(),
+            deferred_total: 0,
+            max_queue_depth: 0,
             inflight: HashMap::new(),
             inflight_total: 0,
             max_inflight: 0,
@@ -259,32 +309,52 @@ pub fn run_tasks<'env>(
             next_worker: 0,
             executed: 0,
             admission_deferrals: 0,
+            deferrals_by_vc: HashMap::new(),
             latencies: Vec::new(),
+            workers_ready: 0,
+            busy: vec![Duration::ZERO; workers],
+            last_completion: None,
             panicked: false,
         }),
         work: Condvar::new(),
         space: Condvar::new(),
         all_done: Condvar::new(),
+        ready: Condvar::new(),
         steals: AtomicU64::new(0),
         vc_limit: cfg.vc_inflight_limit.max(1),
         queue_cap: cfg.queue_cap.max(1),
     };
 
+    let mut batch_start = Instant::now();
     std::thread::scope(|s| {
         for me in 0..workers {
             let shared = &shared;
             s.spawn(move || shared.worker_loop(me));
         }
 
+        // Ready barrier: stamp the batch epoch only once every worker is
+        // parked on the work condvar, so the parallel-phase wall (and the
+        // closed-loop latency origin) excludes thread spawn time.
+        {
+            let mut st = shared.lock();
+            while st.workers_ready < workers {
+                st = shared.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+        batch_start = Instant::now();
+
         // Submission loop (this thread is the load generator).
+        let mut scheduled = batch_start;
         for (i, spec) in tasks.into_iter().enumerate() {
             if let Some(gap) = release_gaps.get(i) {
-                if !gap.is_zero() {
-                    std::thread::sleep(*gap);
+                scheduled += *gap;
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
                 }
             }
             let TaskSpec { job, vc, deps, run } = spec;
-            let task = Runnable { job, vc, run, released: Instant::now() };
+            let task = Runnable { job, vc, run, released: scheduled };
             let mut st = shared.lock();
             st.outstanding += 1;
             let open_deps: Vec<JobId> = deps
@@ -322,11 +392,20 @@ pub fn run_tasks<'env>(
     assert!(st.waiting.is_empty(), "dependency-gated tasks never became runnable");
     let mut latencies = st.latencies;
     latencies.sort_by_key(|(job, _)| *job);
+    let mut deferrals_by_vc: Vec<(VcId, u64)> = st.deferrals_by_vc.into_iter().collect();
+    deferrals_by_vc.sort_by_key(|(vc, _)| *vc);
+    let parallel_wall = st
+        .last_completion
+        .map_or(Duration::ZERO, |last| last.saturating_duration_since(batch_start));
     PoolReport {
         executed: st.executed,
         steals: shared.steals.load(Ordering::Relaxed),
         admission_deferrals: st.admission_deferrals,
+        deferrals_by_vc,
         max_inflight: st.max_inflight,
+        max_queue_depth: st.max_queue_depth,
+        parallel_wall,
+        worker_busy: st.busy,
         latencies,
     }
 }
@@ -443,6 +522,43 @@ mod tests {
         run_tasks(&cfg, tasks, &[]);
         let seen = order.lock().unwrap();
         assert_eq!(*seen, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn latency_measured_from_scheduled_release_not_dispatch() {
+        // One slow head-of-line task, then fast tasks scheduled a few ms
+        // behind it. With vc_inflight_limit 1 + queue_cap 1 the submitter
+        // itself blocks on backpressure, so the last tasks are *dispatched*
+        // only after the slow task finishes (~80 ms in). Their latency must
+        // still be measured from their scheduled release (~a few ms in):
+        // the old `Instant::now()`-at-dispatch stamp reported near-zero
+        // latency for exactly the jobs the queue delayed the most.
+        let tasks: Vec<TaskSpec<'_>> = (0..4)
+            .map(|i| {
+                spec(i, 0, vec![], move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(80));
+                    }
+                })
+            })
+            .collect();
+        let cfg = PoolConfig { workers: 1, vc_inflight_limit: 1, queue_cap: 1 };
+        let gaps: Vec<Duration> = (0..4).map(|_| Duration::from_millis(1)).collect();
+        let report = run_tasks(&cfg, tasks, &gaps);
+        assert_eq!(report.executed, 4);
+        for (job, latency) in &report.latencies {
+            assert!(
+                *latency >= Duration::from_millis(40),
+                "job {job:?} latency {latency:?} excludes time queued behind the slow task"
+            );
+        }
+        // The parallel wall covers the whole batch (the slow task runs ~80
+        // ms) but is measured, not inferred from the caller's clock.
+        assert!(report.parallel_wall >= Duration::from_millis(70));
+        assert_eq!(report.worker_busy.len(), 1);
+        assert!(report.worker_busy[0] >= Duration::from_millis(70));
+        assert!(report.max_queue_depth >= 1);
+        assert_eq!(report.deferrals_by_vc.len(), 1);
     }
 
     #[test]

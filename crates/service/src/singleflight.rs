@@ -20,6 +20,7 @@
 use cv_common::ids::JobId;
 use cv_common::Sig128;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// Terminal state of an in-flight materialization.
@@ -52,11 +53,26 @@ struct Flight {
     promise: PromisedView,
 }
 
+/// Lifetime counters of one [`SingleFlight`] registry. Everything here is
+/// an event count — deterministic for a fixed seed and worker count.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SingleFlightStats {
+    /// Successful build claims (`claim` returning true).
+    pub claims: u64,
+    /// Execution-time blocking waits that found a flight to wait on.
+    pub waits: u64,
+    /// First resolutions (sticky; duplicate resolutions not counted).
+    pub resolves: u64,
+}
+
 /// Registry of in-flight materializations, shared by every worker.
 #[derive(Debug, Default)]
 pub struct SingleFlight {
     flights: Mutex<HashMap<Sig128, Flight>>,
     resolved: Condvar,
+    claims: AtomicU64,
+    waits: AtomicU64,
+    resolves: AtomicU64,
 }
 
 impl SingleFlight {
@@ -77,6 +93,7 @@ impl SingleFlight {
             return false;
         }
         flights.insert(sig, Flight { state: FlightState::InFlight { builder }, promise });
+        self.claims.fetch_add(1, Ordering::Relaxed);
         true
     }
 
@@ -109,6 +126,7 @@ impl SingleFlight {
         if let Some(f) = flights.get_mut(&sig) {
             if let FlightState::InFlight { .. } = f.state {
                 f.state = FlightState::Done(outcome);
+                self.resolves.fetch_add(1, Ordering::Relaxed);
             }
         }
         drop(flights);
@@ -119,11 +137,17 @@ impl SingleFlight {
     /// ever claimed for it.
     pub fn wait(&self, sig: Sig128) -> Option<FlightOutcome> {
         let mut flights = self.lock();
+        let mut counted = false;
         loop {
             match flights.get(&sig) {
                 None => return None,
                 Some(Flight { state: FlightState::Done(outcome), .. }) => return Some(*outcome),
                 Some(Flight { state: FlightState::InFlight { .. }, .. }) => {
+                    // Count each blocking wait once, not per spurious wakeup.
+                    if !counted {
+                        counted = true;
+                        self.waits.fetch_add(1, Ordering::Relaxed);
+                    }
                     flights = self.resolved.wait(flights).unwrap_or_else(PoisonError::into_inner);
                 }
             }
@@ -135,6 +159,15 @@ impl SingleFlight {
     pub fn clear(&self) {
         self.lock().clear();
         self.resolved.notify_all();
+    }
+
+    /// Snapshot of lifetime event counters (survives [`Self::clear`]).
+    pub fn stats(&self) -> SingleFlightStats {
+        SingleFlightStats {
+            claims: self.claims.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            resolves: self.resolves.load(Ordering::Relaxed),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -40,6 +40,7 @@
 use crate::driver::{data_rng, digest_table, run_analysis, DriverConfig};
 use crate::generator::Workload;
 use crate::schemas::raw_specs;
+use crate::service_obs::{job_track, ServiceObs};
 use crate::templates::JobTemplate;
 use cv_cluster::metrics::{DataPlane, JobRecord, MetricsLedger, RobustnessStats};
 use cv_cluster::sim::{ClusterConfig, ClusterSim, JobSpec};
@@ -115,8 +116,25 @@ pub struct ServiceReport {
     pub steals: u64,
     pub admission_deferrals: u64,
     pub max_inflight: usize,
-    /// Wall-clock seconds spent inside the execution pool.
+    /// Peak total parked tasks across all per-VC deferred queues.
+    pub max_queue_depth: usize,
+    /// Wall-clock seconds spent inside the execution pool, including worker
+    /// thread spawn/join per wave. This is *not* the speedup denominator —
+    /// `parallel_wall_seconds` is.
     pub exec_wall_seconds: f64,
+    /// Wall-clock seconds of the parallel phase proper, summed over waves:
+    /// batch epoch (all workers up and parked) → last task completion.
+    pub parallel_wall_seconds: f64,
+    /// Wall-clock seconds of the sequential compile phase (phase A).
+    pub compile_wall_seconds: f64,
+    /// Wall-clock seconds of the sequential commit phase (phase C).
+    pub commit_wall_seconds: f64,
+    /// Pool overhead: `exec_wall − parallel_wall` (thread spawn/join and
+    /// barrier setup — on a 1-core host this dwarfed the parallel work and
+    /// produced the phantom "parallel slowdown").
+    pub pool_overhead_seconds: f64,
+    /// Per-worker seconds spent inside task closures, summed over waves.
+    pub worker_busy_seconds: Vec<f64>,
     /// Per-job wall latency (release → completion) in milliseconds, sorted
     /// by job id.
     pub latencies_ms: Vec<(JobId, f64)>,
@@ -124,6 +142,11 @@ pub struct ServiceReport {
 
 impl ServiceReport {
     pub fn to_json(&self) -> Json {
+        let idle: Vec<f64> = self
+            .worker_busy_seconds
+            .iter()
+            .map(|b| (self.parallel_wall_seconds - b).max(0.0))
+            .collect();
         json!({
             "workers": self.workers,
             "shards": self.shards,
@@ -135,7 +158,19 @@ impl ServiceReport {
             "steals": self.steals,
             "admission_deferrals": self.admission_deferrals,
             "max_inflight": self.max_inflight,
+            "max_queue_depth": self.max_queue_depth,
             "exec_wall_seconds": self.exec_wall_seconds,
+            "phase_wall_seconds": json!({
+                "compile": self.compile_wall_seconds,
+                "execute_parallel": self.parallel_wall_seconds,
+                "execute_pool": self.exec_wall_seconds,
+                "commit": self.commit_wall_seconds,
+                "pool_overhead": self.pool_overhead_seconds,
+            }),
+            "worker_busy_seconds": Json::Arr(
+                self.worker_busy_seconds.iter().map(|b| Json::from(*b)).collect()
+            ),
+            "worker_idle_seconds": Json::Arr(idle.into_iter().map(Json::from).collect()),
         })
     }
 }
@@ -235,12 +270,29 @@ pub fn run_workload_service(
     cfg: &DriverConfig,
     svc: &ServiceConfig,
 ) -> Result<ServiceOutcome> {
+    run_workload_service_obs(workload, cfg, svc, None)
+}
+
+/// [`run_workload_service`] with observability attached: when `obs` is
+/// `Some`, the run records spans (driver loop on track 0, each job's
+/// lifecycle on track `job_id + 1`) and metrics into the given
+/// [`ServiceObs`]. With `None` the instrumentation collapses to a handful
+/// of branch tests — no clock reads, no allocation, no virtual calls.
+pub fn run_workload_service_obs(
+    workload: &Workload,
+    cfg: &DriverConfig,
+    svc: &ServiceConfig,
+    obs: Option<&ServiceObs>,
+) -> Result<ServiceOutcome> {
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
     if cfg.optimizer.verify_plans {
         engine
             .optimizer
             .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
+    }
+    if let Some(o) = obs {
+        engine.optimizer.set_obs(o.optimizer_sink.clone());
     }
     // The engine's own store stays empty; all view traffic goes through the
     // shared sharded store.
@@ -263,7 +315,12 @@ pub fn run_workload_service(
     let mut steals = 0u64;
     let mut admission_deferrals = 0u64;
     let mut max_inflight = 0usize;
+    let mut max_queue_depth = 0usize;
     let mut exec_wall = Duration::ZERO;
+    let mut parallel_wall = Duration::ZERO;
+    let mut compile_wall = Duration::ZERO;
+    let mut commit_wall = Duration::ZERO;
+    let mut worker_busy: Vec<Duration> = Vec::new();
     let mut latencies_ms: Vec<(JobId, f64)> = Vec::new();
 
     let raw = raw_specs();
@@ -271,6 +328,9 @@ pub fn run_workload_service(
     for day_idx in 0..cfg.days {
         let day = SimDay(day_idx);
         let day_start = day.start();
+        if let Some(o) = obs {
+            o.tracer.begin(0, "day");
+        }
 
         // Hygiene once per day (the sequential driver evicts before every
         // job; reads re-check expiry themselves, so only eviction-counter
@@ -280,10 +340,15 @@ pub fn run_workload_service(
 
         // 1. Ingestion: bulk-regenerate due raw datasets (identical to the
         // sequential driver — same rng, same tables, same GUID rotations).
+        if let Some(o) = obs {
+            o.tracer.begin(0, "ingest");
+        }
+        let mut regenerated = 0u64;
         for spec in &raw {
             if day_idx % spec.update_every_days != 0 {
                 continue;
             }
+            regenerated += 1;
             let mut rng = data_rng(workload.config.seed, spec.name, day);
             let table = spec.generate(&mut rng, workload.config.scale, day);
             match engine.catalog.id_of(spec.name) {
@@ -294,6 +359,9 @@ pub fn run_workload_service(
                     engine.catalog.register(spec.name, table, day_start)?;
                 }
             }
+        }
+        if let Some(o) = obs {
+            o.tracer.end_with(0, &[("datasets", regenerated)]);
         }
 
         if let Some(every) = cfg.gdpr_every_days {
@@ -353,11 +421,22 @@ pub fn run_workload_service(
                 day_seals: &mut day_seals,
                 specs_for_sim: &mut specs_for_sim,
                 pipelined_jobs: &mut pipelined_jobs,
+                obs,
             })?;
             steals += report.steals;
             admission_deferrals += report.admission_deferrals;
             max_inflight = max_inflight.max(report.max_inflight);
+            max_queue_depth = max_queue_depth.max(report.max_queue_depth);
             exec_wall += report.exec_wall;
+            parallel_wall += report.parallel_wall;
+            compile_wall += report.compile_wall;
+            commit_wall += report.commit_wall;
+            if worker_busy.len() < report.worker_busy.len() {
+                worker_busy.resize(report.worker_busy.len(), Duration::ZERO);
+            }
+            for (acc, d) in worker_busy.iter_mut().zip(&report.worker_busy) {
+                *acc += *d;
+            }
             latencies_ms.extend(
                 report.latencies.into_iter().map(|(job, d)| (job, d.as_secs_f64() * 1000.0)),
             );
@@ -367,6 +446,9 @@ pub fn run_workload_service(
         // service, in job order (the sequential driver announces at the
         // simulator's seal events; the digest contract is unaffected, only
         // the announce instant differs — DESIGN.md §9).
+        if let Some(o) = obs {
+            o.tracer.begin(0, "announce");
+        }
         {
             let mut ins = insights.lock();
             for s in &day_seals {
@@ -385,13 +467,25 @@ pub fn run_workload_service(
             }
         }
         flights.clear();
+        if let Some(o) = obs {
+            o.tracer.end_with(0, &[("seals", day_seals.len() as u64)]);
+        }
 
         // 3. Workload analysis + selection publish.
         if let Some(knobs) = &cfg.cloudviews {
             if (day_idx + 1) % knobs.analysis_every_days == 0 {
+                if let Some(o) = obs {
+                    o.tracer.begin(0, "analysis");
+                }
                 let n = run_analysis(&repo, &mut insights.lock(), knobs, day, &cfg.cluster);
                 selection_history.push((day, n));
+                if let Some(o) = obs {
+                    o.tracer.end_with(0, &[("selected", n as u64)]);
+                }
             }
+        }
+        if let Some(o) = obs {
+            o.tracer.end_with(0, &[("day", u64::from(day_idx))]);
         }
     }
 
@@ -421,9 +515,44 @@ pub fn run_workload_service(
         steals,
         admission_deferrals,
         max_inflight,
+        max_queue_depth,
         exec_wall_seconds: exec_wall.as_secs_f64(),
+        parallel_wall_seconds: parallel_wall.as_secs_f64(),
+        compile_wall_seconds: compile_wall.as_secs_f64(),
+        commit_wall_seconds: commit_wall.as_secs_f64(),
+        pool_overhead_seconds: exec_wall.saturating_sub(parallel_wall).as_secs_f64(),
+        worker_busy_seconds: worker_busy.iter().map(Duration::as_secs_f64).collect(),
         latencies_ms,
     };
+
+    if let Some(o) = obs {
+        let m = &o.metrics;
+        let fl = flights.stats();
+        m.add("flight.claims", fl.claims);
+        m.add("flight.waits", fl.waits);
+        m.add("flight.resolves", fl.resolves);
+        m.add("store.views_created", store_stats.views_created);
+        m.add("store.views_reused", store_stats.views_reused);
+        m.add("store.read_misses", store_stats.read_misses);
+        m.add("store.bytes_written", store_stats.bytes_written);
+        m.add("store.bytes_served", store_stats.bytes_served);
+        m.add("service.pipelined_jobs", pipelined_jobs);
+        m.add("service.pipelined_reads", snap.pipelined_reads);
+        m.add("service.flight_waits", snap.flight_waits);
+        m.add("service.duplicate_materializations", snap.duplicate_materializations);
+        m.set("pool.workers", svc.workers as u64);
+        m.add("pool.steals", steals);
+        m.add("pool.admission_deferrals", admission_deferrals);
+        m.gauge("pool.max_inflight").set_max(max_inflight as u64);
+        m.gauge("pool.max_queue_depth").set_max(max_queue_depth as u64);
+        for (i, busy) in worker_busy.iter().enumerate() {
+            m.add(&format!("pool.worker{i}.busy_us"), busy.as_micros() as u64);
+        }
+        m.add("phase.compile_us", compile_wall.as_micros() as u64);
+        m.add("phase.parallel_us", parallel_wall.as_micros() as u64);
+        m.add("phase.commit_us", commit_wall.as_micros() as u64);
+        m.add("phase.pool_us", exec_wall.as_micros() as u64);
+    }
 
     let usage = insights.lock().usage_log().to_vec();
     Ok(ServiceOutcome {
@@ -461,13 +590,21 @@ struct WaveCtx<'a, 'w> {
     day_seals: &'a mut Vec<DaySeal>,
     specs_for_sim: &'a mut Vec<JobSpec>,
     pipelined_jobs: &'a mut u64,
+    obs: Option<&'a ServiceObs>,
 }
 
 struct WaveReport {
     steals: u64,
     admission_deferrals: u64,
     max_inflight: usize,
+    max_queue_depth: usize,
+    /// Total pool wall (spawn → join), the old `exec_wall` measure.
     exec_wall: Duration,
+    /// Parallel phase proper (batch epoch → last completion).
+    parallel_wall: Duration,
+    compile_wall: Duration,
+    commit_wall: Duration,
+    worker_busy: Vec<Duration>,
     latencies: Vec<(JobId, Duration)>,
 }
 
@@ -492,9 +629,14 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         day_seals,
         specs_for_sim,
         pipelined_jobs,
+        obs,
     } = ctx;
 
     // ---- Phase A: compile sequentially, in job order. ----
+    let compile_started = Instant::now();
+    if let Some(o) = obs {
+        o.tracer.begin(0, "compile");
+    }
     let mut compiled: Vec<CompiledTask> = Vec::new();
     // Owned per-task execution inputs, moved into pool closures.
     let mut exec_inputs: Vec<(PhysicalPlan, HashSet<Sig128>, Vec<JobId>)> = Vec::new();
@@ -503,6 +645,12 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         let submit = template.submit_time(day);
         let job = JobId(*next_job);
         *next_job += 1;
+        let track = job_track(job);
+        if let Some(o) = obs {
+            o.tracer.begin(track, "job");
+            o.tracer.begin(track, "compile");
+            o.optimizer_sink.set_track(track);
+        }
         let meta = JobMeta {
             job,
             template: template.id,
@@ -520,7 +668,15 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
 
         let compile = (|| -> Result<(CompiledTask, PhysicalPlan, HashSet<Sig128>, Vec<JobId>)> {
             let plan = template.build_plan(engine, day)?;
-            let subexprs = engine.subexpressions(&plan)?;
+            if let Some(o) = obs {
+                o.tracer.begin(track, "normalize");
+            }
+            let subexprs = engine.subexpressions(&plan);
+            if let Some(o) = obs {
+                let n = subexprs.as_ref().map_or(0, |s| s.len() as u64);
+                o.tracer.end_with(track, &[("subexprs", n)]);
+            }
+            let subexprs = subexprs?;
             let mut reuse = if use_cv {
                 insights.lock().annotate(meta.vc, job, &subexprs, submit).0
             } else {
@@ -563,12 +719,28 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 }
             }
 
+            if let Some(o) = obs {
+                o.tracer.begin(track, "optimize");
+            }
             let compiled_job = if use_cv {
                 let mut coord = insights.clone();
-                engine.optimize(&plan, &reuse, &mut coord)?
+                engine.optimize(&plan, &reuse, &mut coord)
             } else {
-                engine.optimize(&plan, &reuse, &mut AlwaysGrant)?
+                engine.optimize(&plan, &reuse, &mut AlwaysGrant)
             };
+            if let Some(o) = obs {
+                match &compiled_job {
+                    Ok(c) => o.tracer.end_with(
+                        track,
+                        &[
+                            ("matched", c.outcome.matched_views.len() as u64),
+                            ("built", c.outcome.built_views.len() as u64),
+                        ],
+                    ),
+                    Err(_) => o.tracer.end_with(track, &[("failed", 1)]),
+                }
+            }
+            let compiled_job = compiled_job?;
 
             let built = compiled_job.outcome.built_views.clone();
             for sig in &built {
@@ -589,14 +761,34 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
 
         match compile {
             Ok((task, physical, promised, deps)) => {
+                if let Some(o) = obs {
+                    o.tracer.end_with(
+                        track,
+                        &[
+                            ("matched", task.matched.len() as u64),
+                            ("built", task.built.len() as u64),
+                            ("promised", promised.len() as u64),
+                            ("deps", deps.len() as u64),
+                        ],
+                    );
+                }
                 compiled.push(task);
                 exec_inputs.push((physical, promised, deps));
             }
             Err(_) => {
+                if let Some(o) = obs {
+                    // Close the compile span, then the job span.
+                    o.tracer.end_with(track, &[("failed", 1)]);
+                    o.tracer.end_with(track, &[("failed", 1)]);
+                }
                 *failed_jobs += 1;
             }
         }
     }
+    if let Some(o) = obs {
+        o.tracer.end_with(0, &[("jobs", wave.len() as u64), ("compiled", compiled.len() as u64)]);
+    }
+    let compile_wall = compile_started.elapsed();
 
     // ---- Phase B: execute in parallel. ----
     let pool_cfg = PoolConfig {
@@ -628,13 +820,22 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         let submit = task.meta.submit;
         let built = task.built.clone();
         let tx = tx.clone();
+        let exec_sink = obs.map(|o| o.exec_sink(job_track(job)));
         tasks.push(TaskSpec {
             job,
             vc,
             deps,
             run: Box::new(move || {
+                if let Some(sink) = &exec_sink {
+                    sink.begin_execute();
+                }
                 let src = PipelinedViewSource::new(store, flights, stats, promised);
-                let res = engine_ref.execute_with(&physical, &src, submit);
+                let res = engine_ref.execute_with_obs(
+                    &physical,
+                    &src,
+                    submit,
+                    exec_sink.as_ref().map(|s| &**s as &dyn cv_engine::obs::ObsSink),
+                );
                 let served = src.into_served();
                 let done = res.and_then(|exec| {
                     let mut seals = Vec::new();
@@ -671,15 +872,31 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                         flights.resolve(*sig, FlightOutcome::Failed);
                     }
                 }
+                if let Some(sink) = &exec_sink {
+                    match &done {
+                        Ok(d) => sink.end_execute(&[
+                            ("rows", d.exec.table.num_rows() as u64),
+                            ("served", d.served.len() as u64),
+                            ("seals", d.seals.len() as u64),
+                        ]),
+                        Err(_) => sink.end_execute(&[("failed", 1)]),
+                    }
+                }
                 let _ = tx.send((job, done));
             }),
         });
     }
     drop(tx);
 
+    if let Some(o) = obs {
+        o.tracer.begin(0, "execute");
+    }
     let pool_started = Instant::now();
     let report = run_tasks(&pool_cfg, tasks, &gaps);
     let exec_wall = pool_started.elapsed();
+    if let Some(o) = obs {
+        o.tracer.end_with(0, &[("tasks", compiled.len() as u64)]);
+    }
 
     let mut results: HashMap<JobId, Result<TaskDone>> = HashMap::new();
     for (job, done) in rx.try_iter() {
@@ -687,10 +904,19 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
     }
 
     // ---- Phase C: commit sequentially, in job order. ----
+    let commit_started = Instant::now();
+    if let Some(o) = obs {
+        o.tracer.begin(0, "commit");
+    }
     for task in &compiled {
         let job = task.meta.job;
+        let track = job_track(job);
+        if let Some(o) = obs {
+            o.tracer.begin(track, "commit");
+        }
         match results.remove(&job) {
             Some(Ok(done)) => {
+                let n_seals = done.seals.len() as u64;
                 repo.log_job(task.meta, &task.subexprs, Some(&done.exec.metrics.op_profiles));
                 result_digests.insert(job, digest_table(&done.exec.table));
 
@@ -769,6 +995,12 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                     submit: task.meta.submit,
                     stages: done.stages,
                 });
+                if let Some(o) = obs {
+                    // Close the commit span, then the job span opened at
+                    // compile time.
+                    o.tracer.end_with(track, &[("seals", n_seals)]);
+                    o.tracer.end(track);
+                }
             }
             Some(Err(_)) | None => {
                 *failed_jobs += 1;
@@ -776,15 +1008,29 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 for sig in &task.built {
                     ins.release_lock(*sig);
                 }
+                drop(ins);
+                if let Some(o) = obs {
+                    o.tracer.end_with(track, &[("failed", 1)]);
+                    o.tracer.end_with(track, &[("failed", 1)]);
+                }
             }
         }
     }
+    if let Some(o) = obs {
+        o.tracer.end_with(0, &[("jobs", compiled.len() as u64)]);
+    }
+    let commit_wall = commit_started.elapsed();
 
     Ok(WaveReport {
         steals: report.steals,
         admission_deferrals: report.admission_deferrals,
         max_inflight: report.max_inflight,
+        max_queue_depth: report.max_queue_depth,
         exec_wall,
+        parallel_wall: report.parallel_wall,
+        compile_wall,
+        commit_wall,
+        worker_busy: report.worker_busy,
         latencies: report.latencies,
     })
 }

@@ -1,0 +1,157 @@
+//! Observability wiring for the service driver: bridges engine events onto
+//! `cv_obs::{Tracer, Metrics}`.
+//!
+//! The engine emits through the dependency-free [`cv_engine::obs::ObsSink`]
+//! trait; the concrete adapters live here, next to the driver that owns the
+//! tracer (mirroring how `cv_analyzer::Analyzer` plugs into `PlanVerifier`).
+//! Two adapters exist because the two hook sites have different threading:
+//!
+//! * [`OptimizerSink`] — one shared sink installed on the optimizer for the
+//!   whole run. Compilation is sequential on the driver thread, so a single
+//!   atomic "current track" set before each `optimize` call routes
+//!   view-match / view-build events onto the right job's track.
+//! * [`ExecSink`] — one per pool task, carrying its job's track by value,
+//!   because operator events arrive concurrently from worker threads.
+//!
+//! Track assignment: track 0 is the driver control loop, track `job_id + 1`
+//! is that job's lifecycle. Tracks are logical, so a job's compile (driver
+//! thread), execute (worker thread) and commit (driver thread) spans nest
+//! on one timeline regardless of which OS thread emitted them.
+
+use cv_common::hash::Sig128;
+use cv_common::ids::JobId;
+use cv_engine::obs::ObsSink;
+use cv_obs::{Counter, Metrics, Tracer};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The logical track for a job's spans (track 0 is the driver loop).
+pub fn job_track(job: JobId) -> u64 {
+    job.0 + 1
+}
+
+/// Shared observability state for one service run: the span tracer, the
+/// metrics registry, and the optimizer-side sink installed on the engine.
+pub struct ServiceObs {
+    pub tracer: Arc<Tracer>,
+    pub metrics: Arc<Metrics>,
+    pub(crate) optimizer_sink: Arc<OptimizerSink>,
+}
+
+impl ServiceObs {
+    pub fn new() -> ServiceObs {
+        let tracer = Arc::new(Tracer::new());
+        let metrics = Arc::new(Metrics::new());
+        let optimizer_sink = Arc::new(OptimizerSink {
+            tracer: tracer.clone(),
+            track: AtomicU64::new(0),
+            matched: metrics.counter("optimizer.views_matched"),
+            built: metrics.counter("optimizer.view_builds"),
+        });
+        ServiceObs { tracer, metrics, optimizer_sink }
+    }
+
+    /// Build the per-task executor sink for a job's track.
+    pub(crate) fn exec_sink(&self, track: u64) -> Arc<ExecSink> {
+        Arc::new(ExecSink {
+            tracer: self.tracer.clone(),
+            track,
+            ops: self.metrics.counter("executor.ops"),
+            rows: self.metrics.counter("executor.rows"),
+            bytes: self.metrics.counter("executor.bytes"),
+            op_ns: self.metrics.counter("executor.op_ns"),
+        })
+    }
+}
+
+impl Default for ServiceObs {
+    fn default() -> Self {
+        ServiceObs::new()
+    }
+}
+
+/// Optimizer-side sink: counts view matches / build insertions and records
+/// them as zero-length child spans under the current job's `optimize` span.
+pub(crate) struct OptimizerSink {
+    tracer: Arc<Tracer>,
+    /// Track of the job currently being compiled (compilation is
+    /// sequential, so a single cell suffices).
+    track: AtomicU64,
+    matched: Counter,
+    built: Counter,
+}
+
+impl OptimizerSink {
+    pub(crate) fn set_track(&self, track: u64) {
+        self.track.store(track, Ordering::Relaxed);
+    }
+}
+
+impl fmt::Debug for OptimizerSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OptimizerSink").field("track", &self.track.load(Ordering::Relaxed)).finish()
+    }
+}
+
+impl ObsSink for OptimizerSink {
+    fn view_matched(&self, sig: Sig128) {
+        self.matched.inc();
+        let track = self.track.load(Ordering::Relaxed);
+        self.tracer.begin(track, "view-match");
+        self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
+    }
+
+    fn view_build_inserted(&self, sig: Sig128) {
+        self.built.inc();
+        let track = self.track.load(Ordering::Relaxed);
+        self.tracer.begin(track, "view-build");
+        self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
+    }
+}
+
+/// Executor-side sink for one pool task: operator spans on the job's track
+/// plus run-wide operator counters. `op_ns` is wall time and therefore the
+/// only non-deterministic counter it touches.
+pub(crate) struct ExecSink {
+    tracer: Arc<Tracer>,
+    track: u64,
+    ops: Counter,
+    rows: Counter,
+    bytes: Counter,
+    op_ns: Counter,
+}
+
+impl ExecSink {
+    /// Open the job's `execute` span (called on the worker thread, so the
+    /// operator spans emitted through the `ObsSink` hooks nest under it).
+    pub(crate) fn begin_execute(&self) {
+        self.tracer.begin(self.track, "execute");
+    }
+
+    /// Close the job's `execute` span with deterministic counters.
+    pub(crate) fn end_execute(&self, args: &[(&str, u64)]) {
+        self.tracer.end_with(self.track, args);
+    }
+}
+
+impl fmt::Debug for ExecSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExecSink").field("track", &self.track).finish()
+    }
+}
+
+impl ObsSink for ExecSink {
+    fn op_started(&self, kind: &'static str) {
+        self.tracer.begin(self.track, kind);
+    }
+
+    fn op_finished(&self, kind: &'static str, rows: u64, bytes: u64, ns: u64) {
+        let _ = kind;
+        self.ops.inc();
+        self.rows.add(rows);
+        self.bytes.add(bytes);
+        self.op_ns.add(ns);
+        self.tracer.end_with(self.track, &[("rows", rows), ("bytes", bytes)]);
+    }
+}

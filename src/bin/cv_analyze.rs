@@ -9,7 +9,7 @@
 //! diagnostic fired — wire it into CI next to the test suite.
 //!
 //! Usage:
-//!   cv-analyze [--days N] [--scale F] [--json PATH] [--verbose]
+//!   cv-analyze [--days N] [--scale F] [--json PATH] [--verbose] [--trace PATH]
 
 use cv_analyzer::{Analyzer, Diagnostic, Report, Severity};
 use cv_common::hash::Sig128;
@@ -20,6 +20,7 @@ use cv_common::SimDay;
 use cv_engine::engine::QueryEngine;
 use cv_engine::normalize::normalize;
 use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext, ViewMeta};
+use cv_obs::Tracer;
 use cv_workload::schemas::raw_specs;
 use cv_workload::{generate_workload, TemplateKind, WorkloadConfig};
 use std::collections::{HashMap, HashSet};
@@ -52,10 +53,11 @@ struct Args {
     scale: f64,
     json_path: Option<String>,
     verbose: bool,
+    trace_path: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { days: 4, scale: 0.15, json_path: None, verbose: false };
+    let mut args = Args { days: 4, scale: 0.15, json_path: None, verbose: false, trace_path: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,13 +71,15 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--verbose" | "-v" => args.verbose = true,
+            "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "cv-analyze: audit optimizer output over the workload templates\n\n\
                      options:\n  --days N      simulated days to sweep (default 4)\n  \
                      --scale F     workload data scale (default 0.15)\n  \
                      --json PATH   also write the JSON report to PATH\n  \
-                     --verbose     print every diagnostic as it fires"
+                     --verbose     print every diagnostic as it fires\n  \
+                     --trace PATH  write a Chrome trace (spans per template x config) to PATH"
                 );
                 std::process::exit(0);
             }
@@ -87,7 +91,16 @@ fn parse_args() -> Result<Args, String> {
 
 /// Compile-and-run one reuse configuration over the whole template
 /// population for `days` days, auditing every optimized plan.
-fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutcome {
+///
+/// With a tracer, every template compile gets a span on `track` (one track
+/// per sweep configuration) with the template id and match/build counters.
+fn run_sweep(
+    sweep: SweepConfig,
+    args: &Args,
+    analyzer: &Analyzer,
+    tracer: Option<&Tracer>,
+    track: u64,
+) -> SweepOutcome {
     let mut out = SweepOutcome::default();
     let workload = generate_workload(WorkloadConfig::default());
 
@@ -132,11 +145,17 @@ fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutco
         due.sort_by_key(|t| matches!(t.kind, TemplateKind::Analytics));
 
         for template in due {
+            if let Some(t) = tracer {
+                t.begin(track, "template");
+            }
             let plan = match template.build_plan(&engine, day) {
                 Ok(p) => p,
                 Err(_) => {
                     // Analytics over a dataset not cooked yet this sweep.
                     out.compile_failures += 1;
+                    if let Some(t) = tracer {
+                        t.end_with(track, &[("template", template.id.0), ("failed", 1)]);
+                    }
                     continue;
                 }
             };
@@ -171,6 +190,9 @@ fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutco
                 Ok(n) => n,
                 Err(_) => {
                     out.compile_failures += 1;
+                    if let Some(t) = tracer {
+                        t.end_with(track, &[("template", template.id.0), ("failed", 1)]);
+                    }
                     continue;
                 }
             };
@@ -178,6 +200,9 @@ fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutco
                 Ok(c) => c,
                 Err(_) => {
                     out.compile_failures += 1;
+                    if let Some(t) = tracer {
+                        t.end_with(track, &[("template", template.id.0), ("failed", 1)]);
+                    }
                     continue;
                 }
             };
@@ -186,6 +211,17 @@ fn run_sweep(sweep: SweepConfig, args: &Args, analyzer: &Analyzer) -> SweepOutco
 
             let report =
                 analyzer.analyze_outcome(&normalized, &compiled.outcome, &reuse, Some(&live));
+            if let Some(t) = tracer {
+                t.end_with(
+                    track,
+                    &[
+                        ("template", template.id.0),
+                        ("matched", compiled.outcome.matched_views.len() as u64),
+                        ("built", compiled.outcome.built_views.len() as u64),
+                        ("diagnostics", report.diagnostics.len() as u64),
+                    ],
+                );
+            }
             if args.verbose {
                 for d in &report.diagnostics {
                     println!("  [{}] {}", sweep.name, d);
@@ -244,10 +280,25 @@ fn main() -> ExitCode {
         println!("  {} {:<24} {}", check.family(), check.name(), check.description());
     }
 
+    let tracer = args.trace_path.as_ref().map(|_| Tracer::new());
     let mut sweeps = Vec::new();
     let mut total_errors = 0usize;
-    for &sweep in SWEEPS {
-        let outcome = run_sweep(sweep, &args, &analyzer);
+    for (track, &sweep) in SWEEPS.iter().enumerate() {
+        let track = track as u64;
+        if let Some(t) = &tracer {
+            t.begin(track, sweep.name);
+        }
+        let outcome = run_sweep(sweep, &args, &analyzer, tracer.as_ref(), track);
+        if let Some(t) = &tracer {
+            t.end_with(
+                track,
+                &[
+                    ("jobs", outcome.jobs),
+                    ("views_matched", outcome.views_matched),
+                    ("views_built", outcome.views_built),
+                ],
+            );
+        }
         let report = Report { diagnostics: outcome.diagnostics.clone() };
         let errors = report.errors().count();
         let warnings =
@@ -294,6 +345,13 @@ fn main() -> ExitCode {
         println!("\n[json report] {path}");
     } else {
         println!("\n{}", report_json.to_string_compact());
+    }
+    if let (Some(path), Some(t)) = (&args.trace_path, &tracer) {
+        if let Err(e) = std::fs::write(path, t.to_chrome_json().to_string_pretty()) {
+            eprintln!("cv-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[chrome trace] {path} ({} spans)", t.span_count());
     }
 
     if total_errors > 0 {

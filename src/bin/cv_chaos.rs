@@ -15,10 +15,11 @@
 //! it into CI next to `cv-analyze`.
 //!
 //! Usage:
-//!   cv-chaos [--days N] [--scale F] [--seed N] [--json PATH]
+//!   cv-chaos [--days N] [--scale F] [--seed N] [--json PATH] [--trace PATH]
 
 use cv_common::json::{json, Json};
 use cv_common::{FaultPlan, FaultPoint, SimDuration};
+use cv_obs::Tracer;
 use cv_workload::{generate_workload, run_workload, DriverConfig, Workload, WorkloadConfig};
 use std::process::ExitCode;
 
@@ -27,10 +28,11 @@ struct Args {
     scale: f64,
     seed: u64,
     json_path: Option<String>,
+    trace_path: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { days: 4, scale: 0.05, seed: 1, json_path: None };
+    let mut args = Args { days: 4, scale: 0.05, seed: 1, json_path: None, trace_path: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -47,13 +49,15 @@ fn parse_args() -> Result<Args, String> {
                 args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
             }
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
+            "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "cv-chaos: fault-injection sweep over the workload templates\n\n\
                      options:\n  --days N      simulated days per sweep (default 4)\n  \
                      --scale F     workload data scale (default 0.05)\n  \
                      --seed N      fault-plan seed (default 1)\n  \
-                     --json PATH   also write the JSON report to PATH"
+                     --json PATH   also write the JSON report to PATH\n  \
+                     --trace PATH  write a Chrome trace (one span per sweep) to PATH"
                 );
                 std::process::exit(0);
             }
@@ -131,18 +135,38 @@ fn chaos_config(days: u32, plan: FaultPlan) -> DriverConfig {
     cfg
 }
 
-fn run_matrix(workload: &Workload, args: &Args) -> (Vec<Json>, usize) {
+fn run_matrix(workload: &Workload, args: &Args, tracer: Option<&Tracer>) -> (Vec<Json>, usize) {
     let mut reports = Vec::new();
     let mut violations = 0usize;
 
     println!("cv-chaos: {} day(s) at scale {}, fault seed {}", args.days, args.scale, args.seed);
 
+    if let Some(t) = tracer {
+        t.begin(0, "baseline");
+    }
     let baseline = run_workload(workload, &chaos_config(args.days, FaultPlan::none()))
         .expect("fault-free run");
+    if let Some(t) = tracer {
+        t.end_with(0, &[("jobs", baseline.ledger.len() as u64)]);
+    }
 
     for sweep in fault_matrix(args.seed) {
+        if let Some(t) = tracer {
+            t.begin(0, sweep.name);
+        }
         let out = run_workload(workload, &chaos_config(args.days, sweep.plan.clone()))
             .expect("faulty run must not error out");
+        if let Some(t) = tracer {
+            t.end_with(
+                0,
+                &[
+                    ("jobs", out.ledger.len() as u64),
+                    ("fallbacks_recompute", out.robustness.fallbacks_recompute),
+                    ("stage_retries", out.robustness.stage_retries),
+                    ("metadata_outage_jobs", out.robustness.metadata_outage_jobs),
+                ],
+            );
+        }
         let mut problems: Vec<String> = Vec::new();
 
         if out.failed_jobs > 0 {
@@ -235,7 +259,16 @@ fn main() -> ExitCode {
         n_analytics: 24,
         ..WorkloadConfig::default()
     });
-    let (sweeps, violations) = run_matrix(&workload, &args);
+    let tracer = args.trace_path.as_ref().map(|_| Tracer::new());
+    let (sweeps, violations) = run_matrix(&workload, &args, tracer.as_ref());
+
+    if let (Some(path), Some(t)) = (&args.trace_path, &tracer) {
+        if let Err(e) = std::fs::write(path, t.to_chrome_json().to_string_pretty()) {
+            eprintln!("cv-chaos: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[chrome trace] {path} ({} spans)", t.span_count());
+    }
 
     let report_json = json!({
         "days": args.days,

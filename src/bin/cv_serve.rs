@@ -19,17 +19,30 @@
 //! enforces the bound when the host has parallelism to give. The digest
 //! checks are unconditional — they are the correctness gate.
 //!
+//! The speedup denominator is the **parallel-phase wall** (batch epoch →
+//! last task completion, from `PoolReport::parallel_wall`), not the whole
+//! pool wall: per-wave worker spawn/join is fixed overhead that used to be
+//! billed to the parallel run and produced a phantom slowdown.
+//!
+//! With `--trace` the N-worker run records cv-obs spans and writes a Chrome
+//! trace (`chrome://tracing` / Perfetto) merging the service spans (pid 1)
+//! with the simulated-cluster timeline (pid 2); the 1-worker run is traced
+//! too and the deterministic span *structure* of both runs must match —
+//! worker count may move timings, never the tree.
+//!
 //! Usage:
 //!   cv-serve [--days N] [--scale F] [--seed N] [--analytics N]
 //!            [--workers N] [--shards N] [--mode closed|open]
 //!            [--min-speedup auto|F] [--json PATH] [--bench PATH]
+//!            [--trace PATH] [--metrics PATH]
 
 use cv_common::json::{json, Json};
 use cv_common::Sig128;
 use cv_extensions::concurrent::pipelining_savings_bound;
+use cv_obs::chrome_trace;
 use cv_workload::{
-    generate_workload, run_workload, run_workload_service, DriverConfig, ServiceConfig,
-    ServiceOutcome, WorkloadConfig,
+    generate_workload, run_workload, run_workload_service_obs, DriverConfig, ServiceConfig,
+    ServiceObs, ServiceOutcome, WorkloadConfig,
 };
 use std::process::ExitCode;
 
@@ -44,6 +57,8 @@ struct Args {
     min_speedup: Option<f64>, // None = auto
     json_path: Option<String>,
     bench_path: Option<String>,
+    trace_path: Option<String>,
+    metrics_path: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -58,6 +73,8 @@ fn parse_args() -> Result<Args, String> {
         min_speedup: None,
         json_path: None,
         bench_path: None,
+        trace_path: None,
+        metrics_path: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -107,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--bench" => args.bench_path = Some(it.next().ok_or("--bench needs a path")?),
+            "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
+            "--metrics" => args.metrics_path = Some(it.next().ok_or("--metrics needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "cv-serve: concurrent query-service benchmark + correctness gate\n\n\
@@ -119,7 +138,9 @@ fn parse_args() -> Result<Args, String> {
                      --mode M          closed|open load generation (default closed)\n  \
                      --min-speedup S   auto, or a required N-worker/1-worker ratio\n  \
                      --json PATH       write the full JSON report to PATH\n  \
-                     --bench PATH      write BENCH_service.json-style summary to PATH"
+                     --bench PATH      write BENCH_service.json-style summary to PATH\n  \
+                     --trace PATH      write a Chrome trace of the N-worker run to PATH\n  \
+                     --metrics PATH    write the cv-obs metrics dump to PATH"
                 );
                 std::process::exit(0);
             }
@@ -144,8 +165,14 @@ fn digest_checksum(digests: &std::collections::BTreeMap<cv_common::ids::JobId, S
     format!("{:032x}", h.finish128().0)
 }
 
+/// Throughput over the parallel-phase wall (the speedup-relevant measure);
+/// falls back to the whole pool wall only if the parallel wall is empty.
 fn jobs_per_sec(out: &ServiceOutcome) -> f64 {
-    let wall = out.service.exec_wall_seconds;
+    let wall = if out.service.parallel_wall_seconds > 0.0 {
+        out.service.parallel_wall_seconds
+    } else {
+        out.service.exec_wall_seconds
+    };
     if wall <= 0.0 {
         0.0
     } else {
@@ -188,10 +215,15 @@ fn main() -> ExitCode {
         if args.open_loop { "open" } else { "closed" }
     );
 
+    let observing = args.trace_path.is_some() || args.metrics_path.is_some();
+    let obs_one = observing.then(ServiceObs::new);
+    let obs_many = observing.then(ServiceObs::new);
+
     let sequential = run_workload(&workload, &cfg).expect("sequential reference run");
-    let one = run_workload_service(&workload, &cfg, &svc(1)).expect("1-worker service run");
-    let many =
-        run_workload_service(&workload, &cfg, &svc(args.workers)).expect("N-worker service run");
+    let one = run_workload_service_obs(&workload, &cfg, &svc(1), obs_one.as_ref())
+        .expect("1-worker service run");
+    let many = run_workload_service_obs(&workload, &cfg, &svc(args.workers), obs_many.as_ref())
+        .expect("N-worker service run");
 
     // ---- Contracts. ----
     let mut problems: Vec<String> = Vec::new();
@@ -212,6 +244,16 @@ fn main() -> ExitCode {
             "{} duplicate materialization(s) — single flight failed",
             many.service.duplicate_materializations
         ));
+    }
+    if let (Some(o1), Some(on)) = (&obs_one, &obs_many) {
+        // Worker count may move span timings, never the span tree.
+        if o1.tracer.structure_json() != on.tracer.structure_json() {
+            problems
+                .push(format!("trace structure diverges between 1 and {} workers", args.workers));
+        }
+        if o1.tracer.unbalanced_ends() + on.tracer.unbalanced_ends() > 0 {
+            problems.push("unbalanced span begin/end pairs in the tracer".to_string());
+        }
     }
 
     let jps_1 = jobs_per_sec(&one);
@@ -240,17 +282,28 @@ fn main() -> ExitCode {
     let realized = many.service.realized_pipelining_savings;
     let s = &many.service;
     println!(
-        "\n  jobs                        {}\n  exec wall (1w / {}w)        {:.3}s / {:.3}s\n  \
+        "\n  jobs                        {}\n  \
+         parallel wall (1w / {}w)    {:.3}s / {:.3}s\n  \
+         pool wall (1w / {}w)        {:.3}s / {:.3}s\n  \
+         phase wall ({}w)            compile {:.3}s / execute {:.3}s / commit {:.3}s (pool overhead {:.3}s)\n  \
          jobs/sec (1w / {}w)         {:.2} / {:.2}  (speedup {:.2}x)\n  \
          latency p50/p95/p99         {:.2} / {:.2} / {:.2} ms\n  \
          pipelined jobs / reads      {} / {}\n  flight waits                {}\n  \
          duplicate materializations  {}\n  realized pipelining savings {:.3} work units\n  \
          opportunity bound (Fig. 9)  {:.3} work units\n  \
-         steals / deferrals          {} / {}\n  max inflight                {}",
+         steals / deferrals          {} / {}\n  max inflight / queue depth  {} / {}",
         many.ledger.len(),
+        args.workers,
+        one.service.parallel_wall_seconds,
+        many.service.parallel_wall_seconds,
         args.workers,
         one.service.exec_wall_seconds,
         many.service.exec_wall_seconds,
+        args.workers,
+        s.compile_wall_seconds,
+        s.parallel_wall_seconds,
+        s.commit_wall_seconds,
+        s.pool_overhead_seconds,
         args.workers,
         jps_1,
         jps_n,
@@ -266,7 +319,8 @@ fn main() -> ExitCode {
         bound,
         s.steals,
         s.admission_deferrals,
-        s.max_inflight
+        s.max_inflight,
+        s.max_queue_depth
     );
 
     let digests_match = many.result_digests == sequential.result_digests;
@@ -283,6 +337,18 @@ fn main() -> ExitCode {
         "shards": s.shards as u64,
         "exec_wall_seconds_1w": one.service.exec_wall_seconds,
         "exec_wall_seconds_nw": many.service.exec_wall_seconds,
+        "parallel_wall_seconds_1w": one.service.parallel_wall_seconds,
+        "parallel_wall_seconds_nw": many.service.parallel_wall_seconds,
+        "phase_wall_seconds": json!({
+            "compile": s.compile_wall_seconds,
+            "execute_parallel": s.parallel_wall_seconds,
+            "execute_pool": s.exec_wall_seconds,
+            "commit": s.commit_wall_seconds,
+            "pool_overhead": s.pool_overhead_seconds,
+        }),
+        "worker_busy_seconds": Json::Arr(
+            s.worker_busy_seconds.iter().map(|b| Json::from(*b)).collect()
+        ),
         "jobs_per_sec_1w": jps_1,
         "jobs_per_sec_nw": jps_n,
         "speedup": speedup,
@@ -327,6 +393,35 @@ fn main() -> ExitCode {
     }
     if args.bench_path.is_none() && args.json_path.is_none() {
         println!("\n{}", bench.to_string_compact());
+    }
+
+    if let Some(path) = &args.trace_path {
+        let obs = obs_many.as_ref().expect("--trace implies observability");
+        // pid 1 = the live service run, pid 2 = the simulated cluster
+        // replay, merged into one Chrome trace file.
+        let mut events = obs.tracer.chrome_events(1);
+        let results: Vec<_> = many.ledger.records().iter().map(|r| r.result.clone()).collect();
+        events.extend(cv_cluster::timeline::chrome_events(&results, 2));
+        let n_events = events.len();
+        let trace = chrome_trace(events);
+        let text = trace.to_string_pretty();
+        if Json::parse(&text).ok().as_ref() != Some(&trace) {
+            eprintln!("cv-serve: trace JSON failed the parse-back self-check");
+            return ExitCode::FAILURE;
+        }
+        if let Err(e) = std::fs::write(path, &text) {
+            eprintln!("cv-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[chrome trace] {path} ({n_events} events)");
+    }
+    if let Some(path) = &args.metrics_path {
+        let obs = obs_many.as_ref().expect("--metrics implies observability");
+        if let Err(e) = std::fs::write(path, obs.metrics.to_json().to_string_pretty()) {
+            eprintln!("cv-serve: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("[metrics] {path}");
     }
 
     if problems.is_empty() {
