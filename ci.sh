@@ -40,4 +40,23 @@ print(f"    trace OK ({len(events)} events), phase breakdown OK")
 EOF
 rm -f "$trace_json"
 
+echo "==> kernels microbench smoke gate (typed engine kernels)"
+cargo run --release -q -p cv-bench --bin kernels -- --smoke --out BENCH_engine.json \
+  > /dev/null || { echo "kernels: microbench failed"; exit 1; }
+
+echo "==> engine bench artifact validation"
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_engine.json"))
+assert bench["name"] == "kernels_microbench", "wrong bench artifact"
+assert bench["smoke"] is True, "smoke run must be marked as such"
+assert bench["sizes"], "no sizes measured"
+for kernel in ("filter", "project", "hash_join", "hash_aggregate", "sort"):
+    rates = bench["kernels"][kernel]
+    assert rates, f"kernel {kernel} has no measurements"
+    for size, rate in rates.items():
+        assert rate > 0, f"kernel {kernel} measured zero throughput at {size} rows"
+print(f"    engine bench OK ({len(bench['kernels'])} kernels)")
+EOF
+
 echo "==> OK"

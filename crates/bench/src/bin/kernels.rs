@@ -1,0 +1,312 @@
+//! `kernels` — executor kernel microbenchmarks (`BENCH_engine.json`).
+//!
+//! Measures raw operator throughput (input rows/sec) of the single-node
+//! executor on synthetic tables at 10^4–10^6 rows: filter, project,
+//! hash-join, hash-aggregate, sort. These are the hot paths the vectorized
+//! typed kernels replace; the JSON artifact records the achieved rates so
+//! speedups are *recorded*, not asserted in prose.
+//!
+//! Usage:
+//!   kernels [--out PATH] [--smoke] [--baseline PATH] [--measure-secs F]
+//!
+//! `--smoke` runs one small size with a short measurement window (CI).
+//! `--baseline PATH` embeds a previous run's rates into the output under
+//! `"baseline"` plus per-kernel `"speedup_vs_baseline"` at the largest
+//! common size.
+
+use cv_common::json::Json;
+use cv_common::rng::DetRng;
+use cv_common::SimTime;
+use cv_data::catalog::DatasetCatalog;
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_data::viewstore::ViewStore;
+use cv_engine::cost::CostModel;
+use cv_engine::exec::{execute, ExecContext};
+use cv_engine::expr::{col, lit, AggExpr, AggFunc};
+use cv_engine::optimizer::{AlwaysGrant, Optimizer, OptimizerConfig, ReuseContext};
+use cv_engine::plan::{JoinKind, LogicalPlan, PlanBuilder};
+use cv_engine::udo::UdoRegistry;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEGS: [&str; 8] = ["asia", "emea", "amer", "apac", "latam", "anz", "mea", "nordics"];
+
+/// Synthetic fact table: id INT, qty INT (3% null), val FLOAT, seg STR, day DATE.
+fn fact_table(n: usize, rng: &mut DetRng) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("qty", DataType::Int),
+        Field::new("val", DataType::Float),
+        Field::new("seg", DataType::Str),
+        Field::new("day", DataType::Date),
+    ])
+    .unwrap()
+    .into_ref();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| {
+            let qty =
+                if rng.next_f64() < 0.03 { Value::Null } else { Value::Int(rng.range_i64(0, 100)) };
+            vec![
+                Value::Int(i as i64),
+                qty,
+                Value::Float(rng.range_f64(0.0, 1000.0)),
+                Value::Str(SEGS[rng.range_usize(0, SEGS.len())].into()),
+                Value::Date(rng.range_i64(18_000, 18_060) as i32),
+            ]
+        })
+        .collect();
+    Table::from_rows(schema, &rows).unwrap()
+}
+
+/// Dimension table keyed on the fact `id % dim_n`.
+fn dim_table(n: usize) -> Table {
+    let schema =
+        Schema::new(vec![Field::new("d_id", DataType::Int), Field::new("label", DataType::Str)])
+            .unwrap()
+            .into_ref();
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|i| vec![Value::Int(i as i64), Value::Str(SEGS[i % SEGS.len()].into())])
+        .collect();
+    Table::from_rows(schema, &rows).unwrap()
+}
+
+struct Bench {
+    catalog: DatasetCatalog,
+    views: ViewStore,
+    udos: UdoRegistry,
+    opt: Optimizer,
+    model: CostModel,
+}
+
+impl Bench {
+    fn new(n: usize, dim_n: usize, seed: u64) -> Bench {
+        let mut rng = DetRng::seed(seed);
+        let mut catalog = DatasetCatalog::new();
+        catalog.register("fact", fact_table(n, &mut rng), SimTime::EPOCH).unwrap();
+        // Join key: fact ids modulo the dimension size, so every probe hits.
+        let fact = catalog.get_by_name("fact").unwrap().data().clone();
+        let key_rows: Vec<Vec<Value>> = (0..fact.num_rows())
+            .map(|i| {
+                let mut row = fact.row(i);
+                row[0] = Value::Int((i % dim_n) as i64);
+                row
+            })
+            .collect();
+        let keyed = Table::from_rows(fact.schema().clone(), &key_rows).unwrap();
+        let id = catalog.id_of("fact").unwrap();
+        catalog.bulk_update(id, keyed, SimTime::EPOCH).unwrap();
+        catalog.register("dim", dim_table(dim_n), SimTime::EPOCH).unwrap();
+        Bench {
+            catalog,
+            views: ViewStore::with_default_ttl(),
+            udos: UdoRegistry::with_builtins(),
+            opt: Optimizer::new(OptimizerConfig::default()),
+            model: CostModel::default(),
+        }
+    }
+
+    fn compile(&self, logical: &Arc<LogicalPlan>) -> cv_engine::physical::PhysicalPlan {
+        let stats = |name: &str| {
+            self.catalog.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64))
+        };
+        let mut physical = self
+            .opt
+            .optimize(logical, &ReuseContext::empty(), &stats, &mut AlwaysGrant)
+            .unwrap()
+            .physical;
+        // The benchmark measures the hash-join kernel specifically; the
+        // optimizer is free to pick merge/loop at some scales.
+        force_hash_joins(&mut physical);
+        physical
+    }
+
+    fn run(&self, physical: &cv_engine::physical::PhysicalPlan) -> usize {
+        let mut ctx = ExecContext::new(&self.catalog, &self.views, &self.udos, SimTime::EPOCH);
+        execute(physical, &mut ctx, &self.model).unwrap().table.num_rows()
+    }
+}
+
+fn force_hash_joins(p: &mut cv_engine::physical::PhysicalPlan) {
+    if let cv_engine::physical::PhysicalPlan::Join { algo, .. } = p {
+        *algo = cv_engine::physical::JoinAlgo::Hash;
+    }
+    for c in p.children_mut() {
+        force_hash_joins(c);
+    }
+}
+
+/// Time `f` until the window fills; returns mean seconds per iteration.
+fn time_it(measure_secs: f64, mut f: impl FnMut() -> usize) -> f64 {
+    black_box(f()); // warmup
+    let start = Instant::now();
+    let mut iters = 0u32;
+    loop {
+        black_box(f());
+        iters += 1;
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed >= measure_secs || iters >= 1000 {
+            return elapsed / iters as f64;
+        }
+    }
+}
+
+fn plans(bench: &Bench) -> Vec<(&'static str, Arc<LogicalPlan>)> {
+    let filter = PlanBuilder::scan(&bench.catalog, "fact")
+        .unwrap()
+        .filter(col("qty").gt(lit(50)).and(col("val").lt(lit(500.0))))
+        .unwrap()
+        .build();
+    let project = PlanBuilder::scan(&bench.catalog, "fact")
+        .unwrap()
+        .project(vec![
+            (col("val").mul(col("qty").cast(DataType::Float)).add(lit(1.0)), "v"),
+            (col("qty").add(lit(1)), "q1"),
+        ])
+        .unwrap()
+        .build();
+    let join = PlanBuilder::scan(&bench.catalog, "fact")
+        .unwrap()
+        .join(PlanBuilder::scan(&bench.catalog, "dim").unwrap(), &[("id", "d_id")], JoinKind::Inner)
+        .unwrap()
+        .build();
+    let agg = PlanBuilder::scan(&bench.catalog, "fact")
+        .unwrap()
+        .aggregate(
+            vec![(col("seg"), "seg"), (col("day"), "day")],
+            vec![
+                AggExpr::new(AggFunc::Sum, col("qty"), "total_qty"),
+                AggExpr::new(AggFunc::Avg, col("val"), "avg_val"),
+                AggExpr::count_star("n"),
+            ],
+        )
+        .unwrap()
+        .build();
+    let sort = PlanBuilder::scan(&bench.catalog, "fact")
+        .unwrap()
+        .sort(&[("seg", true), ("val", false)])
+        .unwrap()
+        .build();
+    vec![
+        ("filter", filter),
+        ("project", project),
+        ("hash_join", join),
+        ("hash_aggregate", agg),
+        ("sort", sort),
+    ]
+}
+
+fn main() {
+    let mut out_path = "BENCH_engine.json".to_string();
+    let mut smoke = false;
+    let mut baseline_path: Option<String> = None;
+    let mut measure_secs = 1.0_f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().expect("--out PATH"),
+            "--smoke" => smoke = true,
+            "--baseline" => baseline_path = Some(args.next().expect("--baseline PATH")),
+            "--measure-secs" => {
+                measure_secs = args.next().expect("--measure-secs F").parse().expect("float")
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+    }
+    if smoke {
+        measure_secs = measure_secs.min(0.10);
+    }
+    let sizes: Vec<usize> = if smoke { vec![10_000] } else { vec![10_000, 100_000, 1_000_000] };
+
+    let mut kernels = cv_common::json::JsonMap::new();
+    let names: Vec<&str> = plans(&Bench::new(16, 8, 7)).iter().map(|(n, _)| *n).collect();
+    let mut rates: Vec<(String, Vec<(usize, f64)>)> =
+        names.iter().map(|n| (n.to_string(), Vec::new())).collect();
+
+    for &n in &sizes {
+        let dim_n = (n / 100).max(8);
+        let bench = Bench::new(n, dim_n, 7);
+        eprintln!("== {n} rows (dim {dim_n}) ==");
+        for (ki, (name, logical)) in plans(&bench).iter().enumerate() {
+            let physical = bench.compile(logical);
+            // Hash-join input rows = probe + build side.
+            let input_rows = if *name == "hash_join" { n + dim_n } else { n };
+            let secs = time_it(measure_secs, || bench.run(&physical));
+            let rps = input_rows as f64 / secs;
+            eprintln!("  {name:<16} {rps:>14.0} rows/sec  ({:.1} ms/iter)", secs * 1e3);
+            rates[ki].1.push((n, rps));
+        }
+    }
+
+    for (name, points) in &rates {
+        let mut obj = cv_common::json::JsonMap::new();
+        for (n, rps) in points {
+            obj.insert(n.to_string(), *rps);
+        }
+        kernels.insert(name.clone(), Json::Obj(obj));
+    }
+
+    let mut root = cv_common::json::JsonMap::new();
+    root.insert("name", "kernels_microbench");
+    root.insert("smoke", smoke);
+    root.insert("sizes", Json::Arr(sizes.iter().map(|&s| Json::from(s as u64)).collect()));
+    root.insert("kernels", Json::Obj(kernels));
+
+    // Embed a previous run as the recorded baseline, with speedups at the
+    // largest size present in both runs.
+    if let Some(path) = baseline_path {
+        let text = std::fs::read_to_string(&path).expect("read baseline");
+        let base = Json::parse(&text).expect("parse baseline");
+        if let Some(bk) = base.get("kernels").and_then(Json::as_obj) {
+            root.insert("baseline", Json::Obj(bk.clone()));
+            let mut speedups = cv_common::json::JsonMap::new();
+            for (name, points) in &rates {
+                let Some(base_pts) = bk.get(name).and_then(Json::as_obj) else { continue };
+                let common = points
+                    .iter()
+                    .rev()
+                    .find_map(|(n, rps)| base_pts.get(&n.to_string()).map(|b| (*rps, b)));
+                if let Some((now, base_v)) = common {
+                    if let Some(b) = base_v.as_f64() {
+                        if b > 0.0 {
+                            speedups.insert(name.clone(), now / b);
+                        }
+                    }
+                }
+            }
+            root.insert("speedup_vs_baseline", Json::Obj(speedups));
+        }
+    }
+
+    std::fs::write(&out_path, Json::Obj(root).to_string_pretty()).expect("write output");
+    eprintln!("wrote {out_path}");
+    // Physical-plan sanity: the compiled shapes actually exercise the
+    // intended operators (guards against optimizer rewrites silently
+    // changing what this benchmark measures).
+    let bench = Bench::new(64, 8, 7);
+    for (name, logical) in plans(&bench) {
+        let physical = bench.compile(&logical);
+        let mut kinds = Vec::new();
+        fn walk(p: &cv_engine::physical::PhysicalPlan, out: &mut Vec<&'static str>) {
+            out.push(p.kind_name());
+            for c in p.children() {
+                walk(c, out);
+            }
+        }
+        walk(&physical, &mut kinds);
+        let want = match name {
+            "filter" => "Filter",
+            "project" => "Project",
+            "hash_join" => "HashJoin",
+            "hash_aggregate" => "HashAggregate",
+            "sort" => "Sort",
+            _ => unreachable!(),
+        };
+        assert!(kinds.contains(&want), "{name}: compiled plan lost its {want} operator");
+    }
+}

@@ -74,6 +74,33 @@ impl Bitmap {
         self.count_set() == self.len
     }
 
+    /// Word-wise AND of two equal-length bitmaps (combined validity /
+    /// selection-mask intersection).
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect();
+        Bitmap { words, len: self.len }
+    }
+
+    /// Indices of set bits, ascending — turns a selection mask into a gather
+    /// list one word at a time instead of testing every row.
+    pub fn ones(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count_set());
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                out.push(w * 64 + bits.trailing_zeros() as usize);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Expand back to a bool vector (`true` = set).
+    pub fn to_bools(&self) -> Vec<bool> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
     /// Keep only positions where `mask[i]` is true, preserving order.
     pub fn filter(&self, mask: &[bool]) -> Bitmap {
         assert_eq!(mask.len(), self.len);
@@ -177,5 +204,31 @@ mod tests {
     fn tail_bits_are_masked() {
         let b = Bitmap::all_set(3);
         assert_eq!(b.count_set(), 3);
+    }
+
+    #[test]
+    fn and_intersects() {
+        let a = Bitmap::from_bools(&(0..130).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let b = Bitmap::from_bools(&(0..130).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let c = a.and(&b);
+        for i in 0..130 {
+            assert_eq!(c.get(i), i % 6 == 0, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn ones_lists_set_indices() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 7 == 0).collect();
+        let b = Bitmap::from_bools(&bools);
+        let expect: Vec<usize> = (0..200).filter(|i| i % 7 == 0).collect();
+        assert_eq!(b.ones(), expect);
+        assert_eq!(Bitmap::all_clear(100).ones(), Vec::<usize>::new());
+        assert_eq!(Bitmap::all_set(65).ones().len(), 65);
+    }
+
+    #[test]
+    fn to_bools_roundtrip() {
+        let bools: Vec<bool> = (0..77).map(|i| i % 5 == 1).collect();
+        assert_eq!(Bitmap::from_bools(&bools).to_bools(), bools);
     }
 }

@@ -185,9 +185,12 @@ impl DatasetCatalog {
             .ok_or_else(|| CvError::not_found(format!("column `{column}` in `{}`", ds.name)))?;
         let old_guid = ds.current_guid();
         let col = ds.data.column(col_idx);
-        let mask: Vec<bool> =
-            (0..ds.data.num_rows()).map(|i| col.value(i).sql_eq(key) != Some(true)).collect();
-        let removed = mask.iter().filter(|&&keep| !keep).count();
+        let mask = crate::bitmap::Bitmap::from_bools(
+            &(0..ds.data.num_rows())
+                .map(|i| col.value(i).sql_eq(key) != Some(true))
+                .collect::<Vec<_>>(),
+        );
+        let removed = mask.len() - mask.count_set();
         let new_data = ds.data.filter(&mask)?;
         if let Some(last) = ds.versions.last_mut() {
             last.forgotten = true;

@@ -84,6 +84,14 @@ impl Column {
         self.data.dtype()
     }
 
+    /// Build from an already-shared buffer (reference bump, no copy).
+    pub fn from_shared(data: Arc<ColumnData>, validity: Option<Bitmap>) -> Column {
+        if let Some(v) = &validity {
+            assert_eq!(v.len(), data.len(), "validity length mismatch");
+        }
+        Column { data, validity }
+    }
+
     pub fn data(&self) -> &ColumnData {
         &self.data
     }
@@ -91,6 +99,20 @@ impl Column {
     /// Shared handle to the underlying buffer (reference bump, no copy).
     pub fn shared_data(&self) -> Arc<ColumnData> {
         Arc::clone(&self.data)
+    }
+
+    /// Validity bitmap; `None` means every row is valid.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        self.validity.as_ref()
+    }
+
+    /// Drop an all-true validity bitmap — the canonical form the builders
+    /// produce, so `byte_size` stays identical across code paths.
+    pub fn normalize_validity(mut self) -> Column {
+        if self.validity.as_ref().is_some_and(Bitmap::all_true) {
+            self.validity = None;
+        }
+        self
     }
 
     #[inline]
@@ -159,24 +181,15 @@ impl Column {
         }
     }
 
-    /// Keep rows where `mask[i]` is true.
-    pub fn filter(&self, mask: &[bool]) -> Column {
+    /// Keep rows where the selection mask is set. An all-true mask returns a
+    /// shared column (reference bump, no copy) — the common case when a
+    /// predicate was folded away or selects everything.
+    pub fn filter(&self, mask: &Bitmap) -> Column {
         assert_eq!(mask.len(), self.len());
-        fn sel<T: Clone>(v: &[T], mask: &[bool]) -> Vec<T> {
-            v.iter()
-                .zip(mask)
-                .filter_map(|(x, &m)| if m { Some(x.clone()) } else { None })
-                .collect()
+        if mask.all_true() {
+            return self.clone();
         }
-        let data = match self.data() {
-            ColumnData::Bool(v) => ColumnData::Bool(sel(v, mask)),
-            ColumnData::Int(v) => ColumnData::Int(sel(v, mask)),
-            ColumnData::Float(v) => ColumnData::Float(sel(v, mask)),
-            ColumnData::Str(v) => ColumnData::Str(sel(v, mask)),
-            ColumnData::Date(v) => ColumnData::Date(sel(v, mask)),
-        };
-        let validity = self.validity.as_ref().map(|v| v.filter(mask));
-        Column { data: Arc::new(data), validity }
+        self.take(&mask.ones())
     }
 
     /// Gather rows by index (indices may repeat or reorder).
@@ -195,7 +208,31 @@ impl Column {
         Column { data: Arc::new(data), validity }
     }
 
-    /// Concatenate two same-typed columns.
+    /// Gather rows by index, where `sentinel` marks a padded NULL row (the
+    /// join builds outer-miss rows this way). The result always carries a
+    /// validity bitmap: the pad row is NULL by construction.
+    pub fn take_padded(&self, indices: &[usize], sentinel: usize) -> Column {
+        fn gather<T: Clone + Default>(v: &[T], idx: &[usize], s: usize) -> Vec<T> {
+            idx.iter().map(|&i| if i == s { T::default() } else { v[i].clone() }).collect()
+        }
+        let data = match self.data() {
+            ColumnData::Bool(v) => ColumnData::Bool(gather(v, indices, sentinel)),
+            ColumnData::Int(v) => ColumnData::Int(gather(v, indices, sentinel)),
+            ColumnData::Float(v) => ColumnData::Float(gather(v, indices, sentinel)),
+            ColumnData::Str(v) => ColumnData::Str(gather(v, indices, sentinel)),
+            ColumnData::Date(v) => ColumnData::Date(gather(v, indices, sentinel)),
+        };
+        let mut validity = Bitmap::all_set(indices.len());
+        for (j, &i) in indices.iter().enumerate() {
+            if i == sentinel || self.is_null(i) {
+                validity.set(j, false);
+            }
+        }
+        Column { data: Arc::new(data), validity: Some(validity) }
+    }
+
+    /// Concatenate two same-typed columns (typed buffer append, no per-row
+    /// boxing).
     pub fn concat(&self, other: &Column) -> Result<Column> {
         if self.dtype() != other.dtype() {
             return Err(CvError::exec(format!(
@@ -204,14 +241,33 @@ impl Column {
                 other.dtype()
             )));
         }
-        let mut b = ColumnBuilder::new(self.dtype());
-        for i in 0..self.len() {
-            b.push(&self.value(i))?;
+        fn join<T: Clone>(a: &[T], b: &[T]) -> Vec<T> {
+            let mut out = Vec::with_capacity(a.len() + b.len());
+            out.extend_from_slice(a);
+            out.extend_from_slice(b);
+            out
         }
-        for i in 0..other.len() {
-            b.push(&other.value(i))?;
-        }
-        Ok(b.finish())
+        let data = match (self.data(), other.data()) {
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => ColumnData::Bool(join(a, b)),
+            (ColumnData::Int(a), ColumnData::Int(b)) => ColumnData::Int(join(a, b)),
+            (ColumnData::Float(a), ColumnData::Float(b)) => ColumnData::Float(join(a, b)),
+            (ColumnData::Str(a), ColumnData::Str(b)) => ColumnData::Str(join(a, b)),
+            (ColumnData::Date(a), ColumnData::Date(b)) => ColumnData::Date(join(a, b)),
+            _ => unreachable!("dtype equality checked above"),
+        };
+        let validity = if self.null_count() + other.null_count() > 0 {
+            let mut v = Bitmap::all_clear(0);
+            for i in 0..self.len() {
+                v.push(!self.is_null(i));
+            }
+            for i in 0..other.len() {
+                v.push(!other.is_null(i));
+            }
+            Some(v)
+        } else {
+            None
+        };
+        Ok(Column { data: Arc::new(data), validity })
     }
 
     /// Approximate in-memory byte size (storage accounting for views).
@@ -352,11 +408,41 @@ mod tests {
     #[test]
     fn filter_preserves_nulls() {
         let c = int_col(&[Some(1), None, Some(3), None]);
-        let f = c.filter(&[true, true, false, true]);
+        let f = c.filter(&Bitmap::from_bools(&[true, true, false, true]));
         assert_eq!(f.len(), 3);
         assert_eq!(f.value(0), Value::Int(1));
         assert!(f.value(1).is_null());
         assert!(f.value(2).is_null());
+    }
+
+    #[test]
+    fn filter_all_true_shares_the_buffer() {
+        let c = int_col(&[Some(1), None, Some(3)]);
+        let f = c.filter(&Bitmap::all_set(3));
+        assert!(Arc::ptr_eq(&c.shared_data(), &f.shared_data()));
+        assert_eq!(f.null_count(), 1);
+    }
+
+    #[test]
+    fn take_padded_nulls_at_sentinel() {
+        let c = int_col(&[Some(10), None, Some(30)]);
+        let t = c.take_padded(&[2, usize::MAX, 1, 0], usize::MAX);
+        assert_eq!(t.value(0), Value::Int(30));
+        assert!(t.value(1).is_null());
+        assert!(t.value(2).is_null());
+        assert_eq!(t.value(3), Value::Int(10));
+        assert!(t.validity().is_some());
+    }
+
+    #[test]
+    fn normalize_validity_drops_all_true() {
+        let c = int_col(&[Some(1), None, Some(3)]);
+        // Filtering out the null leaves an all-true bitmap behind.
+        let f = c.filter(&Bitmap::from_bools(&[true, false, true]));
+        assert!(f.validity().is_some());
+        let n = f.normalize_validity();
+        assert!(n.validity().is_none());
+        assert_eq!(n.value(1), Value::Int(3));
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Single-chunk columnar tables: the unit of data the executor operates on.
 
-use crate::column::{Column, ColumnBuilder};
+use crate::bitmap::Bitmap;
+use crate::column::{Column, ColumnBuilder, ColumnData};
 use crate::schema::SchemaRef;
 use crate::value::Value;
 use cv_common::{CvError, Result};
@@ -114,17 +115,28 @@ impl Table {
         (0..self.rows).map(|i| self.row(i)).collect()
     }
 
-    /// Keep rows where the mask is true.
-    pub fn filter(&self, mask: &[bool]) -> Result<Table> {
+    /// Keep rows where the selection mask is set. An all-true mask returns
+    /// shared columns (reference bumps, no copy); otherwise the mask is
+    /// turned into a gather list once and every column gathers through it.
+    pub fn filter(&self, mask: &Bitmap) -> Result<Table> {
         if mask.len() != self.rows {
             return Err(CvError::internal("filter mask length mismatch"));
         }
-        let columns: Vec<Column> = self.columns.iter().map(|c| c.filter(mask)).collect();
+        if mask.all_true() {
+            return Ok(self.clone());
+        }
+        let indices = mask.ones();
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.take(&indices)).collect();
         Table::new(self.schema.clone(), columns)
     }
 
     /// Gather rows by index.
     pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        // Identity gather (every row, in order) shares the buffers — the
+        // common case when an FK join matches each probe row exactly once.
+        if indices.len() == self.rows && indices.iter().enumerate().all(|(j, &i)| j == i) {
+            return Ok(self.clone());
+        }
         let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
         Table::new(self.schema.clone(), columns)
     }
@@ -150,13 +162,33 @@ impl Table {
     }
 
     /// Stable sort by the given column indices (ascending flags parallel).
+    ///
+    /// Comparisons read the typed buffers directly — no per-comparison
+    /// boxing into [`Value`]. NULLs sort first ascending (mirroring
+    /// `Value::total_cmp`, where Null is the smallest rank), floats use
+    /// `f64::total_cmp` so NaN and signed zero order deterministically.
     pub fn sort_by(&self, keys: &[(usize, bool)]) -> Result<Table> {
+        fn cmp_in_col(c: &Column, a: usize, b: usize) -> Ordering {
+            match (c.is_null(a), c.is_null(b)) {
+                (true, true) => return Ordering::Equal,
+                (true, false) => return Ordering::Less,
+                (false, true) => return Ordering::Greater,
+                (false, false) => {}
+            }
+            match c.data() {
+                ColumnData::Bool(v) => v[a].cmp(&v[b]),
+                ColumnData::Int(v) => v[a].cmp(&v[b]),
+                ColumnData::Float(v) => v[a].total_cmp(&v[b]),
+                ColumnData::Str(v) => v[a].cmp(&v[b]),
+                ColumnData::Date(v) => v[a].cmp(&v[b]),
+            }
+        }
+        let key_cols: Vec<(&Column, bool)> =
+            keys.iter().map(|&(ci, asc)| (&self.columns[ci], asc)).collect();
         let mut indices: Vec<usize> = (0..self.rows).collect();
         indices.sort_by(|&a, &b| {
-            for &(col, asc) in keys {
-                let va = self.columns[col].value(a);
-                let vb = self.columns[col].value(b);
-                let ord = va.total_cmp(&vb);
+            for &(col, asc) in &key_cols {
+                let ord = cmp_in_col(col, a, b);
                 let ord = if asc { ord } else { ord.reverse() };
                 if ord != Ordering::Equal {
                     return ord;
@@ -283,7 +315,7 @@ mod tests {
     #[test]
     fn filter_take_project() {
         let t = demo();
-        let f = t.filter(&[true, false, true]).unwrap();
+        let f = t.filter(&Bitmap::from_bools(&[true, false, true])).unwrap();
         assert_eq!(f.num_rows(), 2);
         assert_eq!(f.row(1)[1], Value::Str("b".into()));
 

@@ -1,0 +1,320 @@
+//! Column-wise multi-key hash kernel shared by hash join, hash aggregate
+//! and DISTINCT counting.
+//!
+//! [`KeyCols`] wraps the resolved key columns of one table side and hashes
+//! them *per column* into a `Vec<u64>` for the whole batch — no per-row
+//! `Vec<Value>` key materialization on the hot path. Hash-bucket collisions
+//! are resolved with typed column-vs-column equality that matches the
+//! [`Value`] reference semantics exactly: `sql_eq` for join keys (NULL
+//! matches nothing), `group_key_eq` for group keys (NULLs compare equal),
+//! and `total_cmp` ordering for merge joins.
+//!
+//! Int values hash through their canonical `f64` bit pattern so `Int(1)`
+//! and `Float(1.0)` — equal under `total_cmp` — always land in the same
+//! bucket; equality then decides. NaNs collapse to one bucket and ±0.0 to
+//! another, mirroring `StableHasher::write_f64`.
+
+use cv_data::column::{Column, ColumnData};
+use cv_data::table::Table;
+use cv_data::value::DataType;
+use std::cmp::Ordering;
+
+/// SplitMix64 finalizer (same permutation as `cv_common::hash`).
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+const SEED: u64 = 0x517c_c1b7_2722_0a95;
+const BOOL_TAG: u64 = 0x1b87_3b4e_0dd2_91a1;
+const NUM_TAG: u64 = 0x2cf1_8e0a_9b73_55c3;
+const STR_TAG: u64 = 0x3a91_c57f_44d0_8be5;
+const DATE_TAG: u64 = 0x4d26_71b9_e80f_3d07;
+const NULL_TAG: u64 = 0x5e44_92d3_17ab_6f29;
+
+/// Hash a float by canonical bit pattern: every NaN is one key, ±0.0 is one
+/// key (numeric equality), everything else by exact bits.
+#[inline]
+fn f64_key_hash(f: f64) -> u64 {
+    let bits = if f.is_nan() {
+        f64::NAN.to_bits() | 1
+    } else if f == 0.0 {
+        0
+    } else {
+        f.to_bits()
+    };
+    mix64(bits ^ NUM_TAG)
+}
+
+#[inline]
+fn str_key_hash(s: &str) -> u64 {
+    // FNV-1a over the bytes, finalized for avalanche.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in s.as_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h ^ STR_TAG)
+}
+
+/// Hash of a single (valid) cell, typed. The caller must have checked the
+/// row is non-null.
+pub(super) fn value_hash(c: &Column, i: usize) -> u64 {
+    match c.data() {
+        ColumnData::Bool(v) => mix64(v[i] as u64 ^ BOOL_TAG),
+        ColumnData::Int(v) => f64_key_hash(v[i] as f64),
+        ColumnData::Float(v) => f64_key_hash(v[i]),
+        ColumnData::Str(v) => str_key_hash(&v[i]),
+        ColumnData::Date(v) => mix64(v[i] as i64 as u64 ^ DATE_TAG),
+    }
+}
+
+/// Type rank matching `Value::total_cmp` (Int and Float share a rank and
+/// compare numerically).
+fn rank(t: DataType) -> u8 {
+    match t {
+        DataType::Bool => 1,
+        DataType::Int | DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Date => 4,
+    }
+}
+
+/// Typed cell comparison matching `Value::total_cmp` (NULL ranks below
+/// everything, NULLs compare equal).
+pub(super) fn cmp_cells(a: &Column, i: usize, b: &Column, j: usize) -> Ordering {
+    match (a.is_null(i), b.is_null(j)) {
+        (true, true) => return Ordering::Equal,
+        (true, false) => return Ordering::Less,
+        (false, true) => return Ordering::Greater,
+        (false, false) => {}
+    }
+    match (a.data(), b.data()) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i].cmp(&y[j]),
+        (ColumnData::Int(x), ColumnData::Int(y)) => x[i].cmp(&y[j]),
+        (ColumnData::Float(x), ColumnData::Float(y)) => x[i].total_cmp(&y[j]),
+        (ColumnData::Int(x), ColumnData::Float(y)) => (x[i] as f64).total_cmp(&y[j]),
+        (ColumnData::Float(x), ColumnData::Int(y)) => x[i].total_cmp(&(y[j] as f64)),
+        (ColumnData::Str(x), ColumnData::Str(y)) => x[i].cmp(&y[j]),
+        (ColumnData::Date(x), ColumnData::Date(y)) => x[i].cmp(&y[j]),
+        _ => rank(a.dtype()).cmp(&rank(b.dtype())),
+    }
+}
+
+/// Typed cell equality for two valid cells (callers check NULLs per their
+/// own semantics). Equivalent to `total_cmp == Equal`.
+#[inline]
+fn cells_eq(a: &Column, i: usize, b: &Column, j: usize) -> bool {
+    match (a.data(), b.data()) {
+        (ColumnData::Bool(x), ColumnData::Bool(y)) => x[i] == y[j],
+        (ColumnData::Int(x), ColumnData::Int(y)) => x[i] == y[j],
+        (ColumnData::Float(x), ColumnData::Float(y)) => x[i].total_cmp(&y[j]).is_eq(),
+        (ColumnData::Int(x), ColumnData::Float(y)) => (x[i] as f64).total_cmp(&y[j]).is_eq(),
+        (ColumnData::Float(x), ColumnData::Int(y)) => x[i].total_cmp(&(y[j] as f64)).is_eq(),
+        (ColumnData::Str(x), ColumnData::Str(y)) => x[i] == y[j],
+        (ColumnData::Date(x), ColumnData::Date(y)) => x[i] == y[j],
+        _ => false,
+    }
+}
+
+/// The key columns of one join/aggregate side, hashed column-wise.
+pub(super) struct KeyCols<'a> {
+    cols: Vec<&'a Column>,
+    n: usize,
+}
+
+impl<'a> KeyCols<'a> {
+    pub fn new(cols: Vec<&'a Column>, n: usize) -> KeyCols<'a> {
+        debug_assert!(cols.iter().all(|c| c.len() == n));
+        KeyCols { cols, n }
+    }
+
+    pub fn from_table(t: &'a Table, idx: &[usize]) -> KeyCols<'a> {
+        KeyCols::new(idx.iter().map(|&i| t.column(i)).collect(), t.num_rows())
+    }
+
+    /// True if any key component of the row is NULL.
+    pub fn has_null(&self, row: usize) -> bool {
+        self.cols.iter().any(|c| c.is_null(row))
+    }
+
+    /// Combine one column into the running per-row hashes. `on_null` maps
+    /// the running hash of a null cell (join keys invalidate the row,
+    /// group keys mix a NULL tag).
+    fn fold_column(c: &Column, hashes: &mut [u64], mut mix_cell: impl FnMut(u64, usize) -> u64) {
+        macro_rules! fold {
+            ($v:ident, $hash_one:expr) => {
+                match c.validity() {
+                    None => {
+                        for (i, h) in hashes.iter_mut().enumerate() {
+                            *h = mix64(*h ^ $hash_one(&$v[i]));
+                        }
+                    }
+                    Some(val) => {
+                        for (i, h) in hashes.iter_mut().enumerate() {
+                            if val.get(i) {
+                                *h = mix64(*h ^ $hash_one(&$v[i]));
+                            } else {
+                                *h = mix_cell(*h, i);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        match c.data() {
+            ColumnData::Bool(v) => fold!(v, |x: &bool| mix64(*x as u64 ^ BOOL_TAG)),
+            ColumnData::Int(v) => fold!(v, |x: &i64| f64_key_hash(*x as f64)),
+            ColumnData::Float(v) => fold!(v, |x: &f64| f64_key_hash(*x)),
+            ColumnData::Str(v) => fold!(v, |x: &String| str_key_hash(x)),
+            ColumnData::Date(v) => fold!(v, |x: &i32| mix64(*x as i64 as u64 ^ DATE_TAG)),
+        }
+    }
+
+    /// Per-row join-key hashes plus a valid flag (`false` if any key
+    /// component is NULL — SQL: null keys never join).
+    pub fn join_hashes(&self) -> (Vec<u64>, Vec<bool>) {
+        let mut hashes = vec![SEED; self.n];
+        let mut valid = vec![true; self.n];
+        for c in &self.cols {
+            Self::fold_column(c, &mut hashes, |h, i| {
+                valid[i] = false;
+                h
+            });
+        }
+        (hashes, valid)
+    }
+
+    /// Per-row group-key hashes; NULL components mix a fixed tag so NULL
+    /// keys group together (SQL GROUP BY).
+    pub fn group_hashes(&self) -> Vec<u64> {
+        let mut hashes = vec![SEED; self.n];
+        for c in &self.cols {
+            Self::fold_column(c, &mut hashes, |h, _| mix64(h ^ NULL_TAG));
+        }
+        hashes
+    }
+
+    /// Join-key equality (`sql_eq` semantics). Callers only invoke this on
+    /// rows whose valid flag is set, so NULLs never reach it; the null
+    /// checks are defensive.
+    pub fn rows_eq_sql(&self, i: usize, other: &KeyCols<'_>, j: usize) -> bool {
+        self.cols
+            .iter()
+            .zip(&other.cols)
+            .all(|(a, b)| !a.is_null(i) && !b.is_null(j) && cells_eq(a, i, b, j))
+    }
+
+    /// Group-key equality (`group_key_eq` semantics: NULLs equal).
+    pub fn rows_eq_group(&self, i: usize, other: &KeyCols<'_>, j: usize) -> bool {
+        self.cols.iter().zip(&other.cols).all(|(a, b)| match (a.is_null(i), b.is_null(j)) {
+            (true, true) => true,
+            (false, false) => cells_eq(a, i, b, j),
+            _ => false,
+        })
+    }
+
+    /// Lexicographic key ordering (`Value::total_cmp` per component) for
+    /// merge joins.
+    pub fn cmp_rows(&self, i: usize, other: &KeyCols<'_>, j: usize) -> Ordering {
+        for (a, b) in self.cols.iter().zip(&other.cols) {
+            let o = cmp_cells(a, i, b, j);
+            if o != Ordering::Equal {
+                return o;
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_data::value::Value;
+
+    fn col(dtype: DataType, vals: &[Value]) -> Column {
+        Column::from_values(dtype, vals).unwrap()
+    }
+
+    #[test]
+    fn int_and_float_hash_equal_but_str_differs() {
+        // Int(1) and Float(1.0) are equal under total_cmp and must share a
+        // bucket; the string "1" must not collide with either (the old
+        // COUNT(DISTINCT) string-rendering bug).
+        let ints = col(DataType::Int, &[Value::Int(1)]);
+        let floats = col(DataType::Float, &[Value::Float(1.0)]);
+        let strs = col(DataType::Str, &[Value::Str("1".into())]);
+        assert_eq!(value_hash(&ints, 0), value_hash(&floats, 0));
+        assert_ne!(value_hash(&ints, 0), value_hash(&strs, 0));
+    }
+
+    #[test]
+    fn zero_signs_and_nans_collapse() {
+        let f = col(DataType::Float, &[Value::Float(0.0), Value::Float(-0.0)]);
+        assert_eq!(value_hash(&f, 0), value_hash(&f, 1));
+        let nans = col(DataType::Float, &[Value::Float(f64::NAN), Value::Float(-f64::NAN)]);
+        assert_eq!(value_hash(&nans, 0), value_hash(&nans, 1));
+    }
+
+    #[test]
+    fn join_hashes_invalidate_null_keys() {
+        let a = col(DataType::Int, &[Value::Int(1), Value::Null, Value::Int(1)]);
+        let kc = KeyCols::new(vec![&a], 3);
+        let (hashes, valid) = kc.join_hashes();
+        assert_eq!(valid, vec![true, false, true]);
+        assert_eq!(hashes[0], hashes[2]);
+        assert!(!kc.rows_eq_sql(0, &kc, 1), "NULL joins nothing");
+        assert!(kc.rows_eq_sql(0, &kc, 2));
+    }
+
+    #[test]
+    fn group_hashes_put_nulls_in_one_group() {
+        let a = col(DataType::Str, &[Value::Null, Value::Str("x".into()), Value::Null]);
+        let kc = KeyCols::new(vec![&a], 3);
+        let h = kc.group_hashes();
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+        assert!(kc.rows_eq_group(0, &kc, 2), "GROUP BY: NULLs equal");
+        assert!(!kc.rows_eq_group(0, &kc, 1));
+    }
+
+    #[test]
+    fn multi_key_hash_is_order_sensitive() {
+        let a = col(DataType::Int, &[Value::Int(1)]);
+        let b = col(DataType::Int, &[Value::Int(2)]);
+        let ab = KeyCols::new(vec![&a, &b], 1);
+        let ba = KeyCols::new(vec![&b, &a], 1);
+        assert_ne!(ab.group_hashes()[0], ba.group_hashes()[0]);
+    }
+
+    #[test]
+    fn cmp_rows_matches_value_total_cmp() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(3),
+            Value::Float(3.5),
+            Value::Str("s".into()),
+            Value::Date(9),
+        ];
+        // Compare every pair across two single-type columns via a shared
+        // mixed ordering check (cross-dtype ranks line up with total_cmp).
+        for x in &vals {
+            for y in &vals {
+                let cx = Column::from_values(
+                    x.dtype().unwrap_or(DataType::Int),
+                    std::slice::from_ref(x),
+                )
+                .unwrap();
+                let cy = Column::from_values(
+                    y.dtype().unwrap_or(DataType::Int),
+                    std::slice::from_ref(y),
+                )
+                .unwrap();
+                assert_eq!(cmp_cells(&cx, 0, &cy, 0), x.total_cmp(y), "{x} vs {y}");
+            }
+        }
+    }
+}

@@ -12,6 +12,8 @@
 //! * **pending views** captured by spool operators, to be sealed by the job
 //!   manager (early sealing happens in the cluster layer).
 
+mod keys;
+
 use crate::cost::CostModel;
 use crate::expr::eval::{eval, eval_predicate, EvalCtx};
 use crate::expr::{AggExpr, AggFunc};
@@ -19,15 +21,16 @@ use crate::obs::ObsSink;
 use crate::physical::{JoinAlgo, JoinAlgoCounts, PhysicalPlan};
 use crate::plan::JoinKind;
 use crate::udo::UdoRegistry;
-use cv_common::hash::{Sig128, StableHasher};
+use cv_common::hash::Sig128;
 use cv_common::ids::VersionGuid;
 use cv_common::{CvError, Result, SimTime};
 use cv_data::catalog::DatasetCatalog;
-use cv_data::column::ColumnBuilder;
+use cv_data::column::{Column, ColumnBuilder, ColumnData};
 use cv_data::schema::SchemaRef;
 use cv_data::table::Table;
 use cv_data::value::Value;
 use cv_data::viewstore::ViewSource;
+use keys::KeyCols;
 use std::collections::HashMap;
 
 /// Execution context: read access to storage plus the evaluation state.
@@ -380,19 +383,28 @@ fn exec_node_inner(
     }
 }
 
-/// Hash a join/group key row; `None` if any component is NULL (SQL: null
-/// keys never join).
-fn key_hash(values: &[Value]) -> Option<u64> {
-    let mut h = StableHasher::with_domain("exec-key");
-    for v in values {
-        if v.is_null() {
-            return None;
-        }
-        v.stable_hash(&mut h);
+/// Hash-table keys coming out of the key kernel are already
+/// avalanche-mixed, so the join/aggregate maps use them verbatim instead of
+/// paying SipHash per lookup.
+#[derive(Default)]
+struct PreHashed(u64);
+
+impl std::hash::Hasher for PreHashed {
+    fn finish(&self) -> u64 {
+        self.0
     }
-    Some(h.finish64())
+    fn write(&mut self, _: &[u8]) {
+        unreachable!("PreHashed maps only take u64 keys")
+    }
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v;
+    }
 }
 
+type PreHashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PreHashed>>;
+
+/// Row-at-a-time key equality — reference semantics, kept for `loop_join`
+/// (the differential baseline the vectorized paths are tested against).
 fn keys_equal(a: &[Value], b: &[Value]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.sql_eq(y) == Some(true))
 }
@@ -434,30 +446,28 @@ fn build_join_output(
     kind: JoinKind,
 ) -> Result<Table> {
     let left_idx: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
-    let left_part = left.take(&left_idx)?;
+    let right_idx: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+    join_output_from_indices(left, right, &left_idx, &right_idx, kind)
+}
+
+fn join_output_from_indices(
+    left: &Table,
+    right: &Table,
+    left_idx: &[usize],
+    right_idx: &[usize],
+    kind: JoinKind,
+) -> Result<Table> {
+    let left_part = left.take(left_idx)?;
     if kind == JoinKind::Semi {
         return Ok(left_part);
     }
-    // Sentinel trick: append one all-NULL row to the right table; misses
-    // index it.
-    let null_row: Vec<Value> = vec![Value::Null; right.num_columns()];
-    let mut padded_cols = Vec::with_capacity(right.num_columns());
-    for (i, col) in right.columns().iter().enumerate() {
-        let mut b = ColumnBuilder::with_capacity(col.dtype(), col.len() + 1);
-        for row in 0..col.len() {
-            b.push(&col.value(row))?;
-        }
-        b.push(&null_row[i])?;
-        padded_cols.push(b.finish());
-    }
-    let padded = Table::new(right.schema().clone(), padded_cols)?;
-    let sentinel = right.num_rows();
-    let right_idx: Vec<usize> =
-        pairs.iter().map(|&(_, r)| if r == usize::MAX { sentinel } else { r }).collect();
-    let right_part = padded.take(&right_idx)?;
+    // Typed padded gather: `usize::MAX` indices become NULL rows directly,
+    // without materializing a copy of the right table first.
     let schema = left.schema().join(right.schema())?.into_ref();
     let mut columns = left_part.columns().to_vec();
-    columns.extend(right_part.columns().iter().cloned());
+    for col in right.columns() {
+        columns.push(col.take_padded(right_idx, usize::MAX));
+    }
     Table::new(schema, columns)
 }
 
@@ -468,28 +478,35 @@ fn hash_join(
     kind: JoinKind,
 ) -> Result<Table> {
     let (lk, rk) = resolve_keys(left, right, on)?;
-    // Build on the right side.
-    let mut ht: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.num_rows());
+    let lkeys = KeyCols::from_table(left, &lk);
+    let rkeys = KeyCols::from_table(right, &rk);
+    // Hash both sides column-wise in one pass, then build on the right.
+    let (rh, rvalid) = rkeys.join_hashes();
+    let mut ht: PreHashedMap<Vec<usize>> = PreHashedMap::default();
     for row in 0..right.num_rows() {
-        if let Some(h) = key_hash(&key_row(right, &rk, row)) {
-            ht.entry(h).or_default().push(row);
+        if rvalid[row] {
+            ht.entry(rh[row]).or_default().push(row);
         }
     }
-    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let (lh, lvalid) = lkeys.join_hashes();
+    // Matched row ids go straight into the two gather lists (same order a
+    // pair list would have: left row ascending, candidates ascending).
+    let mut left_idx: Vec<usize> = Vec::new();
+    let mut right_idx: Vec<usize> = Vec::new();
     for lrow in 0..left.num_rows() {
-        let lkey = key_row(left, &lk, lrow);
         let mut matched = false;
-        if let Some(h) = key_hash(&lkey) {
-            if let Some(cands) = ht.get(&h) {
+        if lvalid[lrow] {
+            if let Some(cands) = ht.get(&lh[lrow]) {
                 for &rrow in cands {
-                    if keys_equal(&lkey, &key_row(right, &rk, rrow)) {
+                    if lkeys.rows_eq_sql(lrow, &rkeys, rrow) {
                         match kind {
                             JoinKind::Semi => {
                                 matched = true;
                                 break;
                             }
                             _ => {
-                                pairs.push((lrow, rrow));
+                                left_idx.push(lrow);
+                                right_idx.push(rrow);
                                 matched = true;
                             }
                         }
@@ -498,12 +515,18 @@ fn hash_join(
             }
         }
         match kind {
-            JoinKind::Semi if matched => pairs.push((lrow, usize::MAX)),
-            JoinKind::Left if !matched => pairs.push((lrow, usize::MAX)),
+            JoinKind::Semi if matched => {
+                left_idx.push(lrow);
+                right_idx.push(usize::MAX);
+            }
+            JoinKind::Left if !matched => {
+                left_idx.push(lrow);
+                right_idx.push(usize::MAX);
+            }
             _ => {}
         }
     }
-    build_join_output(left, right, &pairs, kind)
+    join_output_from_indices(left, right, &left_idx, &right_idx, kind)
 }
 
 fn loop_join(
@@ -547,39 +570,39 @@ fn merge_join(
     kind: JoinKind,
 ) -> Result<Table> {
     let (lk, rk) = resolve_keys(left, right, on)?;
+    let lkeys = KeyCols::from_table(left, &lk);
+    let rkeys = KeyCols::from_table(right, &rk);
     // Sort both sides by key; keep a mapping back to original row ids so the
     // output is assembled against the *original* tables.
     let lsorted: Vec<usize> = sorted_indices(left, &lk);
     let rsorted: Vec<usize> = sorted_indices(right, &rk);
-    let lkeys: Vec<Vec<Value>> = lsorted.iter().map(|&i| key_row(left, &lk, i)).collect();
-    let rkeys: Vec<Vec<Value>> = rsorted.iter().map(|&i| key_row(right, &rk, i)).collect();
 
     let mut pairs: Vec<(usize, usize)> = Vec::new();
     let (mut i, mut j) = (0usize, 0usize);
     while i < lsorted.len() {
-        let lkey = &lkeys[i];
-        if lkey.iter().any(Value::is_null) {
+        let lrow0 = lsorted[i];
+        if lkeys.has_null(lrow0) {
             // NULL keys never match.
             if kind != JoinKind::Inner && kind != JoinKind::Semi {
-                pairs.push((lsorted[i], usize::MAX));
+                pairs.push((lrow0, usize::MAX));
             }
             i += 1;
             continue;
         }
-        // Advance right to the first key ≥ lkey.
+        // Advance right to the first key ≥ the current left key.
         while j < rsorted.len()
-            && (rkeys[j].iter().any(Value::is_null) || cmp_keys(&rkeys[j], lkey).is_lt())
+            && (rkeys.has_null(rsorted[j]) || rkeys.cmp_rows(rsorted[j], &lkeys, lrow0).is_lt())
         {
             j += 1;
         }
-        // Collect the right group equal to lkey.
+        // Collect the right group equal to the current left key.
         let mut j_end = j;
-        while j_end < rsorted.len() && cmp_keys(&rkeys[j_end], lkey).is_eq() {
+        while j_end < rsorted.len() && rkeys.cmp_rows(rsorted[j_end], &lkeys, lrow0).is_eq() {
             j_end += 1;
         }
         // Emit for every left row in this equal group.
         let mut i_end = i;
-        while i_end < lsorted.len() && cmp_keys(&lkeys[i_end], lkey).is_eq() {
+        while i_end < lsorted.len() && lkeys.cmp_rows(lsorted[i_end], &lkeys, lrow0).is_eq() {
             i_end += 1;
         }
         for &lrow in &lsorted[i..i_end] {
@@ -604,108 +627,162 @@ fn merge_join(
 }
 
 fn sorted_indices(t: &Table, keys: &[usize]) -> Vec<usize> {
+    let kc = KeyCols::from_table(t, keys);
     let mut idx: Vec<usize> = (0..t.num_rows()).collect();
-    idx.sort_by(|&a, &b| cmp_keys(&key_row(t, keys, a), &key_row(t, keys, b)));
+    idx.sort_by(|&a, &b| kc.cmp_rows(a, &kc, b));
     idx
 }
 
-fn cmp_keys(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
-    for (x, y) in a.iter().zip(b) {
-        let o = x.total_cmp(y);
-        if o != std::cmp::Ordering::Equal {
-            return o;
-        }
+/// Numeric widening matching `Value::as_f64` (Int, Float, Date → f64).
+#[inline]
+fn num_at(col: &Column, row: usize) -> Option<f64> {
+    match col.data() {
+        ColumnData::Int(v) => Some(v[row] as f64),
+        ColumnData::Float(v) => Some(v[row]),
+        ColumnData::Date(v) => Some(v[row] as f64),
+        _ => None,
     }
-    std::cmp::Ordering::Equal
 }
 
-/// One aggregate accumulator.
+/// One aggregate accumulator. Updates read typed cells straight off the
+/// argument column — no per-row [`Value`] boxing, no string rendering.
 enum Acc {
     Count(i64),
-    CountDistinct(std::collections::HashSet<String>),
-    Sum { total: f64, any: bool, is_int: bool },
-    Min(Option<Value>),
-    Max(Option<Value>),
-    Avg { total: f64, count: i64 },
+    /// DISTINCT keyed on typed value hashes from the key-hash kernel, not
+    /// on string rendering (which conflated distinct values that happen to
+    /// render alike).
+    Distinct(std::collections::HashSet<u64>),
+    /// SUM over INT accumulates in checked i64 — overflow is an execution
+    /// error, not a silent drift through f64 rounding.
+    SumInt {
+        total: i64,
+        any: bool,
+    },
+    SumFloat {
+        total: f64,
+        any: bool,
+        int_out: bool,
+    },
+    MinRow(Option<usize>),
+    MaxRow(Option<usize>),
+    Avg {
+        total: f64,
+        count: i64,
+    },
 }
 
 impl Acc {
-    fn new(func: AggFunc, is_int: bool) -> Acc {
+    fn new(func: AggFunc, int_out: bool, arg_dtype: Option<cv_data::value::DataType>) -> Acc {
         match func {
             AggFunc::Count => Acc::Count(0),
-            AggFunc::CountDistinct => Acc::CountDistinct(Default::default()),
-            AggFunc::Sum => Acc::Sum { total: 0.0, any: false, is_int },
-            AggFunc::Min => Acc::Min(None),
-            AggFunc::Max => Acc::Max(None),
+            AggFunc::CountDistinct => Acc::Distinct(Default::default()),
+            AggFunc::Sum => {
+                if int_out && arg_dtype == Some(cv_data::value::DataType::Int) {
+                    Acc::SumInt { total: 0, any: false }
+                } else {
+                    Acc::SumFloat { total: 0.0, any: false, int_out }
+                }
+            }
+            AggFunc::Min => Acc::MinRow(None),
+            AggFunc::Max => Acc::MaxRow(None),
             AggFunc::Avg => Acc::Avg { total: 0.0, count: 0 },
         }
     }
 
-    fn update(&mut self, v: Option<&Value>) {
+    fn update(&mut self, arg: Option<&Column>, row: usize) -> Result<()> {
         match self {
             Acc::Count(c) => {
                 // COUNT(*) gets None arg (count every row); COUNT(x) counts
                 // non-null x.
-                match v {
+                match arg {
                     None => *c += 1,
-                    Some(val) if !val.is_null() => *c += 1,
+                    Some(col) if !col.is_null(row) => *c += 1,
                     _ => {}
                 }
             }
-            Acc::CountDistinct(set) => {
-                if let Some(val) = v {
-                    if !val.is_null() {
-                        set.insert(val.to_string());
+            Acc::Distinct(set) => {
+                if let Some(col) = arg {
+                    if !col.is_null(row) {
+                        set.insert(keys::value_hash(col, row));
                     }
                 }
             }
-            Acc::Sum { total, any, .. } => {
-                if let Some(val) = v {
-                    if let Some(f) = val.as_f64() {
-                        *total += f;
+            Acc::SumInt { total, any } => {
+                if let Some(col) = arg {
+                    if !col.is_null(row) {
+                        *total = total
+                            .checked_add(col.ints()[row])
+                            .ok_or_else(|| CvError::exec("SUM(INT) overflow"))?;
                         *any = true;
                     }
                 }
             }
-            Acc::Min(cur) => {
-                if let Some(val) = v {
-                    if !val.is_null() && cur.as_ref().is_none_or(|c| val.total_cmp(c).is_lt()) {
-                        *cur = Some(val.clone());
+            Acc::SumFloat { total, any, .. } => {
+                if let Some(col) = arg {
+                    if !col.is_null(row) {
+                        if let Some(f) = num_at(col, row) {
+                            *total += f;
+                            *any = true;
+                        }
                     }
                 }
             }
-            Acc::Max(cur) => {
-                if let Some(val) = v {
-                    if !val.is_null() && cur.as_ref().is_none_or(|c| val.total_cmp(c).is_gt()) {
-                        *cur = Some(val.clone());
+            Acc::MinRow(best) => {
+                if let Some(col) = arg {
+                    if !col.is_null(row)
+                        && best.is_none_or(|b| keys::cmp_cells(col, row, col, b).is_lt())
+                    {
+                        *best = Some(row);
+                    }
+                }
+            }
+            Acc::MaxRow(best) => {
+                if let Some(col) = arg {
+                    if !col.is_null(row)
+                        && best.is_none_or(|b| keys::cmp_cells(col, row, col, b).is_gt())
+                    {
+                        *best = Some(row);
                     }
                 }
             }
             Acc::Avg { total, count } => {
-                if let Some(val) = v {
-                    if let Some(f) = val.as_f64() {
-                        *total += f;
-                        *count += 1;
+                if let Some(col) = arg {
+                    if !col.is_null(row) {
+                        if let Some(f) = num_at(col, row) {
+                            *total += f;
+                            *count += 1;
+                        }
                     }
                 }
             }
         }
+        Ok(())
     }
 
-    fn finish(self) -> Value {
+    fn finish(self, arg: Option<&Column>) -> Value {
         match self {
             Acc::Count(c) => Value::Int(c),
-            Acc::CountDistinct(set) => Value::Int(set.len() as i64),
-            Acc::Sum { total, any, is_int } => {
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+            Acc::SumInt { total, any } => {
+                if any {
+                    Value::Int(total)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::SumFloat { total, any, int_out } => {
                 if !any {
                     Value::Null
-                } else if is_int {
+                } else if int_out {
                     Value::Int(total as i64)
                 } else {
                     Value::Float(total)
                 }
             }
-            Acc::Min(v) | Acc::Max(v) => v.unwrap_or(Value::Null),
+            Acc::MinRow(best) | Acc::MaxRow(best) => match (best, arg) {
+                (Some(row), Some(col)) => col.value(row),
+                _ => Value::Null,
+            },
             Acc::Avg { total, count } => {
                 if count == 0 {
                     Value::Null
@@ -738,68 +815,61 @@ fn hash_aggregate(
         .map(|(i, _)| schema.field(group_by.len() + i).dtype == cv_data::value::DataType::Int)
         .collect();
 
+    // Groups remember their first input row; key output columns are a
+    // typed gather over those rows at the end — no per-row key boxing.
     struct Group {
-        key: Vec<Value>,
+        first_row: usize,
         accs: Vec<Acc>,
     }
+    let new_accs = |aggs: &[AggExpr], arg_cols: &[Option<Column>]| -> Vec<Acc> {
+        aggs.iter()
+            .enumerate()
+            .map(|(i, a)| Acc::new(a.func, int_sum[i], arg_cols[i].as_ref().map(|c| c.dtype())))
+            .collect()
+    };
     let mut groups: Vec<Group> = Vec::new();
-    let mut index: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut index: PreHashedMap<Vec<usize>> = PreHashedMap::default();
 
     let n = input.num_rows();
-    for row in 0..n {
-        let key: Vec<Value> = key_cols.iter().map(|c| c.value(row)).collect();
-        // Group keys treat NULLs as equal; hash NULL as a fixed tag.
-        let mut h = StableHasher::with_domain("group-key");
-        for v in &key {
-            v.stable_hash(&mut h);
-        }
-        let hash = h.finish64();
-        let slot = index.entry(hash).or_default();
+    let key_refs = KeyCols::new(key_cols.iter().collect(), n);
+    let hashes = key_refs.group_hashes();
+    for (row, &h) in hashes.iter().enumerate() {
+        let slot = index.entry(h).or_default();
         let gid = slot
             .iter()
             .copied()
-            .find(|&g| {
-                groups[g].key.len() == key.len()
-                    && groups[g].key.iter().zip(&key).all(|(a, b)| a.group_key_eq(b))
-            })
+            .find(|&g| key_refs.rows_eq_group(groups[g].first_row, &key_refs, row))
             .unwrap_or_else(|| {
                 let gid = groups.len();
-                groups.push(Group {
-                    key: key.clone(),
-                    accs: aggs
-                        .iter()
-                        .enumerate()
-                        .map(|(i, a)| Acc::new(a.func, int_sum[i]))
-                        .collect(),
-                });
+                groups.push(Group { first_row: row, accs: new_accs(aggs, &arg_cols) });
                 slot.push(gid);
                 gid
             });
         for (acc, arg) in groups[gid].accs.iter_mut().zip(&arg_cols) {
-            match arg {
-                Some(col) => acc.update(Some(&col.value(row))),
-                None => acc.update(None),
-            }
+            acc.update(arg.as_ref(), row)?;
         }
     }
 
     // Global aggregate over empty input still yields one group.
     if groups.is_empty() && group_by.is_empty() {
-        groups.push(Group {
-            key: vec![],
-            accs: aggs.iter().enumerate().map(|(i, a)| Acc::new(a.func, int_sum[i])).collect(),
-        });
+        groups.push(Group { first_row: 0, accs: new_accs(aggs, &arg_cols) });
     }
 
-    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups.len());
-    for g in groups {
-        let mut row = g.key;
-        for acc in g.accs {
-            row.push(acc.finish());
-        }
-        rows.push(row);
+    let first_rows: Vec<usize> = groups.iter().map(|g| g.first_row).collect();
+    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
+    for c in &key_cols {
+        columns.push(c.take(&first_rows).normalize_validity());
     }
-    Table::from_rows(schema.clone(), &rows)
+    let mut builders: Vec<ColumnBuilder> = (0..aggs.len())
+        .map(|i| ColumnBuilder::with_capacity(schema.field(group_by.len() + i).dtype, groups.len()))
+        .collect();
+    for g in groups {
+        for ((acc, b), arg) in g.accs.into_iter().zip(&mut builders).zip(&arg_cols) {
+            b.push(&acc.finish(arg.as_ref()))?;
+        }
+    }
+    columns.extend(builders.into_iter().map(ColumnBuilder::finish));
+    Table::new(schema.clone(), columns)
 }
 
 #[cfg(test)]
@@ -841,18 +911,27 @@ mod tests {
         (cat, ViewStore::with_default_ttl(), UdoRegistry::with_builtins())
     }
 
+    fn try_run(
+        plan: &Arc<LogicalPlan>,
+        cat: &DatasetCatalog,
+        views: &ViewStore,
+        udos: &UdoRegistry,
+    ) -> Result<ExecOutcome> {
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let out = opt.optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
+        let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH);
+        execute(&out.physical, &mut ctx, &opt.cfg.cost)
+    }
+
     fn run(
         plan: &Arc<LogicalPlan>,
         cat: &DatasetCatalog,
         views: &ViewStore,
         udos: &UdoRegistry,
     ) -> ExecOutcome {
-        let opt = Optimizer::new(OptimizerConfig::default());
-        let stats =
-            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
-        let out = opt.optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
-        let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH);
-        execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap()
+        try_run(plan, cat, views, udos).unwrap()
     }
 
     #[test]
@@ -1013,6 +1092,39 @@ mod tests {
             .build();
         let out = run(&plan, &cat, &views, &udos);
         assert_eq!(out.table.row(0)[0], Value::Int(10));
+    }
+
+    #[test]
+    fn sum_int_overflow_is_an_error() {
+        let (mut cat, views, udos) = setup();
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let rows: Vec<Vec<Value>> = vec![vec![Value::Int(i64::MAX)], vec![Value::Int(1)]];
+        cat.register("big", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
+        let plan = PlanBuilder::scan(&cat, "big")
+            .unwrap()
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::Sum, col("x"), "s")])
+            .unwrap()
+            .build();
+        let err = try_run(&plan, &cat, &views, &udos).unwrap_err();
+        assert!(err.to_string().contains("overflow"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn count_distinct_uses_typed_equality() {
+        let (mut cat, views, udos) = setup();
+        let schema = Schema::new(vec![Field::new("f", DataType::Float)]).unwrap().into_ref();
+        let vals = [0.0_f64, -0.0, 2.5, f64::NAN, -f64::NAN];
+        let rows: Vec<Vec<Value>> = vals.iter().map(|&v| vec![Value::Float(v)]).collect();
+        cat.register("fl", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
+        let plan = PlanBuilder::scan(&cat, "fl")
+            .unwrap()
+            .aggregate(vec![], vec![AggExpr::new(AggFunc::CountDistinct, col("f"), "d")])
+            .unwrap()
+            .build();
+        let out = run(&plan, &cat, &views, &udos);
+        // The old string-keyed set counted -0.0 and 0.0 separately; typed
+        // hashing collapses the zero signs and all NaN payloads: {0, 2.5, NaN}.
+        assert_eq!(out.table.row(0)[0], Value::Int(3));
     }
 
     #[test]

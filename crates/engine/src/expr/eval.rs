@@ -6,9 +6,10 @@
 //! back the constant folder in [`super::fold`], so folding and runtime can
 //! never disagree.
 
-use super::{BinOp, FuncKind, ScalarExpr, UnOp};
+use super::{kernels, BinOp, FuncKind, ScalarExpr, UnOp};
 use cv_common::hash::StableHasher;
 use cv_common::{CvError, Result};
+use cv_data::bitmap::Bitmap;
 use cv_data::column::{Column, ColumnBuilder};
 use cv_data::table::Table;
 use cv_data::value::{DataType, Value};
@@ -22,12 +23,16 @@ use cv_data::value::{DataType, Value};
 pub struct EvalCtx {
     /// Simulated current date, days since epoch (returned by `NOW()`).
     pub now_days: i32,
+    /// Use the typed vectorized kernels where available (on by default).
+    /// Turned off only by differential tests, which compare kernel output
+    /// against the scalar reference loops.
+    pub vectorized: bool,
     nd_counter: u64,
 }
 
 impl EvalCtx {
     pub fn new(now_days: i32) -> EvalCtx {
-        EvalCtx { now_days, nd_counter: 0 }
+        EvalCtx { now_days, vectorized: true, nd_counter: 0 }
     }
 
     fn next_nd(&mut self) -> u64 {
@@ -57,6 +62,11 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
             Ok(col.clone())
         }
         ScalarExpr::Literal(v) | ScalarExpr::Param { value: v, .. } => {
+            if ctx.vectorized {
+                if let Some(c) = kernels::broadcast(v, out_type, n) {
+                    return Ok(c);
+                }
+            }
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             for _ in 0..n {
                 b.push(v)?;
@@ -66,6 +76,11 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
         ScalarExpr::Binary { op, left, right } => {
             let l = eval(left, table, ctx)?;
             let r = eval(right, table, ctx)?;
+            if ctx.vectorized {
+                if let Some(c) = kernels::binary(*op, &l, &r) {
+                    return Ok(c);
+                }
+            }
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             for i in 0..n {
                 let v = binary_value(*op, &l.value(i), &r.value(i))?;
@@ -75,6 +90,11 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
         }
         ScalarExpr::Unary { op, expr } => {
             let c = eval(expr, table, ctx)?;
+            if ctx.vectorized {
+                if let Some(out) = kernels::unary(*op, &c) {
+                    return Ok(out);
+                }
+            }
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             for i in 0..n {
                 let v = unary_value(*op, &c.value(i))?;
@@ -108,6 +128,13 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
                 Some(e) => Some(eval(e, table, ctx)?),
                 None => None,
             };
+            if ctx.vectorized {
+                if let Some(c) =
+                    kernels::case_select(&when_cols, &then_cols, else_col.as_ref(), out_type, n)
+                {
+                    return Ok(c);
+                }
+            }
             let mut b = ColumnBuilder::with_capacity(out_type, n);
             'rows: for i in 0..n {
                 for (w, t) in when_cols.iter().zip(&then_cols) {
@@ -125,6 +152,11 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
         }
         ScalarExpr::Cast { expr, dtype } => {
             let c = eval(expr, table, ctx)?;
+            if ctx.vectorized {
+                if let Some(out) = kernels::cast(&c, *dtype) {
+                    return Ok(out);
+                }
+            }
             let mut b = ColumnBuilder::with_capacity(*dtype, n);
             for i in 0..n {
                 let v = cast_value(&c.value(i), *dtype)?;
@@ -136,12 +168,18 @@ pub fn eval(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Colum
 }
 
 /// Evaluate a predicate into a selection mask; SQL semantics: NULL → false.
-pub fn eval_predicate(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Vec<bool>> {
+/// The mask is a [`Bitmap`] (bit set = row selected) so `Table::filter` can
+/// gather word-at-a-time and short-circuit the all-true case.
+pub fn eval_predicate(expr: &ScalarExpr, table: &Table, ctx: &mut EvalCtx) -> Result<Bitmap> {
     let c = eval(expr, table, ctx)?;
     if c.dtype() != DataType::Bool {
         return Err(CvError::exec(format!("predicate must be BOOL, got {}", c.dtype())));
     }
-    Ok((0..c.len()).map(|i| c.value(i).as_bool() == Some(true)).collect())
+    let mask = Bitmap::from_bools(c.bools());
+    Ok(match c.validity() {
+        Some(v) => mask.and(v),
+        None => mask,
+    })
 }
 
 /// Scalar binary kernel with SQL null propagation (AND/OR use ternary logic).
@@ -183,8 +221,8 @@ pub fn binary_value(op: BinOp, a: &Value, b: &Value) -> Result<Value> {
     // Arithmetic.
     if let (Value::Date(d), Value::Int(i)) = (a, b) {
         return match op {
-            Add => Ok(Value::Date(d + *i as i32)),
-            Sub => Ok(Value::Date(d - *i as i32)),
+            Add => Ok(Value::Date(d.wrapping_add(*i as i32))),
+            Sub => Ok(Value::Date(d.wrapping_sub(*i as i32))),
             _ => Err(CvError::exec("only +/- allowed on dates")),
         };
     }
@@ -249,7 +287,7 @@ pub fn unary_value(op: UnOp, v: &Value) -> Result<Value> {
                 return Ok(Value::Null);
             }
             match v {
-                Value::Int(i) => Ok(Value::Int(-i)),
+                Value::Int(i) => Ok(Value::Int(i.wrapping_neg())),
                 Value::Float(f) => Ok(Value::Float(-f)),
                 other => Err(CvError::exec(format!("cannot negate {other}"))),
             }
@@ -415,11 +453,11 @@ mod tests {
     fn comparisons() {
         let mask =
             eval_predicate(&col("seg").eq(lit("asia")), &table(), &mut EvalCtx::default()).unwrap();
-        assert_eq!(mask, vec![true, false, true]);
+        assert_eq!(mask.to_bools(), vec![true, false, true]);
         // NULL comparison is not true.
         let mask2 =
             eval_predicate(&col("qty").gt(lit(0)), &table(), &mut EvalCtx::default()).unwrap();
-        assert_eq!(mask2, vec![true, false, true]);
+        assert_eq!(mask2.to_bools(), vec![true, false, true]);
     }
 
     #[test]

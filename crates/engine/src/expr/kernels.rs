@@ -1,0 +1,463 @@
+//! Vectorized typed expression kernels.
+//!
+//! Each kernel dispatches on the [`ColumnData`] variants of its inputs and
+//! runs a tight loop over the typed buffers, with null propagation handled
+//! through validity bitmaps instead of per-row [`Value`] boxing. The scalar
+//! kernels in [`super::eval`] (`binary_value`, `unary_value`, `cast_value`)
+//! remain the *reference semantics*: every kernel here must produce exactly
+//! the column the scalar row loop would — same values, same NULLs, same
+//! null-slot placeholders, and no validity bitmap when every row is valid
+//! (so `byte_size` is identical across both paths). Differential property
+//! tests in `tests/kernels.rs` enforce this.
+//!
+//! A kernel returns `None` when it has no typed implementation for the
+//! operand combination; the caller falls back to the scalar loop, which
+//! either handles it or raises the same error the scalar path always did.
+
+use super::{BinOp, UnOp};
+use cv_data::bitmap::Bitmap;
+use cv_data::column::{Column, ColumnData};
+use cv_data::value::{DataType, Value};
+use std::cmp::Ordering;
+
+/// Broadcast a literal/parameter into a constant column (one allocation,
+/// no per-row push). Coercions mirror `ColumnBuilder::push`: Int widens
+/// into Float and Date columns.
+pub(super) fn broadcast(v: &Value, out_type: DataType, n: usize) -> Option<Column> {
+    let data = match (v, out_type) {
+        (Value::Bool(b), DataType::Bool) => ColumnData::Bool(vec![*b; n]),
+        (Value::Int(i), DataType::Int) => ColumnData::Int(vec![*i; n]),
+        (Value::Int(i), DataType::Float) => ColumnData::Float(vec![*i as f64; n]),
+        (Value::Int(i), DataType::Date) => ColumnData::Date(vec![*i as i32; n]),
+        (Value::Float(f), DataType::Float) => ColumnData::Float(vec![*f; n]),
+        (Value::Str(s), DataType::Str) => ColumnData::Str(vec![s.clone(); n]),
+        (Value::Date(d), DataType::Date) => ColumnData::Date(vec![*d; n]),
+        _ => return None,
+    };
+    Some(Column::new(data, None))
+}
+
+/// Typed binary kernel. `None` means "no kernel for this combination".
+pub(super) fn binary(op: BinOp, l: &Column, r: &Column) -> Option<Column> {
+    debug_assert_eq!(l.len(), r.len());
+    match op {
+        BinOp::And | BinOp::Or => and_or(op, l, r),
+        _ if op.is_comparison() => compare(op, l, r),
+        _ => arith(op, l, r),
+    }
+}
+
+#[inline]
+fn valid(v: Option<&Bitmap>, i: usize) -> bool {
+    v.is_none_or(|b| b.get(i))
+}
+
+/// AND/OR with SQL ternary logic on Bool columns.
+fn and_or(op: BinOp, l: &Column, r: &Column) -> Option<Column> {
+    let (ColumnData::Bool(lv), ColumnData::Bool(rv)) = (l.data(), r.data()) else {
+        return None;
+    };
+    let n = lv.len();
+    let (lval, rval) = (l.validity(), r.validity());
+    let mut data = vec![false; n];
+    let mut validity = Bitmap::all_set(n);
+    let mut any_null = false;
+    for i in 0..n {
+        let a = if valid(lval, i) { Some(lv[i]) } else { None };
+        let b = if valid(rval, i) { Some(rv[i]) } else { None };
+        let out = match op {
+            BinOp::And => match (a, b) {
+                (Some(false), _) | (_, Some(false)) => Some(false),
+                (Some(true), Some(true)) => Some(true),
+                _ => None,
+            },
+            _ => match (a, b) {
+                (Some(true), _) | (_, Some(true)) => Some(true),
+                (Some(false), Some(false)) => Some(false),
+                _ => None,
+            },
+        };
+        match out {
+            Some(x) => data[i] = x,
+            None => {
+                validity.set(i, false);
+                any_null = true;
+            }
+        }
+    }
+    Some(Column::new(ColumnData::Bool(data), if any_null { Some(validity) } else { None }))
+}
+
+fn combine_validity(l: &Column, r: &Column) -> Option<Bitmap> {
+    match (l.validity(), r.validity()) {
+        (None, None) => None,
+        (Some(a), None) => Some(a.clone()),
+        (None, Some(b)) => Some(b.clone()),
+        (Some(a), Some(b)) => Some(a.and(b)),
+    }
+}
+
+/// Drop a validity bitmap with no cleared bits — the canonical form the
+/// scalar builders produce.
+fn normalize(v: Option<Bitmap>) -> Option<Bitmap> {
+    v.filter(|b| !b.all_true())
+}
+
+/// Comparison kernels: typed per-pair loops matching `Value::total_cmp`
+/// (Int/Float mixes widen to f64, floats via `f64::total_cmp`).
+fn compare(op: BinOp, l: &Column, r: &Column) -> Option<Column> {
+    let n = l.len();
+    let pred: fn(Ordering) -> bool = match op {
+        BinOp::Eq => |o| o == Ordering::Equal,
+        BinOp::NotEq => |o| o != Ordering::Equal,
+        BinOp::Lt => |o| o == Ordering::Less,
+        BinOp::LtEq => |o| o != Ordering::Greater,
+        BinOp::Gt => |o| o == Ordering::Greater,
+        BinOp::GtEq => |o| o != Ordering::Less,
+        _ => unreachable!("compare called with non-comparison op"),
+    };
+    let validity = combine_validity(l, r);
+    let mut data = vec![false; n];
+    macro_rules! fill {
+        ($ord:expr) => {{
+            let ord = $ord;
+            match &validity {
+                None => {
+                    for i in 0..n {
+                        data[i] = pred(ord(i));
+                    }
+                }
+                Some(v) => {
+                    for i in 0..n {
+                        if v.get(i) {
+                            data[i] = pred(ord(i));
+                        }
+                    }
+                }
+            }
+        }};
+    }
+    match (l.data(), r.data()) {
+        (ColumnData::Int(a), ColumnData::Int(b)) => fill!(|i: usize| a[i].cmp(&b[i])),
+        (ColumnData::Float(a), ColumnData::Float(b)) => fill!(|i: usize| a[i].total_cmp(&b[i])),
+        (ColumnData::Int(a), ColumnData::Float(b)) => {
+            fill!(|i: usize| (a[i] as f64).total_cmp(&b[i]))
+        }
+        (ColumnData::Float(a), ColumnData::Int(b)) => {
+            fill!(|i: usize| a[i].total_cmp(&(b[i] as f64)))
+        }
+        (ColumnData::Str(a), ColumnData::Str(b)) => fill!(|i: usize| a[i].cmp(&b[i])),
+        (ColumnData::Date(a), ColumnData::Date(b)) => fill!(|i: usize| a[i].cmp(&b[i])),
+        (ColumnData::Bool(a), ColumnData::Bool(b)) => fill!(|i: usize| a[i].cmp(&b[i])),
+        _ => return None,
+    }
+    Some(Column::new(ColumnData::Bool(data), normalize(validity)))
+}
+
+/// View over a numeric buffer widening Int to f64 (the `as_f64` coercion).
+enum NumView<'a> {
+    Int(&'a [i64]),
+    Float(&'a [f64]),
+}
+
+impl NumView<'_> {
+    #[inline]
+    fn get(&self, i: usize) -> f64 {
+        match self {
+            NumView::Int(v) => v[i] as f64,
+            NumView::Float(v) => v[i],
+        }
+    }
+}
+
+fn num_view(d: &ColumnData) -> Option<NumView<'_>> {
+    match d {
+        ColumnData::Int(v) => Some(NumView::Int(v)),
+        ColumnData::Float(v) => Some(NumView::Float(v)),
+        _ => None,
+    }
+}
+
+/// Arithmetic kernels: Int×Int stays Int (wrapping, except Div which
+/// promotes to Float), Date±Int shifts days, anything else numeric widens
+/// to f64. Div/Mod by zero produce NULL.
+fn arith(op: BinOp, l: &Column, r: &Column) -> Option<Column> {
+    use BinOp::*;
+    let n = l.len();
+    let mut validity = match combine_validity(l, r) {
+        Some(v) => v,
+        None => Bitmap::all_set(n),
+    };
+    let data = match (l.data(), r.data()) {
+        (ColumnData::Date(a), ColumnData::Int(b)) => {
+            if !matches!(op, Add | Sub) {
+                return None;
+            }
+            let mut out = vec![0i32; n];
+            for i in 0..n {
+                if validity.get(i) {
+                    let d = b[i] as i32;
+                    out[i] = if op == Add { a[i].wrapping_add(d) } else { a[i].wrapping_sub(d) };
+                }
+            }
+            ColumnData::Date(out)
+        }
+        (ColumnData::Int(a), ColumnData::Int(b)) if op != Div => {
+            let mut out = vec![0i64; n];
+            for i in 0..n {
+                if !validity.get(i) {
+                    continue;
+                }
+                out[i] = match op {
+                    Add => a[i].wrapping_add(b[i]),
+                    Sub => a[i].wrapping_sub(b[i]),
+                    Mul => a[i].wrapping_mul(b[i]),
+                    Mod => {
+                        if b[i] == 0 {
+                            validity.set(i, false);
+                            0
+                        } else {
+                            a[i] % b[i]
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            ColumnData::Int(out)
+        }
+        (ld, rd) => {
+            let (Some(va), Some(vb)) = (num_view(ld), num_view(rd)) else {
+                return None;
+            };
+            let mut out = vec![0.0f64; n];
+            for (i, slot) in out.iter_mut().enumerate() {
+                if !validity.get(i) {
+                    continue;
+                }
+                let (x, y) = (va.get(i), vb.get(i));
+                *slot = match op {
+                    Add => x + y,
+                    Sub => x - y,
+                    Mul => x * y,
+                    Div | Mod => {
+                        if y == 0.0 {
+                            validity.set(i, false);
+                            0.0
+                        } else if op == Div {
+                            x / y
+                        } else {
+                            x % y
+                        }
+                    }
+                    _ => unreachable!(),
+                };
+            }
+            ColumnData::Float(out)
+        }
+    };
+    Some(Column::new(data, normalize(Some(validity))))
+}
+
+/// Typed unary kernel.
+pub(super) fn unary(op: UnOp, c: &Column) -> Option<Column> {
+    let n = c.len();
+    match op {
+        UnOp::Not => {
+            let ColumnData::Bool(v) = c.data() else { return None };
+            let data: Vec<bool> = match c.validity() {
+                None => v.iter().map(|b| !b).collect(),
+                Some(val) => (0..n).map(|i| if val.get(i) { !v[i] } else { false }).collect(),
+            };
+            Some(Column::new(ColumnData::Bool(data), normalize(c.validity().cloned())))
+        }
+        UnOp::Neg => {
+            let validity = normalize(c.validity().cloned());
+            let data = match c.data() {
+                ColumnData::Int(v) => {
+                    let mut out = vec![0i64; n];
+                    for i in 0..n {
+                        if valid(c.validity(), i) {
+                            out[i] = v[i].wrapping_neg();
+                        }
+                    }
+                    ColumnData::Int(out)
+                }
+                ColumnData::Float(v) => {
+                    let mut out = vec![0.0f64; n];
+                    for i in 0..n {
+                        if valid(c.validity(), i) {
+                            out[i] = -v[i];
+                        }
+                    }
+                    ColumnData::Float(out)
+                }
+                _ => return None,
+            };
+            Some(Column::new(data, validity))
+        }
+        UnOp::IsNull => {
+            let data: Vec<bool> = match c.validity() {
+                None => vec![false; n],
+                Some(v) => (0..n).map(|i| !v.get(i)).collect(),
+            };
+            Some(Column::new(ColumnData::Bool(data), None))
+        }
+        UnOp::IsNotNull => {
+            let data: Vec<bool> = match c.validity() {
+                None => vec![true; n],
+                Some(v) => (0..n).map(|i| v.get(i)).collect(),
+            };
+            Some(Column::new(ColumnData::Bool(data), None))
+        }
+    }
+}
+
+/// Typed cast kernel. Identity casts share the source buffer (reference
+/// bump); string parses that fail produce NULL, matching `cast_value`.
+pub(super) fn cast(c: &Column, to: DataType) -> Option<Column> {
+    let n = c.len();
+    if c.dtype() == to {
+        return Some(
+            Column::from_shared(c.shared_data(), c.validity().cloned()).normalize_validity(),
+        );
+    }
+    let mut validity = c.validity().cloned().unwrap_or_else(|| Bitmap::all_set(n));
+    macro_rules! convert {
+        ($src:ident, $default:expr, $wrap:expr, $f:expr) => {{
+            let mut out = vec![$default; n];
+            for i in 0..n {
+                if validity.get(i) {
+                    out[i] = $f(&$src[i]);
+                }
+            }
+            $wrap(out)
+        }};
+    }
+    // Fallible string parses clear validity on failure.
+    macro_rules! parse {
+        ($src:ident, $default:expr, $wrap:expr, $f:expr) => {{
+            let mut out = vec![$default; n];
+            for i in 0..n {
+                if validity.get(i) {
+                    match $f(&$src[i]) {
+                        Some(x) => out[i] = x,
+                        None => validity.set(i, false),
+                    }
+                }
+            }
+            $wrap(out)
+        }};
+    }
+    let data = match (c.data(), to) {
+        (ColumnData::Int(v), DataType::Float) => {
+            convert!(v, 0.0, ColumnData::Float, |x: &i64| *x as f64)
+        }
+        (ColumnData::Int(v), DataType::Date) => {
+            convert!(v, 0, ColumnData::Date, |x: &i64| *x as i32)
+        }
+        (ColumnData::Int(v), DataType::Str) => {
+            convert!(v, String::new(), ColumnData::Str, |x: &i64| x.to_string())
+        }
+        (ColumnData::Int(v), DataType::Bool) => {
+            convert!(v, false, ColumnData::Bool, |x: &i64| *x != 0)
+        }
+        (ColumnData::Float(v), DataType::Int) => {
+            convert!(v, 0, ColumnData::Int, |x: &f64| *x as i64)
+        }
+        (ColumnData::Float(v), DataType::Str) => {
+            convert!(v, String::new(), ColumnData::Str, |x: &f64| x.to_string())
+        }
+        (ColumnData::Str(v), DataType::Int) => {
+            parse!(v, 0, ColumnData::Int, |s: &String| s.trim().parse::<i64>().ok())
+        }
+        (ColumnData::Str(v), DataType::Float) => {
+            parse!(v, 0.0, ColumnData::Float, |s: &String| s.trim().parse::<f64>().ok())
+        }
+        (ColumnData::Str(v), DataType::Date) => {
+            parse!(v, 0, ColumnData::Date, |s: &String| cv_data::value::parse_date(s))
+        }
+        (ColumnData::Bool(v), DataType::Int) => {
+            convert!(v, 0, ColumnData::Int, |x: &bool| *x as i64)
+        }
+        (ColumnData::Bool(v), DataType::Str) => {
+            convert!(v, String::new(), ColumnData::Str, |x: &bool| x.to_string())
+        }
+        (ColumnData::Date(v), DataType::Int) => {
+            convert!(v, 0, ColumnData::Int, |x: &i32| *x as i64)
+        }
+        (ColumnData::Date(v), DataType::Str) => {
+            convert!(v, String::new(), ColumnData::Str, |x: &i32| cv_data::value::format_date(*x))
+        }
+        _ => return None,
+    };
+    Some(Column::new(data, normalize(Some(validity))))
+}
+
+/// CASE kernel: compute a per-row branch-selection vector from the WHEN
+/// columns, coerce every source column to the output type (Int widens into
+/// Float/Date outputs, exactly like `ColumnBuilder::push`), then gather
+/// typed. `None` falls back to the scalar loop.
+pub(super) fn case_select(
+    when_cols: &[Column],
+    then_cols: &[Column],
+    else_col: Option<&Column>,
+    out_type: DataType,
+    n: usize,
+) -> Option<Column> {
+    const NO_BRANCH: usize = usize::MAX;
+    let mut sel = vec![NO_BRANCH; n];
+    for (bi, w) in when_cols.iter().enumerate() {
+        let ColumnData::Bool(wv) = w.data() else { return None };
+        let wval = w.validity();
+        for i in 0..n {
+            if sel[i] == NO_BRANCH && valid(wval, i) && wv[i] {
+                sel[i] = bi;
+            }
+        }
+    }
+    // Coerce sources up front so the gather below is monomorphic.
+    let coerce = |c: &Column| -> Option<Column> {
+        if c.dtype() == out_type {
+            Some(c.clone())
+        } else if c.dtype() == DataType::Int && matches!(out_type, DataType::Float | DataType::Date)
+        {
+            cast(c, out_type)
+        } else {
+            None
+        }
+    };
+    let srcs: Option<Vec<Column>> = then_cols.iter().map(coerce).collect();
+    let srcs = srcs?;
+    let else_src = match else_col {
+        Some(c) => Some(coerce(c)?),
+        None => None,
+    };
+    let mut validity = Bitmap::all_set(n);
+    macro_rules! gather {
+        ($variant:ident, $ty:ty, $default:expr, $get:expr) => {{
+            let mut out: Vec<$ty> = vec![$default; n];
+            for i in 0..n {
+                let src: Option<&Column> =
+                    if sel[i] != NO_BRANCH { Some(&srcs[sel[i]]) } else { else_src.as_ref() };
+                match src {
+                    Some(c) if !c.is_null(i) => {
+                        let ColumnData::$variant(v) = c.data() else {
+                            unreachable!("coerced to output type above")
+                        };
+                        out[i] = $get(&v[i]);
+                    }
+                    _ => validity.set(i, false),
+                }
+            }
+            ColumnData::$variant(out)
+        }};
+    }
+    let data = match out_type {
+        DataType::Bool => gather!(Bool, bool, false, |x: &bool| *x),
+        DataType::Int => gather!(Int, i64, 0, |x: &i64| *x),
+        DataType::Float => gather!(Float, f64, 0.0, |x: &f64| *x),
+        DataType::Str => gather!(Str, String, String::new(), |x: &String| x.clone()),
+        DataType::Date => gather!(Date, i32, 0, |x: &i32| *x),
+    };
+    Some(Column::new(data, normalize(Some(validity))))
+}

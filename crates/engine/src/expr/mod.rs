@@ -2,6 +2,7 @@
 
 pub mod eval;
 pub mod fold;
+mod kernels;
 
 use cv_common::hash::{Sig128, StableHasher};
 use cv_common::{CvError, Result};

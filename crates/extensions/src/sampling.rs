@@ -17,14 +17,15 @@ pub fn sample_table(table: &Table, rate: f64, seed_sig: Sig128) -> Result<Table>
         return Err(CvError::constraint(format!("sample rate {rate} outside [0, 1]")));
     }
     let threshold = (rate * (u64::MAX as f64)) as u64;
-    let mask: Vec<bool> = (0..table.num_rows())
-        .map(|i| {
-            let mut h = StableHasher::with_domain("sampled-view");
-            h.write_sig(seed_sig);
-            h.write_u64(i as u64);
-            h.finish64() < threshold
-        })
-        .collect();
+    let mut mask = cv_data::bitmap::Bitmap::all_clear(table.num_rows());
+    for i in 0..table.num_rows() {
+        let mut h = StableHasher::with_domain("sampled-view");
+        h.write_sig(seed_sig);
+        h.write_u64(i as u64);
+        if h.finish64() < threshold {
+            mask.set(i, true);
+        }
+    }
     table.filter(&mask)
 }
 

@@ -1,0 +1,383 @@
+//! Differential property tests for the vectorized kernel layer.
+//!
+//! The typed kernels in `cv_engine::expr` and the columnar key machinery in
+//! the executor must be invisible: evaluating any type-checked expression
+//! with kernels enabled has to match the scalar row-at-a-time fallback
+//! value-for-value and null-for-null, and whole plans must produce identical
+//! tables either way. Randomized inputs come from seeded `DetRng` loops
+//! rather than an external property-testing crate (see tests/properties.rs).
+
+use cv_common::rng::DetRng;
+use cv_common::SimTime;
+use cv_data::catalog::DatasetCatalog;
+use cv_data::column::Column;
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_data::viewstore::ViewStore;
+use cv_engine::cost::CostModel;
+use cv_engine::exec::{execute, ExecContext};
+use cv_engine::expr::eval::{eval, eval_predicate, EvalCtx};
+use cv_engine::expr::{col, lit, AggExpr, AggFunc, BinOp, ScalarExpr, UnOp};
+use cv_engine::normalize::normalize;
+use cv_engine::optimizer::{AlwaysGrant, Optimizer, OptimizerConfig, ReuseContext};
+use cv_engine::physical::{JoinAlgo, PhysicalPlan};
+use cv_engine::plan::{JoinKind, LogicalPlan, PlanBuilder};
+use cv_engine::udo::UdoRegistry;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------------
+// Random inputs
+// ---------------------------------------------------------------------------
+
+/// A table exercising every column type, with `null_rate` nulls per cell.
+/// Floats deliberately include both zero signs and NaN so the typed kernels'
+/// bit-level semantics get compared against the scalar path.
+fn random_table(rng: &mut DetRng, rows: usize, null_rate: f64) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("b", DataType::Bool),
+        Field::new("i", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("s", DataType::Str),
+        Field::new("d", DataType::Date),
+    ])
+    .unwrap()
+    .into_ref();
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|_| {
+            let mut row = Vec::with_capacity(5);
+            row.push(if rng.chance(null_rate) {
+                Value::Null
+            } else {
+                Value::Bool(rng.chance(0.5))
+            });
+            row.push(if rng.chance(null_rate) {
+                Value::Null
+            } else {
+                Value::Int(rng.range_i64(-40, 40))
+            });
+            row.push(if rng.chance(null_rate) {
+                Value::Null
+            } else {
+                Value::Float(match rng.range_usize(0, 8) {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f64::NAN,
+                    _ => rng.range_f64(-40.0, 40.0),
+                })
+            });
+            row.push(if rng.chance(null_rate) {
+                Value::Null
+            } else {
+                Value::Str((*rng.choose(&["a", "bb", "ccc", ""])).to_string())
+            });
+            row.push(if rng.chance(null_rate) {
+                Value::Null
+            } else {
+                Value::Date(rng.range_i64(-1000, 20000) as i32)
+            });
+            row
+        })
+        .collect();
+    Table::from_rows(schema, &data).unwrap()
+}
+
+/// A random expression tree over the `random_table` schema. Many of these
+/// fail type checking — callers skip those; the survivors cover every kernel
+/// (binary, unary, cast, case, constant broadcast).
+fn rand_expr(rng: &mut DetRng, depth: usize) -> ScalarExpr {
+    if depth == 0 || rng.chance(0.3) {
+        return match rng.range_usize(0, 9) {
+            0 => col("b"),
+            1 => col("i"),
+            2 => col("f"),
+            3 => col("s"),
+            4 => col("d"),
+            5 => lit(rng.range_i64(-50, 50)),
+            6 => lit(rng.range_f64(-50.0, 50.0)),
+            7 => lit(rng.chance(0.5)),
+            _ => lit(*rng.choose(&["a", "bb", "zzz"])),
+        };
+    }
+    match rng.range_usize(0, 10) {
+        0..=5 => {
+            let op = *rng.choose(&[
+                BinOp::Add,
+                BinOp::Sub,
+                BinOp::Mul,
+                BinOp::Div,
+                BinOp::Mod,
+                BinOp::Eq,
+                BinOp::NotEq,
+                BinOp::Lt,
+                BinOp::LtEq,
+                BinOp::Gt,
+                BinOp::GtEq,
+                BinOp::And,
+                BinOp::Or,
+            ]);
+            ScalarExpr::binary(op, rand_expr(rng, depth - 1), rand_expr(rng, depth - 1))
+        }
+        6 => {
+            let op = *rng.choose(&[UnOp::Not, UnOp::Neg, UnOp::IsNull, UnOp::IsNotNull]);
+            ScalarExpr::Unary { op, expr: Box::new(rand_expr(rng, depth - 1)) }
+        }
+        7 => {
+            let to = *rng.choose(&[
+                DataType::Bool,
+                DataType::Int,
+                DataType::Float,
+                DataType::Str,
+                DataType::Date,
+            ]);
+            rand_expr(rng, depth - 1).cast(to)
+        }
+        _ => {
+            let nb = rng.range_usize(1, 4);
+            let branches =
+                (0..nb).map(|_| (rand_expr(rng, depth - 1), rand_expr(rng, depth - 1))).collect();
+            let else_expr =
+                if rng.chance(0.7) { Some(Box::new(rand_expr(rng, depth - 1))) } else { None };
+            ScalarExpr::Case { branches, else_expr }
+        }
+    }
+}
+
+/// Bit-level column equality: same dtype, same per-row values under
+/// `Value::total_cmp` (which distinguishes zero signs and compares NaN to
+/// itself as equal), and the same byte size — the latter catches a kernel
+/// that materializes an all-true validity bitmap the scalar path omits,
+/// which would silently skew the cost model and result digests.
+fn assert_columns_equal(a: &Column, b: &Column, what: &str) {
+    assert_eq!(a.dtype(), b.dtype(), "dtype for {what}");
+    assert_eq!(a.len(), b.len(), "length for {what}");
+    for i in 0..a.len() {
+        let (va, vb) = (a.value(i), b.value(i));
+        assert!(
+            va.total_cmp(&vb) == std::cmp::Ordering::Equal,
+            "row {i} of {what}: vectorized {va} vs scalar {vb}"
+        );
+    }
+    assert_eq!(a.byte_size(), b.byte_size(), "byte size for {what}");
+}
+
+// ---------------------------------------------------------------------------
+// Expression-level differential tests
+// ---------------------------------------------------------------------------
+
+#[test]
+fn vectorized_eval_matches_scalar_fallback() {
+    let mut rng = DetRng::seed(0x41);
+    let mut checked = 0usize;
+    for round in 0..500 {
+        // Cycle through empty tables, single rows, null-free, and all-null
+        // columns so the broadcast and validity edge cases all come up.
+        let rows = match round % 7 {
+            0 => 0,
+            1 => 1,
+            _ => rng.range_usize(2, 64),
+        };
+        let null_rate = match round % 5 {
+            0 => 0.0,
+            1 => 1.0,
+            _ => 0.3,
+        };
+        let t = random_table(&mut rng, rows, null_rate);
+        let e = rand_expr(&mut rng, 3);
+        if e.dtype(t.schema()).is_err() {
+            continue; // not type-correct; both paths reject it before eval
+        }
+        let mut on = EvalCtx::new(0);
+        let mut off = EvalCtx::new(0);
+        off.vectorized = false;
+        match (eval(&e, &t, &mut on), eval(&e, &t, &mut off)) {
+            (Ok(a), Ok(b)) => {
+                assert_columns_equal(&a, &b, &format!("{e}"));
+                checked += 1;
+                if a.dtype() == DataType::Bool {
+                    // Bool results also exercise the predicate → bitmap →
+                    // filter path used by the Filter operator.
+                    let ma = eval_predicate(&e, &t, &mut on).unwrap();
+                    let mb = eval_predicate(&e, &t, &mut off).unwrap();
+                    assert_eq!(ma.to_bools(), mb.to_bools(), "mask for {e}");
+                    let fa = t.filter(&ma).unwrap();
+                    let fb = t.filter(&mb).unwrap();
+                    assert_eq!(fa.canonical_rows(), fb.canonical_rows(), "filter for {e}");
+                }
+            }
+            (Err(_), Err(_)) => {} // both paths must reject together
+            (a, b) => panic!(
+                "paths diverged for {e}: vectorized ok={} scalar ok={}",
+                a.is_ok(),
+                b.is_ok()
+            ),
+        }
+    }
+    assert!(checked >= 100, "only {checked} expressions type-checked; generator drifted");
+}
+
+// ---------------------------------------------------------------------------
+// Plan-level differential tests
+// ---------------------------------------------------------------------------
+
+fn random_catalog(rng: &mut DetRng) -> (DatasetCatalog, ViewStore, UdoRegistry) {
+    let mut cat = DatasetCatalog::new();
+    let fact = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Float),
+        Field::new("s", DataType::Str),
+    ])
+    .unwrap()
+    .into_ref();
+    let n = rng.range_usize(0, 200);
+    let rows: Vec<Vec<Value>> = (0..n)
+        .map(|_| {
+            vec![
+                if rng.chance(0.15) { Value::Null } else { Value::Int(rng.range_i64(0, 20)) },
+                if rng.chance(0.10) {
+                    Value::Null
+                } else {
+                    Value::Float(rng.range_f64(-100.0, 100.0))
+                },
+                if rng.chance(0.10) {
+                    Value::Null
+                } else {
+                    Value::Str((*rng.choose(&["asia", "emea", "apac", "na"])).to_string())
+                },
+            ]
+        })
+        .collect();
+    cat.register("fact", Table::from_rows(fact, &rows).unwrap(), SimTime::EPOCH).unwrap();
+    let dim = Schema::new(vec![Field::new("k2", DataType::Int), Field::new("w", DataType::Float)])
+        .unwrap()
+        .into_ref();
+    let drows: Vec<Vec<Value>> =
+        (0..15).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)]).collect();
+    cat.register("dim", Table::from_rows(dim, &drows).unwrap(), SimTime::EPOCH).unwrap();
+    (cat, ViewStore::with_default_ttl(), UdoRegistry::with_builtins())
+}
+
+fn run_with(
+    plan: &Arc<LogicalPlan>,
+    cat: &DatasetCatalog,
+    views: &ViewStore,
+    udos: &UdoRegistry,
+    vectorized: bool,
+) -> Table {
+    let opt = Optimizer::new(OptimizerConfig::default());
+    let stats =
+        |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+    let out = opt.optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
+    let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH);
+    ctx.eval.vectorized = vectorized;
+    execute(&out.physical, &mut ctx, &opt.cfg.cost).unwrap().table
+}
+
+fn assert_plan_invariant(
+    plan: &Arc<LogicalPlan>,
+    cat: &DatasetCatalog,
+    views: &ViewStore,
+    udos: &UdoRegistry,
+    what: &str,
+) {
+    let a = run_with(plan, cat, views, udos, true);
+    let b = run_with(plan, cat, views, udos, false);
+    assert_eq!(a.canonical_rows(), b.canonical_rows(), "rows for {what}");
+    assert_eq!(a.byte_size(), b.byte_size(), "byte size for {what}");
+}
+
+#[test]
+fn plans_agree_with_kernels_on_and_off() {
+    let mut rng = DetRng::seed(0x42);
+    for round in 0..6 {
+        let (cat, views, udos) = random_catalog(&mut rng);
+        let kind = [JoinKind::Inner, JoinKind::Left, JoinKind::Semi][round % 3];
+
+        // Filter + CASE/cast-heavy projection.
+        let case = ScalarExpr::Case {
+            branches: vec![(col("k").is_null(), lit(-1_i64)), (col("v").gt(lit(0.0)), col("k"))],
+            else_expr: Some(Box::new(col("k").mul(lit(2_i64)))),
+        };
+        let project = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .filter(col("v").gt(lit(-50.0)).or(col("k").is_null()))
+            .unwrap()
+            .project(vec![
+                (case, "c"),
+                (col("v").cast(DataType::Str), "vs"),
+                (col("k").cast(DataType::Float).add(col("v")), "kf"),
+            ])
+            .unwrap()
+            .build();
+        assert_plan_invariant(&project, &cat, &views, &udos, &format!("project round {round}"));
+
+        // Join + aggregate + sort over the same inputs.
+        let agg = PlanBuilder::scan(&cat, "fact")
+            .unwrap()
+            .join(PlanBuilder::scan(&cat, "dim").unwrap(), &[("k", "k2")], kind)
+            .unwrap()
+            .aggregate(
+                vec![(col("s"), "seg")],
+                vec![
+                    AggExpr::new(AggFunc::Sum, col("k"), "sk"),
+                    AggExpr::new(AggFunc::Sum, col("v"), "sv"),
+                    AggExpr::new(AggFunc::Avg, col("v"), "av"),
+                    AggExpr::new(AggFunc::Min, col("v"), "mn"),
+                    AggExpr::new(AggFunc::Max, col("v"), "mx"),
+                    AggExpr::new(AggFunc::CountDistinct, col("k"), "dk"),
+                    AggExpr::count_star("n"),
+                ],
+            )
+            .unwrap()
+            .sort(&[("seg", true), ("n", false)])
+            .unwrap()
+            .build();
+        assert_plan_invariant(&agg, &cat, &views, &udos, &format!("{kind:?} agg round {round}"));
+    }
+}
+
+#[test]
+fn join_algorithms_agree_on_random_tables() {
+    fn force(p: &PhysicalPlan, algo: JoinAlgo) -> PhysicalPlan {
+        match p.clone() {
+            PhysicalPlan::Join { kind, on, left, right, est, partitions, .. } => {
+                PhysicalPlan::Join {
+                    algo,
+                    kind,
+                    on,
+                    left: Box::new(force(&left, algo)),
+                    right: Box::new(force(&right, algo)),
+                    est,
+                    partitions,
+                }
+            }
+            other => other,
+        }
+    }
+
+    let mut rng = DetRng::seed(0x43);
+    for round in 0..8 {
+        let (cat, views, udos) = random_catalog(&mut rng);
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::Semi] {
+            let logical = PlanBuilder::scan(&cat, "fact")
+                .unwrap()
+                .join(PlanBuilder::scan(&cat, "dim").unwrap(), &[("k", "k2")], kind)
+                .unwrap()
+                .build();
+            let opt = Optimizer::new(OptimizerConfig::default());
+            let physical =
+                opt.to_physical(&normalize(&logical, &opt.cfg.sig).unwrap(), &stats).unwrap();
+            let mut results = Vec::new();
+            for algo in [JoinAlgo::Hash, JoinAlgo::Merge, JoinAlgo::Loop] {
+                let forced = force(&physical, algo);
+                let mut ctx = ExecContext::new(&cat, &views, &udos, SimTime::EPOCH);
+                let out = execute(&forced, &mut ctx, &CostModel::default()).unwrap();
+                results.push(out.table.canonical_rows());
+            }
+            assert_eq!(results[0], results[1], "hash vs merge, {kind:?}, round {round}");
+            assert_eq!(results[0], results[2], "hash vs loop, {kind:?}, round {round}");
+        }
+    }
+}
