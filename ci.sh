@@ -40,6 +40,34 @@ print(f"    trace OK ({len(events)} events), phase breakdown OK")
 EOF
 rm -f "$trace_json"
 
+echo "==> containment gate (semantic on/off digest parity + compensated hits)"
+cargo run --release -q --bin cv-analyze -- --containment --days 4 --scale 0.05 \
+  --seed 42 --json BENCH_reuse.json \
+  > /dev/null || { echo "cv-analyze: containment audit failed"; exit 1; }
+
+echo "==> reuse bench artifact validation"
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_reuse.json"))
+assert bench["mode"] == "containment", "wrong bench artifact"
+for key in ("jobs", "views_reused", "views_reused_exact", "views_reused_semantic",
+            "exact_hit_rate", "compensated_hit_rate", "semantic_considered",
+            "semantic_proven", "semantic_vetoed", "vetoes_by_code"):
+    assert key in bench, f"BENCH_reuse.json missing {key}"
+assert bench["digests_match"] is True, "semantic matching changed a result digest"
+assert bench["failed_jobs"] == 0, "containment audit had failed jobs"
+assert bench["views_reused_semantic"] > 0, "no compensated hits on the seeded workload"
+assert bench["views_reused_exact"] + bench["views_reused_semantic"] == bench["views_reused"], \
+    "exact/compensated split does not add up"
+assert bench["semantic_proven"] >= bench["views_reused_semantic"], \
+    "fewer proofs than compensated hits"
+assert bench["views_reused"] >= bench["baseline_views_reused"], \
+    "semantic matching lowered the reuse hit count"
+print(f"    reuse bench OK ({bench['views_reused_exact']} exact + "
+      f"{bench['views_reused_semantic']} compensated hits, "
+      f"{bench['semantic_vetoed']} vetoes)")
+EOF
+
 echo "==> kernels microbench smoke gate (typed engine kernels)"
 cargo run --release -q -p cv-bench --bin kernels -- --smoke --out BENCH_engine.json \
   > /dev/null || { echo "kernels: microbench failed"; exit 1; }

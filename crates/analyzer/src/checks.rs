@@ -9,15 +9,17 @@
 //! To add a check: implement [`Check`], pick a code in the right family
 //! (see [`crate::diag::codes`]), and push it in [`CheckRegistry::standard`].
 
+use crate::containment::prove_containment;
 use crate::diag::{codes, Diagnostic, Report};
 use cv_common::hash::Sig128;
 use cv_data::schema::SchemaRef;
+use cv_engine::containment::build_compensation;
 use cv_engine::cost::CostModel;
 use cv_engine::normalize::normalize;
 use cv_engine::optimizer::ReuseContext;
 use cv_engine::physical::PhysicalPlan;
 use cv_engine::plan::LogicalPlan;
-use cv_engine::signature::{plan_signature, SigMode, SignatureConfig};
+use cv_engine::signature::{plan_signature, template_signature, SigMode, SignatureConfig};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
@@ -78,6 +80,7 @@ impl CheckRegistry {
         r.register(Box::new(SubstitutionSoundness));
         r.register(Box::new(SpoolWellFormedness));
         r.register(Box::new(StatsSanity));
+        r.register(Box::new(SemanticSubstitution));
         r
     }
 
@@ -283,6 +286,50 @@ impl Check for SignatureDeterminism {
 #[derive(Debug)]
 pub struct SubstitutionSoundness;
 
+impl SubstitutionSoundness {
+    /// Diagnose a CV032: name the nearest-miss candidate subexpression and
+    /// which stage of the match cascade failed for it. A same-schema
+    /// subexpression means the strict signature diverged (exact rule); a
+    /// merely structurally-largest one means not even template discovery
+    /// had a candidate to offer the prover.
+    fn nearest_miss(
+        original: &Arc<LogicalPlan>,
+        viewscan_schema: &SchemaRef,
+        sig_cfg: &SignatureConfig,
+    ) -> String {
+        let mut same_schema: Option<(Sig128, String, usize)> = None;
+        let mut largest: Option<(Sig128, String, usize)> = None;
+        walk_logical(original, |node, path| {
+            let Some(sig) = plan_signature(node, sig_cfg, SigMode::Strict) else {
+                return;
+            };
+            let nodes = node.node_count();
+            if node.schema().is_ok_and(|s| s.fields() == viewscan_schema.fields())
+                && same_schema.as_ref().is_none_or(|(_, _, n)| nodes > *n)
+            {
+                same_schema = Some((sig, path.to_string(), nodes));
+            }
+            if largest.as_ref().is_none_or(|(_, _, n)| nodes > *n) {
+                largest = Some((sig, path.to_string(), nodes));
+            }
+        });
+        match (same_schema, largest) {
+            (Some((sig, path, _)), _) => format!(
+                "; nearest miss: subexpression {} at {path} has an identical schema but a \
+                 different strict signature (exact-signature rule failed; no containment \
+                 certificate covers it)",
+                sig.short()
+            ),
+            (None, Some((sig, path, _))) => format!(
+                "; nearest miss: no schema-compatible subexpression — largest candidate is \
+                 {} at {path} (template-discovery rule failed)",
+                sig.short()
+            ),
+            (None, None) => String::new(),
+        }
+    }
+}
+
 impl Check for SubstitutionSoundness {
     fn family(&self) -> &'static str {
         "CV03x"
@@ -300,9 +347,12 @@ impl Check for SubstitutionSoundness {
         let Some(optimized) = input.optimized else { return };
         let index = input.original.map(|orig| subexpr_index(orig, input.sig));
         walk_logical(optimized, |node, path| {
-            let LogicalPlan::ViewScan { sig, .. } = &**node else { return };
+            let LogicalPlan::ViewScan { sig, schema, .. } = &**node else { return };
+            // A semantic grant is a grant too: compensated substitutions are
+            // audited by the SemanticSubstitution check (CV06x) instead.
+            let semantic = input.reuse.is_some_and(|r| r.semantic.contains_key(sig));
             if let Some(reuse) = input.reuse {
-                if !reuse.available.contains_key(sig) {
+                if !reuse.available.contains_key(sig) && !semantic {
                     out.push(Diagnostic::error(
                         codes::VIEW_NOT_GRANTED,
                         path,
@@ -315,14 +365,18 @@ impl Check for SubstitutionSoundness {
                 }
             }
             if let Some(index) = &index {
-                if !index.contains_key(sig) {
+                if !index.contains_key(sig) && !semantic {
+                    let nearest = input
+                        .original
+                        .map(|orig| Self::nearest_miss(orig, schema, input.sig))
+                        .unwrap_or_default();
                     out.push(Diagnostic::error(
                         codes::VIEW_NO_SUBEXPR,
                         path,
                         format!(
                             "ViewScan {} does not correspond to any subexpression of the \
                              original plan; its input GUIDs cannot be validated against \
-                             the job's inputs",
+                             the job's inputs{nearest}",
                             sig.short()
                         ),
                     ));
@@ -595,6 +649,132 @@ impl Check for StatsSanity {
                         ),
                     ));
                 }
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV06x — containment certification
+// ---------------------------------------------------------------------------
+
+/// Every semantically substituted `ViewScan` must re-verify from scratch:
+/// the scan's schema must be the granted view's schema, and an independent
+/// containment proof (run here, not trusted from the optimizer) must
+/// reproduce exactly the compensated subtree found in the optimized plan.
+/// Any failure vetoes the plan with the refusing rule's CV06x code.
+#[derive(Debug)]
+pub struct SemanticSubstitution;
+
+impl SemanticSubstitution {
+    fn subtree_occurs(hay: &Arc<LogicalPlan>, needle: &Arc<LogicalPlan>) -> bool {
+        hay == needle || hay.children().into_iter().any(|c| Self::subtree_occurs(c, needle))
+    }
+}
+
+impl Check for SemanticSubstitution {
+    fn family(&self) -> &'static str {
+        "CV06x"
+    }
+
+    fn name(&self) -> &'static str {
+        "semantic-substitution"
+    }
+
+    fn description(&self) -> &'static str {
+        "compensated ViewScans re-verify: schema equals the granted view's, and an \
+         independent containment proof reproduces the compensated subtree"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let (Some(original), Some(optimized), Some(reuse)) =
+            (input.original, input.optimized, input.reuse)
+        else {
+            return;
+        };
+        if reuse.semantic.is_empty() {
+            return;
+        }
+        let index = subexpr_index(original, input.sig);
+        walk_logical(optimized, |node, path| {
+            let LogicalPlan::ViewScan { sig, schema, .. } = &**node else { return };
+            if index.contains_key(sig) {
+                return; // exact substitution — CV01x/CV03x handle it
+            }
+            let Some(grant) = reuse.semantic.get(sig) else {
+                return; // ungranted — CV031/CV032 territory
+            };
+            // (1) The scan must expose the *view's* schema: its rows come
+            // from the view store, not from the replaced subexpression.
+            match grant.plan.schema() {
+                Ok(view_schema) if view_schema.fields() == schema.fields() => {}
+                Ok(view_schema) => {
+                    out.push(Diagnostic::error(
+                        codes::COMPENSATION_SCHEMA_MISMATCH,
+                        path,
+                        format!(
+                            "semantic ViewScan {} schema {:?} differs from the granted \
+                             view's schema {:?}",
+                            sig.short(),
+                            schema.names(),
+                            view_schema.names(),
+                        ),
+                    ));
+                    return;
+                }
+                Err(e) => {
+                    out.push(Diagnostic::error(
+                        codes::COMPENSATION_SCHEMA_MISMATCH,
+                        path,
+                        format!("granted view plan's schema does not derive: {e}"),
+                    ));
+                    return;
+                }
+            }
+            // (2) Re-derive the proof against every template-compatible
+            // subexpression of the original plan; the synthesized
+            // compensation must occur verbatim in the optimized plan.
+            let mut first_refusal = None;
+            let mut verified = false;
+            walk_logical(original, |cand, _| {
+                if verified || template_signature(cand, input.sig) != Some(grant.template) {
+                    return;
+                }
+                match prove_containment(&grant.plan, cand, input.sig) {
+                    Ok(proof) => {
+                        let expected = build_compensation(&proof, node.clone());
+                        if Self::subtree_occurs(optimized, &expected) {
+                            verified = true;
+                        }
+                    }
+                    Err(refusal) => {
+                        if first_refusal.is_none() {
+                            first_refusal = Some(refusal);
+                        }
+                    }
+                }
+            });
+            if verified {
+                return;
+            }
+            match first_refusal {
+                Some(refusal) => out.push(Diagnostic::error(
+                    refusal.code,
+                    path,
+                    format!(
+                        "semantic substitution of view {} does not re-verify: {refusal}",
+                        sig.short()
+                    ),
+                )),
+                None => out.push(Diagnostic::error(
+                    codes::COMPENSATION_SCHEMA_MISMATCH,
+                    path,
+                    format!(
+                        "semantic ViewScan {}: no template-compatible subexpression of \
+                         the original plan yields this compensated subtree",
+                        sig.short()
+                    ),
+                )),
             }
         });
     }

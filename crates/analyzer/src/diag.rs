@@ -7,7 +7,7 @@ use std::fmt;
 /// Diagnostic code constants. Families group related invariants:
 /// `CV01x` schema soundness, `CV02x` signature determinism, `CV03x`
 /// substitution soundness, `CV04x` spool well-formedness, `CV05x`
-/// cost/statistics sanity.
+/// cost/statistics sanity, `CV06x` containment certification.
 pub mod codes {
     /// Schema derivation failed or is structurally inconsistent.
     pub const SCHEMA_DERIVE: &str = "CV011";
@@ -37,6 +37,42 @@ pub mod codes {
     pub const STATS_INVALID: &str = "CV051";
     /// `total_cost` is not monotone over children.
     pub const COST_MONOTONE: &str = "CV052";
+    /// Semantic match: the candidate's predicate is not provably implied
+    /// by the view's predicate (containment prover, predicate rule).
+    pub const UNSOUND_IMPLICATION: &str = "CV061";
+    /// Semantic match: a candidate output (or group key) is not derivable
+    /// from the view's output columns (projection rule).
+    pub const PROJECTION_NOT_DERIVABLE: &str = "CV062";
+    /// Semantic match: an aggregate cannot be rolled up from the view's
+    /// partial aggregates (e.g. AVG, COUNT DISTINCT, float SUM).
+    pub const NON_ROLLUPABLE_AGGREGATE: &str = "CV063";
+    /// Semantic match: the synthesized compensation plan's schema differs
+    /// from the candidate subexpression it replaces.
+    pub const COMPENSATION_SCHEMA_MISMATCH: &str = "CV064";
+
+    /// Every diagnostic code paired with its `CV0nx` family. The
+    /// registry-coverage test in `lib.rs` keeps this table exhaustive:
+    /// each entry must belong to exactly one registered check's family,
+    /// and every registered family must appear here.
+    pub const ALL: &[(&str, &str)] = &[
+        (SCHEMA_DERIVE, "CV01x"),
+        (VIEWSCAN_SCHEMA, "CV01x"),
+        (NORMALIZE_IDEMPOTENT, "CV02x"),
+        (SIGNATURE_STABLE, "CV02x"),
+        (VIEW_NOT_GRANTED, "CV03x"),
+        (VIEW_NO_SUBEXPR, "CV03x"),
+        (VIEW_NOT_LIVE, "CV03x"),
+        (SPOOL_DUPLICATE, "CV04x"),
+        (SPOOL_CYCLE, "CV04x"),
+        (SPOOL_DANGLING, "CV04x"),
+        (SPOOL_UNDER_LIMIT, "CV04x"),
+        (STATS_INVALID, "CV05x"),
+        (COST_MONOTONE, "CV05x"),
+        (UNSOUND_IMPLICATION, "CV06x"),
+        (PROJECTION_NOT_DERIVABLE, "CV06x"),
+        (NON_ROLLUPABLE_AGGREGATE, "CV06x"),
+        (COMPENSATION_SCHEMA_MISMATCH, "CV06x"),
+    ];
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]

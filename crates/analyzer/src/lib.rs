@@ -14,22 +14,29 @@
 //! | CV03x  | substitution soundness (granted, live, real subexpression) |
 //! | CV04x  | spool well-formedness (unique, acyclic, granted, fully consumed) |
 //! | CV05x  | cost/statistics sanity (finite, non-negative, monotone) |
+//! | CV06x  | containment certification (semantic substitutions re-verify) |
 //!
 //! The [`Analyzer`] implements `cv_engine::verify::PlanVerifier`, so an
 //! engine configured with `OptimizerConfig::verify_plans` audits every
 //! plan it optimizes and rejects (with `Err`, never a panic) any plan
-//! carrying an error-severity diagnostic. The `cv-analyze` binary sweeps
-//! the workload templates through the optimizer under several reuse
+//! carrying an error-severity diagnostic. It also implements
+//! `cv_engine::containment::ContainmentProver` (see [`containment`]), which
+//! the optimizer consults to certify semantic view matches before
+//! substituting a compensation plan. The `cv-analyze` binary sweeps the
+//! workload templates through the optimizer under several reuse
 //! configurations and prints the aggregate report.
 
 pub mod checks;
+pub mod containment;
 pub mod diag;
 
 pub use checks::{AnalysisInput, Check, CheckRegistry};
+pub use containment::prove_containment;
 pub use diag::{codes, Diagnostic, Report, Severity};
 
 use cv_common::hash::Sig128;
 use cv_common::{CvError, Result};
+use cv_engine::containment::{ContainmentProof, ContainmentProver, ContainmentRefusal};
 use cv_engine::cost::CostModel;
 use cv_engine::optimizer::{OptimizeOutcome, OptimizerConfig, ReuseContext};
 use cv_engine::physical::PhysicalPlan;
@@ -112,6 +119,16 @@ impl Analyzer {
             msg.push_str(&format!("; … and {omitted} more"));
         }
         Err(CvError::plan(msg))
+    }
+}
+
+impl ContainmentProver for Analyzer {
+    fn prove(
+        &self,
+        view: &Arc<LogicalPlan>,
+        candidate: &Arc<LogicalPlan>,
+    ) -> std::result::Result<ContainmentProof, ContainmentRefusal> {
+        containment::prove_containment(view, candidate, &self.sig)
     }
 }
 
@@ -258,6 +275,127 @@ mod tests {
         let report = analyzer.analyze(&input);
         assert!(report.codes().contains(&codes::STATS_INVALID), "{}", report.to_text());
         assert!(report.has_errors());
+    }
+
+    #[test]
+    fn diag_codes_are_exhaustively_owned() {
+        let registry = CheckRegistry::standard();
+        let families: Vec<&str> = registry.checks().map(|c| c.family()).collect();
+        let family_set: HashSet<&str> = families.iter().copied().collect();
+        assert_eq!(families.len(), family_set.len(), "check families must be distinct");
+
+        let mut seen = HashSet::new();
+        for (code, family) in codes::ALL {
+            assert!(seen.insert(*code), "duplicate code {code} in codes::ALL");
+            // `CV061` belongs to `CV06x`: the family is the code with its
+            // last digit wildcarded.
+            let derived = format!("{}x", &code[..code.len() - 1]);
+            assert_eq!(&derived, family, "codes::ALL family mismatch for {code}");
+            assert!(
+                family_set.contains(family),
+                "code {code} claims family {family}, but no registered check owns it"
+            );
+        }
+        for family in &family_set {
+            assert!(
+                codes::ALL.iter().any(|(_, f)| f == family),
+                "registered family {family} has no codes in codes::ALL"
+            );
+        }
+        // The crate-level doc table must list every registered family.
+        let doc = include_str!("lib.rs");
+        for family in &family_set {
+            assert!(doc.contains(family), "lib.rs doc table is missing family {family}");
+        }
+    }
+
+    /// Semantic fixture: a view filtering `customer` to asia, and a
+    /// candidate narrowing that further — containment provable with a
+    /// residual filter.
+    fn semantic_pair() -> (Arc<LogicalPlan>, Arc<LogicalPlan>) {
+        let customer = scan("customer", &[("c_id", DataType::Int), ("seg", DataType::Str)]);
+        let view = Arc::new(LogicalPlan::Filter {
+            predicate: col("seg").eq(lit("asia")),
+            input: customer.clone(),
+        });
+        let candidate = Arc::new(LogicalPlan::Filter {
+            predicate: col("seg").eq(lit("asia")).and(col("c_id").gt(lit(5))),
+            input: customer,
+        });
+        (view, candidate)
+    }
+
+    #[test]
+    fn certified_semantic_substitution_is_clean() {
+        let mut opt = Optimizer::default();
+        let analyzer = Arc::new(Analyzer::new(&opt.cfg));
+        opt.set_prover(analyzer.clone());
+        let (view, candidate) = semantic_pair();
+        let view = normalize(&view, &opt.cfg.sig).unwrap();
+        let view_sig = plan_signature(&view, &opt.cfg.sig, SigMode::Strict).unwrap();
+        let template = cv_engine::signature::template_signature(&view, &opt.cfg.sig).unwrap();
+        let mut reuse = ReuseContext::empty();
+        reuse.semantic.insert(
+            view_sig,
+            cv_engine::optimizer::SemanticGrant {
+                plan: view,
+                meta: ViewMeta { rows: 3_000, bytes: 120_000 },
+                template,
+            },
+        );
+        let normalized = normalize(&candidate, &opt.cfg.sig).unwrap();
+        let out = opt.optimize(&candidate, &reuse, &stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.compensated_views.len(), 1, "semantic match must fire");
+        let report = analyzer.analyze_outcome(&normalized, &out, &reuse, None);
+        assert!(report.is_clean(), "unexpected diagnostics:\n{}", report.to_text());
+    }
+
+    #[test]
+    fn bogus_prover_is_vetoed_with_cv061() {
+        // A prover that certifies everything with no compensation at all.
+        #[derive(Debug)]
+        struct YesMan;
+        impl cv_engine::containment::ContainmentProver for YesMan {
+            fn prove(
+                &self,
+                _view: &Arc<LogicalPlan>,
+                _candidate: &Arc<LogicalPlan>,
+            ) -> std::result::Result<
+                cv_engine::containment::ContainmentProof,
+                cv_engine::containment::ContainmentRefusal,
+            > {
+                Ok(cv_engine::containment::ContainmentProof::default())
+            }
+        }
+        let mut opt = Optimizer::default();
+        opt.cfg.verify_plans = true;
+        opt.set_prover(Arc::new(YesMan));
+        opt.set_verifier(Arc::new(Analyzer::new(&opt.cfg)));
+        // View is *narrower* than the candidate: containment is unsound.
+        let customer = scan("customer", &[("c_id", DataType::Int), ("seg", DataType::Str)]);
+        let view = normalize(
+            &Arc::new(LogicalPlan::Filter {
+                predicate: col("c_id").gt(lit(5)),
+                input: customer.clone(),
+            }),
+            &opt.cfg.sig,
+        )
+        .unwrap();
+        let candidate =
+            Arc::new(LogicalPlan::Filter { predicate: col("c_id").gt(lit(0)), input: customer });
+        let view_sig = plan_signature(&view, &opt.cfg.sig, SigMode::Strict).unwrap();
+        let template = cv_engine::signature::template_signature(&view, &opt.cfg.sig).unwrap();
+        let mut reuse = ReuseContext::empty();
+        reuse.semantic.insert(
+            view_sig,
+            cv_engine::optimizer::SemanticGrant {
+                plan: view,
+                meta: ViewMeta { rows: 10, bytes: 100 },
+                template,
+            },
+        );
+        let err = opt.optimize(&candidate, &reuse, &stats, &mut AlwaysGrant).unwrap_err();
+        assert!(err.to_string().contains("CV061"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Differential property tests for the containment prover.
+//!
+//! Two families of guarantees, both driven by [`DetRng`]-seeded random
+//! tables with null group keys:
+//!
+//! 1. **Accepted compensations are invisible.** Any semantic substitution
+//!    the prover certifies must produce byte-identical results
+//!    (`Table::canonical_rows`) to running the same query with no reuse.
+//! 2. **Unsound rewrites are refused with the exact code.** Strict vs.
+//!    non-strict bounds, dropped group keys, AVG rollups, float SUMs and
+//!    shape mismatches each map to one specific `CV06x` diagnostic.
+
+use cv_analyzer::{codes, prove_containment, Analyzer};
+use cv_common::ids::{JobId, VcId, VersionGuid};
+use cv_common::rng::DetRng;
+use cv_common::SimTime;
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_engine::optimizer::{AlwaysGrant, ReuseContext, SemanticGrant, ViewMeta};
+use cv_engine::signature::{SignatureConfig, SubexprInfo};
+use cv_engine::sql::Params;
+use cv_engine::{col, lit, AggExpr, AggFunc, LogicalPlan, QueryEngine};
+use std::sync::Arc;
+
+/// A random table with a *nullable* group key `k`, an integer measure `v`,
+/// a float measure `f` and a low-cardinality segment column.
+fn random_table(rng: &mut DetRng, rows: usize) -> Table {
+    let schema = Schema::new(vec![
+        Field::new("k", DataType::Int),
+        Field::new("v", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("seg", DataType::Str),
+    ])
+    .unwrap()
+    .into_ref();
+    let segs = ["a", "b", "c"];
+    let data: Vec<Vec<Value>> = (0..rows)
+        .map(|_| {
+            let k = if rng.chance(0.15) { Value::Null } else { Value::Int(rng.range_i64(0, 8)) };
+            vec![
+                k,
+                Value::Int(rng.range_i64(-50, 100)),
+                Value::Float(rng.range_f64(0.0, 10.0)),
+                Value::Str(segs[rng.range_usize(0, segs.len())].to_string()),
+            ]
+        })
+        .collect();
+    Table::from_rows(schema, &data).unwrap()
+}
+
+/// Engine with the random table registered as `t`, the analyzer installed
+/// both as containment prover and as post-optimization verifier.
+fn engine(seed: u64) -> QueryEngine {
+    let mut rng = DetRng::seed(seed);
+    let mut e = QueryEngine::new();
+    e.catalog.register("t", random_table(&mut rng, 240), SimTime::EPOCH).unwrap();
+    e.optimizer.cfg.verify_plans = true;
+    let analyzer = Arc::new(Analyzer::new(&e.optimizer.cfg));
+    e.optimizer.set_prover(analyzer.clone());
+    e.optimizer.set_verifier(analyzer);
+    e
+}
+
+/// Materialize the subexpression of `view_sql` whose kind is `kind`, and
+/// return a semantic grant for it.
+fn build_view(
+    e: &mut QueryEngine,
+    view_sql: &str,
+    kind: &str,
+) -> (cv_common::hash::Sig128, SemanticGrant) {
+    let plan = e.compile_sql(view_sql, &Params::none()).unwrap();
+    let subs = e.subexpressions(&plan).unwrap();
+    let sub: &SubexprInfo = subs
+        .iter()
+        .filter(|s| s.kind == kind)
+        .max_by_key(|s| s.node_count)
+        .expect("view query must contain the requested operator kind");
+    let (sig, view_plan, template) = (sub.strict, sub.plan.clone(), sub.template);
+    let mut reuse = ReuseContext::empty();
+    reuse.to_build.insert(sig);
+    let out =
+        e.run_sql(view_sql, &Params::none(), &reuse, JobId(1), VcId(0), SimTime::EPOCH).unwrap();
+    assert_eq!(out.sealed_views, 1, "view build must seal exactly one view");
+    let mv = e.views.peek(sig, SimTime::EPOCH).unwrap();
+    let meta = ViewMeta { rows: mv.rows as u64, bytes: mv.bytes };
+    (sig, SemanticGrant { plan: view_plan, meta, template })
+}
+
+/// Run `sql` twice — once with the semantic grant, once on a fresh engine
+/// with no reuse at all — and require byte-identical canonical rows from
+/// the compensated plan.
+fn assert_compensated_identical(seed: u64, view_sql: &str, kind: &str, sql: &str) {
+    let mut e = engine(seed);
+    let (sig, grant) = build_view(&mut e, view_sql, kind);
+    let mut reuse = ReuseContext::empty();
+    reuse.semantic.insert(sig, grant);
+
+    let plan = e.compile_sql(sql, &Params::none()).unwrap();
+    let compiled = e.optimize(&plan, &reuse, &mut AlwaysGrant).unwrap();
+    assert_eq!(compiled.outcome.compensated_views.len(), 1, "semantic match must fire for {sql:?}");
+    assert_eq!(compiled.outcome.compensated_views[0].0, sig);
+    assert_eq!(compiled.outcome.matched_views, vec![sig]);
+    let out = e.execute(&compiled.outcome.physical, SimTime::EPOCH).unwrap();
+    assert_eq!(out.metrics.input_bytes, 0, "compensated plan must read only the view: {sql:?}");
+
+    let baseline_engine = engine(seed);
+    let bplan = baseline_engine.compile_sql(sql, &Params::none()).unwrap();
+    let bcompiled =
+        baseline_engine.optimize(&bplan, &ReuseContext::empty(), &mut AlwaysGrant).unwrap();
+    let baseline = baseline_engine.execute(&bcompiled.outcome.physical, SimTime::EPOCH).unwrap();
+
+    assert_eq!(
+        out.table.canonical_rows(),
+        baseline.table.canonical_rows(),
+        "compensated result must be byte-identical to baseline for {sql:?} (seed {seed})"
+    );
+}
+
+const VIEW_FILTER: &str = "SELECT k, v, seg FROM t WHERE seg = 'a'";
+const VIEW_ROLLUP: &str = "SELECT k, SUM(v) AS sv, COUNT(*) AS c, MIN(v) AS mn, MAX(v) AS mx \
+     FROM t GROUP BY k";
+
+#[test]
+fn residual_filter_compensation_is_byte_identical() {
+    for seed in [11, 29, 47] {
+        assert_compensated_identical(
+            seed,
+            VIEW_FILTER,
+            "Filter",
+            "SELECT k, v FROM t WHERE seg = 'a' AND v > 40",
+        );
+    }
+}
+
+#[test]
+fn rollup_sum_count_compensation_is_byte_identical() {
+    for seed in [3, 57] {
+        assert_compensated_identical(
+            seed,
+            VIEW_ROLLUP,
+            "Aggregate",
+            "SELECT k, SUM(v) AS total, COUNT(*) AS n FROM t GROUP BY k",
+        );
+    }
+}
+
+#[test]
+fn rollup_min_max_compensation_is_byte_identical() {
+    for seed in [5, 71] {
+        assert_compensated_identical(
+            seed,
+            VIEW_ROLLUP,
+            "Aggregate",
+            "SELECT k, MAX(v) AS hi, MIN(v) AS lo FROM t GROUP BY k",
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Refusals: each deliberately unsound rewrite maps to one exact CV06x code.
+// ---------------------------------------------------------------------------
+
+fn scan() -> Arc<LogicalPlan> {
+    Arc::new(LogicalPlan::Scan {
+        dataset: "t".to_string(),
+        guid: VersionGuid(7),
+        schema: Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+            Field::new("f", DataType::Float),
+        ])
+        .unwrap()
+        .into_ref(),
+    })
+}
+
+fn filter(pred: cv_engine::ScalarExpr) -> Arc<LogicalPlan> {
+    Arc::new(LogicalPlan::Filter { predicate: pred, input: scan() })
+}
+
+fn aggregate(group_by: &[&str], aggs: Vec<AggExpr>) -> Arc<LogicalPlan> {
+    Arc::new(LogicalPlan::Aggregate {
+        group_by: group_by.iter().map(|g| (col(*g), g.to_string())).collect(),
+        aggs,
+        input: scan(),
+    })
+}
+
+fn refusal_code(view: &Arc<LogicalPlan>, candidate: &Arc<LogicalPlan>) -> &'static str {
+    let cfg = SignatureConfig::default();
+    prove_containment(view, candidate, &cfg).expect_err("unsound rewrite must be refused").code
+}
+
+#[test]
+fn non_strict_bound_does_not_imply_strict_is_cv061() {
+    // k >= 5 admits k = 5, which k > 5 excludes: containment is unsound.
+    let code = refusal_code(&filter(col("k").gt(lit(5))), &filter(col("k").gt_eq(lit(5))));
+    assert_eq!(code, codes::UNSOUND_IMPLICATION);
+}
+
+#[test]
+fn disjoint_predicate_is_cv061() {
+    let code = refusal_code(&filter(col("k").gt(lit(5))), &filter(col("v").lt(lit(0))));
+    assert_eq!(code, codes::UNSOUND_IMPLICATION);
+}
+
+#[test]
+fn dropped_group_key_is_cv062() {
+    // The view grouped only by k; the candidate also groups by v, which
+    // the view's output can no longer distinguish.
+    let view = aggregate(&["k"], vec![AggExpr::new(AggFunc::Sum, col("v"), "sv")]);
+    let cand = aggregate(&["k", "v"], vec![AggExpr::new(AggFunc::Sum, col("v"), "sv")]);
+    assert_eq!(refusal_code(&view, &cand), codes::PROJECTION_NOT_DERIVABLE);
+}
+
+#[test]
+fn underivable_projection_is_cv062() {
+    let view =
+        Arc::new(LogicalPlan::Project { exprs: vec![(col("k"), "k".to_string())], input: scan() });
+    let cand = Arc::new(LogicalPlan::Project {
+        exprs: vec![(col("v").mul(lit(2)), "d".to_string())],
+        input: scan(),
+    });
+    assert_eq!(refusal_code(&view, &cand), codes::PROJECTION_NOT_DERIVABLE);
+}
+
+#[test]
+fn avg_rollup_is_cv063() {
+    // AVG of per-group AVGs is not AVG of the whole group: refused even
+    // though the view carries an AVG partial with the same argument.
+    let view = aggregate(&["k"], vec![AggExpr::new(AggFunc::Avg, col("v"), "av")]);
+    let cand = aggregate(&[], vec![AggExpr::new(AggFunc::Avg, col("v"), "av")]);
+    assert_eq!(refusal_code(&view, &cand), codes::NON_ROLLUPABLE_AGGREGATE);
+}
+
+#[test]
+fn float_sum_rollup_is_cv063() {
+    // Re-adding float partial sums changes the addition order, which is
+    // not bit-exact; the prover must refuse rather than risk digest drift.
+    let view = aggregate(&["k"], vec![AggExpr::new(AggFunc::Sum, col("f"), "sf")]);
+    let cand = aggregate(&[], vec![AggExpr::new(AggFunc::Sum, col("f"), "tf")]);
+    assert_eq!(refusal_code(&view, &cand), codes::NON_ROLLUPABLE_AGGREGATE);
+}
+
+#[test]
+fn operator_shape_mismatch_is_cv064() {
+    let view = filter(col("k").gt(lit(5)));
+    let cand =
+        Arc::new(LogicalPlan::Project { exprs: vec![(col("k"), "k".to_string())], input: scan() });
+    assert_eq!(refusal_code(&view, &cand), codes::COMPENSATION_SCHEMA_MISMATCH);
+}

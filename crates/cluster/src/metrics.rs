@@ -54,6 +54,10 @@ pub struct DataPlane {
     pub view_bytes_read: u64,
     pub bytes_written_views: u64,
     pub views_matched: usize,
+    /// Of `views_matched`, how many went through the widened *semantic*
+    /// path (containment-certified substitution with a compensation plan)
+    /// rather than an exact signature match.
+    pub views_matched_semantic: usize,
     pub views_built: usize,
     pub joins_hash: usize,
     pub joins_merge: usize,
@@ -68,6 +72,7 @@ impl DataPlane {
     pub fn from_exec(
         metrics: &cv_engine::exec::ExecMetrics,
         views_matched: usize,
+        views_matched_semantic: usize,
         views_built: usize,
     ) -> DataPlane {
         DataPlane {
@@ -76,6 +81,7 @@ impl DataPlane {
             view_bytes_read: metrics.view_bytes_read,
             bytes_written_views: metrics.bytes_written_views,
             views_matched,
+            views_matched_semantic,
             views_built,
             joins_hash: metrics.join_algos.hash,
             joins_merge: metrics.join_algos.merge,
@@ -111,6 +117,9 @@ pub struct DailyMetrics {
     pub queue_length_sum: u64,
     pub views_built: u64,
     pub views_reused: u64,
+    /// Of `views_reused`, reuses served through a certified semantic
+    /// (compensated) substitution.
+    pub views_reused_semantic: u64,
     pub fallbacks_recompute: u64,
     pub views_quarantined: u64,
     pub stage_retries: u64,
@@ -131,6 +140,7 @@ impl DailyMetrics {
         self.queue_length_sum += rec.result.queue_len_at_submit as u64;
         self.views_built += rec.data.views_built as u64;
         self.views_reused += rec.data.views_matched as u64;
+        self.views_reused_semantic += rec.data.views_matched_semantic as u64;
         self.fallbacks_recompute += rec.data.fallbacks_recompute;
         self.views_quarantined += rec.data.views_quarantined;
         self.stage_retries += rec.result.stage_retries as u64;
@@ -150,6 +160,7 @@ impl DailyMetrics {
         self.queue_length_sum += other.queue_length_sum;
         self.views_built += other.views_built;
         self.views_reused += other.views_reused;
+        self.views_reused_semantic += other.views_reused_semantic;
         self.fallbacks_recompute += other.fallbacks_recompute;
         self.views_quarantined += other.views_quarantined;
         self.stage_retries += other.stage_retries;
@@ -310,6 +321,7 @@ mod tests {
                 view_bytes_read: 0,
                 bytes_written_views: 0,
                 views_matched: 1,
+                views_matched_semantic: 0,
                 views_built: 0,
                 joins_hash: 1,
                 joins_merge: 0,

@@ -63,7 +63,9 @@ impl QueryAnnotations {
             .map(|v| (v.sig, ViewMeta { rows: v.rows, bytes: v.bytes }))
             .collect();
         let to_build: HashSet<Sig128> = self.to_build.iter().copied().collect();
-        ReuseContext { available, to_build }
+        // Semantic grants carry live plan pointers and are not serialized
+        // into the replay log; replays see exact-signature reuse only.
+        ReuseContext { available, to_build, semantic: HashMap::new() }
     }
 
     pub fn to_json(&self) -> String {

@@ -12,10 +12,11 @@ use crate::controls::Controls;
 use cv_common::hash::Sig128;
 use cv_common::ids::{JobId, VcId};
 use cv_common::{SimDuration, SimTime};
-use cv_engine::optimizer::{BuildCoordinator, ReuseContext, ViewMeta};
+use cv_engine::optimizer::{BuildCoordinator, ReuseContext, SemanticGrant, ViewMeta};
+use cv_engine::plan::LogicalPlan;
 use cv_engine::signature::SubexprInfo;
 use std::collections::{HashMap, HashSet};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Compile-time record of one sealed, live view.
 #[derive(Clone, Debug)]
@@ -27,6 +28,13 @@ pub struct ViewInfo {
     pub sealed_at: SimTime,
     pub expires: SimTime,
     pub vc: VcId,
+    /// Template signature of the defining plan (operator parameters
+    /// abstracted). `None` when the producer didn't record one — such
+    /// views are served for exact matching only.
+    pub template: Option<Sig128>,
+    /// The view's defining normalized logical plan; the containment
+    /// prover needs it to certify semantic (beyond-exact) matches.
+    pub plan: Option<Arc<LogicalPlan>>,
 }
 
 /// Usage log entry (drives Fig. 6a).
@@ -131,6 +139,37 @@ impl InsightsService {
             }
             if self.is_selected(vc, sub.recurring) {
                 ctx.to_build.insert(sub.strict);
+            }
+        }
+        // Semantic pass (the widened, GEqO-style cascade): live views whose
+        // *template* matches a subexpression without being exactly
+        // available become semantic grants. The optimizer's containment
+        // prover — not this service — decides whether any of them is
+        // actually admissible.
+        let mut by_template: HashMap<Sig128, Vec<&ViewInfo>> = HashMap::new();
+        for info in self.available.values() {
+            if now.seconds() >= info.expires.seconds() {
+                continue;
+            }
+            if let (Some(template), Some(_)) = (info.template, info.plan.as_ref()) {
+                by_template.entry(template).or_default().push(info);
+            }
+        }
+        for sub in subexprs {
+            if self.quarantined.contains(&sub.strict) || ctx.available.contains_key(&sub.strict) {
+                continue;
+            }
+            let Some(views) = by_template.get(&sub.template) else { continue };
+            for info in views {
+                if info.strict == sub.strict || ctx.available.contains_key(&info.strict) {
+                    continue;
+                }
+                let Some(plan) = &info.plan else { continue };
+                ctx.semantic.entry(info.strict).or_insert_with(|| SemanticGrant {
+                    plan: plan.clone(),
+                    meta: ViewMeta { rows: info.rows, bytes: info.bytes },
+                    template: sub.template,
+                });
             }
         }
         (ctx, self.lookup_latency)
@@ -253,15 +292,19 @@ mod tests {
     use cv_engine::signature::{enumerate_subexpressions, SignatureConfig};
     use std::sync::Arc;
 
-    fn subexprs() -> Vec<SubexprInfo> {
+    fn subexprs_for(seg: &str) -> Vec<SubexprInfo> {
         let scan = Arc::new(LogicalPlan::Scan {
             dataset: "sales".into(),
             guid: VersionGuid(1),
             schema: Schema::new(vec![Field::new("seg", DataType::Str)]).unwrap().into_ref(),
         });
         let plan =
-            Arc::new(LogicalPlan::Filter { predicate: col("seg").eq(lit("asia")), input: scan });
+            Arc::new(LogicalPlan::Filter { predicate: col("seg").eq(lit(seg)), input: scan });
         enumerate_subexpressions(&plan, &SignatureConfig::default())
+    }
+
+    fn subexprs() -> Vec<SubexprInfo> {
+        subexprs_for("asia")
     }
 
     fn enabled_service() -> InsightsService {
@@ -297,6 +340,8 @@ mod tests {
                 sealed_at: SimTime::EPOCH,
                 expires: SimTime::from_days(7.0),
                 vc: VcId(0),
+                template: None,
+                plan: None,
             },
             JobId(1),
         );
@@ -320,6 +365,8 @@ mod tests {
                 sealed_at: SimTime::EPOCH,
                 expires: SimTime::from_days(7.0),
                 vc: VcId(0),
+                template: None,
+                plan: None,
             },
             JobId(1),
         );
@@ -328,6 +375,42 @@ mod tests {
         assert_eq!(ctx.to_build.len(), 1);
         assert_eq!(svc.expire(SimTime::from_days(8.0)), 1);
         assert_eq!(svc.available_views(), 0);
+    }
+
+    #[test]
+    fn annotate_emits_semantic_grants_for_template_matches() {
+        let mut svc = enabled_service();
+        let view_subs = subexprs();
+        let view = view_subs.iter().find(|s| s.kind == "Filter").unwrap();
+        svc.report_sealed(
+            ViewInfo {
+                strict: view.strict,
+                recurring: view.recurring,
+                rows: 10,
+                bytes: 100,
+                sealed_at: SimTime::EPOCH,
+                expires: SimTime::from_days(7.0),
+                vc: VcId(0),
+                template: Some(view.template),
+                plan: Some(view.plan.clone()),
+            },
+            JobId(1),
+        );
+        // A different predicate over the same scan: no exact match, but
+        // the templates line up — served as a semantic grant.
+        let cand_subs = subexprs_for("emea");
+        let (ctx, _) = svc.annotate(VcId(0), JobId(2), &cand_subs, SimTime(1.0));
+        assert!(ctx.available.is_empty());
+        let grant = ctx.semantic.get(&view.strict).expect("semantic grant for template match");
+        assert_eq!(grant.template, view.template);
+        assert_eq!(grant.meta.rows, 10);
+        // The identical query gets the exact match, never a self-grant.
+        let (ctx2, _) = svc.annotate(VcId(0), JobId(3), &view_subs, SimTime(1.0));
+        assert_eq!(ctx2.available.len(), 1);
+        assert!(ctx2.semantic.is_empty());
+        // Expired views are not served semantically either.
+        let (ctx3, _) = svc.annotate(VcId(0), JobId(4), &cand_subs, SimTime::from_days(8.0));
+        assert!(ctx3.semantic.is_empty());
     }
 
     #[test]
@@ -378,6 +461,8 @@ mod tests {
                 sealed_at: SimTime(5.0),
                 expires: SimTime::from_days(7.0),
                 vc: VcId(0),
+                template: None,
+                plan: None,
             },
             JobId(1),
         );
@@ -402,6 +487,8 @@ mod tests {
             sealed_at: SimTime::EPOCH,
             expires: SimTime::from_days(7.0),
             vc: VcId(0),
+            template: None,
+            plan: None,
         };
         svc.report_sealed(info.clone(), JobId(1));
         assert!(svc.quarantine(filter.strict));
@@ -430,6 +517,8 @@ mod tests {
                     sealed_at: SimTime::EPOCH,
                     expires: SimTime::from_days(7.0),
                     vc: VcId(vc),
+                    template: None,
+                    plan: None,
                 },
                 JobId(0),
             );

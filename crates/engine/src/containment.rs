@@ -1,0 +1,167 @@
+//! Containment proofs and compensation-plan synthesis.
+//!
+//! Exact-signature matching (the paper's production behavior, §2.3) misses
+//! reuse whenever a candidate subexpression differs from a view's defining
+//! plan by even one token. GEqO-style semantic matching widens the net with
+//! a cheap-to-expensive cascade: a normalized *template signature* filters
+//! candidates (see [`crate::signature::template_signature`]), then a
+//! containment *prover* decides — statically, without executing anything —
+//! whether the view's result can be turned into the candidate's result by a
+//! **compensation plan** stacked on top of the `ViewScan`.
+//!
+//! This module holds the engine-side vocabulary only: the proof shape, the
+//! refusal shape, the prover trait, and the deterministic compensation
+//! builder. The actual proof rules live in `cv-analyzer`
+//! (`cv_analyzer::containment`), which implements [`ContainmentProver`] —
+//! keeping the engine free of diagnostic-code policy while letting the
+//! optimizer treat the analyzer as the mandatory certifier for every
+//! semantic substitution.
+
+use crate::expr::{AggExpr, ScalarExpr};
+use crate::plan::LogicalPlan;
+use std::sync::Arc;
+
+/// Re-aggregation step of a compensation plan: group the view's rows by the
+/// candidate's (coarser) keys and roll partial aggregates up.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RollupSpec {
+    /// Group-by keys, rewritten to reference the view's output columns.
+    pub group_by: Vec<(ScalarExpr, String)>,
+    /// Rollup aggregates (e.g. `SUM(view_cnt) AS cnt` for a COUNT→SUM
+    /// rewrite), already carrying the candidate's output aliases.
+    pub aggs: Vec<AggExpr>,
+}
+
+/// A successful containment proof: the recipe for rebuilding the candidate's
+/// exact result from the view's rows.
+///
+/// The compensation stacks in a fixed order — residual filter, then rollup,
+/// then projection — mirroring how the three rules compose: filtering must
+/// happen on the view's raw rows, re-aggregation consumes the filtered rows,
+/// and the final projection shapes the output schema.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ContainmentProof {
+    /// Conjuncts of the candidate's predicate not already enforced by the
+    /// view. `None` means the predicates matched exactly.
+    pub residual_filter: Option<ScalarExpr>,
+    /// Re-aggregation from the view's finer grouping to the candidate's.
+    pub rollup: Option<RollupSpec>,
+    /// Projection rewriting the candidate's outputs in terms of the view's
+    /// output columns. `None` means the schemas already agree.
+    pub reproject: Option<Vec<(ScalarExpr, String)>>,
+    /// Names of the rules that fired, for observability and sweep reports.
+    pub rules: Vec<&'static str>,
+}
+
+/// Why a containment proof was refused.
+///
+/// `code` is a diagnostic code owned by the certifying analyzer (the CV06x
+/// family); the engine never interprets it beyond surfacing it to
+/// observability counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContainmentRefusal {
+    /// Diagnostic code (e.g. `CV061`), assigned by the prover.
+    pub code: &'static str,
+    /// The rule that refused (e.g. `predicate-implication`).
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ContainmentRefusal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{}] {}: {}", self.code, self.rule, self.reason)
+    }
+}
+
+/// A static prover deciding whether `view`'s defining plan contains
+/// `candidate` — i.e. the candidate's result is derivable from the view's
+/// result by a compensation plan.
+///
+/// Implementations must be *sound*: a returned proof is a promise that
+/// [`build_compensation`] applied to the view's rows yields byte-identical
+/// results to evaluating the candidate directly. They should refuse
+/// (`Err`) whenever soundness cannot be certified; refusing a provable
+/// containment costs only a missed reuse, while accepting an unprovable one
+/// corrupts results.
+pub trait ContainmentProver: std::fmt::Debug + Send + Sync {
+    fn prove(
+        &self,
+        view: &Arc<LogicalPlan>,
+        candidate: &Arc<LogicalPlan>,
+    ) -> Result<ContainmentProof, ContainmentRefusal>;
+}
+
+/// Stack a proof's compensation operators on top of a `ViewScan` (or any
+/// stand-in base plan). Deterministic: the same proof and base always
+/// produce a structurally identical plan, which is what lets the analyzer
+/// re-derive and `PartialEq`-compare the compensated subtree during
+/// verification.
+pub fn build_compensation(proof: &ContainmentProof, base: Arc<LogicalPlan>) -> Arc<LogicalPlan> {
+    let mut plan = base;
+    if let Some(pred) = &proof.residual_filter {
+        plan = Arc::new(LogicalPlan::Filter { predicate: pred.clone(), input: plan });
+    }
+    if let Some(rollup) = &proof.rollup {
+        plan = Arc::new(LogicalPlan::Aggregate {
+            group_by: rollup.group_by.clone(),
+            aggs: rollup.aggs.clone(),
+            input: plan,
+        });
+    }
+    if let Some(exprs) = &proof.reproject {
+        plan = Arc::new(LogicalPlan::Project { exprs: exprs.clone(), input: plan });
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit, AggFunc};
+    use cv_common::ids::VersionGuid;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::value::DataType;
+
+    fn base() -> Arc<LogicalPlan> {
+        Arc::new(LogicalPlan::Scan {
+            dataset: "t".into(),
+            guid: VersionGuid(1),
+            schema: Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("cnt", DataType::Int),
+            ])
+            .unwrap()
+            .into_ref(),
+        })
+    }
+
+    #[test]
+    fn empty_proof_is_identity() {
+        let b = base();
+        let plan = build_compensation(&ContainmentProof::default(), b.clone());
+        assert_eq!(plan, b);
+    }
+
+    #[test]
+    fn compensation_stacks_filter_rollup_project() {
+        let proof = ContainmentProof {
+            residual_filter: Some(col("k").gt(lit(5))),
+            rollup: Some(RollupSpec {
+                group_by: vec![(col("k"), "k".to_string())],
+                aggs: vec![AggExpr::new(AggFunc::Sum, col("cnt"), "cnt")],
+            }),
+            reproject: Some(vec![(col("cnt"), "n".to_string())]),
+            rules: vec!["predicate-implication", "group-by-rollup", "projection-subsumption"],
+        };
+        let plan = build_compensation(&proof, base());
+        let LogicalPlan::Project { input: agg, .. } = &*plan else {
+            panic!("outermost should be Project, got {plan:?}");
+        };
+        let LogicalPlan::Aggregate { input: filt, .. } = &**agg else {
+            panic!("middle should be Aggregate, got {agg:?}");
+        };
+        assert!(matches!(&**filt, LogicalPlan::Filter { .. }));
+        assert_eq!(plan.schema().unwrap().names(), vec!["n"]);
+    }
+}

@@ -23,6 +23,7 @@
 //! * [`engine`] — the `QueryEngine` facade tying catalog, view store and
 //!   optimizer together.
 
+pub mod containment;
 pub mod cost;
 pub mod engine;
 pub mod exec;
@@ -38,10 +39,15 @@ pub mod stats;
 pub mod udo;
 pub mod verify;
 
+pub use containment::{
+    build_compensation, ContainmentProof, ContainmentProver, ContainmentRefusal, RollupSpec,
+};
 pub use engine::{CompiledJob, JobOutcome, QueryEngine};
 pub use expr::{col, lit, param, AggExpr, AggFunc, BinOp, FuncKind, ScalarExpr, UnOp};
 pub use obs::{NoopSink, ObsSink};
-pub use optimizer::{OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext, ViewMeta};
+pub use optimizer::{
+    OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext, SemanticGrant, ViewMeta,
+};
 pub use plan::{JoinKind, LogicalPlan, PlanBuilder};
 pub use signature::{
     enumerate_subexpressions, plan_signature, SigMode, SignatureConfig, SubexprInfo,

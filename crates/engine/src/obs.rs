@@ -40,6 +40,25 @@ pub trait ObsSink: fmt::Debug + Send + Sync {
     fn view_build_inserted(&self, sig: Sig128) {
         let _ = sig;
     }
+
+    /// Semantic view-match cascade: a template-compatible view was found
+    /// for a subexpression that missed exact matching, and the containment
+    /// prover is about to run.
+    fn semantic_considered(&self, sig: Sig128) {
+        let _ = sig;
+    }
+
+    /// Semantic view-match cascade: containment was proven and the
+    /// compensated substitution was accepted.
+    fn semantic_proven(&self, sig: Sig128) {
+        let _ = sig;
+    }
+
+    /// Semantic view-match cascade: the prover refused with the given
+    /// diagnostic code (CV06x) and the candidate was vetoed.
+    fn semantic_vetoed(&self, sig: Sig128, code: &'static str) {
+        let _ = (sig, code);
+    }
 }
 
 /// A sink that ignores everything — for tests that need a concrete no-op.

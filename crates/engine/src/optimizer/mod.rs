@@ -6,6 +6,14 @@
 //!   a live materialized view, cost the `ViewScan` alternative against
 //!   recomputing the subtree and keep the cheaper plan. Matching is a hash
 //!   lookup — no containment reasoning (§2.4 "lightweight view matching").
+//! * **Semantic widening (GEqO-style cascade)**: on an exact-signature miss,
+//!   fall back to a *template signature* lookup (operator parameters
+//!   abstracted, children pinned) and ask the installed
+//!   [`ContainmentProver`] — the cv-analyzer — to certify that the view's
+//!   defining plan contains the candidate. On a proof, substitute the
+//!   `ViewScan` plus a synthesized **compensation plan** (residual filter /
+//!   rollup / projection); on a refusal, veto and recurse. Cost-gated like
+//!   exact matches, and re-verified end-to-end by `PlanVerifier`.
 //! * **Follow-up optimization / build view**: walk bottom-up; for each
 //!   subexpression whose signature the workload analysis selected for
 //!   materialization, acquire the view-creation lock from the insights
@@ -13,11 +21,14 @@
 //! * **Physical planning**: pick join algorithms and partition counts from
 //!   the (possibly view-corrected) statistics.
 
+use crate::containment::{build_compensation, ContainmentProver};
 use crate::cost::{Cost, CostModel};
 use crate::normalize::normalize;
 use crate::physical::{JoinAlgo, PhysicalPlan};
 use crate::plan::LogicalPlan;
-use crate::signature::{plan_sig_pair, plan_signature, SigMode, SignatureConfig};
+use crate::signature::{
+    plan_sig_pair, plan_signature, template_signature, SigMode, SignatureConfig,
+};
 use crate::stats::{estimate, ScanStats, Statistics};
 use crate::verify::PlanVerifier;
 use cv_common::hash::Sig128;
@@ -33,12 +44,31 @@ pub struct ViewMeta {
     pub bytes: u64,
 }
 
+/// A semantic-match candidate: a live view whose *template* signature
+/// matches some subexpression of the job even though its strict signature
+/// does not. Carries the view's defining plan so the containment prover can
+/// compare operator parameters, and so the `ViewScan` fallback can recompute
+/// the *view's* rows (not the candidate's) on a read failure.
+#[derive(Clone, Debug)]
+pub struct SemanticGrant {
+    /// The view's defining logical plan (normalized, as sealed).
+    pub plan: Arc<LogicalPlan>,
+    pub meta: ViewMeta,
+    /// Template signature of the view's defining plan.
+    pub template: Sig128,
+}
+
 /// The reuse-relevant annotations for one job: which strict signatures have
-/// live views, and which the selection pipeline wants materialized.
+/// live views, which the selection pipeline wants materialized, and which
+/// views are offered for *semantic* (containment-certified) matching.
 #[derive(Clone, Debug, Default)]
 pub struct ReuseContext {
     pub available: HashMap<Sig128, ViewMeta>,
     pub to_build: HashSet<Sig128>,
+    /// Keyed by the view's strict signature. Populated by the insights
+    /// service for views that template-match a subexpression of this job
+    /// without being exactly available for it.
+    pub semantic: HashMap<Sig128, SemanticGrant>,
 }
 
 impl ReuseContext {
@@ -47,7 +77,7 @@ impl ReuseContext {
     }
 
     pub fn is_empty(&self) -> bool {
-        self.available.is_empty() && self.to_build.is_empty()
+        self.available.is_empty() && self.to_build.is_empty() && self.semantic.is_empty()
     }
 }
 
@@ -75,6 +105,12 @@ pub struct OptimizerConfig {
     /// Master switches — part of the paper's multi-level controls (§4).
     pub enable_view_match: bool,
     pub enable_view_build: bool,
+    /// Widen view matching beyond exact signatures: template-signature
+    /// candidate discovery + containment-certified compensation plans.
+    /// No-op unless a [`ContainmentProver`] is installed and the reuse
+    /// context carries semantic grants, so turning it on without the rest
+    /// of the cascade changes nothing.
+    pub enable_semantic_match: bool,
     /// User-facing control for #views per job (paper Fig. 5 left margin).
     pub max_views_per_job: usize,
     /// Rows per stage partition; estimates above this fan out more tasks.
@@ -97,6 +133,7 @@ impl Default for OptimizerConfig {
             sig: SignatureConfig::default(),
             enable_view_match: true,
             enable_view_build: true,
+            enable_semantic_match: true,
             max_views_per_job: 4,
             rows_per_partition: 2_500.0,
             max_partitions: 256,
@@ -114,10 +151,19 @@ pub struct OptimizeOutcome {
     /// Final logical plan (normalized, views matched, materialize markers).
     pub logical: Arc<LogicalPlan>,
     pub physical: PhysicalPlan,
-    /// Strict signatures of views this plan reuses.
+    /// Strict signatures of views this plan reuses (exact and semantic).
     pub matched_views: Vec<Sig128>,
+    /// Semantic matches: `(view signature, candidate subexpression
+    /// signature)` for each containment-certified substitution. Every view
+    /// signature here also appears in `matched_views`.
+    pub compensated_views: Vec<(Sig128, Sig128)>,
     /// Strict signatures of views this plan will materialize.
     pub built_views: Vec<Sig128>,
+    /// Defining logical plans of the views being materialized, captured so
+    /// the insights service can later offer them for semantic matching.
+    /// Only *pure* plans (no nested `ViewScan`/`Materialize`) are captured —
+    /// a compensation fallback must be recomputable standalone.
+    pub built_plans: Vec<(Sig128, Arc<LogicalPlan>)>,
     pub est_cost: Cost,
 }
 
@@ -131,11 +177,15 @@ pub struct Optimizer {
     /// Observability sink for view-match / view-build decisions; no-op when
     /// absent. Installed like the verifier, by the embedding application.
     pub obs: Option<Arc<dyn crate::obs::ObsSink>>,
+    /// Containment prover certifying semantic view matches (see
+    /// `cv-analyzer`). Semantic matching is disabled while absent — the
+    /// optimizer never substitutes a compensation plan it cannot certify.
+    pub prover: Option<Arc<dyn ContainmentProver>>,
 }
 
 impl Optimizer {
     pub fn new(cfg: OptimizerConfig) -> Optimizer {
-        Optimizer { cfg, verifier: None, obs: None }
+        Optimizer { cfg, verifier: None, obs: None, prover: None }
     }
 
     pub fn set_verifier(&mut self, verifier: Arc<dyn PlanVerifier>) {
@@ -144,6 +194,10 @@ impl Optimizer {
 
     pub fn set_obs(&mut self, obs: Arc<dyn crate::obs::ObsSink>) {
         self.obs = Some(obs);
+    }
+
+    pub fn set_prover(&mut self, prover: Arc<dyn ContainmentProver>) {
+        self.prover = Some(prover);
     }
 
     fn active_verifier(&self) -> Option<&dyn PlanVerifier> {
@@ -165,16 +219,27 @@ impl Optimizer {
         let normalized = normalize(plan, &self.cfg.sig)?;
 
         let mut matched = Vec::new();
+        let mut compensated = Vec::new();
         let mut replaced = HashMap::new();
-        let with_views = if self.cfg.enable_view_match && !reuse.available.is_empty() {
-            self.match_views(&normalized, reuse, scan_stats, &mut matched, &mut replaced)?
+        let matchable =
+            !reuse.available.is_empty() || (self.semantic_active() && !reuse.semantic.is_empty());
+        let with_views = if self.cfg.enable_view_match && matchable {
+            self.match_views(
+                &normalized,
+                reuse,
+                scan_stats,
+                &mut matched,
+                &mut compensated,
+                &mut replaced,
+            )?
         } else {
             normalized.clone()
         };
 
         let mut built = Vec::new();
+        let mut built_plans = Vec::new();
         let final_logical = if self.cfg.enable_view_build && !reuse.to_build.is_empty() {
-            self.insert_builds(&with_views, reuse, coordinator, &mut built)?
+            self.insert_builds(&with_views, reuse, coordinator, &mut built, &mut built_plans)?
         } else {
             with_views
         };
@@ -196,19 +261,28 @@ impl Optimizer {
             logical: final_logical,
             physical,
             matched_views: matched,
+            compensated_views: compensated,
             built_views: built,
+            built_plans,
             est_cost,
         })
     }
 
+    fn semantic_active(&self) -> bool {
+        self.cfg.enable_semantic_match && self.prover.is_some()
+    }
+
     /// Top-down matching: try the largest subexpressions first; on a match
-    /// the subtree is replaced and not descended into.
+    /// the subtree is replaced and not descended into. Exact signature
+    /// lookups run first (cheap hash probe); on a miss, the semantic cascade
+    /// widens the search via template signatures and the containment prover.
     fn match_views(
         &self,
         node: &Arc<LogicalPlan>,
         reuse: &ReuseContext,
         scan_stats: ScanStats<'_>,
         matched: &mut Vec<Sig128>,
+        compensated: &mut Vec<(Sig128, Sig128)>,
         replaced: &mut HashMap<Sig128, Arc<LogicalPlan>>,
     ) -> Result<Arc<LogicalPlan>> {
         let replaceable = !matches!(
@@ -238,6 +312,16 @@ impl Optimizer {
                             bytes: meta.bytes,
                         }));
                     }
+                } else if let Some(sub) = self.match_semantic(
+                    node,
+                    sig,
+                    reuse,
+                    scan_stats,
+                    matched,
+                    compensated,
+                    replaced,
+                )? {
+                    return Ok(sub);
                 }
             }
         }
@@ -245,9 +329,80 @@ impl Optimizer {
         let new_children: Result<Vec<Arc<LogicalPlan>>> = node
             .children()
             .into_iter()
-            .map(|c| self.match_views(c, reuse, scan_stats, matched, replaced))
+            .map(|c| self.match_views(c, reuse, scan_stats, matched, compensated, replaced))
             .collect();
         Ok(Arc::new(node.with_children(new_children?)?))
+    }
+
+    /// Semantic step of the match cascade: find views whose template
+    /// signature equals this node's, ask the prover to certify containment,
+    /// and substitute the cheapest certified compensation plan. Candidates
+    /// are visited in view-signature order so the result is deterministic
+    /// regardless of `HashMap` iteration order.
+    #[allow(clippy::too_many_arguments)]
+    fn match_semantic(
+        &self,
+        node: &Arc<LogicalPlan>,
+        node_sig: Sig128,
+        reuse: &ReuseContext,
+        scan_stats: ScanStats<'_>,
+        matched: &mut Vec<Sig128>,
+        compensated: &mut Vec<(Sig128, Sig128)>,
+        replaced: &mut HashMap<Sig128, Arc<LogicalPlan>>,
+    ) -> Result<Option<Arc<LogicalPlan>>> {
+        if !self.semantic_active() || reuse.semantic.is_empty() {
+            return Ok(None);
+        }
+        let Some(prover) = self.prover.as_deref() else {
+            return Ok(None);
+        };
+        let Some(template) = template_signature(node, &self.cfg.sig) else {
+            return Ok(None);
+        };
+        let mut grants: Vec<(&Sig128, &SemanticGrant)> = reuse
+            .semantic
+            .iter()
+            .filter(|(view_sig, g)| g.template == template && **view_sig != node_sig)
+            .collect();
+        grants.sort_by_key(|(view_sig, _)| **view_sig);
+        for (&view_sig, grant) in grants {
+            if let Some(obs) = &self.obs {
+                obs.semantic_considered(view_sig);
+            }
+            let proof = match prover.prove(&grant.plan, node) {
+                Ok(proof) => proof,
+                Err(refusal) => {
+                    if let Some(obs) = &self.obs {
+                        obs.semantic_vetoed(view_sig, refusal.code);
+                    }
+                    continue;
+                }
+            };
+            let view_scan = Arc::new(LogicalPlan::ViewScan {
+                sig: view_sig,
+                schema: grant.plan.schema()?,
+                rows: grant.meta.rows,
+                bytes: grant.meta.bytes,
+            });
+            let substitute = build_compensation(&proof, view_scan);
+            // Cost gate, like exact matching: the compensated plan (view
+            // scan + residual operators) must beat recomputing the subtree.
+            let recompute = self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
+            let reuse_cost =
+                self.lower(&substitute, scan_stats)?.total_cost(&self.cfg.cost).total();
+            if reuse_cost < recompute {
+                if let Some(obs) = &self.obs {
+                    obs.semantic_proven(view_sig);
+                }
+                matched.push(view_sig);
+                compensated.push((view_sig, node_sig));
+                // The run-time fallback recomputes the *view's* rows (the
+                // compensation operators above the ViewScan still apply).
+                replaced.entry(view_sig).or_insert_with(|| grant.plan.clone());
+                return Ok(Some(substitute));
+            }
+        }
+        Ok(None)
     }
 
     /// Lower each matched view's original subexpression and hang it off the
@@ -280,11 +435,12 @@ impl Optimizer {
         reuse: &ReuseContext,
         coordinator: &mut dyn BuildCoordinator,
         built: &mut Vec<Sig128>,
+        built_plans: &mut Vec<(Sig128, Arc<LogicalPlan>)>,
     ) -> Result<Arc<LogicalPlan>> {
         let new_children: Result<Vec<Arc<LogicalPlan>>> = node
             .children()
             .into_iter()
-            .map(|c| self.insert_builds(c, reuse, coordinator, built))
+            .map(|c| self.insert_builds(c, reuse, coordinator, built, built_plans))
             .collect();
         let rebuilt = Arc::new(node.with_children(new_children?)?);
 
@@ -305,6 +461,13 @@ impl Optimizer {
                         obs.view_build_inserted(sig);
                     }
                     built.push(sig);
+                    if plan_is_pure(&rebuilt) {
+                        // Capture the defining plan for future semantic
+                        // grants. Plans that themselves contain ViewScans
+                        // or nested Materialize markers are skipped: a
+                        // semantic fallback must recompute standalone.
+                        built_plans.push((sig, rebuilt.clone()));
+                    }
                     return Ok(Arc::new(LogicalPlan::Materialize { sig, input: rebuilt }));
                 }
             }
@@ -433,6 +596,13 @@ impl Optimizer {
             }
         })
     }
+}
+
+/// True when a plan contains no `ViewScan` or `Materialize` node — i.e. it
+/// can be recomputed standalone, without depending on other views.
+fn plan_is_pure(plan: &Arc<LogicalPlan>) -> bool {
+    !matches!(&**plan, LogicalPlan::ViewScan { .. } | LogicalPlan::Materialize { .. })
+        && plan.children().into_iter().all(plan_is_pure)
 }
 
 #[cfg(test)]
@@ -647,6 +817,164 @@ mod tests {
         // Matched, and NOT rebuilt (it's already materialized).
         assert_eq!(out.matched_views, vec![sig]);
         assert!(out.built_views.is_empty());
+    }
+
+    /// Prover stub for engine-level plumbing tests: the real rules live in
+    /// cv-analyzer. Proves any Filter-over-Filter pair with the candidate's
+    /// own predicate as residual (sound when the view's predicate is
+    /// implied), refuses everything else.
+    #[derive(Debug)]
+    struct FilterResidualProver;
+
+    impl crate::containment::ContainmentProver for FilterResidualProver {
+        fn prove(
+            &self,
+            view: &Arc<LogicalPlan>,
+            candidate: &Arc<LogicalPlan>,
+        ) -> std::result::Result<
+            crate::containment::ContainmentProof,
+            crate::containment::ContainmentRefusal,
+        > {
+            match (&**view, &**candidate) {
+                (LogicalPlan::Filter { .. }, LogicalPlan::Filter { predicate, .. }) => {
+                    Ok(crate::containment::ContainmentProof {
+                        residual_filter: Some(predicate.clone()),
+                        rules: vec!["predicate-implication"],
+                        ..Default::default()
+                    })
+                }
+                _ => Err(crate::containment::ContainmentRefusal {
+                    code: "CV061",
+                    rule: "predicate-implication",
+                    reason: "stub refuses non-filter pairs".into(),
+                }),
+            }
+        }
+    }
+
+    /// Semantic-match fixture: a view over `customer` filtered to one
+    /// segment, and a candidate query filtering to another — same template,
+    /// different strict signatures.
+    fn semantic_fixture(opt: &Optimizer) -> (Sig128, ReuseContext, Arc<LogicalPlan>) {
+        let view_plan = normalize(
+            &Arc::new(LogicalPlan::Filter {
+                predicate: col("seg").eq(lit("asia")),
+                input: customer(),
+            }),
+            &opt.cfg.sig,
+        )
+        .unwrap();
+        let view_sig = plan_signature(&view_plan, &opt.cfg.sig, SigMode::Strict).unwrap();
+        let template = template_signature(&view_plan, &opt.cfg.sig).unwrap();
+        let mut reuse = ReuseContext::empty();
+        reuse.semantic.insert(
+            view_sig,
+            SemanticGrant {
+                plan: view_plan,
+                meta: ViewMeta { rows: 3_000, bytes: 120_000 },
+                template,
+            },
+        );
+        let candidate = Arc::new(LogicalPlan::Filter {
+            predicate: col("seg").eq(lit("emea")),
+            input: customer(),
+        });
+        (view_sig, reuse, candidate)
+    }
+
+    #[test]
+    fn semantic_match_substitutes_compensation() {
+        let mut opt = optimizer();
+        opt.set_prover(Arc::new(FilterResidualProver));
+        let (view_sig, reuse, candidate) = semantic_fixture(&opt);
+        let normalized = normalize(&candidate, &opt.cfg.sig).unwrap();
+        let cand_sig = plan_signature(&normalized, &opt.cfg.sig, SigMode::Strict).unwrap();
+
+        let out = opt.optimize(&candidate, &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.matched_views, vec![view_sig]);
+        assert_eq!(out.compensated_views, vec![(view_sig, cand_sig)]);
+        // The compensation is a residual Filter over the ViewScan.
+        let LogicalPlan::Filter { input, .. } = &*out.logical else {
+            panic!("expected residual filter, got {:?}", out.logical);
+        };
+        assert!(matches!(&**input, LogicalPlan::ViewScan { sig, .. } if *sig == view_sig));
+        // The fallback recomputes the *view's* plan under the residual.
+        let tree = out.physical.display_tree();
+        assert!(tree.contains("ViewScan"), "physical plan:\n{tree}");
+    }
+
+    #[test]
+    fn semantic_match_requires_switch_and_prover() {
+        // Prover installed but switch off → no substitution.
+        let mut cfg = OptimizerConfig::default();
+        cfg.enable_semantic_match = false;
+        let mut opt = Optimizer::new(cfg);
+        opt.set_prover(Arc::new(FilterResidualProver));
+        let (_, reuse, candidate) = semantic_fixture(&opt);
+        let out = opt.optimize(&candidate, &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(out.compensated_views.is_empty());
+
+        // Switch on but no prover installed → no substitution either.
+        let opt2 = optimizer();
+        let (_, reuse2, candidate2) = semantic_fixture(&opt2);
+        let out2 = opt2.optimize(&candidate2, &reuse2, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out2.matched_views.is_empty());
+        assert!(!out2.logical.uses_views());
+    }
+
+    #[test]
+    fn semantic_match_respects_prover_veto() {
+        #[derive(Debug)]
+        struct RefuseAll;
+        impl crate::containment::ContainmentProver for RefuseAll {
+            fn prove(
+                &self,
+                _view: &Arc<LogicalPlan>,
+                _candidate: &Arc<LogicalPlan>,
+            ) -> std::result::Result<
+                crate::containment::ContainmentProof,
+                crate::containment::ContainmentRefusal,
+            > {
+                Err(crate::containment::ContainmentRefusal {
+                    code: "CV061",
+                    rule: "predicate-implication",
+                    reason: "always refuse".into(),
+                })
+            }
+        }
+        let mut opt = optimizer();
+        opt.set_prover(Arc::new(RefuseAll));
+        let (_, reuse, candidate) = semantic_fixture(&opt);
+        let out = opt.optimize(&candidate, &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(!out.logical.uses_views());
+    }
+
+    #[test]
+    fn semantic_match_is_cost_gated() {
+        let mut opt = optimizer();
+        opt.set_prover(Arc::new(FilterResidualProver));
+        let (view_sig, mut reuse, candidate) = semantic_fixture(&opt);
+        reuse.semantic.get_mut(&view_sig).unwrap().meta =
+            ViewMeta { rows: 1 << 30, bytes: 1 << 62 };
+        let out = opt.optimize(&candidate, &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert!(out.matched_views.is_empty());
+        assert!(!out.logical.uses_views());
+    }
+
+    #[test]
+    fn build_captures_pure_defining_plan() {
+        let opt = optimizer();
+        let sig = shared_sig(&opt);
+        let mut reuse = ReuseContext::empty();
+        reuse.to_build.insert(sig);
+        let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
+        assert_eq!(out.built_plans.len(), 1);
+        let (plan_sig, plan) = &out.built_plans[0];
+        assert_eq!(*plan_sig, sig);
+        assert_eq!(plan_signature(plan, &opt.cfg.sig, SigMode::Strict), Some(sig));
+        assert!(super::plan_is_pure(plan));
     }
 
     #[test]

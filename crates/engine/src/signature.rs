@@ -64,6 +64,10 @@ pub struct SubexprInfo {
     pub plan: Arc<LogicalPlan>,
     pub strict: Sig128,
     pub recurring: Sig128,
+    /// Template signature (see [`template_signature`]): the node's own
+    /// operator parameters abstracted away, children pinned by strict
+    /// signature. Candidate-discovery key for semantic view matching.
+    pub template: Sig128,
     /// Height of the subtree (leaf scan = 1).
     pub height: usize,
     pub node_count: usize,
@@ -102,6 +106,7 @@ pub fn enumerate_subexpressions(
             plan: node.clone(),
             strict: pair.strict,
             recurring: pair.recurring,
+            template: template_signature(node, cfg).unwrap_or(pair.strict),
             height,
             node_count: node.node_count(),
             is_root: std::ptr::eq(Arc::as_ptr(node), root_ptr),
@@ -266,6 +271,36 @@ fn node_sig(plan: &LogicalPlan, cfg: &SignatureConfig, children: &[SigPair]) -> 
         }
     }
     Some(SigPair { strict: strict.finish128(), recurring: recurring.finish128() })
+}
+
+/// The **template signature**: a one-level relaxation of the strict
+/// signature used for semantic view-match candidate discovery (the
+/// cheap-to-expensive cascade of GEqO — filter by template, then prove
+/// containment, then verify). For `Filter`/`Project`/`Aggregate` nodes the
+/// node's own operator parameters (predicate, projection list, group
+/// keys/aggregates) are abstracted away; the children stay pinned by their
+/// *strict* signatures, so two plans sharing a template compute over
+/// byte-identical inputs and differ only in the one operator the
+/// containment prover reasons about. Every other node kind templates to
+/// its strict signature (no relaxation). `None` iff the node is
+/// unsignable — unsignable subexpressions are never reused, semantically
+/// or otherwise.
+pub fn template_signature(plan: &Arc<LogicalPlan>, cfg: &SignatureConfig) -> Option<Sig128> {
+    // The node itself must be signable (determinism policy, §4) before any
+    // relaxation is allowed.
+    plan_signature(plan, cfg, SigMode::Strict)?;
+    let tag = match &**plan {
+        LogicalPlan::Filter { .. } => 1u8,
+        LogicalPlan::Project { .. } => 2,
+        LogicalPlan::Aggregate { .. } => 4,
+        _ => return plan_signature(plan, cfg, SigMode::Strict),
+    };
+    let mut h = StableHasher::with_domain(&format!("plan-template:{}", cfg.runtime_version));
+    h.write_u8(tag);
+    for c in plan.children() {
+        h.write_sig(plan_signature(c, cfg, SigMode::Strict)?);
+    }
+    Some(h.finish128())
 }
 
 /// A deterministic ordering key for plans, used by the normalizer to order
@@ -464,6 +499,55 @@ mod tests {
             bytes: 1,
         });
         assert_eq!(plan_signature(&vs, &cfg(), SigMode::Strict), Some(sig));
+    }
+
+    #[test]
+    fn template_abstracts_operator_params_only() {
+        // Different predicates over the same scan → same template,
+        // different strict signatures.
+        let a = filter(scan("sales", 1), col("seg").eq(lit("asia")));
+        let b = filter(scan("sales", 1), col("seg").eq(lit("asia")).and(col("k").gt(lit(5))));
+        assert_eq!(template_signature(&a, &cfg()), template_signature(&b, &cfg()));
+        assert_ne!(
+            plan_signature(&a, &cfg(), SigMode::Strict),
+            plan_signature(&b, &cfg(), SigMode::Strict)
+        );
+        // Different input version → different template (children stay
+        // pinned by strict signature).
+        let c = filter(scan("sales", 2), col("seg").eq(lit("asia")));
+        assert_ne!(template_signature(&a, &cfg()), template_signature(&c, &cfg()));
+        // Different node kind over the same input → different template.
+        let agg = Arc::new(LogicalPlan::Aggregate {
+            group_by: vec![(col("seg"), "seg".to_string())],
+            aggs: vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+            input: scan("sales", 1),
+        });
+        assert_ne!(template_signature(&a, &cfg()), template_signature(&agg, &cfg()));
+        // Non-relaxable kinds template to their strict signature.
+        let lim = Arc::new(LogicalPlan::Limit { n: 5, input: scan("sales", 1) });
+        assert_eq!(template_signature(&lim, &cfg()), plan_signature(&lim, &cfg(), SigMode::Strict));
+        // Unsignable nodes have no template.
+        let nd = ScalarExpr::Func { func: FuncKind::RandomNext, args: vec![] };
+        let un = filter(scan("sales", 1), col("k").gt(nd));
+        assert_eq!(template_signature(&un, &cfg()), None);
+    }
+
+    #[test]
+    fn viewscan_is_template_transparent() {
+        // A ViewScan standing in for a subexpression templates like the
+        // subexpression itself, so view plans whose inputs were themselves
+        // replaced by views still discover candidates.
+        let base = scan("sales", 1);
+        let base_sig = plan_signature(&base, &cfg(), SigMode::Strict).unwrap();
+        let vs = Arc::new(LogicalPlan::ViewScan {
+            sig: base_sig,
+            schema: base.schema().unwrap(),
+            rows: 1,
+            bytes: 1,
+        });
+        let direct = filter(base, col("seg").eq(lit("asia")));
+        let via_view = filter(vs, col("seg").eq(lit("emea")));
+        assert_eq!(template_signature(&direct, &cfg()), template_signature(&via_view, &cfg()));
     }
 
     #[test]

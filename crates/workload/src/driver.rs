@@ -155,6 +155,8 @@ impl DriverOutcome {
             "input_bytes": totals.input_bytes,
             "views_built": totals.views_built,
             "views_reused": totals.views_reused,
+            "views_reused_exact": totals.views_reused - totals.views_reused_semantic,
+            "views_reused_semantic": totals.views_reused_semantic,
             "robustness": self.robustness.to_json(),
         })
     }
@@ -164,18 +166,24 @@ struct PendingSeal {
     view: PendingView,
     job: JobId,
     vc: VcId,
+    /// The view's defining (normalized, view-free) logical plan, captured
+    /// at build time so the sealed view can be served for semantic
+    /// matching, not just exact-signature lookup.
+    plan: Option<std::sync::Arc<cv_engine::plan::LogicalPlan>>,
 }
 
 /// Run a workload under the given configuration.
 pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOutcome> {
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    let analyzer = std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer));
+    // The analyzer is always the containment prover: semantic (widened)
+    // view matches only happen when it certifies them.
+    engine.optimizer.set_prover(analyzer.clone());
     if cfg.optimizer.verify_plans {
         // Audit every optimized plan; a corrupted rewrite fails the job
         // with a CV0xx diagnostic instead of sealing bad results.
-        engine
-            .optimizer
-            .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
+        engine.optimizer.set_verifier(analyzer);
     }
     engine.views = ViewStore::new(cfg.view_ttl);
     engine.views.set_fault_plan(cfg.faults.clone());
@@ -299,9 +307,11 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                     robustness.view_corruptions += one.view_corruptions;
                     robustness.view_expiry_races += one.view_expiry_races;
                     data_plane.insert(job, one.data_plane);
+                    let mut built_plans: HashMap<_, _> = one.built_plans.into_iter().collect();
                     for pv in one.pending_views {
+                        let plan = built_plans.remove(&pv.sig);
                         pending_seals
-                            .insert(pv.sig, PendingSeal { view: pv, job, vc: template.vc });
+                            .insert(pv.sig, PendingSeal { view: pv, job, vc: template.vc, plan });
                     }
                     sim.submit(JobSpec {
                         job,
@@ -371,6 +381,7 @@ struct OneJob {
     subexprs: Vec<cv_engine::signature::SubexprInfo>,
     profiles: Vec<cv_engine::exec::OpProfile>,
     pending_views: Vec<PendingView>,
+    built_plans: Vec<(Sig128, std::sync::Arc<cv_engine::plan::LogicalPlan>)>,
     stages: cv_cluster::stage::StageGraph,
     data_plane: DataPlane,
     digest: Sig128,
@@ -434,6 +445,7 @@ fn run_one_job(
     let data_plane = DataPlane::from_exec(
         &exec.metrics,
         compiled.outcome.matched_views.len(),
+        compiled.outcome.compensated_views.len(),
         compiled.outcome.built_views.len(),
     );
     let digest = digest_table(&exec.table);
@@ -442,6 +454,7 @@ fn run_one_job(
         subexprs,
         profiles: exec.metrics.op_profiles.clone(),
         pending_views: exec.pending_views,
+        built_plans: compiled.outcome.built_plans,
         stages,
         data_plane,
         digest,
@@ -491,6 +504,9 @@ fn apply_seal_events(
                 insights.release_lock(seal.view.sig);
                 continue;
             }
+            let template = seal.plan.as_ref().and_then(|p| {
+                cv_engine::signature::template_signature(p, &engine.optimizer.cfg.sig)
+            });
             insights.report_sealed(
                 ViewInfo {
                     strict: seal.view.sig,
@@ -500,6 +516,8 @@ fn apply_seal_events(
                     sealed_at: *at,
                     expires: *at + ttl,
                     vc: seal.vc,
+                    template,
+                    plan: seal.plan.clone(),
                 },
                 seal.job,
             );
@@ -667,6 +685,34 @@ mod tests {
             base_total.processing_seconds
         );
         assert!(on_total.input_bytes < base_total.input_bytes);
+    }
+
+    #[test]
+    fn semantic_compensation_fires_and_preserves_results() {
+        let w = generate_workload(WorkloadConfig {
+            scale: 0.05,
+            n_analytics: 24,
+            ..WorkloadConfig::default()
+        });
+        let mut cfg = DriverConfig::enabled(4);
+        cfg.cluster = quick_cluster();
+        let on = run_workload(&w, &cfg).unwrap();
+        assert_eq!(on.failed_jobs, 0);
+        let totals = on.ledger.totals();
+        assert!(
+            totals.views_reused_semantic > 0,
+            "no compensated (semantic) hits in {} total reuses",
+            totals.views_reused
+        );
+        assert!(totals.views_reused_semantic <= totals.views_reused);
+
+        // Switching the widened path off must only change *how much* is
+        // reused — never any job's result bytes.
+        let mut off_cfg = cfg.clone();
+        off_cfg.optimizer.enable_semantic_match = false;
+        let off = run_workload(&w, &off_cfg).unwrap();
+        assert_eq!(off.ledger.totals().views_reused_semantic, 0);
+        assert_eq!(on.result_digests, off.result_digests);
     }
 
     #[test]

@@ -57,7 +57,7 @@ use cv_data::value::Value;
 use cv_data::viewstore::{MaterializedView, ViewStoreStats};
 use cv_engine::engine::QueryEngine;
 use cv_engine::exec::{ExecOutcome, PendingView};
-use cv_engine::optimizer::{AlwaysGrant, ReuseContext, ViewMeta};
+use cv_engine::optimizer::{AlwaysGrant, ReuseContext, SemanticGrant, ViewMeta};
 use cv_engine::physical::PhysicalPlan;
 use cv_engine::signature::SubexprInfo;
 use cv_service::{
@@ -204,6 +204,8 @@ impl ServiceOutcome {
             "input_bytes": totals.input_bytes,
             "views_built": totals.views_built,
             "views_reused": totals.views_reused,
+            "views_reused_exact": totals.views_reused - totals.views_reused_semantic,
+            "views_reused_semantic": totals.views_reused_semantic,
             "robustness": self.robustness.to_json(),
             "service": self.service.to_json(),
         })
@@ -215,7 +217,13 @@ struct CompiledTask {
     meta: JobMeta,
     use_cv: bool,
     matched: Vec<Sig128>,
+    /// Of `matched`, views served through a certified semantic
+    /// (compensated) substitution.
+    compensated: usize,
     built: Vec<Sig128>,
+    /// Defining plans of the views this job builds, for semantic serving
+    /// after the seal.
+    built_plans: Vec<(Sig128, std::sync::Arc<cv_engine::plan::LogicalPlan>)>,
     subexprs: Vec<SubexprInfo>,
     output_dataset: Option<String>,
 }
@@ -248,6 +256,18 @@ struct TaskDone {
     seals: Vec<SealReport>,
 }
 
+/// A view claimed (or sealed) earlier today, advertised by template
+/// signature for the widened semantic match. The day-end insights announce
+/// is useless for same-day reuse — by the time it lands, the cooked
+/// datasets have rotated — so the epoch index is what lets a later job's
+/// containment prover see views built minutes earlier by a concurrent job.
+struct EpochView {
+    strict: Sig128,
+    plan: std::sync::Arc<cv_engine::plan::LogicalPlan>,
+    rows: u64,
+    bytes: u64,
+}
+
 /// A view sealed during the day, queued for the day-end insights announce.
 struct DaySeal {
     sig: Sig128,
@@ -257,6 +277,8 @@ struct DaySeal {
     job: JobId,
     vc: cv_common::ids::VcId,
     at: SimTime,
+    template: Option<Sig128>,
+    plan: Option<std::sync::Arc<cv_engine::plan::LogicalPlan>>,
 }
 
 /// Run a workload through the concurrent service.
@@ -286,10 +308,12 @@ pub fn run_workload_service_obs(
 ) -> Result<ServiceOutcome> {
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    let analyzer = std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer));
+    // Always the containment prover: semantic view matches only happen
+    // when the analyzer certifies them.
+    engine.optimizer.set_prover(analyzer.clone());
     if cfg.optimizer.verify_plans {
-        engine
-            .optimizer
-            .set_verifier(std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer)));
+        engine.optimizer.set_verifier(analyzer);
     }
     if let Some(o) = obs {
         engine.optimizer.set_obs(o.optimizer_sink.clone());
@@ -397,6 +421,8 @@ pub fn run_workload_service_obs(
         let (wave0, wave1) = due.split_at(first_consumer);
 
         let mut day_seals: Vec<DaySeal> = Vec::new();
+        // Template → views built earlier today, for the semantic cascade.
+        let mut epoch_views: HashMap<Sig128, Vec<EpochView>> = HashMap::new();
         for wave in [wave0, wave1] {
             if wave.is_empty() {
                 continue;
@@ -419,6 +445,7 @@ pub fn run_workload_service_obs(
                 failed_jobs: &mut failed_jobs,
                 robustness: &mut robustness,
                 day_seals: &mut day_seals,
+                epoch_views: &mut epoch_views,
                 specs_for_sim: &mut specs_for_sim,
                 pipelined_jobs: &mut pipelined_jobs,
                 obs,
@@ -461,6 +488,8 @@ pub fn run_workload_service_obs(
                         sealed_at: s.at,
                         expires: s.at + cfg.view_ttl,
                         vc: s.vc,
+                        template: s.template,
+                        plan: s.plan.clone(),
                     },
                     s.job,
                 );
@@ -588,6 +617,7 @@ struct WaveCtx<'a, 'w> {
     failed_jobs: &'a mut u64,
     robustness: &'a mut RobustnessStats,
     day_seals: &'a mut Vec<DaySeal>,
+    epoch_views: &'a mut HashMap<Sig128, Vec<EpochView>>,
     specs_for_sim: &'a mut Vec<JobSpec>,
     pipelined_jobs: &'a mut u64,
     obs: Option<&'a ServiceObs>,
@@ -627,6 +657,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         failed_jobs,
         robustness,
         day_seals,
+        epoch_views,
         specs_for_sim,
         pipelined_jobs,
         obs,
@@ -719,6 +750,30 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 }
             }
 
+            // Widened (semantic) serving within the epoch: views claimed or
+            // sealed earlier today whose *template* matches one of this
+            // job's subexpressions become semantic grants. The containment
+            // prover — not this index — decides admissibility; unproven
+            // grants cost nothing.
+            if use_cv {
+                for sub in &subexprs {
+                    if reuse.available.contains_key(&sub.strict) {
+                        continue;
+                    }
+                    let Some(views) = epoch_views.get(&sub.template) else { continue };
+                    for v in views {
+                        if v.strict == sub.strict || reuse.available.contains_key(&v.strict) {
+                            continue;
+                        }
+                        reuse.semantic.entry(v.strict).or_insert_with(|| SemanticGrant {
+                            plan: v.plan.clone(),
+                            meta: ViewMeta { rows: v.rows, bytes: v.bytes },
+                            template: sub.template,
+                        });
+                    }
+                }
+            }
+
             if let Some(o) = obs {
                 o.tracer.begin(track, "optimize");
             }
@@ -745,14 +800,49 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
             let built = compiled_job.outcome.built_views.clone();
             for sig in &built {
                 let promise = spool_promise(&compiled_job.outcome.physical, *sig);
-                flights.claim(*sig, job, promise);
+                if flights.claim(*sig, job, promise) {
+                    // Advertise the claim by template so later jobs today
+                    // can reach it through the containment prover.
+                    if let Some((_, plan)) =
+                        compiled_job.outcome.built_plans.iter().find(|(s, _)| s == sig)
+                    {
+                        if let Some(template) = cv_engine::signature::template_signature(
+                            plan,
+                            &engine.optimizer.cfg.sig,
+                        ) {
+                            epoch_views.entry(template).or_default().push(EpochView {
+                                strict: *sig,
+                                plan: plan.clone(),
+                                rows: promise.rows,
+                                bytes: promise.bytes,
+                            });
+                        }
+                    }
+                }
+            }
+
+            // Compensated substitutions against a still-in-flight builder
+            // pipeline exactly like exact promised reads: record the
+            // dependency so the scheduler gates execution, and the sig so
+            // the view source blocks (and falls back) correctly.
+            for (view_sig, _) in &compiled_job.outcome.compensated_views {
+                if let Some((builder, _)) = flights.promise(*view_sig) {
+                    if builder != job {
+                        promised.insert(*view_sig);
+                        if !deps.contains(&builder) {
+                            deps.push(builder);
+                        }
+                    }
+                }
             }
 
             let task = CompiledTask {
                 meta,
                 use_cv,
                 matched: compiled_job.outcome.matched_views.clone(),
+                compensated: compiled_job.outcome.compensated_views.len(),
                 built,
+                built_plans: compiled_job.outcome.built_plans.clone(),
                 subexprs,
                 output_dataset: template.output_dataset().map(str::to_string),
             };
@@ -928,8 +1018,12 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 robustness.view_corruptions += done.exec.metrics.view_corruptions;
                 robustness.view_expiry_races += done.exec.metrics.view_expiry_races;
 
-                let dp =
-                    DataPlane::from_exec(&done.exec.metrics, task.matched.len(), task.built.len());
+                let dp = DataPlane::from_exec(
+                    &done.exec.metrics,
+                    task.matched.len(),
+                    task.compensated,
+                    task.built.len(),
+                );
                 robustness.fallbacks_recompute += dp.fallbacks_recompute;
 
                 if task.use_cv && !task.matched.is_empty() {
@@ -969,15 +1063,30 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
 
                 for seal in &done.seals {
                     match seal.state {
-                        SealState::Published => day_seals.push(DaySeal {
-                            sig: seal.sig,
-                            recurring: seal.recurring,
-                            rows: seal.rows,
-                            bytes: seal.bytes,
-                            job,
-                            vc: task.meta.vc,
-                            at: task.meta.submit,
-                        }),
+                        SealState::Published => {
+                            let plan = task
+                                .built_plans
+                                .iter()
+                                .find(|(sig, _)| *sig == seal.sig)
+                                .map(|(_, p)| p.clone());
+                            let template = plan.as_ref().and_then(|p| {
+                                cv_engine::signature::template_signature(
+                                    p,
+                                    &engine.optimizer.cfg.sig,
+                                )
+                            });
+                            day_seals.push(DaySeal {
+                                sig: seal.sig,
+                                recurring: seal.recurring,
+                                rows: seal.rows,
+                                bytes: seal.bytes,
+                                job,
+                                vc: task.meta.vc,
+                                at: task.meta.submit,
+                                template,
+                                plan,
+                            })
+                        }
                         // Write fault / quarantine race / duplicate: the
                         // view was never (newly) advertised — release the
                         // creation lock so a later job can rebuild.

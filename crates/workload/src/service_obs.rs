@@ -45,9 +45,12 @@ impl ServiceObs {
         let metrics = Arc::new(Metrics::new());
         let optimizer_sink = Arc::new(OptimizerSink {
             tracer: tracer.clone(),
+            metrics: metrics.clone(),
             track: AtomicU64::new(0),
             matched: metrics.counter("optimizer.views_matched"),
             built: metrics.counter("optimizer.view_builds"),
+            semantic_considered: metrics.counter("optimizer.semantic_considered"),
+            semantic_proven: metrics.counter("optimizer.semantic_proven"),
         });
         ServiceObs { tracer, metrics, optimizer_sink }
     }
@@ -75,11 +78,15 @@ impl Default for ServiceObs {
 /// them as zero-length child spans under the current job's `optimize` span.
 pub(crate) struct OptimizerSink {
     tracer: Arc<Tracer>,
+    /// Registry handle, for the lazily-created per-veto-code counters.
+    metrics: Arc<Metrics>,
     /// Track of the job currently being compiled (compilation is
     /// sequential, so a single cell suffices).
     track: AtomicU64,
     matched: Counter,
     built: Counter,
+    semantic_considered: Counter,
+    semantic_proven: Counter,
 }
 
 impl OptimizerSink {
@@ -106,6 +113,28 @@ impl ObsSink for OptimizerSink {
         self.built.inc();
         let track = self.track.load(Ordering::Relaxed);
         self.tracer.begin(track, "view-build");
+        self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
+    }
+
+    fn semantic_considered(&self, sig: Sig128) {
+        self.semantic_considered.inc();
+        let track = self.track.load(Ordering::Relaxed);
+        self.tracer.begin(track, "semantic-consider");
+        self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
+    }
+
+    fn semantic_proven(&self, sig: Sig128) {
+        self.semantic_proven.inc();
+        let track = self.track.load(Ordering::Relaxed);
+        self.tracer.begin(track, "semantic-prove");
+        self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
+    }
+
+    fn semantic_vetoed(&self, sig: Sig128, code: &'static str) {
+        // Per-code veto histogram: one counter per CV06x code actually hit.
+        self.metrics.counter(&format!("optimizer.semantic_veto.{code}")).inc();
+        let track = self.track.load(Ordering::Relaxed);
+        self.tracer.begin(track, "semantic-veto");
         self.tracer.end_with(track, &[("sig", sig.0 as u64)]);
     }
 }

@@ -84,6 +84,8 @@ fn main() -> Result<()> {
             sealed_at: SimTime(10.0),
             expires: SimTime::from_days(7.0),
             vc: VcId(7),
+            template: None,
+            plan: None,
         },
         JobId(1),
     );

@@ -10,11 +10,20 @@
 //!
 //! Usage:
 //!   cv-analyze [--days N] [--scale F] [--json PATH] [--verbose] [--trace PATH]
+//!   cv-analyze --containment [--days N] [--scale F] [--seed N] [--json PATH]
+//!
+//! `--containment` switches to the semantic-reuse audit: the seeded Zipf
+//! workload is driven twice through the concurrent service — once with the
+//! widened (containment-certified) view-match cascade, once with exact
+//! signatures only — and the report compares per-job result digests
+//! (which must be byte-identical), splits the reuse hit rate into exact
+//! vs. compensated, and breaks the prover cascade down into
+//! considered / proven / vetoed-per-CV06x-code counters.
 
 use cv_analyzer::{Analyzer, Diagnostic, Report, Severity};
 use cv_common::hash::Sig128;
 use cv_common::ids::JobId;
-use cv_common::json::{json, Json, ToJson};
+use cv_common::json::{json, Json, JsonMap, ToJson};
 use cv_common::rng::DetRng;
 use cv_common::SimDay;
 use cv_engine::engine::QueryEngine;
@@ -22,7 +31,10 @@ use cv_engine::normalize::normalize;
 use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext, ViewMeta};
 use cv_obs::Tracer;
 use cv_workload::schemas::raw_specs;
-use cv_workload::{generate_workload, TemplateKind, WorkloadConfig};
+use cv_workload::{
+    generate_workload, run_workload_service_obs, DriverConfig, ServiceConfig, ServiceObs,
+    TemplateKind, WorkloadConfig,
+};
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
 
@@ -51,13 +63,23 @@ struct SweepOutcome {
 struct Args {
     days: u32,
     scale: f64,
+    seed: u64,
     json_path: Option<String>,
     verbose: bool,
     trace_path: Option<String>,
+    containment: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { days: 4, scale: 0.15, json_path: None, verbose: false, trace_path: None };
+    let mut args = Args {
+        days: 4,
+        scale: 0.15,
+        seed: 42,
+        json_path: None,
+        verbose: false,
+        trace_path: None,
+        containment: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -69,17 +91,25 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--scale needs a value")?;
                 args.scale = v.parse().map_err(|_| format!("bad --scale value `{v}`"))?;
             }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|_| format!("bad --seed value `{v}`"))?;
+            }
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--verbose" | "-v" => args.verbose = true,
             "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
+            "--containment" => args.containment = true,
             "--help" | "-h" => {
                 println!(
                     "cv-analyze: audit optimizer output over the workload templates\n\n\
                      options:\n  --days N      simulated days to sweep (default 4)\n  \
                      --scale F     workload data scale (default 0.15)\n  \
+                     --seed N      workload seed (default 42, --containment only)\n  \
                      --json PATH   also write the JSON report to PATH\n  \
                      --verbose     print every diagnostic as it fires\n  \
-                     --trace PATH  write a Chrome trace (spans per template x config) to PATH"
+                     --trace PATH  write a Chrome trace (spans per template x config) to PATH\n  \
+                     --containment run the semantic-reuse audit (on/off digest parity,\n                \
+                     exact vs. compensated hit rates, prover cascade counters)"
                 );
                 std::process::exit(0);
             }
@@ -258,6 +288,125 @@ fn run_sweep(
     out
 }
 
+/// The `--containment` audit: drive the same seeded Zipf workload through
+/// the concurrent service twice — semantic matching on (with the cascade
+/// counters recorded) and off — then require byte-identical per-job result
+/// digests and report the exact vs. compensated reuse split.
+fn run_containment(args: &Args) -> ExitCode {
+    let wl_cfg = WorkloadConfig { seed: args.seed, scale: args.scale, ..WorkloadConfig::default() };
+    let workload = generate_workload(wl_cfg);
+    let svc = ServiceConfig::default();
+    println!(
+        "cv-analyze --containment: seed {} | {} day(s) | scale {} | {} worker(s)",
+        args.seed, args.days, args.scale, svc.workers
+    );
+
+    let cfg_on = DriverConfig::enabled(args.days);
+    let obs = ServiceObs::new();
+    let on = match run_workload_service_obs(&workload, &cfg_on, &svc, Some(&obs)) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cv-analyze: semantic-on run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut cfg_off = DriverConfig::enabled(args.days);
+    cfg_off.optimizer.enable_semantic_match = false;
+    let off = match run_workload_service_obs(&workload, &cfg_off, &svc, None) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cv-analyze: semantic-off run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let digests_match = on.result_digests == off.result_digests;
+    let totals = on.ledger.totals();
+    let off_totals = off.ledger.totals();
+    let exact = totals.views_reused - totals.views_reused_semantic;
+    let jobs = totals.jobs.max(1) as f64;
+    let exact_rate = exact as f64 / jobs;
+    let compensated_rate = totals.views_reused_semantic as f64 / jobs;
+
+    // Prover cascade counters, as the optimizer sink recorded them.
+    let metric_values = obs.metrics.deterministic_values();
+    let considered = metric_values.get("optimizer.semantic_considered").copied().unwrap_or(0);
+    let proven = metric_values.get("optimizer.semantic_proven").copied().unwrap_or(0);
+    let mut vetoes = JsonMap::new();
+    let mut vetoed_total = 0u64;
+    for (name, value) in &metric_values {
+        if let Some(code) = name.strip_prefix("optimizer.semantic_veto.") {
+            vetoes.insert(code, *value);
+            vetoed_total += value;
+        }
+    }
+
+    println!("\n=== semantic on ===");
+    println!("  jobs                 {}", totals.jobs);
+    println!("  views reused         {}", totals.views_reused);
+    println!("    exact              {exact}  ({:.4} per job)", exact_rate);
+    println!(
+        "    compensated        {}  ({:.4} per job)",
+        totals.views_reused_semantic, compensated_rate
+    );
+    println!(
+        "  prover cascade       {considered} considered / {proven} proven / {vetoed_total} vetoed"
+    );
+    for (code, count) in vetoes.iter() {
+        println!("    veto {code}        {count}");
+    }
+    println!("=== semantic off ===");
+    println!("  jobs                 {}", off_totals.jobs);
+    println!("  views reused         {} (all exact)", off_totals.views_reused);
+    println!(
+        "=== digest parity ===\n  {} per-job digests, byte-identical: {}",
+        on.result_digests.len(),
+        digests_match
+    );
+
+    let report = json!({
+        "mode": "containment",
+        "seed": args.seed,
+        "days": args.days,
+        "scale": args.scale,
+        "workers": svc.workers as u64,
+        "jobs": totals.jobs,
+        "failed_jobs": on.failed_jobs + off.failed_jobs,
+        "digests_match": digests_match,
+        "views_reused": totals.views_reused,
+        "views_reused_exact": exact,
+        "views_reused_semantic": totals.views_reused_semantic,
+        "exact_hit_rate": exact_rate,
+        "compensated_hit_rate": compensated_rate,
+        "baseline_views_reused": off_totals.views_reused,
+        "semantic_considered": considered,
+        "semantic_proven": proven,
+        "semantic_vetoed": vetoed_total,
+        "vetoes_by_code": Json::Obj(vetoes),
+    });
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, report.to_string_pretty()) {
+            eprintln!("cv-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[json report] {path}");
+    } else {
+        println!("\n{}", report.to_string_compact());
+    }
+
+    if !digests_match {
+        eprintln!("cv-analyze: FAIL — semantic matching changed at least one result digest");
+        return ExitCode::FAILURE;
+    }
+    if on.failed_jobs + off.failed_jobs > 0 {
+        eprintln!("cv-analyze: FAIL — {} job(s) failed", on.failed_jobs + off.failed_jobs);
+        return ExitCode::FAILURE;
+    }
+    println!("cv-analyze: digests identical across semantic on/off");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -266,6 +415,9 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    if args.containment {
+        return run_containment(&args);
+    }
 
     let analyzer = Analyzer::new(&OptimizerConfig::default());
     println!(
