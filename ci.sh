@@ -16,6 +16,24 @@ echo "==> cv-chaos smoke sweep (fixed seed; nonzero exit on divergence)"
 cargo run --release -q --bin cv-chaos -- --days 3 --scale 0.05 --seed 1 \
   > /dev/null || { echo "cv-chaos: fault sweep diverged"; exit 1; }
 
+echo "==> cv-chaos crash-recovery gate (kill mid-write, replay to byte-identical state)"
+crash_dir="$(mktemp -d)"
+cargo run --release -q --bin cv-chaos -- --crash --days 2 --scale 0.05 --seed 42 \
+  --store-dir "$crash_dir/store" --json "$crash_dir/crash.json" \
+  > /dev/null || { echo "cv-chaos: crash recovery diverged"; rm -rf "$crash_dir"; exit 1; }
+python3 - "$crash_dir/crash.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+assert r["recoveries"] > 0, "no recoveries exercised"
+assert r["digest_divergences"] == 0, "crash recovery changed a result digest"
+assert r["wal_records_replayed"] > 0, "no WAL records replayed"
+assert r["wal_records_skipped"] > 0, "torn-write sweep skipped no records on replay"
+assert r["violations"] == [], f"violations: {r['violations']}"
+print(f"    crash gate OK ({r['store_crashes']} crashes, {r['recoveries']} recoveries, "
+      f"{r['wal_records_replayed']} replayed, {r['wal_records_skipped']} torn skipped)")
+EOF
+rm -rf "$crash_dir"
+
 echo "==> cv-serve smoke gate (digest equality + trace structure across worker counts)"
 trace_json="$(mktemp)"
 cargo run --release -q --bin cv-serve -- --days 3 --scale 0.05 --analytics 12 \
@@ -36,7 +54,11 @@ phases = bench["phase_wall_seconds"]
 for key in ("compile", "execute_parallel", "execute_pool", "commit", "pool_overhead"):
     assert key in phases, f"phase_wall_seconds missing {key}"
 assert bench["digests_match_sequential"] is True, "digest contract violated"
-print(f"    trace OK ({len(events)} events), phase breakdown OK")
+store = bench["store"]
+assert store["digests_match_sequential"] is True, "durable-store digest contract violated"
+assert store["bytes_written_durably"] > 0, "durable leg wrote nothing"
+assert store["wal_records_written"] > 0, "durable leg logged no WAL records"
+print(f"    trace OK ({len(events)} events), phase breakdown OK, durable store OK")
 EOF
 rm -f "$trace_json"
 
@@ -63,6 +85,8 @@ assert bench["semantic_proven"] >= bench["views_reused_semantic"], \
     "fewer proofs than compensated hits"
 assert bench["views_reused"] >= bench["baseline_views_reused"], \
     "semantic matching lowered the reuse hit count"
+assert bench["durable_digests_match"] is True, "durable store changed a result digest"
+assert bench["store"]["bytes_written_durably"] > 0, "durable leg wrote nothing"
 print(f"    reuse bench OK ({bench['views_reused_exact']} exact + "
       f"{bench['views_reused_semantic']} compensated hits, "
       f"{bench['semantic_vetoed']} vetoes)")

@@ -214,7 +214,7 @@ mod tests {
         let normalized = normalize(&query(), &opt.cfg.sig).unwrap();
         let sig = plan_signature(&normalized, &opt.cfg.sig, SigMode::Strict).unwrap();
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 10_000, bytes: 100_000 });
+        reuse.available.insert(sig, ViewMeta::hot(10_000, 100_000));
         let out = opt.optimize(&query(), &reuse, &stats, &mut AlwaysGrant).unwrap();
         assert!(out.logical.uses_views());
         let mut live = HashSet::new();
@@ -339,7 +339,7 @@ mod tests {
             view_sig,
             cv_engine::optimizer::SemanticGrant {
                 plan: view,
-                meta: ViewMeta { rows: 3_000, bytes: 120_000 },
+                meta: ViewMeta::hot(3_000, 120_000),
                 template,
             },
         );
@@ -390,7 +390,7 @@ mod tests {
             view_sig,
             cv_engine::optimizer::SemanticGrant {
                 plan: view,
-                meta: ViewMeta { rows: 10, bytes: 100 },
+                meta: ViewMeta::hot(10, 100),
                 template,
             },
         );

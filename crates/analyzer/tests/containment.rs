@@ -83,7 +83,7 @@ fn build_view(
         e.run_sql(view_sql, &Params::none(), &reuse, JobId(1), VcId(0), SimTime::EPOCH).unwrap();
     assert_eq!(out.sealed_views, 1, "view build must seal exactly one view");
     let mv = e.views.peek(sig, SimTime::EPOCH).unwrap();
-    let meta = ViewMeta { rows: mv.rows as u64, bytes: mv.bytes };
+    let meta = ViewMeta::hot(mv.rows as u64, mv.bytes);
     (sig, SemanticGrant { plan: view_plan, meta, template })
 }
 

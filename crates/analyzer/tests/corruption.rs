@@ -80,7 +80,7 @@ fn wrong_viewscan_schema_is_cv012() {
         bytes: 100,
     });
     let mut reuse = ReuseContext::empty();
-    reuse.available.insert(sig, ViewMeta { rows: 10, bytes: 100 });
+    reuse.available.insert(sig, ViewMeta::hot(10, 100));
 
     let mut input = analyzer.input();
     input.original = Some(&original);
@@ -132,7 +132,7 @@ fn spool_cycle_is_cv042() {
         }),
     });
     let mut reuse = ReuseContext::empty();
-    reuse.available.insert(sig, ViewMeta { rows: 1, bytes: 1 });
+    reuse.available.insert(sig, ViewMeta::hot(1, 1));
     reuse.to_build.insert(sig);
 
     let mut input = analyzer.input();

@@ -123,11 +123,11 @@ fn view_matching() {
     // 256 irrelevant annotations + one real: matching stays a hash probe.
     let mut reuse = ReuseContext::empty();
     for i in 0..256u64 {
-        reuse.available.insert(Sig128(i as u128), ViewMeta { rows: 1, bytes: 1 });
+        reuse.available.insert(Sig128(i as u128), ViewMeta::hot(1, 1));
     }
     let subs = e.subexpressions(&plan).unwrap();
     let target = subs.iter().max_by_key(|s| s.node_count).unwrap();
-    reuse.available.insert(target.strict, ViewMeta { rows: 100, bytes: 4_000 });
+    reuse.available.insert(target.strict, ViewMeta::hot(100, 4_000));
     bench("optimizer/view_match_256_annotations", || {
         e.optimize(black_box(&plan), &reuse, &mut AlwaysGrant).unwrap()
     });

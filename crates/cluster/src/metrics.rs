@@ -199,6 +199,14 @@ pub struct RobustnessStats {
     /// Jobs optimized without reuse because the metadata repository was in
     /// an outage window.
     pub metadata_outage_jobs: u64,
+    /// Simulated store crashes hit (byte-budget `CrashAt` trips).
+    pub store_crashes: u64,
+    /// Store recoveries completed (WAL + checkpoint replay passes).
+    pub store_recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_records_replayed: u64,
+    /// WAL records skipped during replay (torn/corrupt frames).
+    pub wal_records_skipped: u64,
 }
 
 impl cv_common::json::ToJson for RobustnessStats {
@@ -215,6 +223,10 @@ impl cv_common::json::ToJson for RobustnessStats {
             "backoff_seconds": self.backoff_seconds,
             "job_restarts": self.job_restarts,
             "metadata_outage_jobs": self.metadata_outage_jobs,
+            "store_crashes": self.store_crashes,
+            "store_recoveries": self.store_recoveries,
+            "wal_records_replayed": self.wal_records_replayed,
+            "wal_records_skipped": self.wal_records_skipped,
         })
     }
 }

@@ -28,6 +28,12 @@ pub enum CvError {
     /// paths match on this kind to distinguish simulated failures from real
     /// bugs; it must never escape to a job outcome.
     Fault(String),
+    /// A simulated process kill fired mid-write ([`crate::faults::FaultPlan`]
+    /// `crash_after_bytes`): the write persisted only a prefix and the store
+    /// is poisoned until it is re-opened (recovery). Drivers match on this
+    /// kind to run crash recovery and retry; like `Fault`, it must never
+    /// escape to a job outcome.
+    Crash(String),
 }
 
 impl CvError {
@@ -52,6 +58,9 @@ impl CvError {
     pub fn fault(msg: impl Into<String>) -> Self {
         CvError::Fault(msg.into())
     }
+    pub fn crash(msg: impl Into<String>) -> Self {
+        CvError::Crash(msg.into())
+    }
 
     /// Short category tag, useful in logs and tests.
     pub fn kind(&self) -> &'static str {
@@ -63,12 +72,19 @@ impl CvError {
             CvError::Constraint(_) => "constraint",
             CvError::Internal(_) => "internal",
             CvError::Fault(_) => "fault",
+            CvError::Crash(_) => "crash",
         }
     }
 
     /// True iff this error was injected by a fault plan.
     pub fn is_fault(&self) -> bool {
         matches!(self, CvError::Fault(_))
+    }
+
+    /// True iff this error is a simulated crash: the store needs recovery
+    /// (re-open) before the operation can be retried.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, CvError::Crash(_))
     }
 }
 
@@ -82,6 +98,7 @@ impl fmt::Display for CvError {
             CvError::Constraint(m) => ("constraint violation", m),
             CvError::Internal(m) => ("internal error", m),
             CvError::Fault(m) => ("injected fault", m),
+            CvError::Crash(m) => ("simulated crash", m),
         };
         write!(f, "{kind}: {msg}")
     }
@@ -110,6 +127,7 @@ mod tests {
             CvError::constraint("x"),
             CvError::internal("x"),
             CvError::fault("x"),
+            CvError::crash("x"),
         ];
         let kinds: std::collections::HashSet<_> = all.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), all.len());

@@ -48,6 +48,17 @@ pub enum FaultPoint {
     /// Opportunistic bonus containers are preempted by guaranteed traffic;
     /// the stage re-runs without consuming retry budget.
     BonusPreempt,
+    /// A WAL view-commit record is written torn: the frame is complete but
+    /// its payload CRC no longer verifies, so recovery skips exactly that
+    /// record (the view is silently lost across a restart — replay must
+    /// stay idempotent and never lose *later* records).
+    WalTornWrite,
+    /// Simulated process kill at an exact durable-byte offset. This point is
+    /// positional, not probabilistic: it is driven by
+    /// [`FaultPlan::crash_after_bytes`] rather than a rate, so `fires()` is
+    /// never consulted for it. The variant exists so the crash site is part
+    /// of the same keyed-decision registry (tags, chaos reports, CLI knobs).
+    CrashAt,
 }
 
 impl FaultPoint {
@@ -60,10 +71,14 @@ impl FaultPoint {
             FaultPoint::ViewExpiryRace => "view_expiry_race",
             FaultPoint::StageFail => "stage_fail",
             FaultPoint::BonusPreempt => "bonus_preempt",
+            FaultPoint::WalTornWrite => "wal_torn_write",
+            FaultPoint::CrashAt => "crash_at",
         }
     }
 
-    pub fn all() -> [FaultPoint; 6] {
+    pub const COUNT: usize = 8;
+
+    pub fn all() -> [FaultPoint; FaultPoint::COUNT] {
         [
             FaultPoint::ViewWrite,
             FaultPoint::ViewCorrupt,
@@ -71,6 +86,8 @@ impl FaultPoint {
             FaultPoint::ViewExpiryRace,
             FaultPoint::StageFail,
             FaultPoint::BonusPreempt,
+            FaultPoint::WalTornWrite,
+            FaultPoint::CrashAt,
         ]
     }
 
@@ -82,6 +99,8 @@ impl FaultPoint {
             FaultPoint::ViewExpiryRace => 3,
             FaultPoint::StageFail => 4,
             FaultPoint::BonusPreempt => 5,
+            FaultPoint::WalTornWrite => 6,
+            FaultPoint::CrashAt => 7,
         }
     }
 }
@@ -102,11 +121,17 @@ pub struct FaultPlan {
     /// Root seed mixed into every decision hash. Two plans with the same
     /// rates but different seeds fail *different* views/stages.
     pub seed: u64,
-    rates: [f64; 6],
+    rates: [f64; FaultPoint::COUNT],
     /// Period of the metadata-outage cycle; `None` disables outages.
     pub metadata_outage_period: Option<SimDuration>,
     /// Length of the outage window at the end of each period.
     pub metadata_outage_len: SimDuration,
+    /// Positional driver for [`FaultPoint::CrashAt`]: simulate a process kill
+    /// once the durable store has written this many payload bytes (WAL
+    /// records, pages, checkpoints). The write that crosses the threshold
+    /// persists only a prefix, mimicking a kill at an arbitrary byte
+    /// boundary. `None` disables crash injection.
+    pub crash_after_bytes: Option<u64>,
 }
 
 impl Default for FaultPlan {
@@ -120,9 +145,10 @@ impl FaultPlan {
     pub fn none() -> FaultPlan {
         FaultPlan {
             seed: 0,
-            rates: [0.0; 6],
+            rates: [0.0; FaultPoint::COUNT],
             metadata_outage_period: None,
             metadata_outage_len: SimDuration::ZERO,
+            crash_after_bytes: None,
         }
     }
 
@@ -150,13 +176,29 @@ impl FaultPlan {
         self
     }
 
+    /// Builder: schedule a simulated process kill once the durable store has
+    /// written `n` payload bytes (see [`FaultPoint::CrashAt`]).
+    pub fn with_crash_after_bytes(mut self, n: u64) -> FaultPlan {
+        self.crash_after_bytes = Some(n);
+        self
+    }
+
+    /// The same plan with crash injection disabled. Recovery re-opens the
+    /// store under this plan so a run crashes at most once.
+    pub fn without_crash(&self) -> FaultPlan {
+        FaultPlan { crash_after_bytes: None, ..self.clone() }
+    }
+
     pub fn rate(&self, point: FaultPoint) -> f64 {
         self.rates[point.index()]
     }
 
-    /// True iff no fault point can ever fire and no outage is scheduled.
+    /// True iff no fault point can ever fire, no outage is scheduled, and no
+    /// crash is pending.
     pub fn is_empty(&self) -> bool {
-        self.rates.iter().all(|&r| r <= 0.0) && self.metadata_outage_period.is_none()
+        self.rates.iter().all(|&r| r <= 0.0)
+            && self.metadata_outage_period.is_none()
+            && self.crash_after_bytes.is_none()
     }
 
     /// Deterministic decision: does `point` fire for this `key`?
@@ -242,6 +284,46 @@ mod tests {
     fn rate_is_clamped_below_one() {
         let plan = FaultPlan::seeded(3).with_rate(FaultPoint::StageFail, 1.0);
         assert!((plan.rate(FaultPoint::StageFail) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_point_registry_is_exhaustive() {
+        // Every variant must appear in `all()` exactly once with a unique
+        // in-bounds index and a unique tag. The inner match has no wildcard
+        // arm, so adding a variant without updating this test fails to
+        // compile — `all()`/`index()` can't silently desync.
+        let all = FaultPoint::all();
+        assert_eq!(all.len(), FaultPoint::COUNT);
+        let mut seen_idx = [false; FaultPoint::COUNT];
+        let mut tags = std::collections::HashSet::new();
+        for point in all {
+            match point {
+                FaultPoint::ViewWrite
+                | FaultPoint::ViewCorrupt
+                | FaultPoint::ViewRead
+                | FaultPoint::ViewExpiryRace
+                | FaultPoint::StageFail
+                | FaultPoint::BonusPreempt
+                | FaultPoint::WalTornWrite
+                | FaultPoint::CrashAt => {}
+            }
+            let idx = point.index();
+            assert!(idx < FaultPoint::COUNT, "{point}: index {idx} out of bounds");
+            assert!(!seen_idx[idx], "{point}: index {idx} reused");
+            seen_idx[idx] = true;
+            assert!(tags.insert(point.tag()), "{point}: tag reused");
+        }
+        assert!(seen_idx.iter().all(|&s| s), "some rate slot is unreachable");
+    }
+
+    #[test]
+    fn crash_budget_round_trips_through_builders() {
+        let plan = FaultPlan::seeded(9).with_crash_after_bytes(4096);
+        assert!(!plan.is_empty(), "a pending crash is not an empty plan");
+        assert_eq!(plan.crash_after_bytes, Some(4096));
+        let recovered = plan.without_crash();
+        assert!(recovered.is_empty());
+        assert_eq!(recovered.seed, plan.seed);
     }
 
     #[test]

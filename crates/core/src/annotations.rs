@@ -57,11 +57,8 @@ impl QueryAnnotations {
 
     /// Rebuild the optimizer input — the debugging replay path.
     pub fn to_context(&self) -> ReuseContext {
-        let available: HashMap<Sig128, ViewMeta> = self
-            .available
-            .iter()
-            .map(|v| (v.sig, ViewMeta { rows: v.rows, bytes: v.bytes }))
-            .collect();
+        let available: HashMap<Sig128, ViewMeta> =
+            self.available.iter().map(|v| (v.sig, ViewMeta::hot(v.rows, v.bytes))).collect();
         let to_build: HashSet<Sig128> = self.to_build.iter().copied().collect();
         // Semantic grants carry live plan pointers and are not serialized
         // into the replay log; replays see exact-signature reuse only.
@@ -140,8 +137,8 @@ mod tests {
 
     fn ctx() -> ReuseContext {
         let mut c = ReuseContext::empty();
-        c.available.insert(Sig128(7), ViewMeta { rows: 10, bytes: 100 });
-        c.available.insert(Sig128(3), ViewMeta { rows: 5, bytes: 50 });
+        c.available.insert(Sig128(7), ViewMeta::hot(10, 100));
+        c.available.insert(Sig128(3), ViewMeta::hot(5, 50));
         c.to_build.insert(Sig128(9));
         c
     }

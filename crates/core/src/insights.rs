@@ -132,8 +132,7 @@ impl InsightsService {
             }
             if let Some(info) = self.available.get(&sub.strict) {
                 if now.seconds() < info.expires.seconds() {
-                    ctx.available
-                        .insert(sub.strict, ViewMeta { rows: info.rows, bytes: info.bytes });
+                    ctx.available.insert(sub.strict, ViewMeta::hot(info.rows, info.bytes));
                     continue;
                 }
             }
@@ -167,7 +166,7 @@ impl InsightsService {
                 let Some(plan) = &info.plan else { continue };
                 ctx.semantic.entry(info.strict).or_insert_with(|| SemanticGrant {
                     plan: plan.clone(),
-                    meta: ViewMeta { rows: info.rows, bytes: info.bytes },
+                    meta: ViewMeta::hot(info.rows, info.bytes),
                     template: sub.template,
                 });
             }

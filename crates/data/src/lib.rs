@@ -16,6 +16,7 @@ pub mod catalog;
 pub mod column;
 pub mod schema;
 pub mod sharded;
+pub mod store_api;
 pub mod table;
 pub mod value;
 pub mod viewstore;
@@ -25,9 +26,10 @@ pub use catalog::{Dataset, DatasetCatalog, DatasetVersion};
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use schema::{Field, Schema, SchemaRef};
 pub use sharded::ShardedViewStore;
+pub use store_api::{SharedViewStore, StoreIoStats};
 pub use table::Table;
 pub use value::{DataType, Value};
-pub use viewstore::{MaterializedView, ViewSource, ViewStore, ViewStoreStats};
+pub use viewstore::{MaterializedView, ViewSource, ViewStore, ViewStoreStats, ViewTemperature};
 
 // Compile-time Send + Sync audit of everything shared across service worker
 // threads. A future patch that sneaks `Rc`/`RefCell` (or a raw pointer) into

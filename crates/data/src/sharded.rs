@@ -13,6 +13,7 @@
 //! Sharding is deterministic (a pure function of the signature bits), so a
 //! view lands on the same shard in every run regardless of thread count.
 
+use crate::store_api::SharedViewStore;
 use crate::table::Table;
 use crate::viewstore::{MaterializedView, ViewReadFault, ViewSource, ViewStore, ViewStoreStats};
 use cv_common::ids::{VcId, VersionGuid};
@@ -176,6 +177,66 @@ impl ViewSource for ShardedViewStore {
     ) -> std::result::Result<Option<Table>, ViewReadFault> {
         let shard = self.read_for(sig);
         shard.read_for_exec(sig, now).map(|v| v.map(|view| view.data.clone()))
+    }
+}
+
+/// In-memory backend for the service layer's store seam. Infallible
+/// mutations are wrapped in `Ok`; the I/O-stat and residency defaults
+/// (`None` / always-hot) already describe a memory store exactly.
+impl SharedViewStore for ShardedViewStore {
+    fn insert(&self, view: MaterializedView) -> Result<()> {
+        ShardedViewStore::insert(self, view)
+    }
+    fn contains(&self, sig: Sig128) -> bool {
+        ShardedViewStore::contains(self, sig)
+    }
+    fn contains_live(&self, sig: Sig128, now: SimTime) -> bool {
+        ShardedViewStore::contains_live(self, sig, now)
+    }
+    fn is_quarantined(&self, sig: Sig128) -> bool {
+        ShardedViewStore::is_quarantined(self, sig)
+    }
+    fn quarantine(&self, sig: Sig128) -> Result<bool> {
+        Ok(ShardedViewStore::quarantine(self, sig))
+    }
+    fn peek_meta(&self, sig: Sig128, now: SimTime) -> Option<(u64, u64, f64)> {
+        ShardedViewStore::peek_meta(self, sig, now)
+    }
+    fn observed_work(&self, sig: Sig128) -> Option<f64> {
+        ShardedViewStore::observed_work(self, sig)
+    }
+    fn evict_expired(&self, now: SimTime) -> Result<usize> {
+        Ok(ShardedViewStore::evict_expired(self, now))
+    }
+    fn purge_input(&self, guid: VersionGuid, now: SimTime) -> Result<usize> {
+        Ok(ShardedViewStore::purge_input(self, guid, now))
+    }
+    fn purge_vc(&self, vc: VcId, now: SimTime) -> Result<usize> {
+        Ok(ShardedViewStore::purge_vc(self, vc, now))
+    }
+    fn sigs_with_input(&self, guid: VersionGuid) -> Vec<Sig128> {
+        ShardedViewStore::sigs_with_input(self, guid)
+    }
+    fn stats(&self) -> ViewStoreStats {
+        ShardedViewStore::stats(self)
+    }
+    fn len(&self) -> usize {
+        ShardedViewStore::len(self)
+    }
+    fn total_storage(&self) -> u64 {
+        ShardedViewStore::total_storage(self)
+    }
+    fn storage_used(&self, vc: VcId) -> u64 {
+        ShardedViewStore::storage_used(self, vc)
+    }
+    fn n_shards(&self) -> usize {
+        ShardedViewStore::n_shards(self)
+    }
+    fn ttl(&self) -> SimDuration {
+        ShardedViewStore::ttl(self)
+    }
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        ShardedViewStore::set_fault_plan(self, plan)
     }
 }
 

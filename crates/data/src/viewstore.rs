@@ -48,6 +48,19 @@ fn sig_key(sig: Sig128) -> [u64; 2] {
     [sig.0 as u64, (sig.0 >> 64) as u64]
 }
 
+/// Where a served view's bytes actually came from, for cost accounting.
+///
+/// A disk-backed store distinguishes buffer-pool hits from reads that had to
+/// touch storage; the in-memory store always serves hot. Temperature feeds
+/// the engine's cold-read cost term — it never changes the served rows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ViewTemperature {
+    /// Served entirely from memory (in-memory store, or full page-cache hit).
+    Hot,
+    /// At least one page came off disk.
+    Cold,
+}
+
 /// A materialized common subexpression.
 #[derive(Clone, Debug)]
 pub struct MaterializedView {
@@ -124,6 +137,18 @@ pub trait ViewSource: Sync {
         sig: Sig128,
         now: SimTime,
     ) -> std::result::Result<Option<Table>, ViewReadFault>;
+
+    /// Like [`ViewSource::read_view`], but also reports whether the bytes
+    /// were served hot (memory) or cold (disk). The default forwards to
+    /// `read_view` and reports [`ViewTemperature::Hot`], which is exact for
+    /// every in-memory source; disk-backed stores override it.
+    fn read_view_traced(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<(Table, ViewTemperature)>, ViewReadFault> {
+        self.read_view(sig, now).map(|t| t.map(|t| (t, ViewTemperature::Hot)))
+    }
 }
 
 impl ViewSource for ViewStore {

@@ -57,6 +57,10 @@ pub struct CostModel {
     pub loop_compare_cost: f64,
     /// Per-row cost of sorting (multiplied by log2 n).
     pub sort_row_cost: f64,
+    /// IO multiplier for a view read that misses the store's page cache and
+    /// has to fault pages in from disk. Hot (cached) view scans pay
+    /// `read_per_byte`; cold ones pay `read_per_byte * cold_read_factor`.
+    pub cold_read_factor: f64,
 }
 
 impl Default for CostModel {
@@ -68,6 +72,7 @@ impl Default for CostModel {
             hash_build_factor: 1.6,
             loop_compare_cost: 2e-6,
             sort_row_cost: 2.5e-4,
+            cold_read_factor: 3.0,
         }
     }
 }
@@ -133,6 +138,11 @@ impl CostModel {
     pub fn view_scan(&self, bytes: f64) -> Cost {
         Cost { cpu: 0.0, io: bytes * self.read_per_byte }
     }
+
+    /// A view scan whose pages were not resident in the buffer pool.
+    pub fn view_scan_cold(&self, bytes: f64) -> Cost {
+        Cost { cpu: 0.0, io: bytes * self.read_per_byte * self.cold_read_factor }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +188,19 @@ mod tests {
         let nl_big = m.nested_loop_join(100_000.0, 100_000.0);
         let hj_big = m.hash_join(100_000.0, 100_000.0);
         assert!(nl_big.total() > hj_big.total() * 10.0);
+    }
+
+    #[test]
+    fn cold_view_scan_costs_more_but_still_beats_recompute() {
+        let m = CostModel::default();
+        let hot = m.view_scan(50_000.0);
+        let cold = m.view_scan_cold(50_000.0);
+        assert!(cold.total() > hot.total());
+        assert!((cold.total() - hot.total() * m.cold_read_factor).abs() < 1e-12);
+        // Cold reuse must still beat the recompute it replaces, or the
+        // optimizer's view-matching decision would flip on restart.
+        let recompute = m.scan(10_000_000.0) + m.filter(100_000.0) + m.hash_join(1_000.0, 10_000.0);
+        assert!(cold.total() < recompute.total());
     }
 
     #[test]

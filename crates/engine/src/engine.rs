@@ -273,10 +273,9 @@ mod tests {
         // Job 2: reuses it.
         let view = e.views.peek(best.strict, SimTime::EPOCH).unwrap();
         let mut reuse2 = ReuseContext::empty();
-        reuse2.available.insert(
-            best.strict,
-            crate::optimizer::ViewMeta { rows: view.rows as u64, bytes: view.bytes },
-        );
+        reuse2
+            .available
+            .insert(best.strict, crate::optimizer::ViewMeta::hot(view.rows as u64, view.bytes));
         let out2 = e
             .run_sql(ASIA_QTY, &Params::none(), &reuse2, JobId(2), VcId(0), SimTime::EPOCH)
             .unwrap();

@@ -103,6 +103,9 @@ pub struct ExecMetrics {
     pub view_corruptions: u64,
     /// Views that expired between optimizer match and executor read.
     pub view_expiry_races: u64,
+    /// View reads served cold (pages faulted in from disk rather than the
+    /// store's buffer pool). Always 0 for in-memory stores.
+    pub view_cold_reads: u64,
     /// Signatures to quarantine after this execution: every read-side
     /// failure lands here; the driver denylists them in the view store and
     /// the insights service.
@@ -214,13 +217,19 @@ fn exec_node_inner(
             Ok(table)
         }
         PhysicalPlan::ViewScan { sig, fallback, .. } => {
-            use cv_data::viewstore::ViewReadFault;
-            match ctx.views.read_view(*sig, ctx.now) {
-                Ok(Some(table)) => {
+            use cv_data::viewstore::{ViewReadFault, ViewTemperature};
+            match ctx.views.read_view_traced(*sig, ctx.now) {
+                Ok(Some((table, temperature))) => {
                     let bytes = table.byte_size();
                     metrics.view_bytes_read += bytes;
                     metrics.data_read_bytes += bytes;
-                    let work = model.view_scan(bytes as f64).total();
+                    let work = match temperature {
+                        ViewTemperature::Hot => model.view_scan(bytes as f64).total(),
+                        ViewTemperature::Cold => {
+                            metrics.view_cold_reads += 1;
+                            model.view_scan_cold(bytes as f64).total()
+                        }
+                    };
                     record(metrics, plan, &table, work, None);
                     return Ok(table);
                 }

@@ -42,6 +42,19 @@ use std::sync::Arc;
 pub struct ViewMeta {
     pub rows: u64,
     pub bytes: u64,
+    /// Whether the view's pages are currently resident in the store's
+    /// buffer pool. Cold views are costed at `view_scan_cold` so the
+    /// optimizer can prefer recompute for large un-cached views right
+    /// after a restart. In-memory stores are always hot.
+    pub cold: bool,
+}
+
+impl ViewMeta {
+    /// A hot (resident) view — the common case and the only case for
+    /// in-memory stores.
+    pub fn hot(rows: u64, bytes: u64) -> ViewMeta {
+        ViewMeta { rows, bytes, cold: false }
+    }
 }
 
 /// A semantic-match candidate: a live view whose *template* signature
@@ -298,7 +311,11 @@ impl Optimizer {
                     // view is chosen only if it is cheaper (paper §2.3).
                     let recompute =
                         self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
-                    let reuse_cost = self.cfg.cost.view_scan(meta.bytes as f64).total();
+                    let reuse_cost = if meta.cold {
+                        self.cfg.cost.view_scan_cold(meta.bytes as f64).total()
+                    } else {
+                        self.cfg.cost.view_scan(meta.bytes as f64).total()
+                    };
                     if reuse_cost < recompute {
                         if let Some(obs) = &self.obs {
                             obs.view_matched(sig);
@@ -699,7 +716,7 @@ mod tests {
         let opt = optimizer();
         let sig = shared_sig(&opt);
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        reuse.available.insert(sig, ViewMeta::hot(12_000, 480_000));
         let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         assert_eq!(out.matched_views, vec![sig]);
         assert!(out.logical.uses_views());
@@ -714,7 +731,7 @@ mod tests {
         let opt = optimizer();
         let sig = shared_sig(&opt);
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        reuse.available.insert(sig, ViewMeta::hot(12_000, 480_000));
         let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
 
         fn find_viewscan(p: &PhysicalPlan) -> Option<&PhysicalPlan> {
@@ -741,7 +758,7 @@ mod tests {
         let mut reuse = ReuseContext::empty();
         // A pathological view that is *bigger* than re-reading everything:
         // reuse must be rejected by costing.
-        reuse.available.insert(sig, ViewMeta { rows: 1 << 30, bytes: 1 << 62 });
+        reuse.available.insert(sig, ViewMeta::hot(1 << 30, 1 << 62));
         let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         assert!(out.matched_views.is_empty());
         assert!(!out.logical.uses_views());
@@ -754,7 +771,7 @@ mod tests {
         let baseline =
             opt.optimize(&query(), &ReuseContext::empty(), &scan_stats, &mut AlwaysGrant).unwrap();
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        reuse.available.insert(sig, ViewMeta::hot(12_000, 480_000));
         let reused = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         assert!(
             reused.est_cost.total() < baseline.est_cost.total(),
@@ -799,7 +816,7 @@ mod tests {
         let opt = Optimizer::new(cfg);
         let sig = shared_sig(&opt);
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 10, bytes: 100 });
+        reuse.available.insert(sig, ViewMeta::hot(10, 100));
         reuse.to_build.insert(sig);
         let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         assert!(out.matched_views.is_empty());
@@ -811,7 +828,7 @@ mod tests {
         let opt = optimizer();
         let sig = shared_sig(&opt);
         let mut reuse = ReuseContext::empty();
-        reuse.available.insert(sig, ViewMeta { rows: 12_000, bytes: 480_000 });
+        reuse.available.insert(sig, ViewMeta::hot(12_000, 480_000));
         reuse.to_build.insert(sig);
         let out = opt.optimize(&query(), &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         // Matched, and NOT rebuilt (it's already materialized).
@@ -869,11 +886,7 @@ mod tests {
         let mut reuse = ReuseContext::empty();
         reuse.semantic.insert(
             view_sig,
-            SemanticGrant {
-                plan: view_plan,
-                meta: ViewMeta { rows: 3_000, bytes: 120_000 },
-                template,
-            },
+            SemanticGrant { plan: view_plan, meta: ViewMeta::hot(3_000, 120_000), template },
         );
         let candidate = Arc::new(LogicalPlan::Filter {
             predicate: col("seg").eq(lit("emea")),
@@ -956,8 +969,7 @@ mod tests {
         let mut opt = optimizer();
         opt.set_prover(Arc::new(FilterResidualProver));
         let (view_sig, mut reuse, candidate) = semantic_fixture(&opt);
-        reuse.semantic.get_mut(&view_sig).unwrap().meta =
-            ViewMeta { rows: 1 << 30, bytes: 1 << 62 };
+        reuse.semantic.get_mut(&view_sig).unwrap().meta = ViewMeta::hot(1 << 30, 1 << 62);
         let out = opt.optimize(&candidate, &reuse, &scan_stats, &mut AlwaysGrant).unwrap();
         assert!(out.matched_views.is_empty());
         assert!(!out.logical.uses_views());

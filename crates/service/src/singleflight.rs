@@ -161,6 +161,26 @@ impl SingleFlight {
         self.resolved.notify_all();
     }
 
+    /// Fail every unresolved flight, returning how many were failed. Called
+    /// after a store crash/recovery: builders that were mid-materialization
+    /// when the store died never sealed, so their consumers must recompute
+    /// rather than block on a builder that will not report back. Resolved
+    /// flights keep their outcome (resolution stays sticky).
+    pub fn fail_inflight(&self) -> usize {
+        let mut flights = self.lock();
+        let mut failed = 0;
+        for f in flights.values_mut() {
+            if let FlightState::InFlight { .. } = f.state {
+                f.state = FlightState::Done(FlightOutcome::Failed);
+                self.resolves.fetch_add(1, Ordering::Relaxed);
+                failed += 1;
+            }
+        }
+        drop(flights);
+        self.resolved.notify_all();
+        failed
+    }
+
     /// Snapshot of lifetime event counters (survives [`Self::clear`]).
     pub fn stats(&self) -> SingleFlightStats {
         SingleFlightStats {
@@ -207,6 +227,19 @@ mod tests {
         assert_eq!(sf.wait(Sig128(2)), Some(FlightOutcome::Published));
         // Resolved flights no longer advertise a promise.
         assert!(sf.promise(Sig128(2)).is_none());
+    }
+
+    #[test]
+    fn fail_inflight_fails_open_flights_but_keeps_resolved_outcomes() {
+        let sf = SingleFlight::new();
+        sf.claim(Sig128(1), JobId(1), PromisedView::default());
+        sf.claim(Sig128(2), JobId(2), PromisedView::default());
+        sf.resolve(Sig128(2), FlightOutcome::Published);
+        assert_eq!(sf.fail_inflight(), 1, "only the unresolved flight fails");
+        assert_eq!(sf.wait(Sig128(1)), Some(FlightOutcome::Failed));
+        assert_eq!(sf.wait(Sig128(2)), Some(FlightOutcome::Published));
+        assert_eq!(sf.fail_inflight(), 0, "idempotent once everything resolved");
+        assert_eq!(sf.stats().resolves, 2);
     }
 
     #[test]

@@ -3,9 +3,9 @@
 use crate::singleflight::{FlightOutcome, SingleFlight};
 use crate::stats::ServiceStats;
 use cv_common::{Sig128, SimTime};
-use cv_data::sharded::ShardedViewStore;
+use cv_data::store_api::SharedViewStore;
 use cv_data::table::Table;
-use cv_data::viewstore::{ViewReadFault, ViewSource};
+use cv_data::viewstore::{ViewReadFault, ViewSource, ViewTemperature};
 use std::collections::HashSet;
 use std::sync::Mutex;
 
@@ -19,7 +19,7 @@ use std::sync::Mutex;
 /// view are recorded so the driver can attribute realized pipelining
 /// savings.
 pub struct PipelinedViewSource<'a> {
-    store: &'a ShardedViewStore,
+    store: &'a dyn SharedViewStore,
     flights: &'a SingleFlight,
     stats: &'a ServiceStats,
     /// Strict signatures this job's plan consumes from an in-flight builder.
@@ -31,7 +31,7 @@ pub struct PipelinedViewSource<'a> {
 
 impl<'a> PipelinedViewSource<'a> {
     pub fn new(
-        store: &'a ShardedViewStore,
+        store: &'a dyn SharedViewStore,
         flights: &'a SingleFlight,
         stats: &'a ServiceStats,
         promised: HashSet<Sig128>,
@@ -56,11 +56,19 @@ impl ViewSource for PipelinedViewSource<'_> {
         sig: Sig128,
         now: SimTime,
     ) -> std::result::Result<Option<Table>, ViewReadFault> {
-        if let Some(table) = self.store.read_view(sig, now)? {
+        self.read_view_traced(sig, now).map(|t| t.map(|(table, _)| table))
+    }
+
+    fn read_view_traced(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<(Table, ViewTemperature)>, ViewReadFault> {
+        if let Some(hit) = self.store.read_view_traced(sig, now)? {
             if self.promised.contains(&sig) {
                 self.record_served(sig);
             }
-            return Ok(Some(table));
+            return Ok(Some(hit));
         }
         if !self.promised.contains(&sig) {
             return Ok(None); // plain miss, recompute fallback
@@ -70,10 +78,10 @@ impl ViewSource for PipelinedViewSource<'_> {
         // safety net.
         self.stats.flight_waits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         match self.flights.wait(sig) {
-            Some(FlightOutcome::Published) => match self.store.read_view(sig, now)? {
-                Some(table) => {
+            Some(FlightOutcome::Published) => match self.store.read_view_traced(sig, now)? {
+                Some(hit) => {
                     self.record_served(sig);
-                    Ok(Some(table))
+                    Ok(Some(hit))
                 }
                 None => Ok(None), // sealed then purged/quarantined: recompute
             },
@@ -90,6 +98,7 @@ mod tests {
     use cv_common::ids::{JobId, VcId, VersionGuid};
     use cv_common::SimDuration;
     use cv_data::schema::{Field, Schema};
+    use cv_data::sharded::ShardedViewStore;
     use cv_data::value::{DataType, Value};
     use cv_data::MaterializedView;
 

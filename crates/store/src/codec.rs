@@ -1,0 +1,349 @@
+//! Zero-dependency little-endian codec for tables and store metadata.
+//!
+//! Everything durable (pages, WAL records, checkpoints) is encoded through
+//! these two cursors. Decoding is *total*: every read is bounds-checked and
+//! returns `Err` on truncation or a bad tag, because the bytes may come from
+//! a torn write — the read path maps decode failures to corruption, never
+//! panics.
+
+use cv_data::bitmap::Bitmap;
+use cv_data::column::{Column, ColumnData};
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::DataType;
+
+/// Decode failure: the bytes do not parse as what was expected. Carries a
+/// static reason for diagnostics; callers usually map it to "corrupt".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CodecError(pub &'static str);
+
+pub type CodecResult<T> = std::result::Result<T, CodecError>;
+
+/// Append-only little-endian encoder.
+#[derive(Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Enc {
+        Enc { buf: Vec::new() }
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i32(&mut self, v: i32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Floats are stored by bit pattern, so NaN payloads and signed zeros
+    /// round-trip exactly — required for byte-identical digests.
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+}
+
+/// Bounds-checked little-endian decoder over a byte slice.
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(buf: &'a [u8]) -> Dec<'a> {
+        Dec { buf, pos: 0 }
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError("truncated"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    pub fn get_u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> CodecResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_u128(&mut self) -> CodecResult<u128> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    pub fn get_i32(&mut self) -> CodecResult<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_i64(&mut self) -> CodecResult<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_str(&mut self) -> CodecResult<String> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError("invalid utf-8"))
+    }
+
+    pub fn get_bytes(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        self.take(n)
+    }
+}
+
+fn dtype_from_ordinal(ord: u8) -> CodecResult<DataType> {
+    Ok(match ord {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        4 => DataType::Date,
+        _ => return Err(CodecError("unknown dtype ordinal")),
+    })
+}
+
+fn pack_bools(bits: &[bool]) -> Vec<u8> {
+    let mut out = vec![0u8; bits.len().div_ceil(8)];
+    for (i, &b) in bits.iter().enumerate() {
+        if b {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    out
+}
+
+fn unpack_bools(bytes: &[u8], n: usize) -> Vec<bool> {
+    (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
+}
+
+/// Serialize a table (schema + columns + validity) to bytes.
+pub fn encode_table(t: &Table) -> Vec<u8> {
+    let mut e = Enc::new();
+    let schema = t.schema();
+    e.put_u32(schema.len() as u32);
+    for f in schema.fields() {
+        e.put_str(&f.name);
+        e.put_u8(f.dtype.ordinal());
+        e.put_u8(f.nullable as u8);
+    }
+    e.put_u64(t.num_rows() as u64);
+    for col in t.columns() {
+        match col.validity() {
+            Some(v) => {
+                e.put_u8(1);
+                e.put_bytes(&pack_bools(&v.to_bools()));
+            }
+            None => e.put_u8(0),
+        }
+        match col.data() {
+            ColumnData::Bool(vs) => e.put_bytes(&pack_bools(vs)),
+            ColumnData::Int(vs) => vs.iter().for_each(|&v| e.put_i64(v)),
+            ColumnData::Float(vs) => vs.iter().for_each(|&v| e.put_f64(v)),
+            ColumnData::Str(vs) => vs.iter().for_each(|v| e.put_str(v)),
+            ColumnData::Date(vs) => vs.iter().for_each(|&v| e.put_i32(v)),
+        }
+    }
+    e.into_bytes()
+}
+
+/// Inverse of [`encode_table`].
+pub fn decode_table(buf: &[u8]) -> CodecResult<Table> {
+    let mut d = Dec::new(buf);
+    let n_fields = d.get_u32()? as usize;
+    let mut fields = Vec::with_capacity(n_fields);
+    for _ in 0..n_fields {
+        let name = d.get_str()?;
+        let dtype = dtype_from_ordinal(d.get_u8()?)?;
+        let nullable = match d.get_u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(CodecError("bad nullable flag")),
+        };
+        fields.push(if nullable { Field::new(name, dtype) } else { Field::not_null(name, dtype) });
+    }
+    let n_rows = d.get_u64()? as usize;
+    let bitmap_bytes = n_rows.div_ceil(8);
+    let mut columns = Vec::with_capacity(n_fields);
+    for field in &fields {
+        let validity = match d.get_u8()? {
+            0 => None,
+            1 => Some(Bitmap::from_bools(&unpack_bools(d.get_bytes(bitmap_bytes)?, n_rows))),
+            _ => return Err(CodecError("bad validity flag")),
+        };
+        let data = match field.dtype {
+            DataType::Bool => ColumnData::Bool(unpack_bools(d.get_bytes(bitmap_bytes)?, n_rows)),
+            DataType::Int => {
+                ColumnData::Int((0..n_rows).map(|_| d.get_i64()).collect::<CodecResult<_>>()?)
+            }
+            DataType::Float => {
+                ColumnData::Float((0..n_rows).map(|_| d.get_f64()).collect::<CodecResult<_>>()?)
+            }
+            DataType::Str => {
+                ColumnData::Str((0..n_rows).map(|_| d.get_str()).collect::<CodecResult<_>>()?)
+            }
+            DataType::Date => {
+                ColumnData::Date((0..n_rows).map(|_| d.get_i32()).collect::<CodecResult<_>>()?)
+            }
+        };
+        columns.push(Column::new(data, validity));
+    }
+    if !d.is_done() {
+        return Err(CodecError("trailing bytes after table"));
+    }
+    let schema = Schema::new_unchecked(fields).into_ref();
+    Table::new(schema, columns).map_err(|_| CodecError("table validation failed"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_data::value::Value;
+
+    fn sample_table() -> Table {
+        let schema = Schema::new(vec![
+            Field::not_null("id", DataType::Int),
+            Field::new("name", DataType::Str),
+            Field::new("score", DataType::Float),
+            Field::new("active", DataType::Bool),
+            Field::new("day", DataType::Date),
+        ])
+        .unwrap()
+        .into_ref();
+        Table::from_rows(
+            schema,
+            &[
+                vec![
+                    Value::Int(1),
+                    Value::Str("ada".into()),
+                    Value::Float(1.5),
+                    Value::Bool(true),
+                    Value::Date(100),
+                ],
+                vec![
+                    Value::Int(-2),
+                    Value::Null,
+                    Value::Float(f64::NEG_INFINITY),
+                    Value::Null,
+                    Value::Date(-5),
+                ],
+                vec![
+                    Value::Int(i64::MAX),
+                    Value::Str(String::new()),
+                    Value::Null,
+                    Value::Bool(false),
+                    Value::Null,
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn table_round_trips_exactly() {
+        let t = sample_table();
+        let bytes = encode_table(&t);
+        let back = decode_table(&bytes).unwrap();
+        assert_eq!(t.canonical_rows(), back.canonical_rows());
+        assert_eq!(t.num_rows(), back.num_rows());
+        assert_eq!(t.schema().fields(), back.schema().fields());
+    }
+
+    #[test]
+    fn empty_table_round_trips() {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let t = Table::empty(schema);
+        let back = decode_table(&encode_table(&t)).unwrap();
+        assert_eq!(back.num_rows(), 0);
+        assert_eq!(t.schema().fields(), back.schema().fields());
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        let schema = Schema::new(vec![Field::new("f", DataType::Float)]).unwrap().into_ref();
+        let t = Table::from_rows(
+            schema,
+            &[vec![Value::Float(-0.0)], vec![Value::Float(f64::MIN_POSITIVE)]],
+        )
+        .unwrap();
+        let back = decode_table(&encode_table(&t)).unwrap();
+        let (ColumnData::Float(a), ColumnData::Float(b)) =
+            (t.columns()[0].data(), back.columns()[0].data())
+        else {
+            panic!("not float columns");
+        };
+        assert_eq!(
+            a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn every_truncation_fails_cleanly() {
+        let bytes = encode_table(&sample_table());
+        for cut in 0..bytes.len() {
+            assert!(decode_table(&bytes[..cut]).is_err(), "prefix of {cut} bytes decoded");
+        }
+        // Trailing garbage is also rejected.
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(decode_table(&extended).is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! `cv-store` — disk-backed, crash-recoverable materialized-view storage.
+//!
+//! CloudViews materializes views to *stable storage* (paper §2.4); this
+//! crate is that storage for the reproduction. It keeps the logical
+//! semantics of the in-memory [`cv_data::viewstore::ViewStore`] — strict
+//! signatures, TTL expiry, quarantine denylist, GDPR purge, content
+//! checksums — while adding the durability machinery production reuse
+//! systems live on:
+//!
+//! * [`page`] — fixed 8 KiB pages with per-page CRCs under a clock-evicting
+//!   buffer pool ([`cache`]);
+//! * [`wal`] — a write-ahead log with record CRCs and idempotent replay;
+//! * [`store::DurableViewStore`] — the store itself: WAL-first mutation
+//!   ordering, periodic checkpoints, byte-budget crash injection
+//!   ([`cv_common::FaultPoint::CrashAt`]) and torn-record injection
+//!   ([`cv_common::FaultPoint::WalTornWrite`]), and crash recovery that
+//!   replays to a state whose served rows are byte-identical to a
+//!   never-crashed run;
+//! * [`sharded::ShardedDurableViewStore`] — the lock-striped variant for
+//!   the service layer.
+
+pub mod cache;
+pub mod codec;
+pub mod page;
+pub mod sharded;
+pub mod store;
+pub mod wal;
+
+pub use cache::PageCache;
+pub use sharded::ShardedDurableViewStore;
+pub use store::{DurableStoreOptions, DurableViewStore};
+pub use wal::{DurableViewMeta, WalRecord};
+
+// The durable stores cross worker threads in the service layer; keep them
+// provably Send + Sync at compile time, like the cv-data stores.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DurableViewStore>();
+    assert_send_sync::<ShardedDurableViewStore>();
+};

@@ -1,0 +1,183 @@
+//! Signature-striped collection of [`DurableViewStore`] shards.
+//!
+//! Mirrors [`cv_data::sharded::ShardedViewStore`]: the same deterministic
+//! routing function sends each signature to one shard, so a view lands in
+//! the same on-disk subdirectory (`shard-000`, `shard-001`, …) in every
+//! run. Each shard is an independent WAL + page file + checkpoint, which
+//! keeps commit records small and lets the service layer's workers fan out
+//! across shard mutexes instead of serializing on one.
+
+use crate::store::{DurableStoreOptions, DurableViewStore};
+use cv_common::ids::{VcId, VersionGuid};
+use cv_common::{FaultPlan, Result, Sig128, SimDuration, SimTime};
+use cv_data::store_api::{SharedViewStore, StoreIoStats};
+use cv_data::table::Table;
+use cv_data::viewstore::{
+    MaterializedView, ViewReadFault, ViewSource, ViewStoreStats, ViewTemperature,
+};
+use std::path::{Path, PathBuf};
+
+/// N independently locked durable stores behind one signature-routed front.
+#[derive(Debug)]
+pub struct ShardedDurableViewStore {
+    shards: Vec<DurableViewStore>,
+}
+
+impl ShardedDurableViewStore {
+    /// Open `n_shards` stores under `dir/shard-XXX`, recovering each.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        ttl: SimDuration,
+        n_shards: usize,
+        opts: DurableStoreOptions,
+    ) -> Result<ShardedDurableViewStore> {
+        let dir = dir.into();
+        let n = n_shards.max(1);
+        let shards = (0..n)
+            .map(|i| DurableViewStore::open(dir.join(format!("shard-{i:03}")), ttl, opts.clone()))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedDurableViewStore { shards })
+    }
+
+    /// Same routing as the in-memory sharded store.
+    fn shard_of(&self, sig: Sig128) -> usize {
+        let mixed = (sig.0 as u64) ^ ((sig.0 >> 64) as u64);
+        (mixed % self.shards.len() as u64) as usize
+    }
+
+    fn shard_for(&self, sig: Sig128) -> &DurableViewStore {
+        &self.shards[self.shard_of(sig)]
+    }
+
+    pub fn shards(&self) -> &[DurableViewStore] {
+        &self.shards
+    }
+
+    pub fn dir_of(&self, sig: Sig128) -> &Path {
+        self.shard_for(sig).dir()
+    }
+
+    pub fn recover_in_place(&self) -> Result<()> {
+        for s in &self.shards {
+            s.recover_in_place()?;
+        }
+        Ok(())
+    }
+
+    pub fn checkpoint_now(&self) -> Result<()> {
+        for s in &self.shards {
+            s.checkpoint_now()?;
+        }
+        Ok(())
+    }
+
+    pub fn io_stats(&self) -> StoreIoStats {
+        let mut total = StoreIoStats::default();
+        for s in &self.shards {
+            total.merge(&s.io_stats());
+        }
+        total
+    }
+}
+
+impl ViewSource for ShardedDurableViewStore {
+    fn read_view(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<Table>, ViewReadFault> {
+        self.shard_for(sig).read_view(sig, now)
+    }
+
+    fn read_view_traced(
+        &self,
+        sig: Sig128,
+        now: SimTime,
+    ) -> std::result::Result<Option<(Table, ViewTemperature)>, ViewReadFault> {
+        self.shard_for(sig).read_view_traced(sig, now)
+    }
+}
+
+impl SharedViewStore for ShardedDurableViewStore {
+    fn insert(&self, view: MaterializedView) -> Result<()> {
+        self.shard_for(view.strict_sig).insert(view)
+    }
+    fn contains(&self, sig: Sig128) -> bool {
+        self.shard_for(sig).contains(sig)
+    }
+    fn contains_live(&self, sig: Sig128, now: SimTime) -> bool {
+        self.shard_for(sig).contains_live(sig, now)
+    }
+    fn is_quarantined(&self, sig: Sig128) -> bool {
+        self.shard_for(sig).is_quarantined(sig)
+    }
+    fn quarantine(&self, sig: Sig128) -> Result<bool> {
+        self.shard_for(sig).quarantine(sig)
+    }
+    fn peek_meta(&self, sig: Sig128, now: SimTime) -> Option<(u64, u64, f64)> {
+        self.shard_for(sig).peek_meta(sig, now)
+    }
+    fn observed_work(&self, sig: Sig128) -> Option<f64> {
+        self.shard_for(sig).observed_work(sig)
+    }
+    fn evict_expired(&self, now: SimTime) -> Result<usize> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.evict_expired(now)?;
+        }
+        Ok(total)
+    }
+    fn purge_input(&self, guid: VersionGuid, now: SimTime) -> Result<usize> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.purge_input(guid, now)?;
+        }
+        Ok(total)
+    }
+    fn purge_vc(&self, vc: VcId, now: SimTime) -> Result<usize> {
+        let mut total = 0;
+        for s in &self.shards {
+            total += s.purge_vc(vc, now)?;
+        }
+        Ok(total)
+    }
+    fn sigs_with_input(&self, guid: VersionGuid) -> Vec<Sig128> {
+        let mut out: Vec<Sig128> =
+            self.shards.iter().flat_map(|s| s.sigs_with_input(guid)).collect();
+        out.sort();
+        out
+    }
+    fn stats(&self) -> ViewStoreStats {
+        let mut total = ViewStoreStats::default();
+        for s in &self.shards {
+            total.merge(&s.stats());
+        }
+        total
+    }
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+    fn total_storage(&self) -> u64 {
+        self.shards.iter().map(|s| s.total_storage()).sum()
+    }
+    fn storage_used(&self, vc: VcId) -> u64 {
+        self.shards.iter().map(|s| s.storage_used(vc)).sum()
+    }
+    fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+    fn ttl(&self) -> SimDuration {
+        self.shards[0].ttl()
+    }
+    fn set_fault_plan(&self, plan: FaultPlan) {
+        for s in &self.shards {
+            s.set_fault_plan(plan.clone());
+        }
+    }
+    fn io_stats(&self) -> Option<StoreIoStats> {
+        Some(ShardedDurableViewStore::io_stats(self))
+    }
+    fn is_resident(&self, sig: Sig128) -> bool {
+        self.shard_for(sig).is_resident(sig)
+    }
+}

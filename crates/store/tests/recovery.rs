@@ -1,0 +1,351 @@
+//! Crash-recovery integration tests: kill the store at arbitrary durable
+//! byte offsets and require the recovered state — and a full reopen — to be
+//! indistinguishable (by signature, by row content, and by operational
+//! control state) from a run that never crashed.
+
+use cv_common::ids::{JobId, VcId, VersionGuid};
+use cv_common::{DetRng, FaultPlan, Result, Sig128, SimDuration, SimTime};
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_data::viewstore::{MaterializedView, ViewSource};
+use cv_store::{DurableStoreOptions, DurableViewStore};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("cv-store-test-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn view(sig: u128, vc: u64, guid: u128, created: SimTime, rows: i64) -> MaterializedView {
+    let schema =
+        Schema::new(vec![Field::not_null("k", DataType::Int), Field::new("label", DataType::Str)])
+            .unwrap()
+            .into_ref();
+    let data = Table::from_rows(
+        schema.clone(),
+        &(0..rows)
+            .map(|i| vec![Value::Int(i * sig as i64), Value::Str(format!("r{sig}-{i}"))])
+            .collect::<Vec<_>>(),
+    )
+    .unwrap();
+    MaterializedView {
+        strict_sig: Sig128(sig),
+        recurring_sig: Sig128(sig ^ 0xffff),
+        schema,
+        data,
+        rows: 0,
+        bytes: 0,
+        created,
+        expires: created,
+        creator_job: JobId(1),
+        vc: VcId(vc),
+        input_guids: vec![VersionGuid(guid)],
+        observed_work: 10.0,
+        checksum: 0,
+    }
+}
+
+fn small_opts() -> DurableStoreOptions {
+    DurableStoreOptions { cache_pages: 4, checkpoint_every: 1_000_000 }
+}
+
+/// Rows of every given signature (None = not served), plus quarantine flag.
+type Snapshot = Vec<(Sig128, Option<Vec<String>>, bool)>;
+
+fn snapshot(store: &DurableViewStore, now: SimTime, sigs: &[u128]) -> Snapshot {
+    sigs.iter()
+        .map(|&s| {
+            let sig = Sig128(s);
+            let rows = store
+                .read_view(sig, now)
+                .expect("fault-free read must not fail")
+                .map(|t| t.canonical_rows());
+            (sig, rows, store.is_quarantined(sig))
+        })
+        .collect()
+}
+
+/// Run `op`; on a simulated kill, recover and retry exactly once.
+fn attempt<T>(
+    store: &DurableViewStore,
+    recoveries: &mut u32,
+    op: impl Fn(&DurableViewStore) -> Result<T>,
+) -> T {
+    match op(store) {
+        Ok(v) => v,
+        Err(e) if e.is_crash() => {
+            store.recover_in_place().expect("recovery must succeed");
+            *recoveries += 1;
+            op(store).expect("retry after recovery must succeed")
+        }
+        Err(e) => panic!("unexpected non-crash error: {e}"),
+    }
+}
+
+const SCRIPT_SIGS: [u128; 7] = [1, 2, 3, 4, 5, 6, 7];
+const SCRIPT_END: SimTime = SimTime(9.0 * 86_400.0);
+
+/// A fixed mutation script covering every WAL record type: inserts,
+/// quarantine, GDPR purge, TTL eviction, a checkpoint, and a VC purge.
+fn run_script(store: &DurableViewStore, recoveries: &mut u32) {
+    let d = |days: f64| SimTime::from_days(days);
+    attempt(store, recoveries, |s| s.insert(view(1, 1, 42, d(0.0), 3)));
+    attempt(store, recoveries, |s| s.insert(view(2, 1, 42, d(0.0), 4)));
+    attempt(store, recoveries, |s| s.insert(view(3, 1, 99, d(0.0), 2)));
+    attempt(store, recoveries, |s| s.insert(view(4, 2, 42, d(0.0), 5)));
+    attempt(store, recoveries, |s| s.quarantine(Sig128(3)));
+    attempt(store, recoveries, |s| s.insert(view(5, 1, 77, d(1.0), 3)));
+    attempt(store, recoveries, |s| s.purge_input(VersionGuid(42), d(1.0)));
+    attempt(store, recoveries, |s| s.insert(view(6, 2, 77, d(3.0), 2)));
+    attempt(store, recoveries, |s| s.evict_expired(d(8.5)));
+    attempt(store, recoveries, |s| s.checkpoint_now());
+    attempt(store, recoveries, |s| s.insert(view(7, 1, 77, d(8.6), 4)));
+    attempt(store, recoveries, |s| s.purge_vc(VcId(2), d(8.7)));
+}
+
+fn baseline() -> (Snapshot, u64) {
+    let dir = temp_dir("baseline");
+    let store = DurableViewStore::open(&dir, SimDuration::from_days(7.0), small_opts()).unwrap();
+    let mut recoveries = 0;
+    run_script(&store, &mut recoveries);
+    assert_eq!(recoveries, 0);
+    let snap = snapshot(&store, SCRIPT_END, &SCRIPT_SIGS);
+    let bytes = store.io_stats().bytes_written_durably;
+    let _ = std::fs::remove_dir_all(&dir);
+    (snap, bytes)
+}
+
+#[test]
+fn baseline_script_reaches_expected_state() {
+    let (snap, bytes) = baseline();
+    let alive: Vec<u128> =
+        snap.iter().filter(|(_, rows, _)| rows.is_some()).map(|(s, _, _)| s.0).collect();
+    // 1,2,4 purged by GDPR; 3 quarantined; 5 expired (created day 1, ttl 7,
+    // read at day 9); 6 purged by VC; 7 live.
+    assert_eq!(alive, vec![7]);
+    assert!(snap[2].2, "sig 3 must be quarantined");
+    assert!(bytes > 0);
+}
+
+#[test]
+fn crash_at_swept_byte_offsets_recovers_to_baseline_state() {
+    let (want, total_bytes) = baseline();
+    // Sweep kill offsets across the whole durable byte range. The step is
+    // small enough to land inside WAL records (framed records are tens of
+    // bytes) as well as page and checkpoint interiors; the scanner itself
+    // is separately tested at *every* byte boundary in cv-store's wal
+    // unit tests.
+    let step = (total_bytes / 400).max(1) as usize;
+    let dir = temp_dir("crash-sweep");
+    let mut crashes = 0u32;
+    for k in (1..total_bytes).step_by(step) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store =
+            DurableViewStore::open(&dir, SimDuration::from_days(7.0), small_opts()).unwrap();
+        store.set_fault_plan(FaultPlan::seeded(1).with_crash_after_bytes(k));
+        let mut recoveries = 0;
+        run_script(&store, &mut recoveries);
+        assert_eq!(recoveries, 1, "kill at byte {k} did not fire exactly once");
+        crashes += 1;
+        let got = snapshot(&store, SCRIPT_END, &SCRIPT_SIGS);
+        assert_eq!(got, want, "in-place recovery diverged after kill at byte {k}");
+        // A full process restart over the same directory must agree too.
+        drop(store);
+        let reopened =
+            DurableViewStore::open(&dir, SimDuration::from_days(7.0), small_opts()).unwrap();
+        let got = snapshot(&reopened, SCRIPT_END, &SCRIPT_SIGS);
+        assert_eq!(got, want, "reopen diverged after kill at byte {k}");
+    }
+    assert!(crashes > 100, "sweep too sparse: only {crashes} kills");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite: operational controls written before a crash must hold after
+/// recovery — no resurrected purged/quarantined/expired views, checked by
+/// signature and by row content, across randomized op interleavings.
+#[test]
+fn operational_controls_survive_restart_property() {
+    for seed in 0..12u64 {
+        let mut rng = DetRng::seed(0xC0FFEE ^ seed);
+        let dir = temp_dir("props");
+        let ttl = SimDuration::from_days(7.0);
+        let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+        let n_views = rng.range_usize(4, 12);
+        let mut now = SimTime::EPOCH;
+        let mut quarantined: Vec<u128> = Vec::new();
+        let mut purged_sigs: Vec<Sig128> = Vec::new();
+        for sig in 1..=n_views as u128 {
+            let guid = rng.range_u64(1, 4) as u128; // few guids → purges overlap
+            let vc = rng.range_u64(1, 3);
+            store.insert(view(sig, vc, guid, now, rng.range_i64(1, 6))).unwrap();
+            now += SimDuration::from_hours(rng.range_f64(1.0, 20.0));
+            if rng.chance(0.25) {
+                store.quarantine(Sig128(sig)).unwrap();
+                quarantined.push(sig);
+            }
+            if rng.chance(0.2) {
+                // Purge is point-in-time: record which views it tombstoned
+                // (later inserts may legitimately reuse the guid).
+                let g = VersionGuid(rng.range_u64(1, 4) as u128);
+                purged_sigs.extend(store.sigs_with_input(g));
+                store.purge_input(g, now).unwrap();
+            }
+            if rng.chance(0.15) {
+                store.evict_expired(now).unwrap();
+            }
+            if rng.chance(0.1) {
+                store.checkpoint_now().unwrap();
+            }
+        }
+        let sigs: Vec<u128> = (1..=n_views as u128).collect();
+        let before = snapshot(&store, now, &sigs);
+        drop(store); // "crash": state is only what reached disk
+
+        let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+        let after = snapshot(&reopened, now, &sigs);
+        assert_eq!(before, after, "seed {seed}: restart changed visible state");
+        for sig in &quarantined {
+            assert!(reopened.is_quarantined(Sig128(*sig)), "seed {seed}: lost quarantine {sig}");
+            assert!(
+                reopened.read_view(Sig128(*sig), now).unwrap().is_none(),
+                "seed {seed}: quarantined view {sig} resurrected"
+            );
+        }
+        for sig in &purged_sigs {
+            assert!(
+                reopened.read_view(*sig, now).unwrap().is_none(),
+                "seed {seed}: purged view {sig} resurrected after restart"
+            );
+            assert!(!reopened.contains(*sig), "seed {seed}: purged view {sig} still indexed");
+        }
+        // Row-content check: no surviving view may contain rows derived
+        // from a view that was purged or quarantined (each view's rows
+        // embed its signature, so leakage is detectable in content).
+        for (sig, rows, _) in &after {
+            if let Some(rows) = rows {
+                for row in rows {
+                    assert!(
+                        row.contains(&format!("r{}-", sig.0)),
+                        "seed {seed}: view {sig} serves foreign rows: {row}"
+                    );
+                }
+            }
+        }
+        // TTL must also hold across restart: far future reads miss.
+        let far = now + SimDuration::from_days(8.0);
+        for sig in &sigs {
+            assert!(
+                reopened.read_view(Sig128(*sig), far).unwrap().is_none(),
+                "seed {seed}: view {sig} served past its TTL after restart"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn torn_wal_commit_is_lost_but_later_records_survive() {
+    let dir = temp_dir("torn");
+    let ttl = SimDuration::from_days(7.0);
+    let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    // High torn-write rate over many commits: some records land corrupt.
+    store.set_fault_plan(FaultPlan::seeded(5).with_rate(cv_common::FaultPoint::WalTornWrite, 0.5));
+    for sig in 1..=24u128 {
+        store.insert(view(sig, 1, 42, SimTime::EPOCH, 3)).unwrap();
+    }
+    // Operational records after the (possibly torn) commits must survive.
+    store.quarantine(Sig128(24)).unwrap();
+    assert_eq!(store.len(), 23, "torn writes are invisible before restart");
+    drop(store);
+
+    let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    let io = reopened.io_stats();
+    assert!(io.wal_records_skipped > 0, "0.5 torn rate over 24 commits must tear");
+    assert!(io.wal_records_replayed > 0);
+    assert!(reopened.len() < 23, "torn commits must be lost at restart");
+    assert!(!reopened.is_empty(), "not every commit was torn");
+    assert!(reopened.is_quarantined(Sig128(24)), "quarantine after torn commits lost");
+    // Surviving views serve intact rows (fault plan gone after reopen).
+    for sig in 1..=23u128 {
+        if let Some(t) = reopened.read_view(Sig128(sig), SimTime::EPOCH).unwrap() {
+            assert!(t.canonical_rows().iter().all(|r| r.contains(&format!("r{sig}-"))));
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_wal_header_falls_back_to_checkpoint() {
+    let dir = temp_dir("torn-header");
+    let ttl = SimDuration::from_days(7.0);
+    let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    store.insert(view(1, 1, 42, SimTime::EPOCH, 3)).unwrap();
+    store.checkpoint_now().unwrap();
+    store.insert(view(2, 1, 42, SimTime::EPOCH, 3)).unwrap();
+    drop(store);
+    // Tear the WAL header: everything after the checkpoint is lost, but the
+    // checkpointed view must recover.
+    let wal = dir.join("wal.log");
+    let bytes = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &bytes[..7]).unwrap();
+    let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    assert!(reopened.contains(Sig128(1)));
+    assert!(!reopened.contains(Sig128(2)));
+    assert_eq!(reopened.io_stats().wal_records_replayed, 0);
+    // The store keeps working after the reset.
+    reopened.insert(view(3, 1, 42, SimTime::EPOCH, 3)).unwrap();
+    drop(reopened);
+    let again = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    assert!(again.contains(Sig128(3)));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_page_on_disk_is_caught_without_a_fault_plan() {
+    use cv_data::viewstore::ViewReadFault;
+    let dir = temp_dir("bitrot");
+    let ttl = SimDuration::from_days(7.0);
+    let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    store.insert(view(1, 1, 42, SimTime::EPOCH, 50)).unwrap();
+    drop(store);
+    // Flip one payload byte in pages.dat — classic bit rot / torn write.
+    let pages = dir.join("pages.dat");
+    let mut bytes = std::fs::read(&pages).unwrap();
+    bytes[100] ^= 0x01;
+    std::fs::write(&pages, &bytes).unwrap();
+    let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    // Cold read, no fault plan active: the damage must still be caught.
+    assert_eq!(
+        reopened.read_view(Sig128(1), SimTime::EPOCH).err(),
+        Some(ViewReadFault::Corrupt),
+        "cold read served corrupt bytes"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn page_cache_serves_hot_reads_and_reports_temperature() {
+    use cv_data::viewstore::ViewTemperature;
+    let dir = temp_dir("cache");
+    let ttl = SimDuration::from_days(7.0);
+    let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    store.insert(view(1, 1, 42, SimTime::EPOCH, 3)).unwrap();
+    // Freshly inserted pages are warm.
+    let (_, temp) = store.read_view_traced(Sig128(1), SimTime::EPOCH).unwrap().unwrap();
+    assert_eq!(temp, ViewTemperature::Hot);
+    drop(store);
+    let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    // First read after a restart is cold, the second hot.
+    let (_, t1) = reopened.read_view_traced(Sig128(1), SimTime::EPOCH).unwrap().unwrap();
+    let (_, t2) = reopened.read_view_traced(Sig128(1), SimTime::EPOCH).unwrap().unwrap();
+    assert_eq!((t1, t2), (ViewTemperature::Cold, ViewTemperature::Hot));
+    let io = reopened.io_stats();
+    assert!(io.page_cache_misses > 0 && io.page_cache_hits > 0);
+    assert!(io.page_cache_hit_rate() > 0.0 && io.page_cache_hit_rate() < 1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

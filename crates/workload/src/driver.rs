@@ -39,11 +39,13 @@ use cv_core::selection::{
     apply_schedule_awareness, select_per_vc, ExactSelector, GreedySelector,
     LabelPropagationSelector, SelectionConstraints, ViewSelector,
 };
+use cv_data::store_api::StoreIoStats;
 use cv_data::value::Value;
-use cv_data::viewstore::{ViewStore, ViewStoreStats};
+use cv_data::viewstore::{MaterializedView, ViewStore, ViewStoreStats};
 use cv_engine::engine::QueryEngine;
 use cv_engine::exec::PendingView;
 use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext};
+use cv_store::{DurableStoreOptions, DurableViewStore};
 use std::collections::{BTreeMap, HashMap};
 
 /// Which selection algorithm the feedback loop runs.
@@ -84,6 +86,48 @@ impl Default for SelectionKnobs {
     }
 }
 
+/// Where materialized views live for the run.
+#[derive(Clone, Debug, Default)]
+pub enum StoreBackend {
+    /// The in-memory [`ViewStore`] owned by the engine (the default; no
+    /// durability, no page cache, no crash surface).
+    #[default]
+    Memory,
+    /// The disk-backed [`DurableViewStore`]: WAL + pages + checkpoints
+    /// under the given directory. Survives (simulated and real) restarts.
+    Durable(DurableStoreConfig),
+}
+
+/// Configuration of the durable backend.
+#[derive(Clone, Debug)]
+pub struct DurableStoreConfig {
+    /// Store directory. Reopening an existing directory recovers the views
+    /// a previous run left behind (restart-and-resume).
+    pub dir: std::path::PathBuf,
+    /// Buffer-pool capacity in 8 KiB pages.
+    pub cache_pages: usize,
+    /// Checkpoint after this many WAL records.
+    pub checkpoint_every: u64,
+}
+
+impl DurableStoreConfig {
+    pub fn new(dir: impl Into<std::path::PathBuf>) -> DurableStoreConfig {
+        let defaults = DurableStoreOptions::default();
+        DurableStoreConfig {
+            dir: dir.into(),
+            cache_pages: defaults.cache_pages,
+            checkpoint_every: defaults.checkpoint_every,
+        }
+    }
+
+    fn options(&self) -> DurableStoreOptions {
+        DurableStoreOptions {
+            cache_pages: self.cache_pages,
+            checkpoint_every: self.checkpoint_every,
+        }
+    }
+}
+
 /// Full driver configuration.
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
@@ -99,6 +143,8 @@ pub struct DriverConfig {
     /// Deterministic fault-injection plan (default: no faults — a pure
     /// overlay that leaves every run bit-identical).
     pub faults: FaultPlan,
+    /// View-store backend (in-memory by default).
+    pub store: StoreBackend,
 }
 
 impl DriverConfig {
@@ -112,6 +158,7 @@ impl DriverConfig {
             optimizer: OptimizerConfig::default(),
             gdpr_every_days: None,
             faults: FaultPlan::none(),
+            store: StoreBackend::Memory,
         }
     }
 
@@ -138,6 +185,8 @@ pub struct DriverOutcome {
     pub gdpr_purged_views: u64,
     /// Fault-layer roll-up: every degradation the run absorbed.
     pub robustness: RobustnessStats,
+    /// Durable-store IO counters (`None` for in-memory runs).
+    pub store_io: Option<StoreIoStats>,
 }
 
 impl DriverOutcome {
@@ -158,6 +207,22 @@ impl DriverOutcome {
             "views_reused_exact": totals.views_reused - totals.views_reused_semantic,
             "views_reused_semantic": totals.views_reused_semantic,
             "robustness": self.robustness.to_json(),
+            "store": match &self.store_io {
+                Some(io) => json!({
+                    "page_cache_hits": io.page_cache_hits,
+                    "page_cache_misses": io.page_cache_misses,
+                    "page_cache_hit_rate": io.page_cache_hit_rate(),
+                    "pages_evicted": io.pages_evicted,
+                    "wal_fsyncs": io.wal_fsyncs,
+                    "wal_records_written": io.wal_records_written,
+                    "wal_records_replayed": io.wal_records_replayed,
+                    "wal_records_skipped": io.wal_records_skipped,
+                    "recoveries": io.recoveries,
+                    "checkpoints": io.checkpoints,
+                    "bytes_written_durably": io.bytes_written_durably,
+                }),
+                None => Json::Null,
+            },
         })
     }
 }
@@ -187,6 +252,17 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
     }
     engine.views = ViewStore::new(cfg.view_ttl);
     engine.views.set_fault_plan(cfg.faults.clone());
+    // Durable backend: views live on disk behind a WAL + page cache; the
+    // engine's own store stays empty. Reopening an existing directory
+    // recovers whatever a previous run (or a crashed run) left behind.
+    let durable: Option<DurableViewStore> = match &cfg.store {
+        StoreBackend::Memory => None,
+        StoreBackend::Durable(d) => {
+            let store = DurableViewStore::open(&d.dir, cfg.view_ttl, d.options())?;
+            store.set_fault_plan(cfg.faults.clone());
+            Some(store)
+        }
+    };
     let mut insights = InsightsService::new(cfg.controls.clone());
     let mut sim = ClusterSim::new(cfg.cluster.clone());
     sim.set_fault_plan(cfg.faults.clone());
@@ -212,6 +288,8 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
             &mut engine,
             &mut insights,
             cfg.view_ttl,
+            durable.as_ref(),
+            &mut robustness,
         )?;
 
         // 1. Ingestion: bulk-regenerate due raw datasets.
@@ -234,8 +312,14 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         // Optional GDPR forget-request (rotates the `users` GUID).
         if let Some(every) = cfg.gdpr_every_days {
             if day_idx > 0 && day_idx % every == 0 {
-                gdpr_purged_views +=
-                    apply_gdpr(&mut engine, &mut insights, workload.config.seed, day)? as u64;
+                gdpr_purged_views += apply_gdpr(
+                    &mut engine,
+                    &mut insights,
+                    workload.config.seed,
+                    day,
+                    durable.as_ref(),
+                    &mut robustness,
+                )? as u64;
             }
         }
 
@@ -258,8 +342,17 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 &mut engine,
                 &mut insights,
                 cfg.view_ttl,
+                durable.as_ref(),
+                &mut robustness,
             )?;
-            engine.views.evict_expired(submit);
+            match &durable {
+                Some(s) => {
+                    with_crash_retry(s, &mut robustness, |s| s.evict_expired(submit))?;
+                }
+                None => {
+                    engine.views.evict_expired(submit);
+                }
+            }
             insights.expire(submit);
 
             let job = JobId(next_job);
@@ -289,6 +382,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 day,
                 meta,
                 enabled && !metadata_down,
+                durable.as_ref(),
             );
             match run {
                 Ok(one) => {
@@ -299,7 +393,14 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                     // run: the engine recomputes instead of retrying a bad
                     // artifact.
                     for sig in &one.quarantined_sigs {
-                        engine.views.quarantine(*sig);
+                        match &durable {
+                            Some(s) => {
+                                with_crash_retry(s, &mut robustness, |s| s.quarantine(*sig))?;
+                            }
+                            None => {
+                                engine.views.quarantine(*sig);
+                            }
+                        }
                         insights.quarantine(*sig);
                     }
                     robustness.fallbacks_recompute += one.data_plane.fallbacks_recompute;
@@ -338,7 +439,15 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
 
     // Drain the simulator.
     let final_events = sim.run_to_completion();
-    apply_seal_events(&final_events, &mut pending_seals, &mut engine, &mut insights, cfg.view_ttl)?;
+    apply_seal_events(
+        &final_events,
+        &mut pending_seals,
+        &mut engine,
+        &mut insights,
+        cfg.view_ttl,
+        durable.as_ref(),
+        &mut robustness,
+    )?;
 
     // Assemble the ledger.
     let mut ledger = MetricsLedger::new();
@@ -350,7 +459,23 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         let data = data_plane.remove(&result.job).unwrap_or_default();
         ledger.add(JobRecord { result: result.clone(), data });
     }
-    let store_stats = engine.views.stats();
+    // Final checkpoint: a later run reopening the directory recovers from
+    // the checkpoint instead of a long WAL replay.
+    let store_io = match &durable {
+        Some(s) => {
+            with_crash_retry(s, &mut robustness, |s| s.checkpoint_now())?;
+            let io = s.io_stats();
+            robustness.store_recoveries += io.recoveries;
+            robustness.wal_records_replayed += io.wal_records_replayed;
+            robustness.wal_records_skipped += io.wal_records_skipped;
+            Some(io)
+        }
+        None => None,
+    };
+    let store_stats = match &durable {
+        Some(s) => s.stats(),
+        None => engine.views.stats(),
+    };
     robustness.view_write_failures = store_stats.write_failures;
     robustness.views_quarantined = store_stats.views_quarantined;
 
@@ -364,7 +489,69 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         selection_history,
         gdpr_purged_views,
         robustness,
+        store_io,
     })
+}
+
+/// Run a durable-store mutation, absorbing one simulated crash: on
+/// [`CvError::Crash`] the store is recovered in place (WAL + checkpoint
+/// replay) and the operation retried once. Replay is idempotent, so a
+/// retried mutation that already committed before the crash is a no-op.
+fn with_crash_retry<T>(
+    store: &DurableViewStore,
+    robustness: &mut RobustnessStats,
+    op: impl Fn(&DurableViewStore) -> Result<T>,
+) -> Result<T> {
+    match op(store) {
+        Err(e) if e.is_crash() => {
+            robustness.store_crashes += 1;
+            store.recover_in_place()?;
+            op(store)
+        }
+        other => other,
+    }
+}
+
+/// Seal pending views into the durable store — the disk-backed counterpart
+/// of [`QueryEngine::seal_views`], with the same absorb-write-faults
+/// contract plus crash-recovery retry.
+fn seal_views_durable(
+    store: &DurableViewStore,
+    pending: &[PendingView],
+    job: JobId,
+    vc: VcId,
+    now: SimTime,
+    robustness: &mut RobustnessStats,
+) -> Result<usize> {
+    let mut sealed = 0;
+    for pv in pending {
+        let insert = with_crash_retry(store, robustness, |s| {
+            s.insert(MaterializedView {
+                strict_sig: pv.sig,
+                recurring_sig: pv.recurring_sig,
+                schema: pv.schema.clone(),
+                data: pv.data.clone(),
+                rows: 0,
+                bytes: 0,
+                created: now,
+                expires: now, // recomputed by the store from its TTL
+                creator_job: job,
+                vc,
+                input_guids: pv.input_guids.clone(),
+                observed_work: pv.production_work,
+                checksum: 0, // recomputed by the store
+            })
+        });
+        match insert {
+            // The store silently drops quarantined signatures; only count
+            // views that actually landed.
+            Ok(()) if store.contains(pv.sig) => sealed += 1,
+            Ok(()) => {}
+            Err(e) if e.is_fault() => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(sealed)
 }
 
 /// Deterministic per-(dataset, day) data stream, independent of everything
@@ -398,14 +585,23 @@ fn run_one_job(
     day: SimDay,
     meta: JobMeta,
     enabled: bool,
+    durable: Option<&DurableViewStore>,
 ) -> Result<OneJob> {
     let plan = template.build_plan(engine, day)?;
     let subexprs = engine.subexpressions(&plan)?;
-    let reuse = if enabled {
+    let mut reuse = if enabled {
         insights.annotate(meta.vc, meta.job, &subexprs, meta.submit).0
     } else {
         ReuseContext::empty()
     };
+    // Residency-aware costing: views whose pages are not in the buffer
+    // pool pay the cold-read multiplier in the optimizer's reuse-vs-
+    // recompute comparison.
+    if let Some(store) = durable {
+        for (sig, meta) in reuse.available.iter_mut() {
+            meta.cold = !store.is_resident(*sig);
+        }
+    }
 
     let compiled = if enabled {
         let mut locker = insights.locker();
@@ -414,7 +610,11 @@ fn run_one_job(
         engine.optimize(&plan, &reuse, &mut AlwaysGrant)?
     };
 
-    let exec = match engine.execute(&compiled.outcome.physical, meta.submit) {
+    let exec_result = match durable {
+        Some(store) => engine.execute_with(&compiled.outcome.physical, store, meta.submit),
+        None => engine.execute(&compiled.outcome.physical, meta.submit),
+    };
+    let exec = match exec_result {
         Ok(e) => e,
         Err(e) => {
             // Release any creation locks this job acquired before bailing.
@@ -473,6 +673,7 @@ pub(crate) fn digest_table(t: &cv_data::table::Table) -> Sig128 {
     h.finish128()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn process_sim_events(
     sim: &mut ClusterSim,
     until: SimTime,
@@ -480,23 +681,39 @@ fn process_sim_events(
     engine: &mut QueryEngine,
     insights: &mut InsightsService,
     ttl: SimDuration,
+    durable: Option<&DurableViewStore>,
+    robustness: &mut RobustnessStats,
 ) -> Result<()> {
     let events = sim.run_until(until);
-    apply_seal_events(&events, pending, engine, insights, ttl)
+    apply_seal_events(&events, pending, engine, insights, ttl, durable, robustness)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn apply_seal_events(
     events: &[SimEvent],
     pending: &mut HashMap<Sig128, PendingSeal>,
     engine: &mut QueryEngine,
     insights: &mut InsightsService,
     ttl: SimDuration,
+    durable: Option<&DurableViewStore>,
+    robustness: &mut RobustnessStats,
 ) -> Result<()> {
     for ev in events {
         if let SimEvent::ViewSealed { sig, at, .. } = ev {
             let Some(seal) = pending.remove(sig) else { continue };
-            let sealed =
-                engine.seal_views(std::slice::from_ref(&seal.view), seal.job, seal.vc, *at)?;
+            let sealed = match durable {
+                Some(store) => seal_views_durable(
+                    store,
+                    std::slice::from_ref(&seal.view),
+                    seal.job,
+                    seal.vc,
+                    *at,
+                    robustness,
+                )?,
+                None => {
+                    engine.seal_views(std::slice::from_ref(&seal.view), seal.job, seal.vc, *at)?
+                }
+            };
             if sealed == 0 {
                 // Injected write failure: the half-materialized view was
                 // discarded and must never be advertised — release the
@@ -577,6 +794,8 @@ fn apply_gdpr(
     insights: &mut InsightsService,
     seed: u64,
     day: SimDay,
+    durable: Option<&DurableViewStore>,
+    robustness: &mut RobustnessStats,
 ) -> Result<usize> {
     let Some(id) = engine.catalog.id_of("users") else {
         return Ok(0);
@@ -585,13 +804,24 @@ fn apply_gdpr(
     let victim = rng.range_i64(0, 40);
     let outcome = engine.catalog.gdpr_forget(id, "u_id", &Value::Int(victim), day.start())?;
     // Purge every view derived from the retired version.
-    let stale: Vec<Sig128> = engine
-        .views
-        .iter()
-        .filter(|v| v.input_guids.contains(&outcome.old_guid))
-        .map(|v| v.strict_sig)
-        .collect();
-    let purged = engine.views.purge_input(outcome.old_guid, day.start());
+    let (stale, purged): (Vec<Sig128>, usize) = match durable {
+        Some(store) => {
+            let stale = store.sigs_with_input(outcome.old_guid);
+            let purged = with_crash_retry(store, robustness, |s| {
+                s.purge_input(outcome.old_guid, day.start())
+            })?;
+            (stale, purged)
+        }
+        None => {
+            let stale: Vec<Sig128> = engine
+                .views
+                .iter()
+                .filter(|v| v.input_guids.contains(&outcome.old_guid))
+                .map(|v| v.strict_sig)
+                .collect();
+            (stale, engine.views.purge_input(outcome.old_guid, day.start()))
+        }
+    };
     insights.purge_sigs(&stale);
     Ok(purged)
 }
@@ -727,6 +957,87 @@ mod tests {
         // least once in 6 days if any were built over `users`.
         // (Not asserted >0: selection may not pick user-joined views.)
         let _ = out.gdpr_purged_views;
+    }
+
+    fn temp_store_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "cv-driver-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_store_run_matches_memory_run() {
+        let w = small_workload();
+        let mut mem_cfg = DriverConfig::enabled(3);
+        mem_cfg.cluster = quick_cluster();
+        let dir = temp_store_dir("parity");
+        let mut disk_cfg = mem_cfg.clone();
+        disk_cfg.store = StoreBackend::Durable(DurableStoreConfig::new(&dir));
+
+        let mem = run_workload(&w, &mem_cfg).unwrap();
+        let disk = run_workload(&w, &disk_cfg).unwrap();
+        assert_eq!(disk.failed_jobs, 0);
+        // Durability must never change results or reuse behavior.
+        assert_eq!(mem.result_digests, disk.result_digests);
+        assert_eq!(mem.view_store_stats.views_created, disk.view_store_stats.views_created);
+        let io = disk.store_io.expect("durable run reports io stats");
+        assert!(io.wal_records_written > 0);
+        assert!(io.bytes_written_durably > 0);
+        assert!(mem.store_io.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_store_resumes_across_restart() {
+        let w = small_workload();
+        let dir = temp_store_dir("resume");
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster = quick_cluster();
+        cfg.store = StoreBackend::Durable(DurableStoreConfig::new(&dir));
+        let first = run_workload(&w, &cfg).unwrap();
+        assert!(first.view_store_stats.views_created > 0);
+
+        // Second run over the same directory: the store recovers the views
+        // the first run sealed (restart-and-resume), and the recovery is
+        // visible in the io counters.
+        let second = run_workload(&w, &cfg).unwrap();
+        assert_eq!(second.failed_jobs, 0);
+        let io = second.store_io.expect("durable run reports io stats");
+        assert!(io.recoveries > 0, "reopening a populated dir must count as recovery");
+        assert!(second.robustness.store_recoveries > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_budget_run_recovers_and_keeps_digests() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster = quick_cluster();
+        let baseline_dir = temp_store_dir("crash-base");
+        cfg.store = StoreBackend::Durable(DurableStoreConfig::new(&baseline_dir));
+        let baseline = run_workload(&w, &cfg).unwrap();
+        let budget = baseline.store_io.as_ref().unwrap().bytes_written_durably;
+        assert!(budget > 0);
+
+        // Crash mid-run at half the durable byte budget; the driver must
+        // recover in place and finish with byte-identical per-job digests.
+        let crash_dir = temp_store_dir("crash-kill");
+        let mut crash_cfg = cfg.clone();
+        crash_cfg.store = StoreBackend::Durable(DurableStoreConfig::new(&crash_dir));
+        crash_cfg.faults = FaultPlan::seeded(7).with_crash_after_bytes(budget / 2);
+        let crashed = run_workload(&w, &crash_cfg).unwrap();
+        assert_eq!(crashed.robustness.store_crashes, 1, "the crash budget must trip once");
+        assert!(crashed.robustness.store_recoveries > 0);
+        assert_eq!(crashed.failed_jobs, 0);
+        assert_eq!(baseline.result_digests, crashed.result_digests);
+        std::fs::remove_dir_all(&baseline_dir).unwrap();
+        std::fs::remove_dir_all(&crash_dir).unwrap();
     }
 
     #[test]

@@ -26,11 +26,14 @@ pub mod service_driver;
 pub mod service_obs;
 pub mod templates;
 
-pub use driver::{run_workload, DriverConfig, DriverOutcome, SelectionKnobs, SelectorKind};
+pub use driver::{
+    run_workload, DriverConfig, DriverOutcome, DurableStoreConfig, SelectionKnobs, SelectorKind,
+    StoreBackend,
+};
 pub use generator::{generate_workload, Workload, WorkloadConfig};
 pub use service_driver::{
-    merge_completions, run_workload_service, run_workload_service_obs, ServiceConfig,
-    ServiceOutcome, ServiceReport,
+    merge_completions, run_workload_service, run_workload_service_obs,
+    run_workload_service_with_store, ServiceConfig, ServiceOutcome, ServiceReport,
 };
 pub use service_obs::ServiceObs;
 pub use templates::{JobTemplate, TemplateKind};

@@ -53,6 +53,7 @@ use cv_core::insights::{InsightsService, UsageEvent, ViewInfo};
 use cv_core::repository::{JobMeta, SubexpressionRepo};
 use cv_core::SharedInsights;
 use cv_data::sharded::ShardedViewStore;
+use cv_data::store_api::SharedViewStore;
 use cv_data::value::Value;
 use cv_data::viewstore::{MaterializedView, ViewStoreStats};
 use cv_engine::engine::QueryEngine;
@@ -189,6 +190,9 @@ pub struct ServiceOutcome {
     pub gdpr_purged_views: u64,
     pub robustness: RobustnessStats,
     pub service: ServiceReport,
+    /// Durable-store IO counters (`None` when the run used the in-memory
+    /// sharded store).
+    pub store_io: Option<cv_data::store_api::StoreIoStats>,
 }
 
 impl ServiceOutcome {
@@ -208,6 +212,22 @@ impl ServiceOutcome {
             "views_reused_semantic": totals.views_reused_semantic,
             "robustness": self.robustness.to_json(),
             "service": self.service.to_json(),
+            "store": match &self.store_io {
+                Some(io) => json!({
+                    "page_cache_hits": io.page_cache_hits,
+                    "page_cache_misses": io.page_cache_misses,
+                    "page_cache_hit_rate": io.page_cache_hit_rate(),
+                    "pages_evicted": io.pages_evicted,
+                    "wal_fsyncs": io.wal_fsyncs,
+                    "wal_records_written": io.wal_records_written,
+                    "wal_records_replayed": io.wal_records_replayed,
+                    "wal_records_skipped": io.wal_records_skipped,
+                    "recoveries": io.recoveries,
+                    "checkpoints": io.checkpoints,
+                    "bytes_written_durably": io.bytes_written_durably,
+                }),
+                None => Json::Null,
+            },
         })
     }
 }
@@ -306,6 +326,34 @@ pub fn run_workload_service_obs(
     svc: &ServiceConfig,
     obs: Option<&ServiceObs>,
 ) -> Result<ServiceOutcome> {
+    // The engine's own store stays empty; all view traffic goes through the
+    // shared sharded store.
+    let store = ShardedViewStore::new(cfg.view_ttl, svc.store_shards);
+    run_workload_service_with_store(workload, cfg, svc, &store, obs)
+}
+
+/// [`run_workload_service_obs`] against a caller-provided shared store —
+/// the seam that lets the concurrent service run on the durable
+/// (disk-backed) store. The caller owns the store's lifecycle: opening,
+/// recovery, and final checkpoint.
+///
+/// Byte-budget crash injection (`FaultPlan::crash_after_bytes`) is rejected
+/// here: a mid-write crash poisons the store while other workers hold
+/// compiled plans against it, and the service has no coordinated
+/// stop-the-world recovery. Crash sweeps run through the sequential driver.
+pub fn run_workload_service_with_store(
+    workload: &Workload,
+    cfg: &DriverConfig,
+    svc: &ServiceConfig,
+    store: &dyn SharedViewStore,
+    obs: Option<&ServiceObs>,
+) -> Result<ServiceOutcome> {
+    if cfg.faults.crash_after_bytes.is_some() {
+        return Err(cv_common::CvError::internal(
+            "crash_after_bytes is a sequential-driver fault: the concurrent service \
+             cannot coordinate recovery across in-flight workers",
+        ));
+    }
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
     let analyzer = std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer));
@@ -318,9 +366,6 @@ pub fn run_workload_service_obs(
     if let Some(o) = obs {
         engine.optimizer.set_obs(o.optimizer_sink.clone());
     }
-    // The engine's own store stays empty; all view traffic goes through the
-    // shared sharded store.
-    let store = ShardedViewStore::new(cfg.view_ttl, svc.store_shards);
     store.set_fault_plan(cfg.faults.clone());
     let insights = SharedInsights::new(InsightsService::new(cfg.controls.clone()));
     let flights = SingleFlight::new();
@@ -359,7 +404,7 @@ pub fn run_workload_service_obs(
         // Hygiene once per day (the sequential driver evicts before every
         // job; reads re-check expiry themselves, so only eviction-counter
         // timing differs — see DESIGN.md §9).
-        store.evict_expired(day_start);
+        store.evict_expired(day_start)?;
         insights.lock().expire(day_start);
 
         // 1. Ingestion: bulk-regenerate due raw datasets (identical to the
@@ -391,7 +436,7 @@ pub fn run_workload_service_obs(
         if let Some(every) = cfg.gdpr_every_days {
             if day_idx > 0 && day_idx % every == 0 {
                 gdpr_purged_views +=
-                    apply_gdpr_service(&mut engine, &store, &insights, workload.config.seed, day)?
+                    apply_gdpr_service(&mut engine, store, &insights, workload.config.seed, day)?
                         as u64;
             }
         }
@@ -430,7 +475,7 @@ pub fn run_workload_service_obs(
             let report = run_wave(WaveCtx {
                 engine: &mut engine,
                 insights: &insights,
-                store: &store,
+                store,
                 flights: &flights,
                 stats: &stats,
                 wave,
@@ -530,6 +575,12 @@ pub fn run_workload_service_obs(
     let store_stats = store.stats();
     robustness.view_write_failures = store_stats.write_failures;
     robustness.views_quarantined = store_stats.views_quarantined;
+    let store_io = store.io_stats();
+    if let Some(io) = &store_io {
+        robustness.store_recoveries += io.recoveries;
+        robustness.wal_records_replayed += io.wal_records_replayed;
+        robustness.wal_records_skipped += io.wal_records_skipped;
+    }
 
     let snap = stats.snapshot();
     latencies_ms.sort_by_key(|a| a.0);
@@ -565,6 +616,16 @@ pub fn run_workload_service_obs(
         m.add("store.read_misses", store_stats.read_misses);
         m.add("store.bytes_written", store_stats.bytes_written);
         m.add("store.bytes_served", store_stats.bytes_served);
+        if let Some(io) = &store_io {
+            m.add("store.page_cache_hits", io.page_cache_hits);
+            m.add("store.page_cache_misses", io.page_cache_misses);
+            m.add("store.pages_evicted", io.pages_evicted);
+            m.add("store.wal_fsyncs", io.wal_fsyncs);
+            m.add("store.wal_records_written", io.wal_records_written);
+            m.add("store.wal_records_replayed", io.wal_records_replayed);
+            m.add("store.recoveries", io.recoveries);
+            m.add("store.checkpoints", io.checkpoints);
+        }
         m.add("service.pipelined_jobs", pipelined_jobs);
         m.add("service.pipelined_reads", snap.pipelined_reads);
         m.add("service.flight_waits", snap.flight_waits);
@@ -594,6 +655,7 @@ pub fn run_workload_service_obs(
         selection_history,
         gdpr_purged_views,
         robustness,
+        store_io,
         service,
     })
 }
@@ -602,7 +664,7 @@ pub fn run_workload_service_obs(
 struct WaveCtx<'a, 'w> {
     engine: &'a mut QueryEngine,
     insights: &'a SharedInsights,
-    store: &'a ShardedViewStore,
+    store: &'a dyn SharedViewStore,
     flights: &'a SingleFlight,
     stats: &'a ServiceStats,
     wave: &'a [&'w JobTemplate],
@@ -726,7 +788,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                         // A concurrent job is building it: plan against the
                         // promised statistics and pipeline from the builder.
                         reuse.to_build.remove(&sig);
-                        reuse.available.insert(sig, ViewMeta { rows: pv.rows, bytes: pv.bytes });
+                        reuse.available.insert(sig, ViewMeta::hot(pv.rows, pv.bytes));
                         promised.insert(sig);
                         if !deps.contains(&builder) {
                             deps.push(builder);
@@ -738,7 +800,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                                 // ordinary reuse with the sealed statistics.
                                 if let Some((rows, bytes, _)) = store.peek_meta(sig, submit) {
                                     reuse.to_build.remove(&sig);
-                                    reuse.available.insert(sig, ViewMeta { rows, bytes });
+                                    reuse.available.insert(sig, ViewMeta::hot(rows, bytes));
                                 }
                             }
                             // Failed builds released their creation lock in
@@ -767,7 +829,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                         }
                         reuse.semantic.entry(v.strict).or_insert_with(|| SemanticGrant {
                             plan: v.plan.clone(),
-                            meta: ViewMeta { rows: v.rows, bytes: v.bytes },
+                            meta: ViewMeta::hot(v.rows, v.bytes),
                             template: sub.template,
                         });
                     }
@@ -1011,7 +1073,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 result_digests.insert(job, digest_table(&done.exec.table));
 
                 for sig in &done.exec.metrics.quarantined_sigs {
-                    store.quarantine(*sig);
+                    store.quarantine(*sig)?;
                     insights.lock().quarantine(*sig);
                 }
                 robustness.view_read_failures += done.exec.metrics.view_read_failures;
@@ -1146,7 +1208,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
 
 /// Seal one pending view into the shared store, classifying the outcome.
 fn seal_pending(
-    store: &ShardedViewStore,
+    store: &dyn SharedViewStore,
     stats: &ServiceStats,
     pv: &PendingView,
     job: JobId,
@@ -1205,7 +1267,7 @@ fn spool_promise(plan: &PhysicalPlan, target: Sig128) -> PromisedView {
 /// sequential driver's `apply_gdpr`).
 fn apply_gdpr_service(
     engine: &mut QueryEngine,
-    store: &ShardedViewStore,
+    store: &dyn SharedViewStore,
     insights: &SharedInsights,
     seed: u64,
     day: SimDay,
@@ -1217,7 +1279,7 @@ fn apply_gdpr_service(
     let victim = rng.range_i64(0, 40);
     let outcome = engine.catalog.gdpr_forget(id, "u_id", &Value::Int(victim), day.start())?;
     let stale = store.sigs_with_input(outcome.old_guid);
-    let purged = store.purge_input(outcome.old_guid, day.start());
+    let purged = store.purge_input(outcome.old_guid, day.start())?;
     insights.lock().purge_sigs(&stale);
     Ok(purged)
 }
@@ -1369,5 +1431,63 @@ mod tests {
         assert_eq!(four.failed_jobs, 0);
         assert_eq!(four.service.duplicate_materializations, 0);
         assert_eq!(one.ledger.totals(), four.ledger.totals());
+    }
+
+    /// The concurrent service on the disk-backed sharded store must agree
+    /// with the in-memory store bit-for-bit, and report its IO counters.
+    #[test]
+    fn durable_store_service_matches_memory_service() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let svc = ServiceConfig { workers: 4, ..ServiceConfig::default() };
+        let mem = run_workload_service(&w, &cfg, &svc).unwrap();
+
+        let dir = std::env::temp_dir().join(format!("cv-svc-durable-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = cv_store::ShardedDurableViewStore::open(
+            dir.clone(),
+            cfg.view_ttl,
+            svc.store_shards,
+            cv_store::DurableStoreOptions::default(),
+        )
+        .unwrap();
+        let durable = run_workload_service_with_store(&w, &cfg, &svc, &store, None).unwrap();
+        store.checkpoint_now().unwrap();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        assert_eq!(durable.result_digests, mem.result_digests);
+        assert_eq!(durable.failed_jobs, 0);
+        assert_eq!(durable.service.duplicate_materializations, 0);
+        let io = durable.store_io.expect("durable service run reports io stats");
+        assert!(io.bytes_written_durably > 0, "nothing reached disk");
+        assert!(io.wal_records_written > 0, "no WAL records written");
+    }
+
+    /// Byte-budget crash plans are a sequential-driver fault: the service
+    /// entry point must refuse them instead of wedging mid-recovery.
+    #[test]
+    fn service_rejects_crash_budget_plans() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(1);
+        cfg.cluster = quick_cluster();
+        cfg.faults = FaultPlan::seeded(1).with_crash_after_bytes(1024);
+        let dir =
+            std::env::temp_dir().join(format!("cv-svc-crash-reject-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = cv_store::ShardedDurableViewStore::open(
+            dir.clone(),
+            cfg.view_ttl,
+            4,
+            cv_store::DurableStoreOptions::default(),
+        )
+        .unwrap();
+        let err =
+            run_workload_service_with_store(&w, &cfg, &ServiceConfig::default(), &store, None)
+                .unwrap_err();
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(err.to_string().contains("crash_after_bytes"), "unexpected error: {err}");
     }
 }

@@ -93,10 +93,9 @@ fn main() -> Result<()> {
         // available (the first query builds, the rest reuse).
         for sig in &selected {
             if let Some(v) = engine.views.peek(*sig, SimTime::EPOCH) {
-                reuse.available.insert(
-                    *sig,
-                    cv_engine::optimizer::ViewMeta { rows: v.rows as u64, bytes: v.bytes },
-                );
+                reuse
+                    .available
+                    .insert(*sig, cv_engine::optimizer::ViewMeta::hot(v.rows as u64, v.bytes));
                 reuse.to_build.remove(sig);
             }
         }

@@ -64,10 +64,9 @@ fn main() -> Result<()> {
     // 5. Job 2 runs with a match annotation: it reuses the view.
     let view = engine.views.peek(shared.strict, SimTime::EPOCH).expect("sealed");
     let mut reuse2 = ReuseContext::empty();
-    reuse2.available.insert(
-        shared.strict,
-        cv_engine::optimizer::ViewMeta { rows: view.rows as u64, bytes: view.bytes },
-    );
+    reuse2
+        .available
+        .insert(shared.strict, cv_engine::optimizer::ViewMeta::hot(view.rows as u64, view.bytes));
     let out2 = engine.run_sql(q2, &Params::none(), &reuse2, JobId(2), VcId(0), SimTime::EPOCH)?;
     println!(
         "job 2 physical plan (note the ViewScan, no base TableScan):\n{}",

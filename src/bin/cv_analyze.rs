@@ -32,8 +32,8 @@ use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext, ViewMeta}
 use cv_obs::Tracer;
 use cv_workload::schemas::raw_specs;
 use cv_workload::{
-    generate_workload, run_workload_service_obs, DriverConfig, ServiceConfig, ServiceObs,
-    TemplateKind, WorkloadConfig,
+    generate_workload, run_workload, run_workload_service_obs, DriverConfig, DurableStoreConfig,
+    ServiceConfig, ServiceObs, StoreBackend, TemplateKind, WorkloadConfig,
 };
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
@@ -198,10 +198,9 @@ fn run_sweep(
                 engine.views.iter().filter(|v| v.expires > now).map(|v| v.strict_sig).collect();
             if sweep.match_views {
                 for view in engine.views.iter().filter(|v| v.expires > now) {
-                    reuse.available.insert(
-                        view.strict_sig,
-                        ViewMeta { rows: view.rows as u64, bytes: view.bytes },
-                    );
+                    reuse
+                        .available
+                        .insert(view.strict_sig, ViewMeta::hot(view.rows as u64, view.bytes));
                 }
             }
             if sweep.build_views {
@@ -321,6 +320,24 @@ fn run_containment(args: &Args) -> ExitCode {
         }
     };
 
+    // Durable-store leg: the same semantic-on configuration through the
+    // sequential driver on the disk-backed store. Moving the view store to
+    // disk must not move a single result digest.
+    let store_dir = std::env::temp_dir().join(format!("cv-analyze-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let mut cfg_durable = DriverConfig::enabled(args.days);
+    cfg_durable.store = StoreBackend::Durable(DurableStoreConfig::new(&store_dir));
+    let durable = match run_workload(&workload, &cfg_durable) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cv-analyze: durable-store run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store_io = durable.store_io.clone().expect("durable run reports io stats");
+    let durable_digests_match = durable.result_digests == on.result_digests;
+
     let digests_match = on.result_digests == off.result_digests;
     let totals = on.ledger.totals();
     let off_totals = off.ledger.totals();
@@ -364,6 +381,15 @@ fn run_containment(args: &Args) -> ExitCode {
         on.result_digests.len(),
         digests_match
     );
+    println!(
+        "=== durable store ===\n  {} WAL records / {} fsyncs / {} checkpoints, \
+         cache hit rate {:.2}, digests match service run: {}",
+        store_io.wal_records_written,
+        store_io.wal_fsyncs,
+        store_io.checkpoints,
+        store_io.page_cache_hit_rate(),
+        durable_digests_match
+    );
 
     let report = json!({
         "mode": "containment",
@@ -384,6 +410,19 @@ fn run_containment(args: &Args) -> ExitCode {
         "semantic_proven": proven,
         "semantic_vetoed": vetoed_total,
         "vetoes_by_code": Json::Obj(vetoes),
+        "durable_digests_match": durable_digests_match,
+        "store": json!({
+            "page_cache_hits": store_io.page_cache_hits,
+            "page_cache_misses": store_io.page_cache_misses,
+            "page_cache_hit_rate": store_io.page_cache_hit_rate(),
+            "pages_evicted": store_io.pages_evicted,
+            "wal_fsyncs": store_io.wal_fsyncs,
+            "wal_records_written": store_io.wal_records_written,
+            "wal_records_replayed": store_io.wal_records_replayed,
+            "recoveries": store_io.recoveries,
+            "checkpoints": store_io.checkpoints,
+            "bytes_written_durably": store_io.bytes_written_durably,
+        }),
     });
     if let Some(path) = &args.json_path {
         if let Err(e) = std::fs::write(path, report.to_string_pretty()) {
@@ -397,6 +436,10 @@ fn run_containment(args: &Args) -> ExitCode {
 
     if !digests_match {
         eprintln!("cv-analyze: FAIL — semantic matching changed at least one result digest");
+        return ExitCode::FAILURE;
+    }
+    if !durable_digests_match {
+        eprintln!("cv-analyze: FAIL — the durable store changed at least one result digest");
         return ExitCode::FAILURE;
     }
     if on.failed_jobs + off.failed_jobs > 0 {

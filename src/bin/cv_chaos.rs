@@ -14,13 +14,25 @@
 //! baseline, fails a job, or (for fault sweeps) absorbs zero faults — wire
 //! it into CI next to `cv-analyze`.
 //!
+//! A second matrix, `--crash`, targets the durable view store: the same
+//! workload runs against the disk-backed WAL + page store while a byte
+//! budget kills the store mid-write at swept offsets (`CrashAt`), plus a
+//! torn-WAL-record sweep (`WalTornWrite`). After every kill the driver
+//! recovers in place (checkpoint + WAL replay) and the run must finish with
+//! per-job digests byte-identical to the fault-free in-memory baseline.
+//!
 //! Usage:
 //!   cv-chaos [--days N] [--scale F] [--seed N] [--json PATH] [--trace PATH]
+//!            [--crash] [--store-dir PATH]
 
 use cv_common::json::{json, Json};
 use cv_common::{FaultPlan, FaultPoint, SimDuration};
 use cv_obs::Tracer;
-use cv_workload::{generate_workload, run_workload, DriverConfig, Workload, WorkloadConfig};
+use cv_workload::{
+    generate_workload, run_workload, DriverConfig, DurableStoreConfig, StoreBackend, Workload,
+    WorkloadConfig,
+};
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Args {
@@ -29,10 +41,24 @@ struct Args {
     seed: u64,
     json_path: Option<String>,
     trace_path: Option<String>,
+    /// Run the durable-store crash-recovery matrix instead of the fault
+    /// sweeps.
+    crash: bool,
+    /// Root directory for the crash matrix's store instances (a temp dir
+    /// by default; each sweep uses its own subdirectory).
+    store_dir: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { days: 4, scale: 0.05, seed: 1, json_path: None, trace_path: None };
+    let mut args = Args {
+        days: 4,
+        scale: 0.05,
+        seed: 1,
+        json_path: None,
+        trace_path: None,
+        crash: false,
+        store_dir: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -50,14 +76,19 @@ fn parse_args() -> Result<Args, String> {
             }
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
+            "--crash" => args.crash = true,
+            "--store-dir" => args.store_dir = Some(it.next().ok_or("--store-dir needs a path")?),
             "--help" | "-h" => {
                 println!(
                     "cv-chaos: fault-injection sweep over the workload templates\n\n\
-                     options:\n  --days N      simulated days per sweep (default 4)\n  \
-                     --scale F     workload data scale (default 0.05)\n  \
-                     --seed N      fault-plan seed (default 1)\n  \
-                     --json PATH   also write the JSON report to PATH\n  \
-                     --trace PATH  write a Chrome trace (one span per sweep) to PATH"
+                     options:\n  --days N        simulated days per sweep (default 4)\n  \
+                     --scale F       workload data scale (default 0.05)\n  \
+                     --seed N        fault-plan seed (default 1)\n  \
+                     --json PATH     also write the JSON report to PATH\n  \
+                     --trace PATH    write a Chrome trace (one span per sweep) to PATH\n  \
+                     --crash         run the durable-store crash-recovery matrix\n  \
+                     --store-dir P   root directory for --crash store instances\n                  \
+                     (default: a fresh temp directory, removed afterwards)"
                 );
                 std::process::exit(0);
             }
@@ -245,6 +276,198 @@ fn run_matrix(workload: &Workload, args: &Args, tracer: Option<&Tracer>) -> (Vec
     (reports, violations)
 }
 
+fn durable_config(days: u32, dir: &Path, plan: FaultPlan) -> DriverConfig {
+    let mut cfg = chaos_config(days, plan);
+    cfg.store = StoreBackend::Durable(DurableStoreConfig::new(dir));
+    cfg
+}
+
+fn count_divergences(
+    baseline: &cv_workload::DriverOutcome,
+    out: &cv_workload::DriverOutcome,
+) -> usize {
+    baseline
+        .result_digests
+        .iter()
+        .filter(|(job, digest)| out.result_digests.get(job) != Some(digest))
+        .count()
+        + baseline.result_digests.len().abs_diff(out.result_digests.len())
+}
+
+/// The durable-store crash-recovery matrix (`--crash`).
+///
+/// 1. fault-free in-memory baseline → the reference per-job digests;
+/// 2. fault-free durable run → digest parity plus the total durable byte
+///    budget that calibrates the kill offsets;
+/// 3. torn-WAL sweep: commit records damaged in flight, then a second run
+///    over the same directory that must replay around the torn records;
+/// 4. `CrashAt` sweep: the store is killed mid-write at several byte
+///    offsets; each run recovers in place and must finish byte-identical.
+fn run_crash_matrix(workload: &Workload, args: &Args) -> (Json, usize) {
+    let (store_root, ephemeral) = match &args.store_dir {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (std::env::temp_dir().join(format!("cv-chaos-crash-{}", std::process::id())), true),
+    };
+    let _ = std::fs::remove_dir_all(&store_root);
+    let mut violations: Vec<String> = Vec::new();
+
+    println!(
+        "cv-chaos --crash: {} day(s) at scale {}, seed {}, store root {}",
+        args.days,
+        args.scale,
+        args.seed,
+        store_root.display()
+    );
+
+    // 1. In-memory fault-free baseline: the reference digests.
+    let mem = run_workload(workload, &chaos_config(args.days, FaultPlan::none()))
+        .expect("fault-free in-memory run");
+
+    // 2. Durable fault-free baseline: parity + byte budget.
+    let base_dir = store_root.join("baseline");
+    let base = run_workload(workload, &durable_config(args.days, &base_dir, FaultPlan::none()))
+        .expect("fault-free durable run");
+    let base_io = base.store_io.clone().expect("durable run reports io stats");
+    let budget = base_io.bytes_written_durably;
+    let d = count_divergences(&mem, &base);
+    if d > 0 {
+        violations.push(format!("durable baseline diverged from memory baseline: {d} job(s)"));
+    }
+    if budget == 0 {
+        violations.push("durable baseline wrote zero bytes — nothing to crash".into());
+    }
+    println!(
+        "  baseline: {} jobs, {} durable bytes, {} wal records, cache hit rate {:.2}",
+        base.ledger.len(),
+        budget,
+        base_io.wal_records_written,
+        base_io.page_cache_hit_rate()
+    );
+
+    // 3. Torn WAL commits. A torn record is invisible while the process
+    // lives (the view stays indexed in memory) and a checkpoint heals it,
+    // so the only window that exercises it is a crash *before* the next
+    // checkpoint: replay must skip the torn commit, drop the view, and the
+    // driver must recompute it without changing any result. Tear every
+    // commit and kill late in the run so the replayed tail is non-trivial.
+    let torn_dir = store_root.join("torn");
+    let torn_kill = ((budget as f64 * 0.85) as u64) | 1;
+    let torn_plan = FaultPlan::seeded(args.seed)
+        .with_rate(FaultPoint::WalTornWrite, 1.0)
+        .with_crash_after_bytes(torn_kill);
+    let torn = run_workload(workload, &durable_config(args.days, &torn_dir, torn_plan))
+        .expect("torn-wal crash run");
+    let torn_io = torn.store_io.clone().expect("durable run reports io stats");
+    let d = count_divergences(&mem, &torn);
+    if d > 0 {
+        violations.push(format!("torn-wal crash run diverged: {d} job(s)"));
+    }
+    if torn.robustness.store_crashes != 1 {
+        violations.push(format!(
+            "torn-wal run: expected exactly 1 crash, saw {}",
+            torn.robustness.store_crashes
+        ));
+    }
+    if torn_io.wal_records_skipped == 0 {
+        violations.push("torn-wal replay skipped zero records".into());
+    }
+    // The healed directory must reopen clean and still agree.
+    let torn2 = run_workload(workload, &durable_config(args.days, &torn_dir, FaultPlan::none()))
+        .expect("post-torn restart run");
+    let d = count_divergences(&mem, &torn2);
+    if d > 0 {
+        violations.push(format!("post-torn restart diverged: {d} job(s)"));
+    }
+    println!(
+        "  torn-wal: kill@{torn_kill}, {} torn record(s) skipped on replay, {} replayed",
+        torn_io.wal_records_skipped, torn_io.wal_records_replayed
+    );
+
+    // 4. Crash-at-byte-offset sweep. Odd jitter keeps kills off page/record
+    // boundaries so prefixes tear mid-structure.
+    let fractions = [0.08, 0.23, 0.41, 0.58, 0.76, 0.93];
+    let mut crashes = 0u64;
+    let mut recoveries = 0u64;
+    let mut replayed = 0u64;
+    let mut skipped = 0u64;
+    let mut offsets: Vec<Json> = Vec::new();
+    for (i, frac) in fractions.iter().enumerate() {
+        let kill_at = ((budget as f64 * frac) as u64) | 1;
+        let dir = store_root.join(format!("crash-{i}"));
+        let plan = FaultPlan::seeded(args.seed).with_crash_after_bytes(kill_at);
+        let out = run_workload(workload, &durable_config(args.days, &dir, plan))
+            .expect("crash-budget run must recover, not error out");
+        let io = out.store_io.clone().expect("durable run reports io stats");
+        let diverged = count_divergences(&mem, &out);
+        if out.robustness.store_crashes != 1 {
+            violations.push(format!(
+                "kill@{kill_at}: expected exactly 1 crash, saw {}",
+                out.robustness.store_crashes
+            ));
+        }
+        if out.robustness.store_recoveries == 0 {
+            violations.push(format!("kill@{kill_at}: no recovery recorded"));
+        }
+        if diverged > 0 {
+            violations.push(format!("kill@{kill_at}: {diverged} job result(s) diverged"));
+        }
+        if out.failed_jobs > 0 {
+            violations.push(format!("kill@{kill_at}: {} job(s) failed", out.failed_jobs));
+        }
+        crashes += out.robustness.store_crashes;
+        recoveries += out.robustness.store_recoveries;
+        replayed += io.wal_records_replayed;
+        skipped += io.wal_records_skipped;
+        println!(
+            "  kill@{kill_at:>9}: crashes {}, recoveries {}, replayed {:>4}, diverged {}",
+            out.robustness.store_crashes,
+            out.robustness.store_recoveries,
+            io.wal_records_replayed,
+            diverged
+        );
+        offsets.push(json!({
+            "kill_at_bytes": kill_at,
+            "store_crashes": out.robustness.store_crashes,
+            "store_recoveries": out.robustness.store_recoveries,
+            "wal_records_replayed": io.wal_records_replayed,
+            "digest_divergences": diverged as u64,
+        }));
+    }
+    if replayed == 0 {
+        violations.push("crash sweep replayed zero WAL records in aggregate".into());
+    }
+
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+
+    let report = json!({
+        "days": args.days,
+        "scale": args.scale,
+        "seed": args.seed,
+        "durable_bytes_budget": budget,
+        "baseline_store": json!({
+            "wal_records_written": base_io.wal_records_written,
+            "wal_fsyncs": base_io.wal_fsyncs,
+            "checkpoints": base_io.checkpoints,
+            "page_cache_hit_rate": base_io.page_cache_hit_rate(),
+        }),
+        "torn": json!({
+            "kill_at_bytes": torn_kill,
+            "wal_records_skipped": torn_io.wal_records_skipped,
+            "wal_records_replayed": torn_io.wal_records_replayed,
+        }),
+        "crash_offsets": Json::Arr(offsets),
+        "store_crashes": crashes + torn.robustness.store_crashes,
+        "recoveries": recoveries + torn.robustness.store_recoveries,
+        "wal_records_replayed": replayed + torn_io.wal_records_replayed,
+        "wal_records_skipped": skipped + torn_io.wal_records_skipped,
+        "digest_divergences": violations.iter().filter(|v| v.contains("diverged")).count() as u64,
+        "violations": Json::Arr(violations.iter().map(|v| Json::Str(v.clone())).collect()),
+    });
+    (report, violations.len())
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -259,6 +482,26 @@ fn main() -> ExitCode {
         n_analytics: 24,
         ..WorkloadConfig::default()
     });
+    if args.crash {
+        let (report_json, violations) = run_crash_matrix(&workload, &args);
+        if let Some(path) = &args.json_path {
+            if let Err(e) = std::fs::write(path, report_json.to_string_pretty()) {
+                eprintln!("cv-chaos: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("\n[json report] {path}");
+        } else {
+            println!("\n{}", report_json.to_string_compact());
+        }
+        return if violations > 0 {
+            eprintln!("cv-chaos: {violations} crash-recovery violation(s)");
+            ExitCode::FAILURE
+        } else {
+            println!("\ncv-chaos: every crash recovered to a byte-identical state");
+            ExitCode::SUCCESS
+        };
+    }
+
     let tracer = args.trace_path.as_ref().map(|_| Tracer::new());
     let (sweeps, violations) = run_matrix(&workload, &args, tracer.as_ref());
 

@@ -30,20 +30,28 @@
 //! too and the deterministic span *structure* of both runs must match —
 //! worker count may move timings, never the tree.
 //!
+//! A fourth leg runs the N-worker service against the **durable**
+//! (disk-backed) sharded view store and holds it to the same digest
+//! contract; its WAL/page-cache counters land in the bench report's
+//! `store` section. `--store-dir` pins the store directory (default: a
+//! fresh temp directory, removed afterwards).
+//!
 //! Usage:
 //!   cv-serve [--days N] [--scale F] [--seed N] [--analytics N]
 //!            [--workers N] [--shards N] [--mode closed|open]
-//!            [--min-speedup auto|F] [--json PATH] [--bench PATH]
-//!            [--trace PATH] [--metrics PATH]
+//!            [--min-speedup auto|F] [--store-dir PATH] [--json PATH]
+//!            [--bench PATH] [--trace PATH] [--metrics PATH]
 
 use cv_common::json::{json, Json};
 use cv_common::Sig128;
 use cv_extensions::concurrent::pipelining_savings_bound;
 use cv_obs::chrome_trace;
+use cv_store::{DurableStoreOptions, ShardedDurableViewStore};
 use cv_workload::{
-    generate_workload, run_workload, run_workload_service_obs, DriverConfig, ServiceConfig,
-    ServiceObs, ServiceOutcome, WorkloadConfig,
+    generate_workload, run_workload, run_workload_service_obs, run_workload_service_with_store,
+    DriverConfig, ServiceConfig, ServiceObs, ServiceOutcome, WorkloadConfig,
 };
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 struct Args {
@@ -55,6 +63,7 @@ struct Args {
     shards: usize,
     open_loop: bool,
     min_speedup: Option<f64>, // None = auto
+    store_dir: Option<String>,
     json_path: Option<String>,
     bench_path: Option<String>,
     trace_path: Option<String>,
@@ -71,6 +80,7 @@ fn parse_args() -> Result<Args, String> {
         shards: 16,
         open_loop: false,
         min_speedup: None,
+        store_dir: None,
         json_path: None,
         bench_path: None,
         trace_path: None,
@@ -122,6 +132,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad --min-speedup value `{v}`"))?)
                 };
             }
+            "--store-dir" => args.store_dir = Some(it.next().ok_or("--store-dir needs a path")?),
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--bench" => args.bench_path = Some(it.next().ok_or("--bench needs a path")?),
             "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
@@ -137,6 +148,8 @@ fn parse_args() -> Result<Args, String> {
                      --shards N        view-store lock stripes (default 16)\n  \
                      --mode M          closed|open load generation (default closed)\n  \
                      --min-speedup S   auto, or a required N-worker/1-worker ratio\n  \
+                     --store-dir P     directory for the durable-store leg (default:\n                    \
+                     a fresh temp directory, removed afterwards)\n  \
                      --json PATH       write the full JSON report to PATH\n  \
                      --bench PATH      write BENCH_service.json-style summary to PATH\n  \
                      --trace PATH      write a Chrome trace of the N-worker run to PATH\n  \
@@ -225,8 +238,44 @@ fn main() -> ExitCode {
     let many = run_workload_service_obs(&workload, &cfg, &svc(args.workers), obs_many.as_ref())
         .expect("N-worker service run");
 
+    // ---- Durable-store leg: same service, disk-backed sharded store. ----
+    let (store_root, ephemeral_store) = match &args.store_dir {
+        Some(dir) => (PathBuf::from(dir), false),
+        None => (std::env::temp_dir().join(format!("cv-serve-store-{}", std::process::id())), true),
+    };
+    let _ = std::fs::remove_dir_all(&store_root);
+    let store = ShardedDurableViewStore::open(
+        store_root.clone(),
+        cfg.view_ttl,
+        args.shards,
+        DurableStoreOptions::default(),
+    )
+    .expect("open durable view store");
+    let durable =
+        run_workload_service_with_store(&workload, &cfg, &svc(args.workers), &store, None)
+            .expect("durable-store service run");
+    store.checkpoint_now().expect("final durable checkpoint");
+    let store_io = store.io_stats();
+    drop(store);
+    if ephemeral_store {
+        let _ = std::fs::remove_dir_all(&store_root);
+    }
+
     // ---- Contracts. ----
     let mut problems: Vec<String> = Vec::new();
+    let durable_digests_match = durable.result_digests == sequential.result_digests;
+    if !durable_digests_match {
+        problems.push("durable-store digests diverge from the sequential driver".to_string());
+    }
+    if durable.failed_jobs > 0 {
+        problems.push(format!("{} job(s) failed on the durable store", durable.failed_jobs));
+    }
+    if durable.service.duplicate_materializations > 0 {
+        problems.push(format!(
+            "{} duplicate materialization(s) on the durable store — single flight failed",
+            durable.service.duplicate_materializations
+        ));
+    }
     if one.failed_jobs > 0 || many.failed_jobs > 0 {
         problems.push(format!(
             "failed jobs: {} (1-worker), {} ({}-worker)",
@@ -322,6 +371,16 @@ fn main() -> ExitCode {
         s.max_inflight,
         s.max_queue_depth
     );
+    println!(
+        "  durable store ({}w)         {} WAL records / {} fsyncs / {} checkpoints, \
+         cache hit rate {:.2}, digests {}",
+        args.workers,
+        store_io.wal_records_written,
+        store_io.wal_fsyncs,
+        store_io.checkpoints,
+        store_io.page_cache_hit_rate(),
+        if durable_digests_match { "match" } else { "DIVERGE" }
+    );
 
     let digests_match = many.result_digests == sequential.result_digests;
     let bench = json!({
@@ -367,6 +426,19 @@ fn main() -> ExitCode {
         }),
         "digest_checksum": digest_checksum(&many.result_digests),
         "digests_match_sequential": digests_match,
+        "store": json!({
+            "page_cache_hits": store_io.page_cache_hits,
+            "page_cache_misses": store_io.page_cache_misses,
+            "page_cache_hit_rate": store_io.page_cache_hit_rate(),
+            "pages_evicted": store_io.pages_evicted,
+            "wal_fsyncs": store_io.wal_fsyncs,
+            "wal_records_written": store_io.wal_records_written,
+            "wal_records_replayed": store_io.wal_records_replayed,
+            "recoveries": store_io.recoveries,
+            "checkpoints": store_io.checkpoints,
+            "bytes_written_durably": store_io.bytes_written_durably,
+            "digests_match_sequential": durable_digests_match,
+        }),
         "host_parallelism": host_parallelism as u64,
     });
 

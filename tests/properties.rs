@@ -200,7 +200,7 @@ fn reuse_roundtrip_preserves_results() {
         // normalize the shared prefix away; in that case skip).
         if let Some(view) = engine.views.peek(sig, SimTime::EPOCH) {
             let mut reuse2 = ReuseContext::empty();
-            reuse2.available.insert(sig, ViewMeta { rows: view.rows as u64, bytes: view.bytes });
+            reuse2.available.insert(sig, ViewMeta::hot(view.rows as u64, view.bytes));
             let out2 = engine.run_plan(&query, &reuse2, JobId(2), VcId(0), SimTime::EPOCH).unwrap();
             assert_eq!(out1.table.canonical_rows(), out2.table.canonical_rows());
         }
