@@ -92,6 +92,33 @@ print(f"    reuse bench OK ({bench['views_reused_exact']} exact + "
       f"{bench['semantic_vetoed']} vetoes)")
 EOF
 
+echo "==> ivm gate (incremental maintenance vs full-rebuild digest parity)"
+cargo run --release -q --bin cv-analyze -- --ivm --days 4 --scale 0.1 \
+  --seed 42 --json BENCH_ivm.json \
+  > /dev/null || { echo "cv-analyze: ivm audit failed"; exit 1; }
+
+echo "==> ivm bench artifact validation"
+python3 - <<'EOF'
+import json
+bench = json.load(open("BENCH_ivm.json"))
+assert bench["mode"] == "ivm", "wrong bench artifact"
+for key in ("jobs", "failed_jobs", "digests_match", "ivm", "rows_touched_total",
+            "savings_ratio", "obs_counters"):
+    assert key in bench, f"BENCH_ivm.json missing {key}"
+assert bench["digests_match"] is True, "incremental maintenance changed a result digest"
+assert bench["failed_jobs"] == 0, "ivm audit had failed jobs"
+ivm = bench["ivm"]
+assert ivm["maintained"] > 0, "no views were maintained incrementally"
+assert ivm["rows_maintained"] < ivm["rows_rebuild_baseline"], \
+    "maintenance did not beat the rebuild baseline"
+assert 0.0 < bench["savings_ratio"] < 1.0, \
+    f"savings ratio {bench['savings_ratio']} out of range"
+assert bench["obs_counters"]["ivm.maintained"] == ivm["maintained"], \
+    "obs counter disagrees with driver stats"
+print(f"    ivm bench OK ({ivm['maintained']} maintained, {ivm['rebuilt']} fallback "
+      f"rebuilds, {ivm['refused']} CV07x-refused, ratio {bench['savings_ratio']:.3f})")
+EOF
+
 echo "==> kernels microbench smoke gate (typed engine kernels)"
 cargo run --release -q -p cv-bench --bin kernels -- --smoke --out BENCH_engine.json \
   > /dev/null || { echo "kernels: microbench failed"; exit 1; }

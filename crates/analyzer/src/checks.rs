@@ -13,8 +13,10 @@ use crate::containment::prove_containment;
 use crate::diag::{codes, Diagnostic, Report};
 use cv_common::hash::Sig128;
 use cv_data::schema::SchemaRef;
+use cv_data::value::DataType;
 use cv_engine::containment::build_compensation;
 use cv_engine::cost::CostModel;
+use cv_engine::expr::AggFunc;
 use cv_engine::normalize::normalize;
 use cv_engine::optimizer::ReuseContext;
 use cv_engine::physical::PhysicalPlan;
@@ -38,6 +40,11 @@ pub struct AnalysisInput<'a> {
     /// Strict signatures with a live, sealed view-store entry, when the
     /// caller has access to the store (the CLI and execution-time audits).
     pub live_views: Option<&'a HashSet<Sig128>>,
+    /// A view's defining plan that `cv-ivm` proposes to maintain
+    /// incrementally; any CV07x diagnostic vetoes maintenance (the view
+    /// falls back to a full rebuild) exactly like CV06x vetoes a
+    /// containment match.
+    pub maintenance_plan: Option<&'a Arc<LogicalPlan>>,
     pub sig: &'a SignatureConfig,
     pub cost: &'a CostModel,
 }
@@ -50,6 +57,7 @@ impl<'a> AnalysisInput<'a> {
             physical: None,
             reuse: None,
             live_views: None,
+            maintenance_plan: None,
             sig,
             cost,
         }
@@ -81,6 +89,7 @@ impl CheckRegistry {
         r.register(Box::new(SpoolWellFormedness));
         r.register(Box::new(StatsSanity));
         r.register(Box::new(SemanticSubstitution));
+        r.register(Box::new(Maintainability));
         r
     }
 
@@ -777,5 +786,149 @@ impl Check for SemanticSubstitution {
                 )),
             }
         });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CV07x — incremental-maintenance eligibility
+// ---------------------------------------------------------------------------
+
+/// Whether a view's defining plan can be maintained incrementally from
+/// input deltas with *bit-exact* results. The rules are deliberately
+/// narrow: maintenance must reproduce inline execution byte for byte, so
+/// anything order-sensitive, non-retractable, or float-accumulating
+/// refuses here and `cv-ivm` falls back to a full rebuild. Diagnostics
+/// are warnings — an ineligible plan is not corrupt, it just rebuilds.
+#[derive(Debug)]
+pub struct Maintainability;
+
+impl Maintainability {
+    /// Run the full CV07x rule set over one defining plan. Exposed so
+    /// `cv-ivm` can gate maintenance without assembling a registry run.
+    pub fn check_plan(plan: &Arc<LogicalPlan>, out: &mut Vec<Diagnostic>) {
+        let root_path = plan.kind_name();
+        let LogicalPlan::Aggregate { group_by, aggs, input } = &**plan else {
+            out.push(Diagnostic::warning(
+                codes::NOT_AGGREGATE_ROOT,
+                root_path,
+                format!(
+                    "defining plan's root is {}, not Aggregate: no group state to maintain",
+                    plan.kind_name()
+                ),
+            ));
+            return;
+        };
+        // (1) Aggregate functions must have an exact retraction path.
+        let input_schema = input.schema().ok();
+        for agg in aggs {
+            let arg_type = match (&agg.arg, &input_schema) {
+                (Some(e), Some(s)) => e.dtype(s).ok(),
+                _ => None,
+            };
+            match agg.func {
+                AggFunc::Count => {}
+                AggFunc::CountDistinct | AggFunc::Min | AggFunc::Max => {
+                    out.push(Diagnostic::warning(
+                        codes::NON_MAINTAINABLE_AGGREGATE,
+                        root_path,
+                        format!(
+                            "{:?}({}) has no delete-aware retraction path",
+                            agg.func, agg.alias
+                        ),
+                    ));
+                }
+                AggFunc::Sum => {
+                    if arg_type != Some(DataType::Int) {
+                        out.push(Diagnostic::warning(
+                            codes::FLOAT_MAINTENANCE_STATE,
+                            root_path,
+                            format!(
+                                "SUM({}) over a {:?} argument cannot keep exact integer \
+                                 state; float accumulation is order-sensitive",
+                                agg.alias, arg_type
+                            ),
+                        ));
+                    }
+                }
+                AggFunc::Avg => {
+                    if !matches!(arg_type, Some(DataType::Int) | Some(DataType::Date)) {
+                        out.push(Diagnostic::warning(
+                            codes::FLOAT_MAINTENANCE_STATE,
+                            root_path,
+                            format!(
+                                "AVG({}) over a {:?} argument cannot keep exact \
+                                 SUM+COUNT state",
+                                agg.alias, arg_type
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        // (2) Group keys must have exact identity — floats (NaN, ±0.0
+        // families under arithmetic) defeat that.
+        for (expr, name) in group_by {
+            match input_schema.as_ref().map(|s| expr.dtype(s)) {
+                Some(Ok(DataType::Float)) => {
+                    out.push(Diagnostic::warning(
+                        codes::FLOAT_MAINTENANCE_STATE,
+                        root_path,
+                        format!("group key `{name}` is Float: no exact group identity"),
+                    ));
+                }
+                Some(Ok(_)) => {}
+                _ => {
+                    out.push(Diagnostic::warning(
+                        codes::NON_MAINTAINABLE_OPERATOR,
+                        root_path,
+                        format!("group key `{name}`'s type cannot be derived"),
+                    ));
+                }
+            }
+        }
+        // (3) Everything under the aggregate must distribute over deltas.
+        walk_logical(input, |node, path| {
+            let refusal = match &**node {
+                LogicalPlan::Scan { .. }
+                | LogicalPlan::Filter { .. }
+                | LogicalPlan::Project { .. }
+                | LogicalPlan::Union { .. } => None,
+                LogicalPlan::Join { kind, .. } => match kind {
+                    cv_engine::plan::JoinKind::Inner => None,
+                    other => Some(format!("{other:?} join is not delta-bilinear")),
+                },
+                LogicalPlan::Aggregate { .. } => {
+                    Some("nested Aggregate below the maintained root".to_string())
+                }
+                other => Some(format!("{} does not distribute over deltas", other.kind_name())),
+            };
+            if let Some(why) = refusal {
+                out.push(Diagnostic::warning(
+                    codes::NON_MAINTAINABLE_OPERATOR,
+                    format!("{root_path}/0:{path}"),
+                    why,
+                ));
+            }
+        });
+    }
+}
+
+impl Check for Maintainability {
+    fn family(&self) -> &'static str {
+        "CV07x"
+    }
+
+    fn name(&self) -> &'static str {
+        "maintainability"
+    }
+
+    fn description(&self) -> &'static str {
+        "a maintenance candidate's defining plan supports bit-exact incremental \
+         maintenance (retractable aggregates, integer state, delta-distributing operators)"
+    }
+
+    fn run(&self, input: &AnalysisInput<'_>, out: &mut Vec<Diagnostic>) {
+        let Some(plan) = input.maintenance_plan else { return };
+        Self::check_plan(plan, out);
     }
 }

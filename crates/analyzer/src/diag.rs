@@ -7,7 +7,8 @@ use std::fmt;
 /// Diagnostic code constants. Families group related invariants:
 /// `CV01x` schema soundness, `CV02x` signature determinism, `CV03x`
 /// substitution soundness, `CV04x` spool well-formedness, `CV05x`
-/// cost/statistics sanity, `CV06x` containment certification.
+/// cost/statistics sanity, `CV06x` containment certification, `CV07x`
+/// incremental-maintenance eligibility.
 pub mod codes {
     /// Schema derivation failed or is structurally inconsistent.
     pub const SCHEMA_DERIVE: &str = "CV011";
@@ -49,6 +50,20 @@ pub mod codes {
     /// Semantic match: the synthesized compensation plan's schema differs
     /// from the candidate subexpression it replaces.
     pub const COMPENSATION_SCHEMA_MISMATCH: &str = "CV064";
+    /// IVM: an aggregate function has no delete-aware retraction path
+    /// (MIN/MAX would need the retired extremum's runner-up, COUNT
+    /// DISTINCT a per-group value multiset).
+    pub const NON_MAINTAINABLE_AGGREGATE: &str = "CV071";
+    /// IVM: maintaining this state in floating point is not exactly
+    /// retractable (float SUM/AVG accumulation is order-sensitive; float
+    /// group keys defeat exact group identity).
+    pub const FLOAT_MAINTENANCE_STATE: &str = "CV072";
+    /// IVM: an operator in the defining plan does not distribute over
+    /// deltas (Sort/Limit/Udo/outer joins/nested aggregates/…).
+    pub const NON_MAINTAINABLE_OPERATOR: &str = "CV073";
+    /// IVM: the defining plan's root is not an Aggregate — there is no
+    /// group state to maintain.
+    pub const NOT_AGGREGATE_ROOT: &str = "CV074";
 
     /// Every diagnostic code paired with its `CV0nx` family. The
     /// registry-coverage test in `lib.rs` keeps this table exhaustive:
@@ -72,6 +87,10 @@ pub mod codes {
         (PROJECTION_NOT_DERIVABLE, "CV06x"),
         (NON_ROLLUPABLE_AGGREGATE, "CV06x"),
         (COMPENSATION_SCHEMA_MISMATCH, "CV06x"),
+        (NON_MAINTAINABLE_AGGREGATE, "CV07x"),
+        (FLOAT_MAINTENANCE_STATE, "CV07x"),
+        (NON_MAINTAINABLE_OPERATOR, "CV07x"),
+        (NOT_AGGREGATE_ROOT, "CV07x"),
     ];
 }
 

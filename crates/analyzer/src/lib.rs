@@ -15,6 +15,7 @@
 //! | CV04x  | spool well-formedness (unique, acyclic, granted, fully consumed) |
 //! | CV05x  | cost/statistics sanity (finite, non-negative, monotone) |
 //! | CV06x  | containment certification (semantic substitutions re-verify) |
+//! | CV07x  | incremental-maintenance eligibility (retractable aggregates, integer state, delta-distributing operators) |
 //!
 //! The [`Analyzer`] implements `cv_engine::verify::PlanVerifier`, so an
 //! engine configured with `OptimizerConfig::verify_plans` audits every
@@ -30,7 +31,7 @@ pub mod checks;
 pub mod containment;
 pub mod diag;
 
-pub use checks::{AnalysisInput, Check, CheckRegistry};
+pub use checks::{AnalysisInput, Check, CheckRegistry, Maintainability};
 pub use containment::prove_containment;
 pub use diag::{codes, Diagnostic, Report, Severity};
 
@@ -103,6 +104,16 @@ impl Analyzer {
         input.physical = Some(&outcome.physical);
         input.reuse = Some(reuse);
         input.live_views = live_views;
+        self.analyze(&input)
+    }
+
+    /// Gate an incremental-maintenance candidate: run the registry with
+    /// the defining plan in the `maintenance_plan` slot. Any CV07x
+    /// diagnostic in the report vetoes maintenance (the caller falls back
+    /// to a full rebuild), mirroring how CV06x vetoes containment matches.
+    pub fn check_maintainability(&self, plan: &Arc<LogicalPlan>) -> Report {
+        let mut input = self.input();
+        input.maintenance_plan = Some(plan);
         self.analyze(&input)
     }
 

@@ -7,6 +7,7 @@
 //! simply never matches a query over version N+1 (paper §2.4 "Not
 //! maintained"). GDPR forget-requests also rotate the GUID (§4).
 
+use crate::delta::{diff_tables, TableDelta};
 use crate::schema::SchemaRef;
 use crate::table::Table;
 use crate::value::Value;
@@ -34,6 +35,12 @@ pub struct Dataset {
     pub schema: SchemaRef,
     versions: Vec<DatasetVersion>,
     data: Table,
+    /// Previous generation's full contents, retained only while the delta
+    /// chain is unbroken (i.e. the latest update was delta-producing).
+    /// IVM joins read this as the pre-update base snapshot.
+    prev: Option<(VersionGuid, Table)>,
+    /// The delta that carried `prev` to the current generation.
+    last_delta: Option<TableDelta>,
 }
 
 impl Dataset {
@@ -59,6 +66,28 @@ impl Dataset {
 
     pub fn bytes(&self) -> u64 {
         self.data.byte_size()
+    }
+
+    /// The previous generation's snapshot, if the latest update was
+    /// delta-producing: `(guid of the previous version, its contents)`.
+    pub fn prev_snapshot(&self) -> Option<(VersionGuid, &Table)> {
+        self.prev.as_ref().map(|(g, t)| (*g, t))
+    }
+
+    /// The delta from the previous generation to the current one, if the
+    /// latest update was delta-producing.
+    pub fn last_delta(&self) -> Option<&TableDelta> {
+        self.last_delta.as_ref()
+    }
+
+    /// The delta that carries version `from` to the *current* version, or
+    /// `None` if the chain is broken (plain bulk update, GDPR rotation, or
+    /// `from` is older than one generation).
+    pub fn delta_from(&self, from: VersionGuid) -> Option<&TableDelta> {
+        match (&self.prev, &self.last_delta) {
+            (Some((g, _)), Some(d)) if *g == from => Some(d),
+            _ => None,
+        }
     }
 }
 
@@ -101,6 +130,8 @@ impl DatasetCatalog {
             schema: data.schema().clone(),
             versions: vec![version],
             data,
+            prev: None,
+            last_delta: None,
         });
         Ok(id)
     }
@@ -159,10 +190,99 @@ impl DatasetCatalog {
             bytes: data.byte_size(),
             forgotten: false,
         };
+        // A plain regeneration carries no change feed: the delta chain is
+        // broken and IVM must fall back to full rebuilds over this input.
+        ds.prev = None;
+        ds.last_delta = None;
         ds.data = data;
         let guid = version.guid;
         ds.versions.push(version);
         Ok(guid)
+    }
+
+    /// Delta-producing bulk update: like [`Self::bulk_update`], but records
+    /// the signed-multiplicity [`TableDelta`] that carries the previous
+    /// generation to `data`, and retains the previous generation's snapshot
+    /// so incremental view maintenance can evaluate join deltas against it.
+    ///
+    /// Validates (1) the new table's schema matches the registered schema,
+    /// (2) both delta sides carry that schema, and (3) row conservation:
+    /// `old.rows + inserts.rows - deletes.rows == new.rows`.
+    pub fn bulk_update_delta(
+        &mut self,
+        id: DatasetId,
+        data: Table,
+        delta: TableDelta,
+        now: SimTime,
+    ) -> Result<VersionGuid> {
+        let ds = self
+            .datasets
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))?;
+        if data.schema().fields() != ds.schema.fields() {
+            return Err(CvError::constraint(format!(
+                "bulk update of `{}` changes schema: {} -> {}",
+                ds.name,
+                ds.schema,
+                data.schema()
+            )));
+        }
+        delta.validate_schema(&ds.schema)?;
+        let expected = ds.data.num_rows() + delta.inserts.num_rows();
+        if expected < delta.deletes.num_rows()
+            || expected - delta.deletes.num_rows() != data.num_rows()
+        {
+            return Err(CvError::constraint(format!(
+                "delta update of `{}` violates row conservation: {} + {} inserts - {} \
+                 deletes != {} new rows",
+                ds.name,
+                ds.data.num_rows(),
+                delta.inserts.num_rows(),
+                delta.deletes.num_rows(),
+                data.num_rows()
+            )));
+        }
+        let old_guid = ds.current_guid();
+        let old_data = std::mem::replace(&mut ds.data, data);
+        let generation = ds.current_version().generation + 1;
+        let version = DatasetVersion {
+            guid: VersionGuid::derive(id, generation),
+            generation,
+            created: now,
+            rows: ds.data.num_rows(),
+            bytes: ds.data.byte_size(),
+            forgotten: false,
+        };
+        ds.prev = Some((old_guid, old_data));
+        ds.last_delta = Some(delta);
+        let guid = version.guid;
+        ds.versions.push(version);
+        Ok(guid)
+    }
+
+    /// Delta-producing bulk update for producers that only have the new
+    /// full contents (cooked outputs): multiset-diffs the current
+    /// generation against `data` and records the result as the delta.
+    pub fn bulk_update_diff(
+        &mut self,
+        id: DatasetId,
+        data: Table,
+        now: SimTime,
+    ) -> Result<VersionGuid> {
+        let ds = self
+            .datasets
+            .get(id.0 as usize)
+            .ok_or_else(|| CvError::not_found(format!("dataset {id}")))?;
+        if data.schema().fields() != ds.schema.fields() {
+            return Err(CvError::constraint(format!(
+                "bulk update of `{}` changes schema: {} -> {}",
+                ds.name,
+                ds.schema,
+                data.schema()
+            )));
+        }
+        let delta = diff_tables(&ds.data, &data)?;
+        self.bulk_update_delta(id, data, delta, now)
     }
 
     /// Apply a GDPR forget-request: delete all rows where `column == key`,
@@ -204,6 +324,10 @@ impl DatasetCatalog {
             bytes: new_data.byte_size(),
             forgotten: false,
         };
+        // GDPR rotations break the delta chain on purpose: the retired
+        // snapshot must not survive as anybody's maintenance base.
+        ds.prev = None;
+        ds.last_delta = None;
         ds.data = new_data;
         let new_guid = version.guid;
         ds.versions.push(version);
@@ -303,6 +427,83 @@ mod tests {
         let mut cat = DatasetCatalog::new();
         let id = cat.register("users", users_table(&[1]), SimTime::EPOCH).unwrap();
         assert!(cat.gdpr_forget(id, "nope", &Value::Int(1), SimTime::EPOCH).is_err());
+    }
+
+    #[test]
+    fn bulk_update_delta_records_chain() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2]), SimTime::EPOCH).unwrap();
+        let g0 = cat.get(id).unwrap().current_guid();
+        let new = users_table(&[1, 2, 3]);
+        let delta = diff_tables(cat.get(id).unwrap().data(), &new).unwrap();
+        let g1 = cat.bulk_update_delta(id, new, delta, SimTime::from_days(1.0)).unwrap();
+        let ds = cat.get(id).unwrap();
+        assert_ne!(g0, g1);
+        let (prev_guid, prev) = ds.prev_snapshot().expect("prev snapshot retained");
+        assert_eq!(prev_guid, g0);
+        assert_eq!(prev.num_rows(), 2);
+        let d = ds.delta_from(g0).expect("delta chain from g0");
+        assert_eq!(d.inserts.num_rows(), 1);
+        assert_eq!(d.deletes.num_rows(), 0);
+        assert!(ds.delta_from(g1).is_none(), "no self-delta");
+    }
+
+    #[test]
+    fn bulk_update_delta_validates_schema_and_conservation() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2]), SimTime::EPOCH).unwrap();
+        // Mismatched new-table schema.
+        let other_schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let err = cat
+            .bulk_update_delta(
+                id,
+                Table::empty(other_schema.clone()),
+                TableDelta::empty(other_schema.clone()),
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // Mismatched delta schema.
+        let err = cat
+            .bulk_update_delta(
+                id,
+                users_table(&[1, 2]),
+                TableDelta::empty(other_schema),
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // Row conservation: claiming an empty delta while adding a row.
+        let err = cat
+            .bulk_update_delta(
+                id,
+                users_table(&[1, 2, 3]),
+                TableDelta::empty(cat.get(id).unwrap().schema.clone()),
+                SimTime::EPOCH,
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), "constraint");
+        // A failed update must not have advanced the version chain.
+        assert_eq!(cat.get(id).unwrap().versions().len(), 1);
+    }
+
+    #[test]
+    fn plain_update_and_gdpr_break_delta_chain() {
+        let mut cat = DatasetCatalog::new();
+        let id = cat.register("users", users_table(&[1, 2]), SimTime::EPOCH).unwrap();
+        cat.bulk_update_diff(id, users_table(&[1, 2, 3]), SimTime::from_days(1.0)).unwrap();
+        assert!(cat.get(id).unwrap().last_delta().is_some());
+        cat.bulk_update(id, users_table(&[4]), SimTime::from_days(2.0)).unwrap();
+        let ds = cat.get(id).unwrap();
+        assert!(ds.last_delta().is_none());
+        assert!(ds.prev_snapshot().is_none());
+
+        cat.bulk_update_diff(id, users_table(&[4, 5]), SimTime::from_days(3.0)).unwrap();
+        assert!(cat.get(id).unwrap().last_delta().is_some());
+        cat.gdpr_forget(id, "user_id", &Value::Int(4), SimTime::from_days(4.0)).unwrap();
+        let ds = cat.get(id).unwrap();
+        assert!(ds.last_delta().is_none());
+        assert!(ds.prev_snapshot().is_none());
     }
 
     #[test]

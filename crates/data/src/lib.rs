@@ -14,6 +14,7 @@
 pub mod bitmap;
 pub mod catalog;
 pub mod column;
+pub mod delta;
 pub mod schema;
 pub mod sharded;
 pub mod store_api;
@@ -24,6 +25,7 @@ pub mod viewstore;
 pub use bitmap::Bitmap;
 pub use catalog::{Dataset, DatasetCatalog, DatasetVersion};
 pub use column::{Column, ColumnBuilder, ColumnData};
+pub use delta::{diff_tables, TableDelta};
 pub use schema::{Field, Schema, SchemaRef};
 pub use sharded::ShardedViewStore;
 pub use store_api::{SharedViewStore, StoreIoStats};

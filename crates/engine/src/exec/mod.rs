@@ -878,7 +878,17 @@ fn hash_aggregate(
         }
     }
     columns.extend(builders.into_iter().map(ColumnBuilder::finish));
-    Table::new(schema.clone(), columns)
+    let out = Table::new(schema.clone(), columns)?;
+    if group_by.is_empty() {
+        return Ok(out);
+    }
+    // Canonical output order: sort by the group-key columns ascending.
+    // First-encounter order is an artifact of input row order; sorting
+    // makes aggregate output a pure function of the input *multiset*, so
+    // an incrementally maintained aggregate (cv-ivm) emitted from group
+    // state is byte-identical to inline execution.
+    let keys: Vec<(usize, bool)> = (0..group_by.len()).map(|i| (i, true)).collect();
+    out.sort_by(&keys)
 }
 
 #[cfg(test)]

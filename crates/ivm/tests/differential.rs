@@ -1,0 +1,351 @@
+//! Differential property tests: for random daily deltas over null-keyed
+//! tables, an incrementally maintained view must be byte-for-byte
+//! identical to recomputing the defining plan from scratch — and every
+//! CV07x refusal code must actually fire on a deliberately
+//! non-maintainable plan.
+
+use cv_common::rng::DetRng;
+use cv_common::SimTime;
+use cv_data::schema::{Field, Schema};
+use cv_data::table::Table;
+use cv_data::value::{DataType, Value};
+use cv_engine::engine::QueryEngine;
+use cv_engine::expr::{col, AggExpr, AggFunc};
+use cv_engine::optimizer::{OptimizerConfig, ReuseContext};
+use cv_engine::plan::LogicalPlan;
+use cv_engine::sql::Params;
+use cv_ivm::{IvmEngine, Maintain, RebuildReason, TrackOutcome};
+use std::sync::Arc;
+
+fn now(day: u64) -> SimTime {
+    SimTime::from_days(day as f64)
+}
+
+fn fact_schema() -> cv_data::schema::SchemaRef {
+    Schema::new(vec![
+        Field::new("k", DataType::Str),
+        Field::new("v", DataType::Int),
+        Field::new("f", DataType::Float),
+        Field::new("d", DataType::Date),
+        Field::new("uid", DataType::Int),
+    ])
+    .unwrap()
+    .into_ref()
+}
+
+const DIM_ROWS: i64 = 24;
+
+fn fact_row(rng: &mut DetRng, day: i32) -> Vec<Value> {
+    vec![
+        if rng.chance(0.2) { Value::Null } else { Value::Str(format!("k{}", rng.range_u64(0, 8))) },
+        if rng.chance(0.15) { Value::Null } else { Value::Int(rng.range_i64(-50, 100)) },
+        Value::Float(rng.range_f64(0.0, 10.0)),
+        Value::Date(day),
+        if rng.chance(0.1) { Value::Null } else { Value::Int(rng.range_i64(0, DIM_ROWS)) },
+    ]
+}
+
+fn initial_fact(rng: &mut DetRng, rows: usize) -> Table {
+    let rows: Vec<Vec<Value>> = (0..rows).map(|_| fact_row(rng, 0)).collect();
+    Table::from_rows(fact_schema(), &rows).unwrap()
+}
+
+fn dim_table(gen: i64) -> Table {
+    let schema =
+        Schema::new(vec![Field::new("u_id", DataType::Int), Field::new("u_seg", DataType::Str)])
+            .unwrap()
+            .into_ref();
+    let rows: Vec<Vec<Value>> = (0..DIM_ROWS)
+        .map(|i| vec![Value::Int(i), Value::Str(format!("seg{}", (i + gen) % 4))])
+        .collect();
+    Table::from_rows(schema, &rows).unwrap()
+}
+
+/// Random mutation: delete a few random rows (retraction path), append a
+/// batch of fresh rows with NULL keys and NULL aggregate arguments.
+fn mutate_fact(rng: &mut DetRng, t: &Table, day: i32) -> Table {
+    let mut rows = t.to_rows();
+    for _ in 0..rng.range_u64(1, 6) {
+        if rows.is_empty() {
+            break;
+        }
+        let i = rng.range_u64(0, rows.len() as u64) as usize;
+        rows.remove(i);
+    }
+    for _ in 0..rng.range_u64(8, 20) {
+        rows.push(fact_row(rng, day));
+    }
+    Table::from_rows(t.schema().clone(), &rows).unwrap()
+}
+
+/// Byte-level equality: schemas, row count, and every cell — floats by
+/// bit pattern, not by `==`.
+fn assert_tables_identical(maintained: &Table, recomputed: &Table, ctx: &str) {
+    assert_eq!(maintained.schema().fields(), recomputed.schema().fields(), "{ctx}: schema");
+    let (a, b) = (maintained.to_rows(), recomputed.to_rows());
+    assert_eq!(a.len(), b.len(), "{ctx}: row count");
+    for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+        for (j, (u, v)) in x.iter().zip(y).enumerate() {
+            match (u, v) {
+                (Value::Float(p), Value::Float(q)) => assert_eq!(
+                    p.to_bits(),
+                    q.to_bits(),
+                    "{ctx}: float bits differ at row {i} col {j}: {p} vs {q}"
+                ),
+                _ => assert_eq!(u, v, "{ctx}: cell differs at row {i} col {j}"),
+            }
+        }
+    }
+}
+
+fn inline_result(engine: &mut QueryEngine, plan: &Arc<LogicalPlan>) -> Table {
+    engine
+        .run_plan(
+            plan,
+            &ReuseContext::empty(),
+            cv_common::ids::JobId(0),
+            cv_common::ids::VcId(0),
+            SimTime::EPOCH,
+        )
+        .unwrap()
+        .table
+}
+
+/// Run an N-day differential loop for one SQL template: every day the
+/// fact (and optionally the dimension) mutates via `bulk_update_diff`,
+/// the view is maintained from deltas, and the result must match a full
+/// recomputation bit-for-bit.
+fn differential_loop(sql: &str, churn_dim: bool, seed: u64) {
+    let mut rng = DetRng::seed(seed);
+    let mut engine = QueryEngine::new();
+    let fact0 = initial_fact(&mut rng, 300);
+    let fact_id = engine.catalog.register("fact", fact0, now(0)).unwrap();
+    engine.catalog.register("dim", dim_table(0), now(0)).unwrap();
+    let dim_id = engine.catalog.id_of("dim").unwrap();
+
+    let plan0 = engine.compile_sql(sql, &Params::none()).unwrap();
+    let template =
+        cv_engine::signature::template_signature(&plan0, &OptimizerConfig::default().sig)
+            .expect("deterministic plan has a template signature");
+
+    let mut ivm = IvmEngine::new(&OptimizerConfig::default());
+    // The differential property is about correctness, not economics:
+    // disable the cost gate so churn days exercise both join terms
+    // (ΔL ⋈ R_cur and L_prev ⋈ ΔR) in the same pass.
+    ivm.set_cost_gate(false);
+    match ivm.track(template, &plan0, &engine.catalog).unwrap() {
+        TrackOutcome::Tracked { .. } => {}
+        TrackOutcome::Refused { codes } => panic!("template unexpectedly refused: {codes:?}"),
+    }
+
+    let mut maintained_days = 0;
+    for day in 1..=8u64 {
+        let new_fact =
+            mutate_fact(&mut rng, engine.catalog.get(fact_id).unwrap().data(), day as i32);
+        engine.catalog.bulk_update_diff(fact_id, new_fact, now(day)).unwrap();
+        if churn_dim && day % 2 == 0 {
+            engine.catalog.bulk_update_diff(dim_id, dim_table(day as i64), now(day)).unwrap();
+        }
+
+        let today_plan = engine.compile_sql(sql, &Params::none()).unwrap();
+        match ivm.maintain(template, &today_plan, &engine.catalog) {
+            Maintain::Maintained(mv) => {
+                let expected = inline_result(&mut engine, &today_plan);
+                assert_tables_identical(&mv.table, &expected, &format!("day {day}"));
+                maintained_days += 1;
+            }
+            other => panic!("day {day}: expected maintenance, got {other:?}"),
+        }
+    }
+    assert_eq!(maintained_days, 8);
+    assert_eq!(ivm.stats.maintained, 8);
+}
+
+#[test]
+fn grouped_count_sum_avg_matches_recompute() {
+    differential_loop(
+        "SELECT k, COUNT(*) AS cnt, COUNT(v) AS nn, SUM(v) AS total, AVG(v) AS mean \
+         FROM fact GROUP BY k",
+        false,
+        11,
+    );
+}
+
+#[test]
+fn filtered_grouped_aggregate_matches_recompute() {
+    differential_loop(
+        "SELECT k, SUM(v) AS total, COUNT(*) AS cnt FROM fact WHERE v > 0 GROUP BY k",
+        false,
+        12,
+    );
+}
+
+#[test]
+fn global_aggregate_matches_recompute() {
+    differential_loop("SELECT COUNT(*) AS cnt, AVG(v) AS mean FROM fact", false, 13);
+}
+
+#[test]
+fn join_aggregate_matches_recompute_under_dimension_churn() {
+    differential_loop(
+        "SELECT u_seg, COUNT(*) AS cnt, SUM(v) AS total \
+         FROM fact JOIN dim ON uid = u_id GROUP BY u_seg",
+        true,
+        14,
+    );
+}
+
+#[test]
+fn date_avg_matches_recompute() {
+    differential_loop("SELECT k, AVG(d) AS mid_date FROM fact GROUP BY k", false, 15);
+}
+
+/// With the cost gate ON, a day where both join sides change must fall
+/// back to a rebuild (the estimate can never beat leaf row counts), and
+/// a plain (non-delta) bulk update must break the chain.
+#[test]
+fn cost_gate_and_chain_breaks_force_rebuild() {
+    let mut rng = DetRng::seed(21);
+    let mut engine = QueryEngine::new();
+    let fact_id = engine.catalog.register("fact", initial_fact(&mut rng, 120), now(0)).unwrap();
+    engine.catalog.register("dim", dim_table(0), now(0)).unwrap();
+    let dim_id = engine.catalog.id_of("dim").unwrap();
+
+    let sql = "SELECT u_seg, COUNT(*) AS cnt FROM fact JOIN dim ON uid = u_id GROUP BY u_seg";
+    let plan0 = engine.compile_sql(sql, &Params::none()).unwrap();
+    let sig_cfg = OptimizerConfig::default().sig.clone();
+    let template = cv_engine::signature::template_signature(&plan0, &sig_cfg).unwrap();
+
+    let mut ivm = IvmEngine::new(&OptimizerConfig::default());
+    assert!(matches!(
+        ivm.track(template, &plan0, &engine.catalog).unwrap(),
+        TrackOutcome::Tracked { .. }
+    ));
+
+    // Both sides change: costed out.
+    let new_fact = mutate_fact(&mut rng, engine.catalog.get(fact_id).unwrap().data(), 1);
+    engine.catalog.bulk_update_diff(fact_id, new_fact, now(1)).unwrap();
+    engine.catalog.bulk_update_diff(dim_id, dim_table(1), now(1)).unwrap();
+    let plan1 = engine.compile_sql(sql, &Params::none()).unwrap();
+    match ivm.maintain(template, &plan1, &engine.catalog) {
+        Maintain::Rebuild { reason: RebuildReason::CostedOut { maintain_rows, rebuild_rows } } => {
+            assert!(maintain_rows >= rebuild_rows);
+        }
+        other => panic!("expected CostedOut, got {other:?}"),
+    }
+
+    // Re-track, then regenerate without a delta: chain broken.
+    assert!(matches!(
+        ivm.track(template, &plan1, &engine.catalog).unwrap(),
+        TrackOutcome::Tracked { .. }
+    ));
+    let plain = mutate_fact(&mut rng, engine.catalog.get(fact_id).unwrap().data(), 2);
+    engine.catalog.bulk_update(fact_id, plain, now(2)).unwrap();
+    let plan2 = engine.compile_sql(sql, &Params::none()).unwrap();
+    match ivm.maintain(template, &plan2, &engine.catalog) {
+        Maintain::Rebuild { reason: RebuildReason::ChainBroken { dataset } } => {
+            assert_eq!(dataset, "fact");
+        }
+        other => panic!("expected ChainBroken, got {other:?}"),
+    }
+    assert_eq!(ivm.stats.rebuilt, 2);
+}
+
+/// A moved parameter value is a different query — maintenance must
+/// refuse with PlanDrift rather than silently maintain the old window.
+#[test]
+fn parameter_drift_forces_rebuild() {
+    let mut rng = DetRng::seed(31);
+    let mut engine = QueryEngine::new();
+    let fact_id = engine.catalog.register("fact", initial_fact(&mut rng, 150), now(0)).unwrap();
+
+    let sql = "SELECT k, COUNT(*) AS cnt FROM fact WHERE d >= @window_start GROUP BY k";
+    let p0 = Params::with(&[("window_start", Value::Date(-3))]);
+    let plan0 = engine.compile_sql(sql, &p0).unwrap();
+    let sig_cfg = OptimizerConfig::default().sig.clone();
+    let template = cv_engine::signature::template_signature(&plan0, &sig_cfg).unwrap();
+
+    let mut ivm = IvmEngine::new(&OptimizerConfig::default());
+    assert!(matches!(
+        ivm.track(template, &plan0, &engine.catalog).unwrap(),
+        TrackOutcome::Tracked { .. }
+    ));
+
+    let new_fact = mutate_fact(&mut rng, engine.catalog.get(fact_id).unwrap().data(), 1);
+    engine.catalog.bulk_update_diff(fact_id, new_fact, now(1)).unwrap();
+    let p1 = Params::with(&[("window_start", Value::Date(-2))]);
+    let plan1 = engine.compile_sql(sql, &p1).unwrap();
+    match ivm.maintain(template, &plan1, &engine.catalog) {
+        Maintain::Rebuild { reason: RebuildReason::PlanDrift } => {}
+        other => panic!("expected PlanDrift, got {other:?}"),
+    }
+}
+
+/// Every CV07x refusal code fires on a deliberately non-maintainable
+/// plan, and the veto counters record each code.
+#[test]
+fn every_cv07x_code_is_exercised() {
+    let mut rng = DetRng::seed(41);
+    let mut engine = QueryEngine::new();
+    engine.catalog.register("fact", initial_fact(&mut rng, 50), now(0)).unwrap();
+    let sig_cfg = OptimizerConfig::default().sig.clone();
+    let mut ivm = IvmEngine::new(&OptimizerConfig::default());
+
+    let refusal = |ivm: &mut IvmEngine, engine: &QueryEngine, plan: &Arc<LogicalPlan>| {
+        let template =
+            cv_engine::signature::template_signature(plan, &sig_cfg).expect("signable plan");
+        match ivm.track(template, plan, &engine.catalog).unwrap() {
+            TrackOutcome::Refused { codes } => codes,
+            TrackOutcome::Tracked { .. } => panic!("plan unexpectedly certified"),
+        }
+    };
+
+    // CV071: no retraction path for COUNT DISTINCT / MIN / MAX.
+    let p = engine
+        .compile_sql("SELECT k, COUNT(DISTINCT v) AS u FROM fact GROUP BY k", &Params::none())
+        .unwrap();
+    assert!(refusal(&mut ivm, &engine, &p).contains(&"CV071"));
+
+    // CV072: float aggregate state is not exactly retractable.
+    let p =
+        engine.compile_sql("SELECT k, AVG(f) AS af FROM fact GROUP BY k", &Params::none()).unwrap();
+    assert!(refusal(&mut ivm, &engine, &p).contains(&"CV072"));
+
+    // CV073: a nested aggregate below the root does not distribute over
+    // deltas. Built by hand — SQL has no subqueries.
+    let ds = engine.catalog.get_by_name("fact").unwrap();
+    let scan = Arc::new(LogicalPlan::Scan {
+        dataset: "fact".into(),
+        guid: ds.current_guid(),
+        schema: ds.schema.clone(),
+    });
+    let inner = Arc::new(LogicalPlan::Aggregate {
+        group_by: vec![(col("k"), "k".into())],
+        aggs: vec![AggExpr::new(AggFunc::Sum, col("v"), "total")],
+        input: scan,
+    });
+    let outer = Arc::new(LogicalPlan::Aggregate {
+        group_by: vec![],
+        aggs: vec![AggExpr::new(AggFunc::Count, col("total"), "n")],
+        input: inner,
+    });
+    assert!(refusal(&mut ivm, &engine, &outer).contains(&"CV073"));
+
+    // CV074: ORDER BY ... LIMIT leaves a non-Aggregate root.
+    let p = engine
+        .compile_sql(
+            "SELECT k, COUNT(*) AS cnt FROM fact GROUP BY k ORDER BY cnt DESC LIMIT 5",
+            &Params::none(),
+        )
+        .unwrap();
+    assert!(refusal(&mut ivm, &engine, &p).contains(&"CV074"));
+
+    for code in ["CV071", "CV072", "CV073", "CV074"] {
+        assert!(
+            ivm.stats.vetoes.contains_key(code),
+            "veto counter missing for {code}: {:?}",
+            ivm.stats.vetoes
+        );
+    }
+    assert_eq!(ivm.stats.refused, 4);
+}

@@ -349,3 +349,178 @@ fn page_cache_serves_hot_reads_and_reports_temperature() {
     assert!(io.page_cache_hit_rate() > 0.0 && io.page_cache_hit_rate() < 1.0);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Build two generations of a grouped-aggregate view over a mutating fact
+/// table using cv-ivm's own delta path: the day-0 bootstrap contents and
+/// the day-1 incrementally maintained contents.
+fn ivm_generations() -> (Table, Table) {
+    use cv_engine::engine::QueryEngine;
+    use cv_engine::optimizer::{OptimizerConfig, ReuseContext};
+    use cv_engine::sql::Params;
+    use cv_ivm::{IvmEngine, Maintain, TrackOutcome};
+
+    let mut rng = DetRng::seed(0x1f2e3d);
+    let schema = Schema::new(vec![Field::new("k", DataType::Str), Field::new("v", DataType::Int)])
+        .unwrap()
+        .into_ref();
+    let row = |rng: &mut DetRng| {
+        vec![
+            if rng.chance(0.15) {
+                Value::Null
+            } else {
+                Value::Str(format!("k{}", rng.range_u64(0, 9)))
+            },
+            if rng.chance(0.1) { Value::Null } else { Value::Int(rng.range_i64(-40, 90)) },
+        ]
+    };
+    let rows: Vec<Vec<Value>> = (0..200).map(|_| row(&mut rng)).collect();
+    let fact0 = Table::from_rows(schema, &rows).unwrap();
+
+    let mut engine = QueryEngine::new();
+    let fact_id = engine.catalog.register("fact", fact0, SimTime::EPOCH).unwrap();
+    let sql = "SELECT k, COUNT(*) AS cnt, SUM(v) AS total FROM fact GROUP BY k";
+    let plan0 = engine.compile_sql(sql, &Params::none()).unwrap();
+    let key = cv_engine::signature::template_signature(&plan0, &OptimizerConfig::default().sig)
+        .expect("deterministic plan has a template signature");
+
+    let mut ivm = IvmEngine::new(&OptimizerConfig::default());
+    match ivm.track(key, &plan0, &engine.catalog).unwrap() {
+        TrackOutcome::Tracked { .. } => {}
+        TrackOutcome::Refused { codes } => panic!("template unexpectedly refused: {codes:?}"),
+    }
+    let old_view = engine
+        .run_plan(&plan0, &ReuseContext::empty(), JobId(0), cv_common::ids::VcId(0), SimTime::EPOCH)
+        .unwrap()
+        .table;
+
+    // Day 1: retract a few rows, append a fresh batch, maintain from deltas.
+    let mut rows = engine.catalog.get(fact_id).unwrap().data().to_rows();
+    for _ in 0..5 {
+        let i = rng.range_u64(0, rows.len() as u64) as usize;
+        rows.remove(i);
+    }
+    for _ in 0..40 {
+        rows.push(row(&mut rng));
+    }
+    let fact_schema = engine.catalog.get(fact_id).unwrap().data().schema().clone();
+    let fact1 = Table::from_rows(fact_schema, &rows).unwrap();
+    engine.catalog.bulk_update_diff(fact_id, fact1, SimTime::from_days(1.0)).unwrap();
+
+    let plan1 = engine.compile_sql(sql, &Params::none()).unwrap();
+    let new_view = match ivm.maintain(key, &plan1, &engine.catalog) {
+        Maintain::Maintained(mv) => mv.table,
+        other => panic!("expected maintenance, got {other:?}"),
+    };
+    (old_view, new_view)
+}
+
+/// Satellite: incremental maintenance flows through the same durable WAL
+/// commit path as any other view. A crash at any durable byte offset
+/// between the delta apply and the publish commit must recover — in place
+/// and across a full reopen — to either the old day's view or the new
+/// day's view, never a torn mix.
+#[test]
+fn ivm_publish_crash_recovers_to_old_or_new_view_never_torn() {
+    let (old_view, new_view) = ivm_generations();
+    let (old_rows, new_rows) = (old_view.canonical_rows(), new_view.canonical_rows());
+    assert_ne!(old_rows, new_rows, "the delta must actually change the view");
+
+    const OLD_SIG: u128 = 0xA0;
+    const NEW_SIG: u128 = 0xB1;
+    let publish = |sig: u128, t: &Table, day: f64| MaterializedView {
+        strict_sig: Sig128(sig),
+        // Same recurring signature both days, as the driver republishes
+        // a maintained view under each new day's strict signature.
+        recurring_sig: Sig128(0x5eed),
+        schema: t.schema().clone(),
+        data: t.clone(),
+        rows: 0,
+        bytes: 0,
+        created: SimTime::from_days(day),
+        expires: SimTime::from_days(day),
+        creator_job: JobId(1),
+        vc: VcId(1),
+        input_guids: vec![VersionGuid(7)],
+        observed_work: 10.0,
+        checksum: 0,
+    };
+    let ttl = SimDuration::from_days(7.0);
+    let read_at = SimTime::from_days(1.5);
+
+    // Fault-free dry run: learn how many durable bytes the publish and the
+    // trailing checkpoint write. The insert lays pages down first and the
+    // WAL commit record last, so every kill inside the publish itself loses
+    // the new view; the checkpoint extends the sweep past the commit
+    // boundary so the "new view survives" outcome is exercised too.
+    let dir = temp_dir("ivm-dry");
+    let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+    store.insert(publish(OLD_SIG, &old_view, 0.0)).unwrap();
+    let before = store.io_stats().bytes_written_durably;
+    store.insert(publish(NEW_SIG, &new_view, 1.0)).unwrap();
+    let publish_bytes = store.io_stats().bytes_written_durably - before;
+    store.checkpoint_now().unwrap();
+    let sweep_bytes = store.io_stats().bytes_written_durably - before;
+    assert!(publish_bytes > 0 && sweep_bytes > publish_bytes);
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Old view must read back exactly; the new one is all-or-nothing.
+    let check = |store: &DurableViewStore, ctx: &str| -> bool {
+        let got_old = store
+            .read_view(Sig128(OLD_SIG), read_at)
+            .expect("fault-free read must not fail")
+            .unwrap_or_else(|| panic!("{ctx}: previous day's view lost"))
+            .canonical_rows();
+        assert_eq!(got_old, old_rows, "{ctx}: previous day's view torn");
+        match store.read_view(Sig128(NEW_SIG), read_at).expect("fault-free read must not fail") {
+            None => false,
+            Some(t) => {
+                assert_eq!(t.canonical_rows(), new_rows, "{ctx}: maintained view torn");
+                true
+            }
+        }
+    };
+
+    let step = (sweep_bytes / 80).max(1) as usize;
+    let (mut lost, mut kept) = (0u32, 0u32);
+    let dir = temp_dir("ivm-crash");
+    for k in (1..=sweep_bytes).step_by(step) {
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+        store.insert(publish(OLD_SIG, &old_view, 0.0)).unwrap();
+        // Crash inside the maintained view's publish commit, or in the
+        // checkpoint that follows it.
+        store.set_fault_plan(FaultPlan::seeded(9).with_crash_after_bytes(k));
+        let mut crashed = false;
+        match store.insert(publish(NEW_SIG, &new_view, 1.0)) {
+            Ok(_) => {}
+            Err(e) if e.is_crash() => {
+                crashed = true;
+                store.recover_in_place().expect("recovery must succeed");
+            }
+            Err(e) => panic!("unexpected non-crash error at byte {k}: {e}"),
+        }
+        if !crashed {
+            match store.checkpoint_now() {
+                Ok(_) => {}
+                Err(e) if e.is_crash() => store.recover_in_place().expect("recovery must succeed"),
+                Err(e) => panic!("unexpected non-crash error at byte {k}: {e}"),
+            }
+        }
+        let ctx = format!("in-place recovery, kill at publish byte {k}");
+        let new_alive = check(&store, &ctx);
+        drop(store);
+        let reopened = DurableViewStore::open(&dir, ttl, small_opts()).unwrap();
+        let ctx = format!("reopen, kill at publish byte {k}");
+        assert_eq!(check(&reopened, &ctx), new_alive, "{ctx}: reopen disagrees with recovery");
+        if new_alive {
+            kept += 1;
+        } else {
+            lost += 1;
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    // The sweep must actually exercise both recovery outcomes.
+    assert!(lost > 0, "no kill offset lost the publish — sweep too late");
+    assert!(kept > 0, "no kill offset kept the publish — sweep too early");
+}

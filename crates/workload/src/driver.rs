@@ -45,6 +45,9 @@ use cv_data::viewstore::{MaterializedView, ViewStore, ViewStoreStats};
 use cv_engine::engine::QueryEngine;
 use cv_engine::exec::PendingView;
 use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext};
+use cv_engine::plan::LogicalPlan;
+use cv_engine::signature::{plan_signature, template_signature, SigMode};
+use cv_ivm::{IvmEngine, IvmStats, Maintain};
 use cv_store::{DurableStoreOptions, DurableViewStore};
 use std::collections::{BTreeMap, HashMap};
 
@@ -128,6 +131,23 @@ impl DurableStoreConfig {
     }
 }
 
+/// How the driver treats daily regeneration and recurring views.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum IvmMode {
+    /// Plain bulk regeneration: no change feeds, no maintenance (the
+    /// paper's deployment — every view dies with its input GUIDs).
+    #[default]
+    Off,
+    /// Delta-producing ingestion (append-mostly facts, churned dimensions,
+    /// diffed cooked outputs) but every job still executes in full — the
+    /// control leg for digest-parity comparisons against `Maintain`.
+    Ingest,
+    /// Delta ingestion plus incremental maintenance: certified recurring
+    /// aggregate views are advanced from yesterday's state and re-published
+    /// under today's strict signature instead of being rebuilt.
+    Maintain,
+}
+
 /// Full driver configuration.
 #[derive(Clone, Debug)]
 pub struct DriverConfig {
@@ -145,6 +165,8 @@ pub struct DriverConfig {
     pub faults: FaultPlan,
     /// View-store backend (in-memory by default).
     pub store: StoreBackend,
+    /// Incremental view maintenance mode (off by default).
+    pub ivm: IvmMode,
 }
 
 impl DriverConfig {
@@ -159,6 +181,7 @@ impl DriverConfig {
             gdpr_every_days: None,
             faults: FaultPlan::none(),
             store: StoreBackend::Memory,
+            ivm: IvmMode::Off,
         }
     }
 
@@ -187,6 +210,8 @@ pub struct DriverOutcome {
     pub robustness: RobustnessStats,
     /// Durable-store IO counters (`None` for in-memory runs).
     pub store_io: Option<StoreIoStats>,
+    /// Incremental-maintenance counters (`None` unless `ivm: Maintain`).
+    pub ivm: Option<IvmStats>,
 }
 
 impl DriverOutcome {
@@ -223,8 +248,35 @@ impl DriverOutcome {
                 }),
                 None => Json::Null,
             },
+            "ivm": match &self.ivm {
+                Some(s) => ivm_stats_json(s),
+                None => Json::Null,
+            },
         })
     }
+}
+
+/// JSON shape for the IVM counters (shared by the driver report and the
+/// `cv-analyze --ivm` harness).
+pub fn ivm_stats_json(s: &IvmStats) -> Json {
+    let mut vetoes = cv_common::json::JsonMap::new();
+    for (code, n) in &s.vetoes {
+        vetoes.insert(*code, *n);
+    }
+    let mut reasons = cv_common::json::JsonMap::new();
+    for (label, n) in &s.rebuild_reasons {
+        reasons.insert(*label, *n);
+    }
+    json!({
+        "maintained": s.maintained,
+        "rebuilt": s.rebuilt,
+        "refused": s.refused,
+        "vetoes_by_code": Json::Obj(vetoes),
+        "rebuild_reasons": Json::Obj(reasons),
+        "rows_maintained": s.rows_maintained,
+        "rows_bootstrap": s.rows_bootstrap,
+        "rows_rebuild_baseline": s.rows_rebuild_baseline,
+    })
 }
 
 struct PendingSeal {
@@ -275,6 +327,9 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
     let mut gdpr_purged_views = 0u64;
     let mut next_job = 0u64;
     let mut robustness = RobustnessStats::default();
+    let ivm_ingest = cfg.ivm != IvmMode::Off;
+    let mut ivm: Option<IvmEngine> =
+        (cfg.ivm == IvmMode::Maintain).then(|| IvmEngine::new(&cfg.optimizer));
 
     let specs = raw_specs();
 
@@ -298,12 +353,22 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 continue;
             }
             let mut rng = data_rng(workload.config.seed, spec.name, day);
-            let table = spec.generate(&mut rng, workload.config.scale, day);
             match engine.catalog.id_of(spec.name) {
+                Some(id) if ivm_ingest => {
+                    // Delta-producing regeneration: facts append the day's
+                    // rows, dimensions churn in place, and the catalog
+                    // records the signed change feed for maintenance.
+                    let prev = engine.catalog.get(id)?.data().clone();
+                    let (table, delta) =
+                        spec.generate_delta(&mut rng, workload.config.scale, day, &prev);
+                    engine.catalog.bulk_update_delta(id, table, delta, day_start)?;
+                }
                 Some(id) => {
+                    let table = spec.generate(&mut rng, workload.config.scale, day);
                     engine.catalog.bulk_update(id, table, day_start)?;
                 }
                 None => {
+                    let table = spec.generate(&mut rng, workload.config.scale, day);
                     engine.catalog.register(spec.name, table, day_start)?;
                 }
             }
@@ -366,6 +431,36 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 submit,
             };
 
+            // Incremental maintenance: a tracked recurring template whose
+            // inputs changed only through intact delta chains is advanced
+            // from yesterday's state instead of re-executed. Fallbacks
+            // (broken chain, plan drift, costed out) drop through to the
+            // normal execution path below and re-track afterwards.
+            if let Some(iv) = ivm.as_mut() {
+                match try_ivm_maintain(
+                    iv,
+                    &mut engine,
+                    &mut insights,
+                    template,
+                    day,
+                    job,
+                    enabled,
+                    cfg.view_ttl,
+                    durable.as_ref(),
+                    &mut robustness,
+                ) {
+                    Ok(Some(digest)) => {
+                        result_digests.insert(job, digest);
+                        continue;
+                    }
+                    Ok(None) => {}
+                    Err(_) => {
+                        failed_jobs += 1;
+                        continue;
+                    }
+                }
+            }
+
             // Metadata repository outage: the annotation service is
             // unreachable, so the optimizer degrades to a baseline
             // no-reuse plan for this job (graceful degradation — the job
@@ -383,11 +478,18 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 meta,
                 enabled && !metadata_down,
                 durable.as_ref(),
+                ivm_ingest,
             );
             match run {
                 Ok(one) => {
                     repo.log_job(meta, &one.subexprs, Some(&one.profiles));
                     result_digests.insert(job, one.digest);
+                    // Start (or resume) maintaining this template's view:
+                    // the CV07x gate refuses non-maintainable plans and the
+                    // refusal is counted, exactly like CV06x vetoes.
+                    if let Some(iv) = ivm.as_mut() {
+                        ivm_track(iv, &engine, template, day);
+                    }
                     // Any read-side fault quarantines the signature in both
                     // the store and the serving index for the rest of the
                     // run: the engine recomputes instead of retrying a bad
@@ -490,7 +592,151 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         gdpr_purged_views,
         robustness,
         store_io,
+        ivm: ivm.map(|iv| iv.stats),
     })
+}
+
+/// Attempt to maintain a tracked view for `template`. Returns the result
+/// digest when the view was maintained (the job is done without
+/// executing); `None` falls through to normal execution.
+#[allow(clippy::too_many_arguments)]
+fn try_ivm_maintain(
+    ivm: &mut IvmEngine,
+    engine: &mut QueryEngine,
+    insights: &mut InsightsService,
+    template: &JobTemplate,
+    day: SimDay,
+    job: JobId,
+    enabled: bool,
+    view_ttl: SimDuration,
+    durable: Option<&DurableViewStore>,
+    robustness: &mut RobustnessStats,
+) -> Result<Option<Sig128>> {
+    let Ok(plan) = template.build_plan(engine, day) else {
+        return Ok(None);
+    };
+    let Some(tsig) = plan_signature(&plan, &engine.optimizer.cfg.sig, SigMode::Recurring) else {
+        return Ok(None);
+    };
+    if !ivm.is_tracked(tsig) {
+        return Ok(None);
+    }
+    let mv = match ivm.maintain(tsig, &plan, &engine.catalog) {
+        Maintain::Maintained(mv) => mv,
+        Maintain::NotTracked | Maintain::Rebuild { .. } => return Ok(None),
+    };
+    let submit = template.submit_time(day);
+    // A maintained cooking job still publishes its output dataset — as a
+    // diffed delta update, so downstream chains stay intact.
+    if let Some(output) = template.output_dataset() {
+        match engine.catalog.id_of(output) {
+            Some(id) => {
+                engine.catalog.bulk_update_diff(id, mv.table.clone(), submit)?;
+            }
+            None => {
+                engine.catalog.register(output, mv.table.clone(), submit)?;
+            }
+        }
+    }
+    // Re-publish under today's strict signature so exact and containment
+    // matching serve the maintained view exactly like a rebuilt one.
+    if enabled {
+        publish_maintained(
+            engine,
+            insights,
+            &mv,
+            job,
+            template.vc,
+            submit,
+            view_ttl,
+            durable,
+            robustness,
+        )?;
+    }
+    Ok(Some(digest_table(&mv.table)))
+}
+
+/// Track (or re-track after a fallback) the template's view. Refusals are
+/// recorded in the engine's veto counters; failures to bootstrap are
+/// silently skipped — the template simply stays untracked.
+fn ivm_track(ivm: &mut IvmEngine, engine: &QueryEngine, template: &JobTemplate, day: SimDay) {
+    let Ok(plan) = template.build_plan(engine, day) else { return };
+    let Some(tsig) = plan_signature(&plan, &engine.optimizer.cfg.sig, SigMode::Recurring) else {
+        return;
+    };
+    if ivm.is_tracked(tsig) {
+        return;
+    }
+    let _ = ivm.track(tsig, &plan, &engine.catalog);
+}
+
+/// Seal a maintained view into the active store and advertise it to the
+/// insights service, mirroring the sealed-view path of an executed job.
+#[allow(clippy::too_many_arguments)]
+fn publish_maintained(
+    engine: &mut QueryEngine,
+    insights: &mut InsightsService,
+    mv: &cv_ivm::MaintainedView,
+    job: JobId,
+    vc: VcId,
+    submit: SimTime,
+    view_ttl: SimDuration,
+    durable: Option<&DurableViewStore>,
+    robustness: &mut RobustnessStats,
+) -> Result<()> {
+    let sig_cfg = engine.optimizer.cfg.sig.clone();
+    let (Some(strict), Some(recurring)) = (
+        plan_signature(&mv.plan, &sig_cfg, SigMode::Strict),
+        plan_signature(&mv.plan, &sig_cfg, SigMode::Recurring),
+    ) else {
+        return Ok(());
+    };
+    let pv = PendingView {
+        sig: strict,
+        recurring_sig: recurring,
+        input_guids: scan_guids(&mv.plan),
+        schema: mv.table.schema().clone(),
+        data: mv.table.clone(),
+        production_work: mv.rows_touched as f64,
+        write_work: 0.0,
+    };
+    let sealed = match durable {
+        Some(store) => {
+            seal_views_durable(store, std::slice::from_ref(&pv), job, vc, submit, robustness)?
+        }
+        None => engine.seal_views(std::slice::from_ref(&pv), job, vc, submit)?,
+    };
+    if sealed > 0 {
+        insights.report_sealed(
+            ViewInfo {
+                strict,
+                recurring,
+                rows: mv.table.num_rows() as u64,
+                bytes: mv.table.byte_size(),
+                sealed_at: submit,
+                expires: submit + view_ttl,
+                vc,
+                template: template_signature(&mv.plan, &sig_cfg),
+                plan: Some(mv.plan.clone()),
+            },
+            job,
+        );
+    }
+    Ok(())
+}
+
+fn scan_guids(plan: &std::sync::Arc<LogicalPlan>) -> Vec<cv_common::ids::VersionGuid> {
+    fn go(p: &std::sync::Arc<LogicalPlan>, out: &mut Vec<cv_common::ids::VersionGuid>) {
+        if let LogicalPlan::Scan { guid, .. } = &**p {
+            out.push(*guid);
+        }
+        for c in p.children() {
+            go(c, out);
+        }
+    }
+    let mut v = Vec::new();
+    go(plan, &mut v);
+    v
 }
 
 /// Run a durable-store mutation, absorbing one simulated crash: on
@@ -578,6 +824,7 @@ struct OneJob {
     view_expiry_races: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_one_job(
     engine: &mut QueryEngine,
     insights: &mut InsightsService,
@@ -586,6 +833,7 @@ fn run_one_job(
     meta: JobMeta,
     enabled: bool,
     durable: Option<&DurableViewStore>,
+    ivm_ingest: bool,
 ) -> Result<OneJob> {
     let plan = template.build_plan(engine, day)?;
     let subexprs = engine.subexpressions(&plan)?;
@@ -629,9 +877,14 @@ fn run_one_job(
         insights.record_reuse(&compiled.outcome.matched_views, meta.job, meta.submit);
     }
 
-    // Cooking jobs publish their output as a shared dataset.
+    // Cooking jobs publish their output as a shared dataset. Under delta
+    // ingestion the update is diffed so views over cooked outputs keep an
+    // intact delta chain.
     if let Some(output) = template.output_dataset() {
         match engine.catalog.id_of(output) {
+            Some(id) if ivm_ingest => {
+                engine.catalog.bulk_update_diff(id, exec.table.clone(), meta.submit)?;
+            }
             Some(id) => {
                 engine.catalog.bulk_update(id, exec.table.clone(), meta.submit)?;
             }
@@ -1038,6 +1291,42 @@ mod tests {
         assert_eq!(baseline.result_digests, crashed.result_digests);
         std::fs::remove_dir_all(&baseline_dir).unwrap();
         std::fs::remove_dir_all(&crash_dir).unwrap();
+    }
+
+    #[test]
+    fn ivm_maintains_views_without_changing_digests() {
+        let w = small_workload();
+        let mut on_cfg = DriverConfig::enabled(4);
+        on_cfg.cluster = quick_cluster();
+        on_cfg.ivm = IvmMode::Maintain;
+        let mut off_cfg = on_cfg.clone();
+        off_cfg.ivm = IvmMode::Ingest;
+
+        let on = run_workload(&w, &on_cfg).unwrap();
+        let off = run_workload(&w, &off_cfg).unwrap();
+        assert_eq!(on.failed_jobs, 0);
+        assert_eq!(off.failed_jobs, 0);
+        assert!(off.ivm.is_none());
+
+        let stats = on.ivm.as_ref().expect("maintain mode reports stats");
+        assert!(stats.maintained > 0, "no views maintained: {stats:?}");
+        assert!(
+            stats.rows_maintained < stats.rows_rebuild_baseline,
+            "maintenance touched {} rows but the rebuild baseline is only {}",
+            stats.rows_maintained,
+            stats.rows_rebuild_baseline
+        );
+
+        // Maintained views must be byte-identical to full re-execution:
+        // every per-job digest matches the ingest-only control run.
+        assert_eq!(on.result_digests.len(), off.result_digests.len());
+        for (job, digest) in &off.result_digests {
+            assert_eq!(
+                on.result_digests.get(job),
+                Some(digest),
+                "job {job} result changed under incremental maintenance"
+            );
+        }
     }
 
     #[test]

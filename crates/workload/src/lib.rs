@@ -26,9 +26,10 @@ pub mod service_driver;
 pub mod service_obs;
 pub mod templates;
 
+pub use cv_ivm::IvmStats;
 pub use driver::{
-    run_workload, DriverConfig, DriverOutcome, DurableStoreConfig, SelectionKnobs, SelectorKind,
-    StoreBackend,
+    ivm_stats_json, run_workload, DriverConfig, DriverOutcome, DurableStoreConfig, IvmMode,
+    SelectionKnobs, SelectorKind, StoreBackend,
 };
 pub use generator::{generate_workload, Workload, WorkloadConfig};
 pub use service_driver::{

@@ -10,9 +10,13 @@
 
 use cv_common::rng::DetRng;
 use cv_common::SimDay;
+use cv_data::delta::TableDelta;
 use cv_data::schema::{Field, Schema, SchemaRef};
 use cv_data::table::Table;
 use cv_data::value::{DataType, Value};
+
+/// Fraction of dimension rows whose attributes churn per refresh.
+const DIM_CHURN: f64 = 0.03;
 
 /// How a raw dataset behaves over the simulated window.
 #[derive(Clone, Debug)]
@@ -234,6 +238,66 @@ impl RawDatasetSpec {
         }
         Table::from_rows(self.schema(), &out).expect("generated rows match schema")
     }
+
+    /// Fact tables are append-mostly daily logs; everything else is a
+    /// slowly-changing dimension.
+    pub fn is_fact(&self) -> bool {
+        matches!(
+            self.generator,
+            DataGenerator::PageViews | DataGenerator::AppEvents | DataGenerator::Sales
+        )
+    }
+
+    /// Generate this dataset's next generation *as a delta over `prev`*:
+    /// facts append the day's fresh rows (pure-insert delta); dimensions
+    /// keep their identity rows and churn ~3% of them in place
+    /// (delete + insert pairs). Returns `(new contents, delta)` satisfying
+    /// `prev ⊎ inserts ∖ deletes = new`. Deterministic given
+    /// `(seed stream, day, prev)`.
+    pub fn generate_delta(
+        &self,
+        rng: &mut DetRng,
+        scale: f64,
+        day: SimDay,
+        prev: &Table,
+    ) -> (Table, TableDelta) {
+        let fresh = self.generate(rng, scale, day);
+        if self.is_fact() {
+            let new = prev.concat(&fresh).expect("fact schema is stable across days");
+            return (new, TableDelta::append(fresh));
+        }
+        let mut new_rows = prev.to_rows();
+        let mut ins: Vec<Vec<Value>> = Vec::new();
+        let mut del: Vec<Vec<Value>> = Vec::new();
+        let common = new_rows.len().min(fresh.num_rows());
+        for (i, row) in new_rows.iter_mut().enumerate().take(common) {
+            if rng.range_f64(0.0, 1.0) >= DIM_CHURN {
+                continue;
+            }
+            let replacement = fresh.row(i);
+            if replacement != *row {
+                del.push(row.clone());
+                ins.push(replacement.clone());
+                *row = replacement;
+            }
+        }
+        // Scale drift: a grown dimension appends, a shrunken one truncates.
+        for i in common..fresh.num_rows() {
+            let row = fresh.row(i);
+            ins.push(row.clone());
+            new_rows.push(row);
+        }
+        if new_rows.len() > fresh.num_rows() {
+            del.extend(new_rows.drain(fresh.num_rows()..));
+        }
+        let schema = self.schema();
+        let new = Table::from_rows(schema.clone(), &new_rows).expect("churned rows match schema");
+        let delta = TableDelta {
+            inserts: Table::from_rows(schema.clone(), &ins).expect("insert rows match schema"),
+            deletes: Table::from_rows(schema, &del).expect("delete rows match schema"),
+        };
+        (new, delta)
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +343,53 @@ mod tests {
         let small = spec.generate(&mut DetRng::seed(1), 0.05, SimDay(0));
         let large = spec.generate(&mut DetRng::seed(1), 0.5, SimDay(0));
         assert!(large.num_rows() > small.num_rows() * 5);
+    }
+
+    #[test]
+    fn fact_deltas_are_pure_appends() {
+        let spec = &raw_specs()[0]; // page_views
+        let mut rng = DetRng::seed(11);
+        let day0 = spec.generate(&mut rng, 0.1, SimDay(0));
+        let (day1, delta) = spec.generate_delta(&mut rng, 0.1, SimDay(1), &day0);
+        assert_eq!(delta.deletes.num_rows(), 0);
+        assert!(delta.inserts.num_rows() > 0);
+        assert_eq!(day1.num_rows(), day0.num_rows() + delta.inserts.num_rows());
+    }
+
+    #[test]
+    fn dimension_deltas_are_small_churn() {
+        let spec = raw_specs().into_iter().find(|s| s.name == "users").unwrap();
+        let mut rng = DetRng::seed(11);
+        let day0 = spec.generate(&mut rng, 0.3, SimDay(0));
+        let (day7, delta) = spec.generate_delta(&mut rng, 0.3, SimDay(7), &day0);
+        assert_eq!(day7.num_rows(), day0.num_rows(), "identity rows persist");
+        assert_eq!(delta.inserts.num_rows(), delta.deletes.num_rows());
+        assert!(
+            delta.rows_touched() < day0.num_rows() / 4,
+            "churn {} of {} rows is not small",
+            delta.rows_touched(),
+            day0.num_rows()
+        );
+        // Keys stay dense after churn.
+        for i in 0..day7.num_rows() {
+            assert_eq!(day7.column(0).value(i), Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn generated_delta_is_exact() {
+        use cv_data::delta::diff_tables;
+        for spec in raw_specs() {
+            let mut rng = DetRng::seed(3);
+            let day0 = spec.generate(&mut rng, 0.1, SimDay(0));
+            let (new, delta) =
+                spec.generate_delta(&mut rng, 0.1, SimDay(spec.update_every_days), &day0);
+            // prev ⊎ inserts ∖ deletes = new, as a multiset identity.
+            let with_ins = day0.concat(&delta.inserts).unwrap();
+            let residue = diff_tables(&with_ins, &new).unwrap();
+            assert_eq!(residue.inserts.num_rows(), 0, "{}", spec.name);
+            assert_eq!(residue.deletes.num_rows(), delta.deletes.num_rows(), "{}", spec.name);
+        }
     }
 
     #[test]

@@ -55,6 +55,21 @@ impl ServiceObs {
         ServiceObs { tracer, metrics, optimizer_sink }
     }
 
+    /// Export the run's incremental-maintenance counters into the metrics
+    /// registry (`ivm.maintained`, `ivm.rebuilt`, `ivm.refused`, plus
+    /// per-code `ivm.veto.CV07x` and per-reason `ivm.rebuild.*`).
+    pub fn record_ivm(&self, stats: &cv_ivm::IvmStats) {
+        self.metrics.counter("ivm.maintained").add(stats.maintained);
+        self.metrics.counter("ivm.rebuilt").add(stats.rebuilt);
+        self.metrics.counter("ivm.refused").add(stats.refused);
+        for (code, n) in &stats.vetoes {
+            self.metrics.counter(&format!("ivm.veto.{code}")).add(*n);
+        }
+        for (reason, n) in &stats.rebuild_reasons {
+            self.metrics.counter(&format!("ivm.rebuild.{reason}")).add(*n);
+        }
+    }
+
     /// Build the per-task executor sink for a job's track.
     pub(crate) fn exec_sink(&self, track: u64) -> Arc<ExecSink> {
         Arc::new(ExecSink {

@@ -32,8 +32,9 @@ use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext, ViewMeta}
 use cv_obs::Tracer;
 use cv_workload::schemas::raw_specs;
 use cv_workload::{
-    generate_workload, run_workload, run_workload_service_obs, DriverConfig, DurableStoreConfig,
-    ServiceConfig, ServiceObs, StoreBackend, TemplateKind, WorkloadConfig,
+    generate_workload, ivm_stats_json, run_workload, run_workload_service_obs, DriverConfig,
+    DurableStoreConfig, IvmMode, ServiceConfig, ServiceObs, StoreBackend, TemplateKind,
+    WorkloadConfig,
 };
 use std::collections::{HashMap, HashSet};
 use std::process::ExitCode;
@@ -68,6 +69,7 @@ struct Args {
     verbose: bool,
     trace_path: Option<String>,
     containment: bool,
+    ivm: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -79,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
         verbose: false,
         trace_path: None,
         containment: false,
+        ivm: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -99,6 +102,7 @@ fn parse_args() -> Result<Args, String> {
             "--verbose" | "-v" => args.verbose = true,
             "--trace" => args.trace_path = Some(it.next().ok_or("--trace needs a path")?),
             "--containment" => args.containment = true,
+            "--ivm" => args.ivm = true,
             "--help" | "-h" => {
                 println!(
                     "cv-analyze: audit optimizer output over the workload templates\n\n\
@@ -109,7 +113,9 @@ fn parse_args() -> Result<Args, String> {
                      --verbose     print every diagnostic as it fires\n  \
                      --trace PATH  write a Chrome trace (spans per template x config) to PATH\n  \
                      --containment run the semantic-reuse audit (on/off digest parity,\n                \
-                     exact vs. compensated hit rates, prover cascade counters)"
+                     exact vs. compensated hit rates, prover cascade counters)\n  \
+                     --ivm         run the incremental-maintenance audit (maintain vs.\n                \
+                     ingest-only digest parity, rows-touched savings, CV07x vetoes)"
                 );
                 std::process::exit(0);
             }
@@ -450,6 +456,121 @@ fn run_containment(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The `--ivm` audit: replay the same seeded workload twice under
+/// delta-producing ingestion — once with incremental maintenance of
+/// certified recurring views, once executing every job in full — then
+/// require byte-identical per-job result digests and report the
+/// rows-touched savings plus the CV07x veto and fallback breakdowns.
+fn run_ivm(args: &Args) -> ExitCode {
+    let wl_cfg = WorkloadConfig { seed: args.seed, scale: args.scale, ..WorkloadConfig::default() };
+    let workload = generate_workload(wl_cfg);
+    println!("cv-analyze --ivm: seed {} | {} day(s) | scale {}", args.seed, args.days, args.scale);
+
+    let mut cfg_on = DriverConfig::enabled(args.days);
+    cfg_on.ivm = IvmMode::Maintain;
+    let mut cfg_off = cfg_on.clone();
+    cfg_off.ivm = IvmMode::Ingest;
+
+    let on = match run_workload(&workload, &cfg_on) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cv-analyze: ivm-maintain run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let off = match run_workload(&workload, &cfg_off) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("cv-analyze: ingest-only run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let stats = on.ivm.clone().expect("maintain mode reports ivm stats");
+    // Counters also land in an obs metrics registry, exactly as a service
+    // deployment would export them (`ivm.maintained`, `ivm.veto.CV07x`...).
+    let obs = ServiceObs::new();
+    obs.record_ivm(&stats);
+
+    let digests_match = on.result_digests == off.result_digests;
+    let rows_touched = stats.rows_maintained + stats.rows_bootstrap;
+    let savings_ratio = if stats.rows_rebuild_baseline > 0 {
+        stats.rows_maintained as f64 / stats.rows_rebuild_baseline as f64
+    } else {
+        1.0
+    };
+
+    println!("\n=== maintenance ===");
+    println!("  views maintained     {}", stats.maintained);
+    println!("  fallback rebuilds    {}", stats.rebuilt);
+    for (reason, n) in &stats.rebuild_reasons {
+        println!("    {reason:<18} {n}");
+    }
+    println!("  CV07x refusals       {}", stats.refused);
+    for (code, n) in &stats.vetoes {
+        println!("    veto {code}         {n}");
+    }
+    println!("=== rows touched ===");
+    println!("  maintenance          {}", stats.rows_maintained);
+    println!("  state bootstrap      {}", stats.rows_bootstrap);
+    println!("  rebuild baseline     {}", stats.rows_rebuild_baseline);
+    println!("  maintenance / rebuild ratio  {savings_ratio:.4}");
+    println!(
+        "=== digest parity ===\n  {} per-job digests, byte-identical: {}",
+        off.result_digests.len(),
+        digests_match
+    );
+
+    let report = json!({
+        "mode": "ivm",
+        "seed": args.seed,
+        "days": args.days,
+        "scale": args.scale,
+        "jobs": off.result_digests.len() as u64,
+        "failed_jobs": on.failed_jobs + off.failed_jobs,
+        "digests_match": digests_match,
+        "ivm": ivm_stats_json(&stats),
+        "rows_touched_total": rows_touched,
+        "savings_ratio": savings_ratio,
+        "obs_counters": json!({
+            "ivm.maintained": obs.metrics.deterministic_values().get("ivm.maintained").copied().unwrap_or(0),
+            "ivm.rebuilt": obs.metrics.deterministic_values().get("ivm.rebuilt").copied().unwrap_or(0),
+            "ivm.refused": obs.metrics.deterministic_values().get("ivm.refused").copied().unwrap_or(0),
+        }),
+    });
+    if let Some(path) = &args.json_path {
+        if let Err(e) = std::fs::write(path, report.to_string_pretty()) {
+            eprintln!("cv-analyze: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("\n[json report] {path}");
+    } else {
+        println!("\n{}", report.to_string_compact());
+    }
+
+    if !digests_match {
+        eprintln!("cv-analyze: FAIL — incremental maintenance changed at least one result digest");
+        return ExitCode::FAILURE;
+    }
+    if on.failed_jobs + off.failed_jobs > 0 {
+        eprintln!("cv-analyze: FAIL — {} job(s) failed", on.failed_jobs + off.failed_jobs);
+        return ExitCode::FAILURE;
+    }
+    if stats.maintained == 0 {
+        eprintln!("cv-analyze: FAIL — no views were maintained incrementally");
+        return ExitCode::FAILURE;
+    }
+    if stats.rows_maintained >= stats.rows_rebuild_baseline {
+        eprintln!(
+            "cv-analyze: FAIL — maintenance rows {} did not beat the rebuild baseline {}",
+            stats.rows_maintained, stats.rows_rebuild_baseline
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("cv-analyze: digests identical across maintain/ingest-only");
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(a) => a,
@@ -460,6 +581,9 @@ fn main() -> ExitCode {
     };
     if args.containment {
         return run_containment(&args);
+    }
+    if args.ivm {
+        return run_ivm(&args);
     }
 
     let analyzer = Analyzer::new(&OptimizerConfig::default());
