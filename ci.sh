@@ -54,13 +54,51 @@ phases = bench["phase_wall_seconds"]
 for key in ("compile", "execute_parallel", "execute_pool", "commit", "pool_overhead"):
     assert key in phases, f"phase_wall_seconds missing {key}"
 assert bench["digests_match_sequential"] is True, "digest contract violated"
+# Pool accounting contract: overhead is the residue around the parallel
+# phase (both measured from the ready-barrier epoch) and must stay below it.
+assert phases["pool_overhead"] < phases["execute_parallel"], \
+    f"pool overhead {phases['pool_overhead']} not below parallel wall {phases['execute_parallel']}"
+# Morsel scaling curve: 1/2/4/8-worker points, digest parity at every one;
+# the speedup bound (>1.5x at 4+ workers) binds only on multi-core hosts.
+scaling = bench["scaling"]
+assert scaling["chunks"] > 1, "scaling leg did not actually chunk the query"
+assert scaling["digests_agree"] is True, "morsel scheduling changed results"
+workers = [p["workers"] for p in scaling["points"]]
+assert workers == [1, 2, 4, 8], f"scaling curve has wrong worker counts: {workers}"
+assert all(p["digest_matches_serial"] for p in scaling["points"]), \
+    "a scaling point diverged from the serial digest"
+assert all(p["wall_seconds"] > 0 for p in scaling["points"]), "empty scaling measurement"
+if bench["host_parallelism"] >= 4:
+    assert scaling["speedup_gate_enforced"] is True, "speedup gate skipped on a multi-core host"
+    assert scaling["speedup_at_4w"] > 1.5, \
+        f"morsel speedup {scaling['speedup_at_4w']:.2f}x below 1.5x at 4+ workers"
+    scaling_note = f"speedup {scaling['speedup_at_4w']:.2f}x at 4w"
+else:
+    scaling_note = f"speedup gate skipped ({bench['host_parallelism']} hw thread(s))"
 store = bench["store"]
 assert store["digests_match_sequential"] is True, "durable-store digest contract violated"
 assert store["bytes_written_durably"] > 0, "durable leg wrote nothing"
 assert store["wal_records_written"] > 0, "durable leg logged no WAL records"
-print(f"    trace OK ({len(events)} events), phase breakdown OK, durable store OK")
+print(f"    trace OK ({len(events)} events), phase breakdown OK, durable store OK, "
+      f"scaling OK ({scaling['chunks']} chunks, {scaling_note})")
 EOF
 rm -f "$trace_json"
+
+echo "==> chunk-size parity gate (same workload, different morsel granularity)"
+chunk_bench="$(mktemp)"
+cargo run --release -q --bin cv-serve -- --days 3 --scale 0.05 --analytics 12 \
+  --seed 42 --workers 8 --chunk-size 333 --min-speedup auto --bench "$chunk_bench" \
+  > /dev/null || { echo "cv-serve: chunk-size 333 run violated a contract"; exit 1; }
+python3 - "$chunk_bench" <<'EOF'
+import json, sys
+a = json.load(open("BENCH_service.json"))
+b = json.load(open(sys.argv[1]))
+assert b["chunk_size"] == 333, "chunk-size flag did not take"
+assert a["digest_checksum"] == b["digest_checksum"], \
+    "chunk size changed result digests (2048 vs 333)"
+print(f"    chunk parity OK (checksum {a['digest_checksum'][:16]}… at chunk 2048 == 333)")
+EOF
+rm -f "$chunk_bench"
 
 echo "==> containment gate (semantic on/off digest parity + compensated hits)"
 cargo run --release -q --bin cv-analyze -- --containment --days 4 --scale 0.05 \

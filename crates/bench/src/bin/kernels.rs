@@ -8,8 +8,11 @@
 //!
 //! Usage:
 //!   kernels [--out PATH] [--smoke] [--baseline PATH] [--measure-secs F]
+//!           [--chunk-size N]
 //!
 //! `--smoke` runs one small size with a short measurement window (CI).
+//! `--chunk-size N` sets the streaming chunk granularity (default 2048;
+//! `BENCH_engine.json` records the value used).
 //! `--baseline PATH` embeds a previous run's rates into the output under
 //! `"baseline"` plus per-kernel `"speedup_vs_baseline"` at the largest
 //! common size.
@@ -79,10 +82,15 @@ struct Bench {
     udos: UdoRegistry,
     opt: Optimizer,
     model: CostModel,
+    chunk_size: usize,
 }
 
 impl Bench {
     fn new(n: usize, dim_n: usize, seed: u64) -> Bench {
+        Bench::with_chunk_size(n, dim_n, seed, cv_data::chunk::DEFAULT_CHUNK_SIZE)
+    }
+
+    fn with_chunk_size(n: usize, dim_n: usize, seed: u64, chunk_size: usize) -> Bench {
         let mut rng = DetRng::seed(seed);
         let mut catalog = DatasetCatalog::new();
         catalog.register("fact", fact_table(n, &mut rng), SimTime::EPOCH).unwrap();
@@ -105,6 +113,7 @@ impl Bench {
             udos: UdoRegistry::with_builtins(),
             opt: Optimizer::new(OptimizerConfig::default()),
             model: CostModel::default(),
+            chunk_size: chunk_size.max(1),
         }
     }
 
@@ -124,7 +133,8 @@ impl Bench {
     }
 
     fn run(&self, physical: &cv_engine::physical::PhysicalPlan) -> usize {
-        let mut ctx = ExecContext::new(&self.catalog, &self.views, &self.udos, SimTime::EPOCH);
+        let mut ctx = ExecContext::new(&self.catalog, &self.views, &self.udos, SimTime::EPOCH)
+            .with_chunking(self.chunk_size, Arc::new(cv_engine::SerialRunner));
         execute(physical, &mut ctx, &self.model).unwrap().table.num_rows()
     }
 }
@@ -203,6 +213,7 @@ fn main() {
     let mut smoke = false;
     let mut baseline_path: Option<String> = None;
     let mut measure_secs = 1.0_f64;
+    let mut chunk_size = cv_data::chunk::DEFAULT_CHUNK_SIZE;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -211,6 +222,9 @@ fn main() {
             "--baseline" => baseline_path = Some(args.next().expect("--baseline PATH")),
             "--measure-secs" => {
                 measure_secs = args.next().expect("--measure-secs F").parse().expect("float")
+            }
+            "--chunk-size" => {
+                chunk_size = args.next().expect("--chunk-size N").parse().expect("positive int")
             }
             other => {
                 eprintln!("unknown argument `{other}`");
@@ -230,8 +244,8 @@ fn main() {
 
     for &n in &sizes {
         let dim_n = (n / 100).max(8);
-        let bench = Bench::new(n, dim_n, 7);
-        eprintln!("== {n} rows (dim {dim_n}) ==");
+        let bench = Bench::with_chunk_size(n, dim_n, 7, chunk_size);
+        eprintln!("== {n} rows (dim {dim_n}, chunk {chunk_size}) ==");
         for (ki, (name, logical)) in plans(&bench).iter().enumerate() {
             let physical = bench.compile(logical);
             // Hash-join input rows = probe + build side.
@@ -254,6 +268,7 @@ fn main() {
     let mut root = cv_common::json::JsonMap::new();
     root.insert("name", "kernels_microbench");
     root.insert("smoke", smoke);
+    root.insert("chunk_size", chunk_size as u64);
     root.insert("sizes", Json::Arr(sizes.iter().map(|&s| Json::from(s as u64)).collect()));
     root.insert("kernels", Json::Obj(kernels));
 

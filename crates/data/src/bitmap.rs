@@ -115,6 +115,18 @@ impl Bitmap {
         out
     }
 
+    /// Copy of the `len` bits starting at `offset` (chunk slicing).
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(offset + len <= self.len, "bitmap slice out of range");
+        let mut out = Bitmap::all_clear(len);
+        for i in 0..len {
+            if self.get(offset + i) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
     /// Gather positions by index.
     pub fn take(&self, indices: &[usize]) -> Bitmap {
         let mut out = Bitmap::all_clear(indices.len());

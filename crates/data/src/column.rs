@@ -231,6 +231,86 @@ impl Column {
         Column { data: Arc::new(data), validity: Some(validity) }
     }
 
+    /// True if both columns share one underlying buffer (zero-copy check
+    /// for the chunk-identity fast paths).
+    pub fn ptr_eq(&self, other: &Column) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Copy of the row range `[offset, offset + len)` into a fresh buffer
+    /// behind its own `Arc`. Validity presence is preserved verbatim (an
+    /// all-true bitmap stays a bitmap) so slicing then reassembling a
+    /// column is byte-exact; pipeline boundaries canonicalize separately
+    /// via [`Column::normalize_validity`]. A full-range slice is a
+    /// reference bump, no copy.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        assert!(offset + len <= self.len(), "column slice out of range");
+        if offset == 0 && len == self.len() {
+            return self.clone();
+        }
+        let data = match self.data() {
+            ColumnData::Bool(v) => ColumnData::Bool(v[offset..offset + len].to_vec()),
+            ColumnData::Int(v) => ColumnData::Int(v[offset..offset + len].to_vec()),
+            ColumnData::Float(v) => ColumnData::Float(v[offset..offset + len].to_vec()),
+            ColumnData::Str(v) => ColumnData::Str(v[offset..offset + len].to_vec()),
+            ColumnData::Date(v) => ColumnData::Date(v[offset..offset + len].to_vec()),
+        };
+        let validity = self.validity.as_ref().map(|v| v.slice(offset, len));
+        Column { data: Arc::new(data), validity }
+    }
+
+    /// Concatenate a run of same-typed columns in order (single allocation,
+    /// no pairwise O(n²) reassembly). The result carries a validity bitmap
+    /// only if some part has nulls — the same canonical form the builders
+    /// and [`Column::concat`] produce, so reassembled chunk sequences are
+    /// byte-identical to a monolithic build. A single-part concat is a
+    /// reference bump, no copy.
+    pub fn concat_many(parts: &[Column]) -> Result<Column> {
+        let Some(first) = parts.first() else {
+            return Err(CvError::internal("concat_many of zero columns"));
+        };
+        if parts.len() == 1 {
+            return Ok(first.clone().normalize_validity());
+        }
+        let dtype = first.dtype();
+        if let Some(bad) = parts.iter().find(|p| p.dtype() != dtype) {
+            return Err(CvError::exec(format!("cannot concat {} with {}", dtype, bad.dtype())));
+        }
+        let total: usize = parts.iter().map(Column::len).sum();
+        macro_rules! splice {
+            ($variant:ident, $ty:ty) => {{
+                let mut buf: Vec<$ty> = Vec::with_capacity(total);
+                for p in parts {
+                    let v: &Vec<$ty> = match p.data() {
+                        ColumnData::$variant(v) => v,
+                        _ => unreachable!("dtype equality checked above"),
+                    };
+                    buf.extend_from_slice(v);
+                }
+                ColumnData::$variant(buf)
+            }};
+        }
+        let data = match dtype {
+            DataType::Bool => splice!(Bool, bool),
+            DataType::Int => splice!(Int, i64),
+            DataType::Float => splice!(Float, f64),
+            DataType::Str => splice!(Str, String),
+            DataType::Date => splice!(Date, i32),
+        };
+        let validity = if parts.iter().any(|p| p.null_count() > 0) {
+            let mut v = Bitmap::all_clear(0);
+            for p in parts {
+                for i in 0..p.len() {
+                    v.push(!p.is_null(i));
+                }
+            }
+            Some(v)
+        } else {
+            None
+        };
+        Ok(Column { data: Arc::new(data), validity })
+    }
+
     /// Concatenate two same-typed columns (typed buffer append, no per-row
     /// boxing).
     pub fn concat(&self, other: &Column) -> Result<Column> {

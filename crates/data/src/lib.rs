@@ -3,8 +3,10 @@
 //! This crate plays the role of the Cosmos store + ADLS in the paper:
 //!
 //! * typed scalar [`value::Value`]s and [`schema::Schema`]s,
-//! * columnar [`column::Column`]s with validity bitmaps and a single-chunk
-//!   [`table::Table`] abstraction the executor operates on,
+//! * columnar [`column::Column`]s with validity bitmaps, the
+//!   [`table::Table`] abstraction the executor operates on, and
+//!   [`chunk::ChunkedTable`] — tables as fixed-size chunk sequences for
+//!   morsel-driven parallel pipelines,
 //! * a [`catalog::DatasetCatalog`] of *versioned* shared datasets — Cosmos
 //!   datasets are bulk-regenerated (never updated in place), each
 //!   regeneration minting a fresh GUID that strict signatures hash,
@@ -13,6 +15,7 @@
 
 pub mod bitmap;
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod delta;
 pub mod schema;
@@ -24,6 +27,7 @@ pub mod viewstore;
 
 pub use bitmap::Bitmap;
 pub use catalog::{Dataset, DatasetCatalog, DatasetVersion};
+pub use chunk::{chunk_ranges, ChunkedTable, DEFAULT_CHUNK_SIZE};
 pub use column::{Column, ColumnBuilder, ColumnData};
 pub use delta::{diff_tables, TableDelta};
 pub use schema::{Field, Schema, SchemaRef};
@@ -39,6 +43,7 @@ pub use viewstore::{MaterializedView, ViewSource, ViewStore, ViewStoreStats, Vie
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<Table>();
+    assert_send_sync::<ChunkedTable>();
     assert_send_sync::<SchemaRef>();
     assert_send_sync::<DatasetCatalog>();
     assert_send_sync::<MaterializedView>();

@@ -1,4 +1,10 @@
-//! Single-chunk columnar tables: the unit of data the executor operates on.
+//! Columnar tables: the unit of data the executor operates on.
+//!
+//! A [`Table`] is one contiguous chunk of rows. Morsel-driven execution
+//! slices tables into fixed-size chunks ([`crate::chunk::ChunkedTable`],
+//! default [`crate::chunk::DEFAULT_CHUNK_SIZE`] rows) that stream through
+//! operator pipelines one at a time; every chunk is itself a `Table`, so
+//! operators need no second code path.
 
 use crate::bitmap::Bitmap;
 use crate::column::{Column, ColumnBuilder, ColumnData};
@@ -9,13 +15,13 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::sync::Arc;
 
-/// An immutable, single-chunk columnar table.
+/// An immutable columnar table — one contiguous chunk of rows.
 ///
-/// The executor is single-node and processes at most a few hundred thousand
-/// rows per operator, so one chunk keeps the operator code simple without
-/// giving up the columnar layout (cheap projection/filter, per-column typed
-/// kernels). Parallelism in this reproduction lives in the *cluster
-/// simulator*, not in the local executor.
+/// Each column's buffer sits behind an `Arc`, so cloning, slicing the full
+/// range, or gathering an identity prefix are reference bumps. Heavy
+/// operators process tables as sequences of fixed-size chunks (each chunk a
+/// `Table` of its own) and morsel-schedule the chunks across worker
+/// threads; pipeline breakers reassemble with [`Table::from_chunks`].
 #[derive(Clone, Debug)]
 pub struct Table {
     schema: SchemaRef,
@@ -132,13 +138,57 @@ impl Table {
 
     /// Gather rows by index.
     pub fn take(&self, indices: &[usize]) -> Result<Table> {
-        // Identity gather (every row, in order) shares the buffers — the
-        // common case when an FK join matches each probe row exactly once.
-        if indices.len() == self.rows && indices.iter().enumerate().all(|(j, &i)| j == i) {
-            return Ok(self.clone());
+        // Identity-prefix gather (rows 0..k, in order) needs no per-row
+        // gather at all: the full-table case shares the buffers outright
+        // (the common case when an FK join matches each probe row exactly
+        // once), and a proper prefix is a contiguous range copy. Under
+        // chunked execution each chunk hits this independently, so one
+        // out-of-order index in some *other* chunk no longer forces a full
+        // gather of every column here.
+        if indices.iter().enumerate().all(|(j, &i)| j == i) {
+            if indices.len() == self.rows {
+                return Ok(self.clone());
+            }
+            return Ok(self.slice(0, indices.len()));
         }
         let columns: Vec<Column> = self.columns.iter().map(|c| c.take(indices)).collect();
         Table::new(self.schema.clone(), columns)
+    }
+
+    /// Copy of the row range `[offset, offset + len)`. A full-range slice
+    /// shares the buffers (reference bump, no copy).
+    pub fn slice(&self, offset: usize, len: usize) -> Table {
+        if offset == 0 && len == self.rows {
+            return self.clone();
+        }
+        let columns: Vec<Column> = self.columns.iter().map(|c| c.slice(offset, len)).collect();
+        Table { schema: self.schema.clone(), columns, rows: len }
+    }
+
+    /// Canonicalize every column's validity representation (drop all-true
+    /// bitmaps). Chunked pipelines normalize at operator boundaries so the
+    /// output bytes do not depend on the chunk size that produced them.
+    pub fn normalized(self) -> Table {
+        let columns = self.columns.into_iter().map(Column::normalize_validity).collect();
+        Table { schema: self.schema, columns, rows: self.rows }
+    }
+
+    /// Reassemble a pipeline-breaker input from a sequence of chunks (all
+    /// sharing `schema`). The result is normalized, so it is byte-identical
+    /// no matter how the row stream was chunked.
+    pub fn from_chunks(schema: SchemaRef, chunks: &[Table]) -> Result<Table> {
+        if chunks.is_empty() {
+            return Ok(Table::empty(schema));
+        }
+        if chunks.len() == 1 {
+            return Ok(chunks[0].clone().normalized());
+        }
+        let mut columns = Vec::with_capacity(schema.len());
+        for ci in 0..schema.len() {
+            let parts: Vec<Column> = chunks.iter().map(|t| t.columns[ci].clone()).collect();
+            columns.push(Column::concat_many(&parts)?);
+        }
+        Table::new(schema, columns)
     }
 
     /// Project columns by index, producing the projected schema.

@@ -1,7 +1,10 @@
 //! `QueryEngine`: the top-level facade combining catalog, view store, UDO
 //! registry and optimizer — one simulated SCOPE engine instance per cluster.
 
-use crate::exec::{execute, ExecContext, ExecMetrics, ExecOutcome, PendingView};
+use crate::exec::{
+    execute, ExecContext, ExecMetrics, ExecOutcome, MorselRunner, PendingView, SerialRunner,
+    SpoolSink,
+};
 use crate::optimizer::{
     AlwaysGrant, BuildCoordinator, OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext,
 };
@@ -44,6 +47,11 @@ pub struct QueryEngine {
     pub views: ViewStore,
     pub udos: UdoRegistry,
     pub optimizer: Optimizer,
+    /// Rows per morsel for chunked operators (drivers' `--chunk-size`).
+    pub chunk_size: usize,
+    /// Morsel runner shared by every execution; serial unless the service
+    /// layer plugs in its pool-backed runner.
+    pub runner: Arc<dyn MorselRunner>,
 }
 
 impl Default for QueryEngine {
@@ -63,7 +71,16 @@ impl QueryEngine {
             views: ViewStore::with_default_ttl(),
             udos: UdoRegistry::with_builtins(),
             optimizer: Optimizer::new(cfg),
+            chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
+            runner: Arc::new(SerialRunner),
         }
+    }
+
+    /// Configure morsel execution: chunk size and the runner that fans
+    /// per-chunk work across workers.
+    pub fn set_morsels(&mut self, chunk_size: usize, runner: Arc<dyn MorselRunner>) {
+        self.chunk_size = chunk_size.max(1);
+        self.runner = runner;
     }
 
     /// Parse + bind SQL against the current catalog.
@@ -100,8 +117,7 @@ impl QueryEngine {
         views: &dyn ViewSource,
         now: SimTime,
     ) -> Result<ExecOutcome> {
-        let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now);
-        execute(physical, &mut ctx, &self.optimizer.cfg.cost)
+        self.execute_with_sink(physical, views, now, None, None)
     }
 
     /// [`Self::execute_with`] plus per-operator observability hooks.
@@ -112,8 +128,24 @@ impl QueryEngine {
         now: SimTime,
         obs: Option<&dyn crate::obs::ObsSink>,
     ) -> Result<ExecOutcome> {
-        let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now);
+        self.execute_with_sink(physical, views, now, obs, None)
+    }
+
+    /// Full-control execution entry: observability hooks plus a spool sink
+    /// receiving sealed view chunks as they are produced (single-flight
+    /// chunk pipelining).
+    pub fn execute_with_sink(
+        &self,
+        physical: &PhysicalPlan,
+        views: &dyn ViewSource,
+        now: SimTime,
+        obs: Option<&dyn crate::obs::ObsSink>,
+        spool_sink: Option<&dyn SpoolSink>,
+    ) -> Result<ExecOutcome> {
+        let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now)
+            .with_chunking(self.chunk_size, self.runner.clone());
         ctx.obs = obs;
+        ctx.spool_sink = spool_sink;
         execute(physical, &mut ctx, &self.optimizer.cfg.cost)
     }
 

@@ -1,4 +1,4 @@
-//! Single-node vectorized executor.
+//! Single-node vectorized executor with chunked, morsel-driven pipelines.
 //!
 //! Executes physical plans over the in-memory catalog, producing the result
 //! table plus the runtime telemetry the rest of the system feeds on:
@@ -11,12 +11,35 @@
 //! * executed **join-algorithm counts** (Fig. 9);
 //! * **pending views** captured by spool operators, to be sealed by the job
 //!   manager (early sealing happens in the cluster layer).
+//!
+//! # Chunked execution
+//!
+//! Streamable operators — filter, project, the hash-join *probe* side,
+//! limit, and the evaluation phase of hash aggregation — process their
+//! input as a sequence of fixed-size chunks
+//! ([`cv_data::chunk::DEFAULT_CHUNK_SIZE`] rows) and fan the chunks out
+//! through the context's [`MorselRunner`], so a single heavy job spreads
+//! across the service's worker pool. Pipeline breakers — sorts, join build
+//! sides, merge/loop joins, unions, UDOs, spools, aggregate accumulation —
+//! materialize via [`Table::from_chunks`].
+//!
+//! Two invariants keep results *byte-identical* at every chunk size and
+//! worker count:
+//!
+//! * operator outputs are **normalized** (all-true validity bitmaps
+//!   dropped) at chunk-reassembly boundaries, so buffer representation
+//!   never depends on how the row stream was cut;
+//! * chains containing nondeterministic functions (`RANDOM()`,
+//!   `NEW_GUID()`) are **never chunked**: they evaluate whole, in row
+//!   order, against the shared [`EvalCtx`] counter, reproducing the
+//!   monolithic sequence exactly.
 
 mod keys;
+pub mod morsel;
 
 use crate::cost::CostModel;
 use crate::expr::eval::{eval, eval_predicate, EvalCtx};
-use crate::expr::{AggExpr, AggFunc};
+use crate::expr::{AggExpr, AggFunc, ScalarExpr};
 use crate::obs::ObsSink;
 use crate::physical::{JoinAlgo, JoinAlgoCounts, PhysicalPlan};
 use crate::plan::JoinKind;
@@ -25,13 +48,24 @@ use cv_common::hash::Sig128;
 use cv_common::ids::VersionGuid;
 use cv_common::{CvError, Result, SimTime};
 use cv_data::catalog::DatasetCatalog;
+use cv_data::chunk::{chunk_ranges, ChunkedTable};
 use cv_data::column::{Column, ColumnBuilder, ColumnData};
 use cv_data::schema::SchemaRef;
 use cv_data::table::Table;
 use cv_data::value::Value;
 use cv_data::viewstore::ViewSource;
 use keys::KeyCols;
+pub use morsel::{MorselRunner, SerialRunner};
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Receives sealed view chunks as a spool produces them, before the view is
+/// sealed into the store — the single-flight layer hands them to concurrent
+/// consumers that would otherwise wait for the full materialization.
+pub trait SpoolSink: Sync {
+    /// Chunk `chunk` of the view `sig`; `last` marks the final chunk.
+    fn publish_chunk(&self, sig: Sig128, chunk: &Table, last: bool);
+}
 
 /// Execution context: read access to storage plus the evaluation state.
 ///
@@ -44,6 +78,12 @@ pub struct ExecContext<'a> {
     pub udos: &'a UdoRegistry,
     pub now: SimTime,
     pub eval: EvalCtx,
+    /// Rows per morsel for streamable operators.
+    pub chunk_size: usize,
+    /// Fans per-chunk work across workers; [`SerialRunner`] by default.
+    pub runner: Arc<dyn MorselRunner>,
+    /// Receives sealed view chunks as spools produce them.
+    pub spool_sink: Option<&'a dyn SpoolSink>,
     /// Per-operator observability hooks; `None` keeps the hot path free of
     /// timing calls entirely (a single branch per operator).
     pub obs: Option<&'a dyn ObsSink>,
@@ -57,11 +97,38 @@ impl<'a> ExecContext<'a> {
         now: SimTime,
     ) -> ExecContext<'a> {
         let eval = EvalCtx::new((now.seconds() / 86_400.0) as i32);
-        ExecContext { catalog, views, udos, now, eval, obs: None }
+        ExecContext {
+            catalog,
+            views,
+            udos,
+            now,
+            eval,
+            chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
+            runner: Arc::new(SerialRunner),
+            spool_sink: None,
+            obs: None,
+        }
     }
 
     pub fn with_obs(mut self, obs: &'a dyn ObsSink) -> ExecContext<'a> {
         self.obs = Some(obs);
+        self
+    }
+
+    /// Override the morsel chunk size and runner (service layer plugs in
+    /// its pool-backed runner here).
+    pub fn with_chunking(
+        mut self,
+        chunk_size: usize,
+        runner: Arc<dyn MorselRunner>,
+    ) -> ExecContext<'a> {
+        self.chunk_size = chunk_size.max(1);
+        self.runner = runner;
+        self
+    }
+
+    pub fn with_spool_sink(mut self, sink: &'a dyn SpoolSink) -> ExecContext<'a> {
+        self.spool_sink = Some(sink);
         self
     }
 }
@@ -164,6 +231,39 @@ fn record(
         partitions: plan.partitions(),
         spool_sig,
     });
+}
+
+/// Run a chunk-wise transform over the input: slice into morsels, fan them
+/// out through the context's [`MorselRunner`], and reassemble the outputs
+/// in chunk order (normalized). Returns the table and the morsel count for
+/// the work ledger.
+///
+/// When `deterministic` is false — the operator's expressions contain
+/// `RANDOM()`/`NEW_GUID()` — the input collapses to a single chunk
+/// evaluated against the shared [`EvalCtx`], so the per-row nondeterminism
+/// counter advances in exactly the monolithic order regardless of the
+/// configured chunk size or worker count.
+fn stream_chunks(
+    input: &Table,
+    ctx: &mut ExecContext<'_>,
+    deterministic: bool,
+    transform: &(dyn Fn(&Table, &mut EvalCtx) -> Result<Table> + Sync),
+) -> Result<(Table, usize)> {
+    let chunk_size = if deterministic { ctx.chunk_size } else { usize::MAX };
+    let ranges = chunk_ranges(input.num_rows(), chunk_size);
+    if ranges.len() == 1 {
+        let out = transform(input, &mut ctx.eval)?;
+        let schema = out.schema().clone();
+        return Ok((Table::from_chunks(schema, &[out])?, 1));
+    }
+    let base_eval = ctx.eval.clone();
+    let outputs = morsel::run_indexed(ctx.runner.as_ref(), ranges.len(), &|i| {
+        let (off, len) = ranges[i];
+        transform(&input.slice(off, len), &mut base_eval.clone())
+    });
+    let chunks = outputs.into_iter().collect::<Result<Vec<Table>>>()?;
+    let schema = chunks[0].schema().clone();
+    Ok((Table::from_chunks(schema, &chunks)?, ranges.len()))
 }
 
 /// Dispatch one operator, emitting [`ObsSink`] events around the recursion
@@ -276,21 +376,29 @@ fn exec_node_inner(
         PhysicalPlan::Filter { predicate, input, .. } => {
             let in_table = exec_node(input, ctx, model, metrics, pending)?;
             metrics.data_read_bytes += in_table.byte_size();
-            let mask = eval_predicate(predicate, &in_table, &mut ctx.eval)?;
-            let out = in_table.filter(&mask)?;
-            let work = model.filter(in_table.num_rows() as f64).total();
+            let (out, chunks) =
+                stream_chunks(&in_table, ctx, predicate.is_deterministic(), &|t, ec| {
+                    let mask = eval_predicate(predicate, t, ec)?;
+                    t.filter(&mask)
+                })?;
+            let work = model.filter(in_table.num_rows() as f64).total()
+                + model.morsel_dispatch(chunks as f64).total();
             record(metrics, plan, &out, work, None);
             Ok(out)
         }
         PhysicalPlan::Project { exprs, schema, input, .. } => {
             let in_table = exec_node(input, ctx, model, metrics, pending)?;
             metrics.data_read_bytes += in_table.byte_size();
-            let mut columns = Vec::with_capacity(exprs.len());
-            for (e, _) in exprs {
-                columns.push(eval(e, &in_table, &mut ctx.eval)?);
-            }
-            let out = Table::new(schema.clone(), columns)?;
-            let work = model.project(in_table.num_rows() as f64, exprs.len()).total();
+            let det = exprs.iter().all(|(e, _)| e.is_deterministic());
+            let (out, chunks) = stream_chunks(&in_table, ctx, det, &|t, ec| {
+                let mut columns = Vec::with_capacity(exprs.len());
+                for (e, _) in exprs {
+                    columns.push(eval(e, t, ec)?);
+                }
+                Table::new(schema.clone(), columns)
+            })?;
+            let work = model.project(in_table.num_rows() as f64, exprs.len()).total()
+                + model.morsel_dispatch(chunks as f64).total();
             record(metrics, plan, &out, work, None);
             Ok(out)
         }
@@ -298,10 +406,10 @@ fn exec_node_inner(
             let l = exec_node(left, ctx, model, metrics, pending)?;
             let r = exec_node(right, ctx, model, metrics, pending)?;
             metrics.data_read_bytes += l.byte_size() + r.byte_size();
-            let out = match algo {
-                JoinAlgo::Hash => hash_join(&l, &r, on, *kind)?,
-                JoinAlgo::Merge => merge_join(&l, &r, on, *kind)?,
-                JoinAlgo::Loop => loop_join(&l, &r, on, *kind)?,
+            let (out, probe_chunks) = match algo {
+                JoinAlgo::Hash => hash_join(&l, &r, on, *kind, ctx)?,
+                JoinAlgo::Merge => (merge_join(&l, &r, on, *kind)?, 1),
+                JoinAlgo::Loop => (loop_join(&l, &r, on, *kind)?, 1),
             };
             match algo {
                 JoinAlgo::Hash => metrics.join_algos.hash += 1,
@@ -314,15 +422,17 @@ fn exec_node_inner(
                 JoinAlgo::Merge => model.merge_join(ln, rn),
                 JoinAlgo::Loop => model.nested_loop_join(ln, rn),
             }
-            .total();
+            .total()
+                + model.morsel_dispatch(probe_chunks as f64).total();
             record(metrics, plan, &out, work, None);
             Ok(out)
         }
         PhysicalPlan::HashAggregate { group_by, aggs, schema, input, .. } => {
             let in_table = exec_node(input, ctx, model, metrics, pending)?;
             metrics.data_read_bytes += in_table.byte_size();
-            let out = hash_aggregate(&in_table, group_by, aggs, schema, &mut ctx.eval)?;
-            let work = model.hash_aggregate(in_table.num_rows() as f64, aggs.len()).total();
+            let (out, chunks) = hash_aggregate(&in_table, group_by, aggs, schema, ctx)?;
+            let work = model.hash_aggregate(in_table.num_rows() as f64, aggs.len()).total()
+                + model.morsel_dispatch(chunks as f64).total();
             record(metrics, plan, &out, work, None);
             Ok(out)
         }
@@ -344,8 +454,12 @@ fn exec_node_inner(
         }
         PhysicalPlan::Limit { n, input, .. } => {
             let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            // Chunk-aware prefix take: chunks fully inside the limit are
+            // reused by reference (identity runs), only the boundary chunk
+            // is gathered.
             let keep: Vec<usize> = (0..in_table.num_rows().min(*n)).collect();
-            let out = in_table.take(&keep)?;
+            let ct = ChunkedTable::from_table(&in_table, ctx.chunk_size);
+            let out = ct.take(&keep)?.into_table()?;
             record(metrics, plan, &out, model.limit().total(), None);
             Ok(out)
         }
@@ -377,6 +491,16 @@ fn exec_node_inner(
             let bytes = in_table.byte_size();
             let write_work = model.spool(in_table.num_rows() as f64, bytes as f64).total();
             metrics.bytes_written_views += bytes;
+            // Hand sealed chunks to concurrent consumers as they are
+            // produced — the single-flight layer buffers them so a job
+            // waiting on this view can start before the store commit.
+            if let Some(sink) = ctx.spool_sink {
+                let ct = ChunkedTable::from_table(&in_table, ctx.chunk_size);
+                let last = ct.num_chunks() - 1;
+                for (i, chunk) in ct.chunks().iter().enumerate() {
+                    sink.publish_chunk(*sig, chunk, i == last);
+                }
+            }
             pending.push(PendingView {
                 sig: *sig,
                 recurring_sig: *recurring_sig,
@@ -485,11 +609,12 @@ fn hash_join(
     right: &Table,
     on: &[(String, String)],
     kind: JoinKind,
-) -> Result<Table> {
+    ctx: &ExecContext<'_>,
+) -> Result<(Table, usize)> {
     let (lk, rk) = resolve_keys(left, right, on)?;
-    let lkeys = KeyCols::from_table(left, &lk);
     let rkeys = KeyCols::from_table(right, &rk);
-    // Hash both sides column-wise in one pass, then build on the right.
+    // Build side is a pipeline breaker: hash the right side column-wise in
+    // one pass and build the table before any probe chunk runs.
     let (rh, rvalid) = rkeys.join_hashes();
     let mut ht: PreHashedMap<Vec<usize>> = PreHashedMap::default();
     for row in 0..right.num_rows() {
@@ -497,45 +622,63 @@ fn hash_join(
             ht.entry(rh[row]).or_default().push(row);
         }
     }
-    let (lh, lvalid) = lkeys.join_hashes();
-    // Matched row ids go straight into the two gather lists (same order a
-    // pair list would have: left row ascending, candidates ascending).
-    let mut left_idx: Vec<usize> = Vec::new();
-    let mut right_idx: Vec<usize> = Vec::new();
-    for lrow in 0..left.num_rows() {
-        let mut matched = false;
-        if lvalid[lrow] {
-            if let Some(cands) = ht.get(&lh[lrow]) {
-                for &rrow in cands {
-                    if lkeys.rows_eq_sql(lrow, &rkeys, rrow) {
-                        match kind {
-                            JoinKind::Semi => {
-                                matched = true;
-                                break;
-                            }
-                            _ => {
-                                left_idx.push(lrow);
-                                right_idx.push(rrow);
-                                matched = true;
+    // The probe side streams chunk-at-a-time against the shared build
+    // table. Each chunk emits its own output slice (chunk-local left rows
+    // ascending, candidates ascending), so chunk-order reassembly
+    // reproduces the monolithic emit order exactly.
+    let probe = |chunk: &Table| -> Result<Table> {
+        let lkeys = KeyCols::from_table(chunk, &lk);
+        let (lh, lvalid) = lkeys.join_hashes();
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<usize> = Vec::new();
+        for lrow in 0..chunk.num_rows() {
+            let mut matched = false;
+            if lvalid[lrow] {
+                if let Some(cands) = ht.get(&lh[lrow]) {
+                    for &rrow in cands {
+                        if lkeys.rows_eq_sql(lrow, &rkeys, rrow) {
+                            match kind {
+                                JoinKind::Semi => {
+                                    matched = true;
+                                    break;
+                                }
+                                _ => {
+                                    left_idx.push(lrow);
+                                    right_idx.push(rrow);
+                                    matched = true;
+                                }
                             }
                         }
                     }
                 }
             }
-        }
-        match kind {
-            JoinKind::Semi if matched => {
-                left_idx.push(lrow);
-                right_idx.push(usize::MAX);
+            match kind {
+                JoinKind::Semi if matched => {
+                    left_idx.push(lrow);
+                    right_idx.push(usize::MAX);
+                }
+                JoinKind::Left if !matched => {
+                    left_idx.push(lrow);
+                    right_idx.push(usize::MAX);
+                }
+                _ => {}
             }
-            JoinKind::Left if !matched => {
-                left_idx.push(lrow);
-                right_idx.push(usize::MAX);
-            }
-            _ => {}
         }
+        join_output_from_indices(chunk, right, &left_idx, &right_idx, kind)
+    };
+    let ranges = chunk_ranges(left.num_rows(), ctx.chunk_size);
+    if ranges.len() == 1 {
+        let out = probe(left)?;
+        let schema = out.schema().clone();
+        return Ok((Table::from_chunks(schema, &[out])?, 1));
     }
-    join_output_from_indices(left, right, &left_idx, &right_idx, kind)
+    let outputs = morsel::run_indexed(ctx.runner.as_ref(), ranges.len(), &|i| {
+        let (off, len) = ranges[i];
+        probe(&left.slice(off, len))
+    });
+    let chunks = outputs.into_iter().collect::<Result<Vec<Table>>>()?;
+    let schema = chunks[0].schema().clone();
+    Ok((Table::from_chunks(schema, &chunks)?, ranges.len()))
 }
 
 fn loop_join(
@@ -653,8 +796,23 @@ fn num_at(col: &Column, row: usize) -> Option<f64> {
     }
 }
 
+/// One aggregate's argument columns across all input chunks. Accumulators
+/// address cells as `(chunk, row)` pairs so MIN/MAX can keep a handle to
+/// the best cell without copying values out of chunk buffers.
+struct ArgView<'a> {
+    by_chunk: &'a [Vec<Option<Column>>],
+    agg: usize,
+}
+
+impl ArgView<'_> {
+    fn at(&self, chunk: usize) -> Option<&Column> {
+        self.by_chunk[chunk][self.agg].as_ref()
+    }
+}
+
 /// One aggregate accumulator. Updates read typed cells straight off the
-/// argument column — no per-row [`Value`] boxing, no string rendering.
+/// per-chunk argument columns — no per-row [`Value`] boxing, no string
+/// rendering.
 enum Acc {
     Count(i64),
     /// DISTINCT keyed on typed value hashes from the key-hash kernel, not
@@ -672,8 +830,8 @@ enum Acc {
         any: bool,
         int_out: bool,
     },
-    MinRow(Option<usize>),
-    MaxRow(Option<usize>),
+    MinRow(Option<(usize, usize)>),
+    MaxRow(Option<(usize, usize)>),
     Avg {
         total: f64,
         count: i64,
@@ -698,26 +856,27 @@ impl Acc {
         }
     }
 
-    fn update(&mut self, arg: Option<&Column>, row: usize) -> Result<()> {
+    fn update(&mut self, arg: &ArgView<'_>, cell: (usize, usize)) -> Result<()> {
+        let (chunk, row) = cell;
         match self {
             Acc::Count(c) => {
                 // COUNT(*) gets None arg (count every row); COUNT(x) counts
                 // non-null x.
-                match arg {
+                match arg.at(chunk) {
                     None => *c += 1,
                     Some(col) if !col.is_null(row) => *c += 1,
                     _ => {}
                 }
             }
             Acc::Distinct(set) => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row) {
                         set.insert(keys::value_hash(col, row));
                     }
                 }
             }
             Acc::SumInt { total, any } => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row) {
                         *total = total
                             .checked_add(col.ints()[row])
@@ -727,7 +886,7 @@ impl Acc {
                 }
             }
             Acc::SumFloat { total, any, .. } => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row) {
                         if let Some(f) = num_at(col, row) {
                             *total += f;
@@ -737,25 +896,31 @@ impl Acc {
                 }
             }
             Acc::MinRow(best) => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row)
-                        && best.is_none_or(|b| keys::cmp_cells(col, row, col, b).is_lt())
+                        && best.is_none_or(|(bc, br)| {
+                            keys::cmp_cells(col, row, arg.at(bc).expect("best cell column"), br)
+                                .is_lt()
+                        })
                     {
-                        *best = Some(row);
+                        *best = Some(cell);
                     }
                 }
             }
             Acc::MaxRow(best) => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row)
-                        && best.is_none_or(|b| keys::cmp_cells(col, row, col, b).is_gt())
+                        && best.is_none_or(|(bc, br)| {
+                            keys::cmp_cells(col, row, arg.at(bc).expect("best cell column"), br)
+                                .is_gt()
+                        })
                     {
-                        *best = Some(row);
+                        *best = Some(cell);
                     }
                 }
             }
             Acc::Avg { total, count } => {
-                if let Some(col) = arg {
+                if let Some(col) = arg.at(chunk) {
                     if !col.is_null(row) {
                         if let Some(f) = num_at(col, row) {
                             *total += f;
@@ -768,7 +933,7 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self, arg: Option<&Column>) -> Value {
+    fn finish(self, arg: &ArgView<'_>) -> Value {
         match self {
             Acc::Count(c) => Value::Int(c),
             Acc::Distinct(set) => Value::Int(set.len() as i64),
@@ -788,9 +953,9 @@ impl Acc {
                     Value::Float(total)
                 }
             }
-            Acc::MinRow(best) | Acc::MaxRow(best) => match (best, arg) {
-                (Some(row), Some(col)) => col.value(row),
-                _ => Value::Null,
+            Acc::MinRow(best) | Acc::MaxRow(best) => match best {
+                Some((chunk, row)) => arg.at(chunk).map_or(Value::Null, |col| col.value(row)),
+                None => Value::Null,
             },
             Acc::Avg { total, count } => {
                 if count == 0 {
@@ -805,17 +970,40 @@ impl Acc {
 
 fn hash_aggregate(
     input: &Table,
-    group_by: &[(crate::expr::ScalarExpr, String)],
+    group_by: &[(ScalarExpr, String)],
     aggs: &[AggExpr],
     schema: &SchemaRef,
-    eval_ctx: &mut EvalCtx,
-) -> Result<Table> {
-    // Evaluate group keys and aggregate arguments once, columnar.
-    let key_cols: Result<Vec<_>> = group_by.iter().map(|(e, _)| eval(e, input, eval_ctx)).collect();
-    let key_cols = key_cols?;
-    let arg_cols: Result<Vec<Option<_>>> =
-        aggs.iter().map(|a| a.arg.as_ref().map(|e| eval(e, input, eval_ctx)).transpose()).collect();
-    let arg_cols = arg_cols?;
+    ctx: &mut ExecContext<'_>,
+) -> Result<(Table, usize)> {
+    // Phase 1 — evaluate group keys and aggregate arguments chunk-at-a-time
+    // (the parallelizable part, fanned through the morsel runner). Phase 2 —
+    // accumulate serially in global row order, so order-sensitive
+    // accumulation (float SUM/AVG) produces the monolithic bit pattern at
+    // every chunk size and worker count.
+    let det = group_by.iter().all(|(e, _)| e.is_deterministic())
+        && aggs.iter().all(AggExpr::is_deterministic);
+    let chunk_size = if det { ctx.chunk_size } else { usize::MAX };
+    let ranges = chunk_ranges(input.num_rows(), chunk_size);
+
+    let eval_chunk = |t: &Table, ec: &mut EvalCtx| -> Result<(Vec<Column>, Vec<Option<Column>>)> {
+        let keys: Result<Vec<_>> = group_by.iter().map(|(e, _)| eval(e, t, ec)).collect();
+        let args: Result<Vec<Option<_>>> =
+            aggs.iter().map(|a| a.arg.as_ref().map(|e| eval(e, t, ec)).transpose()).collect();
+        Ok((keys?, args?))
+    };
+    let evaluated: Vec<(Vec<Column>, Vec<Option<Column>>)> = if ranges.len() == 1 {
+        vec![eval_chunk(input, &mut ctx.eval)?]
+    } else {
+        let base_eval = ctx.eval.clone();
+        morsel::run_indexed(ctx.runner.as_ref(), ranges.len(), &|i| {
+            let (off, len) = ranges[i];
+            eval_chunk(&input.slice(off, len), &mut base_eval.clone())
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?
+    };
+    let (keys_by_chunk, args_by_chunk): (Vec<Vec<Column>>, Vec<Vec<Option<Column>>>) =
+        evaluated.into_iter().unzip();
 
     // SUM over an INT input produces INT; detect from the output schema.
     let int_sum: Vec<bool> = aggs
@@ -823,64 +1011,77 @@ fn hash_aggregate(
         .enumerate()
         .map(|(i, _)| schema.field(group_by.len() + i).dtype == cv_data::value::DataType::Int)
         .collect();
+    let arg_dtypes: Vec<Option<cv_data::value::DataType>> =
+        args_by_chunk[0].iter().map(|c| c.as_ref().map(Column::dtype)).collect();
+    let new_accs = || -> Vec<Acc> {
+        aggs.iter().enumerate().map(|(i, a)| Acc::new(a.func, int_sum[i], arg_dtypes[i])).collect()
+    };
 
-    // Groups remember their first input row; key output columns are a
-    // typed gather over those rows at the end — no per-row key boxing.
+    // Groups remember their first input cell (chunk, row); key output
+    // columns are rebuilt from those representative cells at the end — no
+    // per-row key boxing.
     struct Group {
-        first_row: usize,
+        first: (usize, usize),
         accs: Vec<Acc>,
     }
-    let new_accs = |aggs: &[AggExpr], arg_cols: &[Option<Column>]| -> Vec<Acc> {
-        aggs.iter()
-            .enumerate()
-            .map(|(i, a)| Acc::new(a.func, int_sum[i], arg_cols[i].as_ref().map(|c| c.dtype())))
-            .collect()
-    };
+    let kcs: Vec<KeyCols<'_>> = keys_by_chunk
+        .iter()
+        .zip(&ranges)
+        .map(|(cols, &(_, len))| KeyCols::new(cols.iter().collect(), len))
+        .collect();
     let mut groups: Vec<Group> = Vec::new();
     let mut index: PreHashedMap<Vec<usize>> = PreHashedMap::default();
-
-    let n = input.num_rows();
-    let key_refs = KeyCols::new(key_cols.iter().collect(), n);
-    let hashes = key_refs.group_hashes();
-    for (row, &h) in hashes.iter().enumerate() {
-        let slot = index.entry(h).or_default();
-        let gid = slot
-            .iter()
-            .copied()
-            .find(|&g| key_refs.rows_eq_group(groups[g].first_row, &key_refs, row))
-            .unwrap_or_else(|| {
-                let gid = groups.len();
-                groups.push(Group { first_row: row, accs: new_accs(aggs, &arg_cols) });
-                slot.push(gid);
-                gid
-            });
-        for (acc, arg) in groups[gid].accs.iter_mut().zip(&arg_cols) {
-            acc.update(arg.as_ref(), row)?;
+    for (c, kc) in kcs.iter().enumerate() {
+        let hashes = kc.group_hashes();
+        for (row, &h) in hashes.iter().enumerate() {
+            let slot = index.entry(h).or_default();
+            let gid = slot
+                .iter()
+                .copied()
+                .find(|&g| {
+                    let (gc, gr) = groups[g].first;
+                    kcs[gc].rows_eq_group(gr, kc, row)
+                })
+                .unwrap_or_else(|| {
+                    let gid = groups.len();
+                    groups.push(Group { first: (c, row), accs: new_accs() });
+                    slot.push(gid);
+                    gid
+                });
+            for (i, acc) in groups[gid].accs.iter_mut().enumerate() {
+                acc.update(&ArgView { by_chunk: &args_by_chunk, agg: i }, (c, row))?;
+            }
         }
     }
 
     // Global aggregate over empty input still yields one group.
     if groups.is_empty() && group_by.is_empty() {
-        groups.push(Group { first_row: 0, accs: new_accs(aggs, &arg_cols) });
+        groups.push(Group { first: (0, 0), accs: new_accs() });
     }
 
-    let first_rows: Vec<usize> = groups.iter().map(|g| g.first_row).collect();
+    // Key columns rebuilt from each group's representative cell. Builders
+    // produce the canonical validity form, so output bytes are independent
+    // of which chunk a representative landed in.
     let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
-    for c in &key_cols {
-        columns.push(c.take(&first_rows).normalize_validity());
+    for (k, key0) in keys_by_chunk[0].iter().enumerate().take(group_by.len()) {
+        let mut b = ColumnBuilder::with_capacity(key0.dtype(), groups.len());
+        for g in &groups {
+            b.push(&keys_by_chunk[g.first.0][k].value(g.first.1))?;
+        }
+        columns.push(b.finish());
     }
     let mut builders: Vec<ColumnBuilder> = (0..aggs.len())
         .map(|i| ColumnBuilder::with_capacity(schema.field(group_by.len() + i).dtype, groups.len()))
         .collect();
     for g in groups {
-        for ((acc, b), arg) in g.accs.into_iter().zip(&mut builders).zip(&arg_cols) {
-            b.push(&acc.finish(arg.as_ref()))?;
+        for (i, (acc, b)) in g.accs.into_iter().zip(&mut builders).enumerate() {
+            b.push(&acc.finish(&ArgView { by_chunk: &args_by_chunk, agg: i }))?;
         }
     }
     columns.extend(builders.into_iter().map(ColumnBuilder::finish));
     let out = Table::new(schema.clone(), columns)?;
     if group_by.is_empty() {
-        return Ok(out);
+        return Ok((out, ranges.len()));
     }
     // Canonical output order: sort by the group-key columns ascending.
     // First-encounter order is an artifact of input row order; sorting
@@ -888,7 +1089,7 @@ fn hash_aggregate(
     // an incrementally maintained aggregate (cv-ivm) emitted from group
     // state is byte-identical to inline execution.
     let keys: Vec<(usize, bool)> = (0..group_by.len()).map(|i| (i, true)).collect();
-    out.sort_by(&keys)
+    Ok((out.sort_by(&keys)?, ranges.len()))
 }
 
 #[cfg(test)]
@@ -1370,5 +1571,271 @@ mod tests {
         assert!(out.metrics.data_read_bytes >= out.metrics.input_bytes);
         assert_eq!(out.metrics.join_algos.total(), 1);
         assert!(!out.metrics.op_profiles.is_empty());
+    }
+
+    // ---- chunked morsel-driven execution ----
+
+    fn optimize_physical(
+        plan: &Arc<LogicalPlan>,
+        cat: &DatasetCatalog,
+    ) -> (PhysicalPlan, CostModel) {
+        let opt = Optimizer::new(OptimizerConfig::default());
+        let stats =
+            |name: &str| cat.get_by_name(name).ok().map(|d| (d.rows() as f64, d.bytes() as f64));
+        let out = opt.optimize(plan, &ReuseContext::empty(), &stats, &mut AlwaysGrant).unwrap();
+        (out.physical, opt.cfg.cost)
+    }
+
+    fn exec_chunked(
+        physical: &PhysicalPlan,
+        model: &CostModel,
+        cat: &DatasetCatalog,
+        views: &ViewStore,
+        udos: &UdoRegistry,
+        chunk_size: usize,
+        vectorized: bool,
+    ) -> Table {
+        let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH)
+            .with_chunking(chunk_size, Arc::new(SerialRunner));
+        ctx.eval.vectorized = vectorized;
+        execute(physical, &mut ctx, model).unwrap().table
+    }
+
+    /// Byte-level equality: values, buffer contents, validity bitmaps and
+    /// total byte size — strictly stronger than `canonical_rows`.
+    fn assert_byte_identical(a: &Table, b: &Table, what: &str) {
+        assert_eq!(a.num_rows(), b.num_rows(), "{what}: row count");
+        assert_eq!(a.byte_size(), b.byte_size(), "{what}: byte size");
+        for ci in 0..a.num_columns() {
+            assert_eq!(
+                format!("{:?}", a.column(ci).data()),
+                format!("{:?}", b.column(ci).data()),
+                "{what}: col {ci} buffer"
+            );
+            assert_eq!(
+                a.column(ci).validity().map(|v| v.to_bools()),
+                b.column(ci).validity().map(|v| v.to_bools()),
+                "{what}: col {ci} validity"
+            );
+        }
+    }
+
+    /// The satellite differential property test: a DetRng-generated input
+    /// (nulls included, 103 rows — not divisible by any tested chunk size)
+    /// through filter → project → join → aggregate must be byte-for-byte
+    /// identical at every chunk size, with the vectorized kernels on and
+    /// off.
+    #[test]
+    fn chunked_execution_is_byte_identical_at_every_chunk_size() {
+        let mut rng = cv_common::DetRng::seed(42);
+        let mut cat = DatasetCatalog::new();
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Float),
+            Field::new("tag", DataType::Str),
+        ])
+        .unwrap()
+        .into_ref();
+        let rows: Vec<Vec<Value>> = (0..103)
+            .map(|_| {
+                vec![
+                    if rng.chance(0.15) { Value::Null } else { Value::Int(rng.range_i64(0, 10)) },
+                    if rng.chance(0.1) { Value::Null } else { Value::Float(rng.next_f64() * 9.0) },
+                    Value::Str(format!("t{}", rng.range_u64(0, 4))),
+                ]
+            })
+            .collect();
+        cat.register("facts", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
+        let dim =
+            Schema::new(vec![Field::new("d_id", DataType::Int), Field::new("w", DataType::Float)])
+                .unwrap()
+                .into_ref();
+        let drows: Vec<Vec<Value>> =
+            (0..10).map(|i| vec![Value::Int(i), Value::Float(i as f64 * 0.5)]).collect();
+        cat.register("dim", Table::from_rows(dim, &drows).unwrap(), SimTime::EPOCH).unwrap();
+        let views = ViewStore::with_default_ttl();
+        let udos = UdoRegistry::with_builtins();
+
+        let plan = PlanBuilder::scan(&cat, "facts")
+            .unwrap()
+            .filter(col("v").gt(lit(1.0)))
+            .unwrap()
+            .join(PlanBuilder::scan(&cat, "dim").unwrap(), &[("k", "d_id")], JoinKind::Left)
+            .unwrap()
+            .aggregate(
+                vec![(col("tag"), "tag")],
+                vec![
+                    AggExpr::new(AggFunc::Sum, col("v"), "sv"),
+                    AggExpr::new(AggFunc::Min, col("w"), "mw"),
+                    AggExpr::count_star("n"),
+                ],
+            )
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&plan, &cat);
+        for vectorized in [true, false] {
+            let mono = exec_chunked(&physical, &model, &cat, &views, &udos, usize::MAX, vectorized);
+            assert!(mono.num_rows() > 0);
+            for chunk_size in [1, 3, 7, 50, 2048] {
+                let chunked =
+                    exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, vectorized);
+                assert_byte_identical(
+                    &chunked,
+                    &mono,
+                    &format!("chunk {chunk_size} vectorized {vectorized}"),
+                );
+            }
+        }
+    }
+
+    /// A predicate that wipes out entire chunks must not disturb
+    /// reassembly: empty chunks concatenate away.
+    #[test]
+    fn fully_masked_chunks_reassemble_cleanly() {
+        let (cat, views, udos) = setup();
+        // qty == i % 5: rows 0..50 with qty < 100 all pass, but qty > 3
+        // keeps 20 of 100 rows in bursts, leaving many chunks empty at
+        // chunk size 3.
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(3)))
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&plan, &cat);
+        let mono = exec_chunked(&physical, &model, &cat, &views, &udos, usize::MAX, true);
+        assert_eq!(mono.num_rows(), 20);
+        for chunk_size in [1, 3, 5, 99] {
+            let chunked = exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, true);
+            assert_byte_identical(&chunked, &mono, &format!("chunk {chunk_size}"));
+        }
+        // A predicate no row satisfies: every chunk comes back empty.
+        let none = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(100)))
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&none, &cat);
+        for chunk_size in [1, 7, usize::MAX] {
+            let out = exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, true);
+            assert_eq!(out.num_rows(), 0, "chunk {chunk_size}");
+            assert_eq!(out.num_columns(), 3);
+        }
+    }
+
+    /// Chunks whose join/group keys are entirely NULL stream through the
+    /// hash-join probe and the aggregate without producing matches or
+    /// spurious groups — and stay byte-identical to monolithic execution.
+    #[test]
+    fn all_null_key_chunks_through_join_and_aggregate() {
+        let mut cat = DatasetCatalog::new();
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("x", DataType::Int)])
+                .unwrap()
+                .into_ref();
+        // Rows 4..12 (two whole chunks at size 4) carry NULL keys.
+        let rows: Vec<Vec<Value>> = (0..20)
+            .map(|i| {
+                let key = if (4..12).contains(&i) { Value::Null } else { Value::Int(i % 3) };
+                vec![key, Value::Int(i)]
+            })
+            .collect();
+        cat.register("t", Table::from_rows(schema, &rows).unwrap(), SimTime::EPOCH).unwrap();
+        let dim =
+            Schema::new(vec![Field::new("d", DataType::Int), Field::new("lbl", DataType::Str)])
+                .unwrap()
+                .into_ref();
+        let drows: Vec<Vec<Value>> =
+            (0..3).map(|i| vec![Value::Int(i), Value::Str(format!("d{i}"))]).collect();
+        cat.register("dim", Table::from_rows(dim, &drows).unwrap(), SimTime::EPOCH).unwrap();
+        let views = ViewStore::with_default_ttl();
+        let udos = UdoRegistry::with_builtins();
+
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::Semi] {
+            let plan = PlanBuilder::scan(&cat, "t")
+                .unwrap()
+                .join(PlanBuilder::scan(&cat, "dim").unwrap(), &[("k", "d")], kind)
+                .unwrap()
+                .build();
+            let (physical, model) = optimize_physical(&plan, &cat);
+            let mono = exec_chunked(&physical, &model, &cat, &views, &udos, usize::MAX, true);
+            for chunk_size in [1, 4, 6] {
+                let chunked =
+                    exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, true);
+                assert_byte_identical(&chunked, &mono, &format!("{kind:?} chunk {chunk_size}"));
+            }
+            // NULL keys never match: inner/semi drop them, left pads.
+            match kind {
+                JoinKind::Inner | JoinKind::Semi => assert_eq!(mono.num_rows(), 12),
+                _ => assert_eq!(mono.num_rows(), 20),
+            }
+        }
+
+        let agg = PlanBuilder::scan(&cat, "t")
+            .unwrap()
+            .aggregate(vec![(col("k"), "k")], vec![AggExpr::new(AggFunc::Sum, col("x"), "sx")])
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&agg, &cat);
+        let mono = exec_chunked(&physical, &model, &cat, &views, &udos, usize::MAX, true);
+        // Groups: NULL, 0, 1, 2 — all NULL keys collapse into one group.
+        assert_eq!(mono.num_rows(), 4);
+        for chunk_size in [1, 4, 6] {
+            let chunked = exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, true);
+            assert_byte_identical(&chunked, &mono, &format!("agg chunk {chunk_size}"));
+        }
+    }
+
+    /// Nondeterministic expressions collapse to a single chunk and advance
+    /// the shared per-row counter in monolithic order — the result is the
+    /// same at every configured chunk size.
+    #[test]
+    fn nondeterministic_exprs_never_chunk() {
+        let (cat, views, udos) = setup();
+        let rand = ScalarExpr::Func { func: crate::expr::FuncKind::RandomNext, args: vec![] };
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .project(vec![(col("s_cust"), "c"), (rand, "r")])
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&plan, &cat);
+        let mono = exec_chunked(&physical, &model, &cat, &views, &udos, usize::MAX, true);
+        for chunk_size in [1, 7, 64] {
+            let chunked = exec_chunked(&physical, &model, &cat, &views, &udos, chunk_size, true);
+            assert_byte_identical(&chunked, &mono, &format!("nd chunk {chunk_size}"));
+        }
+        // Sanity: the column really is nondeterministic per row.
+        let r_idx = mono.schema().index_of("r").unwrap();
+        let distinct: std::collections::HashSet<String> =
+            (0..mono.num_rows()).map(|i| format!("{:?}", mono.column(r_idx).value(i))).collect();
+        assert!(distinct.len() > 1, "RANDOM_NEXT must vary across rows");
+    }
+
+    /// The morsel runner really receives one task per chunk (the tentpole's
+    /// parallelism seam): a counting runner observes the fan-out.
+    #[test]
+    fn morsel_runner_sees_one_task_per_chunk() {
+        struct CountingRunner(std::sync::atomic::AtomicUsize);
+        impl MorselRunner for CountingRunner {
+            fn run(&self, tasks: usize, task: &(dyn Fn(usize) + Sync)) {
+                self.0.fetch_add(tasks, std::sync::atomic::Ordering::Relaxed);
+                for i in 0..tasks {
+                    task(i);
+                }
+            }
+        }
+        let (cat, views, udos) = setup();
+        let plan = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .filter(col("qty").gt(lit(0)))
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&plan, &cat);
+        let runner = Arc::new(CountingRunner(std::sync::atomic::AtomicUsize::new(0)));
+        let mut ctx =
+            ExecContext::new(&cat, &views, &udos, SimTime::EPOCH).with_chunking(30, runner.clone());
+        let out = execute(&physical, &mut ctx, &model).unwrap();
+        assert_eq!(out.table.num_rows(), 80);
+        // 100 rows at chunk size 30 → 4 morsels through the runner.
+        assert_eq!(runner.0.load(std::sync::atomic::Ordering::Relaxed), 4);
     }
 }

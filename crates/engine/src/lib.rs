@@ -19,7 +19,8 @@
 //! * [`optimizer`] — normalization pipeline, top-down view *matching*,
 //!   bottom-up view *building* (spool insertion), physical planning;
 //! * [`physical`] / [`exec`] — physical operators and the single-node
-//!   vectorized executor with per-operator work accounting;
+//!   vectorized executor with per-operator work accounting, streaming
+//!   fixed-size chunks through morsel-driven pipelines ([`MorselRunner`]);
 //! * [`engine`] — the `QueryEngine` facade tying catalog, view store and
 //!   optimizer together.
 
@@ -43,6 +44,7 @@ pub use containment::{
     build_compensation, ContainmentProof, ContainmentProver, ContainmentRefusal, RollupSpec,
 };
 pub use engine::{CompiledJob, JobOutcome, QueryEngine};
+pub use exec::{MorselRunner, SerialRunner, SpoolSink};
 pub use expr::{col, lit, param, AggExpr, AggFunc, BinOp, FuncKind, ScalarExpr, UnOp};
 pub use obs::{NoopSink, ObsSink};
 pub use optimizer::{

@@ -7,6 +7,8 @@
 //!
 //! * [`pool`] — work-stealing worker pool with per-VC admission control,
 //!   bounded queues, and dependency gating;
+//! * [`morsel`] — pool-backed [`cv_engine::MorselRunner`] spreading the
+//!   chunks of a single job across workers (intra-query parallelism);
 //! * [`singleflight`] — the in-flight materialization registry that turns
 //!   Fig. 9's concurrent-duplicate *opportunity* into realized savings:
 //!   one builder per unsealed signature, everyone else pipelines;
@@ -18,11 +20,13 @@
 //! cluster sim lives in cv-workload (`service_driver`); the `cv-serve` CLI
 //! wraps it with a load generator.
 
+pub mod morsel;
 pub mod pool;
 pub mod singleflight;
 pub mod source;
 pub mod stats;
 
+pub use morsel::PoolMorselRunner;
 pub use pool::{run_tasks, PoolConfig, PoolReport, TaskSpec};
 pub use singleflight::{FlightOutcome, PromisedView, SingleFlight, SingleFlightStats};
 pub use source::PipelinedViewSource;

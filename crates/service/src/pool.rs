@@ -74,6 +74,14 @@ pub struct PoolReport {
     /// completion. Excludes worker thread spawn/join — the speedup metric
     /// must compare parallel work, not `std::thread` setup costs.
     pub parallel_wall: Duration,
+    /// Wall time from the same batch epoch to worker teardown (threads
+    /// joined). `total_wall − parallel_wall` is the pool's own residue —
+    /// submission overhead plus join — measured from the ready barrier, so
+    /// it can never exceed what the batch actually spent. Callers computing
+    /// "pool overhead" must use this, not their own clock around
+    /// `run_tasks` (which would double-count thread spawn and barrier wait
+    /// and can exceed `parallel_wall` itself).
+    pub total_wall: Duration,
     /// Per-worker time spent inside task closures; `parallel_wall − busy`
     /// is that worker's idle (queue-starved or admission-limited) time.
     pub worker_busy: Vec<Duration>,
@@ -252,10 +260,27 @@ impl<'env> Shared<'env> {
             let n = st.local.len();
             for k in 1..n {
                 let victim = (me + k) % n;
-                if let Some(t) = st.local[victim].pop_back() {
-                    self.steals.fetch_add(1, Ordering::Relaxed);
-                    return Some(t);
+                let len = st.local[victim].len();
+                if len == 0 {
+                    continue;
                 }
+                // Steal half the victim's deque (round up), not one task:
+                // a worker that steals a single task from a deep queue goes
+                // right back to stealing, serializing on the state lock
+                // while the victim drains alone — the starvation pattern
+                // where most workers never accumulate local work. The
+                // newest (back) half moves; the victim keeps its front.
+                let take = len.div_ceil(2);
+                let mut stolen = st.local[victim].split_off(len - take);
+                self.steals.fetch_add(take as u64, Ordering::Relaxed);
+                let t = stolen.pop_front().expect("stole at least one task");
+                if !stolen.is_empty() {
+                    st.local[me].append(&mut stolen);
+                    // The surplus parked on our deque is stealable work for
+                    // anyone else waking up.
+                    self.work.notify_one();
+                }
+                return Some(t);
             }
             if st.submitted_all && st.outstanding == 0 {
                 return None;
@@ -386,6 +411,9 @@ pub fn run_tasks<'env>(
         }
         shared.work.notify_all();
     });
+    // Stamped after the scope joins every worker, from the same epoch as
+    // `parallel_wall` — the two are directly comparable.
+    let total_wall = batch_start.elapsed();
 
     let st = shared.state.into_inner().unwrap_or_else(PoisonError::into_inner);
     assert!(!st.panicked, "a pool task panicked");
@@ -405,6 +433,7 @@ pub fn run_tasks<'env>(
         max_inflight: st.max_inflight,
         max_queue_depth: st.max_queue_depth,
         parallel_wall,
+        total_wall: total_wall.max(parallel_wall),
         worker_busy: st.busy,
         latencies,
     }
@@ -559,6 +588,77 @@ mod tests {
         assert!(report.worker_busy[0] >= Duration::from_millis(70));
         assert!(report.max_queue_depth >= 1);
         assert_eq!(report.deferrals_by_vc.len(), 1);
+    }
+
+    #[test]
+    fn no_worker_starves_at_eight_workers() {
+        // Regression for the intra-query parallelism ceiling: with
+        // steal-one semantics most workers never accumulated local work and
+        // reported zero busy time (BENCH_service.json showed 5 of 8 workers
+        // idle). 64 spinning tasks across 8 workers must leave every worker
+        // with nonzero busy time — half-stealing spreads queued work as
+        // soon as any worker goes idle.
+        let mut rng = cv_common::DetRng::seed(42);
+        let tasks: Vec<TaskSpec<'_>> = (0..64)
+            .map(|i| {
+                let spin_us = rng.range_u64(800, 1200);
+                spec(i, i % 4, vec![], move || {
+                    let start = Instant::now();
+                    while start.elapsed() < Duration::from_micros(spin_us) {
+                        std::hint::spin_loop();
+                    }
+                })
+            })
+            .collect();
+        let cfg = PoolConfig { workers: 8, vc_inflight_limit: 64, queue_cap: 64 };
+        let report = run_tasks(&cfg, tasks, &[]);
+        assert_eq!(report.executed, 64);
+        assert_eq!(report.worker_busy.len(), 8);
+        for (w, busy) in report.worker_busy.iter().enumerate() {
+            assert!(*busy > Duration::ZERO, "worker {w} starved (zero busy time)");
+        }
+    }
+
+    #[test]
+    fn steals_move_half_the_victim_queue() {
+        // Worker count 2, one long head task: the round-robin submitter
+        // parks the even tasks behind the long one, so the other worker
+        // drains its own queue and must bulk-steal the remainder. The steal
+        // counter counts stolen *tasks*; stealing one-at-a-time from a
+        // 10-deep queue would also count 10, so additionally require that
+        // every task executed and no worker sat idle while work was queued
+        // (covered by the starvation test above at higher worker counts).
+        let tasks: Vec<TaskSpec<'_>> = (0..21)
+            .map(|i| {
+                spec(i, 0, vec![], move || {
+                    if i == 0 {
+                        std::thread::sleep(Duration::from_millis(30));
+                    }
+                })
+            })
+            .collect();
+        let cfg = PoolConfig { workers: 2, vc_inflight_limit: 64, queue_cap: 64 };
+        let report = run_tasks(&cfg, tasks, &[]);
+        assert_eq!(report.executed, 21);
+        assert!(report.steals > 0, "long head-of-line task must force steals");
+    }
+
+    #[test]
+    fn total_wall_bounds_parallel_wall() {
+        let tasks: Vec<TaskSpec<'_>> = (0..16)
+            .map(|i| spec(i, 0, vec![], move || std::thread::sleep(Duration::from_micros(500))))
+            .collect();
+        let cfg = PoolConfig { workers: 4, vc_inflight_limit: 64, queue_cap: 64 };
+        let report = run_tasks(&cfg, tasks, &[]);
+        assert!(report.total_wall >= report.parallel_wall);
+        // The pool's own residue (submission + join, measured from the
+        // ready barrier) must stay below the parallel phase it wraps.
+        let overhead = report.total_wall - report.parallel_wall;
+        assert!(
+            overhead < report.parallel_wall,
+            "pool residue {overhead:?} exceeds parallel wall {:?}",
+            report.parallel_wall
+        );
     }
 
     #[test]

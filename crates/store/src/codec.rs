@@ -174,8 +174,22 @@ fn unpack_bools(bytes: &[u8], n: usize) -> Vec<bool> {
     (0..n).map(|i| bytes[i / 8] & (1 << (i % 8)) != 0).collect()
 }
 
-/// Serialize a table (schema + columns + validity) to bytes.
+/// Serialize a table (schema + columns + validity) to bytes, chunk-major
+/// at the engine's default chunk size.
+///
+/// Layout: schema header, total row count, chunk count, then one section
+/// per chunk holding its row count followed by every column's validity
+/// flag + packed bits and typed values for just those rows. Chunk-major
+/// sections line up with the engine's execution chunks, so the page-chain
+/// writer streams a view out in the same granularity the producer emitted
+/// it and a future partial read needs no column-level seeking.
 pub fn encode_table(t: &Table) -> Vec<u8> {
+    encode_table_chunked(t, cv_data::chunk::DEFAULT_CHUNK_SIZE)
+}
+
+/// [`encode_table`] with an explicit chunk size (tests exercise degenerate
+/// sizes; the decoded table is identical for every value).
+pub fn encode_table_chunked(t: &Table, chunk_size: usize) -> Vec<u8> {
     let mut e = Enc::new();
     let schema = t.schema();
     e.put_u32(schema.len() as u32);
@@ -185,26 +199,38 @@ pub fn encode_table(t: &Table) -> Vec<u8> {
         e.put_u8(f.nullable as u8);
     }
     e.put_u64(t.num_rows() as u64);
-    for col in t.columns() {
-        match col.validity() {
-            Some(v) => {
-                e.put_u8(1);
-                e.put_bytes(&pack_bools(&v.to_bools()));
+    let ranges = cv_data::chunk::chunk_ranges(t.num_rows(), chunk_size.max(1));
+    e.put_u32(ranges.len() as u32);
+    // Hoist each column's validity bools once; chunks slice into them.
+    let vbools: Vec<Option<Vec<bool>>> =
+        t.columns().iter().map(|c| c.validity().map(Bitmap::to_bools)).collect();
+    for &(off, len) in &ranges {
+        e.put_u64(len as u64);
+        for (col, vb) in t.columns().iter().zip(&vbools) {
+            match vb {
+                Some(bits) => {
+                    e.put_u8(1);
+                    e.put_bytes(&pack_bools(&bits[off..off + len]));
+                }
+                None => e.put_u8(0),
             }
-            None => e.put_u8(0),
-        }
-        match col.data() {
-            ColumnData::Bool(vs) => e.put_bytes(&pack_bools(vs)),
-            ColumnData::Int(vs) => vs.iter().for_each(|&v| e.put_i64(v)),
-            ColumnData::Float(vs) => vs.iter().for_each(|&v| e.put_f64(v)),
-            ColumnData::Str(vs) => vs.iter().for_each(|v| e.put_str(v)),
-            ColumnData::Date(vs) => vs.iter().for_each(|&v| e.put_i32(v)),
+            match col.data() {
+                ColumnData::Bool(vs) => e.put_bytes(&pack_bools(&vs[off..off + len])),
+                ColumnData::Int(vs) => vs[off..off + len].iter().for_each(|&v| e.put_i64(v)),
+                ColumnData::Float(vs) => vs[off..off + len].iter().for_each(|&v| e.put_f64(v)),
+                ColumnData::Str(vs) => vs[off..off + len].iter().for_each(|v| e.put_str(v)),
+                ColumnData::Date(vs) => vs[off..off + len].iter().for_each(|&v| e.put_i32(v)),
+            }
         }
     }
     e.into_bytes()
 }
 
-/// Inverse of [`encode_table`].
+/// Inverse of [`encode_table`]: concatenates the chunk sections back into
+/// whole columns. A column's validity presence is preserved exactly — if
+/// any chunk carries a bitmap the reassembled column does too (flag-0
+/// chunks contribute all-valid runs), so the round trip is byte-faithful
+/// even for non-canonical all-true bitmaps.
 pub fn decode_table(buf: &[u8]) -> CodecResult<Table> {
     let mut d = Dec::new(buf);
     let n_fields = d.get_u32()? as usize;
@@ -220,34 +246,78 @@ pub fn decode_table(buf: &[u8]) -> CodecResult<Table> {
         fields.push(if nullable { Field::new(name, dtype) } else { Field::not_null(name, dtype) });
     }
     let n_rows = d.get_u64()? as usize;
-    let bitmap_bytes = n_rows.div_ceil(8);
-    let mut columns = Vec::with_capacity(n_fields);
-    for field in &fields {
-        let validity = match d.get_u8()? {
-            0 => None,
-            1 => Some(Bitmap::from_bools(&unpack_bools(d.get_bytes(bitmap_bytes)?, n_rows))),
-            _ => return Err(CodecError("bad validity flag")),
-        };
-        let data = match field.dtype {
-            DataType::Bool => ColumnData::Bool(unpack_bools(d.get_bytes(bitmap_bytes)?, n_rows)),
-            DataType::Int => {
-                ColumnData::Int((0..n_rows).map(|_| d.get_i64()).collect::<CodecResult<_>>()?)
+    let n_chunks = d.get_u32()? as usize;
+    if n_chunks == 0 {
+        return Err(CodecError("zero chunks"));
+    }
+    let mut vbits: Vec<Vec<bool>> = vec![Vec::with_capacity(n_rows); n_fields];
+    let mut any_validity = vec![false; n_fields];
+    let mut datas: Vec<ColumnData> = fields
+        .iter()
+        .map(|f| match f.dtype {
+            DataType::Bool => ColumnData::Bool(Vec::with_capacity(n_rows)),
+            DataType::Int => ColumnData::Int(Vec::with_capacity(n_rows)),
+            DataType::Float => ColumnData::Float(Vec::with_capacity(n_rows)),
+            DataType::Str => ColumnData::Str(Vec::with_capacity(n_rows)),
+            DataType::Date => ColumnData::Date(Vec::with_capacity(n_rows)),
+        })
+        .collect();
+    let mut decoded_rows = 0usize;
+    for _ in 0..n_chunks {
+        let rows = d.get_u64()? as usize;
+        decoded_rows = decoded_rows.checked_add(rows).ok_or(CodecError("chunk rows overflow"))?;
+        if decoded_rows > n_rows {
+            return Err(CodecError("chunk rows exceed table rows"));
+        }
+        let bitmap_bytes = rows.div_ceil(8);
+        for i in 0..n_fields {
+            match d.get_u8()? {
+                0 => vbits[i].extend(std::iter::repeat_n(true, rows)),
+                1 => {
+                    any_validity[i] = true;
+                    vbits[i].extend(unpack_bools(d.get_bytes(bitmap_bytes)?, rows));
+                }
+                _ => return Err(CodecError("bad validity flag")),
             }
-            DataType::Float => {
-                ColumnData::Float((0..n_rows).map(|_| d.get_f64()).collect::<CodecResult<_>>()?)
+            match &mut datas[i] {
+                ColumnData::Bool(vs) => vs.extend(unpack_bools(d.get_bytes(bitmap_bytes)?, rows)),
+                ColumnData::Int(vs) => {
+                    for _ in 0..rows {
+                        vs.push(d.get_i64()?);
+                    }
+                }
+                ColumnData::Float(vs) => {
+                    for _ in 0..rows {
+                        vs.push(d.get_f64()?);
+                    }
+                }
+                ColumnData::Str(vs) => {
+                    for _ in 0..rows {
+                        vs.push(d.get_str()?);
+                    }
+                }
+                ColumnData::Date(vs) => {
+                    for _ in 0..rows {
+                        vs.push(d.get_i32()?);
+                    }
+                }
             }
-            DataType::Str => {
-                ColumnData::Str((0..n_rows).map(|_| d.get_str()).collect::<CodecResult<_>>()?)
-            }
-            DataType::Date => {
-                ColumnData::Date((0..n_rows).map(|_| d.get_i32()).collect::<CodecResult<_>>()?)
-            }
-        };
-        columns.push(Column::new(data, validity));
+        }
+    }
+    if decoded_rows != n_rows {
+        return Err(CodecError("chunk rows mismatch"));
     }
     if !d.is_done() {
         return Err(CodecError("trailing bytes after table"));
     }
+    let columns: Vec<Column> = datas
+        .into_iter()
+        .zip(vbits)
+        .zip(any_validity)
+        .map(|((data, bits), any)| {
+            Column::new(data, if any { Some(Bitmap::from_bools(&bits)) } else { None })
+        })
+        .collect();
     let schema = Schema::new_unchecked(fields).into_ref();
     Table::new(schema, columns).map_err(|_| CodecError("table validation failed"))
 }
@@ -333,6 +403,45 @@ mod tests {
             a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
             b.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn multi_chunk_encoding_round_trips_exactly() {
+        let t = sample_table(); // 3 rows
+        let whole = decode_table(&encode_table_chunked(&t, usize::MAX)).unwrap();
+        for chunk_size in [1, 2] {
+            let bytes = encode_table_chunked(&t, chunk_size);
+            let back = decode_table(&bytes).unwrap();
+            assert_eq!(back.canonical_rows(), whole.canonical_rows());
+            assert_eq!(back.num_rows(), 3);
+            // Validity presence survives reassembly per column.
+            for (a, b) in whole.columns().iter().zip(back.columns()) {
+                assert_eq!(a.validity().is_some(), b.validity().is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn non_canonical_all_true_validity_survives_chunking() {
+        // A column carrying an explicit all-true bitmap (legal but
+        // non-canonical) must come back with the bitmap intact.
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let col =
+            Column::new(ColumnData::Int(vec![1, 2, 3, 4, 5]), Some(Bitmap::from_bools(&[true; 5])));
+        let t = Table::new(schema, vec![col]).unwrap();
+        let back = decode_table(&encode_table_chunked(&t, 2)).unwrap();
+        let v = back.columns()[0].validity().expect("all-true bitmap preserved");
+        assert_eq!(v.to_bools(), vec![true; 5]);
+    }
+
+    #[test]
+    fn chunk_row_count_mismatch_is_rejected() {
+        let mut bytes = encode_table_chunked(&sample_table(), 2);
+        // The total row count sits right after the schema header; bump it
+        // so the chunk sections no longer add up.
+        let hdr = 4 + (4 + 2 + 2) + (4 + 4 + 2) + (4 + 5 + 2) + (4 + 6 + 2) + (4 + 3 + 2);
+        bytes[hdr] = bytes[hdr].wrapping_add(1);
+        assert!(decode_table(&bytes).is_err());
     }
 
     #[test]

@@ -167,6 +167,9 @@ pub struct DriverConfig {
     pub store: StoreBackend,
     /// Incremental view maintenance mode (off by default).
     pub ivm: IvmMode,
+    /// Rows per execution chunk (morsel). Results are byte-identical at
+    /// every value; this only moves the streaming granularity.
+    pub chunk_size: usize,
 }
 
 impl DriverConfig {
@@ -182,6 +185,7 @@ impl DriverConfig {
             faults: FaultPlan::none(),
             store: StoreBackend::Memory,
             ivm: IvmMode::Off,
+            chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
         }
     }
 
@@ -293,6 +297,7 @@ struct PendingSeal {
 pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOutcome> {
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    engine.chunk_size = cfg.chunk_size.max(1);
     let analyzer = std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer));
     // The analyzer is always the containment prover: semantic (widened)
     // view matches only happen when it certifies them.

@@ -111,6 +111,10 @@ pub struct ServiceReport {
     pub pipelined_reads: u64,
     pub flight_waits: u64,
     pub duplicate_materializations: u64,
+    /// Sealed chunks builders streamed into the flight registry pre-commit.
+    pub chunks_spooled: u64,
+    /// Promised reads served by reassembling a builder's chunk stream.
+    pub chunk_assembled_reads: u64,
     /// Work units of recomputation avoided by pipelining — compare against
     /// `pipelining_savings_bound` (the Fig. 9 opportunity).
     pub realized_pipelining_savings: f64,
@@ -119,8 +123,9 @@ pub struct ServiceReport {
     pub max_inflight: usize,
     /// Peak total parked tasks across all per-VC deferred queues.
     pub max_queue_depth: usize,
-    /// Wall-clock seconds spent inside the execution pool, including worker
-    /// thread spawn/join per wave. This is *not* the speedup denominator —
+    /// Wall-clock seconds spent inside the execution pool, measured from
+    /// the same ready-barrier epoch as `parallel_wall_seconds` through
+    /// worker teardown. This is *not* the speedup denominator —
     /// `parallel_wall_seconds` is.
     pub exec_wall_seconds: f64,
     /// Wall-clock seconds of the parallel phase proper, summed over waves:
@@ -130,9 +135,11 @@ pub struct ServiceReport {
     pub compile_wall_seconds: f64,
     /// Wall-clock seconds of the sequential commit phase (phase C).
     pub commit_wall_seconds: f64,
-    /// Pool overhead: `exec_wall − parallel_wall` (thread spawn/join and
-    /// barrier setup — on a 1-core host this dwarfed the parallel work and
-    /// produced the phantom "parallel slowdown").
+    /// Pool overhead: `exec_wall − parallel_wall`, i.e. worker teardown
+    /// after the last task. Both terms share the ready-barrier epoch, so
+    /// this is the pool's true residue and stays below the parallel phase
+    /// itself (the old caller-clock measure also counted thread spawn
+    /// before the barrier and could exceed the parallel wall).
     pub pool_overhead_seconds: f64,
     /// Per-worker seconds spent inside task closures, summed over waves.
     pub worker_busy_seconds: Vec<f64>,
@@ -155,6 +162,8 @@ impl ServiceReport {
             "pipelined_reads": self.pipelined_reads,
             "flight_waits": self.flight_waits,
             "duplicate_materializations": self.duplicate_materializations,
+            "chunks_spooled": self.chunks_spooled,
+            "chunk_assembled_reads": self.chunk_assembled_reads,
             "realized_pipelining_savings": self.realized_pipelining_savings,
             "steals": self.steals,
             "admission_deferrals": self.admission_deferrals,
@@ -356,6 +365,9 @@ pub fn run_workload_service_with_store(
     }
     let enabled = cfg.cloudviews.is_some();
     let mut engine = QueryEngine::with_config(cfg.optimizer.clone());
+    // Jobs already run one-per-pool-worker; chunking streams inside each
+    // job serially (a nested pool per operator would oversubscribe cores).
+    engine.chunk_size = cfg.chunk_size.max(1);
     let analyzer = std::sync::Arc::new(cv_analyzer::Analyzer::new(&cfg.optimizer));
     // Always the containment prover: semantic view matches only happen
     // when the analyzer certifies them.
@@ -591,6 +603,8 @@ pub fn run_workload_service_with_store(
         pipelined_reads: snap.pipelined_reads,
         flight_waits: snap.flight_waits,
         duplicate_materializations: snap.duplicate_materializations,
+        chunks_spooled: flights.stats().chunks_buffered,
+        chunk_assembled_reads: snap.chunk_assembled_reads,
         realized_pipelining_savings: snap.realized_savings,
         steals,
         admission_deferrals,
@@ -611,6 +625,8 @@ pub fn run_workload_service_with_store(
         m.add("flight.claims", fl.claims);
         m.add("flight.waits", fl.waits);
         m.add("flight.resolves", fl.resolves);
+        m.add("flight.chunks_buffered", fl.chunks_buffered);
+        m.add("service.chunk_assembled_reads", snap.chunk_assembled_reads);
         m.add("store.views_created", store_stats.views_created);
         m.add("store.views_reused", store_stats.views_reused);
         m.add("store.read_misses", store_stats.read_misses);
@@ -690,7 +706,7 @@ struct WaveReport {
     admission_deferrals: u64,
     max_inflight: usize,
     max_queue_depth: usize,
-    /// Total pool wall (spawn → join), the old `exec_wall` measure.
+    /// Total pool wall (ready barrier → worker teardown).
     exec_wall: Duration,
     /// Parallel phase proper (batch epoch → last completion).
     parallel_wall: Duration,
@@ -982,11 +998,15 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                     sink.begin_execute();
                 }
                 let src = PipelinedViewSource::new(store, flights, stats, promised);
-                let res = engine_ref.execute_with_obs(
+                // The flight registry doubles as the spool sink: each
+                // sealed chunk of a claimed build streams to it pre-commit
+                // so blocked consumers can assemble the view directly.
+                let res = engine_ref.execute_with_sink(
                     &physical,
                     &src,
                     submit,
                     exec_sink.as_ref().map(|s| &**s as &dyn cv_engine::obs::ObsSink),
+                    Some(flights as &dyn cv_engine::SpoolSink),
                 );
                 let served = src.into_served();
                 let done = res.and_then(|exec| {
@@ -1043,9 +1063,12 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
     if let Some(o) = obs {
         o.tracer.begin(0, "execute");
     }
-    let pool_started = Instant::now();
+    // Pool wall comes from the report's ready-barrier epoch, not a caller
+    // clock around `run_tasks`: the caller's clock also counts thread spawn
+    // and OS scheduling noise *before* the barrier, which once made
+    // "overhead" (exec − parallel) exceed the parallel phase itself.
     let report = run_tasks(&pool_cfg, tasks, &gaps);
-    let exec_wall = pool_started.elapsed();
+    let exec_wall = report.total_wall;
     if let Some(o) = obs {
         o.tracer.end_with(0, &[("tasks", compiled.len() as u64)]);
     }
@@ -1431,6 +1454,37 @@ mod tests {
         assert_eq!(four.failed_jobs, 0);
         assert_eq!(four.service.duplicate_materializations, 0);
         assert_eq!(one.ledger.totals(), four.ledger.totals());
+    }
+
+    /// The chunking contract end-to-end: the streaming granularity must
+    /// never leak into results. Sequential runs at a tiny, the default, and
+    /// an effectively-monolithic chunk size — and a concurrent run at the
+    /// tiny size — all produce the same per-job digests.
+    #[test]
+    fn chunk_size_never_changes_results() {
+        let w = small_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let baseline = run_workload(&w, &cfg).unwrap();
+
+        for chunk_size in [7, usize::MAX] {
+            let mut c = cfg.clone();
+            c.chunk_size = chunk_size;
+            let out = run_workload(&w, &c).unwrap();
+            assert_eq!(
+                out.result_digests, baseline.result_digests,
+                "sequential digests diverged at chunk_size {chunk_size}"
+            );
+        }
+
+        let mut c = cfg.clone();
+        c.chunk_size = 7;
+        let svc = run_workload_service(&w, &c, &ServiceConfig::default()).unwrap();
+        assert_eq!(svc.failed_jobs, 0);
+        assert_eq!(
+            svc.result_digests, baseline.result_digests,
+            "service digests diverged at chunk_size 7"
+        );
     }
 
     /// The concurrent service on the disk-backed sharded store must agree

@@ -36,10 +36,19 @@
 //! `store` section. `--store-dir` pins the store directory (default: a
 //! fresh temp directory, removed afterwards).
 //!
+//! A fifth leg is the **morsel scaling curve**: one heavy
+//! filter→join→aggregate query has its chunks fanned across the service
+//! pool at 1/2/4/8 workers (`cv_workload::run_morsel_scaling`). Digests
+//! must match the single-chunk serial run at every point; on hosts with 4+
+//! hardware threads the 4-worker point must beat 1 worker by more than
+//! 1.5×. `--chunk-size` moves the streaming granularity of *every* leg —
+//! results are byte-identical at any value.
+//!
 //! Usage:
 //!   cv-serve [--days N] [--scale F] [--seed N] [--analytics N]
-//!            [--workers N] [--shards N] [--mode closed|open]
-//!            [--min-speedup auto|F] [--store-dir PATH] [--json PATH]
+//!            [--workers N] [--shards N] [--chunk-size N]
+//!            [--mode closed|open] [--min-speedup auto|F]
+//!            [--store-dir PATH] [--json PATH]
 //!            [--bench PATH] [--trace PATH] [--metrics PATH]
 
 use cv_common::json::{json, Json};
@@ -61,6 +70,7 @@ struct Args {
     analytics: usize,
     workers: usize,
     shards: usize,
+    chunk_size: usize,
     open_loop: bool,
     min_speedup: Option<f64>, // None = auto
     store_dir: Option<String>,
@@ -78,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
         analytics: 24,
         workers: 8,
         shards: 16,
+        chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
         open_loop: false,
         min_speedup: None,
         store_dir: None,
@@ -116,6 +127,13 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--shards needs a value")?;
                 args.shards = v.parse().map_err(|_| format!("bad --shards value `{v}`"))?;
             }
+            "--chunk-size" => {
+                let v = it.next().ok_or("--chunk-size needs a value")?;
+                args.chunk_size = v.parse().map_err(|_| format!("bad --chunk-size value `{v}`"))?;
+                if args.chunk_size == 0 {
+                    return Err("--chunk-size must be at least 1".to_string());
+                }
+            }
             "--mode" => {
                 let v = it.next().ok_or("--mode needs closed|open")?;
                 args.open_loop = match v.as_str() {
@@ -146,6 +164,8 @@ fn parse_args() -> Result<Args, String> {
                      --analytics N     analytics templates (default 24)\n  \
                      --workers N       service worker threads (default 8)\n  \
                      --shards N        view-store lock stripes (default 16)\n  \
+                     --chunk-size N    rows per execution chunk (default 2048; results\n                    \
+                     are byte-identical at any value)\n  \
                      --mode M          closed|open load generation (default closed)\n  \
                      --min-speedup S   auto, or a required N-worker/1-worker ratio\n  \
                      --store-dir P     directory for the durable-store leg (default:\n                    \
@@ -210,6 +230,7 @@ fn main() -> ExitCode {
     });
     let mut cfg = DriverConfig::enabled(args.days);
     cfg.cluster.total_containers = 200;
+    cfg.chunk_size = args.chunk_size;
 
     let svc = |workers: usize| ServiceConfig {
         workers,
@@ -260,6 +281,13 @@ fn main() -> ExitCode {
     if ephemeral_store {
         let _ = std::fs::remove_dir_all(&store_root);
     }
+
+    // ---- Morsel scaling leg: one heavy query, chunks across the pool. ----
+    let morsel_counts: Vec<usize> =
+        [1usize, 2, 4, 8].into_iter().filter(|&w| w == 1 || w <= args.workers).collect();
+    let morsel =
+        cv_workload::run_morsel_scaling(args.seed, 120_000, args.chunk_size, &morsel_counts, 3)
+            .expect("morsel scaling benchmark");
 
     // ---- Contracts. ----
     let mut problems: Vec<String> = Vec::new();
@@ -327,6 +355,38 @@ fn main() -> ExitCode {
         }
     }
 
+    // Morsel gates: digest parity is unconditional; the intra-query
+    // speedup bound only binds where the host has cores to scale onto.
+    if !morsel.digests_agree() {
+        problems.push("morsel scaling digests diverge from the serial execution".to_string());
+    }
+    let morsel_speedup = morsel.speedup_at(4);
+    if host_parallelism >= 4 && morsel_counts.iter().any(|&w| w >= 4) {
+        match morsel_speedup {
+            Some(s) if s > 1.5 => {}
+            Some(s) => {
+                problems.push(format!("morsel speedup {s:.2}x at 4+ workers below required 1.50x"))
+            }
+            None => problems.push("morsel scaling curve missing its endpoints".to_string()),
+        }
+    } else {
+        println!(
+            "  [morsel speedup check skipped: host has {host_parallelism} hardware thread(s)]"
+        );
+    }
+
+    // Pool accounting contract: overhead is the pool's residue around the
+    // parallel phase and must never dominate it (both terms now share the
+    // ready-barrier epoch).
+    if many.service.parallel_wall_seconds > 0.0
+        && many.service.pool_overhead_seconds >= many.service.parallel_wall_seconds
+    {
+        problems.push(format!(
+            "pool overhead {:.4}s is not below the parallel wall {:.4}s",
+            many.service.pool_overhead_seconds, many.service.parallel_wall_seconds
+        ));
+    }
+
     let bound = pipelining_savings_bound(&many.repo, many.ledger.records());
     let realized = many.service.realized_pipelining_savings;
     let s = &many.service;
@@ -371,6 +431,19 @@ fn main() -> ExitCode {
         s.max_inflight,
         s.max_queue_depth
     );
+    let curve: Vec<String> = morsel
+        .points
+        .iter()
+        .map(|p| format!("{}w {:.1}ms", p.workers, p.wall_seconds * 1e3))
+        .collect();
+    println!(
+        "  morsel scaling ({} rows, chunk {}, {} chunks)  {}  digests {}",
+        morsel.rows,
+        morsel.chunk_size,
+        morsel.chunks,
+        curve.join(" / "),
+        if morsel.digests_agree() { "match" } else { "DIVERGE" }
+    );
     println!(
         "  durable store ({}w)         {} WAL records / {} fsyncs / {} checkpoints, \
          cache hit rate {:.2}, digests {}",
@@ -383,6 +456,17 @@ fn main() -> ExitCode {
     );
 
     let digests_match = many.result_digests == sequential.result_digests;
+    let scaling = match morsel.to_json() {
+        Json::Obj(mut m) => {
+            m.insert("speedup_at_4w", morsel_speedup.unwrap_or(0.0));
+            m.insert(
+                "speedup_gate_enforced",
+                host_parallelism >= 4 && morsel_counts.iter().any(|&w| w >= 4),
+            );
+            Json::Obj(m)
+        }
+        other => other,
+    };
     let bench = json!({
         "workload": json!({
             "days": args.days,
@@ -394,6 +478,8 @@ fn main() -> ExitCode {
         }),
         "workers": args.workers as u64,
         "shards": s.shards as u64,
+        "chunk_size": args.chunk_size as u64,
+        "scaling": scaling,
         "exec_wall_seconds_1w": one.service.exec_wall_seconds,
         "exec_wall_seconds_nw": many.service.exec_wall_seconds,
         "parallel_wall_seconds_1w": one.service.parallel_wall_seconds,
@@ -423,6 +509,8 @@ fn main() -> ExitCode {
             "pipelined_reads": s.pipelined_reads,
             "flight_waits": s.flight_waits,
             "duplicate_materializations": s.duplicate_materializations,
+            "chunks_spooled": s.chunks_spooled,
+            "chunk_assembled_reads": s.chunk_assembled_reads,
         }),
         "digest_checksum": digest_checksum(&many.result_digests),
         "digests_match_sequential": digests_match,
