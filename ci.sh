@@ -36,19 +36,24 @@ rm -rf "$crash_dir"
 
 echo "==> cv-serve smoke gate (digest equality + trace structure across worker counts)"
 trace_json="$(mktemp)"
+metrics_json="$(mktemp)"
 cargo run --release -q --bin cv-serve -- --days 3 --scale 0.05 --analytics 12 \
   --seed 42 --workers 8 --min-speedup auto --bench BENCH_service.json \
-  --trace "$trace_json" \
+  --op-state-cache --trace "$trace_json" --metrics "$metrics_json" \
   > /dev/null || { echo "cv-serve: service contract violated"; exit 1; }
 
 echo "==> trace + bench artifact validation"
-python3 - "$trace_json" <<'EOF'
+python3 - "$trace_json" "$metrics_json" <<'EOF'
 import json, sys
 trace = json.load(open(sys.argv[1]))
 events = trace["traceEvents"]
 assert events, "trace has no events"
 assert all("name" in e and e["ph"] in ("X", "i") for e in events), "malformed trace event"
 assert {e["pid"] for e in events} >= {1, 2}, "service or cluster timeline missing"
+metrics = json.load(open(sys.argv[2]))
+for key in ("op_state.hits", "op_state.misses", "op_state.published",
+            "op_state.cross_job_hits", "op_state.evicted", "op_state.purged"):
+    assert key in metrics, f"metrics dump missing {key}"
 bench = json.load(open("BENCH_service.json"))
 phases = bench["phase_wall_seconds"]
 for key in ("compile", "execute_parallel", "execute_pool", "commit", "pool_overhead"):
@@ -79,10 +84,26 @@ store = bench["store"]
 assert store["digests_match_sequential"] is True, "durable-store digest contract violated"
 assert store["bytes_written_durably"] > 0, "durable leg wrote nothing"
 assert store["wal_records_written"] > 0, "durable leg logged no WAL records"
+# Operator-state cache leg: recurring jobs must reuse breaker state built
+# by *other* jobs, skip real build wall time, and never move a digest —
+# checked at 1 worker and at 8 workers against the cache-off reference.
+op = bench["op_state"]
+assert op["enabled"] is True, "op-state leg did not run"
+assert op["cross_job_hits"] > 0, "no cross-job operator-state hits at seed 42"
+assert op["build_wall_avoided_seconds"] > 0, "op-state cache avoided no build wall"
+assert op["digests_match_off_1w"] is True, "op-state cache moved 1-worker digests"
+assert op["digests_match_off_nw"] is True, "op-state cache moved 8-worker digests"
+assert op["digest_checksum_on_1w"] == op["digest_checksum_off"], \
+    "1-worker cache-on checksum diverges from cache-off"
+assert op["digest_checksum_on_nw"] == op["digest_checksum_off"], \
+    "8-worker cache-on checksum diverges from cache-off"
+assert op["resident_bytes"] <= op["budget_bytes"], "op-state cache blew its budget"
 print(f"    trace OK ({len(events)} events), phase breakdown OK, durable store OK, "
-      f"scaling OK ({scaling['chunks']} chunks, {scaling_note})")
+      f"scaling OK ({scaling['chunks']} chunks, {scaling_note}), "
+      f"op-state OK ({op['hits']} hits, {op['cross_job_hits']} cross-job, "
+      f"{op['build_wall_avoided_seconds']*1e3:.2f}ms build wall avoided)")
 EOF
-rm -f "$trace_json"
+rm -f "$trace_json" "$metrics_json"
 
 echo "==> chunk-size parity gate (same workload, different morsel granularity)"
 chunk_bench="$(mktemp)"

@@ -2,8 +2,8 @@
 //! registry and optimizer — one simulated SCOPE engine instance per cluster.
 
 use crate::exec::{
-    execute, ExecContext, ExecMetrics, ExecOutcome, MorselRunner, PendingView, SerialRunner,
-    SpoolSink,
+    execute, ExecContext, ExecMetrics, ExecOutcome, MorselRunner, OpStateSource, PendingView,
+    SerialRunner, SpoolSink,
 };
 use crate::optimizer::{
     AlwaysGrant, BuildCoordinator, OptimizeOutcome, Optimizer, OptimizerConfig, ReuseContext,
@@ -52,6 +52,10 @@ pub struct QueryEngine {
     /// Morsel runner shared by every execution; serial unless the service
     /// layer plugs in its pool-backed runner.
     pub runner: Arc<dyn MorselRunner>,
+    /// Operator-state cache shared by every execution, if configured.
+    /// Callers needing per-job attribution (cross-job hit accounting) pass a
+    /// tagged source to [`QueryEngine::execute_with_states`] instead.
+    pub op_states: Option<Arc<dyn OpStateSource>>,
 }
 
 impl Default for QueryEngine {
@@ -73,6 +77,7 @@ impl QueryEngine {
             optimizer: Optimizer::new(cfg),
             chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
             runner: Arc::new(SerialRunner),
+            op_states: None,
         }
     }
 
@@ -142,10 +147,26 @@ impl QueryEngine {
         obs: Option<&dyn crate::obs::ObsSink>,
         spool_sink: Option<&dyn SpoolSink>,
     ) -> Result<ExecOutcome> {
+        self.execute_with_states(physical, views, now, obs, spool_sink, self.op_states.as_deref())
+    }
+
+    /// [`Self::execute_with_sink`] with an explicit operator-state source
+    /// overriding the engine-level one — the service path wraps the shared
+    /// cache in a per-job tag so hits can be attributed across jobs.
+    pub fn execute_with_states(
+        &self,
+        physical: &PhysicalPlan,
+        views: &dyn ViewSource,
+        now: SimTime,
+        obs: Option<&dyn crate::obs::ObsSink>,
+        spool_sink: Option<&dyn SpoolSink>,
+        op_states: Option<&dyn OpStateSource>,
+    ) -> Result<ExecOutcome> {
         let mut ctx = ExecContext::new(&self.catalog, views, &self.udos, now)
             .with_chunking(self.chunk_size, self.runner.clone());
         ctx.obs = obs;
         ctx.spool_sink = spool_sink;
+        ctx.op_states = op_states;
         execute(physical, &mut ctx, &self.optimizer.cfg.cost)
     }
 

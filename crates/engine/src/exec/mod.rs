@@ -15,13 +15,15 @@
 //! # Chunked execution
 //!
 //! Streamable operators — filter, project, the hash-join *probe* side,
-//! limit, and the evaluation phase of hash aggregation — process their
-//! input as a sequence of fixed-size chunks
-//! ([`cv_data::chunk::DEFAULT_CHUNK_SIZE`] rows) and fan the chunks out
-//! through the context's [`MorselRunner`], so a single heavy job spreads
-//! across the service's worker pool. Pipeline breakers — sorts, join build
-//! sides, merge/loop joins, unions, UDOs, spools, aggregate accumulation —
-//! materialize via [`Table::from_chunks`].
+//! limit, and both the evaluation phase and the final merge emission of
+//! hash aggregation — process their input as a sequence of fixed-size
+//! chunks ([`cv_data::chunk::DEFAULT_CHUNK_SIZE`] rows) and fan the chunks
+//! out through the context's [`MorselRunner`], so a single heavy job
+//! spreads across the service's worker pool. Pipeline breakers — sorts,
+//! join build sides, merge/loop joins, unions, UDOs, spools, aggregate
+//! accumulation — materialize via [`Table::from_chunks`]. Breaker states
+//! (join builds, finished aggregate/sort output) can additionally be
+//! restored from an [`OpStateSource`] instead of rebuilt; see [`opstate`].
 //!
 //! Two invariants keep results *byte-identical* at every chunk size and
 //! worker count:
@@ -36,6 +38,7 @@
 
 mod keys;
 pub mod morsel;
+pub mod opstate;
 
 use crate::cost::CostModel;
 use crate::expr::eval::{eval, eval_predicate, EvalCtx};
@@ -50,12 +53,13 @@ use cv_common::{CvError, Result, SimTime};
 use cv_data::catalog::DatasetCatalog;
 use cv_data::chunk::{chunk_ranges, ChunkedTable};
 use cv_data::column::{Column, ColumnBuilder, ColumnData};
-use cv_data::schema::SchemaRef;
+use cv_data::schema::{Schema, SchemaRef};
 use cv_data::table::Table;
 use cv_data::value::Value;
 use cv_data::viewstore::ViewSource;
 use keys::KeyCols;
 pub use morsel::{MorselRunner, SerialRunner};
+pub use opstate::{OpState, OpStateAcquire, OpStateEntry, OpStateSource};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -87,6 +91,9 @@ pub struct ExecContext<'a> {
     /// Per-operator observability hooks; `None` keeps the hot path free of
     /// timing calls entirely (a single branch per operator).
     pub obs: Option<&'a dyn ObsSink>,
+    /// Operator-state cache for pipeline breakers (hash-join builds,
+    /// aggregate states, sort runs); `None` disables reuse entirely.
+    pub op_states: Option<&'a dyn OpStateSource>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -107,6 +114,7 @@ impl<'a> ExecContext<'a> {
             runner: Arc::new(SerialRunner),
             spool_sink: None,
             obs: None,
+            op_states: None,
         }
     }
 
@@ -129,6 +137,11 @@ impl<'a> ExecContext<'a> {
 
     pub fn with_spool_sink(mut self, sink: &'a dyn SpoolSink) -> ExecContext<'a> {
         self.spool_sink = Some(sink);
+        self
+    }
+
+    pub fn with_op_states(mut self, src: &'a dyn OpStateSource) -> ExecContext<'a> {
+        self.op_states = Some(src);
         self
     }
 }
@@ -177,6 +190,19 @@ pub struct ExecMetrics {
     /// failure lands here; the driver denylists them in the view store and
     /// the insights service.
     pub quarantined_sigs: Vec<Sig128>,
+    /// Pipeline-breaker states restored from the operator-state cache.
+    pub op_state_hits: u64,
+    /// Breaker keys that were derivable but not resident (built inline,
+    /// published when this execution held the claim).
+    pub op_state_misses: u64,
+    /// States this execution built and published to the cache.
+    pub op_state_published: u64,
+    /// Work units of skipped builds, credited from each hit entry's
+    /// recorded build cost.
+    pub op_state_work_avoided: f64,
+    /// Measured wall seconds of skipped builds (the `build_wall_avoided`
+    /// currency in BENCH reports).
+    pub op_state_wall_avoided: f64,
 }
 
 /// A view captured by a spool, not yet sealed into the store.
@@ -402,15 +428,104 @@ fn exec_node_inner(
             record(metrics, plan, &out, work, None);
             Ok(out)
         }
-        PhysicalPlan::Join { algo, kind, on, left, right, .. } => {
+        PhysicalPlan::Join { algo, kind, on, left, right, swapped, .. } => {
             let l = exec_node(left, ctx, model, metrics, pending)?;
-            let r = exec_node(right, ctx, model, metrics, pending)?;
+            // Operator-state reuse applies to the hash build side only:
+            // derive the build key and ask the source before executing the
+            // right subtree at all.
+            let mut hit: Option<Arc<OpStateEntry>> = None;
+            let mut claimed = false;
+            let mut key: Option<Sig128> = None;
+            if *algo == JoinAlgo::Hash {
+                if let Some(src) = ctx.op_states {
+                    if let Some(k) = opstate::join_build_key(right, on) {
+                        key = Some(k);
+                        match src.acquire(k) {
+                            OpStateAcquire::Hit(e) if matches!(*e.state, OpState::JoinBuild(_)) => {
+                                hit = Some(e)
+                            }
+                            OpStateAcquire::Hit(_) => {}
+                            OpStateAcquire::Build { claimed: c } => claimed = c,
+                        }
+                    }
+                }
+            }
+            if let Some(entry) = hit {
+                // A restored build must still honor the stale-plan check
+                // the skipped scans would have made.
+                opstate::validate_scan_guids(right, ctx.catalog)?;
+                let OpState::JoinBuild(jb) = &*entry.state else { unreachable!() };
+                metrics.op_state_hits += 1;
+                metrics.op_state_work_avoided += entry.build_work;
+                metrics.op_state_wall_avoided += entry.build_wall;
+                if let Some(obs) = ctx.obs {
+                    obs.op_state_hit("join_build", key.expect("hit implies key"));
+                }
+                // The stage builder zips profiles 1:1 against the plan
+                // tree: emit zero-work placeholders for the skipped
+                // subtree, in the same postorder execution would have.
+                push_skipped_profiles(right, metrics);
+                metrics.data_read_bytes += l.byte_size() + jb.table.byte_size();
+                let (out, probe_chunks) = hash_join_probe(&l, jb, on, *kind, ctx)?;
+                let out = restore_swapped_columns(out, *swapped, l.schema().len())?;
+                metrics.join_algos.hash += 1;
+                let (ln, rn) = (l.num_rows() as f64, jb.table.num_rows() as f64);
+                let work = model.hash_join_warm(rn, ln).total()
+                    + model.morsel_dispatch(probe_chunks as f64).total();
+                record(metrics, plan, &out, work, None);
+                return Ok(out);
+            }
+            if key.is_some() {
+                metrics.op_state_misses += 1;
+                if let Some(obs) = ctx.obs {
+                    obs.op_state_miss("join_build");
+                }
+            }
+            let build_work_before = metrics.total_work;
+            let build_started = std::time::Instant::now();
+            let r = match exec_node(right, ctx, model, metrics, pending) {
+                Ok(t) => t,
+                Err(e) => {
+                    if claimed {
+                        abandon_claim(ctx, key);
+                    }
+                    return Err(e);
+                }
+            };
             metrics.data_read_bytes += l.byte_size() + r.byte_size();
             let (out, probe_chunks) = match algo {
-                JoinAlgo::Hash => hash_join(&l, &r, on, *kind, ctx)?,
+                JoinAlgo::Hash => {
+                    let jb = match build_join_state(&r, on) {
+                        Ok(jb) => jb,
+                        Err(e) => {
+                            if claimed {
+                                abandon_claim(ctx, key);
+                            }
+                            return Err(e);
+                        }
+                    };
+                    let state = Arc::new(OpState::JoinBuild(jb));
+                    if claimed {
+                        let build_wall = build_started.elapsed().as_secs_f64();
+                        let build_work = metrics.total_work - build_work_before
+                            + model.hash_build(r.num_rows() as f64).total();
+                        publish_state(
+                            ctx,
+                            metrics,
+                            right,
+                            key,
+                            state.clone(),
+                            build_work,
+                            build_wall,
+                        );
+                    }
+                    let OpState::JoinBuild(jb) = &*state else { unreachable!() };
+                    hash_join_probe(&l, jb, on, *kind, ctx)?
+                }
                 JoinAlgo::Merge => (merge_join(&l, &r, on, *kind)?, 1),
                 JoinAlgo::Loop => (loop_join(&l, &r, on, *kind)?, 1),
             };
+            let out = restore_swapped_columns(out, *swapped, l.schema().len())?;
             match algo {
                 JoinAlgo::Hash => metrics.join_algos.hash += 1,
                 JoinAlgo::Merge => metrics.join_algos.merge += 1,
@@ -428,28 +543,98 @@ fn exec_node_inner(
             Ok(out)
         }
         PhysicalPlan::HashAggregate { group_by, aggs, schema, input, .. } => {
-            let in_table = exec_node(input, ctx, model, metrics, pending)?;
+            let acq = acquire_breaker(ctx, metrics, "agg_state", || {
+                opstate::agg_state_key(input, group_by, aggs)
+            });
+            if let Some(out) = restore_table_state(ctx, metrics, input, &acq, |s| match s {
+                OpState::AggOutput(t) => Some(t),
+                _ => None,
+            })? {
+                record(metrics, plan, &out, 0.0, None);
+                return Ok(out);
+            }
+            let build_work_before = metrics.total_work;
+            let build_started = std::time::Instant::now();
+            let in_table = match exec_node(input, ctx, model, metrics, pending) {
+                Ok(t) => t,
+                Err(e) => {
+                    if acq.claimed {
+                        abandon_claim(ctx, acq.key);
+                    }
+                    return Err(e);
+                }
+            };
             metrics.data_read_bytes += in_table.byte_size();
-            let (out, chunks) = hash_aggregate(&in_table, group_by, aggs, schema, ctx)?;
+            let (out, chunks) = match hash_aggregate(&in_table, group_by, aggs, schema, ctx) {
+                Ok(v) => v,
+                Err(e) => {
+                    if acq.claimed {
+                        abandon_claim(ctx, acq.key);
+                    }
+                    return Err(e);
+                }
+            };
             let work = model.hash_aggregate(in_table.num_rows() as f64, aggs.len()).total()
                 + model.morsel_dispatch(chunks as f64).total();
             record(metrics, plan, &out, work, None);
+            if acq.claimed {
+                let build_wall = build_started.elapsed().as_secs_f64();
+                let build_work = metrics.total_work - build_work_before;
+                let state = Arc::new(OpState::AggOutput(out.clone()));
+                publish_state(ctx, metrics, input, acq.key, state, build_work, build_wall);
+            }
             Ok(out)
         }
         PhysicalPlan::Sort { keys, input, .. } => {
-            let in_table = exec_node(input, ctx, model, metrics, pending)?;
-            metrics.data_read_bytes += in_table.byte_size();
-            let mut resolved = Vec::with_capacity(keys.len());
-            for (name, asc) in keys {
-                let idx = in_table
-                    .schema()
-                    .index_of(name)
-                    .ok_or_else(|| CvError::exec(format!("sort key `{name}` missing")))?;
-                resolved.push((idx, *asc));
+            let acq =
+                acquire_breaker(ctx, metrics, "sort_run", || opstate::sort_state_key(input, keys));
+            if let Some(out) = restore_table_state(ctx, metrics, input, &acq, |s| match s {
+                OpState::SortRun(t) => Some(t),
+                _ => None,
+            })? {
+                record(metrics, plan, &out, 0.0, None);
+                return Ok(out);
             }
-            let out = in_table.sort_by(&resolved)?;
+            let build_work_before = metrics.total_work;
+            let build_started = std::time::Instant::now();
+            let in_table = match exec_node(input, ctx, model, metrics, pending) {
+                Ok(t) => t,
+                Err(e) => {
+                    if acq.claimed {
+                        abandon_claim(ctx, acq.key);
+                    }
+                    return Err(e);
+                }
+            };
+            metrics.data_read_bytes += in_table.byte_size();
+            let sorted = (|| -> Result<Table> {
+                let mut resolved = Vec::with_capacity(keys.len());
+                for (name, asc) in keys {
+                    let idx = in_table
+                        .schema()
+                        .index_of(name)
+                        .ok_or_else(|| CvError::exec(format!("sort key `{name}` missing")))?;
+                    resolved.push((idx, *asc));
+                }
+                in_table.sort_by(&resolved)
+            })();
+            let out = match sorted {
+                Ok(t) => t,
+                Err(e) => {
+                    if acq.claimed {
+                        abandon_claim(ctx, acq.key);
+                    }
+                    return Err(e);
+                }
+            };
             let work = model.sort(in_table.num_rows() as f64).total();
             record(metrics, plan, &out, work, None);
+            if acq.claimed {
+                let build_wall = build_started.elapsed().as_secs_f64();
+                let build_work = metrics.total_work - build_work_before;
+                let state = Arc::new(OpState::SortRun(out.clone()));
+                publish_state(ctx, metrics, input, acq.key, state, build_work, build_wall);
+            }
             Ok(out)
         }
         PhysicalPlan::Limit { n, input, .. } => {
@@ -516,11 +701,124 @@ fn exec_node_inner(
     }
 }
 
+/// One breaker's cache negotiation: the derived key (if the subtree is
+/// reuse-safe and a source is installed), a resident hit, or a
+/// single-flight claim obligating this execution to publish or abandon.
+struct BreakerAcq {
+    key: Option<Sig128>,
+    kind: &'static str,
+    hit: Option<Arc<OpStateEntry>>,
+    claimed: bool,
+}
+
+fn acquire_breaker(
+    ctx: &ExecContext<'_>,
+    metrics: &mut ExecMetrics,
+    kind: &'static str,
+    derive_key: impl FnOnce() -> Option<Sig128>,
+) -> BreakerAcq {
+    let mut acq = BreakerAcq { key: None, kind, hit: None, claimed: false };
+    let Some(src) = ctx.op_states else { return acq };
+    let Some(key) = derive_key() else { return acq };
+    acq.key = Some(key);
+    match src.acquire(key) {
+        OpStateAcquire::Hit(e) => acq.hit = Some(e),
+        OpStateAcquire::Build { claimed } => {
+            acq.claimed = claimed;
+            metrics.op_state_misses += 1;
+            if let Some(obs) = ctx.obs {
+                obs.op_state_miss(kind);
+            }
+        }
+    }
+    acq
+}
+
+/// Restore a whole-table breaker state (aggregate output, sort run): guid
+/// validation, hit accounting, and placeholder profiles for the skipped
+/// input subtree. Returns `Ok(None)` when there is no usable hit.
+fn restore_table_state(
+    ctx: &ExecContext<'_>,
+    metrics: &mut ExecMetrics,
+    subtree: &PhysicalPlan,
+    acq: &BreakerAcq,
+    pick: impl FnOnce(&OpState) -> Option<&Table>,
+) -> Result<Option<Table>> {
+    let Some(entry) = &acq.hit else { return Ok(None) };
+    let Some(table) = pick(&entry.state) else { return Ok(None) };
+    opstate::validate_scan_guids(subtree, ctx.catalog)?;
+    metrics.op_state_hits += 1;
+    metrics.op_state_work_avoided += entry.build_work;
+    metrics.op_state_wall_avoided += entry.build_wall;
+    if let Some(obs) = ctx.obs {
+        obs.op_state_hit(acq.kind, acq.key.expect("hit implies key"));
+    }
+    push_skipped_profiles(subtree, metrics);
+    metrics.data_read_bytes += table.byte_size();
+    Ok(Some(table.clone()))
+}
+
+fn state_bytes(state: &OpState) -> u64 {
+    match state {
+        OpState::JoinBuild(jb) => jb.byte_size(),
+        OpState::AggOutput(t) | OpState::SortRun(t) => t.byte_size(),
+    }
+}
+
+/// Publish a freshly built breaker state under a held claim.
+fn publish_state(
+    ctx: &ExecContext<'_>,
+    metrics: &mut ExecMetrics,
+    subtree: &PhysicalPlan,
+    key: Option<Sig128>,
+    state: Arc<OpState>,
+    build_work: f64,
+    build_wall: f64,
+) {
+    let (Some(src), Some(key)) = (ctx.op_states, key) else { return };
+    let (dep_sigs, scan_deps) = opstate::state_deps(subtree);
+    let bytes = state_bytes(&state);
+    let kind = state.kind();
+    metrics.op_state_published += 1;
+    if let Some(obs) = ctx.obs {
+        obs.op_state_published(kind, bytes);
+    }
+    src.publish(key, OpStateEntry { state, bytes, build_work, build_wall, dep_sigs, scan_deps });
+}
+
+/// Release a held claim after a failed build so waiters degrade to inline
+/// builds instead of timing out.
+fn abandon_claim(ctx: &ExecContext<'_>, key: Option<Sig128>) {
+    if let (Some(src), Some(key)) = (ctx.op_states, key) {
+        src.abandon(key);
+    }
+}
+
+/// Emit zero-work placeholder profiles for a subtree a cache hit skipped,
+/// in the postorder execution would have produced, so the cluster stage
+/// builder's 1:1 profile/plan zip still holds. Skipped subtrees never
+/// contain spools (their keys are underivable), so no spool profile or
+/// pending view can be lost here.
+fn push_skipped_profiles(plan: &PhysicalPlan, metrics: &mut ExecMetrics) {
+    for c in plan.children() {
+        push_skipped_profiles(c, metrics);
+    }
+    metrics.op_profiles.push(OpProfile {
+        kind: plan.kind_name(),
+        rows_out: 0,
+        bytes_out: 0,
+        work: 0.0,
+        partitions: plan.partitions(),
+        spool_sig: None,
+    });
+}
+
 /// Hash-table keys coming out of the key kernel are already
 /// avalanche-mixed, so the join/aggregate maps use them verbatim instead of
-/// paying SipHash per lookup.
+/// paying SipHash per lookup. Public because snapshot types in
+/// [`opstate`] carry these maps across executions.
 #[derive(Default)]
-struct PreHashed(u64);
+pub struct PreHashed(u64);
 
 impl std::hash::Hasher for PreHashed {
     fn finish(&self) -> u64 {
@@ -534,7 +832,7 @@ impl std::hash::Hasher for PreHashed {
     }
 }
 
-type PreHashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PreHashed>>;
+pub type PreHashedMap<V> = HashMap<u64, V, std::hash::BuildHasherDefault<PreHashed>>;
 
 /// Row-at-a-time key equality — reference semantics, kept for `loop_join`
 /// (the differential baseline the vectorized paths are tested against).
@@ -583,6 +881,25 @@ fn build_join_output(
     join_output_from_indices(left, right, &left_idx, &right_idx, kind)
 }
 
+/// Rotate a side-swapped join's output columns back into the logical
+/// order. The lowered plan emits `lowered_left ++ lowered_right`; for a
+/// swapped join that is `logical_right ++ logical_left`, so the first
+/// `probe_width` columns move to the back. Column handles are shared, so
+/// this is O(columns), not O(rows).
+fn restore_swapped_columns(out: Table, swapped: bool, probe_width: usize) -> Result<Table> {
+    if !swapped {
+        return Ok(out);
+    }
+    let fields: Vec<_> = out.schema().fields()[probe_width..]
+        .iter()
+        .chain(&out.schema().fields()[..probe_width])
+        .cloned()
+        .collect();
+    let mut columns = out.columns()[probe_width..].to_vec();
+    columns.extend_from_slice(&out.columns()[..probe_width]);
+    Table::new(Schema::new(fields)?.into_ref(), columns)
+}
+
 fn join_output_from_indices(
     left: &Table,
     right: &Table,
@@ -604,17 +921,36 @@ fn join_output_from_indices(
     Table::new(schema, columns)
 }
 
-fn hash_join(
-    left: &Table,
-    right: &Table,
-    on: &[(String, String)],
-    kind: JoinKind,
-    ctx: &ExecContext<'_>,
-) -> Result<(Table, usize)> {
-    let (lk, rk) = resolve_keys(left, right, on)?;
+/// The finished hash-join build side — a pipeline-breaker state the
+/// operator-state cache can snapshot and restore: the materialized build
+/// table, its resolved key column indices, and the hash→rows map.
+#[derive(Debug)]
+pub struct JoinBuildState {
+    pub table: Table,
+    pub key_cols: Vec<usize>,
+    pub ht: PreHashedMap<Vec<usize>>,
+}
+
+impl JoinBuildState {
+    /// Approximate resident bytes: the table plus hash-map overhead.
+    pub fn byte_size(&self) -> u64 {
+        self.table.byte_size() + self.ht.len() as u64 * 48
+    }
+}
+
+/// Build side is a pipeline breaker: hash the build table column-wise in
+/// one pass and construct the lookup map before any probe chunk runs.
+fn build_join_state(right: &Table, on: &[(String, String)]) -> Result<JoinBuildState> {
+    let mut rk = Vec::with_capacity(on.len());
+    for (_, name) in on {
+        rk.push(
+            right
+                .schema()
+                .index_of(name)
+                .ok_or_else(|| CvError::exec(format!("right join key `{name}` missing")))?,
+        );
+    }
     let rkeys = KeyCols::from_table(right, &rk);
-    // Build side is a pipeline breaker: hash the right side column-wise in
-    // one pass and build the table before any probe chunk runs.
     let (rh, rvalid) = rkeys.join_hashes();
     let mut ht: PreHashedMap<Vec<usize>> = PreHashedMap::default();
     for row in 0..right.num_rows() {
@@ -622,10 +958,31 @@ fn hash_join(
             ht.entry(rh[row]).or_default().push(row);
         }
     }
-    // The probe side streams chunk-at-a-time against the shared build
-    // table. Each chunk emits its own output slice (chunk-local left rows
-    // ascending, candidates ascending), so chunk-order reassembly
-    // reproduces the monolithic emit order exactly.
+    Ok(JoinBuildState { table: right.clone(), key_cols: rk, ht })
+}
+
+/// The probe side streams chunk-at-a-time against the (possibly restored)
+/// build state. Each chunk emits its own output slice (chunk-local left
+/// rows ascending, candidates ascending), so chunk-order reassembly
+/// reproduces the monolithic emit order exactly.
+fn hash_join_probe(
+    left: &Table,
+    state: &JoinBuildState,
+    on: &[(String, String)],
+    kind: JoinKind,
+    ctx: &ExecContext<'_>,
+) -> Result<(Table, usize)> {
+    let mut lk = Vec::with_capacity(on.len());
+    for (name, _) in on {
+        lk.push(
+            left.schema()
+                .index_of(name)
+                .ok_or_else(|| CvError::exec(format!("left join key `{name}` missing")))?,
+        );
+    }
+    let right = &state.table;
+    let rkeys = KeyCols::from_table(right, &state.key_cols);
+    let ht = &state.ht;
     let probe = |chunk: &Table| -> Result<Table> {
         let lkeys = KeyCols::from_table(chunk, &lk);
         let (lh, lvalid) = lkeys.join_hashes();
@@ -933,35 +1290,37 @@ impl Acc {
         Ok(())
     }
 
-    fn finish(self, arg: &ArgView<'_>) -> Value {
+    /// Read out the final value. Takes `&self` so the chunked output
+    /// emitter can finish groups from shared state in parallel.
+    fn finish(&self, arg: &ArgView<'_>) -> Value {
         match self {
-            Acc::Count(c) => Value::Int(c),
+            Acc::Count(c) => Value::Int(*c),
             Acc::Distinct(set) => Value::Int(set.len() as i64),
             Acc::SumInt { total, any } => {
-                if any {
-                    Value::Int(total)
+                if *any {
+                    Value::Int(*total)
                 } else {
                     Value::Null
                 }
             }
             Acc::SumFloat { total, any, int_out } => {
-                if !any {
+                if !*any {
                     Value::Null
-                } else if int_out {
-                    Value::Int(total as i64)
+                } else if *int_out {
+                    Value::Int(*total as i64)
                 } else {
-                    Value::Float(total)
+                    Value::Float(*total)
                 }
             }
             Acc::MinRow(best) | Acc::MaxRow(best) => match best {
-                Some((chunk, row)) => arg.at(chunk).map_or(Value::Null, |col| col.value(row)),
+                Some((chunk, row)) => arg.at(*chunk).map_or(Value::Null, |col| col.value(*row)),
                 None => Value::Null,
             },
             Acc::Avg { total, count } => {
-                if count == 0 {
+                if *count == 0 {
                     Value::Null
                 } else {
-                    Value::Float(total / count as f64)
+                    Value::Float(total / *count as f64)
                 }
             }
         }
@@ -1059,37 +1418,68 @@ fn hash_aggregate(
         groups.push(Group { first: (0, 0), accs: new_accs() });
     }
 
-    // Key columns rebuilt from each group's representative cell. Builders
-    // produce the canonical validity form, so output bytes are independent
-    // of which chunk a representative landed in.
-    let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
-    for (k, key0) in keys_by_chunk[0].iter().enumerate().take(group_by.len()) {
-        let mut b = ColumnBuilder::with_capacity(key0.dtype(), groups.len());
-        for g in &groups {
-            b.push(&keys_by_chunk[g.first.0][k].value(g.first.1))?;
+    // Canonical output order: sort group ids by their representative key
+    // cells ascending (NULLs first), the exact order `Table::sort_by` over
+    // the key columns produces. First-encounter order is an artifact of
+    // input row order; sorting makes aggregate output a pure function of
+    // the input *multiset*, so an incrementally maintained aggregate
+    // (cv-ivm) emitted from group state is byte-identical to inline
+    // execution. Distinct groups never compare equal, so the order is
+    // total and stability is irrelevant.
+    let mut order: Vec<usize> = (0..groups.len()).collect();
+    if !group_by.is_empty() {
+        order.sort_by(|&a, &b| {
+            let (ac, ar) = groups[a].first;
+            let (bc, br) = groups[b].first;
+            for (ka, kb) in keys_by_chunk[ac].iter().zip(&keys_by_chunk[bc]).take(group_by.len()) {
+                let o = keys::cmp_cells(ka, ar, kb, br);
+                if o != std::cmp::Ordering::Equal {
+                    return o;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    // Final merge streams chunk-at-a-time: each output chunk rebuilds its
+    // slice of key columns from representative cells and finishes its
+    // accumulators independently, then chunk-order reassembly normalizes —
+    // no monolithic materialize-then-sort. Builders produce the canonical
+    // validity form, so output bytes are independent of which chunk a
+    // representative landed in and of the emit fan-out.
+    let emit = |off: usize, len: usize| -> Result<Table> {
+        let mut columns: Vec<Column> = Vec::with_capacity(schema.len());
+        for (k, key0) in keys_by_chunk[0].iter().enumerate().take(group_by.len()) {
+            let mut b = ColumnBuilder::with_capacity(key0.dtype(), len);
+            for &g in &order[off..off + len] {
+                let (gc, gr) = groups[g].first;
+                b.push(&keys_by_chunk[gc][k].value(gr))?;
+            }
+            columns.push(b.finish());
         }
-        columns.push(b.finish());
-    }
-    let mut builders: Vec<ColumnBuilder> = (0..aggs.len())
-        .map(|i| ColumnBuilder::with_capacity(schema.field(group_by.len() + i).dtype, groups.len()))
-        .collect();
-    for g in groups {
-        for (i, (acc, b)) in g.accs.into_iter().zip(&mut builders).enumerate() {
-            b.push(&acc.finish(&ArgView { by_chunk: &args_by_chunk, agg: i }))?;
+        for i in 0..aggs.len() {
+            let mut b = ColumnBuilder::with_capacity(schema.field(group_by.len() + i).dtype, len);
+            let view = ArgView { by_chunk: &args_by_chunk, agg: i };
+            for &g in &order[off..off + len] {
+                b.push(&groups[g].accs[i].finish(&view))?;
+            }
+            columns.push(b.finish());
         }
-    }
-    columns.extend(builders.into_iter().map(ColumnBuilder::finish));
-    let out = Table::new(schema.clone(), columns)?;
-    if group_by.is_empty() {
-        return Ok((out, ranges.len()));
-    }
-    // Canonical output order: sort by the group-key columns ascending.
-    // First-encounter order is an artifact of input row order; sorting
-    // makes aggregate output a pure function of the input *multiset*, so
-    // an incrementally maintained aggregate (cv-ivm) emitted from group
-    // state is byte-identical to inline execution.
-    let keys: Vec<(usize, bool)> = (0..group_by.len()).map(|i| (i, true)).collect();
-    Ok((out.sort_by(&keys)?, ranges.len()))
+        Table::new(schema.clone(), columns)
+    };
+    let out_ranges = chunk_ranges(order.len(), chunk_size);
+    let out_chunks: Vec<Table> = if out_ranges.len() == 1 {
+        vec![emit(out_ranges[0].0, out_ranges[0].1)?]
+    } else {
+        morsel::run_indexed(ctx.runner.as_ref(), out_ranges.len(), &|i| {
+            let (off, len) = out_ranges[i];
+            emit(off, len)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?
+    };
+    let out = Table::from_chunks(schema.clone(), &out_chunks)?;
+    Ok((out, ranges.len() + out_ranges.len() - 1))
 }
 
 #[cfg(test)]
@@ -1194,7 +1584,7 @@ mod tests {
         // Execute the same join with each algorithm forced.
         fn force(p: &PhysicalPlan, algo: JoinAlgo) -> PhysicalPlan {
             match p.clone() {
-                PhysicalPlan::Join { kind, on, left, right, est, partitions, .. } => {
+                PhysicalPlan::Join { kind, on, left, right, est, partitions, swapped, .. } => {
                     PhysicalPlan::Join {
                         algo,
                         kind,
@@ -1203,6 +1593,7 @@ mod tests {
                         right: Box::new(force(&right, algo)),
                         est,
                         partitions,
+                        swapped,
                     }
                 }
                 other => other,
@@ -1837,5 +2228,193 @@ mod tests {
         assert_eq!(out.table.num_rows(), 80);
         // 100 rows at chunk size 30 → 4 morsels through the runner.
         assert_eq!(runner.0.load(std::sync::atomic::Ordering::Relaxed), 4);
+    }
+
+    /// Minimal in-memory `OpStateSource` for executor-level tests: always
+    /// grants the claim on a miss, keeps published entries forever.
+    #[derive(Debug, Default)]
+    struct MemOpStates {
+        entries: std::sync::Mutex<std::collections::HashMap<Sig128, Arc<OpStateEntry>>>,
+        abandoned: std::sync::atomic::AtomicU64,
+    }
+
+    impl OpStateSource for MemOpStates {
+        fn acquire(&self, key: Sig128) -> OpStateAcquire {
+            match self.entries.lock().unwrap().get(&key) {
+                Some(e) => OpStateAcquire::Hit(e.clone()),
+                None => OpStateAcquire::Build { claimed: true },
+            }
+        }
+        fn publish(&self, key: Sig128, entry: OpStateEntry) {
+            self.entries.lock().unwrap().insert(key, Arc::new(entry));
+        }
+        fn abandon(&self, _key: Sig128) {
+            self.abandoned.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        fn is_warm(&self, key: Sig128) -> bool {
+            self.entries.lock().unwrap().contains_key(&key)
+        }
+    }
+
+    fn exec_with_states(
+        physical: &PhysicalPlan,
+        model: &CostModel,
+        cat: &DatasetCatalog,
+        views: &ViewStore,
+        udos: &UdoRegistry,
+        states: Option<&dyn OpStateSource>,
+    ) -> Result<ExecOutcome> {
+        let mut ctx = ExecContext::new(cat, views, udos, SimTime::EPOCH)
+            .with_chunking(16, Arc::new(SerialRunner));
+        ctx.op_states = states;
+        execute(physical, &mut ctx, model)
+    }
+
+    fn force_hash(p: &PhysicalPlan) -> PhysicalPlan {
+        match p.clone() {
+            PhysicalPlan::Join { kind, on, left, right, est, partitions, swapped, .. } => {
+                PhysicalPlan::Join {
+                    algo: JoinAlgo::Hash,
+                    kind,
+                    on,
+                    left: Box::new(force_hash(&left)),
+                    right: Box::new(force_hash(&right)),
+                    est,
+                    partitions,
+                    swapped,
+                }
+            }
+            other => other,
+        }
+    }
+
+    #[test]
+    fn join_build_state_is_reused_across_executions() {
+        let (cat, views, udos) = setup();
+        let plan = join_plan(&cat, JoinKind::Inner);
+        let (physical, model) = optimize_physical(&plan, &cat);
+        let physical = force_hash(&physical);
+
+        let states = MemOpStates::default();
+        let cold = exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states)).unwrap();
+        assert_eq!(cold.metrics.op_state_hits, 0);
+        assert_eq!(cold.metrics.op_state_misses, 1);
+        assert_eq!(cold.metrics.op_state_published, 1);
+
+        let warm = exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states)).unwrap();
+        assert_eq!(warm.metrics.op_state_hits, 1);
+        assert_eq!(warm.metrics.op_state_published, 0);
+        assert!(warm.metrics.op_state_work_avoided > 0.0, "hit must credit the skipped build");
+
+        // The tentpole invariant: the cache never moves bytes.
+        let off = exec_with_states(&physical, &model, &cat, &views, &udos, None).unwrap();
+        assert_byte_identical(&warm.table, &off.table, "hash join warm vs cache-off");
+        assert_byte_identical(&cold.table, &off.table, "hash join cold vs cache-off");
+
+        // The skipped build side still yields placeholder profiles, so the
+        // stage builder's 1:1 plan/profile zip survives a hit.
+        assert_eq!(warm.metrics.op_profiles.len(), off.metrics.op_profiles.len());
+        let kinds = |m: &ExecMetrics| m.op_profiles.iter().map(|p| p.kind).collect::<Vec<_>>();
+        assert_eq!(kinds(&warm.metrics), kinds(&off.metrics));
+        // And the warm run did measurably less work.
+        assert!(warm.metrics.total_work < off.metrics.total_work);
+    }
+
+    #[test]
+    fn aggregate_and_sort_states_are_reused() {
+        let (cat, views, udos) = setup();
+        let agg = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .aggregate(
+                vec![(col("s_cust"), "c")],
+                vec![AggExpr::new(AggFunc::Sum, col("qty"), "sq")],
+            )
+            .unwrap()
+            .build();
+        let sort =
+            PlanBuilder::scan(&cat, "sales").unwrap().sort(&[("price", false)]).unwrap().build();
+        for plan in [agg, sort] {
+            let (physical, model) = optimize_physical(&plan, &cat);
+            let states = MemOpStates::default();
+            let cold =
+                exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states)).unwrap();
+            assert_eq!(cold.metrics.op_state_published, 1);
+            let warm =
+                exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states)).unwrap();
+            assert_eq!(warm.metrics.op_state_hits, 1);
+            let off = exec_with_states(&physical, &model, &cat, &views, &udos, None).unwrap();
+            assert_byte_identical(&warm.table, &off.table, "state restore vs cache-off");
+            assert_eq!(warm.metrics.op_profiles.len(), off.metrics.op_profiles.len());
+        }
+    }
+
+    /// A hit for a stale plan must raise the exact error the cache-off
+    /// execution would: the entry key pins the old guid, but the plan is
+    /// stale either way — the cache must not mask that.
+    #[test]
+    fn stale_plan_hit_raises_the_same_error_as_cache_off() {
+        let (mut cat, views, udos) = setup();
+        let agg = PlanBuilder::scan(&cat, "sales")
+            .unwrap()
+            .aggregate(
+                vec![(col("s_cust"), "c")],
+                vec![AggExpr::new(AggFunc::Sum, col("qty"), "sq")],
+            )
+            .unwrap()
+            .build();
+        let (physical, model) = optimize_physical(&agg, &cat);
+        let states = MemOpStates::default();
+        exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states)).unwrap();
+
+        // Rotate the input under the already-compiled plan.
+        let id = cat.id_of("sales").unwrap();
+        let data = cat.get(id).unwrap().data().clone();
+        cat.bulk_update(id, data, SimTime::from_days(1.0)).unwrap();
+
+        let err_off =
+            exec_with_states(&physical, &model, &cat, &views, &udos, None).unwrap_err().to_string();
+        let err_on = exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states))
+            .unwrap_err()
+            .to_string();
+        assert!(err_off.contains("stale plan"), "baseline error: {err_off}");
+        assert_eq!(err_on, err_off, "cache-on must surface the identical stale-plan error");
+    }
+
+    /// A failed build under a held claim abandons the key instead of
+    /// leaving waiters stuck — observed through the test source's counter.
+    #[test]
+    fn failed_build_abandons_the_claim() {
+        let (mut cat, views, udos) = setup();
+        let join = join_plan(&cat, JoinKind::Inner);
+        let (physical, model) = optimize_physical(&join, &cat);
+        let physical = force_hash(&physical);
+        // Rotate only the build (right) side so the probe-side scan
+        // succeeds and the failure happens while the claim is held.
+        fn build_side_dataset(p: &PhysicalPlan) -> Option<String> {
+            if let PhysicalPlan::Join { right, .. } = p {
+                let mut node: &PhysicalPlan = right;
+                loop {
+                    if let PhysicalPlan::TableScan { dataset, .. } = node {
+                        return Some(dataset.clone());
+                    }
+                    node = *node.children().first()?;
+                }
+            }
+            p.children().iter().find_map(|c| build_side_dataset(c))
+        }
+        let build_ds = build_side_dataset(&physical).unwrap();
+        let id = cat.id_of(&build_ds).unwrap();
+        let data = cat.get(id).unwrap().data().clone();
+        cat.bulk_update(id, data, SimTime::from_days(1.0)).unwrap();
+        let states = MemOpStates::default();
+        let err = exec_with_states(&physical, &model, &cat, &views, &udos, Some(&states))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("stale plan"), "unexpected error: {err}");
+        assert!(states.entries.lock().unwrap().is_empty(), "nothing published");
+        assert!(
+            states.abandoned.load(std::sync::atomic::Ordering::Relaxed) >= 1,
+            "claim must be released on failure"
+        );
     }
 }

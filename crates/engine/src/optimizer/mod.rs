@@ -25,13 +25,13 @@ use crate::containment::{build_compensation, ContainmentProver};
 use crate::cost::{Cost, CostModel};
 use crate::normalize::normalize;
 use crate::physical::{JoinAlgo, PhysicalPlan};
-use crate::plan::LogicalPlan;
+use crate::plan::{JoinKind, LogicalPlan};
 use crate::signature::{
     plan_sig_pair, plan_signature, template_signature, SigMode, SignatureConfig,
 };
 use crate::stats::{estimate, ScanStats, Statistics};
 use crate::verify::PlanVerifier;
-use cv_common::hash::Sig128;
+use cv_common::hash::{Sig128, StableHasher};
 use cv_common::{CvError, Result};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -194,11 +194,21 @@ pub struct Optimizer {
     /// `cv-analyzer`). Semantic matching is disabled while absent — the
     /// optimizer never substitutes a compensation plan it cannot certify.
     pub prover: Option<Arc<dyn ContainmentProver>>,
+    /// Operator-state cache probed during physical planning: when a join's
+    /// build side is already resident (warm), the lowering step may prefer a
+    /// hash join over the threshold rule's merge join, costed at
+    /// [`CostModel::hash_join_warm`]. Safe because every join algorithm
+    /// produces byte-identical output (`all_join_algorithms_agree`).
+    pub warm_states: Option<Arc<dyn crate::exec::OpStateSource>>,
 }
 
 impl Optimizer {
     pub fn new(cfg: OptimizerConfig) -> Optimizer {
-        Optimizer { cfg, verifier: None, obs: None, prover: None }
+        Optimizer { cfg, verifier: None, obs: None, prover: None, warm_states: None }
+    }
+
+    pub fn set_warm_states(&mut self, states: Arc<dyn crate::exec::OpStateSource>) {
+        self.warm_states = Some(states);
     }
 
     pub fn set_verifier(&mut self, verifier: Arc<dyn PlanVerifier>) {
@@ -230,6 +240,10 @@ impl Optimizer {
         coordinator: &mut dyn BuildCoordinator,
     ) -> Result<OptimizeOutcome> {
         let normalized = normalize(plan, &self.cfg.sig)?;
+        // Build-side decisions come from the pre-substitution plan so view
+        // reuse differences between runs cannot flip them.
+        let mut swaps = HashMap::new();
+        self.collect_swap_decisions(&normalized, scan_stats, &mut swaps);
 
         let mut matched = Vec::new();
         let mut compensated = Vec::new();
@@ -244,6 +258,7 @@ impl Optimizer {
                 &mut matched,
                 &mut compensated,
                 &mut replaced,
+                &swaps,
             )?
         } else {
             normalized.clone()
@@ -260,14 +275,14 @@ impl Optimizer {
         if let Some(verifier) = self.active_verifier() {
             verifier.verify_logical(&normalized, &final_logical, reuse)?;
         }
-        let mut physical = self.to_physical(&final_logical, scan_stats)?;
+        let mut physical = self.to_physical_with(&final_logical, scan_stats, &swaps)?;
         if !replaced.is_empty() {
             // Views are throw-away artifacts: each ViewScan carries the
             // lowered original subexpression so the executor can recompute
             // if the view is gone or corrupt at run time. Attached after
             // verification — the fallback is not a plan child and must not
             // change costs, stages, or analyzer output.
-            self.attach_fallbacks(&mut physical, &replaced, scan_stats)?;
+            self.attach_fallbacks(&mut physical, &replaced, scan_stats, &swaps)?;
         }
         let est_cost = physical.total_cost(&self.cfg.cost);
         Ok(OptimizeOutcome {
@@ -289,6 +304,7 @@ impl Optimizer {
     /// the subtree is replaced and not descended into. Exact signature
     /// lookups run first (cheap hash probe); on a miss, the semantic cascade
     /// widens the search via template signatures and the containment prover.
+    #[allow(clippy::too_many_arguments)]
     fn match_views(
         &self,
         node: &Arc<LogicalPlan>,
@@ -297,6 +313,7 @@ impl Optimizer {
         matched: &mut Vec<Sig128>,
         compensated: &mut Vec<(Sig128, Sig128)>,
         replaced: &mut HashMap<Sig128, Arc<LogicalPlan>>,
+        swaps: &HashMap<Sig128, bool>,
     ) -> Result<Arc<LogicalPlan>> {
         let replaceable = !matches!(
             &**node,
@@ -310,7 +327,7 @@ impl Optimizer {
                     // Cost the alternative: the plan using the materialized
                     // view is chosen only if it is cheaper (paper §2.3).
                     let recompute =
-                        self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
+                        self.lower(node, scan_stats, swaps)?.total_cost(&self.cfg.cost).total();
                     let reuse_cost = if meta.cold {
                         self.cfg.cost.view_scan_cold(meta.bytes as f64).total()
                     } else {
@@ -337,6 +354,7 @@ impl Optimizer {
                     matched,
                     compensated,
                     replaced,
+                    swaps,
                 )? {
                     return Ok(sub);
                 }
@@ -346,7 +364,7 @@ impl Optimizer {
         let new_children: Result<Vec<Arc<LogicalPlan>>> = node
             .children()
             .into_iter()
-            .map(|c| self.match_views(c, reuse, scan_stats, matched, compensated, replaced))
+            .map(|c| self.match_views(c, reuse, scan_stats, matched, compensated, replaced, swaps))
             .collect();
         Ok(Arc::new(node.with_children(new_children?)?))
     }
@@ -366,6 +384,7 @@ impl Optimizer {
         matched: &mut Vec<Sig128>,
         compensated: &mut Vec<(Sig128, Sig128)>,
         replaced: &mut HashMap<Sig128, Arc<LogicalPlan>>,
+        swaps: &HashMap<Sig128, bool>,
     ) -> Result<Option<Arc<LogicalPlan>>> {
         if !self.semantic_active() || reuse.semantic.is_empty() {
             return Ok(None);
@@ -404,9 +423,9 @@ impl Optimizer {
             let substitute = build_compensation(&proof, view_scan);
             // Cost gate, like exact matching: the compensated plan (view
             // scan + residual operators) must beat recomputing the subtree.
-            let recompute = self.lower(node, scan_stats)?.total_cost(&self.cfg.cost).total();
+            let recompute = self.lower(node, scan_stats, swaps)?.total_cost(&self.cfg.cost).total();
             let reuse_cost =
-                self.lower(&substitute, scan_stats)?.total_cost(&self.cfg.cost).total();
+                self.lower(&substitute, scan_stats, swaps)?.total_cost(&self.cfg.cost).total();
             if reuse_cost < recompute {
                 if let Some(obs) = &self.obs {
                     obs.semantic_proven(view_sig);
@@ -429,17 +448,18 @@ impl Optimizer {
         plan: &mut PhysicalPlan,
         replaced: &HashMap<Sig128, Arc<LogicalPlan>>,
         scan_stats: ScanStats<'_>,
+        swaps: &HashMap<Sig128, bool>,
     ) -> Result<()> {
         if let PhysicalPlan::ViewScan { sig, fallback, .. } = plan {
             if fallback.is_none() {
                 if let Some(original) = replaced.get(sig) {
-                    *fallback = Some(Box::new(self.lower(original, scan_stats)?));
+                    *fallback = Some(Box::new(self.lower(original, scan_stats, swaps)?));
                 }
             }
             return Ok(());
         }
         for child in plan.children_mut() {
-            self.attach_fallbacks(child, replaced, scan_stats)?;
+            self.attach_fallbacks(child, replaced, scan_stats, swaps)?;
         }
         Ok(())
     }
@@ -496,14 +516,92 @@ impl Optimizer {
         ((est.rows / self.cfg.rows_per_partition).ceil() as usize).clamp(1, self.cfg.max_partitions)
     }
 
+    /// Structural identity of an inner join for build-side keying: the
+    /// equi-join columns plus both child *schemas*. Unlike a subtree
+    /// signature, this survives any result-preserving substitution
+    /// underneath: an exact `ViewScan` swap keeps subtree signatures (a
+    /// view signs as the computation it replaced), but a semantic
+    /// compensation — view scan plus residual operators — signs as its
+    /// own new shape, so signature keying would miss only in the
+    /// semantic-on run and re-introduce the row-order divergence the
+    /// swap map exists to prevent. Substitutes are schema-preserving by
+    /// contract, so this key is stable across every reuse configuration.
+    /// Two distinct joins that collide on it share one decision (the
+    /// last collected wins) — possibly suboptimal for one of them, but
+    /// identical in every run, which is the property that matters.
+    fn join_swap_key(
+        on: &[(String, String)],
+        left: &Arc<LogicalPlan>,
+        right: &Arc<LogicalPlan>,
+    ) -> Option<Sig128> {
+        let (ls, rs) = (left.schema().ok()?, right.schema().ok()?);
+        let mut h = StableHasher::with_domain("cv-join-swap-key");
+        for (l, r) in on {
+            h.write_str(l);
+            h.write_str(r);
+        }
+        for schema in [&ls, &rs] {
+            h.write_u64(schema.len() as u64);
+            for f in schema.fields() {
+                h.write_str(&f.name);
+                h.write_str(f.dtype.name());
+            }
+        }
+        Some(h.finish128())
+    }
+
+    /// Decide hash-join build sides on a *substitution-free* plan. For
+    /// every inner join, the side with the smaller estimated row count
+    /// becomes the build (right) side; the decision is keyed by the
+    /// join's structural [`join_swap_key`], which later view substitution
+    /// (exact or compensated) preserves. Estimates over a pure plan
+    /// depend only on base-table stats, so every driver — and every
+    /// view/cache configuration — derives the identical map for the same
+    /// logical job. Deciding on the substituted plan instead would let a
+    /// `ViewScan`'s *actual* row count flip the comparison wherever one
+    /// run reused a view and another computed inline, and a flipped
+    /// build side changes join output row order — observable through
+    /// order-sensitive float aggregation.
+    fn collect_swap_decisions(
+        &self,
+        node: &Arc<LogicalPlan>,
+        scan_stats: ScanStats<'_>,
+        out: &mut HashMap<Sig128, bool>,
+    ) {
+        if let LogicalPlan::Join { left, right, on, kind: JoinKind::Inner } = &**node {
+            if let Some(key) = Self::join_swap_key(on, left, right) {
+                let l = estimate(left, scan_stats);
+                let r = estimate(right, scan_stats);
+                out.insert(key, l.rows < r.rows);
+            }
+        }
+        for child in node.children() {
+            self.collect_swap_decisions(child, scan_stats, out);
+        }
+    }
+
     /// Lower a logical plan to physical operators. Runs the installed
     /// [`PlanVerifier`] over the lowered plan when verification is on.
+    /// Build-side decisions are collected from `node` itself — exact when
+    /// the plan is substitution-free (tests, scratch engines); `optimize`
+    /// collects them from the normalized plan before matching instead.
     pub fn to_physical(
         &self,
         node: &Arc<LogicalPlan>,
         scan_stats: ScanStats<'_>,
     ) -> Result<PhysicalPlan> {
-        let physical = self.lower(node, scan_stats)?;
+        let mut swaps = HashMap::new();
+        self.collect_swap_decisions(node, scan_stats, &mut swaps);
+        self.to_physical_with(node, scan_stats, &swaps)
+    }
+
+    fn to_physical_with(
+        &self,
+        node: &Arc<LogicalPlan>,
+        scan_stats: ScanStats<'_>,
+        swaps: &HashMap<Sig128, bool>,
+    ) -> Result<PhysicalPlan> {
+        let physical = self.lower(node, scan_stats, swaps)?;
         if let Some(verifier) = self.active_verifier() {
             verifier.verify_physical(&physical)?;
         }
@@ -512,7 +610,12 @@ impl Optimizer {
 
     /// The recursive lowering step (costing probes call this directly so
     /// alternative subplans aren't re-verified mid-search).
-    fn lower(&self, node: &Arc<LogicalPlan>, scan_stats: ScanStats<'_>) -> Result<PhysicalPlan> {
+    fn lower(
+        &self,
+        node: &Arc<LogicalPlan>,
+        scan_stats: ScanStats<'_>,
+        swaps: &HashMap<Sig128, bool>,
+    ) -> Result<PhysicalPlan> {
         let est = estimate(node, scan_stats);
         let partitions = self.partitions_for(est);
         Ok(match &**node {
@@ -532,29 +635,68 @@ impl Optimizer {
             },
             LogicalPlan::Filter { predicate, input } => PhysicalPlan::Filter {
                 predicate: predicate.clone(),
-                input: Box::new(self.lower(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
                 est,
                 partitions,
             },
             LogicalPlan::Project { exprs, input } => PhysicalPlan::Project {
                 exprs: exprs.clone(),
                 schema: node.schema()?,
-                input: Box::new(self.lower(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
                 est,
                 partitions,
             },
             LogicalPlan::Join { left, right, on, kind } => {
-                let l = self.lower(left, scan_stats)?;
-                let r = self.lower(right, scan_stats)?;
+                let mut l = self.lower(left, scan_stats, swaps)?;
+                let mut r = self.lower(right, scan_stats, swaps)?;
+                let mut on = on.clone();
+                // The hash build is the right side: for commutative joins,
+                // put the smaller estimated input there. The normalizer
+                // orders sides by signature (for plan identity), which is
+                // arbitrary w.r.t. size — building on the bigger side costs
+                // more and, worse for the op-state cache, tends to key the
+                // build on the daily-rotating fact instead of the stable
+                // dimension. The decision comes from `swaps`, computed on
+                // the *pre-substitution* plan (see
+                // `collect_swap_decisions`): never cache- or
+                // view-state-dependent, so every driver and every
+                // cache/reuse configuration lowers the same logical join
+                // the same way and join output row order cannot diverge
+                // between runs. The executor restores the logical column
+                // order for swapped joins, so the swap never leaks into
+                // output schemas.
+                let swapped = *kind == JoinKind::Inner
+                    && Self::join_swap_key(&on, left, right)
+                        .is_some_and(|key| swaps.get(&key).copied().unwrap_or(false));
+                if swapped {
+                    std::mem::swap(&mut l, &mut r);
+                    for pair in &mut on {
+                        std::mem::swap(&mut pair.0, &mut pair.1);
+                    }
+                }
                 let l_rows = l.est().rows;
                 let r_rows = r.est().rows;
-                let algo = if l_rows.min(r_rows) <= self.cfg.loop_join_threshold {
+                let mut algo = if l_rows.min(r_rows) <= self.cfg.loop_join_threshold {
                     JoinAlgo::Loop
                 } else if l_rows.max(r_rows) >= self.cfg.merge_join_threshold {
                     JoinAlgo::Merge
                 } else {
                     JoinAlgo::Hash
                 };
+                if algo == JoinAlgo::Merge {
+                    if let Some(warm) = &self.warm_states {
+                        // A resident build side collapses the hash join's
+                        // dominant term; prefer it over the merge join the
+                        // size thresholds would pick, when actually cheaper.
+                        let key = crate::exec::opstate::join_build_key(&r, &on);
+                        if key.is_some_and(|k| warm.is_warm(k))
+                            && self.cfg.cost.hash_join_warm(r_rows, l_rows).total()
+                                < self.cfg.cost.merge_join(l_rows, r_rows).total()
+                        {
+                            algo = JoinAlgo::Hash;
+                        }
+                    }
+                }
                 PhysicalPlan::Join {
                     algo,
                     kind: *kind,
@@ -563,37 +705,40 @@ impl Optimizer {
                     right: Box::new(r),
                     est,
                     partitions,
+                    swapped,
                 }
             }
             LogicalPlan::Aggregate { group_by, aggs, input } => PhysicalPlan::HashAggregate {
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
                 schema: node.schema()?,
-                input: Box::new(self.lower(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
                 est,
                 partitions,
             },
             LogicalPlan::Union { inputs } => PhysicalPlan::Union {
                 inputs: inputs
                     .iter()
-                    .map(|i| self.lower(i, scan_stats))
+                    .map(|i| self.lower(i, scan_stats, swaps))
                     .collect::<Result<Vec<_>>>()?,
                 est,
                 partitions,
             },
             LogicalPlan::Sort { keys, input } => PhysicalPlan::Sort {
                 keys: keys.clone(),
-                input: Box::new(self.lower(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
                 est,
                 partitions,
             },
-            LogicalPlan::Limit { n, input } => {
-                PhysicalPlan::Limit { n: *n, input: Box::new(self.lower(input, scan_stats)?), est }
-            }
+            LogicalPlan::Limit { n, input } => PhysicalPlan::Limit {
+                n: *n,
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
+                est,
+            },
             LogicalPlan::Udo { spec, schema, input } => PhysicalPlan::Udo {
                 spec: spec.clone(),
                 schema: schema.clone(),
-                input: Box::new(self.lower(input, scan_stats)?),
+                input: Box::new(self.lower(input, scan_stats, swaps)?),
                 est,
                 partitions,
             },
@@ -606,7 +751,7 @@ impl Optimizer {
                     sig: *sig,
                     recurring_sig: pair.recurring,
                     input_guids: input.input_guids(),
-                    input: Box::new(self.lower(input, scan_stats)?),
+                    input: Box::new(self.lower(input, scan_stats, swaps)?),
                     est,
                     partitions,
                 }

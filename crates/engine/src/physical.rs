@@ -80,6 +80,10 @@ pub enum PhysicalPlan {
         right: Box<PhysicalPlan>,
         est: Statistics,
         partitions: usize,
+        /// Lowering put the logical *left* input on the (build) right side
+        /// because it was the smaller: the executor emits columns in the
+        /// logical order, so the swap never leaks into the output schema.
+        swapped: bool,
     },
     HashAggregate {
         group_by: Vec<(ScalarExpr, String)>,

@@ -12,26 +12,45 @@
 use crate::pool::{run_tasks, PoolConfig, TaskSpec};
 use cv_common::ids::{JobId, VcId};
 use cv_engine::MorselRunner;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Fans per-chunk operator work across a work-stealing pool.
 pub struct PoolMorselRunner {
     cfg: PoolConfig,
+    /// Per-worker steal counts accumulated across every `run` call — the
+    /// scaling bench reads these to show *which* workers actually
+    /// participated (an all-zero tail diagnoses a flat speedup curve).
+    steals_by_worker: Vec<AtomicU64>,
 }
 
 impl PoolMorselRunner {
     pub fn new(workers: usize) -> PoolMorselRunner {
+        let workers = workers.max(1);
         PoolMorselRunner {
             cfg: PoolConfig {
-                workers: workers.max(1),
+                workers,
                 // Morsels are sub-job units: no per-VC throttling.
                 vc_inflight_limit: usize::MAX,
                 queue_cap: usize::MAX,
             },
+            steals_by_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 
     pub fn workers(&self) -> usize {
         self.cfg.workers
+    }
+
+    /// Cumulative steals per worker over this runner's lifetime.
+    pub fn steal_counts(&self) -> Vec<u64> {
+        self.steals_by_worker.iter().map(|s| s.load(Ordering::Relaxed)).collect()
+    }
+
+    /// Zero the per-worker steal counters (e.g. after bench warmup).
+    pub fn reset_steal_counts(&self) {
+        for s in &self.steals_by_worker {
+            s.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -53,7 +72,10 @@ impl MorselRunner for PoolMorselRunner {
                 run: Box::new(move || task(i)),
             })
             .collect();
-        run_tasks(&self.cfg, specs, &[]);
+        let report = run_tasks(&self.cfg, specs, &[]);
+        for (w, n) in report.steals_by_worker.iter().enumerate() {
+            self.steals_by_worker[w].fetch_add(*n, Ordering::Relaxed);
+        }
     }
 }
 
@@ -80,6 +102,24 @@ mod tests {
         let runner = PoolMorselRunner::new(4);
         let out = run_indexed(&runner, 16, &|i| i * i);
         assert_eq!(out, (0..16).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn steal_counts_accumulate_across_runs() {
+        let runner = PoolMorselRunner::new(4);
+        // A skewed first chunk forces the other workers to steal.
+        for _ in 0..3 {
+            runner.run(64, &|i| {
+                if i == 0 {
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            });
+        }
+        let counts = runner.steal_counts();
+        assert_eq!(counts.len(), 4);
+        assert!(counts.iter().sum::<u64>() > 0, "skewed morsels must force steals");
+        runner.reset_steal_counts();
+        assert_eq!(runner.steal_counts().iter().sum::<u64>(), 0);
     }
 
     #[test]

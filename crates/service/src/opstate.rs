@@ -1,0 +1,753 @@
+//! The operator-state cache: lock-striped, size-budgeted, single-flight.
+//!
+//! CloudViews reuses *final* view results; most of a heavy job's wall time
+//! is nevertheless spent rebuilding internal pipeline-breaker state — join
+//! hash tables, aggregate group states, sort runs — that is byte-identical
+//! across concurrent and recurring jobs (Dursun et al., *Revisiting Reuse
+//! in Main Memory Database Systems*). This cache closes that gap for the
+//! service: the engine keys each finished breaker by its input
+//! subexpression's strict execution signature plus an operator fingerprint
+//! (see `cv_engine::exec::opstate`) and publishes it here, so
+//!
+//! * N concurrent probes of the same build side construct it **once**
+//!   (single-flight claim/wait, mirroring [`crate::singleflight`]), and
+//! * recurring daily jobs skip rebuilds whose inputs didn't rotate (keys
+//!   embed the scanned dataset versions, so rotation derives fresh keys and
+//!   stale entries age out through eviction).
+//!
+//! ## Safety properties
+//!
+//! * **Bytes never move.** Keys pin exact input versions and operator
+//!   parameters; the executor validates scan guids on every hit and the
+//!   restored state replays the build's exact output bytes. Digests are
+//!   identical with the cache on or off, at any worker count.
+//! * **Degraded waits.** A waiter whose builder abandons (build error,
+//!   purge) or exceeds [`OpStateCacheConfig::wait_timeout`] falls back to
+//!   an inline unclaimed build — never an error, never a stall.
+//! * **Purge coupling.** Quarantined view signatures and GDPR-purged
+//!   datasets evict matching resident state *and* abandon every in-flight
+//!   claim (dependencies are unknown pre-publish, so purging is
+//!   conservative). Correctness does not depend on this — a late republish
+//!   lands under a key no post-rotation job derives — but hygiene does:
+//!   purged bytes must not linger.
+//!
+//! ## Eviction
+//!
+//! Cost-weighted LRU in the GDSF family: each resident entry's priority is
+//! `last_touch_tick + build_work / bytes`, so cheap-to-rebuild bulky states
+//! go first and recently-touched expensive ones stay. Eviction scans for
+//! the global minimum across shards while the budget is exceeded — the
+//! scan is O(resident) but runs only on publishes past budget.
+
+use cv_common::Sig128;
+use cv_engine::{OpStateAcquire, OpStateEntry, OpStateSource};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+
+/// Tuning knobs for one [`OpStateCache`].
+#[derive(Clone, Debug)]
+pub struct OpStateCacheConfig {
+    /// Resident-bytes budget; eviction runs after any publish that lands
+    /// above it. 0 disables caching entirely (every acquire is an
+    /// unclaimed build).
+    pub budget_bytes: u64,
+    /// Lock stripes. More stripes, less contention between unrelated keys.
+    pub shards: usize,
+    /// How long a waiter blocks on an in-flight build before degrading to
+    /// an inline build.
+    pub wait_timeout: Duration,
+}
+
+impl Default for OpStateCacheConfig {
+    fn default() -> Self {
+        OpStateCacheConfig {
+            budget_bytes: 256 << 20,
+            shards: 16,
+            wait_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// Outcome of an in-flight build, broadcast to its waiters.
+#[derive(Debug)]
+enum FlightOutcome {
+    Pending,
+    /// `(entry, publisher_tag)` — waiters count a (cross-job) hit.
+    Published(Arc<OpStateEntry>, u64),
+    Abandoned,
+}
+
+/// One claimed-but-unpublished build. Waiters block on the condvar.
+#[derive(Debug)]
+struct Flight {
+    slot: Mutex<FlightOutcome>,
+    cv: Condvar,
+}
+
+/// A published entry resident in the cache.
+#[derive(Debug)]
+struct Resident {
+    entry: Arc<OpStateEntry>,
+    /// Tag of the job that built it — a hit from a different tag is a
+    /// *cross-job* hit, the currency of the BENCH `op_state` section.
+    publisher: u64,
+    /// Last-touch logical tick (publish or hit), the LRU term of the
+    /// eviction priority.
+    tick: u64,
+}
+
+#[derive(Debug)]
+enum Slot {
+    InFlight(Arc<Flight>),
+    Ready(Resident),
+}
+
+/// Snapshot of one cache's lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStateCacheStats {
+    /// States restored instead of rebuilt (including single-flight waits
+    /// that ended in a publish).
+    pub hits: u64,
+    /// Hits where the publisher was a *different* job than the consumer.
+    pub cross_job_hits: u64,
+    /// Derivable keys that were not resident (the acquirer claims or
+    /// degrades).
+    pub misses: u64,
+    pub published: u64,
+    /// Residents dropped by the budget sweep.
+    pub evicted: u64,
+    /// Claims released without a publish (failed builds, purges).
+    pub abandoned: u64,
+    /// Waiters that timed out or saw their builder abandon and fell back
+    /// to an inline build.
+    pub degraded_waits: u64,
+    /// Residents dropped by quarantine/GDPR purges.
+    pub purged: u64,
+    /// Current resident payload bytes.
+    pub resident_bytes: u64,
+}
+
+/// The lock-striped operator-state cache.
+pub struct OpStateCache {
+    cfg: OpStateCacheConfig,
+    shards: Vec<Mutex<HashMap<Sig128, Slot>>>,
+    /// Logical clock stamping publishes and hits for the LRU term.
+    clock: AtomicU64,
+    resident_bytes: AtomicU64,
+    hits: AtomicU64,
+    cross_job_hits: AtomicU64,
+    misses: AtomicU64,
+    published: AtomicU64,
+    evicted: AtomicU64,
+    abandoned: AtomicU64,
+    degraded_waits: AtomicU64,
+    purged: AtomicU64,
+}
+
+impl fmt::Debug for OpStateCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpStateCache")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl OpStateCache {
+    pub fn new(cfg: OpStateCacheConfig) -> OpStateCache {
+        let shards = cfg.shards.max(1);
+        OpStateCache {
+            cfg,
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            clock: AtomicU64::new(0),
+            resident_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            cross_job_hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            abandoned: AtomicU64::new(0),
+            degraded_waits: AtomicU64::new(0),
+            purged: AtomicU64::new(0),
+        }
+    }
+
+    pub fn with_budget(budget_bytes: u64) -> OpStateCache {
+        OpStateCache::new(OpStateCacheConfig { budget_bytes, ..OpStateCacheConfig::default() })
+    }
+
+    fn shard(&self, key: Sig128) -> MutexGuard<'_, HashMap<Sig128, Slot>> {
+        let idx = (key.0 as usize) % self.shards.len();
+        self.shards[idx].lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Acquire with hit attribution: `tag` identifies the consuming job so
+    /// hits against other jobs' publications count as cross-job.
+    pub fn acquire_tagged(&self, key: Sig128, tag: u64) -> OpStateAcquire {
+        if self.cfg.budget_bytes == 0 {
+            return OpStateAcquire::Build { claimed: false };
+        }
+        let flight = {
+            let mut shard = self.shard(key);
+            match shard.get_mut(&key) {
+                Some(Slot::Ready(r)) => {
+                    r.tick = self.tick();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if r.publisher != tag {
+                        self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return OpStateAcquire::Hit(r.entry.clone());
+                }
+                Some(Slot::InFlight(f)) => f.clone(),
+                None => {
+                    shard.insert(
+                        key,
+                        Slot::InFlight(Arc::new(Flight {
+                            slot: Mutex::new(FlightOutcome::Pending),
+                            cv: Condvar::new(),
+                        })),
+                    );
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    return OpStateAcquire::Build { claimed: true };
+                }
+            }
+        };
+        // Someone else is building: wait for the publish, bounded.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let deadline = std::time::Instant::now() + self.cfg.wait_timeout;
+        let mut slot = flight.slot.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            match &*slot {
+                FlightOutcome::Published(entry, publisher) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    if *publisher != tag {
+                        self.cross_job_hits.fetch_add(1, Ordering::Relaxed);
+                    }
+                    return OpStateAcquire::Hit(entry.clone());
+                }
+                FlightOutcome::Abandoned => {
+                    self.degraded_waits.fetch_add(1, Ordering::Relaxed);
+                    return OpStateAcquire::Build { claimed: false };
+                }
+                FlightOutcome::Pending => {
+                    let left = deadline.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        self.degraded_waits.fetch_add(1, Ordering::Relaxed);
+                        return OpStateAcquire::Build { claimed: false };
+                    }
+                    let (guard, _timeout) =
+                        flight.cv.wait_timeout(slot, left).unwrap_or_else(PoisonError::into_inner);
+                    slot = guard;
+                }
+            }
+        }
+    }
+
+    /// Publish a built state under the claiming job's tag and sweep the
+    /// budget.
+    pub fn publish_tagged(&self, key: Sig128, entry: OpStateEntry, tag: u64) {
+        let entry = Arc::new(entry);
+        {
+            let mut shard = self.shard(key);
+            let prior = shard.insert(
+                key,
+                Slot::Ready(Resident { entry: entry.clone(), publisher: tag, tick: self.tick() }),
+            );
+            match prior {
+                Some(Slot::InFlight(f)) => {
+                    let mut slot = f.slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    *slot = FlightOutcome::Published(entry.clone(), tag);
+                    drop(slot);
+                    f.cv.notify_all();
+                }
+                Some(Slot::Ready(r)) => {
+                    // Concurrent unclaimed publish lost a race; rebalance
+                    // the byte ledger for the replaced entry.
+                    self.resident_bytes.fetch_sub(r.entry.bytes, Ordering::Relaxed);
+                }
+                None => {}
+            }
+            self.resident_bytes.fetch_add(entry.bytes, Ordering::Relaxed);
+        }
+        self.published.fetch_add(1, Ordering::Relaxed);
+        self.evict_to_budget();
+    }
+
+    /// Release a claim without publishing; waiters degrade to inline
+    /// builds.
+    pub fn abandon_key(&self, key: Sig128) {
+        let mut shard = self.shard(key);
+        if let Some(Slot::InFlight(f)) = shard.get(&key) {
+            let f = f.clone();
+            shard.remove(&key);
+            drop(shard);
+            let mut slot = f.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = FlightOutcome::Abandoned;
+            drop(slot);
+            f.cv.notify_all();
+            self.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Evict lowest-priority residents until the budget holds. Priority is
+    /// `tick + build_work / bytes` — old, cheap, bulky entries go first.
+    fn evict_to_budget(&self) {
+        while self.resident_bytes.load(Ordering::Relaxed) > self.cfg.budget_bytes {
+            let mut victim: Option<(usize, Sig128, f64)> = None;
+            for (si, stripe) in self.shards.iter().enumerate() {
+                let shard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+                for (k, slot) in shard.iter() {
+                    if let Slot::Ready(r) = slot {
+                        let prio = r.tick as f64 + r.entry.build_work / r.entry.bytes.max(1) as f64;
+                        if victim.is_none_or(|(_, _, best)| prio < best) {
+                            victim = Some((si, *k, prio));
+                        }
+                    }
+                }
+            }
+            let Some((si, key, _)) = victim else { return };
+            let mut shard = self.shards[si].lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(Slot::Ready(r)) = shard.get(&key) {
+                self.resident_bytes.fetch_sub(r.entry.bytes, Ordering::Relaxed);
+                shard.remove(&key);
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Quarantine coupling: drop every resident state derived from any of
+    /// the given view signatures, and abandon **all** in-flight claims
+    /// (their dependencies are unknown until publish). Returns residents
+    /// purged.
+    pub fn purge_sigs(&self, sigs: &[Sig128]) -> usize {
+        self.purge_matching(|e| e.dep_sigs.iter().any(|d| sigs.contains(d)))
+    }
+
+    /// GDPR coupling: drop every resident state that scanned the named
+    /// dataset (any version), and abandon all in-flight claims.
+    pub fn purge_input(&self, dataset: &str) -> usize {
+        self.purge_matching(|e| e.scan_deps.iter().any(|(name, _)| name == dataset))
+    }
+
+    fn purge_matching(&self, matches: impl Fn(&OpStateEntry) -> bool) -> usize {
+        let mut dropped = 0;
+        let mut flights: Vec<Arc<Flight>> = Vec::new();
+        for stripe in &self.shards {
+            let mut shard = stripe.lock().unwrap_or_else(PoisonError::into_inner);
+            shard.retain(|_, slot| match slot {
+                Slot::Ready(r) if matches(&r.entry) => {
+                    self.resident_bytes.fetch_sub(r.entry.bytes, Ordering::Relaxed);
+                    dropped += 1;
+                    false
+                }
+                Slot::Ready(_) => true,
+                Slot::InFlight(f) => {
+                    flights.push(f.clone());
+                    false
+                }
+            });
+        }
+        for f in flights {
+            let mut slot = f.slot.lock().unwrap_or_else(PoisonError::into_inner);
+            *slot = FlightOutcome::Abandoned;
+            drop(slot);
+            f.cv.notify_all();
+            self.abandoned.fetch_add(1, Ordering::Relaxed);
+        }
+        self.purged.fetch_add(dropped as u64, Ordering::Relaxed);
+        dropped
+    }
+
+    /// Non-claiming warmth probe for the optimizer's plan bias: resident
+    /// *or* being built right now.
+    pub fn warm(&self, key: Sig128) -> bool {
+        self.cfg.budget_bytes > 0 && self.shard(key).contains_key(&key)
+    }
+
+    pub fn stats(&self) -> OpStateCacheStats {
+        OpStateCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            cross_job_hits: self.cross_job_hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            published: self.published.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            abandoned: self.abandoned.load(Ordering::Relaxed),
+            degraded_waits: self.degraded_waits.load(Ordering::Relaxed),
+            purged: self.purged.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resident entries (not counting in-flight claims).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .values()
+                    .filter(|v| matches!(v, Slot::Ready(_)))
+                    .count()
+            })
+            .sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The cache itself is a valid (untagged) engine source — hits against it
+/// never count as cross-job.
+impl OpStateSource for OpStateCache {
+    fn acquire(&self, key: Sig128) -> OpStateAcquire {
+        self.acquire_tagged(key, u64::MAX)
+    }
+    fn publish(&self, key: Sig128, entry: OpStateEntry) {
+        self.publish_tagged(key, entry, u64::MAX)
+    }
+    fn abandon(&self, key: Sig128) {
+        self.abandon_key(key)
+    }
+    fn is_warm(&self, key: Sig128) -> bool {
+        self.warm(key)
+    }
+}
+
+/// Per-job view of a shared cache: every acquire/publish carries the job's
+/// tag so the cache can attribute cross-job hits. The drivers hand one to
+/// each executing job.
+#[derive(Clone, Debug)]
+pub struct TaggedOpStates {
+    pub cache: Arc<OpStateCache>,
+    pub tag: u64,
+}
+
+impl TaggedOpStates {
+    pub fn new(cache: Arc<OpStateCache>, tag: u64) -> TaggedOpStates {
+        TaggedOpStates { cache, tag }
+    }
+}
+
+impl OpStateSource for TaggedOpStates {
+    fn acquire(&self, key: Sig128) -> OpStateAcquire {
+        self.cache.acquire_tagged(key, self.tag)
+    }
+    fn publish(&self, key: Sig128, entry: OpStateEntry) {
+        self.cache.publish_tagged(key, entry, self.tag)
+    }
+    fn abandon(&self, key: Sig128) {
+        self.cache.abandon_key(key)
+    }
+    fn is_warm(&self, key: Sig128) -> bool {
+        self.cache.warm(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cv_common::ids::VersionGuid;
+    use cv_common::rng::DetRng;
+    use cv_data::schema::{Field, Schema};
+    use cv_data::table::Table;
+    use cv_data::value::{DataType, Value};
+    use cv_engine::OpState;
+
+    fn table(vals: &[i64]) -> Table {
+        let schema = Schema::new(vec![Field::new("x", DataType::Int)]).unwrap().into_ref();
+        let rows: Vec<Vec<Value>> = vals.iter().map(|v| vec![Value::Int(*v)]).collect();
+        Table::from_rows(schema, &rows).unwrap()
+    }
+
+    fn entry(vals: &[i64], bytes: u64, work: f64) -> OpStateEntry {
+        OpStateEntry {
+            state: Arc::new(OpState::AggOutput(table(vals))),
+            bytes,
+            build_work: work,
+            build_wall: 0.001,
+            dep_sigs: vec![],
+            scan_deps: vec![],
+        }
+    }
+
+    fn payload(e: &OpStateEntry) -> Vec<i64> {
+        let OpState::AggOutput(t) = &*e.state else { panic!("agg payload") };
+        (0..t.num_rows())
+            .map(|i| match t.column(0).value(i) {
+                Value::Int(v) => v,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn claim_publish_hit_roundtrip_attributes_cross_job() {
+        let cache = OpStateCache::with_budget(1 << 20);
+        let key = Sig128(42);
+        assert!(matches!(cache.acquire_tagged(key, 1), OpStateAcquire::Build { claimed: true }));
+        cache.publish_tagged(key, entry(&[1, 2, 3], 100, 5.0), 1);
+        // Same job: hit, not cross-job.
+        let OpStateAcquire::Hit(e) = cache.acquire_tagged(key, 1) else { panic!("hit") };
+        assert_eq!(payload(&e), vec![1, 2, 3]);
+        // Different job: cross-job hit.
+        assert!(matches!(cache.acquire_tagged(key, 2), OpStateAcquire::Hit(_)));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.cross_job_hits, s.misses, s.published), (2, 1, 1, 1));
+        assert_eq!(s.resident_bytes, 100);
+        assert!(cache.warm(key));
+    }
+
+    #[test]
+    fn zero_budget_disables_the_cache() {
+        let cache = OpStateCache::with_budget(0);
+        let key = Sig128(1);
+        assert!(matches!(cache.acquire_tagged(key, 1), OpStateAcquire::Build { claimed: false }));
+        assert!(!cache.warm(key));
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn waiters_pipeline_from_the_single_builder() {
+        let cache = Arc::new(OpStateCache::with_budget(1 << 20));
+        let key = Sig128(7);
+        assert!(matches!(cache.acquire_tagged(key, 0), OpStateAcquire::Build { claimed: true }));
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (1..=4u64)
+                .map(|tag| {
+                    let cache = cache.clone();
+                    s.spawn(move || cache.acquire_tagged(key, tag))
+                })
+                .collect();
+            // Give waiters a moment to block, then publish.
+            std::thread::sleep(Duration::from_millis(20));
+            cache.publish_tagged(key, entry(&[9], 10, 1.0), 0);
+            for h in handles {
+                let OpStateAcquire::Hit(e) = h.join().unwrap() else {
+                    panic!("waiter must see the publish")
+                };
+                assert_eq!(payload(&e), vec![9]);
+            }
+        });
+        let s = cache.stats();
+        assert_eq!(s.published, 1, "exactly one build");
+        assert_eq!(s.cross_job_hits, 4, "all four waiters hit cross-job");
+    }
+
+    #[test]
+    fn abandoned_builds_degrade_waiters_to_inline() {
+        let cache = Arc::new(OpStateCache::with_budget(1 << 20));
+        let key = Sig128(8);
+        assert!(matches!(cache.acquire_tagged(key, 0), OpStateAcquire::Build { claimed: true }));
+        std::thread::scope(|s| {
+            let h = {
+                let cache = cache.clone();
+                s.spawn(move || cache.acquire_tagged(key, 1))
+            };
+            std::thread::sleep(Duration::from_millis(20));
+            cache.abandon_key(key);
+            assert!(
+                matches!(h.join().unwrap(), OpStateAcquire::Build { claimed: false }),
+                "waiter degrades, never errors"
+            );
+        });
+        let s = cache.stats();
+        assert_eq!(s.abandoned, 1);
+        assert_eq!(s.degraded_waits, 1);
+        // The key is free again: the next acquirer claims.
+        assert!(matches!(cache.acquire_tagged(key, 2), OpStateAcquire::Build { claimed: true }));
+    }
+
+    #[test]
+    fn wait_timeout_degrades_instead_of_stalling() {
+        let cache = OpStateCache::new(OpStateCacheConfig {
+            budget_bytes: 1 << 20,
+            shards: 4,
+            wait_timeout: Duration::from_millis(10),
+        });
+        let key = Sig128(9);
+        assert!(matches!(cache.acquire_tagged(key, 0), OpStateAcquire::Build { claimed: true }));
+        // The builder never publishes; a waiter must come back anyway.
+        let start = std::time::Instant::now();
+        assert!(matches!(cache.acquire_tagged(key, 1), OpStateAcquire::Build { claimed: false }));
+        assert!(start.elapsed() < Duration::from_secs(2));
+        assert_eq!(cache.stats().degraded_waits, 1);
+    }
+
+    #[test]
+    fn eviction_prefers_old_cheap_bulky_entries() {
+        // Budget fits two of the three entries.
+        let cache = OpStateCache::with_budget(250);
+        for (i, (bytes, work)) in [(100u64, 1.0), (100, 500.0), (100, 2.0)].iter().enumerate() {
+            let key = Sig128(i as u128);
+            assert!(matches!(
+                cache.acquire_tagged(key, 0),
+                OpStateAcquire::Build { claimed: true }
+            ));
+            cache.publish_tagged(key, entry(&[i as i64], *bytes, *work), 0);
+        }
+        let s = cache.stats();
+        assert_eq!(s.evicted, 1);
+        assert!(s.resident_bytes <= 250);
+        // The expensive-to-rebuild entry survived the sweep.
+        assert!(cache.warm(Sig128(1)), "high build_work entry must be retained");
+        assert!(cache.warm(Sig128(2)), "most recent entry must be retained");
+        assert!(!cache.warm(Sig128(0)), "oldest cheap entry is the victim");
+    }
+
+    #[test]
+    fn purge_sigs_drops_dependents_and_aborts_flights() {
+        let cache = OpStateCache::with_budget(1 << 20);
+        let dep = Sig128(0xDEAD);
+        // Resident entry derived from the quarantined view.
+        cache.acquire_tagged(Sig128(1), 0);
+        let mut tainted = entry(&[1], 50, 1.0);
+        tainted.dep_sigs.push(dep);
+        cache.publish_tagged(Sig128(1), tainted, 0);
+        // Resident entry with no such dependency.
+        cache.acquire_tagged(Sig128(2), 0);
+        cache.publish_tagged(Sig128(2), entry(&[2], 50, 1.0), 0);
+        // An in-flight claim (dependencies unknown → conservatively aborted).
+        cache.acquire_tagged(Sig128(3), 0);
+
+        assert_eq!(cache.purge_sigs(&[dep]), 1);
+        assert!(!cache.warm(Sig128(1)), "tainted resident purged");
+        assert!(cache.warm(Sig128(2)), "clean resident survives");
+        assert!(!cache.warm(Sig128(3)), "in-flight claim aborted");
+        let s = cache.stats();
+        assert_eq!((s.purged, s.abandoned), (1, 1));
+        assert_eq!(s.resident_bytes, 50);
+    }
+
+    #[test]
+    fn purge_input_drops_states_scanning_the_dataset() {
+        let cache = OpStateCache::with_budget(1 << 20);
+        cache.acquire_tagged(Sig128(1), 0);
+        let mut scans_users = entry(&[1], 10, 1.0);
+        scans_users.scan_deps.push(("users".into(), VersionGuid(1)));
+        cache.publish_tagged(Sig128(1), scans_users, 0);
+        cache.acquire_tagged(Sig128(2), 0);
+        let mut scans_sales = entry(&[2], 10, 1.0);
+        scans_sales.scan_deps.push(("sales".into(), VersionGuid(2)));
+        cache.publish_tagged(Sig128(2), scans_sales, 0);
+
+        assert_eq!(cache.purge_input("users"), 1);
+        assert!(!cache.warm(Sig128(1)));
+        assert!(cache.warm(Sig128(2)));
+    }
+
+    /// Satellite: DetRng property test — evicting/purging a
+    /// claimed-but-unpublished state mid-flight always degrades waiters to
+    /// inline builds. Whatever interleaving the seed produces: no panic,
+    /// no deadlock, and every `Hit` carries the exact payload the key's
+    /// builder published (the digest-safety proxy at this layer).
+    #[test]
+    fn random_mid_flight_eviction_degrades_cleanly() {
+        for seed in 0..8u64 {
+            let mut rng = DetRng::seed(seed);
+            let cache = Arc::new(OpStateCache::new(OpStateCacheConfig {
+                // Tiny budget keeps the evictor busy the whole time.
+                budget_bytes: rng.range_u64(50, 400),
+                shards: rng.range_usize(1, 5),
+                wait_timeout: Duration::from_millis(200),
+            }));
+            let keys: Vec<Sig128> = (0..rng.range_u64(2, 6)).map(|i| Sig128(i as u128)).collect();
+            let threads = rng.range_usize(2, 7);
+            let plans: Vec<Vec<(usize, u8)>> = (0..threads)
+                .map(|t| {
+                    let mut r = rng.fork(t as u64);
+                    (0..24)
+                        .map(|_| (r.range_usize(0, keys.len()), (r.next_u64() % 10) as u8))
+                        .collect()
+                })
+                .collect();
+            std::thread::scope(|s| {
+                for (t, plan) in plans.into_iter().enumerate() {
+                    let cache = cache.clone();
+                    let keys = keys.clone();
+                    s.spawn(move || {
+                        for (ki, action) in plan {
+                            let key = keys[ki];
+                            match action {
+                                // Mostly: acquire and either publish or
+                                // abandon the claim.
+                                0..=6 => match cache.acquire_tagged(key, t as u64) {
+                                    OpStateAcquire::Hit(e) => {
+                                        // Payload is keyed: a hit must carry
+                                        // this key's canonical bytes.
+                                        assert_eq!(payload(&e), vec![key.0 as i64]);
+                                    }
+                                    OpStateAcquire::Build { claimed: true } => {
+                                        if action % 2 == 0 {
+                                            cache.publish_tagged(
+                                                key,
+                                                entry(&[key.0 as i64], 60, 1.0),
+                                                t as u64,
+                                            );
+                                        } else {
+                                            cache.abandon_key(key);
+                                        }
+                                    }
+                                    OpStateAcquire::Build { claimed: false } => {
+                                        // Inline build: nothing to publish.
+                                    }
+                                },
+                                // Sometimes: purge everything mid-flight.
+                                7..=8 => {
+                                    cache.purge_matching(|_| true);
+                                }
+                                // Rarely: abandon someone else's claim (the
+                                // purge path does this too).
+                                _ => cache.abandon_key(key),
+                            }
+                        }
+                    });
+                }
+            });
+            // The ledger balances: resident bytes equal the sum of what is
+            // actually resident, and the budget holds.
+            let resident: u64 = cache
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap()
+                        .values()
+                        .map(|v| match v {
+                            Slot::Ready(r) => r.entry.bytes,
+                            Slot::InFlight(_) => 0,
+                        })
+                        .sum::<u64>()
+                })
+                .sum();
+            let s = cache.stats();
+            assert_eq!(s.resident_bytes, resident, "seed {seed}: byte ledger drifted");
+            assert!(
+                s.resident_bytes <= cache.cfg.budget_bytes,
+                "seed {seed}: budget violated after quiescence"
+            );
+        }
+    }
+
+    #[test]
+    fn tagged_wrapper_threads_its_tag() {
+        let cache = Arc::new(OpStateCache::with_budget(1 << 20));
+        let a = TaggedOpStates::new(cache.clone(), 1);
+        let b = TaggedOpStates::new(cache.clone(), 2);
+        let key = Sig128(5);
+        assert!(matches!(a.acquire(key), OpStateAcquire::Build { claimed: true }));
+        a.publish(key, entry(&[5], 10, 1.0));
+        assert!(matches!(a.acquire(key), OpStateAcquire::Hit(_)));
+        assert_eq!(cache.stats().cross_job_hits, 0, "same tag is not cross-job");
+        assert!(matches!(b.acquire(key), OpStateAcquire::Hit(_)));
+        assert_eq!(cache.stats().cross_job_hits, 1);
+        assert!(b.is_warm(key));
+    }
+}

@@ -61,6 +61,10 @@ pub struct PoolReport {
     pub executed: u64,
     /// Tasks taken from another worker's deque.
     pub steals: u64,
+    /// Same, broken down by the *stealing* worker — the scaling bench
+    /// stamps this into BENCH reports so a flat speedup curve is
+    /// diagnosable (all-zero tail ⇒ those workers never found work).
+    pub steals_by_worker: Vec<u64>,
     /// Tasks that hit the per-VC admission limit and parked.
     pub admission_deferrals: u64,
     /// Admission deferrals broken down by virtual cluster, sorted by VC.
@@ -144,6 +148,8 @@ struct Shared<'env> {
     /// The submitter waits here for the worker ready-barrier.
     ready: Condvar,
     steals: AtomicU64,
+    /// Indexed by the stealing worker.
+    steals_by_worker: Vec<AtomicU64>,
     vc_limit: usize,
     queue_cap: usize,
 }
@@ -273,6 +279,7 @@ impl<'env> Shared<'env> {
                 let take = len.div_ceil(2);
                 let mut stolen = st.local[victim].split_off(len - take);
                 self.steals.fetch_add(take as u64, Ordering::Relaxed);
+                self.steals_by_worker[me].fetch_add(take as u64, Ordering::Relaxed);
                 let t = stolen.pop_front().expect("stole at least one task");
                 if !stolen.is_empty() {
                     st.local[me].append(&mut stolen);
@@ -346,6 +353,7 @@ pub fn run_tasks<'env>(
         all_done: Condvar::new(),
         ready: Condvar::new(),
         steals: AtomicU64::new(0),
+        steals_by_worker: (0..workers).map(|_| AtomicU64::new(0)).collect(),
         vc_limit: cfg.vc_inflight_limit.max(1),
         queue_cap: cfg.queue_cap.max(1),
     };
@@ -428,6 +436,11 @@ pub fn run_tasks<'env>(
     PoolReport {
         executed: st.executed,
         steals: shared.steals.load(Ordering::Relaxed),
+        steals_by_worker: shared
+            .steals_by_worker
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect(),
         admission_deferrals: st.admission_deferrals,
         deferrals_by_vc,
         max_inflight: st.max_inflight,
@@ -641,6 +654,9 @@ mod tests {
         let report = run_tasks(&cfg, tasks, &[]);
         assert_eq!(report.executed, 21);
         assert!(report.steals > 0, "long head-of-line task must force steals");
+        // The per-worker breakdown partitions the total.
+        assert_eq!(report.steals_by_worker.len(), 2);
+        assert_eq!(report.steals_by_worker.iter().sum::<u64>(), report.steals);
     }
 
     #[test]

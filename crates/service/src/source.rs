@@ -147,6 +147,13 @@ mod tests {
         let src = PipelinedViewSource::new(&store, &flights, &stats, HashSet::from([Sig128(1)]));
         std::thread::scope(|s| {
             let reader = s.spawn(|| src.read_view(Sig128(1), SimTime::EPOCH));
+            // Hold the publish until the reader has missed the store and
+            // entered the flight wait (the counter is bumped before
+            // blocking) — publishing earlier serves the read straight from
+            // the store and the wait path under test never runs.
+            while stats.snapshot().flight_waits == 0 {
+                std::thread::yield_now();
+            }
             store.insert(view(1)).unwrap();
             flights.resolve(Sig128(1), FlightOutcome::Published);
             let table = reader.join().unwrap().unwrap();

@@ -48,8 +48,10 @@ use cv_engine::optimizer::{AlwaysGrant, OptimizerConfig, ReuseContext};
 use cv_engine::plan::LogicalPlan;
 use cv_engine::signature::{plan_signature, template_signature, SigMode};
 use cv_ivm::{IvmEngine, IvmStats, Maintain};
+use cv_service::{OpStateCache, TaggedOpStates};
 use cv_store::{DurableStoreOptions, DurableViewStore};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Which selection algorithm the feedback loop runs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -170,6 +172,11 @@ pub struct DriverConfig {
     /// Rows per execution chunk (morsel). Results are byte-identical at
     /// every value; this only moves the streaming granularity.
     pub chunk_size: usize,
+    /// Resident-bytes budget for the operator-state cache (hash-join
+    /// builds, aggregate states, sort runs keyed by input signature — keys
+    /// embed the scanned GUIDs, so rotated inputs self-invalidate). 0
+    /// disables it. Results are byte-identical at every budget.
+    pub op_state_budget_bytes: u64,
 }
 
 impl DriverConfig {
@@ -186,6 +193,7 @@ impl DriverConfig {
             store: StoreBackend::Memory,
             ivm: IvmMode::Off,
             chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
+            op_state_budget_bytes: 0,
         }
     }
 
@@ -216,6 +224,8 @@ pub struct DriverOutcome {
     pub store_io: Option<StoreIoStats>,
     /// Incremental-maintenance counters (`None` unless `ivm: Maintain`).
     pub ivm: Option<IvmStats>,
+    /// Operator-state cache counters (`None` when the cache is disabled).
+    pub op_state: Option<cv_service::OpStateCacheStats>,
 }
 
 impl DriverOutcome {
@@ -335,6 +345,13 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
     let ivm_ingest = cfg.ivm != IvmMode::Off;
     let mut ivm: Option<IvmEngine> =
         (cfg.ivm == IvmMode::Maintain).then(|| IvmEngine::new(&cfg.optimizer));
+    // Operator-state cache: recurring jobs on later days skip rebuilding
+    // breaker state whose inputs didn't rotate.
+    let op_states: Option<Arc<OpStateCache>> = (cfg.op_state_budget_bytes > 0)
+        .then(|| Arc::new(OpStateCache::with_budget(cfg.op_state_budget_bytes)));
+    if let Some(cache) = &op_states {
+        engine.optimizer.set_warm_states(cache.clone());
+    }
 
     let specs = raw_specs();
 
@@ -385,6 +402,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 gdpr_purged_views += apply_gdpr(
                     &mut engine,
                     &mut insights,
+                    op_states.as_deref(),
                     workload.config.seed,
                     day,
                     durable.as_ref(),
@@ -475,6 +493,11 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                 robustness.metadata_outage_jobs += 1;
             }
 
+            // Per-job tag on the shared cache so hits against another
+            // job's published state count as cross-job reuse.
+            if let Some(cache) = &op_states {
+                engine.op_states = Some(Arc::new(TaggedOpStates::new(cache.clone(), job.0)));
+            }
             let run = run_one_job(
                 &mut engine,
                 &mut insights,
@@ -509,6 +532,13 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
                             }
                         }
                         insights.quarantine(*sig);
+                    }
+                    // Quarantine coupling: cached breaker states derived
+                    // from a quarantined view are dropped too.
+                    if let Some(cache) = &op_states {
+                        if !one.quarantined_sigs.is_empty() {
+                            cache.purge_sigs(&one.quarantined_sigs);
+                        }
                     }
                     robustness.fallbacks_recompute += one.data_plane.fallbacks_recompute;
                     robustness.view_read_failures += one.view_read_failures;
@@ -598,6 +628,7 @@ pub fn run_workload(workload: &Workload, cfg: &DriverConfig) -> Result<DriverOut
         robustness,
         store_io,
         ivm: ivm.map(|iv| iv.stats),
+        op_state: op_states.map(|c| c.stats()),
     })
 }
 
@@ -1047,9 +1078,11 @@ pub(crate) fn run_analysis(
 
 /// Apply one GDPR forget-request: pick a deterministic user id, delete it
 /// from `users`, rotate the GUID, purge derived views (§4).
+#[allow(clippy::too_many_arguments)]
 fn apply_gdpr(
     engine: &mut QueryEngine,
     insights: &mut InsightsService,
+    op_states: Option<&OpStateCache>,
     seed: u64,
     day: SimDay,
     durable: Option<&DurableViewStore>,
@@ -1081,6 +1114,12 @@ fn apply_gdpr(
         }
     };
     insights.purge_sigs(&stale);
+    // Operator-state coupling: rotated guids already invalidate the keys;
+    // eager purge drops any cached bytes derived from the forgotten rows.
+    if let Some(cache) = op_states {
+        cache.purge_input("users");
+        cache.purge_sigs(&stale);
+    }
     Ok(purged)
 }
 
@@ -1099,6 +1138,19 @@ mod tests {
 
     fn quick_cluster() -> ClusterConfig {
         ClusterConfig { total_containers: 200, ..ClusterConfig::default() }
+    }
+
+    /// Workload big enough that dimension tables clear the nested-loop
+    /// threshold: joins against `users`/`part` lower to *hash* joins, whose
+    /// build states are what the operator-state cache keys on. At
+    /// `small_workload` scale every dim is ~20 rows, every join is a loop
+    /// join, and no build state would ever be published.
+    fn join_heavy_workload() -> Workload {
+        generate_workload(WorkloadConfig {
+            scale: 0.25,
+            n_analytics: 12,
+            ..WorkloadConfig::default()
+        })
     }
 
     #[test]
@@ -1215,6 +1267,56 @@ mod tests {
         // least once in 6 days if any were built over `users`.
         // (Not asserted >0: selection may not pick user-joined views.)
         let _ = out.gdpr_purged_views;
+    }
+
+    /// Tentpole contract, sequential edition: the operator-state cache may
+    /// only move work accounting — per-job result digests are byte-identical
+    /// cache-on vs cache-off, and the recurring second day restores state
+    /// published by (differently-numbered) first-day jobs.
+    #[test]
+    fn op_state_cache_keeps_digests_and_reuses_across_days() {
+        let w = join_heavy_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let off = run_workload(&w, &cfg).unwrap();
+        assert!(off.op_state.is_none());
+
+        let mut on_cfg = cfg.clone();
+        on_cfg.op_state_budget_bytes = 64 << 20;
+        let on = run_workload(&w, &on_cfg).unwrap();
+        assert_eq!(on.failed_jobs, 0);
+        assert_eq!(on.result_digests, off.result_digests, "cache changed result bytes");
+        let stats = on.op_state.expect("cache enabled");
+        assert!(stats.published > 0, "no breaker state ever published: {stats:?}");
+        assert!(stats.hits > 0, "nothing restored from cache: {stats:?}");
+        assert!(
+            stats.cross_job_hits > 0,
+            "a recurring day-2 job (new job id) must hit day-1 state: {stats:?}"
+        );
+    }
+
+    /// GDPR regression: a forget-request against `users` must also evict
+    /// cached operator state derived from it, without moving any digest.
+    #[test]
+    fn gdpr_purge_evicts_operator_state() {
+        let w = join_heavy_workload();
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster = quick_cluster();
+        cfg.gdpr_every_days = Some(1);
+        cfg.op_state_budget_bytes = 64 << 20;
+        let on = run_workload(&w, &cfg).unwrap();
+        assert_eq!(on.failed_jobs, 0);
+
+        let mut off_cfg = cfg.clone();
+        off_cfg.op_state_budget_bytes = 0;
+        let off = run_workload(&w, &off_cfg).unwrap();
+        assert_eq!(on.result_digests, off.result_digests, "cache changed result bytes");
+
+        let stats = on.op_state.expect("cache enabled");
+        assert!(
+            stats.purged > 0,
+            "the forget-request must purge user-derived operator state: {stats:?}"
+        );
     }
 
     fn temp_store_dir(tag: &str) -> std::path::PathBuf {

@@ -38,6 +38,10 @@ pub struct MorselScalingPoint {
     /// Best-of-N wall seconds for one execution of the query.
     pub wall_seconds: f64,
     pub digest: Sig128,
+    /// Chunks each worker stole over the timed runs (warmup excluded). An
+    /// all-zero tail means those workers never found work — the diagnostic
+    /// for a flat speedup curve (too few chunks to go around).
+    pub steals_by_worker: Vec<u64>,
 }
 
 /// The full curve plus the monolithic reference it is held to.
@@ -85,6 +89,9 @@ impl MorselScalingReport {
                             "workers": p.workers as u64,
                             "wall_seconds": p.wall_seconds,
                             "digest_matches_serial": p.digest == self.serial_digest,
+                            "steals_by_worker": Json::Arr(
+                                p.steals_by_worker.iter().map(|s| Json::from(*s)).collect()
+                            ),
                         })
                     })
                     .collect()
@@ -193,17 +200,25 @@ pub fn run_morsel_scaling(
 
     let mut points = Vec::with_capacity(worker_counts.len());
     for &workers in worker_counts {
-        let runner: Arc<dyn MorselRunner> = Arc::new(PoolMorselRunner::new(workers));
+        let pool = Arc::new(PoolMorselRunner::new(workers));
+        let runner: Arc<dyn MorselRunner> = pool.clone();
         let mut best = f64::INFINITY;
         let mut digest = serial_digest;
-        // Warmup once, then keep the fastest of `iters` timed runs.
+        // Warmup once, then keep the fastest of `iters` timed runs. Steal
+        // attribution covers only the timed runs.
         let _ = run(chunk_size, runner.clone())?;
+        pool.reset_steal_counts();
         for _ in 0..iters.max(1) {
             let (table, wall) = run(chunk_size, runner.clone())?;
             digest = digest_table(&table);
             best = best.min(wall);
         }
-        points.push(MorselScalingPoint { workers, wall_seconds: best, digest });
+        points.push(MorselScalingPoint {
+            workers,
+            wall_seconds: best,
+            digest,
+            steals_by_worker: pool.steal_counts(),
+        });
     }
 
     Ok(MorselScalingReport {
@@ -226,8 +241,13 @@ mod tests {
         assert_eq!(report.points.len(), 3);
         assert_eq!(report.chunks, 16);
         assert!(report.speedup_at(2).is_some());
+        for p in &report.points {
+            assert_eq!(p.steals_by_worker.len(), p.workers, "one steal counter per worker");
+        }
         let j = report.to_json();
         assert_eq!(j.get("digests_agree").and_then(Json::as_bool), Some(true));
+        let first = j.get("points").and_then(Json::as_arr).and_then(|a| a.first()).unwrap();
+        assert!(first.get("steals_by_worker").and_then(Json::as_arr).is_some());
     }
 
     #[test]

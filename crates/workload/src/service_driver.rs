@@ -57,17 +57,17 @@ use cv_data::store_api::SharedViewStore;
 use cv_data::value::Value;
 use cv_data::viewstore::{MaterializedView, ViewStoreStats};
 use cv_engine::engine::QueryEngine;
-use cv_engine::exec::{ExecOutcome, PendingView};
+use cv_engine::exec::{ExecOutcome, OpStateSource, PendingView};
 use cv_engine::optimizer::{AlwaysGrant, ReuseContext, SemanticGrant, ViewMeta};
 use cv_engine::physical::PhysicalPlan;
 use cv_engine::signature::SubexprInfo;
 use cv_service::{
-    run_tasks, FlightOutcome, PipelinedViewSource, PoolConfig, PromisedView, ServiceStats,
-    SingleFlight, TaskSpec,
+    run_tasks, FlightOutcome, OpStateCache, PipelinedViewSource, PoolConfig, PromisedView,
+    ServiceStats, SingleFlight, TaggedOpStates, TaskSpec,
 };
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::Ordering;
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Service-layer knobs on top of [`DriverConfig`].
@@ -86,6 +86,12 @@ pub struct ServiceConfig {
     /// everything immediately, the pool's admission control is the only
     /// throttle).
     pub pacing_us_per_sim_hour: u64,
+    /// Resident-bytes budget for the shared operator-state cache
+    /// (pipeline-breaker reuse: hash-join builds, aggregate states, sort
+    /// runs). 0 disables the cache. Hits skip the build subtree, so
+    /// work/read accounting shifts between jobs while per-job result
+    /// digests stay byte-identical at any budget.
+    pub op_state_budget_bytes: u64,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +102,7 @@ impl Default for ServiceConfig {
             vc_inflight_limit: 4,
             queue_cap: 32,
             pacing_us_per_sim_hour: 0,
+            op_state_budget_bytes: 0,
         }
     }
 }
@@ -146,6 +153,62 @@ pub struct ServiceReport {
     /// Per-job wall latency (release → completion) in milliseconds, sorted
     /// by job id.
     pub latencies_ms: Vec<(JobId, f64)>,
+    /// Operator-state cache outcome (all-zero when the cache is disabled).
+    pub op_state: OpStateReport,
+}
+
+/// Operator-state cache counters for one run, merged from the cache's own
+/// stats and the per-job executor metrics.
+#[derive(Clone, Debug, Default)]
+pub struct OpStateReport {
+    /// Cache was configured with a nonzero budget.
+    pub enabled: bool,
+    /// Breaker states restored instead of rebuilt.
+    pub hits: u64,
+    /// Of `hits`, those where the publisher was a *different* job — the
+    /// cross-job reuse the ci gate asserts on.
+    pub cross_job_hits: u64,
+    pub misses: u64,
+    pub published: u64,
+    pub evicted: u64,
+    /// Waits on an in-flight build that degraded to an inline rebuild
+    /// (builder abandoned, or wait timed out).
+    pub degraded_waits: u64,
+    /// Entries dropped by quarantine / GDPR purge coupling.
+    pub purged: u64,
+    pub resident_bytes: u64,
+    /// Modeled work units of skipped builds, summed over hits.
+    pub build_work_avoided: f64,
+    /// Measured wall seconds of skipped builds, summed over hits.
+    pub build_wall_avoided: f64,
+}
+
+impl OpStateReport {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        json!({
+            "enabled": self.enabled,
+            "hits": self.hits,
+            "cross_job_hits": self.cross_job_hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate(),
+            "published": self.published,
+            "evicted": self.evicted,
+            "degraded_waits": self.degraded_waits,
+            "purged": self.purged,
+            "resident_bytes": self.resident_bytes,
+            "build_work_avoided": self.build_work_avoided,
+            "build_wall_avoided_seconds": self.build_wall_avoided,
+        })
+    }
 }
 
 impl ServiceReport {
@@ -181,6 +244,7 @@ impl ServiceReport {
                 self.worker_busy_seconds.iter().map(|b| Json::from(*b)).collect()
             ),
             "worker_idle_seconds": Json::Arr(idle.into_iter().map(Json::from).collect()),
+            "op_state": self.op_state.to_json(),
         })
     }
 }
@@ -382,6 +446,17 @@ pub fn run_workload_service_with_store(
     let insights = SharedInsights::new(InsightsService::new(cfg.controls.clone()));
     let flights = SingleFlight::new();
     let stats = ServiceStats::default();
+    // Shared operator-state cache: one builder per breaker signature,
+    // recurring days skip rebuilds whose inputs didn't rotate (keys embed
+    // the scanned GUIDs, so rotated inputs self-invalidate).
+    let op_states: Option<Arc<OpStateCache>> = (svc.op_state_budget_bytes > 0)
+        .then(|| Arc::new(OpStateCache::with_budget(svc.op_state_budget_bytes)));
+    if let Some(cache) = &op_states {
+        // Warm-aware planning: a resident build side can flip a
+        // merge-join pick back to hash (byte-safe — all join algorithms
+        // agree bit-for-bit).
+        engine.optimizer.set_warm_states(cache.clone());
+    }
 
     let mut repo = SubexpressionRepo::new();
     let mut data_plane: HashMap<JobId, DataPlane> = HashMap::new();
@@ -403,6 +478,8 @@ pub fn run_workload_service_with_store(
     let mut commit_wall = Duration::ZERO;
     let mut worker_busy: Vec<Duration> = Vec::new();
     let mut latencies_ms: Vec<(JobId, f64)> = Vec::new();
+    let mut op_work_avoided = 0.0f64;
+    let mut op_wall_avoided = 0.0f64;
 
     let raw = raw_specs();
 
@@ -447,9 +524,14 @@ pub fn run_workload_service_with_store(
 
         if let Some(every) = cfg.gdpr_every_days {
             if day_idx > 0 && day_idx % every == 0 {
-                gdpr_purged_views +=
-                    apply_gdpr_service(&mut engine, store, &insights, workload.config.seed, day)?
-                        as u64;
+                gdpr_purged_views += apply_gdpr_service(
+                    &mut engine,
+                    store,
+                    &insights,
+                    op_states.as_deref(),
+                    workload.config.seed,
+                    day,
+                )? as u64;
             }
         }
 
@@ -490,6 +572,7 @@ pub fn run_workload_service_with_store(
                 store,
                 flights: &flights,
                 stats: &stats,
+                op_states: op_states.as_ref(),
                 wave,
                 day,
                 enabled,
@@ -515,6 +598,8 @@ pub fn run_workload_service_with_store(
             parallel_wall += report.parallel_wall;
             compile_wall += report.compile_wall;
             commit_wall += report.commit_wall;
+            op_work_avoided += report.op_state_work_avoided;
+            op_wall_avoided += report.op_state_wall_avoided;
             if worker_busy.len() < report.worker_busy.len() {
                 worker_busy.resize(report.worker_busy.len(), Duration::ZERO);
             }
@@ -596,6 +681,25 @@ pub fn run_workload_service_with_store(
 
     let snap = stats.snapshot();
     latencies_ms.sort_by_key(|a| a.0);
+    let op_state = match &op_states {
+        Some(cache) => {
+            let s = cache.stats();
+            OpStateReport {
+                enabled: true,
+                hits: s.hits,
+                cross_job_hits: s.cross_job_hits,
+                misses: s.misses,
+                published: s.published,
+                evicted: s.evicted,
+                degraded_waits: s.degraded_waits,
+                purged: s.purged,
+                resident_bytes: s.resident_bytes,
+                build_work_avoided: op_work_avoided,
+                build_wall_avoided: op_wall_avoided,
+            }
+        }
+        None => OpStateReport::default(),
+    };
     let service = ServiceReport {
         workers: svc.workers,
         shards: store.n_shards(),
@@ -617,6 +721,7 @@ pub fn run_workload_service_with_store(
         pool_overhead_seconds: exec_wall.saturating_sub(parallel_wall).as_secs_f64(),
         worker_busy_seconds: worker_busy.iter().map(Duration::as_secs_f64).collect(),
         latencies_ms,
+        op_state,
     };
 
     if let Some(o) = obs {
@@ -658,6 +763,13 @@ pub fn run_workload_service_with_store(
         m.add("phase.parallel_us", parallel_wall.as_micros() as u64);
         m.add("phase.commit_us", commit_wall.as_micros() as u64);
         m.add("phase.pool_us", exec_wall.as_micros() as u64);
+        // Cache-side op_state counters (the per-op hit/miss/publish
+        // counters come from each task's ExecSink).
+        m.add("op_state.cross_job_hits", service.op_state.cross_job_hits);
+        m.add("op_state.evicted", service.op_state.evicted);
+        m.add("op_state.degraded_waits", service.op_state.degraded_waits);
+        m.add("op_state.purged", service.op_state.purged);
+        m.gauge("op_state.resident_bytes").set_max(service.op_state.resident_bytes);
     }
 
     let usage = insights.lock().usage_log().to_vec();
@@ -683,6 +795,7 @@ struct WaveCtx<'a, 'w> {
     store: &'a dyn SharedViewStore,
     flights: &'a SingleFlight,
     stats: &'a ServiceStats,
+    op_states: Option<&'a Arc<OpStateCache>>,
     wave: &'a [&'w JobTemplate],
     day: SimDay,
     enabled: bool,
@@ -714,6 +827,9 @@ struct WaveReport {
     commit_wall: Duration,
     worker_busy: Vec<Duration>,
     latencies: Vec<(JobId, Duration)>,
+    /// Skipped-build credit summed from the wave's executor metrics.
+    op_state_work_avoided: f64,
+    op_state_wall_avoided: f64,
 }
 
 fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
@@ -723,6 +839,7 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         store,
         flights,
         stats,
+        op_states,
         wave,
         day,
         enabled,
@@ -989,6 +1106,9 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         let built = task.built.clone();
         let tx = tx.clone();
         let exec_sink = obs.map(|o| o.exec_sink(job_track(job)));
+        // Per-job view of the shared op-state cache: the tag lets the cache
+        // attribute hits on another job's published state as cross-job.
+        let tagged = op_states.map(|c| TaggedOpStates::new(c.clone(), job.0));
         tasks.push(TaskSpec {
             job,
             vc,
@@ -1001,12 +1121,13 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                 // The flight registry doubles as the spool sink: each
                 // sealed chunk of a claimed build streams to it pre-commit
                 // so blocked consumers can assemble the view directly.
-                let res = engine_ref.execute_with_sink(
+                let res = engine_ref.execute_with_states(
                     &physical,
                     &src,
                     submit,
                     exec_sink.as_ref().map(|s| &**s as &dyn cv_engine::obs::ObsSink),
                     Some(flights as &dyn cv_engine::SpoolSink),
+                    tagged.as_ref().map(|t| t as &dyn OpStateSource),
                 );
                 let served = src.into_served();
                 let done = res.and_then(|exec| {
@@ -1080,6 +1201,8 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
 
     // ---- Phase C: commit sequentially, in job order. ----
     let commit_started = Instant::now();
+    let mut op_work = 0.0f64;
+    let mut op_wall = 0.0f64;
     if let Some(o) = obs {
         o.tracer.begin(0, "commit");
     }
@@ -1099,6 +1222,15 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
                     store.quarantine(*sig)?;
                     insights.lock().quarantine(*sig);
                 }
+                // Quarantine coupling: any cached breaker state derived
+                // from a now-quarantined view must go too.
+                if let Some(cache) = op_states {
+                    if !done.exec.metrics.quarantined_sigs.is_empty() {
+                        cache.purge_sigs(&done.exec.metrics.quarantined_sigs);
+                    }
+                }
+                op_work += done.exec.metrics.op_state_work_avoided;
+                op_wall += done.exec.metrics.op_state_wall_avoided;
                 robustness.view_read_failures += done.exec.metrics.view_read_failures;
                 robustness.view_corruptions += done.exec.metrics.view_corruptions;
                 robustness.view_expiry_races += done.exec.metrics.view_expiry_races;
@@ -1226,6 +1358,8 @@ fn run_wave(ctx: WaveCtx<'_, '_>) -> Result<WaveReport> {
         commit_wall,
         worker_busy: report.worker_busy,
         latencies: report.latencies,
+        op_state_work_avoided: op_work,
+        op_state_wall_avoided: op_wall,
     })
 }
 
@@ -1292,6 +1426,7 @@ fn apply_gdpr_service(
     engine: &mut QueryEngine,
     store: &dyn SharedViewStore,
     insights: &SharedInsights,
+    op_states: Option<&OpStateCache>,
     seed: u64,
     day: SimDay,
 ) -> Result<usize> {
@@ -1304,6 +1439,13 @@ fn apply_gdpr_service(
     let stale = store.sigs_with_input(outcome.old_guid);
     let purged = store.purge_input(outcome.old_guid, day.start())?;
     insights.lock().purge_sigs(&stale);
+    // Operator-state coupling: the rotated guid already invalidates the
+    // keys, but eager purge frees the budget and drops any state whose
+    // bytes were derived from the forgotten rows.
+    if let Some(cache) = op_states {
+        cache.purge_input("users");
+        cache.purge_sigs(&stale);
+    }
     Ok(purged)
 }
 
@@ -1364,6 +1506,17 @@ mod tests {
 
     fn quick_cluster() -> ClusterConfig {
         ClusterConfig { total_containers: 200, ..ClusterConfig::default() }
+    }
+
+    /// Workload whose dimension tables clear the nested-loop threshold, so
+    /// joins against `users`/`part` lower to hash joins and publish build
+    /// states (see the sequential driver's `join_heavy_workload`).
+    fn join_heavy_workload() -> Workload {
+        generate_workload(WorkloadConfig {
+            scale: 0.25,
+            n_analytics: 12,
+            ..WorkloadConfig::default()
+        })
     }
 
     fn spec(job: u64, submit_hours: f64, work: f64) -> JobSpec {
@@ -1517,6 +1670,73 @@ mod tests {
         let io = durable.store_io.expect("durable service run reports io stats");
         assert!(io.bytes_written_durably > 0, "nothing reached disk");
         assert!(io.wal_records_written > 0, "no WAL records written");
+    }
+
+    /// Tentpole contract: the shared operator-state cache may shift build
+    /// work between jobs but never moves a digest — at one worker and at
+    /// several, against the cache-off reference.
+    #[test]
+    fn op_state_cache_never_changes_service_digests() {
+        let w = join_heavy_workload();
+        let mut cfg = DriverConfig::enabled(2);
+        cfg.cluster = quick_cluster();
+        let off = run_workload_service(
+            &w,
+            &cfg,
+            &ServiceConfig { workers: 1, ..ServiceConfig::default() },
+        )
+        .unwrap();
+        assert!(!off.service.op_state.enabled);
+
+        for workers in [1usize, 4] {
+            let svc = ServiceConfig {
+                workers,
+                op_state_budget_bytes: 64 << 20,
+                ..ServiceConfig::default()
+            };
+            let on = run_workload_service(&w, &cfg, &svc).unwrap();
+            assert_eq!(on.failed_jobs, 0);
+            assert_eq!(
+                on.result_digests, off.result_digests,
+                "cache changed digests at {workers} workers"
+            );
+            let os = &on.service.op_state;
+            assert!(os.enabled);
+            assert!(os.published > 0, "no breaker state published at {workers} workers: {os:?}");
+            assert!(os.hits > 0, "nothing restored at {workers} workers: {os:?}");
+            assert!(
+                os.cross_job_hits > 0,
+                "recurring jobs must hit other jobs' state at {workers} workers: {os:?}"
+            );
+            assert!(os.build_wall_avoided >= 0.0 && os.build_work_avoided > 0.0, "{os:?}");
+        }
+    }
+
+    /// GDPR regression, service edition: the forget-request purges cached
+    /// operator state (the rotated guid already invalidates the keys; the
+    /// purge frees the bytes) and digests still match the cache-off run.
+    #[test]
+    fn service_gdpr_purge_evicts_operator_state() {
+        let w = join_heavy_workload();
+        let mut cfg = DriverConfig::enabled(3);
+        cfg.cluster = quick_cluster();
+        cfg.gdpr_every_days = Some(1);
+        let svc_on = ServiceConfig {
+            workers: 4,
+            op_state_budget_bytes: 64 << 20,
+            ..ServiceConfig::default()
+        };
+        let on = run_workload_service(&w, &cfg, &svc_on).unwrap();
+        assert_eq!(on.failed_jobs, 0);
+        let off = run_workload_service(
+            &w,
+            &cfg,
+            &ServiceConfig { workers: 4, ..ServiceConfig::default() },
+        )
+        .unwrap();
+        assert_eq!(on.result_digests, off.result_digests);
+        let os = &on.service.op_state;
+        assert!(os.purged > 0, "forget-request must purge operator state: {os:?}");
     }
 
     /// Byte-budget crash plans are a sequential-driver fault: the service

@@ -44,10 +44,21 @@
 //! 1.5×. `--chunk-size` moves the streaming granularity of *every* leg —
 //! results are byte-identical at any value.
 //!
+//! A sixth leg (opt-in via `--op-state-cache`) exercises the
+//! **operator-state cache**: the same workload runs with breaker-state
+//! reuse enabled at 1 worker and at N workers, against a cache-off
+//! sequential reference. The leg runs at `max(--scale, 0.25)` so the
+//! dimension tables clear the nested-loop threshold and joins actually
+//! build hash state (at tiny scales every join is a loop join and there
+//! is no state to cache). Contracts: digests byte-identical cache-on vs
+//! cache-off at both worker counts, at least one *cross-job* state hit,
+//! and positive build wall avoided. `--op-state-budget` sizes the cache.
+//!
 //! Usage:
 //!   cv-serve [--days N] [--scale F] [--seed N] [--analytics N]
 //!            [--workers N] [--shards N] [--chunk-size N]
 //!            [--mode closed|open] [--min-speedup auto|F]
+//!            [--morsel-rows N] [--op-state-cache] [--op-state-budget N]
 //!            [--store-dir PATH] [--json PATH]
 //!            [--bench PATH] [--trace PATH] [--metrics PATH]
 
@@ -57,8 +68,9 @@ use cv_extensions::concurrent::pipelining_savings_bound;
 use cv_obs::chrome_trace;
 use cv_store::{DurableStoreOptions, ShardedDurableViewStore};
 use cv_workload::{
-    generate_workload, run_workload, run_workload_service_obs, run_workload_service_with_store,
-    DriverConfig, ServiceConfig, ServiceObs, ServiceOutcome, WorkloadConfig,
+    generate_workload, run_workload, run_workload_service, run_workload_service_obs,
+    run_workload_service_with_store, DriverConfig, ServiceConfig, ServiceObs, ServiceOutcome,
+    WorkloadConfig,
 };
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -73,6 +85,9 @@ struct Args {
     chunk_size: usize,
     open_loop: bool,
     min_speedup: Option<f64>, // None = auto
+    morsel_rows: usize,
+    op_state_cache: bool,
+    op_state_budget: u64,
     store_dir: Option<String>,
     json_path: Option<String>,
     bench_path: Option<String>,
@@ -91,6 +106,9 @@ fn parse_args() -> Result<Args, String> {
         chunk_size: cv_data::chunk::DEFAULT_CHUNK_SIZE,
         open_loop: false,
         min_speedup: None,
+        morsel_rows: 480_000,
+        op_state_cache: false,
+        op_state_budget: 64 << 20,
         store_dir: None,
         json_path: None,
         bench_path: None,
@@ -150,6 +168,23 @@ fn parse_args() -> Result<Args, String> {
                     Some(v.parse().map_err(|_| format!("bad --min-speedup value `{v}`"))?)
                 };
             }
+            "--morsel-rows" => {
+                let v = it.next().ok_or("--morsel-rows needs a value")?;
+                args.morsel_rows =
+                    v.parse().map_err(|_| format!("bad --morsel-rows value `{v}`"))?;
+                if args.morsel_rows == 0 {
+                    return Err("--morsel-rows must be at least 1".to_string());
+                }
+            }
+            "--op-state-cache" => args.op_state_cache = true,
+            "--op-state-budget" => {
+                let v = it.next().ok_or("--op-state-budget needs a byte count")?;
+                args.op_state_budget =
+                    v.parse().map_err(|_| format!("bad --op-state-budget value `{v}`"))?;
+                if args.op_state_budget == 0 {
+                    return Err("--op-state-budget must be at least 1 byte".to_string());
+                }
+            }
             "--store-dir" => args.store_dir = Some(it.next().ok_or("--store-dir needs a path")?),
             "--json" => args.json_path = Some(it.next().ok_or("--json needs a path")?),
             "--bench" => args.bench_path = Some(it.next().ok_or("--bench needs a path")?),
@@ -168,6 +203,11 @@ fn parse_args() -> Result<Args, String> {
                      are byte-identical at any value)\n  \
                      --mode M          closed|open load generation (default closed)\n  \
                      --min-speedup S   auto, or a required N-worker/1-worker ratio\n  \
+                     --morsel-rows N   rows in the morsel-scaling query (default 480000)\n  \
+                     --op-state-cache  run the operator-state-cache leg (reuse breaker\n                    \
+                     states across jobs; digests must not move)\n  \
+                     --op-state-budget N  operator-state cache budget in bytes\n                    \
+                     (default 67108864)\n  \
                      --store-dir P     directory for the durable-store leg (default:\n                    \
                      a fresh temp directory, removed afterwards)\n  \
                      --json PATH       write the full JSON report to PATH\n  \
@@ -285,9 +325,40 @@ fn main() -> ExitCode {
     // ---- Morsel scaling leg: one heavy query, chunks across the pool. ----
     let morsel_counts: Vec<usize> =
         [1usize, 2, 4, 8].into_iter().filter(|&w| w == 1 || w <= args.workers).collect();
-    let morsel =
-        cv_workload::run_morsel_scaling(args.seed, 120_000, args.chunk_size, &morsel_counts, 3)
-            .expect("morsel scaling benchmark");
+    let morsel = cv_workload::run_morsel_scaling(
+        args.seed,
+        args.morsel_rows,
+        args.chunk_size,
+        &morsel_counts,
+        3,
+    )
+    .expect("morsel scaling benchmark");
+
+    // ---- Operator-state cache leg (opt-in): reuse breaker states. ----
+    // Runs at a scale where the dimension tables clear the nested-loop
+    // threshold — otherwise no join builds hash state and the cache has
+    // nothing to do. Cache-off sequential is the digest reference.
+    let op_leg = args.op_state_cache.then(|| {
+        let op_scale = args.scale.max(0.25);
+        let op_workload = generate_workload(WorkloadConfig {
+            seed: args.seed,
+            scale: op_scale,
+            n_analytics: args.analytics,
+            ..WorkloadConfig::default()
+        });
+        let mut op_cfg = cfg.clone();
+        op_cfg.op_state_budget_bytes = 0;
+        let reference = run_workload(&op_workload, &op_cfg).expect("op-state cache-off reference");
+        let svc_on = |workers: usize| ServiceConfig {
+            op_state_budget_bytes: args.op_state_budget,
+            ..svc(workers)
+        };
+        let on_1 = run_workload_service(&op_workload, &op_cfg, &svc_on(1))
+            .expect("op-state 1-worker cache-on run");
+        let on_n = run_workload_service(&op_workload, &op_cfg, &svc_on(args.workers))
+            .expect("op-state N-worker cache-on run");
+        (op_scale, reference, on_1, on_n)
+    });
 
     // ---- Contracts. ----
     let mut problems: Vec<String> = Vec::new();
@@ -375,6 +446,34 @@ fn main() -> ExitCode {
         );
     }
 
+    // Op-state cache contracts: reuse may only move wall time, never
+    // bytes — and it has to actually fire (cross-job) to prove the
+    // recurring-job reuse the leg exists for.
+    if let Some((_, reference, on_1, on_n)) = &op_leg {
+        let st = &on_n.service.op_state;
+        if on_1.result_digests != reference.result_digests {
+            problems.push("op-state 1-worker digests diverge from the cache-off run".to_string());
+        }
+        if on_n.result_digests != reference.result_digests {
+            problems.push(format!(
+                "op-state {}-worker digests diverge from the cache-off run",
+                args.workers
+            ));
+        }
+        if on_1.failed_jobs > 0 || on_n.failed_jobs > 0 {
+            problems.push(format!(
+                "op-state leg failed jobs: {} (1-worker), {} ({}-worker)",
+                on_1.failed_jobs, on_n.failed_jobs, args.workers
+            ));
+        }
+        if st.cross_job_hits == 0 {
+            problems.push("op-state cache saw no cross-job hits — reuse never fired".to_string());
+        }
+        if st.build_wall_avoided <= 0.0 {
+            problems.push("op-state cache avoided no build wall time".to_string());
+        }
+    }
+
     // Pool accounting contract: overhead is the pool's residue around the
     // parallel phase and must never dominate it (both terms now share the
     // ready-barrier epoch).
@@ -455,6 +554,28 @@ fn main() -> ExitCode {
         if durable_digests_match { "match" } else { "DIVERGE" }
     );
 
+    if let Some((op_scale, reference, on_1, on_n)) = &op_leg {
+        let st = &on_n.service.op_state;
+        let parity = on_1.result_digests == reference.result_digests
+            && on_n.result_digests == reference.result_digests;
+        println!(
+            "  op-state cache (scale {}, {}w)   {} hits ({} cross-job) / {} misses \
+             (rate {:.2}), {} published / {} evicted, {} B resident, \
+             build wall avoided {:.2}ms, digests vs cache-off {}",
+            op_scale,
+            args.workers,
+            st.hits,
+            st.cross_job_hits,
+            st.misses,
+            st.hit_rate(),
+            st.published,
+            st.evicted,
+            st.resident_bytes,
+            st.build_wall_avoided * 1e3,
+            if parity { "match" } else { "DIVERGE" }
+        );
+    }
+
     let digests_match = many.result_digests == sequential.result_digests;
     let scaling = match morsel.to_json() {
         Json::Obj(mut m) => {
@@ -514,6 +635,31 @@ fn main() -> ExitCode {
         }),
         "digest_checksum": digest_checksum(&many.result_digests),
         "digests_match_sequential": digests_match,
+        "op_state": match &op_leg {
+            Some((op_scale, reference, on_1, on_n)) => {
+                match on_n.service.op_state.to_json() {
+                    Json::Obj(mut m) => {
+                        m.insert("scale", *op_scale);
+                        m.insert("budget_bytes", args.op_state_budget);
+                        m.insert("hits_1w", on_1.service.op_state.hits);
+                        m.insert(
+                            "digests_match_off_1w",
+                            on_1.result_digests == reference.result_digests,
+                        );
+                        m.insert(
+                            "digests_match_off_nw",
+                            on_n.result_digests == reference.result_digests,
+                        );
+                        m.insert("digest_checksum_off", digest_checksum(&reference.result_digests));
+                        m.insert("digest_checksum_on_1w", digest_checksum(&on_1.result_digests));
+                        m.insert("digest_checksum_on_nw", digest_checksum(&on_n.result_digests));
+                        Json::Obj(m)
+                    }
+                    other => other,
+                }
+            }
+            None => json!({ "enabled": false }),
+        },
         "store": json!({
             "page_cache_hits": store_io.page_cache_hits,
             "page_cache_misses": store_io.page_cache_misses,

@@ -340,7 +340,7 @@ fn plans_agree_with_kernels_on_and_off() {
 fn join_algorithms_agree_on_random_tables() {
     fn force(p: &PhysicalPlan, algo: JoinAlgo) -> PhysicalPlan {
         match p.clone() {
-            PhysicalPlan::Join { kind, on, left, right, est, partitions, .. } => {
+            PhysicalPlan::Join { kind, on, left, right, est, partitions, swapped, .. } => {
                 PhysicalPlan::Join {
                     algo,
                     kind,
@@ -349,6 +349,7 @@ fn join_algorithms_agree_on_random_tables() {
                     right: Box::new(force(&right, algo)),
                     est,
                     partitions,
+                    swapped,
                 }
             }
             other => other,
